@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Fig 16 reproduction: hardware design-space exploration with TPUSim.
+ *  (a) Systolic array size 32..512 running VGG: peak FLOPS rises while
+ *      utilization falls; halving of utilization from 128 to 256
+ *      corroborates TPU-v2's choice of 128.
+ *  (b) Vector-memory word size 1..32 at fixed 256 KB capacity: SRAM
+ *      area (OpenRAM/CACTI stand-in) vs bandwidth idle ratio; word 8
+ *      is near the area minimum but leaves the port mostly idle,
+ *      explaining TPU-v3's second systolic array.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "models/model_zoo.h"
+#include "sram/sram_area_model.h"
+#include "tpusim/tpu_sim.h"
+
+using namespace cfconv;
+
+namespace {
+
+/** Run all VGG16 layers on @p config; return {tflops, utilization,
+ *  port utilization}. */
+struct VggRun
+{
+    double tflops;
+    double utilization;
+    double portUtil;
+};
+
+VggRun
+runVgg(const tpusim::TpuConfig &config, Index batch)
+{
+    tpusim::TpuSim sim(config);
+    double seconds = 0.0;
+    Flops flops = 0;
+    double util_weighted = 0.0;
+    double port_weighted = 0.0;
+    for (const auto &layer : models::vgg16(batch).layers) {
+        const auto r = sim.runConv(layer.params);
+        const double n = static_cast<double>(layer.count);
+        seconds += n * r.seconds;
+        flops += layer.params.flops() * static_cast<Flops>(layer.count);
+        util_weighted += n * r.seconds * r.arrayUtilization;
+        port_weighted += n * r.seconds * r.portUtilization;
+    }
+    return {static_cast<double>(flops) / seconds / 1e12,
+            util_weighted / seconds, port_weighted / seconds};
+}
+
+} // namespace
+
+int
+main()
+{
+    const Index batch = 8;
+
+    // ---- (a) array size ----
+    bench::experimentHeader(
+        "Fig 16a", "Systolic array size exploration on VGG16");
+    Table ga("Fig 16a: performance and utilization vs array size");
+    ga.setHeader({"array", "TFLOPS", "utilization"});
+    double util128 = 0.0, util256 = 0.0;
+    for (Index size : {32L, 64L, 128L, 256L, 512L}) {
+        tpusim::TpuConfig cfg = tpusim::TpuConfig::tpuV2();
+        cfg.array.rows = cfg.array.cols = size;
+        cfg.vectorMemories = size;
+        // Keep total on-chip capacity constant (32 MB split over the
+        // per-row memories).
+        const VggRun r = runVgg(cfg, batch);
+        if (size == 128)
+            util128 = r.utilization;
+        if (size == 256)
+            util256 = r.utilization;
+        ga.addRow({cell("%lldx%lld", (long long)size, (long long)size),
+                   cell("%.1f", r.tflops),
+                   cell("%.0f%%", 100.0 * r.utilization)});
+    }
+    ga.print();
+    bench::summaryLine("Fig-16a", "util(256)/util(128)", 0.5,
+                       util256 / util128);
+
+    // ---- (b) word size ----
+    bench::experimentHeader(
+        "Fig 16b",
+        "Vector-memory word size: SRAM area vs bandwidth idle ratio "
+        "(256 KB arrays, VGG16 inference)");
+    Table gb("Fig 16b: word size design space");
+    gb.setHeader({"word (elems)", "area (mm^2)", "rel. area",
+                  "port idle ratio"});
+    sram::SramAreaModel area;
+    const Bytes cap = 256 * 1024;
+    for (Index word : {1L, 2L, 4L, 8L, 16L, 32L}) {
+        tpusim::TpuConfig cfg = tpusim::TpuConfig::tpuV2();
+        cfg.wordElems = word;
+        const VggRun r = runVgg(cfg, batch);
+        gb.addRow({cell("%lld", (long long)word),
+                   cell("%.2f", area.areaMm2(cap, word)),
+                   cell("%.2fx", area.relativeArea(cap, word)),
+                   cell("%.0f%%", 100.0 * (1.0 - r.portUtil))});
+        if (word == 8) {
+            bench::summaryLine("Fig-16b", "word-8 port idle ratio",
+                               0.5, 1.0 - r.portUtil);
+            bench::summaryLine("Fig-16b", "area(1)/area(8)", 3.2,
+                               area.areaMm2(cap, 1) /
+                                   area.areaMm2(cap, 8));
+        }
+    }
+    gb.print();
+
+    // ---- (b, follow-on) the TPU-v3 move ----
+    bench::experimentHeader(
+        "Fig 16b follow-on",
+        "Spending the idle word-8 port bandwidth on a second systolic "
+        "array (the TPU-v3 design move the paper infers)");
+    Table gc("Second MXU speedup vs word size (VGG16, batch 8)");
+    gc.setHeader({"word (elems)", "1 MXU (ms)", "2 MXUs (ms)",
+                  "speedup"});
+    for (Index word : {1L, 2L, 8L}) {
+        tpusim::TpuConfig one = tpusim::TpuConfig::tpuV2();
+        one.wordElems = word;
+        tpusim::TpuConfig two = one;
+        two.mxus = 2;
+        const double t1 = runVgg(one, batch).tflops;
+        const double s1 =
+            static_cast<double>(models::vgg16(batch).totalFlops()) /
+            t1 / 1e9;
+        const double t2 = runVgg(two, batch).tflops;
+        const double s2 =
+            static_cast<double>(models::vgg16(batch).totalFlops()) /
+            t2 / 1e9;
+        gc.addRow({cell("%lld", (long long)word), cell("%.2f", s1),
+                   cell("%.2f", s2), cell("%.2fx", s1 / s2)});
+        if (word == 8)
+            bench::summaryLine("Fig-16b-followon",
+                               "2nd MXU speedup at word 8", 2.0,
+                               s1 / s2);
+    }
+    gc.print();
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fig 17 reproduction: end-to-end model execution time of our
+ * block-level channel-first implementation on the V100, normalized to
+ * the cuDNN (channel-last implicit, vendor-tuned) baseline at batch 8.
+ * Paper headline: ours is ~1% slower on average.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "gpusim/gpu_sim.h"
+#include "models/model_zoo.h"
+#include "oracle/gpu_oracle.h"
+
+using namespace cfconv;
+
+int
+main()
+{
+    const Index batch = 8;
+    gpusim::GpuSim sim((gpusim::GpuConfig::v100()));
+    oracle::GpuOracle cudnn;
+
+    bench::experimentHeader(
+        "Fig 17",
+        "Ours (implicit channel-first) vs cuDNN on V100, batch 8, "
+        "normalized execution time");
+    Table t("Fig 17: normalized execution time (cuDNN = 1.0)");
+    t.setHeader({"model", "cuDNN (ms)", "ours (ms)", "normalized"});
+
+    gpusim::GpuRunOptions ours;
+    ours.algorithm = gpusim::GpuAlgorithm::ImplicitChannelFirst;
+    ours.interTileReuse = true;
+
+    std::vector<double> ratios;
+    for (const auto &model : models::allModels(batch)) {
+        double ours_s = 0.0, cudnn_s = 0.0;
+        for (const auto &layer : model.layers) {
+            const double n = static_cast<double>(layer.count);
+            ours_s += n * sim.runConv(layer.params, ours).seconds;
+            cudnn_s += n * cudnn.convSeconds(layer.params);
+        }
+        const double ratio = ours_s / cudnn_s;
+        ratios.push_back(ratio);
+        t.addRow({model.name, cell("%.3f", cudnn_s * 1e3),
+                  cell("%.3f", ours_s * 1e3), cell("%.3f", ratio)});
+    }
+    t.print();
+
+    double avg = 0.0;
+    for (double r : ratios)
+        avg += r;
+    avg /= static_cast<double>(ratios.size());
+    bench::summaryLine("Fig-17", "ours/cuDNN (avg, paper ~1.01)", 1.01,
+                       avg);
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the functional kernels: reference
+ * GEMM, explicit im2col lowering, the virtual lowered view, and the
+ * implicit channel-first engine. These time the host-side reference
+ * implementations (not the simulators).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "im2col/implicit_conv.h"
+#include "im2col/lowered_view.h"
+#include "tensor/conv_ref.h"
+#include "tensor/gemm.h"
+#include "tensor/im2col_explicit.h"
+
+using namespace cfconv;
+using tensor::makeConv;
+
+namespace {
+
+void
+BM_ReferenceGemm(benchmark::State &state)
+{
+    const Index dim = state.range(0);
+    tensor::Matrix a(dim, dim), b(dim, dim), c(dim, dim);
+    a.fillRandom(1);
+    b.fillRandom(2);
+    for (auto _ : state) {
+        tensor::gemm(a, b, c);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * dim * dim * dim);
+}
+BENCHMARK(BM_ReferenceGemm)->Arg(64)->Arg(128);
+
+void
+BM_ExplicitLowering(benchmark::State &state)
+{
+    const auto p = makeConv(1, 32, state.range(0), 32, 3, 1, 1);
+    tensor::Tensor input = tensor::makeInput(p);
+    input.fillRandom(3);
+    for (auto _ : state) {
+        auto lowered = tensor::im2colLower(
+            p, input, tensor::ColumnOrder::ChannelFirst);
+        benchmark::DoNotOptimize(lowered.data());
+    }
+    state.SetItemsProcessed(state.iterations() * p.loweredElems());
+}
+BENCHMARK(BM_ExplicitLowering)->Arg(28)->Arg(56);
+
+void
+BM_LoweredViewAccess(benchmark::State &state)
+{
+    const auto p = makeConv(1, 32, 28, 32, 3, 1, 1);
+    tensor::Tensor input = tensor::makeInput(p);
+    input.fillRandom(4);
+    const im2col::LoweredView view(p,
+                                   tensor::ColumnOrder::ChannelFirst);
+    Index m = 0, k = 0;
+    for (auto _ : state) {
+        float v = view.valueAt(input, m, k);
+        benchmark::DoNotOptimize(v);
+        k = (k + 7) % p.gemmK();
+        m = (m + 13) % p.gemmM();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LoweredViewAccess);
+
+void
+BM_ImplicitConv(benchmark::State &state)
+{
+    const auto p = makeConv(1, 16, state.range(0), 16, 3, 1, 1);
+    tensor::Tensor input = tensor::makeInput(p);
+    tensor::Tensor filter = tensor::makeFilter(p);
+    input.fillRandom(5);
+    filter.fillRandom(6);
+    im2col::ImplicitConvOptions options;
+    options.tilesPerGroup = im2col::tpuMultiTileParam(128, p);
+    for (auto _ : state) {
+        auto out = im2col::convImplicit(p, input, filter, options);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * p.flops());
+}
+BENCHMARK(BM_ImplicitConv)->Arg(14)->Arg(28);
+
+void
+BM_DirectConv(benchmark::State &state)
+{
+    const auto p = makeConv(1, 16, state.range(0), 16, 3, 1, 1);
+    tensor::Tensor input = tensor::makeInput(p);
+    tensor::Tensor filter = tensor::makeFilter(p);
+    input.fillRandom(7);
+    filter.fillRandom(8);
+    for (auto _ : state) {
+        auto out = tensor::convDirect(p, input, filter);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * p.flops());
+}
+BENCHMARK(BM_DirectConv)->Arg(14)->Arg(28);
+
+} // namespace
+
+BENCHMARK_MAIN();

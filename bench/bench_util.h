@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction benchmark binaries. Each
+ * binary regenerates one table or figure of the paper and prints the
+ * series in a uniform tabular format, alongside the paper's headline
+ * numbers for comparison (recorded in EXPERIMENTS.md).
+ */
+
+#ifndef CFCONV_BENCH_BENCH_UTIL_H
+#define CFCONV_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+
+#include "common/table.h"
+
+namespace cfconv::bench {
+
+/** Print the standard header for one reproduced experiment. */
+inline void
+experimentHeader(const char *experiment_id, const char *description)
+{
+    std::printf("\n################################################\n");
+    std::printf("# %s\n", experiment_id);
+    std::printf("# %s\n", description);
+    std::printf("################################################\n");
+}
+
+/** Print a one-line paper-vs-measured summary for EXPERIMENTS.md. */
+inline void
+summaryLine(const char *experiment_id, const char *metric, double paper,
+            double measured)
+{
+    std::printf("SUMMARY %s | %s | paper=%.4g | measured=%.4g\n",
+                experiment_id, metric, paper, measured);
+}
+
+} // namespace cfconv::bench
+
+#endif // CFCONV_BENCH_BENCH_UTIL_H

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * TPU design-space explorer: vary the systolic array size, vector-
+ * memory word size, and HBM bandwidth from the command line and see
+ * how a chosen model responds — the workflow behind Fig 16.
+ *
+ * Usage: design_explorer [array=128] [word=8] [gbps=700]
+ *                        [model=vgg16] [config=configs/tpu_v2.cfg]
+ *
+ * A config file (see configs/) is applied first; command-line keys
+ * override it.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/logging.h"
+#include "common/table.h"
+#include "models/model_zoo.h"
+#include "tpusim/tpu_sim.h"
+
+using namespace cfconv;
+
+namespace {
+
+models::ModelSpec
+pickModel(const std::string &name, Index batch)
+{
+    auto zoo = models::allModels(batch);
+    zoo.push_back(models::mobilenetv1(batch));
+    for (auto &m : zoo) {
+        std::string lower = m.name;
+        for (auto &c : lower)
+            c = static_cast<char>(std::tolower(c));
+        if (lower == name)
+            return m;
+    }
+    fatal("unknown model '%s' (try alexnet, vgg16, resnet, ...)",
+          name.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    tpusim::TpuConfig cfg = tpusim::TpuConfig::tpuV2();
+    Index array = 0, word = 0;
+    double gbps = 0.0;
+    std::string model_name = "vgg16";
+    for (int i = 1; i < argc; ++i) {
+        if (std::sscanf(argv[i], "array=%lld", (long long *)&array) == 1)
+            continue;
+        if (std::sscanf(argv[i], "word=%lld", (long long *)&word) == 1)
+            continue;
+        if (std::sscanf(argv[i], "gbps=%lf", &gbps) == 1)
+            continue;
+        if (std::strncmp(argv[i], "model=", 6) == 0) {
+            model_name = argv[i] + 6;
+            continue;
+        }
+        if (std::strncmp(argv[i], "config=", 7) == 0) {
+            cfg = tpusim::tpuConfigFrom(Config::fromFile(argv[i] + 7),
+                                        cfg);
+            continue;
+        }
+        std::fprintf(stderr,
+                     "usage: %s [array=N] [word=N] [gbps=X] [model=M] "
+                     "[config=FILE]\n",
+                     argv[0]);
+        return 1;
+    }
+
+    // Command-line keys override the config file.
+    if (array > 0) {
+        cfg.array.rows = cfg.array.cols = array;
+        cfg.vectorMemories = array;
+    }
+    if (word > 0)
+        cfg.wordElems = word;
+    if (gbps > 0.0)
+        cfg.dram.clockGhz *= gbps / cfg.dram.peakGBps();
+
+    const models::ModelSpec model = pickModel(model_name, 8);
+    tpusim::TpuSim sim(cfg);
+    const tpusim::TpuModelResult r = sim.runModel(model);
+
+    std::printf("Configuration: %lldx%lld array, word %lld, "
+                "%.0f GB/s, peak %.1f TFLOPS\n",
+                (long long)cfg.array.rows, (long long)cfg.array.cols,
+                (long long)cfg.wordElems, cfg.dram.peakGBps(),
+                cfg.peakTflops());
+    std::printf("%s (batch 8): %.3f ms, %.1f effective TFLOPS "
+                "(%.0f%% of peak)\n",
+                model.name.c_str(), r.seconds * 1e3, r.tflops,
+                100.0 * r.tflops / cfg.peakTflops());
+
+    Table table("Slowest five distinct layers");
+    table.setHeader({"geometry", "us", "TFLOPS", "util"});
+    // Find the five largest per-layer times.
+    std::vector<std::pair<double, size_t>> order;
+    for (size_t i = 0; i < r.layers.size(); ++i)
+        order.push_back({r.layers[i].seconds, i});
+    std::sort(order.rbegin(), order.rend());
+    for (size_t i = 0; i < order.size() && i < 5; ++i) {
+        const auto &lr = r.layers[order[i].second];
+        table.addRow({model.layers[order[i].second].params.toString(),
+                      cell("%.1f", lr.seconds * 1e6),
+                      cell("%.1f", lr.tflops),
+                      cell("%.0f%%", 100.0 * lr.arrayUtilization)});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Model report generator: per-layer CSV for every network in the zoo
+ * (the paper's seven plus MobileNetV1) on both simulators — the raw
+ * data behind the end-to-end figures, in a form downstream analysis
+ * (spreadsheets, plotting scripts) can consume directly.
+ *
+ * Usage: report_models [batch]   (CSV on stdout)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "gpusim/gpu_sim.h"
+#include "models/model_zoo.h"
+#include "tpusim/energy.h"
+#include "tpusim/tpu_sim.h"
+
+using namespace cfconv;
+
+int
+main(int argc, char **argv)
+{
+    const Index batch =
+        argc > 1 ? std::strtoll(argv[1], nullptr, 10) : 8;
+    tpusim::TpuSim tpu((tpusim::TpuConfig::tpuV2()));
+    gpusim::GpuSim gpu((gpusim::GpuConfig::v100()));
+
+    std::printf("model,layer,count,groups,geometry,M,K,N,gflops,"
+                "tpu_us,tpu_tflops,tpu_util,tpu_multitile,"
+                "tpu_dram_mb,tpu_pj_per_mac,"
+                "gpu_us,gpu_tflops,gpu_bound\n");
+
+    auto zoo = models::allModels(batch);
+    zoo.push_back(models::mobilenetv1(batch));
+    for (const auto &model : zoo) {
+        for (const auto &layer : model.layers) {
+            const auto &p = layer.params;
+            const auto tr =
+                tpu.runGroupedConv(p, layer.groups);
+            const auto te = tpusim::layerEnergy(tpu.config(), tr);
+            const auto gr = gpu.runConv(layer.sliceParams());
+            const double gpu_us =
+                gr.seconds * 1e6 * static_cast<double>(layer.groups);
+            std::printf(
+                "%s,%s,%lld,%lld,%s,%lld,%lld,%lld,%.4f,"
+                "%.3f,%.3f,%.4f,%lld,%.3f,%.3f,%.3f,%.3f,%s\n",
+                model.name.c_str(), layer.name.c_str(),
+                (long long)layer.count, (long long)layer.groups,
+                p.toString().c_str(), (long long)p.gemmM(),
+                (long long)p.gemmK(), (long long)p.gemmN(),
+                static_cast<double>(layer.flops()) / 1e9,
+                tr.seconds * 1e6, tr.tflops, tr.arrayUtilization,
+                (long long)tr.multiTile,
+                static_cast<double>(tr.dramBytes) / 1e6, te.pjPerMac,
+                gpu_us,
+                static_cast<double>(layer.flops()) /
+                    (gpu_us * 1e-6) / 1e12,
+                gr.memoryBound ? "memory" : "compute");
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Build everything, run the full test suite, regenerate every table and
+# figure, and exercise the examples. This is the one-command gate used
+# before any release.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+echo "==== tests ===="
+ctest --test-dir build --output-on-failure
+
+echo "==== benches (paper tables/figures + ablations) ===="
+for b in build/bench/bench_*; do
+    [ -x "$b" ] || continue
+    echo "---- $b"
+    "$b"
+done
+
+echo "==== examples ===="
+build/examples/quickstart
+build/examples/training_step
+build/examples/full_inference
+build/examples/resnet_on_tpu >/dev/null && echo "resnet_on_tpu: ok"
+build/examples/strided_conv_gpu >/dev/null && echo "strided_conv_gpu: ok"
+build/examples/design_explorer config=configs/tpu_v2.cfg >/dev/null \
+    && echo "design_explorer: ok"
+build/examples/cfconv_cli n=8 ci=64 hw=56 co=128 k=3 s=2 p=1 >/dev/null \
+    && echo "cfconv_cli: ok"
+
+echo "ALL GREEN"

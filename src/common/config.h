@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Minimal key=value configuration files for the simulators: lets
+ * experiments live in checked-in .cfg files instead of recompiles.
+ * Syntax: one `key = value` per line, `#` comments, blank lines
+ * ignored. Unknown keys are detectable so configs fail loudly.
+ */
+
+#ifndef CFCONV_COMMON_CONFIG_H
+#define CFCONV_COMMON_CONFIG_H
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace cfconv {
+
+/** A parsed key=value configuration. */
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Parse from file contents; fatal on syntax errors. */
+    static Config fromString(const std::string &text);
+
+    /** Parse from a file on disk; fatal if unreadable. */
+    static Config fromFile(const std::string &path);
+
+    bool has(const std::string &key) const;
+
+    /** Typed getters: return @p fallback when the key is absent,
+     *  fatal when the value does not parse as the requested type. */
+    long long getInt(const std::string &key, long long fallback) const;
+    double getDouble(const std::string &key, double fallback) const;
+    bool getBool(const std::string &key, bool fallback) const;
+    std::string getString(const std::string &key,
+                          const std::string &fallback) const;
+
+    /**
+     * Keys present in the file but never read through a getter; call
+     * after configuration to catch typos (`arary = 256`).
+     */
+    std::set<std::string> unusedKeys() const;
+
+    size_t size() const { return values_.size(); }
+
+  private:
+    const std::string *find(const std::string &key) const;
+
+    std::map<std::string, std::string> values_;
+    mutable std::set<std::string> used_;
+};
+
+} // namespace cfconv
+
+#endif // CFCONV_COMMON_CONFIG_H

@@ -1,0 +1,41 @@
+#include "common/stats.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cfconv {
+
+double
+meanAbsPctError(const std::vector<double> &reference,
+                const std::vector<double> &measured)
+{
+    CFCONV_FATAL_IF(reference.size() != measured.size(),
+                    "meanAbsPctError: size mismatch (%zu vs %zu)",
+                    reference.size(), measured.size());
+    if (reference.empty())
+        return 0.0;
+    double total = 0.0;
+    for (size_t i = 0; i < reference.size(); ++i) {
+        CFCONV_FATAL_IF(reference[i] == 0.0,
+                        "meanAbsPctError: zero reference at index %zu", i);
+        total += std::abs(measured[i] - reference[i]) /
+                 std::abs(reference[i]);
+    }
+    return total / static_cast<double>(reference.size()) * 100.0;
+}
+
+double
+geoMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        CFCONV_FATAL_IF(v <= 0.0, "geoMean: non-positive value %f", v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace cfconv

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Lightweight statistics collection: named scalar counters and simple
+ * distributions, reported by simulators and the benchmark harnesses.
+ */
+
+#ifndef CFCONV_COMMON_STATS_H
+#define CFCONV_COMMON_STATS_H
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cfconv {
+
+/** A running scalar statistic supporting count/sum/min/max/mean. */
+class Scalar
+{
+  public:
+    void
+    sample(double v)
+    {
+        if (count_ == 0) {
+            min_ = max_ = v;
+        } else {
+            min_ = std::min(min_, v);
+            max_ = std::max(max_, v);
+        }
+        sum_ += v;
+        sumSq_ += v * v;
+        ++count_;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    double
+    mean() const
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
+
+    double
+    stddev() const
+    {
+        if (count_ < 2)
+            return 0.0;
+        double n = static_cast<double>(count_);
+        double var = (sumSq_ - sum_ * sum_ / n) / (n - 1.0);
+        return var > 0.0 ? std::sqrt(var) : 0.0;
+    }
+
+    void
+    reset()
+    {
+        count_ = 0;
+        sum_ = sumSq_ = min_ = max_ = 0.0;
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** A named collection of scalar stats owned by a simulator component. */
+class StatGroup
+{
+  public:
+    /** Add @p v to the counter named @p name, creating it if absent. */
+    void
+    add(const std::string &name, double v)
+    {
+        counters_[name] += v;
+    }
+
+    /** Record one sample into the distribution named @p name. */
+    void
+    sample(const std::string &name, double v)
+    {
+        scalars_[name].sample(v);
+    }
+
+    double
+    counter(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0.0 : it->second;
+    }
+
+    const Scalar &
+    scalar(const std::string &name)
+    {
+        return scalars_[name];
+    }
+
+    const std::map<std::string, double> &counters() const
+    {
+        return counters_;
+    }
+
+    void
+    reset()
+    {
+        counters_.clear();
+        scalars_.clear();
+    }
+
+  private:
+    std::map<std::string, double> counters_;
+    std::map<std::string, Scalar> scalars_;
+};
+
+/**
+ * Compute the mean absolute percentage error between two equally-sized
+ * series, as used by the paper's validation figures (Figs 13-15).
+ */
+double meanAbsPctError(const std::vector<double> &reference,
+                       const std::vector<double> &measured);
+
+/** Geometric mean of a positive series; returns 0 for an empty series. */
+double geoMean(const std::vector<double> &values);
+
+} // namespace cfconv
+
+#endif // CFCONV_COMMON_STATS_H

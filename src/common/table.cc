@@ -1,0 +1,87 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdarg>
+
+#include "common/logging.h"
+
+namespace cfconv {
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    CFCONV_FATAL_IF(!rows_.empty(),
+                    "Table::setHeader called after rows were added");
+    header_ = std::move(header);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    CFCONV_FATAL_IF(header_.empty(), "Table::addRow before setHeader");
+    CFCONV_FATAL_IF(row.size() != header_.size(),
+                    "Table row has %zu cells, header has %zu",
+                    row.size(), header_.size());
+    rows_.push_back(std::move(row));
+}
+
+void
+Table::print(std::FILE *out) const
+{
+    std::vector<size_t> widths(header_.size(), 0);
+    for (size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::fprintf(out, "\n== %s ==\n", title_.c_str());
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            std::fprintf(out, "%c %-*s", c == 0 ? '|' : '|',
+                         static_cast<int>(widths[c]), row[c].c_str());
+            std::fprintf(out, " ");
+        }
+        std::fprintf(out, "|\n");
+    };
+    print_row(header_);
+    size_t total = header_.size() * 3 + 1;
+    for (size_t w : widths)
+        total += w;
+    std::string rule(total, '-');
+    std::fprintf(out, "%s\n", rule.c_str());
+    for (const auto &row : rows_)
+        print_row(row);
+    std::fflush(out);
+}
+
+std::string
+Table::toCsv() const
+{
+    std::string out;
+    auto append_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                out += ',';
+            out += row[c];
+        }
+        out += '\n';
+    };
+    append_row(header_);
+    for (const auto &row : rows_)
+        append_row(row);
+    return out;
+}
+
+std::string
+cell(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string s = detail::vformat(fmt, args);
+    va_end(args);
+    return s;
+}
+
+} // namespace cfconv

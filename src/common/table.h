@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Plain-text table and CSV emission for the benchmark harnesses. Every
+ * reproduced paper table/figure is printed through this so output has a
+ * uniform, parseable shape.
+ */
+
+#ifndef CFCONV_COMMON_TABLE_H
+#define CFCONV_COMMON_TABLE_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace cfconv {
+
+/** A simple column-aligned text table with an optional title. */
+class Table
+{
+  public:
+    explicit Table(std::string title) : title_(std::move(title)) {}
+
+    /** Set the column headers; must be called before addRow(). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append one row; the cell count must match the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render the table to @p out (default stdout). */
+    void print(std::FILE *out = stdout) const;
+
+    /** Render the table as CSV (header row + data rows). */
+    std::string toCsv() const;
+
+    size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** printf-style helper producing a std::string cell. */
+std::string cell(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace cfconv
+
+#endif // CFCONV_COMMON_TABLE_H

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Fundamental scalar types and small helpers shared by all cfconv modules.
+ */
+
+#ifndef CFCONV_COMMON_TYPES_H
+#define CFCONV_COMMON_TYPES_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cfconv {
+
+/** Cycle count type used by all timing models. */
+using Cycles = std::uint64_t;
+
+/** Byte count type for memory sizing and traffic accounting. */
+using Bytes = std::uint64_t;
+
+/** Generic 64-bit index for tensor/matrix coordinates. */
+using Index = std::int64_t;
+
+/** Floating-point operation count (multiply and add counted separately). */
+using Flops = std::uint64_t;
+
+/** Supported element data types for the functional and timing paths. */
+enum class DataType {
+    Int8,
+    Fp16,
+    Bf16,
+    Fp32,
+};
+
+/** @return the storage size in bytes of one element of @p dt. */
+constexpr Bytes
+dataTypeSize(DataType dt)
+{
+    switch (dt) {
+      case DataType::Int8:
+        return 1;
+      case DataType::Fp16:
+      case DataType::Bf16:
+        return 2;
+      case DataType::Fp32:
+        return 4;
+    }
+    return 0;
+}
+
+/** @return a printable name for @p dt. */
+constexpr const char *
+dataTypeName(DataType dt)
+{
+    switch (dt) {
+      case DataType::Int8:
+        return "int8";
+      case DataType::Fp16:
+        return "fp16";
+      case DataType::Bf16:
+        return "bf16";
+      case DataType::Fp32:
+        return "fp32";
+    }
+    return "unknown";
+}
+
+/** Integer ceiling division for non-negative values. */
+template <typename T>
+constexpr T
+divCeil(T a, T b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round @p a up to the next multiple of @p b. */
+template <typename T>
+constexpr T
+roundUp(T a, T b)
+{
+    return divCeil(a, b) * b;
+}
+
+} // namespace cfconv
+
+#endif // CFCONV_COMMON_TYPES_H

@@ -1,0 +1,148 @@
+#include "dram/access_pattern.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cfconv::dram {
+
+namespace {
+
+/**
+ * Byte address of logical IFMap element (n, c, h, w) for @p layout.
+ * Dimension sizes come from @p params.
+ */
+Bytes
+elemAddr(const ConvParams &params, Layout layout, Index n, Index c,
+         Index h, Index w)
+{
+    const Index N = params.batch, C = params.inChannels;
+    const Index H = params.inH, W = params.inW;
+    Index linear = 0;
+    switch (layout) {
+      case Layout::NCHW:
+        linear = ((n * C + c) * H + h) * W + w;
+        break;
+      case Layout::NHWC:
+        linear = ((n * H + h) * W + w) * C + c;
+        break;
+      case Layout::HWCN:
+        linear = ((h * W + w) * C + c) * N + n;
+        break;
+      case Layout::CHWN:
+        linear = ((c * H + h) * W + w) * N + n;
+        break;
+    }
+    return static_cast<Bytes>(linear) * dataTypeSize(params.dataType);
+}
+
+/**
+ * Append [addr, addr+bytes) to @p stream, merging with the tail. Gaps
+ * smaller than a DRAM transaction (32 B) are fetched over rather than
+ * skipped, as a real memory controller would: this is exactly the
+ * bandwidth waste a strided CHW gather pays.
+ */
+void
+appendCoalesced(std::vector<Request> &stream, Bytes addr, Bytes bytes)
+{
+    constexpr Bytes transaction = 32;
+    if (!stream.empty()) {
+        Request &tail = stream.back();
+        const Bytes tail_end = tail.addr + tail.bytes;
+        if (addr >= tail.addr && addr <= tail_end + transaction) {
+            tail.bytes = std::max(tail_end, addr + bytes) - tail.addr;
+            return;
+        }
+    }
+    stream.push_back({addr, bytes});
+}
+
+} // namespace
+
+std::vector<Request>
+tileFillStream(const ConvParams &params, const FilterTile &tile,
+               Layout layout)
+{
+    const im2col::TileFootprint fp = im2col::tileFootprint(params, tile);
+    const Bytes elem = dataTypeSize(params.dataType);
+    std::vector<Request> stream;
+
+    // Iterate the footprint in the layout's own storage order so
+    // contiguous runs coalesce into long bursts.
+    switch (layout) {
+      case Layout::HWCN:
+        // (h, w) positions; each position holds C*N contiguous bytes.
+        for (Index h = fp.ihBegin; h < fp.ihEnd; h += fp.ihStep)
+            for (Index w = fp.iwBegin; w < fp.iwEnd; w += fp.iwStep)
+                appendCoalesced(stream, elemAddr(params, layout, 0, 0, h, w),
+                                elem * static_cast<Bytes>(
+                                    params.inChannels * params.batch));
+        break;
+      case Layout::NHWC:
+        for (Index n = 0; n < params.batch; ++n)
+            for (Index h = fp.ihBegin; h < fp.ihEnd; h += fp.ihStep)
+                for (Index w = fp.iwBegin; w < fp.iwEnd; w += fp.iwStep)
+                    appendCoalesced(
+                        stream, elemAddr(params, layout, n, 0, h, w),
+                        elem * static_cast<Bytes>(params.inChannels));
+        break;
+      case Layout::NCHW:
+        for (Index n = 0; n < params.batch; ++n)
+            for (Index c = 0; c < params.inChannels; ++c)
+                for (Index h = fp.ihBegin; h < fp.ihEnd; h += fp.ihStep)
+                    for (Index w = fp.iwBegin; w < fp.iwEnd;
+                         w += fp.iwStep)
+                        appendCoalesced(
+                            stream, elemAddr(params, layout, n, c, h, w),
+                            elem);
+        break;
+      case Layout::CHWN:
+        for (Index c = 0; c < params.inChannels; ++c)
+            for (Index h = fp.ihBegin; h < fp.ihEnd; h += fp.ihStep)
+                for (Index w = fp.iwBegin; w < fp.iwEnd; w += fp.iwStep)
+                    appendCoalesced(
+                        stream, elemAddr(params, layout, 0, c, h, w),
+                        elem * static_cast<Bytes>(params.batch));
+        break;
+    }
+    return stream;
+}
+
+std::vector<Request>
+fullInputStream(const ConvParams &params, Layout layout)
+{
+    const Bytes elem = dataTypeSize(params.dataType);
+    std::vector<Request> stream;
+    // The whole IFMap is contiguous in every layout; what differs is how
+    // the stream interleaves with compute. Model it as row-sized bursts
+    // in storage order.
+    const Bytes total = params.inputBytes();
+    Bytes row = 0;
+    switch (layout) {
+      case Layout::HWCN:
+        row = elem * static_cast<Bytes>(params.inW * params.inChannels *
+                                        params.batch);
+        break;
+      case Layout::NHWC:
+        row = elem * static_cast<Bytes>(params.inW * params.inChannels);
+        break;
+      case Layout::NCHW:
+      case Layout::CHWN:
+        row = elem * static_cast<Bytes>(params.inW);
+        break;
+    }
+    for (Bytes addr = 0; addr < total; addr += row)
+        stream.push_back({addr, std::min(row, total - addr)});
+    return stream;
+}
+
+Bytes
+streamBytes(const std::vector<Request> &stream)
+{
+    Bytes total = 0;
+    for (const auto &r : stream)
+        total += r.bytes;
+    return total;
+}
+
+} // namespace cfconv::dram

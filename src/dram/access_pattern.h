@@ -1,0 +1,47 @@
+/**
+ * @file
+ * DRAM access-stream builders: translate "fill the on-chip memory for
+ * this tile" into the burst sequence the memory controller sees, for each
+ * IFMap DRAM layout. Reproduces the CHW-vs-HWC contrast of Fig 7.
+ */
+
+#ifndef CFCONV_DRAM_ACCESS_PATTERN_H
+#define CFCONV_DRAM_ACCESS_PATTERN_H
+
+#include <vector>
+
+#include "dram/dram_model.h"
+#include "im2col/filter_decomp.h"
+#include "tensor/conv_params.h"
+#include "tensor/layout.h"
+
+namespace cfconv::dram {
+
+using im2col::FilterTile;
+using tensor::ConvParams;
+using tensor::Layout;
+
+/**
+ * Burst stream for loading the channel-first footprint of decomposed
+ * tile @p tile from an IFMap stored in @p layout, for batch size
+ * params.batch. Coalesces addresses that are contiguous in the layout.
+ */
+std::vector<Request> tileFillStream(const ConvParams &params,
+                                    const FilterTile &tile,
+                                    Layout layout);
+
+/**
+ * Burst stream for a channel-last style fill: the union of receptive
+ * fields of the whole output tile, i.e. (virtually) the entire IFMap
+ * region regardless of stride. This is what makes the channel-last
+ * design stride-sensitive.
+ */
+std::vector<Request> fullInputStream(const ConvParams &params,
+                                     Layout layout);
+
+/** Sum of request lengths in @p stream. */
+Bytes streamBytes(const std::vector<Request> &stream);
+
+} // namespace cfconv::dram
+
+#endif // CFCONV_DRAM_ACCESS_PATTERN_H

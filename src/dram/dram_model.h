@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Banked DRAM timing model (the DRAMSim3 stand-in). Models what the paper
+ * needs from off-chip memory: a bandwidth envelope plus row-buffer
+ * locality, so that HWC-layout tile fills (long contiguous bursts) beat
+ * CHW-layout fills (many short, scattered bursts) exactly as in Fig 7.
+ */
+
+#ifndef CFCONV_DRAM_DRAM_MODEL_H
+#define CFCONV_DRAM_DRAM_MODEL_H
+
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace cfconv::dram {
+
+/** Row-buffer management policy. */
+enum class PagePolicy {
+    Open,   ///< rows stay open; hits are cheap, conflicts pay
+            ///< precharge + activate
+    Closed, ///< auto-precharge after every access; every access pays
+            ///< activate but never precharge
+};
+
+/** Physical address -> (channel, bank, row) mapping. */
+enum class AddressMapping {
+    RowInterleaved, ///< consecutive rows rotate across banks (streams
+                    ///< get bank parallelism)
+    BankContiguous, ///< each bank owns a contiguous address region
+};
+
+/** One read/write burst request. */
+struct Request
+{
+    Bytes addr = 0;  ///< byte address
+    Bytes bytes = 0; ///< transfer length
+};
+
+/** DRAM device/channel configuration. */
+struct DramConfig
+{
+    Index channels = 4;        ///< independent channels
+    Index banksPerChannel = 16;
+    Bytes rowBytes = 2048;     ///< row-buffer size per bank
+    Bytes busBytesPerCycle = 32; ///< per-channel data-bus width
+    Cycles tPrecharge = 16;    ///< close an open row
+    Cycles tActivate = 14;     ///< open a row
+    Cycles tCas = 14;          ///< column access latency (first beat)
+    double clockGhz = 1.37;    ///< DRAM command clock
+    PagePolicy pagePolicy = PagePolicy::Open;
+    AddressMapping mapping = AddressMapping::RowInterleaved;
+
+    /** Worst-case row-switch penalty (precharge + activate). */
+    Cycles rowMissPenalty() const { return tPrecharge + tActivate; }
+
+    /** Peak bandwidth in GB/s across all channels. */
+    double
+    peakGBps() const
+    {
+        return static_cast<double>(channels) *
+               static_cast<double>(busBytesPerCycle) * clockGhz;
+    }
+
+    /** An HBM2-like stack roughly matching TPU-v2's 700 GB/s (Tbl II). */
+    static DramConfig hbm700();
+
+    /** An HBM2 stack roughly matching V100's 900 GB/s. */
+    static DramConfig hbm900();
+};
+
+/**
+ * Sequential-issue banked DRAM model. Requests are serviced in order;
+ * row misses stall only their bank, data transfers serialize on the
+ * channel bus, and distinct channels proceed independently.
+ */
+class DramModel
+{
+  public:
+    explicit DramModel(const DramConfig &config);
+
+    /** Service @p requests starting at cycle 0; @return finish cycle. */
+    Cycles service(const std::vector<Request> &requests);
+
+    /** Convert DRAM cycles to seconds. */
+    double
+    cyclesToSeconds(Cycles cycles) const
+    {
+        return static_cast<double>(cycles) / (config_.clockGhz * 1e9);
+    }
+
+    /**
+     * Effective bandwidth of the last service() call in GB/s (bytes
+     * moved over wall-clock cycles).
+     */
+    double lastEffectiveGBps() const { return lastGBps_; }
+
+    /** Fraction of requests that hit an open row in the last call. */
+    double lastRowHitRate() const { return lastRowHitRate_; }
+
+    const DramConfig &config() const { return config_; }
+
+  private:
+    struct BankState
+    {
+        Index openRow = -1;
+        Cycles ready = 0;
+    };
+
+    DramConfig config_;
+    double lastGBps_ = 0.0;
+    double lastRowHitRate_ = 0.0;
+};
+
+/**
+ * Closed-form fill latency in *accelerator-core* cycles for moving
+ * @p bytes with a given efficiency: used by the tile-level schedulers
+ * where running the full banked model per tile would be wasteful. The
+ * efficiency factor comes from calibrating against DramModel on the
+ * matching access pattern.
+ */
+Cycles transferCycles(Bytes bytes, double gbps, double core_ghz,
+                      double efficiency);
+
+} // namespace cfconv::dram
+
+#endif // CFCONV_DRAM_DRAM_MODEL_H

@@ -1,0 +1,128 @@
+#include "gpusim/block_kernel.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+#include "im2col/filter_decomp.h"
+#include "tensor/im2col_explicit.h"
+
+namespace cfconv::gpusim {
+
+Tensor
+convBlockChannelFirst(const ConvParams &params, const Tensor &input,
+                      const Tensor &filter,
+                      const BlockKernelConfig &config,
+                      BlockKernelStats *stats)
+{
+    params.validate();
+    CFCONV_FATAL_IF(config.tileM < 1 || config.tileN < 1 ||
+                    config.chunkK < 1,
+                    "block kernel: non-positive tile configuration");
+
+    const Index m_total = params.gemmM();
+    const Index n_total = params.gemmN();
+    const auto sequence = im2col::orderTiles(params, config.order);
+
+    BlockKernelStats local;
+    Tensor out(params.batch, params.outChannels, params.outH(),
+               params.outW());
+    // The no-atomics proof: count writes per OFMap element; every
+    // element must be written exactly once across all thread blocks.
+    std::vector<Index> write_count(
+        static_cast<size_t>(m_total * n_total), 0);
+
+    for (Index m0 = 0; m0 < m_total; m0 += config.tileM) {
+        const Index m1 = std::min(m0 + config.tileM, m_total);
+        for (Index n0 = 0; n0 < n_total; n0 += config.tileN) {
+            const Index n1 = std::min(n0 + config.tileN, n_total);
+            ++local.threadBlocks;
+
+            // Per-TB accumulator (the register tile).
+            tensor::Matrix acc(m1 - m0, n1 - n0);
+            acc.fill(0.0f);
+
+            for (const auto &tile : sequence) {
+                for (Index k0 = 0; k0 < params.inChannels;
+                     k0 += config.chunkK) {
+                    const Index k1 = std::min(k0 + config.chunkK,
+                                              params.inChannels);
+
+                    // Stage the A and B chunks "into shared memory".
+                    const Bytes staged =
+                        static_cast<Bytes>((m1 - m0) * (k1 - k0) +
+                                           (k1 - k0) * (n1 - n0)) *
+                        config.elemBytes;
+                    CFCONV_FATAL_IF(staged > config.sharedMemBytes,
+                                    "block kernel: staging %llu B "
+                                    "exceeds shared memory %llu B",
+                                    (unsigned long long)staged,
+                                    (unsigned long long)
+                                        config.sharedMemBytes);
+                    ++local.stagingSteps;
+                    local.peakStagingBytes =
+                        std::max(local.peakStagingBytes, staged);
+
+                    std::vector<float> a_smem(
+                        static_cast<size_t>((m1 - m0) * (k1 - k0)));
+                    for (Index m = m0; m < m1; ++m) {
+                        const tensor::RowCoord rc =
+                            tensor::rowCoord(params, m);
+                        const Index ih = rc.oh * params.strideH -
+                                         params.padH +
+                                         tile.r * params.dilationH;
+                        const Index iw = rc.ow * params.strideW -
+                                         params.padW +
+                                         tile.s * params.dilationW;
+                        for (Index k = k0; k < k1; ++k)
+                            a_smem[static_cast<size_t>(
+                                (m - m0) * (k1 - k0) + (k - k0))] =
+                                input.atPadded(rc.n, k, ih, iw);
+                    }
+                    std::vector<float> b_smem(
+                        static_cast<size_t>((k1 - k0) * (n1 - n0)));
+                    for (Index k = k0; k < k1; ++k)
+                        for (Index n = n0; n < n1; ++n)
+                            b_smem[static_cast<size_t>(
+                                (k - k0) * (n1 - n0) + (n - n0))] =
+                                filter.at(n, k, tile.r, tile.s);
+
+                    // The tensor-core MMA over the staged chunks.
+                    for (Index m = 0; m < m1 - m0; ++m)
+                        for (Index k = 0; k < k1 - k0; ++k) {
+                            const float av = a_smem[static_cast<size_t>(
+                                m * (k1 - k0) + k)];
+                            if (av == 0.0f)
+                                continue;
+                            for (Index n = 0; n < n1 - n0; ++n)
+                                acc.at(m, n) +=
+                                    av * b_smem[static_cast<size_t>(
+                                             k * (n1 - n0) + n)];
+                        }
+                }
+            }
+
+            // Epilogue: each TB writes its own disjoint output tile.
+            for (Index m = m0; m < m1; ++m) {
+                const tensor::RowCoord rc = tensor::rowCoord(params, m);
+                for (Index n = n0; n < n1; ++n) {
+                    out.at(rc.n, n, rc.oh, rc.ow) =
+                        acc.at(m - m0, n - n0);
+                    ++write_count[static_cast<size_t>(m * n_total + n)];
+                    ++local.outputWrites;
+                }
+            }
+        }
+    }
+
+    for (size_t i = 0; i < write_count.size(); ++i)
+        CFCONV_ASSERT(write_count[i] == 1,
+                      "(an OFMap element was written != 1 times: the "
+                      "no-atomics property is broken)");
+
+    if (stats)
+        *stats = local;
+    return out;
+}
+
+} // namespace cfconv::gpusim

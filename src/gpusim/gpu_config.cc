@@ -1,0 +1,11 @@
+#include "gpusim/gpu_config.h"
+
+namespace cfconv::gpusim {
+
+GpuConfig
+GpuConfig::v100()
+{
+    return GpuConfig{};
+}
+
+} // namespace cfconv::gpusim

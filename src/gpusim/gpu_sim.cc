@@ -1,0 +1,320 @@
+#include "gpusim/gpu_sim.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "im2col/reorder.h"
+
+namespace cfconv::gpusim {
+
+namespace {
+
+/**
+ * Pick the thread-block tile for an (M, N) output. Starts from the
+ * throughput-optimal 128x128 tile and halves it while the grid would
+ * underfill the machine (what cuDNN's heuristics do for small layers).
+ */
+void
+chooseTile(Index m, Index n, Index occupancy_target, Index &tm,
+           Index &tn)
+{
+    tm = m >= 128 ? 128 : 64;
+    tn = n >= 128 ? 128 : 64;
+    auto tbs = [&] { return divCeil(m, tm) * divCeil(n, tn); };
+    while (tbs() < occupancy_target && (tm > 32 || tn > 32)) {
+        if (tm >= tn && tm > 32)
+            tm /= 2;
+        else if (tn > 32)
+            tn /= 2;
+        else
+            break;
+    }
+}
+
+} // namespace
+
+GpuSim::GpuSim(const GpuConfig &config) : config_(config)
+{
+    CFCONV_FATAL_IF(config.sms < 1 || config.tbPerSm < 1,
+                    "GpuSim: need at least one SM and one resident TB");
+}
+
+double
+GpuSim::gatherWaste(Bytes contiguous_run_bytes, Index stride) const
+{
+    if (stride <= 1 || contiguous_run_bytes >= config_.transactionBytes)
+        return 1.0;
+    const double per_run =
+        static_cast<double>(config_.transactionBytes) /
+        static_cast<double>(contiguous_run_bytes);
+    return std::min(static_cast<double>(stride), per_run);
+}
+
+GpuKernelResult
+GpuSim::runPipeline(Index m, Index n, const std::vector<Step> &steps,
+                    Flops useful_flops, double compute_eff,
+                    double overhead_sec) const
+{
+    CFCONV_FATAL_IF(steps.empty(), "GpuSim: empty pipeline");
+    Index tm, tn;
+    chooseTile(m, n, config_.sms * config_.tbPerSm, tm, tn);
+    const Index num_tbs = divCeil(m, tm) * divCeil(n, tn);
+    const Index concurrent =
+        std::min(num_tbs, config_.sms * config_.tbPerSm);
+    // Continuous throughput model: a ragged tail wave contributes its
+    // fraction rather than a whole extra wave.
+    const double waves = std::max(
+        1.0, static_cast<double>(num_tbs) /
+                 static_cast<double>(config_.sms * config_.tbPerSm));
+
+    const double per_tb_macs =
+        static_cast<double>(config_.macsPerSmPerCycle) /
+        static_cast<double>(config_.tbPerSm) * compute_eff;
+    const double per_tb_fill_bpc =
+        config_.l2GBps * 1e9 * config_.l2Util /
+        (static_cast<double>(concurrent) * config_.clockGhz * 1e9);
+
+    double tb_cycles = 0.0;
+    double compute_cycles = 0.0;
+    double fill_cycles = 0.0;
+    Bytes tb_bytes = 0;
+    for (const auto &s : steps) {
+        const double c = static_cast<double>(s.macs) / per_tb_macs;
+        const double f =
+            static_cast<double>(s.fillBytes) / per_tb_fill_bpc;
+        tb_cycles += std::max(c, f);
+        compute_cycles += c;
+        fill_cycles += f;
+        tb_bytes += s.fillBytes;
+    }
+
+    GpuKernelResult r;
+    const double kernel_secs =
+        waves * tb_cycles / (config_.clockGhz * 1e9);
+    r.computeSeconds =
+        waves * compute_cycles / (config_.clockGhz * 1e9);
+    r.memorySeconds =
+        waves * fill_cycles / (config_.clockGhz * 1e9);
+    r.memoryBound = fill_cycles > compute_cycles;
+    r.seconds = kernel_secs + overhead_sec;
+    r.dramBytes = tb_bytes * static_cast<Bytes>(num_tbs);
+    r.tflops = static_cast<double>(useful_flops) / r.seconds / 1e12;
+    return r;
+}
+
+GpuKernelResult
+GpuSim::runGemm(Index m, Index k, Index n, bool vendor_tuned,
+                bool operands_in_dram) const
+{
+    CFCONV_FATAL_IF(m < 1 || k < 1 || n < 1,
+                    "GpuSim::runGemm: non-positive dimensions");
+    Index tm, tn;
+    chooseTile(m, n, config_.sms * config_.tbPerSm, tm, tn);
+    const Bytes elem = 2; // FP16 operands
+    const Index kc = 64;
+    std::vector<Step> steps;
+    for (Index k0 = 0; k0 < k; k0 += kc) {
+        const Index kc_eff = std::min(kc, k - k0);
+        Step s;
+        s.macs = static_cast<Flops>(tm) * static_cast<Flops>(tn) *
+                 static_cast<Flops>(kc_eff);
+        s.fillBytes =
+            static_cast<Bytes>((tm + tn) * kc_eff) * elem;
+        steps.push_back(s);
+    }
+    // Epilogue: write the output tile.
+    steps.push_back({0, static_cast<Bytes>(tm * tn) * elem});
+
+    const Flops flops = 2ULL * static_cast<Flops>(m) *
+                        static_cast<Flops>(k) * static_cast<Flops>(n);
+    const double overhead = vendor_tuned
+        ? config_.cudnnKernelOverheadSec
+        : config_.kernelOverheadSec;
+    GpuKernelResult r =
+        runPipeline(m, n, steps, flops,
+                    vendor_tuned ? config_.cudnnComputeEff
+                                 : config_.computeEff,
+                    overhead);
+
+    // Global DRAM roofline: unique operand + result bytes. Skipped for
+    // the idealized reference GEMM whose operands are assumed resident.
+    const Bytes unique =
+        (static_cast<Bytes>(m) * static_cast<Bytes>(k) +
+         static_cast<Bytes>(k) * static_cast<Bytes>(n) +
+         static_cast<Bytes>(m) * static_cast<Bytes>(n)) *
+        elem;
+    if (operands_in_dram) {
+        const double dram_secs = static_cast<double>(unique) /
+                                 (config_.dram.peakGBps() * 1e9 *
+                                  config_.bwUtil);
+        if (dram_secs + overhead > r.seconds) {
+            r.seconds = dram_secs + overhead;
+            r.memoryBound = true;
+            r.tflops = static_cast<double>(flops) / r.seconds / 1e12;
+        }
+    }
+    r.dramBytes = unique;
+    return r;
+}
+
+GpuKernelResult
+GpuSim::runConv(const ConvParams &params,
+                const GpuRunOptions &options) const
+{
+    params.validate();
+    const Index m = params.gemmM();
+    const Index n = params.gemmN();
+    const Bytes elem = dataTypeSize(params.dataType);
+    Index tm, tn;
+    chooseTile(m, n, config_.sms * config_.tbPerSm, tm, tn);
+    const Index kc = 64;
+    const double eff = options.vendorTuned ? config_.cudnnComputeEff
+                                           : config_.computeEff;
+
+    if (options.algorithm == GpuAlgorithm::GemmOnly)
+        return runGemm(m, params.gemmK(), n, options.vendorTuned,
+                       /*operands_in_dram=*/false);
+
+    if (options.algorithm == GpuAlgorithm::ExplicitIm2col) {
+        GpuKernelResult gemm =
+            runGemm(m, params.gemmK(), n, options.vendorTuned);
+        const double transform = explicitTransformSeconds(params);
+        gemm.transformSeconds = transform;
+        gemm.seconds += transform;
+        gemm.tflops =
+            static_cast<double>(params.flops()) / gemm.seconds / 1e12;
+        gemm.dramBytes += params.inputBytes() + 2 * params.loweredBytes();
+        return gemm;
+    }
+
+    std::vector<Step> steps;
+    Bytes unique_input = 0;
+
+    if (options.algorithm == GpuAlgorithm::ImplicitChannelFirst) {
+        // Block-level channel-first kernel (Fig 12): each TB walks the
+        // decomposed tiles in the chosen order, C_I depth per tile.
+        const auto sequence = im2col::orderTiles(
+            params, options.interTileReuse
+                        ? im2col::TileOrder::ReuseGreedy
+                        : im2col::TileOrder::Naive);
+        // NHWC gathers are contiguous over C_I; waste appears only for
+        // shallow inputs. With inter-tile reuse and stride <= kernel,
+        // whole pixel rows are useful across the tile sequence, so the
+        // transaction waste is amortized away even for C_I = 3.
+        const bool rows_fully_useful =
+            options.interTileReuse &&
+            params.strideW <= params.kernelW &&
+            params.strideH <= params.kernelH;
+        const double waste = rows_fully_useful
+            ? 1.0
+            : gatherWaste(static_cast<Bytes>(params.inChannels) * elem,
+                          std::max(params.strideH, params.strideW));
+        // Shared-memory fills are paid per k-step regardless of reuse;
+        // what inter-tile reuse changes is which of those fills hit L2
+        // instead of DRAM (the unique-traffic roofline below).
+        for (size_t i = 0; i < sequence.size(); ++i) {
+            for (Index k0 = 0; k0 < params.inChannels; k0 += kc) {
+                const Index kc_eff =
+                    std::min(kc, params.inChannels - k0);
+                Step s;
+                s.macs = static_cast<Flops>(tm) * static_cast<Flops>(tn) *
+                         static_cast<Flops>(kc_eff);
+                const double a_bytes = static_cast<double>(tm * kc_eff) *
+                                       static_cast<double>(elem) * waste;
+                s.fillBytes = static_cast<Bytes>(a_bytes) +
+                              static_cast<Bytes>(kc_eff * tn) * elem;
+                steps.push_back(s);
+            }
+        }
+        unique_input = static_cast<Bytes>(im2col::sequenceFillElems(
+                           params, sequence)) *
+                       elem;
+    } else {
+        // cuDNN-like implicit channel-last kernel: the K loop spans
+        // H_F*W_F*C_I; strided layers gather scattered rows, paying a
+        // stride-proportional transaction waste, and the fill volume
+        // does not shrink with stride (Fig 3).
+        const Index k_total = params.gemmK();
+        const double lin_stride = static_cast<double>(
+            std::max(params.strideH, params.strideW));
+        // Capped at 2x: past that, the vendor kernel's specialized
+        // gathers (e.g. first-layer kernels) stop the bleeding.
+        const double waste =
+            lin_stride > 1.0
+                ? std::clamp(config_.clStrideWasteCoeff * lin_stride,
+                             1.0, 2.0)
+                : 1.0;
+        for (Index k0 = 0; k0 < k_total; k0 += kc) {
+            const Index kc_eff = std::min(kc, k_total - k0);
+            Step s;
+            s.macs = static_cast<Flops>(tm) * static_cast<Flops>(tn) *
+                     static_cast<Flops>(kc_eff);
+            const double a_bytes = static_cast<double>(tm * kc_eff) *
+                                   static_cast<double>(elem) * waste;
+            s.fillBytes = static_cast<Bytes>(a_bytes) +
+                          static_cast<Bytes>(kc_eff * tn) * elem;
+            steps.push_back(s);
+        }
+        unique_input = static_cast<Bytes>(
+            static_cast<double>(im2col::inputUnionBytes(params)) *
+            waste);
+    }
+
+    // Epilogue: output tile writeback.
+    steps.push_back({0, static_cast<Bytes>(tm * tn) * elem});
+
+    const double overhead = options.vendorTuned
+        ? config_.cudnnKernelOverheadSec
+        : config_.kernelOverheadSec;
+    GpuKernelResult r =
+        runPipeline(m, n, steps, params.flops(), eff, overhead);
+
+    // Global DRAM roofline over unique traffic.
+    const Bytes unique = unique_input + params.filterBytes() +
+                         params.outputBytes();
+    const double dram_secs =
+        static_cast<double>(unique) /
+        (config_.dram.peakGBps() * 1e9 * config_.bwUtil);
+    if (dram_secs + overhead > r.seconds) {
+        r.seconds = dram_secs + overhead;
+        r.memoryBound = true;
+        r.tflops =
+            static_cast<double>(params.flops()) / r.seconds / 1e12;
+    }
+    r.dramBytes = unique;
+    return r;
+}
+
+double
+GpuSim::explicitTransformSeconds(const ConvParams &params) const
+{
+    // The im2col kernel reads the IFMap and writes the lowered matrix.
+    // It streams through L2 (transformGBps), since the matrix is
+    // produced tile-by-tile rather than bounced entirely off DRAM.
+    const Bytes bytes = params.inputBytes() + params.loweredBytes();
+    return static_cast<double>(bytes) / (config_.transformGBps * 1e9) +
+           config_.kernelOverheadSec;
+}
+
+GpuModelResult
+GpuSim::runModel(const models::ModelSpec &model,
+                 const GpuRunOptions &options) const
+{
+    GpuModelResult result;
+    result.model = model.name;
+    Flops flops = 0;
+    for (const auto &layer : model.layers) {
+        // Grouped layers: one kernel per group slice (real stacks fuse
+        // these, but the slice count dominates the estimate).
+        GpuKernelResult lr = runConv(layer.sliceParams(), options);
+        lr.seconds *= static_cast<double>(layer.groups);
+        lr.dramBytes *= static_cast<Bytes>(layer.groups);
+        result.seconds += lr.seconds * static_cast<double>(layer.count);
+        flops += layer.flops() * static_cast<Flops>(layer.count);
+        result.layers.push_back(lr);
+    }
+    result.tflops = static_cast<double>(flops) / result.seconds / 1e12;
+    return result;
+}
+
+} // namespace cfconv::gpusim

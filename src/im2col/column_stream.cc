@@ -1,0 +1,70 @@
+#include "im2col/column_stream.h"
+
+#include "common/logging.h"
+#include "tensor/im2col_explicit.h"
+
+namespace cfconv::im2col {
+
+ColumnStream::ColumnStream(const tensor::ConvParams &params)
+    : params_(params)
+{
+    params_.validate();
+}
+
+Index
+ColumnStream::length() const
+{
+    return params_.gemmM() * params_.kernelH * params_.kernelW;
+}
+
+ColumnRef
+ColumnStream::at(Index t) const
+{
+    CFCONV_FATAL_IF(t < 0 || t >= length(),
+                    "ColumnStream: cycle %lld out of range",
+                    static_cast<long long>(t));
+    const Index taps = params_.kernelH * params_.kernelW;
+    ColumnRef ref;
+    ref.m = t / taps;
+    const Index tap = t % taps;
+    ref.r = tap / params_.kernelW;
+    ref.s = tap % params_.kernelW;
+    const tensor::RowCoord rc = tensor::rowCoord(params_, ref.m);
+    ref.ih = rc.oh * params_.strideH - params_.padH +
+             ref.r * params_.dilationH;
+    ref.iw = rc.ow * params_.strideW - params_.padW +
+             ref.s * params_.dilationW;
+    ref.padding = ref.ih < 0 || ref.ih >= params_.inH || ref.iw < 0 ||
+                  ref.iw >= params_.inW;
+    return ref;
+}
+
+Index
+ColumnStream::readCount(Index ih, Index iw) const
+{
+    CFCONV_FATAL_IF(ih < 0 || ih >= params_.inH || iw < 0 ||
+                    iw >= params_.inW,
+                    "ColumnStream: pixel out of range");
+    Index count = 0;
+    for (Index r = 0; r < params_.kernelH; ++r) {
+        const Index num = ih + params_.padH - r * params_.dilationH;
+        if (num < 0 || num % params_.strideH != 0)
+            continue;
+        const Index oh = num / params_.strideH;
+        if (oh >= params_.outH())
+            continue;
+        for (Index s = 0; s < params_.kernelW; ++s) {
+            const Index numw =
+                iw + params_.padW - s * params_.dilationW;
+            if (numw < 0 || numw % params_.strideW != 0)
+                continue;
+            const Index ow = numw / params_.strideW;
+            if (ow >= params_.outW())
+                continue;
+            ++count;
+        }
+    }
+    return count * params_.batch;
+}
+
+} // namespace cfconv::im2col

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The SRAM column stream of the basic channel-first scheme (Sec.
+ * III-A, Fig 5): sliding-window-major enumeration of the C_I-deep
+ * columns fed to the GEMM engine, one column per cycle ("in the first
+ * 9 cycles, columns 1A, 1B, 1C, 2A, ... are read out"). This is the
+ * address-generation contract the TPU mapping implements; the
+ * decomposed-tile schedule of Sec. III-B is a reordering of the same
+ * stream.
+ */
+
+#ifndef CFCONV_IM2COL_COLUMN_STREAM_H
+#define CFCONV_IM2COL_COLUMN_STREAM_H
+
+#include "tensor/conv_params.h"
+#include "tensor/tensor.h"
+
+namespace cfconv::im2col {
+
+/** One streamed column: which window, which tap, which input pixel. */
+struct ColumnRef
+{
+    Index m;        ///< output position (lowered-matrix row)
+    Index r, s;     ///< filter tap
+    Index ih, iw;   ///< input pixel (may lie in the padding halo)
+    bool padding;   ///< true when (ih, iw) is outside the input
+};
+
+/**
+ * Window-major column stream: cycle t = m * (H_F * W_F) + (r * W_F + s)
+ * reads the column at tap <r, s> of window m.
+ */
+class ColumnStream
+{
+  public:
+    explicit ColumnStream(const tensor::ConvParams &params);
+
+    /** Total columns = M * H_F * W_F (one GEMM cycle each). */
+    Index length() const;
+
+    /** The column streamed at cycle @p t. */
+    ColumnRef at(Index t) const;
+
+    /**
+     * How many times the stream reads input pixel (@p ih, @p iw): its
+     * receptive-field multiplicity (e.g. "all the 1C elements are read
+     * three times" in Fig 5's walkthrough).
+     */
+    Index readCount(Index ih, Index iw) const;
+
+    const tensor::ConvParams &params() const { return params_; }
+
+  private:
+    tensor::ConvParams params_;
+};
+
+} // namespace cfconv::im2col
+
+#endif // CFCONV_IM2COL_COLUMN_STREAM_H

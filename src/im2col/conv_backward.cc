@@ -1,0 +1,179 @@
+#include "im2col/conv_backward.h"
+
+#include "common/logging.h"
+#include "tensor/gemm.h"
+#include "tensor/im2col_explicit.h"
+
+namespace cfconv::im2col {
+
+namespace {
+
+void
+checkGradOut(const ConvParams &params, const tensor::Tensor &grad_out)
+{
+    CFCONV_FATAL_IF(grad_out.n() != params.batch ||
+                    grad_out.c() != params.outChannels ||
+                    grad_out.h() != params.outH() ||
+                    grad_out.w() != params.outW(),
+                    "conv backward: grad_out dims do not match params "
+                    "(%s)", params.toString().c_str());
+}
+
+} // namespace
+
+tensor::Tensor
+convBackwardDataDirect(const ConvParams &params,
+                       const tensor::Tensor &grad_out,
+                       const tensor::Tensor &filter)
+{
+    params.validate();
+    checkGradOut(params, grad_out);
+    tensor::Tensor grad_in(params.batch, params.inChannels, params.inH,
+                           params.inW);
+    for (Index n = 0; n < params.batch; ++n) {
+        for (Index co = 0; co < params.outChannels; ++co) {
+            for (Index oh = 0; oh < params.outH(); ++oh) {
+                for (Index ow = 0; ow < params.outW(); ++ow) {
+                    const float g = grad_out.at(n, co, oh, ow);
+                    for (Index ci = 0; ci < params.inChannels; ++ci) {
+                        for (Index r = 0; r < params.kernelH; ++r) {
+                            const Index ih = oh * params.strideH -
+                                params.padH + r * params.dilationH;
+                            if (ih < 0 || ih >= params.inH)
+                                continue;
+                            for (Index s = 0; s < params.kernelW; ++s) {
+                                const Index iw = ow * params.strideW -
+                                    params.padW + s * params.dilationW;
+                                if (iw < 0 || iw >= params.inW)
+                                    continue;
+                                grad_in.at(n, ci, ih, iw) +=
+                                    g * filter.at(co, ci, r, s);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return grad_in;
+}
+
+tensor::Tensor
+convBackwardFilterDirect(const ConvParams &params,
+                         const tensor::Tensor &input,
+                         const tensor::Tensor &grad_out)
+{
+    params.validate();
+    checkGradOut(params, grad_out);
+    tensor::Tensor grad_w(params.outChannels, params.inChannels,
+                          params.kernelH, params.kernelW);
+    for (Index co = 0; co < params.outChannels; ++co) {
+        for (Index ci = 0; ci < params.inChannels; ++ci) {
+            for (Index r = 0; r < params.kernelH; ++r) {
+                for (Index s = 0; s < params.kernelW; ++s) {
+                    float acc = 0.0f;
+                    for (Index n = 0; n < params.batch; ++n) {
+                        for (Index oh = 0; oh < params.outH(); ++oh) {
+                            const Index ih = oh * params.strideH -
+                                params.padH + r * params.dilationH;
+                            for (Index ow = 0; ow < params.outW();
+                                 ++ow) {
+                                const Index iw = ow * params.strideW -
+                                    params.padW + s * params.dilationW;
+                                acc += input.atPadded(n, ci, ih, iw) *
+                                       grad_out.at(n, co, oh, ow);
+                            }
+                        }
+                    }
+                    grad_w.at(co, ci, r, s) = acc;
+                }
+            }
+        }
+    }
+    return grad_w;
+}
+
+tensor::Tensor
+convBackwardDataImplicit(const ConvParams &params,
+                         const tensor::Tensor &grad_out,
+                         const tensor::Tensor &filter)
+{
+    params.validate();
+    checkGradOut(params, grad_out);
+
+    // Flatten dY to the (M x C_O) GEMM operand once.
+    tensor::Matrix dy(params.gemmM(), params.gemmN());
+    for (Index m = 0; m < dy.rows(); ++m) {
+        const tensor::RowCoord rc = tensor::rowCoord(params, m);
+        for (Index co = 0; co < params.outChannels; ++co)
+            dy.at(m, co) = grad_out.at(rc.n, co, rc.oh, rc.ow);
+    }
+
+    tensor::Tensor grad_in(params.batch, params.inChannels, params.inH,
+                           params.inW);
+    for (const FilterTile &tile : decomposeFilter(params)) {
+        // W[r,s]^T: C_O x C_I.
+        tensor::Matrix wt(params.outChannels, params.inChannels);
+        for (Index co = 0; co < params.outChannels; ++co)
+            for (Index ci = 0; ci < params.inChannels; ++ci)
+                wt.at(co, ci) = filter.at(co, ci, tile.r, tile.s);
+
+        tensor::Matrix dx_tile(params.gemmM(), params.inChannels);
+        tensor::gemm(dy, wt, dx_tile);
+
+        // Scatter: the row m of this tile's operand came from input
+        // position (oh*s - p + r*d, ow*s - p + s_f*d); gradients flow
+        // back to exactly that element (padding rows fall off).
+        for (Index m = 0; m < dx_tile.rows(); ++m) {
+            const tensor::RowCoord rc = tensor::rowCoord(params, m);
+            const Index ih = rc.oh * params.strideH - params.padH +
+                             tile.r * params.dilationH;
+            const Index iw = rc.ow * params.strideW - params.padW +
+                             tile.s * params.dilationW;
+            if (ih < 0 || ih >= params.inH || iw < 0 ||
+                iw >= params.inW)
+                continue;
+            for (Index ci = 0; ci < params.inChannels; ++ci)
+                grad_in.at(rc.n, ci, ih, iw) += dx_tile.at(m, ci);
+        }
+    }
+    return grad_in;
+}
+
+tensor::Tensor
+convBackwardFilterImplicit(const ConvParams &params,
+                           const tensor::Tensor &input,
+                           const tensor::Tensor &grad_out)
+{
+    params.validate();
+    checkGradOut(params, grad_out);
+
+    tensor::Matrix dy(params.gemmM(), params.gemmN());
+    for (Index m = 0; m < dy.rows(); ++m) {
+        const tensor::RowCoord rc = tensor::rowCoord(params, m);
+        for (Index co = 0; co < params.outChannels; ++co)
+            dy.at(m, co) = grad_out.at(rc.n, co, rc.oh, rc.ow);
+    }
+
+    tensor::Tensor grad_w(params.outChannels, params.inChannels,
+                          params.kernelH, params.kernelW);
+    for (const FilterTile &tile : decomposeFilter(params)) {
+        const tensor::Matrix a = tileOperand(params, input, tile);
+        // dW[r,s] = A^T * dY: (C_I x M) * (M x C_O).
+        tensor::Matrix dw(params.inChannels, params.outChannels);
+        for (Index ci = 0; ci < params.inChannels; ++ci)
+            for (Index m = 0; m < a.rows(); ++m) {
+                const float av = a.at(m, ci);
+                if (av == 0.0f)
+                    continue;
+                for (Index co = 0; co < params.outChannels; ++co)
+                    dw.at(ci, co) += av * dy.at(m, co);
+            }
+        for (Index co = 0; co < params.outChannels; ++co)
+            for (Index ci = 0; ci < params.inChannels; ++ci)
+                grad_w.at(co, ci, tile.r, tile.s) = dw.at(ci, co);
+    }
+    return grad_w;
+}
+
+} // namespace cfconv::im2col

@@ -1,0 +1,157 @@
+#include "im2col/deformable.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "tensor/gemm.h"
+#include "tensor/im2col_explicit.h"
+
+namespace cfconv::im2col {
+
+DeformableOffsets
+DeformableOffsets::zeros(const ConvParams &params)
+{
+    const Index taps = params.kernelH * params.kernelW;
+    return {tensor::Tensor(params.batch, taps, params.outH(),
+                           params.outW()),
+            tensor::Tensor(params.batch, taps, params.outH(),
+                           params.outW())};
+}
+
+DeformableOffsets
+DeformableOffsets::random(const ConvParams &params, std::uint64_t seed,
+                          double scale)
+{
+    DeformableOffsets o = zeros(params);
+    Rng rng(seed);
+    for (Index i = 0; i < o.offsetY.size(); ++i) {
+        o.offsetY.data()[i] =
+            static_cast<float>(rng.uniform(-scale, scale));
+        o.offsetX.data()[i] =
+            static_cast<float>(rng.uniform(-scale, scale));
+    }
+    return o;
+}
+
+void
+DeformableOffsets::validate(const ConvParams &params) const
+{
+    const Index taps = params.kernelH * params.kernelW;
+    CFCONV_FATAL_IF(offsetY.n() != params.batch ||
+                    offsetY.c() != taps ||
+                    offsetY.h() != params.outH() ||
+                    offsetY.w() != params.outW(),
+                    "deformable: offsetY dims do not match params");
+    CFCONV_FATAL_IF(!offsetX.sameDims(offsetY),
+                    "deformable: offsetX/offsetY dims differ");
+}
+
+float
+bilinearSample(const tensor::Tensor &input, Index n, Index ci, double y,
+               double x)
+{
+    const double fy = std::floor(y);
+    const double fx = std::floor(x);
+    const Index y0 = static_cast<Index>(fy);
+    const Index x0 = static_cast<Index>(fx);
+    const float wy = static_cast<float>(y - fy);
+    const float wx = static_cast<float>(x - fx);
+
+    const float v00 = input.atPadded(n, ci, y0, x0);
+    const float v01 = input.atPadded(n, ci, y0, x0 + 1);
+    const float v10 = input.atPadded(n, ci, y0 + 1, x0);
+    const float v11 = input.atPadded(n, ci, y0 + 1, x0 + 1);
+    return v00 * (1 - wy) * (1 - wx) + v01 * (1 - wy) * wx +
+           v10 * wy * (1 - wx) + v11 * wy * wx;
+}
+
+tensor::Tensor
+convDeformableDirect(const ConvParams &params,
+                     const tensor::Tensor &input,
+                     const DeformableOffsets &offsets,
+                     const tensor::Tensor &filter)
+{
+    params.validate();
+    offsets.validate(params);
+    tensor::Tensor out(params.batch, params.outChannels, params.outH(),
+                       params.outW());
+    for (Index n = 0; n < params.batch; ++n) {
+        for (Index co = 0; co < params.outChannels; ++co) {
+            for (Index oh = 0; oh < params.outH(); ++oh) {
+                for (Index ow = 0; ow < params.outW(); ++ow) {
+                    float acc = 0.0f;
+                    for (Index r = 0; r < params.kernelH; ++r) {
+                        for (Index s = 0; s < params.kernelW; ++s) {
+                            const Index tap = r * params.kernelW + s;
+                            const double y =
+                                static_cast<double>(
+                                    oh * params.strideH - params.padH +
+                                    r * params.dilationH) +
+                                offsets.offsetY.at(n, tap, oh, ow);
+                            const double x =
+                                static_cast<double>(
+                                    ow * params.strideW - params.padW +
+                                    s * params.dilationW) +
+                                offsets.offsetX.at(n, tap, oh, ow);
+                            for (Index ci = 0; ci < params.inChannels;
+                                 ++ci) {
+                                acc += bilinearSample(input, n, ci, y,
+                                                      x) *
+                                       filter.at(co, ci, r, s);
+                            }
+                        }
+                    }
+                    out.at(n, co, oh, ow) = acc;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+tensor::Tensor
+convDeformableImplicit(const ConvParams &params,
+                       const tensor::Tensor &input,
+                       const DeformableOffsets &offsets,
+                       const tensor::Tensor &filter)
+{
+    params.validate();
+    offsets.validate(params);
+
+    tensor::Matrix acc(params.gemmM(), params.gemmN());
+    acc.fill(0.0f);
+    for (const FilterTile &tile : decomposeFilter(params)) {
+        const Index tap = tile.r * params.kernelW + tile.s;
+        // Offset-gathered tile operand: same shape as the rigid case,
+        // different addresses -- exactly the paper's point that the
+        // decomposed schedule only changes the address generation.
+        tensor::Matrix a(params.gemmM(), params.inChannels);
+        for (Index m = 0; m < a.rows(); ++m) {
+            const tensor::RowCoord rc = tensor::rowCoord(params, m);
+            const double y =
+                static_cast<double>(rc.oh * params.strideH -
+                                    params.padH +
+                                    tile.r * params.dilationH) +
+                offsets.offsetY.at(rc.n, tap, rc.oh, rc.ow);
+            const double x =
+                static_cast<double>(rc.ow * params.strideW -
+                                    params.padW +
+                                    tile.s * params.dilationW) +
+                offsets.offsetX.at(rc.n, tap, rc.oh, rc.ow);
+            for (Index ci = 0; ci < params.inChannels; ++ci)
+                a.at(m, ci) = bilinearSample(input, rc.n, ci, y, x);
+        }
+        const tensor::Matrix b = tileWeights(params, filter, tile);
+        tensor::gemmAccumulate(a, b, acc);
+    }
+    return tensor::foldOutput(params, acc);
+}
+
+Index
+deformableTileFillBound(const ConvParams &params, const FilterTile &tile)
+{
+    return 4 * tileFillElems(params, tile);
+}
+
+} // namespace cfconv::im2col

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Deformable convolution (Dai et al., ICCV'17) under the channel-first
+ * decomposition. The paper lists deformable CONV among the variants
+ * that existing implicit im2col handles poorly (Sec. II-C); with
+ * filter decomposition each decomposed tap simply becomes an
+ * offset-gathered 1x1 convolution, so the same per-tile GEMM schedule
+ * applies. Samples are bilinear, matching the original operator.
+ */
+
+#ifndef CFCONV_IM2COL_DEFORMABLE_H
+#define CFCONV_IM2COL_DEFORMABLE_H
+
+#include "im2col/filter_decomp.h"
+#include "tensor/conv_params.h"
+#include "tensor/tensor.h"
+
+namespace cfconv::im2col {
+
+/**
+ * Per-output-position sampling offsets. offsetY/offsetX have dims
+ * (N, H_F * W_F, H_O, W_O): one (dy, dx) pair per filter tap per
+ * output position, added to the tap's regular sampling location.
+ */
+struct DeformableOffsets
+{
+    tensor::Tensor offsetY;
+    tensor::Tensor offsetX;
+
+    /** Zero offsets (degenerates to regular convolution). */
+    static DeformableOffsets zeros(const ConvParams &params);
+
+    /** Deterministic pseudo-random offsets in [-scale, scale). */
+    static DeformableOffsets random(const ConvParams &params,
+                                    std::uint64_t seed, double scale);
+
+    void validate(const ConvParams &params) const;
+};
+
+/**
+ * Bilinearly sample @p input at fractional position (@p y, @p x) of
+ * batch @p n, channel @p ci; out-of-range taps read zero padding.
+ */
+float bilinearSample(const tensor::Tensor &input, Index n, Index ci,
+                     double y, double x);
+
+/** Direct (loop-nest) deformable convolution reference. */
+tensor::Tensor convDeformableDirect(const ConvParams &params,
+                                    const tensor::Tensor &input,
+                                    const DeformableOffsets &offsets,
+                                    const tensor::Tensor &filter);
+
+/**
+ * Channel-first implicit deformable convolution: per decomposed tile,
+ * gather the offset-sampled (M x C_I) operand and accumulate the
+ * 1x1-conv GEMM, exactly like the rigid case.
+ */
+tensor::Tensor convDeformableImplicit(const ConvParams &params,
+                                      const tensor::Tensor &input,
+                                      const DeformableOffsets &offsets,
+                                      const tensor::Tensor &filter);
+
+/**
+ * Worst-case input elements a deformable tile fill must gather: each
+ * bilinear sample touches up to 4 pixels, so the footprint is bounded
+ * by 4x the rigid tile fill.
+ */
+Index deformableTileFillBound(const ConvParams &params,
+                              const FilterTile &tile);
+
+} // namespace cfconv::im2col
+
+#endif // CFCONV_IM2COL_DEFORMABLE_H

@@ -1,0 +1,171 @@
+#include "im2col/filter_decomp.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "tensor/im2col_explicit.h"
+
+namespace cfconv::im2col {
+
+bool
+TileFootprint::contains(Index ih, Index iw) const
+{
+    if (ih < ihBegin || ih >= ihEnd || iw < iwBegin || iw >= iwEnd)
+        return false;
+    return (ih - ihBegin) % ihStep == 0 && (iw - iwBegin) % iwStep == 0;
+}
+
+std::vector<FilterTile>
+decomposeFilter(const ConvParams &params)
+{
+    params.validate();
+    std::vector<FilterTile> tiles;
+    tiles.reserve(static_cast<size_t>(params.kernelH * params.kernelW));
+    for (Index r = 0; r < params.kernelH; ++r)
+        for (Index s = 0; s < params.kernelW; ++s)
+            tiles.push_back({r, s});
+    return tiles;
+}
+
+TileFootprint
+tileFootprint(const ConvParams &params, const FilterTile &tile)
+{
+    CFCONV_FATAL_IF(tile.r < 0 || tile.r >= params.kernelH ||
+                    tile.s < 0 || tile.s >= params.kernelW,
+                    "tileFootprint: tile <%lld,%lld> outside filter",
+                    static_cast<long long>(tile.r),
+                    static_cast<long long>(tile.s));
+
+    // Input coordinate for output (oh, ow):
+    //   ih = oh * strideH - padH + r * dilationH.
+    // Clip oh to the range where ih falls inside [0, inH), then convert
+    // back to input coordinates.
+    const Index off_h = tile.r * params.dilationH - params.padH;
+    const Index off_w = tile.s * params.dilationW - params.padW;
+
+    auto clip = [](Index off, Index stride, Index out_dim, Index in_dim,
+                   Index &begin, Index &end) {
+        // smallest o with o*stride + off >= 0
+        Index o_lo = off >= 0 ? 0 : divCeil(-off, stride);
+        // largest o with o*stride + off < in_dim
+        Index o_hi = (in_dim - 1 - off) >= 0
+                         ? std::min(out_dim - 1, (in_dim - 1 - off) / stride)
+                         : -1;
+        if (o_lo > o_hi) {
+            begin = end = 0;
+            return;
+        }
+        begin = o_lo * stride + off;
+        end = o_hi * stride + off + 1;
+    };
+
+    TileFootprint fp;
+    fp.ihStep = params.strideH;
+    fp.iwStep = params.strideW;
+    clip(off_h, params.strideH, params.outH(), params.inH, fp.ihBegin,
+         fp.ihEnd);
+    clip(off_w, params.strideW, params.outW(), params.inW, fp.iwBegin,
+         fp.iwEnd);
+    return fp;
+}
+
+Index
+tileFillElems(const ConvParams &params, const FilterTile &tile)
+{
+    const TileFootprint fp = tileFootprint(params, tile);
+    return fp.positions() * params.inChannels * params.batch;
+}
+
+double
+tileOverlap(const ConvParams &params, const FilterTile &a,
+            const FilterTile &b)
+{
+    const TileFootprint fa = tileFootprint(params, a);
+    const TileFootprint fb = tileFootprint(params, b);
+    const Index pa = fa.positions();
+    const Index pb = fb.positions();
+    if (pa == 0 || pb == 0)
+        return 0.0;
+
+    // Footprints are arithmetic lattices with the same steps; intersect
+    // the begin offsets. They only intersect when the begins are congruent
+    // modulo the step.
+    auto axis_overlap = [](Index a_begin, Index a_end, Index b_begin,
+                           Index b_end, Index step) -> Index {
+        if ((a_begin - b_begin) % step != 0)
+            return 0;
+        const Index lo = std::max(a_begin, b_begin);
+        const Index hi = std::min(a_end, b_end);
+        return hi > lo ? (hi - lo - 1) / step + 1 : 0;
+    };
+
+    const Index rows = axis_overlap(fa.ihBegin, fa.ihEnd, fb.ihBegin,
+                                    fb.ihEnd, fa.ihStep);
+    const Index cols = axis_overlap(fa.iwBegin, fa.iwEnd, fb.iwBegin,
+                                    fb.iwEnd, fa.iwStep);
+    const Index common = rows * cols;
+    return static_cast<double>(common) /
+           static_cast<double>(std::min(pa, pb));
+}
+
+Index
+inputUnionPositions(const ConvParams &params)
+{
+    std::vector<bool> h_used(static_cast<size_t>(params.inH), false);
+    std::vector<bool> w_used(static_cast<size_t>(params.inW), false);
+    for (Index r = 0; r < params.kernelH; ++r)
+        for (Index oh = 0; oh < params.outH(); ++oh) {
+            const Index ih = oh * params.strideH - params.padH +
+                             r * params.dilationH;
+            if (ih >= 0 && ih < params.inH)
+                h_used[static_cast<size_t>(ih)] = true;
+        }
+    for (Index s = 0; s < params.kernelW; ++s)
+        for (Index ow = 0; ow < params.outW(); ++ow) {
+            const Index iw = ow * params.strideW - params.padW +
+                             s * params.dilationW;
+            if (iw >= 0 && iw < params.inW)
+                w_used[static_cast<size_t>(iw)] = true;
+        }
+    const Index h_cnt = std::count(h_used.begin(), h_used.end(), true);
+    const Index w_cnt = std::count(w_used.begin(), w_used.end(), true);
+    return h_cnt * w_cnt;
+}
+
+Bytes
+inputUnionBytes(const ConvParams &params)
+{
+    return static_cast<Bytes>(inputUnionPositions(params)) *
+           static_cast<Bytes>(params.inChannels * params.batch) *
+           dataTypeSize(params.dataType);
+}
+
+Matrix
+tileOperand(const ConvParams &params, const Tensor &input,
+            const FilterTile &tile)
+{
+    Matrix a(params.gemmM(), params.inChannels);
+    for (Index m = 0; m < a.rows(); ++m) {
+        const tensor::RowCoord rc = tensor::rowCoord(params, m);
+        const Index ih = rc.oh * params.strideH - params.padH +
+                         tile.r * params.dilationH;
+        const Index iw = rc.ow * params.strideW - params.padW +
+                         tile.s * params.dilationW;
+        for (Index ci = 0; ci < params.inChannels; ++ci)
+            a.at(m, ci) = input.atPadded(rc.n, ci, ih, iw);
+    }
+    return a;
+}
+
+Matrix
+tileWeights(const ConvParams &params, const Tensor &filter,
+            const FilterTile &tile)
+{
+    Matrix b(params.inChannels, params.outChannels);
+    for (Index ci = 0; ci < params.inChannels; ++ci)
+        for (Index co = 0; co < params.outChannels; ++co)
+            b.at(ci, co) = filter.at(co, ci, tile.r, tile.s);
+    return b;
+}
+
+} // namespace cfconv::im2col

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Filter decomposition: view an H_F x W_F x C_I filter as H_F * W_F
+ * independent 1x1 convolutions whose partial sums accumulate into the
+ * OFMap (Sec. III-B, Fig 8). The decomposed tiles are the scheduling unit
+ * of the channel-first algorithm on both the TPU and the GPU.
+ */
+
+#ifndef CFCONV_IM2COL_FILTER_DECOMP_H
+#define CFCONV_IM2COL_FILTER_DECOMP_H
+
+#include <vector>
+
+#include "tensor/conv_params.h"
+#include "tensor/tensor.h"
+
+namespace cfconv::im2col {
+
+using tensor::ConvParams;
+using tensor::Matrix;
+using tensor::Tensor;
+
+/**
+ * One decomposed filter position <r, s> (0-based). The associated 1x1
+ * convolution multiplies the C_I-deep input column at offset
+ * (r * dilation, s * dilation) with the C_I x C_O weight slice.
+ */
+struct FilterTile
+{
+    Index r; ///< filter row, 0 <= r < H_F
+    Index s; ///< filter col, 0 <= s < W_F
+
+    bool operator==(const FilterTile &other) const = default;
+};
+
+/**
+ * The rectangle of input pixels a decomposed tile touches (per channel,
+ * per batch), clipped to the real (non-padding) input area.
+ */
+struct TileFootprint
+{
+    Index ihBegin, ihEnd; ///< input rows touched: [ihBegin, ihEnd)
+    Index ihStep;         ///< row step (= strideH)
+    Index iwBegin, iwEnd; ///< input cols touched: [iwBegin, iwEnd)
+    Index iwStep;         ///< col step (= strideW)
+
+    /** Number of (ih, iw) positions in the footprint. */
+    Index
+    positions() const
+    {
+        const Index rows =
+            ihEnd > ihBegin ? (ihEnd - ihBegin - 1) / ihStep + 1 : 0;
+        const Index cols =
+            iwEnd > iwBegin ? (iwEnd - iwBegin - 1) / iwStep + 1 : 0;
+        return rows * cols;
+    }
+
+    bool contains(Index ih, Index iw) const;
+};
+
+/** Enumerate all H_F * W_F decomposed tiles in row-major <r, s> order. */
+std::vector<FilterTile> decomposeFilter(const ConvParams &params);
+
+/**
+ * The input-pixel footprint of @p tile under @p params (valid, i.e.
+ * non-padding, positions only).
+ */
+TileFootprint tileFootprint(const ConvParams &params,
+                            const FilterTile &tile);
+
+/**
+ * Number of input elements (pixels x channels x batch) a tile fill must
+ * bring on chip for the channel-first algorithm. Shrinks with stride^2 --
+ * the key to stride insensitivity (Fig 8b).
+ */
+Index tileFillElems(const ConvParams &params, const FilterTile &tile);
+
+/**
+ * Fraction of input positions shared by the footprints of two tiles in
+ * [0, 1] (relative to the smaller footprint). Drives the inter-tile
+ * reuse optimization (Sec. V).
+ */
+double tileOverlap(const ConvParams &params, const FilterTile &a,
+                   const FilterTile &b);
+
+/**
+ * Number of distinct (ih, iw) input positions referenced by the whole
+ * layer (the union of all tiles' footprints). The channel-last fill and
+ * the on-chip-residency checks are sized by this.
+ */
+Index inputUnionPositions(const ConvParams &params);
+
+/** inputUnionPositions() scaled to bytes (channels x batch x dtype). */
+Bytes inputUnionBytes(const ConvParams &params);
+
+/**
+ * The per-tile lowered operand: an (M = N*H_O*W_O) x C_I matrix whose row
+ * m holds the input column under tile <r, s> for output position m. Rows
+ * whose source lies in the padding halo are zero.
+ */
+Matrix tileOperand(const ConvParams &params, const Tensor &input,
+                   const FilterTile &tile);
+
+/** The C_I x C_O weight slice of @p tile. */
+Matrix tileWeights(const ConvParams &params, const Tensor &filter,
+                   const FilterTile &tile);
+
+} // namespace cfconv::im2col
+
+#endif // CFCONV_IM2COL_FILTER_DECOMP_H

@@ -1,0 +1,70 @@
+#include "im2col/implicit_conv.h"
+
+#include <algorithm>
+
+#include "tensor/gemm.h"
+#include "tensor/im2col_explicit.h"
+
+namespace cfconv::im2col {
+
+tensor::Tensor
+convImplicit(const ConvParams &params, const tensor::Tensor &input,
+             const tensor::Tensor &filter,
+             const ImplicitConvOptions &options, ImplicitConvStats *stats)
+{
+    params.validate();
+    CFCONV_FATAL_IF(options.tilesPerGroup < 1,
+                    "convImplicit: tilesPerGroup must be >= 1");
+
+    // Order the tiles, then group consecutive runs for multi-tile.
+    const std::vector<FilterTile> sequence =
+        orderTiles(params, options.order);
+    MultiTilePlan plan;
+    plan.tilesPerGroup = options.tilesPerGroup;
+    TileGroup cur;
+    for (const auto &t : sequence) {
+        cur.tiles.push_back(t);
+        if (static_cast<Index>(cur.tiles.size()) == options.tilesPerGroup) {
+            plan.groups.push_back(std::move(cur));
+            cur = TileGroup{};
+        }
+    }
+    if (!cur.tiles.empty())
+        plan.groups.push_back(std::move(cur));
+
+    ImplicitConvStats local;
+    tensor::Matrix acc(params.gemmM(), params.gemmN());
+    acc.fill(0.0f);
+
+    for (const auto &group : plan.groups) {
+        const tensor::Matrix a = groupOperand(params, input, group);
+        const tensor::Matrix b = groupWeights(params, filter, group);
+        tensor::gemmAccumulate(a, b, acc);
+
+        ++local.tileGemms;
+        for (const auto &t : group.tiles)
+            local.fillElems += tileFillElems(params, t);
+        local.peakWorkspace =
+            std::max(local.peakWorkspace, a.rows() * a.cols());
+        local.macFlops += 2ULL * static_cast<Flops>(a.rows()) *
+                          static_cast<Flops>(a.cols()) *
+                          static_cast<Flops>(b.cols());
+    }
+
+    if (stats)
+        *stats = local;
+    return tensor::foldOutput(params, acc);
+}
+
+tensor::Tensor
+convImplicitTpuStrategy(const ConvParams &params,
+                        const tensor::Tensor &input,
+                        const tensor::Tensor &filter, Index array_rows,
+                        ImplicitConvStats *stats)
+{
+    ImplicitConvOptions options;
+    options.tilesPerGroup = tpuMultiTileParam(array_rows, params);
+    return convImplicit(params, input, filter, options, stats);
+}
+
+} // namespace cfconv::im2col

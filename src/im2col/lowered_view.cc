@@ -1,0 +1,64 @@
+#include "im2col/lowered_view.h"
+
+namespace cfconv::im2col {
+
+InputCoord
+LoweredView::coordAt(Index m, Index k) const
+{
+    const RowCoord rc = tensor::rowCoord(params_, m);
+    const ColCoord cc = tensor::colCoord(params_, order_, k);
+    InputCoord ic;
+    ic.n = rc.n;
+    ic.ci = cc.ci;
+    ic.ih = rc.oh * params_.strideH - params_.padH +
+            cc.r * params_.dilationH;
+    ic.iw = rc.ow * params_.strideW - params_.padW +
+            cc.s * params_.dilationW;
+    return ic;
+}
+
+Matrix
+LoweredView::materialize(const Tensor &input) const
+{
+    Matrix out(rows(), cols());
+    for (Index m = 0; m < rows(); ++m)
+        for (Index k = 0; k < cols(); ++k)
+            out.at(m, k) = valueAt(input, m, k);
+    return out;
+}
+
+double
+LoweredView::duplicationFactor() const
+{
+    // Count non-padding lowered cells, then divide by the number of input
+    // elements. Count per (oh, r) x (ow, s) validity independently; the
+    // batch and channel dimensions scale both numerator and denominator.
+    Index valid = 0;
+    for (Index oh = 0; oh < params_.outH(); ++oh) {
+        for (Index r = 0; r < params_.kernelH; ++r) {
+            const Index ih = oh * params_.strideH - params_.padH +
+                             r * params_.dilationH;
+            if (ih < 0 || ih >= params_.inH)
+                continue;
+            for (Index ow = 0; ow < params_.outW(); ++ow) {
+                for (Index s = 0; s < params_.kernelW; ++s) {
+                    const Index iw = ow * params_.strideW - params_.padW +
+                                     s * params_.dilationW;
+                    if (iw >= 0 && iw < params_.inW)
+                        ++valid;
+                }
+            }
+        }
+    }
+    return static_cast<double>(valid) /
+           static_cast<double>(params_.inH * params_.inW);
+}
+
+Index
+LoweredView::permuteColumnTo(ColumnOrder target, Index k) const
+{
+    const ColCoord cc = tensor::colCoord(params_, order_, k);
+    return tensor::colIndex(params_, target, cc.r, cc.s, cc.ci);
+}
+
+} // namespace cfconv::im2col

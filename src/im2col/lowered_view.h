@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Virtual lowered-matrix view: the implicit counterpart of explicit
+ * im2col. The lowered feature matrix never exists in memory; this view
+ * computes any cell, and the DRAM/SRAM coordinates behind it, on demand.
+ * This is the heart of "implicit" lowering (Sec. III-A).
+ */
+
+#ifndef CFCONV_IM2COL_LOWERED_VIEW_H
+#define CFCONV_IM2COL_LOWERED_VIEW_H
+
+#include <optional>
+
+#include "tensor/conv_params.h"
+#include "tensor/im2col_explicit.h"
+#include "tensor/layout.h"
+#include "tensor/tensor.h"
+
+namespace cfconv::im2col {
+
+using tensor::ColCoord;
+using tensor::ColumnOrder;
+using tensor::ConvParams;
+using tensor::Matrix;
+using tensor::RowCoord;
+using tensor::Tensor;
+
+/** Logical input coordinate referenced by one lowered-matrix cell. */
+struct InputCoord
+{
+    Index n;  ///< batch index
+    Index ci; ///< input channel
+    Index ih; ///< input row; may be outside [0, H_I) in the pad region
+    Index iw; ///< input col; may be outside [0, W_I) in the pad region
+
+    /** @return true when the coordinate lies in the zero-padding halo. */
+    bool
+    isPadding(const ConvParams &p) const
+    {
+        return ih < 0 || ih >= p.inH || iw < 0 || iw >= p.inW;
+    }
+};
+
+/**
+ * A read-only view of the lowered feature matrix for a convolution, with
+ * a selectable column order. Never materializes the matrix.
+ */
+class LoweredView
+{
+  public:
+    LoweredView(const ConvParams &params, ColumnOrder order)
+        : params_(params), order_(order)
+    {
+        params_.validate();
+    }
+
+    const ConvParams &params() const { return params_; }
+    ColumnOrder order() const { return order_; }
+
+    Index rows() const { return params_.gemmM(); }
+    Index cols() const { return params_.gemmK(); }
+
+    /** The input coordinate behind lowered cell (m, k). */
+    InputCoord coordAt(Index m, Index k) const;
+
+    /** The value of lowered cell (m, k), reading @p input with padding. */
+    float
+    valueAt(const Tensor &input, Index m, Index k) const
+    {
+        const InputCoord c = coordAt(m, k);
+        return input.atPadded(c.n, c.ci, c.ih, c.iw);
+    }
+
+    /**
+     * Materialize the view (tests / explicit baseline only). Identical to
+     * tensor::im2colLower by construction.
+     */
+    Matrix materialize(const Tensor &input) const;
+
+    /**
+     * How many lowered cells reference each non-padding input element, on
+     * average; this is the duplication factor of explicit im2col
+     * (up to H_F * W_F, Table I).
+     */
+    double duplicationFactor() const;
+
+    /**
+     * Map a lowered column to the equivalent column under the other
+     * column order (the permutation of Fig 6 that makes both orders
+     * GEMM-equivalent).
+     */
+    Index permuteColumnTo(ColumnOrder target, Index k) const;
+
+  private:
+    ConvParams params_;
+    ColumnOrder order_;
+};
+
+} // namespace cfconv::im2col
+
+#endif // CFCONV_IM2COL_LOWERED_VIEW_H

@@ -1,0 +1,104 @@
+#include "im2col/multi_tile.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cfconv::im2col {
+
+double
+MultiTilePlan::duplicationFactor(const ConvParams &params) const
+{
+    (void)params;
+    if (groups.empty())
+        return 0.0;
+    // Each tile in a group carries its own operand copy, so the on-chip
+    // duplication of a group equals its tile count.
+    double total = 0.0;
+    size_t tiles = 0;
+    for (const auto &g : groups) {
+        total += static_cast<double>(g.tiles.size()) *
+                 static_cast<double>(g.tiles.size());
+        tiles += g.tiles.size();
+    }
+    return total / static_cast<double>(tiles);
+}
+
+Index
+MultiTilePlan::peakWorkspaceElems(const ConvParams &params) const
+{
+    Index peak = 0;
+    for (const auto &g : groups) {
+        Index ws = 0;
+        for (const auto &t : g.tiles)
+            ws += tileFillElems(params, t);
+        peak = std::max(peak, ws);
+    }
+    return peak;
+}
+
+Index
+tpuMultiTileParam(Index array_rows, const ConvParams &params)
+{
+    CFCONV_FATAL_IF(array_rows < 1, "tpuMultiTileParam: bad array size");
+    const Index by_channels =
+        std::max<Index>(1, array_rows / params.inChannels);
+    return std::max<Index>(1, std::min(by_channels, params.kernelW));
+}
+
+MultiTilePlan
+planMultiTile(const ConvParams &params, Index tiles_per_group)
+{
+    CFCONV_FATAL_IF(tiles_per_group < 1,
+                    "planMultiTile: tiles_per_group must be >= 1");
+    MultiTilePlan plan;
+    plan.tilesPerGroup = tiles_per_group;
+    const std::vector<FilterTile> tiles = decomposeFilter(params);
+    TileGroup cur;
+    for (const auto &t : tiles) {
+        cur.tiles.push_back(t);
+        if (static_cast<Index>(cur.tiles.size()) == tiles_per_group) {
+            plan.groups.push_back(std::move(cur));
+            cur = TileGroup{};
+        }
+    }
+    if (!cur.tiles.empty())
+        plan.groups.push_back(std::move(cur));
+    return plan;
+}
+
+Matrix
+groupOperand(const ConvParams &params, const Tensor &input,
+             const TileGroup &group)
+{
+    CFCONV_FATAL_IF(group.tiles.empty(), "groupOperand: empty group");
+    Matrix merged(params.gemmM(), group.mergedK(params));
+    Index col0 = 0;
+    for (const auto &t : group.tiles) {
+        const Matrix a = tileOperand(params, input, t);
+        for (Index m = 0; m < merged.rows(); ++m)
+            for (Index ci = 0; ci < params.inChannels; ++ci)
+                merged.at(m, col0 + ci) = a.at(m, ci);
+        col0 += params.inChannels;
+    }
+    return merged;
+}
+
+Matrix
+groupWeights(const ConvParams &params, const Tensor &filter,
+             const TileGroup &group)
+{
+    CFCONV_FATAL_IF(group.tiles.empty(), "groupWeights: empty group");
+    Matrix merged(group.mergedK(params), params.outChannels);
+    Index row0 = 0;
+    for (const auto &t : group.tiles) {
+        const Matrix b = tileWeights(params, filter, t);
+        for (Index ci = 0; ci < params.inChannels; ++ci)
+            for (Index co = 0; co < params.outChannels; ++co)
+                merged.at(row0 + ci, co) = b.at(ci, co);
+        row0 += params.inChannels;
+    }
+    return merged;
+}
+
+} // namespace cfconv::im2col

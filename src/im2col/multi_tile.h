@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Multi-tile computation (Sec. IV-B): merge several decomposed 1x1-conv
+ * tiles into one weight-stationary load so small input-channel counts do
+ * not leave systolic-array rows idle. Correct by GEMM associativity; costs
+ * IFMap duplication in vector memory.
+ */
+
+#ifndef CFCONV_IM2COL_MULTI_TILE_H
+#define CFCONV_IM2COL_MULTI_TILE_H
+
+#include <vector>
+
+#include "im2col/filter_decomp.h"
+
+namespace cfconv::im2col {
+
+/** A group of decomposed tiles computed in one weight-stationary pass. */
+struct TileGroup
+{
+    std::vector<FilterTile> tiles;
+
+    /** Merged GEMM depth: |tiles| * C_I. */
+    Index
+    mergedK(const ConvParams &params) const
+    {
+        return static_cast<Index>(tiles.size()) * params.inChannels;
+    }
+};
+
+/** A full multi-tile execution plan for one convolution layer. */
+struct MultiTilePlan
+{
+    Index tilesPerGroup = 1; ///< the multi-tile parameter T
+    std::vector<TileGroup> groups;
+
+    /**
+     * On-chip IFMap duplication factor: how many copies of each input
+     * element the vector memories hold, averaged over groups (Fig 14a's
+     * workspace growth).
+     */
+    double duplicationFactor(const ConvParams &params) const;
+
+    /**
+     * Total vector-memory IFMap workspace in elements for the largest
+     * group (each tile in a group stores its own operand copy).
+     */
+    Index peakWorkspaceElems(const ConvParams &params) const;
+};
+
+/**
+ * The multi-tile parameter the paper infers the TPU uses:
+ * T = MIN(array_rows / C_I, W_F), floored at 1 (Sec. VII-A, Fig 14b).
+ */
+Index tpuMultiTileParam(Index array_rows, const ConvParams &params);
+
+/**
+ * Build a plan grouping the row-major decomposed-tile sequence into
+ * consecutive groups of (at most) @p tiles_per_group.
+ */
+MultiTilePlan planMultiTile(const ConvParams &params,
+                            Index tiles_per_group);
+
+/**
+ * Build the merged lowered operand for @p group: an M x (T*C_I) matrix
+ * whose column blocks are the per-tile operands, side by side.
+ */
+Matrix groupOperand(const ConvParams &params, const Tensor &input,
+                    const TileGroup &group);
+
+/** Build the merged (T*C_I) x C_O weight matrix for @p group. */
+Matrix groupWeights(const ConvParams &params, const Tensor &filter,
+                    const TileGroup &group);
+
+} // namespace cfconv::im2col
+
+#endif // CFCONV_IM2COL_MULTI_TILE_H

@@ -1,0 +1,76 @@
+#include "im2col/reorder.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cfconv::im2col {
+
+std::vector<FilterTile>
+orderTiles(const ConvParams &params, TileOrder policy)
+{
+    std::vector<FilterTile> tiles = decomposeFilter(params);
+    if (policy == TileOrder::Naive || tiles.size() <= 2)
+        return tiles;
+
+    // Greedy chain: start from <0,0>; repeatedly pick the unvisited tile
+    // with the largest footprint overlap with the current one (ties break
+    // on row-major order for determinism).
+    std::vector<FilterTile> ordered;
+    ordered.reserve(tiles.size());
+    std::vector<bool> used(tiles.size(), false);
+    size_t cur = 0;
+    used[0] = true;
+    ordered.push_back(tiles[0]);
+    for (size_t step = 1; step < tiles.size(); ++step) {
+        double best_overlap = -1.0;
+        size_t best = 0;
+        for (size_t i = 0; i < tiles.size(); ++i) {
+            if (used[i])
+                continue;
+            const double ov = tileOverlap(params, tiles[cur], tiles[i]);
+            if (ov > best_overlap) {
+                best_overlap = ov;
+                best = i;
+            }
+        }
+        used[best] = true;
+        ordered.push_back(tiles[best]);
+        cur = best;
+    }
+    return ordered;
+}
+
+double
+sequenceReuseFraction(const ConvParams &params,
+                      const std::vector<FilterTile> &sequence)
+{
+    if (sequence.size() < 2)
+        return 0.0;
+    double total = 0.0;
+    for (size_t i = 1; i < sequence.size(); ++i)
+        total += tileOverlap(params, sequence[i - 1], sequence[i]);
+    return total / static_cast<double>(sequence.size() - 1);
+}
+
+Index
+sequenceFillElems(const ConvParams &params,
+                  const std::vector<FilterTile> &sequence)
+{
+    CFCONV_FATAL_IF(sequence.empty(), "sequenceFillElems: empty sequence");
+    Index total = tileFillElems(params, sequence.front());
+    for (size_t i = 1; i < sequence.size(); ++i) {
+        const Index fill = tileFillElems(params, sequence[i]);
+        const double ov =
+            tileOverlap(params, sequence[i - 1], sequence[i]);
+        const Index prev = tileFillElems(params, sequence[i - 1]);
+        // Overlap is reported relative to the smaller footprint; convert
+        // to absolute shared elements.
+        const Index shared = static_cast<Index>(
+            ov * static_cast<double>(std::min(fill, prev)));
+        total += fill - shared;
+    }
+    return total;
+}
+
+} // namespace cfconv::im2col

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Inter-tile reuse (Sec. V): reorder the decomposed-filter execution
+ * sequence so consecutive tiles share on-chip IFMap data, cutting DRAM
+ * refill traffic for memory-bound layers (Fig 18b).
+ */
+
+#ifndef CFCONV_IM2COL_REORDER_H
+#define CFCONV_IM2COL_REORDER_H
+
+#include <vector>
+
+#include "im2col/filter_decomp.h"
+
+namespace cfconv::im2col {
+
+/** Tile execution-order policies. */
+enum class TileOrder {
+    Naive,        ///< row-major <r, s> order as tiles appear on the filter
+    ReuseGreedy,  ///< greedy chain maximizing consecutive-tile overlap
+};
+
+/** @return printable name of @p order. */
+constexpr const char *
+tileOrderName(TileOrder order)
+{
+    return order == TileOrder::Naive ? "naive" : "reuse-greedy";
+}
+
+/** Produce the tile sequence for @p policy. */
+std::vector<FilterTile> orderTiles(const ConvParams &params,
+                                   TileOrder policy);
+
+/**
+ * Average footprint overlap between consecutive tiles of @p sequence in
+ * [0, 1]; higher means more on-chip data survives between tile fills.
+ */
+double sequenceReuseFraction(const ConvParams &params,
+                             const std::vector<FilterTile> &sequence);
+
+/**
+ * DRAM elements that must be (re)loaded to execute @p sequence assuming
+ * the on-chip buffer retains exactly the previous tile's footprint: the
+ * first tile loads its full footprint, each later tile loads only the
+ * non-overlapping part.
+ */
+Index sequenceFillElems(const ConvParams &params,
+                        const std::vector<FilterTile> &sequence);
+
+} // namespace cfconv::im2col
+
+#endif // CFCONV_IM2COL_REORDER_H

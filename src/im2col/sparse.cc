@@ -1,0 +1,108 @@
+#include "im2col/sparse.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "tensor/gemm.h"
+#include "tensor/im2col_explicit.h"
+
+namespace cfconv::im2col {
+
+tensor::Tensor
+pruneFilter(const tensor::Tensor &filter, float threshold)
+{
+    CFCONV_FATAL_IF(threshold < 0.0f,
+                    "pruneFilter: negative threshold");
+    tensor::Tensor out = filter;
+    for (Index i = 0; i < out.size(); ++i)
+        if (std::abs(out.data()[i]) < threshold)
+            out.data()[i] = 0.0f;
+    return out;
+}
+
+tensor::Tensor
+pruneFilterTiles(const ConvParams &params, const tensor::Tensor &filter,
+                 double fraction)
+{
+    CFCONV_FATAL_IF(fraction < 0.0 || fraction > 1.0,
+                    "pruneFilterTiles: fraction must be in [0, 1]");
+    const auto tiles = decomposeFilter(params);
+    std::vector<std::pair<double, size_t>> mass;
+    mass.reserve(tiles.size());
+    for (size_t i = 0; i < tiles.size(); ++i) {
+        double l1 = 0.0;
+        for (Index co = 0; co < params.outChannels; ++co)
+            for (Index ci = 0; ci < params.inChannels; ++ci)
+                l1 += std::abs(filter.at(co, ci, tiles[i].r,
+                                         tiles[i].s));
+        mass.push_back({l1, i});
+    }
+    std::sort(mass.begin(), mass.end());
+
+    const size_t to_prune = static_cast<size_t>(
+        fraction * static_cast<double>(tiles.size()) + 0.5);
+    tensor::Tensor out = filter;
+    for (size_t i = 0; i < to_prune && i < mass.size(); ++i) {
+        const FilterTile &t = tiles[mass[i].second];
+        for (Index co = 0; co < params.outChannels; ++co)
+            for (Index ci = 0; ci < params.inChannels; ++ci)
+                out.at(co, ci, t.r, t.s) = 0.0f;
+    }
+    return out;
+}
+
+SparsityReport
+analyzeSparsity(const ConvParams &params, const tensor::Tensor &filter,
+                float zero_threshold)
+{
+    params.validate();
+    SparsityReport report;
+    Index total_nonzeros = 0;
+    for (const auto &tile : decomposeFilter(params)) {
+        TileSparsity ts;
+        ts.tile = tile;
+        for (Index co = 0; co < params.outChannels; ++co)
+            for (Index ci = 0; ci < params.inChannels; ++ci)
+                if (std::abs(filter.at(co, ci, tile.r, tile.s)) >
+                    zero_threshold)
+                    ++ts.nonzeros;
+        ts.density =
+            static_cast<double>(ts.nonzeros) /
+            static_cast<double>(params.inChannels * params.outChannels);
+        if (ts.nonzeros == 0)
+            ++report.skippableTiles;
+        total_nonzeros += ts.nonzeros;
+        report.tiles.push_back(ts);
+    }
+    report.overallDensity =
+        static_cast<double>(total_nonzeros) /
+        static_cast<double>(params.filterElems());
+    return report;
+}
+
+tensor::Tensor
+convImplicitSparse(const ConvParams &params, const tensor::Tensor &input,
+                   const tensor::Tensor &filter, Index *skipped)
+{
+    params.validate();
+    const SparsityReport report = analyzeSparsity(params, filter);
+
+    tensor::Matrix acc(params.gemmM(), params.gemmN());
+    acc.fill(0.0f);
+    Index skipped_local = 0;
+    for (const auto &ts : report.tiles) {
+        if (ts.nonzeros == 0) {
+            ++skipped_local; // neither fill nor GEMM happens
+            continue;
+        }
+        const tensor::Matrix a = tileOperand(params, input, ts.tile);
+        const tensor::Matrix b = tileWeights(params, filter, ts.tile);
+        tensor::gemmAccumulate(a, b, acc);
+    }
+    if (skipped)
+        *skipped = skipped_local;
+    return tensor::foldOutput(params, acc);
+}
+
+} // namespace cfconv::im2col

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tile-level weight sparsity on the channel-first schedule — the
+ * future-work direction the paper closes with (Sec. VIII: "we believe
+ * our work can encourage future study for designing sparse CNN
+ * accelerators based on the described channel-first implicit im2col").
+ *
+ * Filter decomposition makes one sparsity granularity natural: an
+ * entire decomposed tap <r, s> whose C_I x C_O weight slice is zero
+ * contributes nothing and its whole GEMM pass — and its SRAM fill —
+ * can be skipped with no hardware support beyond the address
+ * generator. This module prunes filters, analyzes per-tile occupancy,
+ * executes the sparse schedule, and estimates the TPU-pass savings.
+ */
+
+#ifndef CFCONV_IM2COL_SPARSE_H
+#define CFCONV_IM2COL_SPARSE_H
+
+#include <vector>
+
+#include "im2col/filter_decomp.h"
+#include "tensor/conv_params.h"
+#include "tensor/tensor.h"
+
+namespace cfconv::im2col {
+
+/** Per-tile weight occupancy of a filter. */
+struct TileSparsity
+{
+    FilterTile tile;
+    Index nonzeros = 0;     ///< non-zero weights in the C_I x C_O slice
+    double density = 0.0;   ///< nonzeros / (C_I * C_O)
+};
+
+/** Sparsity analysis of a whole filter under the decomposition. */
+struct SparsityReport
+{
+    std::vector<TileSparsity> tiles; ///< row-major <r, s>
+    Index skippableTiles = 0;        ///< tiles with zero weights
+    double overallDensity = 0.0;     ///< nonzeros / total weights
+
+    /** Fraction of decomposed GEMM passes the schedule can skip. */
+    double
+    passSavings() const
+    {
+        return tiles.empty()
+            ? 0.0
+            : static_cast<double>(skippableTiles) /
+                  static_cast<double>(tiles.size());
+    }
+};
+
+/**
+ * Magnitude-prune @p filter: zero every weight with |w| < threshold.
+ * @return the pruned copy.
+ */
+tensor::Tensor pruneFilter(const tensor::Tensor &filter,
+                           float threshold);
+
+/**
+ * Zero entire decomposed taps whose slice L1 mass is in the lowest
+ * @p fraction of taps — structured (tile-wise) pruning matched to the
+ * channel-first granularity.
+ */
+tensor::Tensor pruneFilterTiles(const ConvParams &params,
+                                const tensor::Tensor &filter,
+                                double fraction);
+
+/** Analyze per-tile occupancy of @p filter. */
+SparsityReport analyzeSparsity(const ConvParams &params,
+                               const tensor::Tensor &filter,
+                               float zero_threshold = 0.0f);
+
+/**
+ * Channel-first implicit convolution that skips all-zero decomposed
+ * tiles. Exact on the pruned filter. @p skipped, when non-null,
+ * receives the number of skipped tile GEMMs.
+ */
+tensor::Tensor convImplicitSparse(const ConvParams &params,
+                                  const tensor::Tensor &input,
+                                  const tensor::Tensor &filter,
+                                  Index *skipped = nullptr);
+
+} // namespace cfconv::im2col
+
+#endif // CFCONV_IM2COL_SPARSE_H

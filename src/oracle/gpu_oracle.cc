@@ -1,0 +1,88 @@
+#include "oracle/gpu_oracle.h"
+
+#include "common/rng.h"
+
+namespace cfconv::oracle {
+
+namespace {
+
+std::uint64_t
+convKey(const ConvParams &p)
+{
+    std::uint64_t key = hashCombine(
+        static_cast<std::uint64_t>(p.inChannels),
+        static_cast<std::uint64_t>(p.inH * 131 + p.inW));
+    key = hashCombine(key, static_cast<std::uint64_t>(
+                               p.outChannels * 977 + p.kernelH * 31 +
+                               p.kernelW));
+    key = hashCombine(key, static_cast<std::uint64_t>(p.strideH * 17 +
+                                                      p.batch));
+    return key;
+}
+
+} // namespace
+
+GpuOracle::GpuOracle(const gpusim::GpuConfig &config,
+                     double noise_amplitude, std::uint64_t noise_seed)
+    : sim_(config), noiseAmplitude_(noise_amplitude),
+      noiseSeed_(noise_seed)
+{
+}
+
+double
+GpuOracle::noise(std::uint64_t key) const
+{
+    // SplitMix64 finalizer: full avalanche (see TpuOracle::noise).
+    std::uint64_t z = key ^ noiseSeed_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    const double u =
+        static_cast<double>(z >> 11) * 0x1.0p-53 * 2.0 - 1.0;
+    return 1.0 + noiseAmplitude_ * u;
+}
+
+double
+GpuOracle::convSeconds(const ConvParams &params) const
+{
+    gpusim::GpuRunOptions options;
+    options.algorithm = gpusim::GpuAlgorithm::ImplicitChannelLast;
+    options.vendorTuned = true;
+    return sim_.runConv(params, options).seconds * noise(convKey(params));
+}
+
+double
+GpuOracle::convExplicitSeconds(const ConvParams &params) const
+{
+    gpusim::GpuRunOptions options;
+    options.algorithm = gpusim::GpuAlgorithm::ExplicitIm2col;
+    options.vendorTuned = true;
+    return sim_.runConv(params, options).seconds *
+           noise(hashCombine(convKey(params), 2));
+}
+
+double
+GpuOracle::transformSeconds(const ConvParams &params) const
+{
+    return sim_.explicitTransformSeconds(params) *
+           noise(hashCombine(convKey(params), 3));
+}
+
+double
+GpuOracle::gemmSeconds(Index m, Index k, Index n) const
+{
+    const std::uint64_t key = hashCombine(
+        hashCombine(static_cast<std::uint64_t>(m),
+                    static_cast<std::uint64_t>(k)),
+        static_cast<std::uint64_t>(n));
+    return sim_.runGemm(m, k, n, true).seconds * noise(key);
+}
+
+double
+GpuOracle::convTflops(const ConvParams &params) const
+{
+    return static_cast<double>(params.flops()) / convSeconds(params) /
+           1e12;
+}
+
+} // namespace cfconv::oracle

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * V100/cuDNN "measurement" oracle: stands in for the paper's measured
+ * cuDNN numbers (Figs 2a, 4a, 17, 18). Wraps the GPU simulator's
+ * channel-last implicit kernel with vendor-grade compute efficiency and
+ * deterministic measurement noise.
+ */
+
+#ifndef CFCONV_ORACLE_GPU_ORACLE_H
+#define CFCONV_ORACLE_GPU_ORACLE_H
+
+#include "gpusim/gpu_sim.h"
+
+namespace cfconv::oracle {
+
+using tensor::ConvParams;
+
+/** cuDNN measurement stand-in. */
+class GpuOracle
+{
+  public:
+    explicit GpuOracle(const gpusim::GpuConfig &config =
+                           gpusim::GpuConfig::v100(),
+                       double noise_amplitude = 0.02,
+                       std::uint64_t noise_seed = 0x2b67c9d1e5a38f04ULL);
+
+    /** "Measured" cuDNN implicit-GEMM convolution seconds. */
+    double convSeconds(const ConvParams &params) const;
+
+    /** "Measured" cuDNN explicit-im2col convolution seconds. */
+    double convExplicitSeconds(const ConvParams &params) const;
+
+    /** "Measured" explicit im2col transformation seconds alone. */
+    double transformSeconds(const ConvParams &params) const;
+
+    /** "Measured" cuBLAS-like GEMM seconds. */
+    double gemmSeconds(Index m, Index k, Index n) const;
+
+    /** Effective TFLOPS of the implicit kernel. */
+    double convTflops(const ConvParams &params) const;
+
+    const gpusim::GpuSim &sim() const { return sim_; }
+
+  private:
+    double noise(std::uint64_t key) const;
+
+    gpusim::GpuSim sim_;
+    double noiseAmplitude_;
+    std::uint64_t noiseSeed_;
+};
+
+} // namespace cfconv::oracle
+
+#endif // CFCONV_ORACLE_GPU_ORACLE_H

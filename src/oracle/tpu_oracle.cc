@@ -1,0 +1,118 @@
+#include "oracle/tpu_oracle.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "im2col/filter_decomp.h"
+#include "im2col/multi_tile.h"
+
+namespace cfconv::oracle {
+
+TpuOracle::TpuOracle(const TpuOracleConfig &config) : config_(config)
+{
+    CFCONV_FATAL_IF(config.arrayRows < 1 || config.arrayCols < 1,
+                    "TpuOracle: bad array dimensions");
+}
+
+double
+TpuOracle::noise(std::uint64_t key) const
+{
+    // SplitMix64 finalizer: full avalanche so near-identical keys
+    // (layers differing in one field) get independent noise.
+    std::uint64_t z = key ^ config_.noiseSeed;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    const double u =
+        static_cast<double>(z >> 11) * 0x1.0p-53 * 2.0 - 1.0;
+    return 1.0 + config_.noiseAmplitude * u;
+}
+
+double
+TpuOracle::gemmSeconds(Index m, Index k, Index n) const
+{
+    CFCONV_FATAL_IF(m < 1 || k < 1 || n < 1,
+                    "TpuOracle: non-positive GEMM dims");
+    const double passes =
+        static_cast<double>(divCeil(k, config_.arrayRows)) *
+        static_cast<double>(divCeil(n, config_.arrayCols));
+    const double cycles =
+        passes * (static_cast<double>(m) + config_.passOverheadCycles);
+    const double compute = cycles / (config_.clockGhz * 1e9);
+
+    const double bytes =
+        2.0 * (static_cast<double>(m) * static_cast<double>(k) +
+               static_cast<double>(k) * static_cast<double>(n) +
+               static_cast<double>(m) * static_cast<double>(n));
+    const double mem = bytes / (config_.memGBps * 1e9 * config_.memUtil);
+
+    const std::uint64_t key = hashCombine(
+        hashCombine(static_cast<std::uint64_t>(m),
+                    static_cast<std::uint64_t>(k)),
+        static_cast<std::uint64_t>(n));
+    return (std::max(compute, mem) + config_.invokeOverheadSec) *
+           noise(key);
+}
+
+double
+TpuOracle::convSeconds(const ConvParams &params) const
+{
+    params.validate();
+    const Index m = params.gemmM();
+    const Index rows = config_.arrayRows;
+    const Bytes elem = dataTypeSize(params.dataType);
+
+    double k_passes;
+    Index multi_tile = 1;
+    if (params.inChannels <= rows) {
+        multi_tile = im2col::tpuMultiTileParam(rows, params);
+        k_passes = static_cast<double>(
+            divCeil(params.kernelH * params.kernelW, multi_tile));
+    } else {
+        k_passes =
+            static_cast<double>(params.kernelH * params.kernelW) *
+            static_cast<double>(divCeil(params.inChannels, rows));
+    }
+    const double passes =
+        k_passes * static_cast<double>(
+                       divCeil(params.gemmN(), config_.arrayCols));
+    const double cycles =
+        passes * (static_cast<double>(m) + config_.passOverheadCycles);
+    const double compute = cycles / (config_.clockGhz * 1e9);
+
+    // Memory: activations stay in the TPU's 32 MB unified memory when
+    // they fit (only weights stream); otherwise the tile operands
+    // stream per pass (~the lowered-matrix volume) and the OFMap is
+    // written back.
+    const Bytes union_bytes = im2col::inputUnionBytes(params);
+    double traffic = static_cast<double>(params.filterBytes());
+    if (union_bytes * 2 > 32ULL * 1024 * 1024) {
+        traffic += static_cast<double>(m) *
+                       static_cast<double>(params.gemmK()) *
+                       static_cast<double>(elem) +
+                   static_cast<double>(params.outputBytes());
+    }
+    const double mem =
+        traffic / (config_.memGBps * 1e9 * config_.memUtil);
+
+    std::uint64_t key = hashCombine(
+        static_cast<std::uint64_t>(params.inChannels),
+        static_cast<std::uint64_t>(params.inH * 131 + params.inW));
+    key = hashCombine(key, static_cast<std::uint64_t>(
+                               params.outChannels * 977 +
+                               params.kernelH * 31 + params.kernelW));
+    key = hashCombine(key, static_cast<std::uint64_t>(
+                               params.strideH * 17 + params.batch));
+    return (std::max(compute, mem) + config_.invokeOverheadSec) *
+           noise(key);
+}
+
+double
+TpuOracle::convTflops(const ConvParams &params) const
+{
+    return static_cast<double>(params.flops()) / convSeconds(params) /
+           1e12;
+}
+
+} // namespace cfconv::oracle

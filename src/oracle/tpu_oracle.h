@@ -1,0 +1,65 @@
+/**
+ * @file
+ * TPU-v2 "hardware measurement" oracle: a stand-in for the cloud TPU-v2
+ * runs the paper validates TPUSim against (Figs 13-15). It is an
+ * independently-formulated analytical performance model (roofline with
+ * pass-quantization efficiency and invocation overheads) perturbed by
+ * deterministic per-configuration noise, so validation errors are small
+ * but honest. See DESIGN.md for the substitution rationale.
+ */
+
+#ifndef CFCONV_ORACLE_TPU_ORACLE_H
+#define CFCONV_ORACLE_TPU_ORACLE_H
+
+#include "tensor/conv_params.h"
+
+namespace cfconv::oracle {
+
+using tensor::ConvParams;
+
+/** Tunable parameters of the oracle's analytical model. */
+struct TpuOracleConfig
+{
+    Index arrayRows = 128;
+    Index arrayCols = 128;
+    double clockGhz = 0.7;
+    double memGBps = 700.0;
+    double memUtil = 0.85;
+    /** Per-pass pipeline overhead in cycles (fill + drain + issue). */
+    double passOverheadCycles = 280.0;
+    /** Fixed per-invocation overhead in seconds. */
+    double invokeOverheadSec = 2.0e-6;
+    /** Peak relative measurement noise (uniform, deterministic). */
+    double noiseAmplitude = 0.06;
+    std::uint64_t noiseSeed = 0x7f1e2d3c4b5a6978ULL;
+};
+
+/** The measurement oracle. */
+class TpuOracle
+{
+  public:
+    explicit TpuOracle(const TpuOracleConfig &config = {});
+
+    /** "Measured" seconds for a GEMM of the given dimensions. */
+    double gemmSeconds(Index m, Index k, Index n) const;
+
+    /**
+     * "Measured" seconds for a convolution executed with the TPU's
+     * inferred strategy (multi-tile = MIN(rows/C_I, W_F)).
+     */
+    double convSeconds(const ConvParams &params) const;
+
+    /** Effective TFLOPS derived from convSeconds(). */
+    double convTflops(const ConvParams &params) const;
+
+    const TpuOracleConfig &config() const { return config_; }
+
+  private:
+    double noise(std::uint64_t key) const;
+
+    TpuOracleConfig config_;
+};
+
+} // namespace cfconv::oracle
+
+#endif // CFCONV_ORACLE_TPU_ORACLE_H

@@ -1,0 +1,65 @@
+#include "sram/banked_sram.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cfconv::sram {
+
+BankedSram::BankedSram(const BankedSramConfig &config) : config_(config)
+{
+    CFCONV_FATAL_IF(config.banks < 1 || config.ports < 1,
+                    "BankedSram: need at least one bank and port");
+}
+
+Cycles
+BankedSram::serveColumn(const std::vector<Index> &bank_of_row)
+{
+    CFCONV_FATAL_IF(static_cast<Index>(bank_of_row.size()) > config_.ports,
+                    "BankedSram: more requests (%zu) than ports (%lld)",
+                    bank_of_row.size(),
+                    static_cast<long long>(config_.ports));
+    std::vector<Index> load(static_cast<size_t>(config_.banks), 0);
+    for (Index bank : bank_of_row) {
+        CFCONV_FATAL_IF(bank < 0 || bank >= config_.banks,
+                        "BankedSram: bank %lld out of range",
+                        static_cast<long long>(bank));
+        ++load[static_cast<size_t>(bank)];
+    }
+    const Index worst = *std::max_element(load.begin(), load.end());
+    const Cycles cycles = worst == 0 ? 1 : static_cast<Cycles>(worst);
+    conflicts_ += worst > 1 ? worst - 1 : 0;
+    ++columns_;
+    return cycles;
+}
+
+void
+BankedSram::resetStats()
+{
+    conflicts_ = 0;
+    columns_ = 0;
+}
+
+double
+crossbarRelativeCost(Index ports)
+{
+    CFCONV_FATAL_IF(ports < 1, "crossbarRelativeCost: bad port count");
+    const double p = static_cast<double>(ports) / 32.0;
+    return p * p;
+}
+
+double
+bankingRelativeCost(Index banks, Index baseline_banks)
+{
+    CFCONV_FATAL_IF(banks < 1 || baseline_banks < 1,
+                    "bankingRelativeCost: bad bank count");
+    // Each bank duplicates decoders/sense amps; model the per-bank
+    // periphery as a fixed fraction of a baseline bank's area.
+    const double periphery = 0.35;
+    auto cost = [&](Index b) {
+        return 1.0 + periphery * static_cast<double>(b);
+    };
+    return cost(banks) / cost(baseline_banks);
+}
+
+} // namespace cfconv::sram

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Multi-banked SRAM + crossbar model for the Lym et al. channel-last
+ * design (Sec. II-C, Fig 3). Used to (a) count bank-conflict stalls when
+ * feeding a GEMM engine one lowered column per cycle and (b) quantify
+ * why the crossbar does not scale to TPU-sized arrays.
+ */
+
+#ifndef CFCONV_SRAM_BANKED_SRAM_H
+#define CFCONV_SRAM_BANKED_SRAM_H
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace cfconv::sram {
+
+/** Configuration of the banked memory + crossbar frontend. */
+struct BankedSramConfig
+{
+    Index banks = 32;      ///< SRAM banks (GPU shared memory: 32)
+    Index ports = 32;      ///< crossbar ports toward the PE array
+};
+
+/**
+ * Conflict-counting model: each cycle the GEMM engine requests one
+ * element per PE row; requests mapping to the same bank serialize.
+ */
+class BankedSram
+{
+  public:
+    explicit BankedSram(const BankedSramConfig &config);
+
+    /**
+     * Serve one vector of per-row bank indices (one GEMM column's worth
+     * of operands). @return the cycles needed = max per-bank load.
+     */
+    Cycles serveColumn(const std::vector<Index> &bank_of_row);
+
+    Index conflictCycles() const { return conflicts_; }
+    Index servedColumns() const { return columns_; }
+
+    void resetStats();
+
+  private:
+    BankedSramConfig config_;
+    Index conflicts_ = 0;
+    Index columns_ = 0;
+};
+
+/**
+ * Relative crossbar area/power cost versus a 32x32 baseline: grows
+ * quadratically in port count (Sec. II-C cites Kilo-NOC for this
+ * scaling).
+ */
+double crossbarRelativeCost(Index ports);
+
+/**
+ * Relative area-efficiency penalty of splitting a fixed capacity into
+ * @p banks banks (per-bank periphery duplication).
+ */
+double bankingRelativeCost(Index banks, Index baseline_banks = 32);
+
+} // namespace cfconv::sram
+
+#endif // CFCONV_SRAM_BANKED_SRAM_H

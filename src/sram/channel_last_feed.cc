@@ -1,0 +1,82 @@
+#include "sram/channel_last_feed.h"
+
+#include <vector>
+
+#include "common/logging.h"
+
+namespace cfconv::sram {
+
+Index
+bankOf(const ConvParams &params, const BankedSramConfig &config,
+       BankLayout layout, Index ih, Index iw, Index ci)
+{
+    CFCONV_FATAL_IF(ih < 0 || ih >= params.inH || iw < 0 ||
+                    iw >= params.inW || ci < 0 ||
+                    ci >= params.inChannels,
+                    "bankOf: element out of range");
+    switch (layout) {
+      case BankLayout::NaiveModulo: {
+        const Index linear =
+            (ih * params.inW + iw) * params.inChannels + ci;
+        return linear % config.banks;
+      }
+      case BankLayout::Skewed: {
+        // Offline skew: consecutive window rows jump by a full
+        // window-row's worth of elements, so the K elements of one
+        // sliding window land in K distinct banks (for K <= banks).
+        const Index skew_h = params.kernelW * params.inChannels;
+        const Index v =
+            ih * skew_h + iw * params.inChannels + ci;
+        return v % config.banks;
+      }
+    }
+    panic("bankOf: unknown layout");
+}
+
+FeedReport
+replayChannelLastFeed(const ConvParams &params,
+                      const BankedSramConfig &config, BankLayout layout)
+{
+    params.validate();
+    BankedSram sram(config);
+    FeedReport report;
+
+    std::vector<Index> column;
+    for (Index oh = 0; oh < params.outH(); ++oh) {
+        for (Index ow = 0; ow < params.outW(); ++ow) {
+            column.clear();
+            for (Index r = 0; r < params.kernelH; ++r) {
+                const Index ih = oh * params.strideH - params.padH +
+                                 r * params.dilationH;
+                if (ih < 0 || ih >= params.inH)
+                    continue;
+                for (Index s = 0; s < params.kernelW; ++s) {
+                    const Index iw = ow * params.strideW -
+                                     params.padW +
+                                     s * params.dilationW;
+                    if (iw < 0 || iw >= params.inW)
+                        continue;
+                    for (Index ci = 0; ci < params.inChannels; ++ci)
+                        column.push_back(bankOf(params, config, layout,
+                                                ih, iw, ci));
+                }
+            }
+            // The GEMM engine consumes up to `ports` elements per
+            // cycle; conflicting banks within a beat serialize.
+            for (size_t i = 0; i < column.size();
+                 i += static_cast<size_t>(config.ports)) {
+                const size_t end = std::min(
+                    column.size(),
+                    i + static_cast<size_t>(config.ports));
+                report.totalCycles += sram.serveColumn(
+                    {column.begin() + static_cast<long>(i),
+                     column.begin() + static_cast<long>(end)});
+                ++report.idealCycles;
+            }
+        }
+    }
+    report.conflictStalls = sram.conflictCycles();
+    return report;
+}
+
+} // namespace cfconv::sram

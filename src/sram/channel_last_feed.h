@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The channel-last (Lym et al.) SRAM feed, functionally: each GEMM
+ * cycle one lowered column — K = H_F*W_F*C_I input elements — must
+ * leave the multi-banked SRAM together (Fig 3). Whether that works
+ * without stalls depends entirely on how IFMap elements are assigned
+ * to banks: a naive modulo layout conflicts, while Lym's offline
+ * skewed layout is conflict-free for the common geometries. This
+ * module builds both layouts, replays a convolution's column stream
+ * against the BankedSram conflict model, and reports the stall
+ * cycles — the quantitative side of Sec. II-C's critique.
+ */
+
+#ifndef CFCONV_SRAM_CHANNEL_LAST_FEED_H
+#define CFCONV_SRAM_CHANNEL_LAST_FEED_H
+
+#include "sram/banked_sram.h"
+#include "tensor/conv_params.h"
+
+namespace cfconv::sram {
+
+using tensor::ConvParams;
+
+/** Bank-assignment policies for IFMap elements. */
+enum class BankLayout {
+    /** bank = linear offset % banks: conflicts under k > 1 windows. */
+    NaiveModulo,
+    /**
+     * Lym-style offline skew: bank = (ih * skew + iw * C_I + ci)
+     * % banks with the skew chosen so one window's elements spread
+     * across banks.
+     */
+    Skewed,
+};
+
+/** Result of replaying a layer's column stream against the banks. */
+struct FeedReport
+{
+    Cycles totalCycles = 0;    ///< cycles to serve every column
+    Cycles idealCycles = 0;    ///< columns (1 cycle each, no stalls)
+    Index conflictStalls = 0;  ///< extra cycles lost to bank conflicts
+
+    double
+    slowdown() const
+    {
+        return idealCycles == 0
+            ? 1.0
+            : static_cast<double>(totalCycles) /
+                  static_cast<double>(idealCycles);
+    }
+};
+
+/** Bank index of IFMap element (ih, iw, ci) under @p layout. */
+Index bankOf(const ConvParams &params, const BankedSramConfig &config,
+             BankLayout layout, Index ih, Index iw, Index ci);
+
+/**
+ * Replay the channel-last column stream of one batch sample against a
+ * banked SRAM: each GEMM cycle requests all K elements of a lowered
+ * column; conflicting requests serialize.
+ */
+FeedReport replayChannelLastFeed(const ConvParams &params,
+                                 const BankedSramConfig &config,
+                                 BankLayout layout);
+
+} // namespace cfconv::sram
+
+#endif // CFCONV_SRAM_CHANNEL_LAST_FEED_H

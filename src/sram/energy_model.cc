@@ -1,0 +1,44 @@
+#include "sram/energy_model.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cfconv::sram {
+
+SramEnergyModel::SramEnergyModel(Bytes elem_bytes)
+    : elemBytes_(elem_bytes)
+{
+    CFCONV_FATAL_IF(elem_bytes == 0, "SramEnergyModel: zero element");
+    // 45 nm-class coefficients: a 256 KB macro with a 32-byte word
+    // costs ~25 pJ per access (~0.8 pJ/B); narrow words pay the same
+    // decode for fewer bits.
+    rowDecodePj_ = 6.0;
+    perBitPj_ = 0.07;
+    capacityCoeff_ = 0.35;
+}
+
+double
+SramEnergyModel::accessPj(Bytes capacity_bytes, Index word_elems) const
+{
+    CFCONV_FATAL_IF(word_elems < 1, "SramEnergyModel: word < 1");
+    CFCONV_FATAL_IF(capacity_bytes == 0, "SramEnergyModel: no capacity");
+    const double bits = static_cast<double>(word_elems) *
+                        static_cast<double>(elemBytes_) * 8.0;
+    // Bitline energy grows with the log of the macro depth.
+    const double depth_factor =
+        1.0 + capacityCoeff_ *
+                  std::log2(static_cast<double>(capacity_bytes) /
+                            (64.0 * 1024.0) + 1.0);
+    return (rowDecodePj_ + perBitPj_ * bits) * depth_factor;
+}
+
+double
+SramEnergyModel::perBytePj(Bytes capacity_bytes, Index word_elems) const
+{
+    const double bytes = static_cast<double>(word_elems) *
+                         static_cast<double>(elemBytes_);
+    return accessPj(capacity_bytes, word_elems) / bytes;
+}
+
+} // namespace cfconv::sram

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Access-energy models for the on-chip and off-chip memories and the
+ * MAC array, used for the energy-side design-space exploration that
+ * complements the paper's area study (Fig 16b). Coefficients are
+ * 45 nm-class estimates in picojoules.
+ */
+
+#ifndef CFCONV_SRAM_ENERGY_MODEL_H
+#define CFCONV_SRAM_ENERGY_MODEL_H
+
+#include "common/types.h"
+
+namespace cfconv::sram {
+
+/** Energy coefficients for one vector-memory macro. */
+class SramEnergyModel
+{
+  public:
+    /**
+     * @param elem_bytes element width (TPU vector memories: 4 B).
+     */
+    explicit SramEnergyModel(Bytes elem_bytes = 4);
+
+    /**
+     * Energy of one word access (read or write) in pJ for a macro of
+     * @p capacity_bytes and @p word_elems elements per word. Wider
+     * words cost more per access but amortize the row decode over more
+     * bits, so pJ/byte falls with word size -- the energy twin of the
+     * paper's area argument.
+     */
+    double accessPj(Bytes capacity_bytes, Index word_elems) const;
+
+    /** Energy per useful byte moved, pJ/B. */
+    double perBytePj(Bytes capacity_bytes, Index word_elems) const;
+
+  private:
+    Bytes elemBytes_;
+    double rowDecodePj_;   ///< per-access row decode + wordline
+    double perBitPj_;      ///< per-bit sense/drive energy
+    double capacityCoeff_; ///< bitline-length growth with capacity
+};
+
+/** Off-chip (HBM2-class) energy per byte moved, pJ/B. */
+constexpr double kDramPjPerByte = 31.0; // ~3.9 pJ/bit
+
+/** One bf16 multiply-accumulate in the systolic array, pJ. */
+constexpr double kMacPj = 0.4;
+
+} // namespace cfconv::sram
+
+#endif // CFCONV_SRAM_ENERGY_MODEL_H

@@ -1,0 +1,74 @@
+#include "sram/vector_memory.h"
+
+namespace cfconv::sram {
+
+namespace {
+
+/** Validate @p config before any size computation touches it. */
+const VectorMemoryConfig &
+checkedConfig(const VectorMemoryConfig &config)
+{
+    CFCONV_FATAL_IF(config.wordElems < 1, "VectorMemory: word size < 1");
+    CFCONV_FATAL_IF(config.elemBytes == 0,
+                    "VectorMemory: zero element width");
+    CFCONV_FATAL_IF(config.words() < 1,
+                    "VectorMemory: capacity below one word");
+    return config;
+}
+
+} // namespace
+
+VectorMemory::VectorMemory(const VectorMemoryConfig &config)
+    : config_(checkedConfig(config)),
+      data_(static_cast<size_t>(config.words() * config.wordElems), 0.0f)
+{
+}
+
+void
+VectorMemory::touchPort(Cycles cycle)
+{
+    if (portUsed_ && cycle == lastPortCycle_)
+        conflict_ = true;
+    portUsed_ = true;
+    lastPortCycle_ = cycle;
+}
+
+void
+VectorMemory::writeWord(Index addr, const std::vector<float> &word,
+                        Cycles cycle)
+{
+    CFCONV_FATAL_IF(addr < 0 || addr >= config_.words(),
+                    "VectorMemory: write address %lld out of range",
+                    static_cast<long long>(addr));
+    CFCONV_FATAL_IF(static_cast<Index>(word.size()) != config_.wordElems,
+                    "VectorMemory: word size mismatch");
+    touchPort(cycle);
+    ++writes_;
+    std::copy(word.begin(), word.end(),
+              data_.begin() +
+                  static_cast<size_t>(addr * config_.wordElems));
+}
+
+std::vector<float>
+VectorMemory::readWord(Index addr, Cycles cycle)
+{
+    CFCONV_FATAL_IF(addr < 0 || addr >= config_.words(),
+                    "VectorMemory: read address %lld out of range",
+                    static_cast<long long>(addr));
+    touchPort(cycle);
+    ++reads_;
+    auto begin =
+        data_.begin() + static_cast<size_t>(addr * config_.wordElems);
+    return std::vector<float>(begin, begin + config_.wordElems);
+}
+
+void
+VectorMemory::resetStats()
+{
+    reads_ = writes_ = 0;
+    portUsed_ = false;
+    conflict_ = false;
+    lastPortCycle_ = 0;
+}
+
+} // namespace cfconv::sram

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * TPU-style vector memory: a single-port SRAM array with a wide word,
+ * fronted by a serializer (word -> one element per cycle toward the
+ * systolic array) and a de-serializer (one result per cycle -> word
+ * writes), as in Fig 9/10. Tracks port occupancy so read/write
+ * interleaving on the unified memory can be verified contention-free.
+ */
+
+#ifndef CFCONV_SRAM_VECTOR_MEMORY_H
+#define CFCONV_SRAM_VECTOR_MEMORY_H
+
+#include <vector>
+
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace cfconv::sram {
+
+/** Configuration of one vector memory (one SRAM array). */
+struct VectorMemoryConfig
+{
+    Index wordElems = 8;       ///< elements per word (TPU-v2: 8)
+    Bytes elemBytes = 4;       ///< storage width of one element
+    Bytes capacityBytes = 256 * 1024; ///< per-array capacity
+
+    Index
+    words() const
+    {
+        return static_cast<Index>(capacityBytes /
+                                  (static_cast<Bytes>(wordElems) *
+                                   elemBytes));
+    }
+};
+
+/**
+ * Functional + accounting model of one vector memory. Storage is an
+ * array of words of wordElems floats. Each read or write moves exactly
+ * one word and occupies the single port for one cycle.
+ */
+class VectorMemory
+{
+  public:
+    explicit VectorMemory(const VectorMemoryConfig &config);
+
+    const VectorMemoryConfig &config() const { return config_; }
+
+    /** Write @p word (wordElems floats) at word address @p addr. */
+    void writeWord(Index addr, const std::vector<float> &word,
+                   Cycles cycle);
+
+    /** Read the word at word address @p addr. */
+    std::vector<float> readWord(Index addr, Cycles cycle);
+
+    Index readCount() const { return reads_; }
+    Index writeCount() const { return writes_; }
+
+    /**
+     * @return true if any two port operations were issued in the same
+     * cycle (a structural hazard the TPU mapping must avoid).
+     */
+    bool hadPortConflict() const { return conflict_; }
+
+    /** Port utilization over [0, total_cycles). */
+    double
+    portUtilization(Cycles total_cycles) const
+    {
+        if (total_cycles == 0)
+            return 0.0;
+        return static_cast<double>(reads_ + writes_) /
+               static_cast<double>(total_cycles);
+    }
+
+    void resetStats();
+
+  private:
+    void touchPort(Cycles cycle);
+
+    VectorMemoryConfig config_;
+    std::vector<float> data_;
+    Index reads_ = 0;
+    Index writes_ = 0;
+    Cycles lastPortCycle_ = 0;
+    bool portUsed_ = false;
+    bool conflict_ = false;
+};
+
+} // namespace cfconv::sram
+
+#endif // CFCONV_SRAM_VECTOR_MEMORY_H

@@ -1,0 +1,103 @@
+#include "systolic/systolic_array.h"
+
+#include "common/logging.h"
+
+namespace cfconv::systolic {
+
+SystolicArray::SystolicArray(Index rows, Index cols)
+    : rows_(rows), cols_(cols),
+      weights_(static_cast<size_t>(rows * cols), 0.0f)
+{
+    CFCONV_FATAL_IF(rows < 1 || cols < 1,
+                    "SystolicArray: non-positive dimensions");
+}
+
+void
+SystolicArray::loadWeights(const Matrix &weights)
+{
+    CFCONV_FATAL_IF(weights.rows() > rows_ || weights.cols() > cols_,
+                    "SystolicArray: weights (%lldx%lld) exceed array "
+                    "(%lldx%lld)",
+                    static_cast<long long>(weights.rows()),
+                    static_cast<long long>(weights.cols()),
+                    static_cast<long long>(rows_),
+                    static_cast<long long>(cols_));
+    std::fill(weights_.begin(), weights_.end(), 0.0f);
+    loadedK_ = weights.rows();
+    loadedN_ = weights.cols();
+    for (Index i = 0; i < loadedK_; ++i)
+        for (Index j = 0; j < loadedN_; ++j)
+            w(i, j) = weights.at(i, j);
+}
+
+Matrix
+SystolicArray::run(const Matrix &a)
+{
+    CFCONV_FATAL_IF(loadedK_ == 0, "SystolicArray: no weights loaded");
+    CFCONV_FATAL_IF(a.cols() != loadedK_,
+                    "SystolicArray: operand depth %lld != loaded K %lld",
+                    static_cast<long long>(a.cols()),
+                    static_cast<long long>(loadedK_));
+    ActivationProvider provider = [&a](Index k, Cycles t) -> float {
+        const Index m = static_cast<Index>(t) - k;
+        if (m < 0 || m >= a.rows())
+            return 0.0f;
+        return a.at(m, k);
+    };
+    return runWithProvider(provider, a.rows());
+}
+
+Matrix
+SystolicArray::runWithProvider(const ActivationProvider &provider,
+                               Index m)
+{
+    CFCONV_FATAL_IF(loadedK_ == 0, "SystolicArray: no weights loaded");
+    CFCONV_FATAL_IF(m < 1, "SystolicArray: need at least one row");
+
+    const Index k_dim = loadedK_, n_dim = loadedN_;
+    Matrix out(m, n_dim);
+
+    // Cycle-by-cycle simulation. State per PE: the activation currently
+    // held (moving right) and the partial sum just produced (moving
+    // down). Double-buffered so all PEs update simultaneously.
+    std::vector<float> act(static_cast<size_t>(k_dim * n_dim), 0.0f);
+    std::vector<float> act_next(act);
+    std::vector<float> psum(static_cast<size_t>(k_dim * n_dim), 0.0f);
+    std::vector<float> psum_next(psum);
+
+    auto at = [n_dim](std::vector<float> &v, Index i, Index j) -> float & {
+        return v[static_cast<size_t>(i * n_dim + j)];
+    };
+
+    // Output for row m' leaves column n at cycle m' + n + K - 1; the
+    // final cycle is (m-1) + (n_dim-1) + (k_dim-1).
+    const Cycles total =
+        static_cast<Cycles>(m + n_dim + k_dim - 2) + 1;
+
+    for (Cycles t = 0; t < total; ++t) {
+        for (Index i = 0; i < k_dim; ++i) {
+            for (Index j = 0; j < n_dim; ++j) {
+                const float a_in = j == 0
+                    ? provider(i, t)
+                    : at(act, i, j - 1);
+                const float p_in = i == 0 ? 0.0f : at(psum, i - 1, j);
+                at(act_next, i, j) = a_in;
+                at(psum_next, i, j) = p_in + w(i, j) * a_in;
+            }
+        }
+        act.swap(act_next);
+        psum.swap(psum_next);
+
+        // Bottom-edge outputs: column j emits C[t - j - (K - 1)][j].
+        for (Index j = 0; j < n_dim; ++j) {
+            const Index row = static_cast<Index>(t) - j - (k_dim - 1);
+            if (row >= 0 && row < m)
+                out.at(row, j) = at(psum, k_dim - 1, j);
+        }
+    }
+
+    lastCycles_ = total;
+    return out;
+}
+
+} // namespace cfconv::systolic

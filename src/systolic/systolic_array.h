@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Functional, cycle-by-cycle weight-stationary systolic array. Small
+ * configurations of this model (e.g. the 4x4 array of Fig 10) validate
+ * the dataflow, the skewed input schedule, and the vector-memory
+ * interaction; the closed-form timing model (systolic_timing.h) is
+ * cross-checked against it.
+ */
+
+#ifndef CFCONV_SYSTOLIC_SYSTOLIC_ARRAY_H
+#define CFCONV_SYSTOLIC_SYSTOLIC_ARRAY_H
+
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+#include "tensor/tensor.h"
+
+namespace cfconv::systolic {
+
+using tensor::Matrix;
+
+/**
+ * Supplies the activation entering PE row @p k at cycle @p t, or 0 when
+ * the row has no data that cycle. Row k of a skewed schedule receives
+ * A[t - k][k].
+ */
+using ActivationProvider = std::function<float(Index k, Cycles t)>;
+
+/**
+ * Weight-stationary systolic array of rows x cols PEs. Weights stay in
+ * place; activations enter from the left edge (one per row per cycle)
+ * and partial sums flow downward, exiting at the bottom edge.
+ */
+class SystolicArray
+{
+  public:
+    SystolicArray(Index rows, Index cols);
+
+    Index rows() const { return rows_; }
+    Index cols() const { return cols_; }
+
+    /**
+     * Preload @p weights (K x N with K <= rows, N <= cols) into the PE
+     * grid; unused PEs hold zero.
+     */
+    void loadWeights(const Matrix &weights);
+
+    /**
+     * Run a full M-row GEMM pass: activations follow the canonical skew
+     * (row k gets A[t - k][k]); @return C = A * W (M x N).
+     */
+    Matrix run(const Matrix &a);
+
+    /**
+     * Run with a custom activation provider for @p m output rows; used
+     * by the TPU functional model where the provider is the serializer
+     * in front of each vector memory. @return C (m x loaded-N).
+     */
+    Matrix runWithProvider(const ActivationProvider &provider, Index m);
+
+    /** Cycles consumed by the last run (fill + stream + drain). */
+    Cycles lastRunCycles() const { return lastCycles_; }
+
+  private:
+    Index rows_, cols_;
+    Index loadedK_ = 0, loadedN_ = 0;
+    std::vector<float> weights_;
+    Cycles lastCycles_ = 0;
+
+    float &w(Index i, Index j) { return weights_[i * cols_ + j]; }
+};
+
+} // namespace cfconv::systolic
+
+#endif // CFCONV_SYSTOLIC_SYSTOLIC_ARRAY_H

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Convolution layer descriptor: geometry, striding, padding, dilation,
+ * output-shape and cost computation. This is the workload unit consumed by
+ * every simulator and benchmark in cfconv.
+ */
+
+#ifndef CFCONV_TENSOR_CONV_PARAMS_H
+#define CFCONV_TENSOR_CONV_PARAMS_H
+
+#include <string>
+
+#include "common/types.h"
+
+namespace cfconv::tensor {
+
+/**
+ * Parameters of a 2-D convolution. All dimensions are logical; the data
+ * layout is chosen separately. Supports strided, padded, and dilated
+ * convolution (the CONV variants of Sec. II-C / III-B).
+ */
+struct ConvParams
+{
+    Index batch = 1;       ///< N
+    Index inChannels = 1;  ///< C_I
+    Index inH = 1;         ///< H_I
+    Index inW = 1;         ///< W_I
+    Index outChannels = 1; ///< C_O
+    Index kernelH = 1;     ///< H_F
+    Index kernelW = 1;     ///< W_F
+    Index strideH = 1;
+    Index strideW = 1;
+    Index padH = 0;
+    Index padW = 0;
+    Index dilationH = 1;
+    Index dilationW = 1;
+    DataType dataType = DataType::Fp16;
+
+    /** Effective kernel extent in H after dilation. */
+    Index effKernelH() const { return dilationH * (kernelH - 1) + 1; }
+    /** Effective kernel extent in W after dilation. */
+    Index effKernelW() const { return dilationW * (kernelW - 1) + 1; }
+
+    /** Output feature map height H_O. */
+    Index
+    outH() const
+    {
+        return (inH + 2 * padH - effKernelH()) / strideH + 1;
+    }
+
+    /** Output feature map width W_O. */
+    Index
+    outW() const
+    {
+        return (inW + 2 * padW - effKernelW()) / strideW + 1;
+    }
+
+    /** Rows of the lowered feature matrix: M = N * H_O * W_O. */
+    Index gemmM() const { return batch * outH() * outW(); }
+    /** Depth of the lowered GEMM: K = H_F * W_F * C_I. */
+    Index gemmK() const { return kernelH * kernelW * inChannels; }
+    /** Columns of the lowered GEMM: C_O. */
+    Index gemmN() const { return outChannels; }
+
+    /** Element count of the IFMap. */
+    Index inputElems() const { return batch * inChannels * inH * inW; }
+    /** Element count of the OFMap. */
+    Index
+    outputElems() const
+    {
+        return batch * outChannels * outH() * outW();
+    }
+    /** Element count of the filter tensor. */
+    Index
+    filterElems() const
+    {
+        return outChannels * inChannels * kernelH * kernelW;
+    }
+    /** Element count of the materialized lowered feature matrix. */
+    Index loweredElems() const { return gemmM() * gemmK(); }
+
+    /** IFMap size in bytes at the configured data type. */
+    Bytes
+    inputBytes() const
+    {
+        return static_cast<Bytes>(inputElems()) * dataTypeSize(dataType);
+    }
+    /** OFMap size in bytes. */
+    Bytes
+    outputBytes() const
+    {
+        return static_cast<Bytes>(outputElems()) * dataTypeSize(dataType);
+    }
+    /** Filter size in bytes. */
+    Bytes
+    filterBytes() const
+    {
+        return static_cast<Bytes>(filterElems()) * dataTypeSize(dataType);
+    }
+    /** Materialized lowered-matrix workspace in bytes (explicit im2col). */
+    Bytes
+    loweredBytes() const
+    {
+        return static_cast<Bytes>(loweredElems()) * dataTypeSize(dataType);
+    }
+
+    /** Total multiply-accumulate FLOPs (2 per MAC). */
+    Flops
+    flops() const
+    {
+        return 2ULL * static_cast<Flops>(gemmM()) *
+               static_cast<Flops>(gemmK()) * static_cast<Flops>(gemmN());
+    }
+
+    /** @return true when this layer is plain 1x1 / stride 1 / no pad. */
+    bool
+    isPointwise() const
+    {
+        return kernelH == 1 && kernelW == 1 && strideH == 1 &&
+               strideW == 1 && padH == 0 && padW == 0;
+    }
+
+    /** Validate geometry; calls fatal() on nonsense configurations. */
+    void validate() const;
+
+    /** Short printable description, e.g. "64x56x56 k3 s2 p1 -> 128". */
+    std::string toString() const;
+
+    bool operator==(const ConvParams &other) const = default;
+};
+
+/** Convenience builder for square-geometry layers used all over tests. */
+ConvParams makeConv(Index batch, Index in_channels, Index in_hw,
+                    Index out_channels, Index kernel, Index stride = 1,
+                    Index pad = 0, Index dilation = 1);
+
+/**
+ * Fully general builder: rectangular inputs/kernels and independent
+ * per-axis stride/pad/dilation.
+ */
+ConvParams makeConvRect(Index batch, Index in_channels, Index in_h,
+                        Index in_w, Index out_channels, Index kernel_h,
+                        Index kernel_w, Index stride_h, Index stride_w,
+                        Index pad_h, Index pad_w, Index dilation_h = 1,
+                        Index dilation_w = 1);
+
+} // namespace cfconv::tensor
+
+#endif // CFCONV_TENSOR_CONV_PARAMS_H

@@ -1,0 +1,64 @@
+#include "tensor/conv_ref.h"
+
+namespace cfconv::tensor {
+
+Tensor
+convDirect(const ConvParams &params, const Tensor &input,
+           const Tensor &filter)
+{
+    params.validate();
+    CFCONV_FATAL_IF(input.n() != params.batch ||
+                    input.c() != params.inChannels ||
+                    input.h() != params.inH || input.w() != params.inW,
+                    "convDirect: input dims do not match params (%s)",
+                    params.toString().c_str());
+    CFCONV_FATAL_IF(filter.n() != params.outChannels ||
+                    filter.c() != params.inChannels ||
+                    filter.h() != params.kernelH ||
+                    filter.w() != params.kernelW,
+                    "convDirect: filter dims do not match params (%s)",
+                    params.toString().c_str());
+
+    const Index ho = params.outH(), wo = params.outW();
+    Tensor out(params.batch, params.outChannels, ho, wo, Layout::NCHW);
+
+    for (Index n = 0; n < params.batch; ++n) {
+        for (Index co = 0; co < params.outChannels; ++co) {
+            for (Index oh = 0; oh < ho; ++oh) {
+                for (Index ow = 0; ow < wo; ++ow) {
+                    float acc = 0.0f;
+                    for (Index ci = 0; ci < params.inChannels; ++ci) {
+                        for (Index r = 0; r < params.kernelH; ++r) {
+                            const Index ih = oh * params.strideH -
+                                params.padH + r * params.dilationH;
+                            for (Index s = 0; s < params.kernelW; ++s) {
+                                const Index iw = ow * params.strideW -
+                                    params.padW + s * params.dilationW;
+                                acc += input.atPadded(n, ci, ih, iw) *
+                                       filter.at(co, ci, r, s);
+                            }
+                        }
+                    }
+                    out.at(n, co, oh, ow) = acc;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+makeInput(const ConvParams &params, Layout layout)
+{
+    return Tensor(params.batch, params.inChannels, params.inH,
+                  params.inW, layout);
+}
+
+Tensor
+makeFilter(const ConvParams &params)
+{
+    return Tensor(params.outChannels, params.inChannels, params.kernelH,
+                  params.kernelW, Layout::NCHW);
+}
+
+} // namespace cfconv::tensor

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Direct (sliding-window) convolution reference implementation. The golden
+ * semantics every lowering scheme must match.
+ */
+
+#ifndef CFCONV_TENSOR_CONV_REF_H
+#define CFCONV_TENSOR_CONV_REF_H
+
+#include "tensor/conv_params.h"
+#include "tensor/tensor.h"
+
+namespace cfconv::tensor {
+
+/**
+ * Direct convolution. @p input has dims (N, C_I, H_I, W_I), @p filter has
+ * dims (C_O, C_I, H_F, W_F) (N slot carries C_O). Returns the OFMap with
+ * dims (N, C_O, H_O, W_O) in NCHW layout. Honors stride, padding, and
+ * dilation from @p params.
+ */
+Tensor convDirect(const ConvParams &params, const Tensor &input,
+                  const Tensor &filter);
+
+/** Allocate an input tensor with dimensions demanded by @p params. */
+Tensor makeInput(const ConvParams &params,
+                 Layout layout = Layout::NCHW);
+
+/** Allocate a filter tensor (C_O, C_I, H_F, W_F) for @p params. */
+Tensor makeFilter(const ConvParams &params);
+
+} // namespace cfconv::tensor
+
+#endif // CFCONV_TENSOR_CONV_REF_H

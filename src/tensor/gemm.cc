@@ -1,0 +1,69 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+
+namespace cfconv::tensor {
+
+namespace {
+
+void
+checkShapes(const Matrix &a, const Matrix &b, const Matrix &c)
+{
+    CFCONV_FATAL_IF(a.cols() != b.rows(),
+                    "gemm: inner dimension mismatch (%lld vs %lld)",
+                    static_cast<long long>(a.cols()),
+                    static_cast<long long>(b.rows()));
+    CFCONV_FATAL_IF(c.rows() != a.rows() || c.cols() != b.cols(),
+                    "gemm: output shape mismatch");
+}
+
+} // namespace
+
+void
+gemm(const Matrix &a, const Matrix &b, Matrix &c)
+{
+    c.fill(0.0f);
+    gemmAccumulate(a, b, c);
+}
+
+void
+gemmAccumulate(const Matrix &a, const Matrix &b, Matrix &c)
+{
+    checkShapes(a, b, c);
+    const Index m = a.rows(), k = a.cols(), n = b.cols();
+    for (Index i = 0; i < m; ++i) {
+        for (Index p = 0; p < k; ++p) {
+            const float av = a.at(i, p);
+            if (av == 0.0f)
+                continue;
+            for (Index j = 0; j < n; ++j)
+                c.at(i, j) += av * b.at(p, j);
+        }
+    }
+}
+
+void
+gemmBlocked(const Matrix &a, const Matrix &b, Matrix &c,
+            Index tile_m, Index tile_n, Index tile_k)
+{
+    checkShapes(a, b, c);
+    CFCONV_FATAL_IF(tile_m < 1 || tile_n < 1 || tile_k < 1,
+                    "gemmBlocked: non-positive tile size");
+    c.fill(0.0f);
+    const Index m = a.rows(), k = a.cols(), n = b.cols();
+    for (Index i0 = 0; i0 < m; i0 += tile_m) {
+        for (Index j0 = 0; j0 < n; j0 += tile_n) {
+            for (Index p0 = 0; p0 < k; p0 += tile_k) {
+                const Index i1 = std::min(i0 + tile_m, m);
+                const Index j1 = std::min(j0 + tile_n, n);
+                const Index p1 = std::min(p0 + tile_k, k);
+                for (Index i = i0; i < i1; ++i)
+                    for (Index p = p0; p < p1; ++p)
+                        for (Index j = j0; j < j1; ++j)
+                            c.at(i, j) += a.at(i, p) * b.at(p, j);
+            }
+        }
+    }
+}
+
+} // namespace cfconv::tensor

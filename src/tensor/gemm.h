@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Reference and blocked GEMM over the Matrix type. These are the golden
+ * functional kernels the implicit engines are checked against.
+ */
+
+#ifndef CFCONV_TENSOR_GEMM_H
+#define CFCONV_TENSOR_GEMM_H
+
+#include "common/types.h"
+#include "tensor/tensor.h"
+
+namespace cfconv::tensor {
+
+/** C = A(MxK) * B(KxN). Overwrites @p c. */
+void gemm(const Matrix &a, const Matrix &b, Matrix &c);
+
+/** C += A(MxK) * B(KxN). */
+void gemmAccumulate(const Matrix &a, const Matrix &b, Matrix &c);
+
+/**
+ * Cache-blocked GEMM with configurable tile sizes. Functionally identical
+ * to gemm(); exists so tests can check that tiling (the basis of every
+ * timing model here) is value-preserving.
+ */
+void gemmBlocked(const Matrix &a, const Matrix &b, Matrix &c,
+                 Index tile_m, Index tile_n, Index tile_k);
+
+} // namespace cfconv::tensor
+
+#endif // CFCONV_TENSOR_GEMM_H

@@ -1,0 +1,141 @@
+#include "tensor/im2col_explicit.h"
+
+#include "tensor/conv_ref.h"
+#include "tensor/gemm.h"
+
+namespace cfconv::tensor {
+
+RowCoord
+rowCoord(const ConvParams &params, Index m)
+{
+    const Index wo = params.outW();
+    const Index ho = params.outH();
+    CFCONV_ASSERT(m >= 0 && m < params.gemmM(), "(row out of range)");
+    RowCoord rc;
+    rc.ow = m % wo;
+    rc.oh = (m / wo) % ho;
+    rc.n = m / (wo * ho);
+    return rc;
+}
+
+ColCoord
+colCoord(const ConvParams &params, ColumnOrder order, Index k)
+{
+    CFCONV_ASSERT(k >= 0 && k < params.gemmK(), "(col out of range)");
+    ColCoord cc;
+    if (order == ColumnOrder::ChannelLast) {
+        cc.s = k % params.kernelW;
+        cc.r = (k / params.kernelW) % params.kernelH;
+        cc.ci = k / (params.kernelW * params.kernelH);
+    } else {
+        cc.ci = k % params.inChannels;
+        const Index pos = k / params.inChannels;
+        cc.s = pos % params.kernelW;
+        cc.r = pos / params.kernelW;
+    }
+    return cc;
+}
+
+Index
+colIndex(const ConvParams &params, ColumnOrder order, Index r, Index s,
+         Index ci)
+{
+    if (order == ColumnOrder::ChannelLast)
+        return (ci * params.kernelH + r) * params.kernelW + s;
+    return (r * params.kernelW + s) * params.inChannels + ci;
+}
+
+float
+loweredElement(const ConvParams &params, ColumnOrder order,
+               const Tensor &input, Index m, Index k)
+{
+    const RowCoord rc = rowCoord(params, m);
+    const ColCoord cc = colCoord(params, order, k);
+    const Index ih = rc.oh * params.strideH - params.padH +
+                     cc.r * params.dilationH;
+    const Index iw = rc.ow * params.strideW - params.padW +
+                     cc.s * params.dilationW;
+    return input.atPadded(rc.n, cc.ci, ih, iw);
+}
+
+Matrix
+im2colLower(const ConvParams &params, const Tensor &input,
+            ColumnOrder order)
+{
+    params.validate();
+    Matrix lowered(params.gemmM(), params.gemmK());
+    for (Index m = 0; m < lowered.rows(); ++m)
+        for (Index k = 0; k < lowered.cols(); ++k)
+            lowered.at(m, k) = loweredElement(params, order, input, m, k);
+    return lowered;
+}
+
+Matrix
+flattenFilter(const ConvParams &params, const Tensor &filter,
+              ColumnOrder order)
+{
+    CFCONV_FATAL_IF(filter.n() != params.outChannels ||
+                    filter.c() != params.inChannels ||
+                    filter.h() != params.kernelH ||
+                    filter.w() != params.kernelW,
+                    "flattenFilter: filter dims do not match params");
+    Matrix flat(params.gemmK(), params.gemmN());
+    for (Index k = 0; k < flat.rows(); ++k) {
+        const ColCoord cc = colCoord(params, order, k);
+        for (Index co = 0; co < params.outChannels; ++co)
+            flat.at(k, co) = filter.at(co, cc.ci, cc.r, cc.s);
+    }
+    return flat;
+}
+
+Tensor
+foldOutput(const ConvParams &params, const Matrix &gemm_out)
+{
+    CFCONV_FATAL_IF(gemm_out.rows() != params.gemmM() ||
+                    gemm_out.cols() != params.gemmN(),
+                    "foldOutput: GEMM output shape mismatch");
+    Tensor out(params.batch, params.outChannels, params.outH(),
+               params.outW(), Layout::NCHW);
+    for (Index m = 0; m < gemm_out.rows(); ++m) {
+        const RowCoord rc = rowCoord(params, m);
+        for (Index co = 0; co < params.outChannels; ++co)
+            out.at(rc.n, co, rc.oh, rc.ow) = gemm_out.at(m, co);
+    }
+    return out;
+}
+
+Tensor
+col2im(const ConvParams &params, const Matrix &lowered, ColumnOrder order)
+{
+    CFCONV_FATAL_IF(lowered.rows() != params.gemmM() ||
+                    lowered.cols() != params.gemmK(),
+                    "col2im: lowered matrix shape mismatch");
+    Tensor folded = makeInput(params);
+    for (Index m = 0; m < lowered.rows(); ++m) {
+        const RowCoord rc = rowCoord(params, m);
+        for (Index k = 0; k < lowered.cols(); ++k) {
+            const ColCoord cc = colCoord(params, order, k);
+            const Index ih = rc.oh * params.strideH - params.padH +
+                             cc.r * params.dilationH;
+            const Index iw = rc.ow * params.strideW - params.padW +
+                             cc.s * params.dilationW;
+            if (ih < 0 || ih >= params.inH || iw < 0 || iw >= params.inW)
+                continue; // padding region: values fall off the tensor
+            folded.at(rc.n, cc.ci, ih, iw) += lowered.at(m, k);
+        }
+    }
+    return folded;
+}
+
+Tensor
+convExplicitIm2col(const ConvParams &params, const Tensor &input,
+                   const Tensor &filter, ColumnOrder order)
+{
+    const Matrix lowered = im2colLower(params, input, order);
+    const Matrix flat = flattenFilter(params, filter, order);
+    Matrix out(params.gemmM(), params.gemmN());
+    gemm(lowered, flat, out);
+    return foldOutput(params, out);
+}
+
+} // namespace cfconv::tensor

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Explicit im2col: materialize the lowered feature matrix (Fig 1), in
+ * either column order (Fig 6), flatten filters to match, and fold GEMM
+ * output back into an OFMap. This is the baseline algorithm whose memory
+ * and performance overheads motivate the paper (Sec. II-B), and the
+ * functional reference for the virtual lowered views in src/im2col.
+ */
+
+#ifndef CFCONV_TENSOR_IM2COL_EXPLICIT_H
+#define CFCONV_TENSOR_IM2COL_EXPLICIT_H
+
+#include "tensor/conv_params.h"
+#include "tensor/layout.h"
+#include "tensor/tensor.h"
+
+namespace cfconv::tensor {
+
+/**
+ * Decompose a lowered-matrix row index m into (batch n, output row oh,
+ * output column ow): m = ((n * H_O) + oh) * W_O + ow.
+ */
+struct RowCoord
+{
+    Index n, oh, ow;
+};
+
+RowCoord rowCoord(const ConvParams &params, Index m);
+
+/**
+ * Decompose a lowered-matrix column index k into (filter row r, filter
+ * col s, input channel ci) according to @p order:
+ *  - ChannelLast:  k = (ci * H_F + r) * W_F + s
+ *  - ChannelFirst: k = (r * W_F + s) * C_I + ci
+ */
+struct ColCoord
+{
+    Index r, s, ci;
+};
+
+ColCoord colCoord(const ConvParams &params, ColumnOrder order, Index k);
+
+/** Inverse of colCoord(). */
+Index colIndex(const ConvParams &params, ColumnOrder order, Index r,
+               Index s, Index ci);
+
+/**
+ * The (possibly padded) input element referenced by lowered-matrix cell
+ * (m, k); honors stride, padding, and dilation.
+ */
+float loweredElement(const ConvParams &params, ColumnOrder order,
+                     const Tensor &input, Index m, Index k);
+
+/**
+ * Materialize the full lowered feature matrix:
+ * (M = N*H_O*W_O) x (K = H_F*W_F*C_I). This is the explicit im2col
+ * transformation whose workspace is params.loweredBytes().
+ */
+Matrix im2colLower(const ConvParams &params, const Tensor &input,
+                   ColumnOrder order);
+
+/**
+ * Flatten the (C_O, C_I, H_F, W_F) filter tensor into the K x C_O matrix
+ * whose row order matches @p order, so that lowered * flattened = OFMap.
+ */
+Matrix flattenFilter(const ConvParams &params, const Tensor &filter,
+                     ColumnOrder order);
+
+/**
+ * Reshape a GEMM output (M x C_O) into the (N, C_O, H_O, W_O) OFMap.
+ */
+Tensor foldOutput(const ConvParams &params, const Matrix &gemm_out);
+
+/**
+ * col2im: scatter-accumulate a lowered matrix back into input geometry.
+ * Each input element receives the sum of all lowered cells that reference
+ * it (its receptive-field multiplicity). Used by tests and useful for
+ * convolution backward-data.
+ */
+Tensor col2im(const ConvParams &params, const Matrix &lowered,
+              ColumnOrder order);
+
+/** Convolution by explicit lowering + GEMM + fold; functional baseline. */
+Tensor convExplicitIm2col(const ConvParams &params, const Tensor &input,
+                          const Tensor &filter, ColumnOrder order);
+
+} // namespace cfconv::tensor
+
+#endif // CFCONV_TENSOR_IM2COL_EXPLICIT_H

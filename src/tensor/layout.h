@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Memory layouts for 4-D activation tensors. The paper's algorithm hinges
+ * on the distinction between the conventional CHW-major layouts and the
+ * channel-first HWC/HWCN layouts (Sec. III, Fig 5-7).
+ */
+
+#ifndef CFCONV_TENSOR_LAYOUT_H
+#define CFCONV_TENSOR_LAYOUT_H
+
+namespace cfconv::tensor {
+
+/**
+ * Storage order of a logical (N, C, H, W) tensor, innermost dimension
+ * last in the name (e.g., NHWC has C contiguous).
+ */
+enum class Layout {
+    NCHW, ///< Conventional "CHW" framework layout.
+    NHWC, ///< Channel-first "HWC" layout used by the proposed algorithm.
+    HWCN, ///< TPU vector-memory layout: batch innermost (Sec. IV-A).
+    CHWN, ///< Channel-major with batch innermost (for comparison).
+};
+
+/** @return a printable name for @p layout. */
+constexpr const char *
+layoutName(Layout layout)
+{
+    switch (layout) {
+      case Layout::NCHW:
+        return "NCHW";
+      case Layout::NHWC:
+        return "NHWC";
+      case Layout::HWCN:
+        return "HWCN";
+      case Layout::CHWN:
+        return "CHWN";
+    }
+    return "unknown";
+}
+
+/**
+ * Column order of the lowered (im2col) matrix's K = HF*WF*CI dimension
+ * (Fig 6). ChannelLast expands C_I -> H_F -> W_F (a full sliding window
+ * per channel, the conventional order); ChannelFirst expands
+ * H_F -> W_F -> C_I (all channels of one filter position contiguously,
+ * the paper's proposal).
+ */
+enum class ColumnOrder {
+    ChannelLast,
+    ChannelFirst,
+};
+
+/** @return a printable name for @p order. */
+constexpr const char *
+columnOrderName(ColumnOrder order)
+{
+    return order == ColumnOrder::ChannelLast ? "channel-last"
+                                             : "channel-first";
+}
+
+} // namespace cfconv::tensor
+
+#endif // CFCONV_TENSOR_LAYOUT_H

@@ -1,0 +1,157 @@
+#include "tensor/nn_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace cfconv::tensor {
+
+Index
+PoolParams::outH(Index in_h) const
+{
+    return (in_h + 2 * padH - kernelH) / strideH + 1;
+}
+
+Index
+PoolParams::outW(Index in_w) const
+{
+    return (in_w + 2 * padW - kernelW) / strideW + 1;
+}
+
+void
+PoolParams::validate() const
+{
+    CFCONV_FATAL_IF(kernelH < 1 || kernelW < 1,
+                    "pool: non-positive kernel");
+    CFCONV_FATAL_IF(strideH < 1 || strideW < 1,
+                    "pool: non-positive stride");
+    CFCONV_FATAL_IF(padH < 0 || padW < 0, "pool: negative padding");
+    CFCONV_FATAL_IF(padH >= kernelH || padW >= kernelW,
+                    "pool: padding must be smaller than the kernel");
+}
+
+namespace {
+
+template <typename Reduce>
+Tensor
+pool2d(const Tensor &input, const PoolParams &p, Reduce &&reduce)
+{
+    p.validate();
+    const Index ho = p.outH(input.h()), wo = p.outW(input.w());
+    CFCONV_FATAL_IF(ho < 1 || wo < 1, "pool: window exceeds input");
+    Tensor out(input.n(), input.c(), ho, wo, input.layout());
+    for (Index n = 0; n < input.n(); ++n)
+        for (Index c = 0; c < input.c(); ++c)
+            for (Index oh = 0; oh < ho; ++oh)
+                for (Index ow = 0; ow < wo; ++ow)
+                    out.at(n, c, oh, ow) =
+                        reduce(input, n, c, oh * p.strideH - p.padH,
+                               ow * p.strideW - p.padW);
+    return out;
+}
+
+} // namespace
+
+Tensor
+maxPool2d(const Tensor &input, const PoolParams &params)
+{
+    return pool2d(input, params,
+                  [&params](const Tensor &in, Index n, Index c,
+                            Index h0, Index w0) {
+                      float best = -std::numeric_limits<float>::max();
+                      for (Index r = 0; r < params.kernelH; ++r)
+                          for (Index s = 0; s < params.kernelW; ++s) {
+                              const Index h = h0 + r, w = w0 + s;
+                              if (h < 0 || h >= in.h() || w < 0 ||
+                                  w >= in.w())
+                                  continue;
+                              best = std::max(best, in.at(n, c, h, w));
+                          }
+                      return best;
+                  });
+}
+
+Tensor
+avgPool2d(const Tensor &input, const PoolParams &params)
+{
+    return pool2d(input, params,
+                  [&params](const Tensor &in, Index n, Index c,
+                            Index h0, Index w0) {
+                      float sum = 0.0f;
+                      Index count = 0;
+                      for (Index r = 0; r < params.kernelH; ++r)
+                          for (Index s = 0; s < params.kernelW; ++s) {
+                              const Index h = h0 + r, w = w0 + s;
+                              if (h < 0 || h >= in.h() || w < 0 ||
+                                  w >= in.w())
+                                  continue;
+                              sum += in.at(n, c, h, w);
+                              ++count;
+                          }
+                      return count ? sum / static_cast<float>(count)
+                                   : 0.0f;
+                  });
+}
+
+Tensor
+batchNorm(const Tensor &input, const BatchNormParams &params)
+{
+    const size_t channels = static_cast<size_t>(input.c());
+    CFCONV_FATAL_IF(params.mean.size() != channels ||
+                    params.variance.size() != channels,
+                    "batchNorm: mean/variance must have one entry per "
+                    "channel");
+    CFCONV_FATAL_IF(!params.gamma.empty() &&
+                    params.gamma.size() != channels,
+                    "batchNorm: gamma size mismatch");
+    CFCONV_FATAL_IF(!params.beta.empty() &&
+                    params.beta.size() != channels,
+                    "batchNorm: beta size mismatch");
+
+    Tensor out(input.n(), input.c(), input.h(), input.w(),
+               input.layout());
+    for (Index c = 0; c < input.c(); ++c) {
+        const float inv_std = 1.0f /
+            std::sqrt(params.variance[static_cast<size_t>(c)] +
+                      params.epsilon);
+        const float g = params.gamma.empty()
+            ? 1.0f : params.gamma[static_cast<size_t>(c)];
+        const float b = params.beta.empty()
+            ? 0.0f : params.beta[static_cast<size_t>(c)];
+        const float m = params.mean[static_cast<size_t>(c)];
+        for (Index n = 0; n < input.n(); ++n)
+            for (Index h = 0; h < input.h(); ++h)
+                for (Index w = 0; w < input.w(); ++w)
+                    out.at(n, c, h, w) =
+                        (input.at(n, c, h, w) - m) * inv_std * g + b;
+    }
+    return out;
+}
+
+Tensor
+relu(const Tensor &input)
+{
+    Tensor out(input.n(), input.c(), input.h(), input.w(),
+               input.layout());
+    for (Index i = 0; i < input.size(); ++i)
+        out.data()[i] = std::max(0.0f, input.data()[i]);
+    return out;
+}
+
+Tensor
+add(const Tensor &a, const Tensor &b)
+{
+    CFCONV_FATAL_IF(!a.sameDims(b), "add: dimension mismatch");
+    Tensor out(a.n(), a.c(), a.h(), a.w(), a.layout());
+    for (Index n = 0; n < a.n(); ++n)
+        for (Index c = 0; c < a.c(); ++c)
+            for (Index h = 0; h < a.h(); ++h)
+                for (Index w = 0; w < a.w(); ++w)
+                    out.at(n, c, h, w) =
+                        a.at(n, c, h, w) + b.at(n, c, h, w);
+    return out;
+}
+
+} // namespace cfconv::tensor

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Non-GEMM network layers: pooling, batch normalization (inference),
+ * and ReLU. The paper cites exactly these as the reason the TPU skews
+ * address generation instead of the data layout (Sec. IV-A) — the
+ * vector unit must be able to consume activations unskewed. These
+ * functional implementations complete the layer set needed to run a
+ * whole CNN through the library.
+ */
+
+#ifndef CFCONV_TENSOR_NN_OPS_H
+#define CFCONV_TENSOR_NN_OPS_H
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace cfconv::tensor {
+
+/** Pooling window geometry. */
+struct PoolParams
+{
+    Index kernelH = 2;
+    Index kernelW = 2;
+    Index strideH = 2;
+    Index strideW = 2;
+    Index padH = 0;
+    Index padW = 0;
+
+    Index outH(Index in_h) const;
+    Index outW(Index in_w) const;
+    void validate() const;
+};
+
+/** Max pooling; padding cells never win (treated as -inf). */
+Tensor maxPool2d(const Tensor &input, const PoolParams &params);
+
+/**
+ * Average pooling; the divisor counts only in-bounds cells
+ * (count_include_pad = false).
+ */
+Tensor avgPool2d(const Tensor &input, const PoolParams &params);
+
+/** Per-channel inference-time batch normalization + optional affine. */
+struct BatchNormParams
+{
+    std::vector<float> mean;     ///< per-channel running mean
+    std::vector<float> variance; ///< per-channel running variance
+    std::vector<float> gamma;    ///< scale (empty = 1)
+    std::vector<float> beta;     ///< shift (empty = 0)
+    float epsilon = 1e-5f;
+};
+
+Tensor batchNorm(const Tensor &input, const BatchNormParams &params);
+
+/** Element-wise max(x, 0). */
+Tensor relu(const Tensor &input);
+
+/** Element-wise sum of two same-shaped tensors (residual adds). */
+Tensor add(const Tensor &a, const Tensor &b);
+
+} // namespace cfconv::tensor
+
+#endif // CFCONV_TENSOR_NN_OPS_H

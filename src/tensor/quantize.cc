@@ -1,0 +1,146 @@
+#include "tensor/quantize.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace cfconv::tensor {
+
+float
+toBf16(float v)
+{
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    // Round-to-nearest-even on the truncated 16 mantissa bits.
+    const std::uint32_t rounding =
+        0x7fffu + ((bits >> 16) & 1u);
+    bits += rounding;
+    bits &= 0xffff0000u;
+    float out;
+    std::memcpy(&out, &bits, sizeof(out));
+    return out;
+}
+
+float
+toFp16(float v)
+{
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    const std::uint32_t sign = bits >> 31;
+    const std::int32_t exp =
+        static_cast<std::int32_t>((bits >> 23) & 0xff) - 127;
+    const std::uint32_t mant = bits & 0x7fffffu;
+
+    if (exp == 128) // inf / NaN propagate
+        return v;
+
+    std::uint16_t half;
+    if (exp > 15) {
+        half = static_cast<std::uint16_t>((sign << 15) | 0x7c00u);
+    } else if (exp >= -14) {
+        // Normal half: 10 mantissa bits, round to nearest even.
+        std::uint32_t m = mant >> 13;
+        const std::uint32_t rest = mant & 0x1fffu;
+        if (rest > 0x1000u || (rest == 0x1000u && (m & 1u)))
+            ++m;
+        std::uint32_t e = static_cast<std::uint32_t>(exp + 15);
+        if (m == 0x400u) { // mantissa carry
+            m = 0;
+            ++e;
+        }
+        if (e >= 31)
+            half = static_cast<std::uint16_t>((sign << 15) | 0x7c00u);
+        else
+            half = static_cast<std::uint16_t>((sign << 15) | (e << 10) |
+                                              m);
+    } else if (exp >= -24) {
+        // Subnormal half: value = m * 2^-24 with
+        // m = full * 2^(exp+1) = full >> (-exp - 1).
+        const std::uint32_t full = mant | 0x800000u;
+        const int shift = -exp - 1; // in [14, 23]
+        std::uint32_t m = full >> shift;
+        const std::uint32_t rest =
+            full & ((1u << shift) - 1u);
+        const std::uint32_t halfway = 1u << (shift - 1);
+        if (rest > halfway || (rest == halfway && (m & 1u)))
+            ++m;
+        half = static_cast<std::uint16_t>((sign << 15) | m);
+    } else {
+        half = static_cast<std::uint16_t>(sign << 15); // underflow
+    }
+
+    // Widen back to float.
+    const std::uint32_t h_sign = (half >> 15) & 1u;
+    const std::uint32_t h_exp = (half >> 10) & 0x1fu;
+    const std::uint32_t h_mant = half & 0x3ffu;
+    std::uint32_t out_bits;
+    if (h_exp == 0x1f) {
+        out_bits = (h_sign << 31) | 0x7f800000u | (h_mant << 13);
+    } else if (h_exp == 0) {
+        if (h_mant == 0) {
+            out_bits = h_sign << 31;
+        } else {
+            // Normalize the subnormal.
+            std::uint32_t m = h_mant;
+            std::int32_t e = -14;
+            while ((m & 0x400u) == 0) {
+                m <<= 1;
+                --e;
+            }
+            m &= 0x3ffu;
+            out_bits = (h_sign << 31) |
+                       (static_cast<std::uint32_t>(e + 127) << 23) |
+                       (m << 13);
+        }
+    } else {
+        out_bits = (h_sign << 31) |
+                   ((h_exp - 15 + 127) << 23) | (h_mant << 13);
+    }
+    float out;
+    std::memcpy(&out, &out_bits, sizeof(out));
+    return out;
+}
+
+Tensor
+quantize(const Tensor &t, DataType dtype)
+{
+    CFCONV_FATAL_IF(dtype == DataType::Int8,
+                    "quantize: int8 requires scale/zero-point "
+                    "semantics this library does not define");
+    Tensor out(t.n(), t.c(), t.h(), t.w(), t.layout());
+    for (Index i = 0; i < t.size(); ++i) {
+        switch (dtype) {
+          case DataType::Bf16:
+            out.data()[i] = toBf16(t.data()[i]);
+            break;
+          case DataType::Fp16:
+            out.data()[i] = toFp16(t.data()[i]);
+            break;
+          case DataType::Fp32:
+            out.data()[i] = t.data()[i];
+            break;
+          case DataType::Int8:
+            break; // unreachable
+        }
+    }
+    return out;
+}
+
+double
+quantizationError(const Tensor &t, DataType dtype, float floor)
+{
+    const Tensor q = quantize(t, dtype);
+    double worst = 0.0;
+    for (Index i = 0; i < t.size(); ++i) {
+        const float a = t.data()[i];
+        const float b = q.data()[i];
+        const double denom =
+            std::abs(a) > floor ? std::abs(a) : 1.0f;
+        worst = std::max(worst,
+                         static_cast<double>(std::abs(a - b)) / denom);
+    }
+    return worst;
+}
+
+} // namespace cfconv::tensor

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Reduced-precision storage emulation: bf16 (TPU-v2/v3's native
+ * training type) and fp16 (the GPU experiments' type). Values are
+ * rounded through the narrow format and widened back to float, so the
+ * functional paths can quantify the numeric effect of the storage
+ * types the timing models assume.
+ */
+
+#ifndef CFCONV_TENSOR_QUANTIZE_H
+#define CFCONV_TENSOR_QUANTIZE_H
+
+#include "tensor/tensor.h"
+
+namespace cfconv::tensor {
+
+/** Round one float through bfloat16 (round-to-nearest-even). */
+float toBf16(float v);
+
+/** Round one float through IEEE fp16 (round-to-nearest-even, with
+ *  overflow to infinity and subnormal handling). */
+float toFp16(float v);
+
+/** Quantize every element of @p t through @p dtype's storage format.
+ *  Fp32 passes through; Int8 is rejected (no scale semantics here). */
+Tensor quantize(const Tensor &t, DataType dtype);
+
+/** Largest relative element error introduced by quantize() on @p t
+ *  (elements below @p floor are compared absolutely). */
+double quantizationError(const Tensor &t, DataType dtype,
+                         float floor = 1e-3f);
+
+} // namespace cfconv::tensor
+
+#endif // CFCONV_TENSOR_QUANTIZE_H

@@ -1,0 +1,82 @@
+#include "tensor/space_to_depth.h"
+
+#include "common/logging.h"
+
+namespace cfconv::tensor {
+
+Tensor
+spaceToDepth(const Tensor &input, Index block)
+{
+    CFCONV_FATAL_IF(block < 1, "spaceToDepth: block must be >= 1");
+    CFCONV_FATAL_IF(input.h() % block != 0 || input.w() % block != 0,
+                    "spaceToDepth: %lldx%lld not divisible by block "
+                    "%lld",
+                    static_cast<long long>(input.h()),
+                    static_cast<long long>(input.w()),
+                    static_cast<long long>(block));
+    Tensor out(input.n(), input.c() * block * block, input.h() / block,
+               input.w() / block, input.layout());
+    for (Index n = 0; n < input.n(); ++n)
+        for (Index c = 0; c < input.c(); ++c)
+            for (Index h = 0; h < input.h(); ++h)
+                for (Index w = 0; w < input.w(); ++w) {
+                    const Index dy = h % block, dx = w % block;
+                    const Index c_out =
+                        (dy * block + dx) * input.c() + c;
+                    out.at(n, c_out, h / block, w / block) =
+                        input.at(n, c, h, w);
+                }
+    return out;
+}
+
+Tensor
+depthToSpace(const Tensor &input, Index block)
+{
+    CFCONV_FATAL_IF(block < 1, "depthToSpace: block must be >= 1");
+    CFCONV_FATAL_IF(input.c() % (block * block) != 0,
+                    "depthToSpace: channels %lld not divisible by "
+                    "block^2",
+                    static_cast<long long>(input.c()));
+    const Index c_base = input.c() / (block * block);
+    Tensor out(input.n(), c_base, input.h() * block, input.w() * block,
+               input.layout());
+    for (Index n = 0; n < input.n(); ++n)
+        for (Index c = 0; c < input.c(); ++c)
+            for (Index h = 0; h < input.h(); ++h)
+                for (Index w = 0; w < input.w(); ++w) {
+                    const Index c_src = c % c_base;
+                    const Index blk = c / c_base;
+                    const Index dy = blk / block, dx = blk % block;
+                    out.at(n, c_src, h * block + dy, w * block + dx) =
+                        input.at(n, c, h, w);
+                }
+    return out;
+}
+
+ConvParams
+spaceToDepthParams(const ConvParams &params, Index block)
+{
+    CFCONV_FATAL_IF(block < 1, "spaceToDepthParams: block >= 1");
+    CFCONV_FATAL_IF(params.strideH % block != 0 ||
+                    params.strideW % block != 0,
+                    "spaceToDepthParams: stride must be a multiple of "
+                    "the block (%s, block %lld)",
+                    params.toString().c_str(),
+                    static_cast<long long>(block));
+    CFCONV_FATAL_IF(params.dilationH != 1 || params.dilationW != 1,
+                    "spaceToDepthParams: dilation unsupported");
+    ConvParams p = params;
+    p.inChannels = params.inChannels * block * block;
+    p.inH = divCeil(params.inH, block);
+    p.inW = divCeil(params.inW, block);
+    p.strideH = params.strideH / block;
+    p.strideW = params.strideW / block;
+    p.kernelH = divCeil(params.kernelH, block);
+    p.kernelW = divCeil(params.kernelW, block);
+    p.padH = divCeil(params.padH, block);
+    p.padW = divCeil(params.padW, block);
+    p.validate();
+    return p;
+}
+
+} // namespace cfconv::tensor

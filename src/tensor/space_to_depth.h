@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Space-to-depth / depth-to-space transforms. Production TPU stacks
+ * rewrite shallow first layers (C_I = 3) with space-to-depth so the
+ * channel-first algorithm sees a channel count that fills more systolic
+ * rows (the fragmentation discussed in EXPERIMENTS.md for Fig 2b). The
+ * functional transforms here are exact and invertible; the parameter
+ * rewrite states how a strided conv maps onto the transformed input.
+ */
+
+#ifndef CFCONV_TENSOR_SPACE_TO_DEPTH_H
+#define CFCONV_TENSOR_SPACE_TO_DEPTH_H
+
+#include "tensor/conv_params.h"
+#include "tensor/tensor.h"
+
+namespace cfconv::tensor {
+
+/**
+ * Rearrange (N, C, H, W) into (N, C*b*b, H/b, W/b): each b x b spatial
+ * block becomes b*b channels. H and W must be divisible by @p block.
+ * Channel order: c_out = (dy * b + dx) * C + c.
+ */
+Tensor spaceToDepth(const Tensor &input, Index block);
+
+/** Exact inverse of spaceToDepth(). */
+Tensor depthToSpace(const Tensor &input, Index block);
+
+/**
+ * The geometry an (evenly divisible) convolution takes after a
+ * space-to-depth(@p block) rewrite of its input: stride and input
+ * shrink by b, channels grow by b*b, and the kernel covers
+ * ceil over the blocked grid. Requires stride % block == 0 and no
+ * dilation. FLOPs are preserved up to kernel-edge rounding.
+ */
+ConvParams spaceToDepthParams(const ConvParams &params, Index block);
+
+} // namespace cfconv::tensor
+
+#endif // CFCONV_TENSOR_SPACE_TO_DEPTH_H

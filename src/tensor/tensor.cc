@@ -1,0 +1,125 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cfconv::tensor {
+
+Tensor::Tensor(Index n, Index c, Index h, Index w, Layout layout)
+    : n_(n), c_(c), h_(h), w_(w), layout_(layout),
+      data_(static_cast<size_t>(n * c * h * w), 0.0f)
+{
+    CFCONV_FATAL_IF(n < 1 || c < 1 || h < 1 || w < 1,
+                    "Tensor: non-positive dimension");
+}
+
+Index
+Tensor::offsetOf(Index n, Index c, Index h, Index w) const
+{
+    switch (layout_) {
+      case Layout::NCHW:
+        return ((n * c_ + c) * h_ + h) * w_ + w;
+      case Layout::NHWC:
+        return ((n * h_ + h) * w_ + w) * c_ + c;
+      case Layout::HWCN:
+        return ((h * w_ + w) * c_ + c) * n_ + n;
+      case Layout::CHWN:
+        return ((c * h_ + h) * w_ + w) * n_ + n;
+    }
+    panic("Tensor: unknown layout");
+}
+
+void
+Tensor::fillRandom(std::uint64_t seed)
+{
+    Rng rng(seed);
+    for (auto &v : data_)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+}
+
+void
+Tensor::fillRamp()
+{
+    // Position-dependent value independent of the physical layout, so two
+    // tensors with different layouts compare equal logically.
+    for (Index n = 0; n < n_; ++n) {
+        for (Index c = 0; c < c_; ++c) {
+            for (Index h = 0; h < h_; ++h) {
+                for (Index w = 0; w < w_; ++w) {
+                    float v = static_cast<float>(
+                        ((n * 7 + c) * 13 + h) * 17 + w) * 0.01f;
+                    at(n, c, h, w) = v;
+                }
+            }
+        }
+    }
+}
+
+void
+Tensor::fill(float v)
+{
+    std::fill(data_.begin(), data_.end(), v);
+}
+
+Tensor
+Tensor::toLayout(Layout target) const
+{
+    Tensor out(n_, c_, h_, w_, target);
+    for (Index n = 0; n < n_; ++n)
+        for (Index c = 0; c < c_; ++c)
+            for (Index h = 0; h < h_; ++h)
+                for (Index w = 0; w < w_; ++w)
+                    out.at(n, c, h, w) = at(n, c, h, w);
+    return out;
+}
+
+float
+Tensor::maxAbsDiff(const Tensor &other) const
+{
+    CFCONV_FATAL_IF(!sameDims(other),
+                    "Tensor::maxAbsDiff: dimension mismatch");
+    float max_diff = 0.0f;
+    for (Index n = 0; n < n_; ++n)
+        for (Index c = 0; c < c_; ++c)
+            for (Index h = 0; h < h_; ++h)
+                for (Index w = 0; w < w_; ++w)
+                    max_diff = std::max(
+                        max_diff,
+                        std::abs(at(n, c, h, w) - other.at(n, c, h, w)));
+    return max_diff;
+}
+
+bool
+Tensor::sameDims(const Tensor &other) const
+{
+    return n_ == other.n_ && c_ == other.c_ && h_ == other.h_ &&
+           w_ == other.w_;
+}
+
+void
+Matrix::fillRandom(std::uint64_t seed)
+{
+    Rng rng(seed);
+    for (auto &v : data_)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+}
+
+void
+Matrix::fill(float v)
+{
+    std::fill(data_.begin(), data_.end(), v);
+}
+
+float
+Matrix::maxAbsDiff(const Matrix &other) const
+{
+    CFCONV_FATAL_IF(rows_ != other.rows_ || cols_ != other.cols_,
+                    "Matrix::maxAbsDiff: dimension mismatch");
+    float max_diff = 0.0f;
+    for (size_t i = 0; i < data_.size(); ++i)
+        max_diff = std::max(max_diff,
+                            std::abs(data_[i] - other.data_[i]));
+    return max_diff;
+}
+
+} // namespace cfconv::tensor

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * A minimal 4-D dense tensor over float with a configurable physical
+ * layout. Functional correctness paths (reference convolution, explicit
+ * im2col, the implicit engine) all operate on this type.
+ */
+
+#ifndef CFCONV_TENSOR_TENSOR_H
+#define CFCONV_TENSOR_TENSOR_H
+
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "tensor/layout.h"
+
+namespace cfconv::tensor {
+
+/**
+ * Dense logical (N, C, H, W) tensor stored in one of the four supported
+ * physical layouts. Elements are float regardless of the simulated
+ * DataType (the timing models account for storage width separately).
+ */
+class Tensor
+{
+  public:
+    /** Construct a zero-filled tensor. */
+    Tensor(Index n, Index c, Index h, Index w,
+           Layout layout = Layout::NCHW);
+
+    Index n() const { return n_; }
+    Index c() const { return c_; }
+    Index h() const { return h_; }
+    Index w() const { return w_; }
+    Layout layout() const { return layout_; }
+    Index size() const { return static_cast<Index>(data_.size()); }
+
+    /** Linear offset of logical element (n, c, h, w) in the buffer. */
+    Index offsetOf(Index n, Index c, Index h, Index w) const;
+
+    float
+    at(Index n, Index c, Index h, Index w) const
+    {
+        return data_[checkedOffset(n, c, h, w)];
+    }
+
+    float &
+    at(Index n, Index c, Index h, Index w)
+    {
+        return data_[checkedOffset(n, c, h, w)];
+    }
+
+    /**
+     * Read with zero padding: out-of-range (h, w) coordinates return 0,
+     * matching the semantics of a padded convolution input.
+     */
+    float
+    atPadded(Index n, Index c, Index h, Index w) const
+    {
+        if (h < 0 || h >= h_ || w < 0 || w >= w_)
+            return 0.0f;
+        return at(n, c, h, w);
+    }
+
+    const float *data() const { return data_.data(); }
+    float *data() { return data_.data(); }
+
+    /** Fill with deterministic pseudo-random values in [-1, 1). */
+    void fillRandom(std::uint64_t seed);
+
+    /** Fill with a position-dependent ramp (useful for layout tests). */
+    void fillRamp();
+
+    void fill(float v);
+
+    /** Deep-copy into @p target layout, preserving logical content. */
+    Tensor toLayout(Layout target) const;
+
+    /** Max absolute element-wise difference to @p other (same dims). */
+    float maxAbsDiff(const Tensor &other) const;
+
+    bool sameDims(const Tensor &other) const;
+
+  private:
+    Index
+    checkedOffset(Index n, Index c, Index h, Index w) const
+    {
+        CFCONV_ASSERT(n >= 0 && n < n_ && c >= 0 && c < c_ &&
+                      h >= 0 && h < h_ && w >= 0 && w < w_,
+                      "(tensor index out of range)");
+        return offsetOf(n, c, h, w);
+    }
+
+    Index n_, c_, h_, w_;
+    Layout layout_;
+    std::vector<float> data_;
+};
+
+/**
+ * A dense row-major matrix used for GEMM operands and lowered feature
+ * matrices.
+ */
+class Matrix
+{
+  public:
+    Matrix(Index rows, Index cols)
+        : rows_(rows), cols_(cols),
+          data_(static_cast<size_t>(rows * cols), 0.0f)
+    {
+        CFCONV_FATAL_IF(rows < 0 || cols < 0,
+                        "Matrix: negative dimensions");
+    }
+
+    Index rows() const { return rows_; }
+    Index cols() const { return cols_; }
+
+    float
+    at(Index r, Index c) const
+    {
+        CFCONV_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                      "(matrix index out of range)");
+        return data_[static_cast<size_t>(r * cols_ + c)];
+    }
+
+    float &
+    at(Index r, Index c)
+    {
+        CFCONV_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                      "(matrix index out of range)");
+        return data_[static_cast<size_t>(r * cols_ + c)];
+    }
+
+    const float *data() const { return data_.data(); }
+    float *data() { return data_.data(); }
+
+    void fillRandom(std::uint64_t seed);
+    void fill(float v);
+
+    /** Max absolute element-wise difference to @p other (same dims). */
+    float maxAbsDiff(const Matrix &other) const;
+
+  private:
+    Index rows_, cols_;
+    std::vector<float> data_;
+};
+
+} // namespace cfconv::tensor
+
+#endif // CFCONV_TENSOR_TENSOR_H

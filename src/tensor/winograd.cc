@@ -1,0 +1,176 @@
+#include "tensor/winograd.h"
+
+#include <array>
+
+#include "common/logging.h"
+
+namespace cfconv::tensor {
+
+namespace {
+
+using Mat4 = std::array<std::array<float, 4>, 4>;
+
+/** V = B^T d B for the 4x4 data tile d. */
+Mat4
+transformData(const Mat4 &d)
+{
+    // B^T = [1  0 -1  0; 0  1  1  0; 0 -1  1  0; 0  1  0 -1]
+    Mat4 t{}; // B^T d
+    for (int j = 0; j < 4; ++j) {
+        t[0][j] = d[0][j] - d[2][j];
+        t[1][j] = d[1][j] + d[2][j];
+        t[2][j] = d[2][j] - d[1][j];
+        t[3][j] = d[1][j] - d[3][j];
+    }
+    Mat4 v{}; // (B^T d) B
+    for (int i = 0; i < 4; ++i) {
+        v[i][0] = t[i][0] - t[i][2];
+        v[i][1] = t[i][1] + t[i][2];
+        v[i][2] = t[i][2] - t[i][1];
+        v[i][3] = t[i][1] - t[i][3];
+    }
+    return v;
+}
+
+/** U = G g G^T for the 3x3 filter tap g. */
+Mat4
+transformFilter(const std::array<std::array<float, 3>, 3> &g)
+{
+    // G = [1 0 0; .5 .5 .5; .5 -.5 .5; 0 0 1]
+    std::array<std::array<float, 3>, 4> t{};
+    for (int j = 0; j < 3; ++j) {
+        t[0][j] = g[0][j];
+        t[1][j] = 0.5f * (g[0][j] + g[1][j] + g[2][j]);
+        t[2][j] = 0.5f * (g[0][j] - g[1][j] + g[2][j]);
+        t[3][j] = g[2][j];
+    }
+    Mat4 u{};
+    for (int i = 0; i < 4; ++i) {
+        u[i][0] = t[i][0];
+        u[i][1] = 0.5f * (t[i][0] + t[i][1] + t[i][2]);
+        u[i][2] = 0.5f * (t[i][0] - t[i][1] + t[i][2]);
+        u[i][3] = t[i][2];
+    }
+    return u;
+}
+
+/** Y = A^T m A: fold the 4x4 element-wise product to the 2x2 output. */
+std::array<std::array<float, 2>, 2>
+transformOutput(const Mat4 &m)
+{
+    // A^T = [1 1 1 0; 0 1 -1 -1]
+    std::array<std::array<float, 4>, 2> t{};
+    for (int j = 0; j < 4; ++j) {
+        t[0][j] = m[0][j] + m[1][j] + m[2][j];
+        t[1][j] = m[1][j] - m[2][j] - m[3][j];
+    }
+    std::array<std::array<float, 2>, 2> y{};
+    for (int i = 0; i < 2; ++i) {
+        y[i][0] = t[i][0] + t[i][1] + t[i][2];
+        y[i][1] = t[i][1] - t[i][2] - t[i][3];
+    }
+    return y;
+}
+
+} // namespace
+
+bool
+winogradApplicable(const ConvParams &params)
+{
+    return params.kernelH == 3 && params.kernelW == 3 &&
+           params.strideH == 1 && params.strideW == 1 &&
+           params.dilationH == 1 && params.dilationW == 1;
+}
+
+Tensor
+convWinograd(const ConvParams &params, const Tensor &input,
+             const Tensor &filter)
+{
+    params.validate();
+    CFCONV_FATAL_IF(!winogradApplicable(params),
+                    "convWinograd: F(2x2, 3x3) needs a 3x3 stride-1 "
+                    "undilated kernel (%s)", params.toString().c_str());
+
+    const Index ho = params.outH(), wo = params.outW();
+    Tensor out(params.batch, params.outChannels, ho, wo);
+
+    // Pre-transform every filter tap once: U[co][ci] is 4x4.
+    std::vector<Mat4> u(static_cast<size_t>(params.outChannels *
+                                            params.inChannels));
+    for (Index co = 0; co < params.outChannels; ++co) {
+        for (Index ci = 0; ci < params.inChannels; ++ci) {
+            std::array<std::array<float, 3>, 3> g{};
+            for (int r = 0; r < 3; ++r)
+                for (int s = 0; s < 3; ++s)
+                    g[static_cast<size_t>(r)][static_cast<size_t>(s)] =
+                        filter.at(co, ci, r, s);
+            u[static_cast<size_t>(co * params.inChannels + ci)] =
+                transformFilter(g);
+        }
+    }
+
+    for (Index n = 0; n < params.batch; ++n) {
+        for (Index oh0 = 0; oh0 < ho; oh0 += 2) {
+            for (Index ow0 = 0; ow0 < wo; ow0 += 2) {
+                // Transform the 4x4 data tile per input channel once.
+                std::vector<Mat4> v(
+                    static_cast<size_t>(params.inChannels));
+                for (Index ci = 0; ci < params.inChannels; ++ci) {
+                    Mat4 d{};
+                    for (int r = 0; r < 4; ++r)
+                        for (int s = 0; s < 4; ++s)
+                            d[static_cast<size_t>(r)]
+                             [static_cast<size_t>(s)] = input.atPadded(
+                                 n, ci, oh0 - params.padH + r,
+                                 ow0 - params.padW + s);
+                    v[static_cast<size_t>(ci)] = transformData(d);
+                }
+                for (Index co = 0; co < params.outChannels; ++co) {
+                    Mat4 m{};
+                    for (Index ci = 0; ci < params.inChannels; ++ci) {
+                        const Mat4 &uu = u[static_cast<size_t>(
+                            co * params.inChannels + ci)];
+                        const Mat4 &vv = v[static_cast<size_t>(ci)];
+                        for (int i = 0; i < 4; ++i)
+                            for (int j = 0; j < 4; ++j)
+                                m[static_cast<size_t>(i)]
+                                 [static_cast<size_t>(j)] +=
+                                    uu[static_cast<size_t>(i)]
+                                      [static_cast<size_t>(j)] *
+                                    vv[static_cast<size_t>(i)]
+                                      [static_cast<size_t>(j)];
+                    }
+                    const auto y = transformOutput(m);
+                    for (int i = 0; i < 2; ++i)
+                        for (int j = 0; j < 2; ++j)
+                            if (oh0 + i < ho && ow0 + j < wo)
+                                out.at(n, co, oh0 + i, ow0 + j) =
+                                    y[static_cast<size_t>(i)]
+                                     [static_cast<size_t>(j)];
+                }
+            }
+        }
+    }
+    return out;
+}
+
+WinogradCost
+winogradCost(const ConvParams &params)
+{
+    CFCONV_FATAL_IF(!winogradApplicable(params),
+                    "winogradCost: outside F(2x2, 3x3)'s domain");
+    WinogradCost cost;
+    const Flops tiles =
+        static_cast<Flops>(params.batch) *
+        static_cast<Flops>(divCeil(params.outH(), Index{2})) *
+        static_cast<Flops>(divCeil(params.outW(), Index{2}));
+    // Element-wise stage only (the transforms are adds + cheap scales).
+    cost.winogradMuls = tiles * 16ULL *
+                        static_cast<Flops>(params.inChannels) *
+                        static_cast<Flops>(params.outChannels);
+    cost.directMuls = static_cast<Flops>(params.outputElems()) * 9ULL *
+                      static_cast<Flops>(params.inChannels);
+    return cost;
+}
+
+} // namespace cfconv::tensor

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Winograd F(2x2, 3x3) convolution — the classical alternative to
+ * im2col for 3x3/stride-1 layers. Included as the contrast case: it
+ * cuts multiplications 2.25x but replaces the single big GEMM with
+ * per-tile 4x4 transforms whose data flow does not map onto a
+ * weight-stationary systolic array, which is exactly why GEMM-based
+ * accelerators lower through im2col instead (the trade-off the paper's
+ * Sec. II takes as given).
+ */
+
+#ifndef CFCONV_TENSOR_WINOGRAD_H
+#define CFCONV_TENSOR_WINOGRAD_H
+
+#include "tensor/conv_params.h"
+#include "tensor/tensor.h"
+
+namespace cfconv::tensor {
+
+/** Multiplication counts for the Winograd-vs-direct comparison. */
+struct WinogradCost
+{
+    Flops directMuls = 0;   ///< 9 per output element (times C_I, C_O)
+    Flops winogradMuls = 0; ///< 16 per 2x2 output tile element-wise
+    double
+    reduction() const
+    {
+        return winogradMuls
+            ? static_cast<double>(directMuls) /
+                  static_cast<double>(winogradMuls)
+            : 0.0;
+    }
+};
+
+/** @return true when @p params is in F(2x2, 3x3)'s domain:
+ *  3x3 kernel, stride 1, dilation 1. */
+bool winogradApplicable(const ConvParams &params);
+
+/**
+ * Winograd F(2x2, 3x3) convolution. Requires winogradApplicable();
+ * output geometry follows @p params (padding handled by the padded
+ * input reads). Exact up to floating-point reassociation.
+ */
+Tensor convWinograd(const ConvParams &params, const Tensor &input,
+                    const Tensor &filter);
+
+/** Element-wise multiplication counts of both algorithms. */
+WinogradCost winogradCost(const ConvParams &params);
+
+} // namespace cfconv::tensor
+
+#endif // CFCONV_TENSOR_WINOGRAD_H

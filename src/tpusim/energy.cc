@@ -1,0 +1,25 @@
+#include "tpusim/energy.h"
+
+namespace cfconv::tpusim {
+
+TpuEnergyReport
+layerEnergy(const TpuConfig &config, const TpuLayerResult &result)
+{
+    TpuEnergyReport e;
+    e.dramPj = static_cast<double>(result.dramBytes) *
+               sram::kDramPjPerByte;
+
+    sram::SramEnergyModel sram_model(config.elemBytes);
+    const double per_access =
+        sram_model.accessPj(config.perArrayBytes(), config.wordElems);
+    e.sramPj = static_cast<double>(result.vecMemOps) * per_access;
+
+    const double macs = result.tflops * 1e12 * result.seconds / 2.0;
+    e.macPj = macs * sram::kMacPj;
+
+    e.totalPj = e.dramPj + e.sramPj + e.macPj;
+    e.pjPerMac = macs > 0.0 ? e.totalPj / macs : 0.0;
+    return e;
+}
+
+} // namespace cfconv::tpusim

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Energy accounting on top of TPUSim results: combines the SRAM/DRAM
+ * access-energy models with the simulator's traffic counters to report
+ * per-layer energy and pJ/MAC — the energy companion to the paper's
+ * area-oriented design-space study (Fig 16b).
+ */
+
+#ifndef CFCONV_TPUSIM_ENERGY_H
+#define CFCONV_TPUSIM_ENERGY_H
+
+#include "sram/energy_model.h"
+#include "tpusim/tpu_sim.h"
+
+namespace cfconv::tpusim {
+
+/** Energy breakdown of one simulated layer. */
+struct TpuEnergyReport
+{
+    double dramPj = 0.0;   ///< off-chip traffic energy
+    double sramPj = 0.0;   ///< vector-memory access energy
+    double macPj = 0.0;    ///< systolic-array compute energy
+    double totalPj = 0.0;
+    double pjPerMac = 0.0; ///< total energy per useful MAC
+};
+
+/**
+ * Energy for one layer result produced by @p config's simulator. MAC
+ * count is recovered from the result's throughput accounting.
+ */
+TpuEnergyReport layerEnergy(const TpuConfig &config,
+                            const TpuLayerResult &result);
+
+} // namespace cfconv::tpusim
+
+#endif // CFCONV_TPUSIM_ENERGY_H

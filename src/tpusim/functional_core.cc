@@ -1,0 +1,151 @@
+#include "tpusim/functional_core.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+#include "tensor/im2col_explicit.h"
+
+namespace cfconv::tpusim {
+
+FunctionalTpuCore::FunctionalTpuCore(Index array_rows, Index array_cols,
+                                     Index word_elems)
+    : arrayRows_(array_rows), arrayCols_(array_cols),
+      wordElems_(word_elems)
+{
+    CFCONV_FATAL_IF(array_rows < 1 || array_cols < 1 || word_elems < 1,
+                    "FunctionalTpuCore: bad configuration");
+}
+
+FunctionalRunResult
+FunctionalTpuCore::runConv(const ConvParams &params, const Tensor &input,
+                           const Tensor &filter, Index tiles_per_group)
+{
+    params.validate();
+    CFCONV_FATAL_IF(params.inChannels * tiles_per_group > arrayRows_,
+                    "FunctionalTpuCore: C_I * T = %lld exceeds array "
+                    "rows %lld",
+                    static_cast<long long>(params.inChannels *
+                                           tiles_per_group),
+                    static_cast<long long>(arrayRows_));
+    CFCONV_FATAL_IF(params.outChannels > arrayCols_,
+                    "FunctionalTpuCore: C_O exceeds array columns");
+
+    const Index m_dim = params.gemmM();
+    const Index w = wordElems_;
+    const im2col::MultiTilePlan plan =
+        im2col::planMultiTile(params, tiles_per_group);
+
+    Matrix acc(m_dim, params.gemmN());
+    acc.fill(0.0f);
+
+    FunctionalRunResult result{
+        Tensor(1, 1, 1, 1), false, 0, 0, 0};
+
+    systolic::SystolicArray array(arrayRows_, arrayCols_);
+
+    for (const auto &group : plan.groups) {
+        const Matrix a = im2col::groupOperand(params, input, group);
+        const Matrix b = im2col::groupWeights(params, filter, group);
+        const Index k_dim = a.cols();
+
+        // One vector memory per active PE row. The IFMap occupies word
+        // addresses [0, words_in); the OFMap region starts above it.
+        const Index words_in = divCeil(m_dim, w);
+        sram::VectorMemoryConfig vm_cfg;
+        vm_cfg.wordElems = w;
+        vm_cfg.elemBytes = 4;
+        vm_cfg.capacityBytes =
+            static_cast<Bytes>(2 * words_in * w) * vm_cfg.elemBytes;
+        std::vector<sram::VectorMemory> vmems;
+        vmems.reserve(static_cast<size_t>(arrayRows_));
+        for (Index i = 0; i < arrayRows_; ++i)
+            vmems.emplace_back(vm_cfg);
+
+        // Prefill: vector memory k holds column k of the merged operand
+        // (its channel/tile lane), in HWCN word order.
+        for (Index k = 0; k < k_dim; ++k) {
+            for (Index word = 0; word < words_in; ++word) {
+                std::vector<float> data(static_cast<size_t>(w), 0.0f);
+                for (Index e = 0; e < w; ++e) {
+                    const Index m = word * w + e;
+                    if (m < m_dim)
+                        data[static_cast<size_t>(e)] = a.at(m, k);
+                }
+                vmems[static_cast<size_t>(k)].writeWord(word, data, 0);
+            }
+        }
+        for (auto &vm : vmems)
+            vm.resetStats();
+
+        array.loadWeights(b);
+
+        // Serializer state per row, plus the exact cycles each port is
+        // busy with a read (for scheduling the interleaved writes).
+        std::vector<std::vector<float>> ser_buf(
+            static_cast<size_t>(k_dim));
+        std::vector<std::set<Cycles>> busy(
+            static_cast<size_t>(arrayRows_));
+
+        systolic::ActivationProvider provider =
+            [&](Index k, Cycles t) -> float {
+            const Index m = static_cast<Index>(t) - k;
+            if (k >= k_dim || m < 0 || m >= m_dim)
+                return 0.0f;
+            auto &buf = ser_buf[static_cast<size_t>(k)];
+            if (m % w == 0) {
+                buf = vmems[static_cast<size_t>(k)].readWord(m / w, t);
+                busy[static_cast<size_t>(k)].insert(t);
+            }
+            return buf[static_cast<size_t>(m % w)];
+        };
+
+        const Matrix out = array.runWithProvider(provider, m_dim);
+        result.cycles += array.lastRunCycles();
+
+        // De-serializer: output column j (of array column j) produces
+        // C[m][j] at cycle m + j + k_dim - 1; after w results a word
+        // write is due. Schedule each write at the first port-free cycle
+        // at or after it becomes ready. Column j's results are stored in
+        // vector memory j % arrayRows_ above the IFMap region.
+        for (Index j = 0; j < b.cols(); ++j) {
+            const Index target = j % arrayRows_;
+            auto &busy_set = busy[static_cast<size_t>(target)];
+            for (Index word = 0; word < words_in; ++word) {
+                const Index m_last =
+                    std::min(word * w + w - 1, m_dim - 1);
+                Cycles ready = static_cast<Cycles>(
+                    m_last + j + k_dim - 1) + 1;
+                while (busy_set.count(ready))
+                    ++ready;
+                busy_set.insert(ready);
+
+                std::vector<float> data(static_cast<size_t>(w), 0.0f);
+                for (Index e = 0; e < w; ++e) {
+                    const Index m = word * w + e;
+                    if (m < m_dim)
+                        data[static_cast<size_t>(e)] = out.at(m, j);
+                }
+                const Index dest = words_in + (j / arrayRows_) * words_in
+                                   + word;
+                vmems[static_cast<size_t>(target)].writeWord(
+                    dest % vm_cfg.words(), data, ready);
+            }
+        }
+
+        for (const auto &vm : vmems) {
+            result.portConflict |= vm.hadPortConflict();
+            result.vecMemReads += vm.readCount();
+            result.vecMemWrites += vm.writeCount();
+        }
+
+        for (Index m = 0; m < m_dim; ++m)
+            for (Index n = 0; n < params.gemmN(); ++n)
+                acc.at(m, n) += out.at(m, n);
+    }
+
+    result.output = tensor::foldOutput(params, acc);
+    return result;
+}
+
+} // namespace cfconv::tpusim

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Functional TPU core: wires per-row vector memories, serializers, the
+ * skewed address generation, and the cycle-level systolic array into an
+ * executable model of Fig 10. Small configurations prove that the
+ * channel-first mapping produces exact convolution results and that
+ * IFMap reads and OFMap writes interleave on the single SRAM port
+ * without conflicts.
+ */
+
+#ifndef CFCONV_TPUSIM_FUNCTIONAL_CORE_H
+#define CFCONV_TPUSIM_FUNCTIONAL_CORE_H
+
+#include <memory>
+#include <vector>
+
+#include "im2col/multi_tile.h"
+#include "sram/vector_memory.h"
+#include "systolic/systolic_array.h"
+#include "tensor/conv_ref.h"
+
+namespace cfconv::tpusim {
+
+using im2col::TileGroup;
+using tensor::ConvParams;
+using tensor::Matrix;
+using tensor::Tensor;
+
+/** Result of a functional run. */
+struct FunctionalRunResult
+{
+    Tensor output;          ///< the OFMap (N, C_O, H_O, W_O)
+    bool portConflict;      ///< any same-cycle double use of an SRAM port
+    Index vecMemReads;      ///< total word reads across vector memories
+    Index vecMemWrites;     ///< total word writes across vector memories
+    Cycles cycles;          ///< systolic cycles summed over tile passes
+};
+
+/**
+ * Functional TPU core with @p array_rows x @p array_cols PEs and one
+ * vector memory (word size @p word_elems) per PE row. The word size
+ * plays the serializer/de-serializer role of Fig 9: each SRAM word read
+ * feeds word_elems consecutive GEMM rows, and OFMap writes land on the
+ * complementary port cycles.
+ */
+class FunctionalTpuCore
+{
+  public:
+    FunctionalTpuCore(Index array_rows, Index array_cols,
+                      Index word_elems);
+
+    /**
+     * Execute a full convolution with the channel-first algorithm and
+     * multi-tile parameter @p tiles_per_group. C_I * tiles_per_group
+     * must fit in the array rows and C_O in the array cols (use the
+     * tile-level TpuSim for larger shapes).
+     */
+    FunctionalRunResult runConv(const ConvParams &params,
+                                const Tensor &input,
+                                const Tensor &filter,
+                                Index tiles_per_group);
+
+  private:
+    Index arrayRows_, arrayCols_, wordElems_;
+};
+
+} // namespace cfconv::tpusim
+
+#endif // CFCONV_TPUSIM_FUNCTIONAL_CORE_H

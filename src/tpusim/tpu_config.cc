@@ -1,0 +1,56 @@
+#include "tpusim/tpu_config.h"
+
+#include "common/logging.h"
+
+namespace cfconv::tpusim {
+
+TpuConfig
+TpuConfig::tpuV2()
+{
+    TpuConfig c;
+    c.array.rows = 128;
+    c.array.cols = 128;
+    c.array.weightLoadOverlapped = true;
+    c.clockGhz = 0.7;
+    c.vectorMemories = 128;
+    c.wordElems = 8;
+    c.elemBytes = 4;
+    c.onChipBytes = 32ULL * 1024 * 1024;
+    c.dram = dram::DramConfig::hbm700();
+    return c;
+}
+
+TpuConfig
+tpuConfigFrom(const Config &config, TpuConfig base)
+{
+    TpuConfig c = base;
+    const Index array =
+        static_cast<Index>(config.getInt("array", c.array.rows));
+    c.array.rows = c.array.cols = array;
+    c.vectorMemories = array;
+    c.clockGhz = config.getDouble("clock_ghz", c.clockGhz);
+    c.wordElems =
+        static_cast<Index>(config.getInt("word_elems", c.wordElems));
+    c.elemBytes = static_cast<Bytes>(
+        config.getInt("elem_bytes",
+                      static_cast<long long>(c.elemBytes)));
+    c.onChipBytes = static_cast<Bytes>(config.getInt(
+                        "onchip_mb",
+                        static_cast<long long>(c.onChipBytes >> 20)))
+                    << 20;
+    const double gbps =
+        config.getDouble("dram_gbps", c.dram.peakGBps());
+    c.dram.clockGhz *= gbps / c.dram.peakGBps();
+    c.invokeOverheadCycles = static_cast<Cycles>(config.getInt(
+        "invoke_overhead_cycles",
+        static_cast<long long>(c.invokeOverheadCycles)));
+    c.mxus = static_cast<Index>(config.getInt("mxus", c.mxus));
+
+    const auto unused = config.unusedKeys();
+    CFCONV_FATAL_IF(!unused.empty(),
+                    "tpu config: unknown key '%s'",
+                    unused.begin()->c_str());
+    return c;
+}
+
+} // namespace cfconv::tpusim

@@ -1,0 +1,510 @@
+#include "tpusim/tpu_sim.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "dram/access_pattern.h"
+#include "systolic/systolic_timing.h"
+#include "tensor/space_to_depth.h"
+
+namespace cfconv::tpusim {
+
+namespace {
+
+/** Closed-form DRAM efficiency by access-pattern friendliness. */
+double
+layoutEfficiency(tensor::Layout layout)
+{
+    switch (layout) {
+      case tensor::Layout::HWCN:
+      case tensor::Layout::NHWC:
+        return 0.85; // long contiguous bursts (Fig 7, HWC side)
+      case tensor::Layout::NCHW:
+      case tensor::Layout::CHWN:
+        return 0.45; // short scattered bursts (Fig 7, CHW side)
+    }
+    return 0.5;
+}
+
+} // namespace
+
+TpuSim::TpuSim(const TpuConfig &config) : config_(config)
+{
+    CFCONV_FATAL_IF(config.vectorMemories != config.array.rows,
+                    "TpuSim: expect one vector memory per PE row "
+                    "(%lld vs %lld)",
+                    static_cast<long long>(config.vectorMemories),
+                    static_cast<long long>(config.array.rows));
+}
+
+Cycles
+TpuSim::dramCycles(Bytes bytes, double efficiency) const
+{
+    if (bytes == 0)
+        return 0;
+    return dram::transferCycles(bytes, config_.dram.peakGBps(),
+                                config_.clockGhz, efficiency);
+}
+
+Cycles
+TpuSim::tileFillCoreCycles(const ConvParams &params,
+                           const im2col::FilterTile &tile,
+                           tensor::Layout layout, bool detailed) const
+{
+    const Bytes bytes =
+        static_cast<Bytes>(im2col::tileFillElems(params, tile)) *
+        dataTypeSize(params.dataType);
+    if (!detailed)
+        return dramCycles(bytes, layoutEfficiency(layout));
+
+    dram::DramModel model(config_.dram);
+    const auto stream = dram::tileFillStream(params, tile, layout);
+    if (stream.empty())
+        return 0;
+    const Cycles dram_cycles = model.service(stream);
+    const double secs = model.cyclesToSeconds(dram_cycles);
+    return static_cast<Cycles>(secs * config_.clockGhz * 1e9 + 0.5);
+}
+
+TpuLayerResult
+TpuSim::scheduleUnits(const std::vector<Unit> &units,
+                      Flops total_flops, bool capture_trace) const
+{
+    TpuLayerResult r;
+    CFCONV_FATAL_IF(units.empty(), "TpuSim: nothing to schedule");
+
+    // Double buffering: the fill of unit i+1 overlaps the compute of
+    // unit i; only unit 0's fill is fully exposed. With multiple
+    // matrix units, independent passes run concurrently until the
+    // single-port vector memories run out of bandwidth: each MXU needs
+    // its own word stream, so per-unit compute divides by the MXU
+    // count but never below the port-service time.
+    const double mxus = static_cast<double>(config_.mxus);
+    Cycles total = config_.invokeOverheadCycles + units.front().fill;
+    Index port_ops = 0;
+    for (size_t i = 0; i < units.size(); ++i) {
+        const Cycles next_fill =
+            i + 1 < units.size() ? units[i + 1].fill : 0;
+        const Cycles port_floor = static_cast<Cycles>(
+            divCeil<Index>(units[i].portOps, config_.vectorMemories));
+        const Cycles compute = std::max<Cycles>(
+            static_cast<Cycles>(
+                static_cast<double>(units[i].compute) / mxus + 0.5),
+            port_floor);
+        total += std::max(compute, next_fill);
+        r.computeCycles += compute;
+        r.fillCycles += units[i].fill;
+        port_ops += units[i].portOps;
+        if (capture_trace)
+            r.trace.push_back({units[i].fill, compute});
+    }
+
+    r.cycles = total;
+    r.vecMemOps = port_ops;
+    r.exposedFillCycles = total - r.computeCycles;
+    r.seconds = config_.cyclesToSeconds(total);
+    r.tflops = static_cast<double>(total_flops) / r.seconds / 1e12;
+    const double capacity = static_cast<double>(total) *
+                            static_cast<double>(config_.array.rows) *
+                            static_cast<double>(config_.array.cols);
+    r.arrayUtilization =
+        static_cast<double>(total_flops) / 2.0 / capacity;
+    r.portUtilization =
+        static_cast<double>(port_ops) /
+        (static_cast<double>(total) *
+         static_cast<double>(config_.vectorMemories));
+    return r;
+}
+
+TpuLayerResult
+TpuSim::runConv(const ConvParams &params,
+                const TpuRunOptions &options) const
+{
+    params.validate();
+    if (options.spaceToDepthFirstLayer && params.inChannels <= 4 &&
+        params.strideH % 2 == 0 && params.strideW % 2 == 0 &&
+        params.dilationH == 1 && params.dilationW == 1) {
+        // Shallow stem: remap through space-to-depth so the systolic
+        // rows are four times better occupied.
+        TpuRunOptions inner = options;
+        inner.spaceToDepthFirstLayer = false;
+        return runConv(tensor::spaceToDepthParams(params, 2), inner);
+    }
+    switch (options.algorithm) {
+      case ConvAlgorithm::ChannelFirst:
+        return runChannelFirst(params, options);
+      case ConvAlgorithm::ChannelLast:
+        return runChannelLast(params, options);
+      case ConvAlgorithm::Explicit:
+        return runExplicit(params, options);
+    }
+    panic("TpuSim: unknown algorithm");
+}
+
+TpuLayerResult
+TpuSim::runChannelFirst(const ConvParams &params,
+                        const TpuRunOptions &options) const
+{
+    const Index rows = config_.array.rows;
+    const Index cols = config_.array.cols;
+    const Index m_total = params.gemmM();
+    const Bytes elem = dataTypeSize(params.dataType);
+    const Index word = config_.wordElems;
+
+    // Channel chunking for C_I > rows; multi-tile merging otherwise.
+    struct Pass
+    {
+        Index kEff;         ///< systolic rows occupied
+        Cycles fillCore;    ///< full-layer fill cycles for this pass
+        Bytes fillBytes;    ///< full-layer fill bytes for this pass
+        Index lanes;        ///< operand lanes resident on chip
+    };
+    std::vector<Pass> passes;
+    Index multi_tile = 1;
+
+    if (params.inChannels <= rows) {
+        multi_tile = options.multiTileOverride > 0
+            ? std::min({options.multiTileOverride,
+                        params.kernelH * params.kernelW,
+                        std::max<Index>(1, rows / params.inChannels)})
+            : im2col::tpuMultiTileParam(rows, params);
+        const im2col::MultiTilePlan plan =
+            im2col::planMultiTile(params, multi_tile);
+        for (const auto &group : plan.groups) {
+            Pass p{};
+            p.kEff = group.mergedK(params);
+            for (const auto &t : group.tiles) {
+                p.fillCore += tileFillCoreCycles(
+                    params, t, options.dramLayout, options.detailedDram);
+                p.fillBytes +=
+                    static_cast<Bytes>(im2col::tileFillElems(params, t)) *
+                    elem;
+            }
+            p.lanes = p.kEff;
+            passes.push_back(p);
+        }
+    } else {
+        const Index chunks = divCeil(params.inChannels, rows);
+        for (const auto &tile : im2col::decomposeFilter(params)) {
+            const Cycles tile_fill = tileFillCoreCycles(
+                params, tile, options.dramLayout, options.detailedDram);
+            const Bytes tile_bytes =
+                static_cast<Bytes>(im2col::tileFillElems(params, tile)) *
+                elem;
+            for (Index c = 0; c < chunks; ++c) {
+                Pass p{};
+                p.kEff = std::min(rows, params.inChannels - c * rows);
+                const double frac = static_cast<double>(p.kEff) /
+                                    static_cast<double>(params.inChannels);
+                p.fillCore = static_cast<Cycles>(
+                    static_cast<double>(tile_fill) * frac + 0.5);
+                p.fillBytes = static_cast<Bytes>(
+                    static_cast<double>(tile_bytes) * frac + 0.5);
+                p.lanes = p.kEff;
+                passes.push_back(p);
+            }
+        }
+    }
+
+    // M tiling by vector-memory capacity: each lane (channel x tile
+    // copy) stores one element per GEMM row, double buffered.
+    const Index usable =
+        static_cast<Index>(config_.perArrayBytes() / config_.elemBytes);
+    Index m_tile = std::min<Index>(m_total, usable / 2 - 4 * word);
+    m_tile = std::max<Index>(word, (m_tile / word) * word);
+    const Index m_tiles = divCeil(m_total, m_tile);
+
+    const Index n_passes = divCeil(params.gemmN(), cols);
+
+    // When the layer's whole input footprint fits on chip, it is loaded
+    // from DRAM once; later decomposed-filter groups replicate data
+    // inside the vector memories instead of refetching (Sec. IV-B).
+    const Bytes union_bytes = im2col::inputUnionBytes(params);
+    // Residency depends only on the activation volume: M-tiling a
+    // resident input redistributes data inside the unified memory,
+    // never over DRAM.
+    const bool resident = union_bytes * 2 <= config_.onChipBytes;
+
+    std::vector<Unit> units;
+    Bytes dram_bytes = 0;
+    Bytes peak_on_chip = 0;
+    for (const auto &pass : passes) {
+        dram_bytes += pass.fillBytes;
+        peak_on_chip = std::max(
+            peak_on_chip, static_cast<Bytes>(pass.lanes) *
+                              static_cast<Bytes>(std::min(m_tile, m_total))
+                              * config_.elemBytes);
+        for (Index mt = 0; mt < m_tiles; ++mt) {
+            const Index m_cur =
+                std::min(m_tile, m_total - mt * m_tile);
+            Unit u;
+            const double frac = static_cast<double>(m_cur) /
+                                static_cast<double>(m_total);
+            if (resident) {
+                // Activations live in the unified on-chip memory
+                // between layers (32 MB); tile replication happens
+                // inside the vector memories, not over DRAM.
+                u.fill = 0;
+            } else {
+                u.fill = static_cast<Cycles>(
+                    static_cast<double>(pass.fillCore) * frac + 0.5);
+            }
+            for (Index n0 = 0; n0 < params.gemmN(); n0 += cols) {
+                const Index n_eff =
+                    std::min(cols, params.gemmN() - n0);
+                u.compute += systolic::passCycles(config_.array, m_cur,
+                                                  pass.kEff, n_eff);
+                u.portOps += pass.kEff * divCeil(m_cur, word) +
+                             n_eff * divCeil(m_cur, word);
+            }
+            u.macs = static_cast<Flops>(m_cur) *
+                     static_cast<Flops>(pass.kEff) *
+                     static_cast<Flops>(params.gemmN());
+            units.push_back(u);
+        }
+    }
+    (void)n_passes;
+
+    // Weight traffic always streams from DRAM; the OFMap is written
+    // back only when the activations do not stay on chip. Writeback
+    // shares the bus, so spread its cycles across the fill phases.
+    if (resident) {
+        dram_bytes = params.filterBytes();
+    } else {
+        dram_bytes += params.filterBytes() + params.outputBytes();
+        const Cycles out_cycles = dramCycles(params.outputBytes(), 0.85);
+        for (auto &u : units)
+            u.fill += out_cycles / static_cast<Cycles>(units.size());
+    }
+
+    TpuLayerResult r =
+        scheduleUnits(units, params.flops(), options.captureTrace);
+    r.dramBytes = dram_bytes;
+    r.multiTile = multi_tile;
+    r.peakOnChipBytes = peak_on_chip;
+    return r;
+}
+
+TpuLayerResult
+TpuSim::runChannelLast(const ConvParams &params,
+                       const TpuRunOptions &options) const
+{
+    const Index rows = config_.array.rows;
+    const Index cols = config_.array.cols;
+    const Index m_total = params.gemmM();
+    const Index k_total = params.gemmK();
+    const Bytes elem = dataTypeSize(params.dataType);
+    const Index word = config_.wordElems;
+
+    // The channel-last fill loads the union of all receptive fields --
+    // effectively the whole input region -- regardless of stride.
+    const Bytes union_bytes = im2col::inputUnionBytes(params);
+    (void)elem;
+
+    const Index usable =
+        static_cast<Index>(config_.perArrayBytes() / config_.elemBytes);
+    Index m_tile = std::min<Index>(m_total, usable / 2 - 4 * word);
+    m_tile = std::max<Index>(word, (m_tile / word) * word);
+    const Index m_tiles = divCeil(m_total, m_tile);
+
+    const bool resident = union_bytes * 2 <= config_.onChipBytes;
+
+    std::vector<Unit> units;
+    for (Index mt = 0; mt < m_tiles; ++mt) {
+        const Index m_cur = std::min(m_tile, m_total - mt * m_tile);
+        const double frac = static_cast<double>(m_cur) /
+                            static_cast<double>(m_total);
+        Unit u;
+        u.fill = resident
+            ? 0
+            : dramCycles(static_cast<Bytes>(
+                             static_cast<double>(union_bytes) * frac),
+                         layoutEfficiency(options.dramLayout));
+        for (Index k0 = 0; k0 < k_total; k0 += rows) {
+            const Index k_eff = std::min(rows, k_total - k0);
+            for (Index n0 = 0; n0 < params.gemmN(); n0 += cols) {
+                const Index n_eff = std::min(cols, params.gemmN() - n0);
+                u.compute += systolic::passCycles(config_.array, m_cur,
+                                                  k_eff, n_eff);
+                u.portOps += (k_eff + n_eff) * divCeil(m_cur, word);
+            }
+        }
+        units.push_back(u);
+    }
+
+    TpuLayerResult r =
+        scheduleUnits(units, params.flops(), options.captureTrace);
+    r.dramBytes = resident
+        ? params.filterBytes()
+        : union_bytes + params.filterBytes() + params.outputBytes();
+    r.multiTile = 1;
+    r.peakOnChipBytes = union_bytes / static_cast<Bytes>(m_tiles ? m_tiles
+                                                                 : 1);
+    return r;
+}
+
+TpuLayerResult
+TpuSim::runExplicit(const ConvParams &params,
+                    const TpuRunOptions &options) const
+{
+    // GEMM over the materialized lowered matrix, streamed from DRAM.
+    TpuLayerResult r =
+        runGemm(params.gemmM(), params.gemmK(), params.gemmN(),
+                params.dataType);
+    // The transformation itself: by default estimated as the DRAM time
+    // to read the IFMap and write the lowered matrix; callers may
+    // substitute a measured/estimated figure (Fig 2b uses GPU numbers).
+    double transform = options.explicitTransformSeconds;
+    if (transform <= 0.0) {
+        const Cycles t = dramCycles(
+            params.inputBytes() + params.loweredBytes(), 0.7);
+        transform = config_.cyclesToSeconds(t);
+    }
+    r.seconds += transform;
+    r.cycles += static_cast<Cycles>(transform * config_.clockGhz * 1e9);
+    r.tflops =
+        static_cast<double>(params.flops()) / r.seconds / 1e12;
+    r.dramBytes += params.inputBytes() + 2 * params.loweredBytes();
+    const double capacity = static_cast<double>(r.cycles) *
+                            static_cast<double>(config_.array.rows) *
+                            static_cast<double>(config_.array.cols);
+    r.arrayUtilization =
+        static_cast<double>(params.flops()) / 2.0 / capacity;
+    return r;
+}
+
+TpuLayerResult
+TpuSim::runGroupedConv(const ConvParams &base, Index groups,
+                       const TpuRunOptions &options) const
+{
+    base.validate();
+    CFCONV_FATAL_IF(groups < 1, "runGroupedConv: groups must be >= 1");
+    if (groups == 1)
+        return runConv(base, options);
+    CFCONV_FATAL_IF(base.inChannels % groups != 0 ||
+                    base.outChannels % groups != 0,
+                    "runGroupedConv: channels not divisible by groups");
+
+    const Index cig = base.inChannels / groups;
+    const Index cog = base.outChannels / groups;
+    // Block-diagonal packing: each pass holds `pack` group slices.
+    const Index pack = std::max<Index>(
+        1, std::min(config_.array.rows / std::max<Index>(1, cig),
+                    config_.array.cols / std::max<Index>(1, cog)));
+    const Index packed = std::min(pack, groups);
+
+    ConvParams eq = base;
+    eq.inChannels = packed * cig;
+    eq.outChannels = packed * cog;
+    TpuLayerResult r = runConv(eq, options);
+
+    const Index reps = divCeil(groups, packed);
+    r.seconds *= static_cast<double>(reps);
+    r.cycles *= static_cast<Cycles>(reps);
+    r.dramBytes *= static_cast<Bytes>(reps);
+    r.computeCycles *= static_cast<Cycles>(reps);
+    r.fillCycles *= static_cast<Cycles>(reps);
+    r.vecMemOps *= reps;
+
+    // Useful work is the grouped FLOP count; the block-diagonal zeros
+    // are wasted array capacity.
+    const Flops useful = base.flops() / static_cast<Flops>(groups);
+    r.tflops = static_cast<double>(useful) / r.seconds / 1e12;
+    r.arrayUtilization =
+        static_cast<double>(useful) / 2.0 /
+        (static_cast<double>(r.cycles) *
+         static_cast<double>(config_.array.rows) *
+         static_cast<double>(config_.array.cols));
+    return r;
+}
+
+TpuLayerResult
+TpuSim::runGemm(Index m, Index k, Index n, DataType dtype) const
+{
+    CFCONV_FATAL_IF(m < 1 || k < 1 || n < 1,
+                    "TpuSim::runGemm: non-positive dimensions");
+    const Index rows = config_.array.rows;
+    const Index cols = config_.array.cols;
+    const Bytes elem = dataTypeSize(dtype);
+    const Index word = config_.wordElems;
+
+    const Index usable =
+        static_cast<Index>(config_.perArrayBytes() / config_.elemBytes);
+    Index m_tile = std::min<Index>(m, usable / 2 - 4 * word);
+    m_tile = std::max<Index>(word, (m_tile / word) * word);
+
+    std::vector<Unit> units;
+    for (Index m0 = 0; m0 < m; m0 += m_tile) {
+        const Index m_cur = std::min(m_tile, m - m0);
+        for (Index k0 = 0; k0 < k; k0 += rows) {
+            const Index k_eff = std::min(rows, k - k0);
+            Unit u;
+            u.fill = dramCycles(static_cast<Bytes>(m_cur) *
+                                    static_cast<Bytes>(k_eff) * elem,
+                                0.85);
+            for (Index n0 = 0; n0 < n; n0 += cols) {
+                const Index n_eff = std::min(cols, n - n0);
+                u.compute += systolic::passCycles(config_.array, m_cur,
+                                                  k_eff, n_eff);
+                u.portOps += (k_eff + n_eff) * divCeil(m_cur, word);
+            }
+            u.macs = static_cast<Flops>(m_cur) *
+                     static_cast<Flops>(k_eff) * static_cast<Flops>(n);
+            units.push_back(u);
+        }
+    }
+
+    const Flops flops = 2ULL * static_cast<Flops>(m) *
+                        static_cast<Flops>(k) * static_cast<Flops>(n);
+    TpuLayerResult r = scheduleUnits(units, flops);
+    r.dramBytes = (static_cast<Bytes>(m) * static_cast<Bytes>(k) +
+                   static_cast<Bytes>(k) * static_cast<Bytes>(n) +
+                   static_cast<Bytes>(m) * static_cast<Bytes>(n)) *
+                  elem;
+    return r;
+}
+
+TpuModelResult
+TpuSim::runModelMultiCore(const models::ModelSpec &model, Index cores,
+                          const TpuRunOptions &options) const
+{
+    CFCONV_FATAL_IF(cores < 1, "runModelMultiCore: cores must be >= 1");
+    // Data parallelism: each core gets an equal batch slice. A batch
+    // smaller than the core count leaves cores idle (batch 1 gains
+    // nothing), which is the honest behaviour of batch splitting.
+    models::ModelSpec sliced = model;
+    for (auto &layer : sliced.layers) {
+        layer.params.batch =
+            std::max<Index>(1, divCeil(layer.params.batch, cores));
+    }
+    TpuModelResult result = runModel(sliced, options);
+    result.model = model.name + " (x" + std::to_string(cores) +
+                   " cores)";
+    // Throughput accounting covers the full batch.
+    Flops flops = 0;
+    for (const auto &layer : model.layers)
+        flops += layer.params.flops() * static_cast<Flops>(layer.count);
+    result.tflops =
+        static_cast<double>(flops) / result.seconds / 1e12;
+    return result;
+}
+
+TpuModelResult
+TpuSim::runModel(const models::ModelSpec &model,
+                 const TpuRunOptions &options) const
+{
+    TpuModelResult result;
+    result.model = model.name;
+    Flops flops = 0;
+    for (const auto &layer : model.layers) {
+        TpuLayerResult lr =
+            runGroupedConv(layer.params, layer.groups, options);
+        result.seconds += lr.seconds * static_cast<double>(layer.count);
+        flops += layer.flops() * static_cast<Flops>(layer.count);
+        result.layers.push_back(lr);
+    }
+    result.tflops = static_cast<double>(flops) / result.seconds / 1e12;
+    return result;
+}
+
+} // namespace cfconv::tpusim

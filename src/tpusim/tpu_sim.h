@@ -1,0 +1,171 @@
+/**
+ * @file
+ * TPUSim: the configurable tile-level TPU performance simulator
+ * (Sec. VI). Maps convolutions onto the systolic array with the
+ * channel-first implicit algorithm (multi-tile, HWCN vector-memory
+ * layout, double-buffered DRAM fills overlapped with compute), and also
+ * models the channel-last and explicit-im2col baselines for the
+ * motivation experiments (Figs 2b, 4b, 8b).
+ */
+
+#ifndef CFCONV_TPUSIM_TPU_SIM_H
+#define CFCONV_TPUSIM_TPU_SIM_H
+
+#include <string>
+#include <vector>
+
+#include "im2col/multi_tile.h"
+#include "models/model_zoo.h"
+#include "tensor/conv_params.h"
+#include "tensor/layout.h"
+#include "tpusim/tpu_config.h"
+
+namespace cfconv::tpusim {
+
+using tensor::ConvParams;
+
+/** Which lowering algorithm the simulated core runs. */
+enum class ConvAlgorithm {
+    ChannelFirst, ///< the paper's implicit channel-first algorithm
+    ChannelLast,  ///< Lym-style implicit channel-last (stride-sensitive)
+    Explicit,     ///< explicit im2col: transform then GEMM
+};
+
+/** Per-run knobs. */
+struct TpuRunOptions
+{
+    ConvAlgorithm algorithm = ConvAlgorithm::ChannelFirst;
+    /** 0 = use the inferred TPU strategy MIN(rows/C_I, W_F). */
+    Index multiTileOverride = 0;
+    /** DRAM layout of the IFMap. */
+    tensor::Layout dramLayout = tensor::Layout::HWCN;
+    /** Service fills through the banked DRAM model (vs closed form). */
+    bool detailedDram = true;
+    /**
+     * Seconds spent on the explicit transformation (Explicit algorithm
+     * only); the paper estimates this from GPU measurements for Fig 2b.
+     */
+    double explicitTransformSeconds = 0.0;
+    /** Capture the per-unit schedule into TpuLayerResult::trace. */
+    bool captureTrace = false;
+    /**
+     * Rewrite shallow stride-2k first layers with space-to-depth
+     * before mapping (what production TPU stacks do for C_I = 3
+     * stems); quadruples systolic-row occupancy per pass.
+     */
+    bool spaceToDepthFirstLayer = false;
+};
+
+/** One schedule unit as executed: a DRAM fill phase overlapped with
+ *  the previous unit's compute, then this unit's compute passes. */
+struct UnitTrace
+{
+    Cycles fill = 0;
+    Cycles compute = 0;
+};
+
+/** Result of simulating one layer (or one GEMM). */
+struct TpuLayerResult
+{
+    Cycles cycles = 0;
+    double seconds = 0.0;
+    double tflops = 0.0;           ///< useful FLOPs / second
+    double arrayUtilization = 0.0; ///< MACs / (cycles * rows * cols)
+    Bytes dramBytes = 0;           ///< total off-chip traffic
+    Index multiTile = 1;           ///< multi-tile parameter used
+    double portUtilization = 0.0;  ///< vector-memory port busy fraction
+    Bytes peakOnChipBytes = 0;     ///< peak IFMap workspace on chip
+    Index vecMemOps = 0;           ///< vector-memory word accesses
+    Cycles computeCycles = 0;      ///< engine-busy cycles
+    Cycles fillCycles = 0;         ///< total DRAM fill cycles
+    Cycles exposedFillCycles = 0;  ///< fill cycles not hidden by compute
+    /** Per-unit schedule (only when TpuRunOptions::captureTrace). */
+    std::vector<UnitTrace> trace;
+};
+
+/** Result of simulating a whole model. */
+struct TpuModelResult
+{
+    std::string model;
+    std::vector<TpuLayerResult> layers; ///< one entry per distinct layer
+    double seconds = 0.0;               ///< total incl. repetitions
+    double tflops = 0.0;
+};
+
+/** The TPU performance simulator. */
+class TpuSim
+{
+  public:
+    explicit TpuSim(const TpuConfig &config);
+
+    const TpuConfig &config() const { return config_; }
+
+    /** Simulate one convolution layer. */
+    TpuLayerResult runConv(const ConvParams &params,
+                           const TpuRunOptions &options = {}) const;
+
+    /**
+     * Simulate a grouped convolution mapped block-diagonally: each
+     * weight-stationary pass packs as many group slices as fit in the
+     * array (rows and columns), so depthwise layers cost
+     * ~H_F*W_F * ceil(C_I/rows) passes instead of one GEMM per
+     * channel. Wasted MACs (the off-diagonal zeros) show up as low
+     * utilization, which is the honest depthwise penalty.
+     */
+    TpuLayerResult runGroupedConv(const ConvParams &base, Index groups,
+                                  const TpuRunOptions &options =
+                                      {}) const;
+
+    /** Simulate a plain GEMM (validation microbenchmarks, Fig 13a). */
+    TpuLayerResult runGemm(Index m, Index k, Index n,
+                           DataType dtype = DataType::Bf16) const;
+
+    /** Simulate all conv layers of @p model. */
+    TpuModelResult runModel(const models::ModelSpec &model,
+                            const TpuRunOptions &options = {}) const;
+
+    /**
+     * Simulate @p model on a multi-core board (e.g. the 8-core cloud
+     * TPU-v2) with the batch split data-parallel across cores; weights
+     * are broadcast, activations stay core-local.
+     */
+    TpuModelResult runModelMultiCore(const models::ModelSpec &model,
+                                     Index cores,
+                                     const TpuRunOptions &options =
+                                         {}) const;
+
+  private:
+    /** One schedulable unit: a DRAM fill followed by compute passes. */
+    struct Unit
+    {
+        Cycles compute = 0;
+        Cycles fill = 0;
+        Flops macs = 0;
+        Index portOps = 0; ///< vector-memory reads+writes in this unit
+    };
+
+    TpuLayerResult scheduleUnits(const std::vector<Unit> &units,
+                                 Flops total_flops,
+                                 bool capture_trace = false) const;
+
+    Cycles dramCycles(Bytes bytes, double efficiency) const;
+
+    /** Core cycles to fill one decomposed tile's footprint from DRAM. */
+    Cycles tileFillCoreCycles(const ConvParams &params,
+                              const im2col::FilterTile &tile,
+                              tensor::Layout layout,
+                              bool detailed) const;
+
+    TpuLayerResult runChannelFirst(const ConvParams &params,
+                                   const TpuRunOptions &options) const;
+    TpuLayerResult runChannelLast(const ConvParams &params,
+                                  const TpuRunOptions &options) const;
+    TpuLayerResult runExplicit(const ConvParams &params,
+                               const TpuRunOptions &options) const;
+
+    TpuConfig config_;
+};
+
+} // namespace cfconv::tpusim
+
+#endif // CFCONV_TPUSIM_TPU_SIM_H

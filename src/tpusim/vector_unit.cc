@@ -1,0 +1,67 @@
+#include "tpusim/vector_unit.h"
+
+#include "common/logging.h"
+#include "tpusim/tpu_sim.h"
+
+namespace cfconv::tpusim {
+
+VectorOpResult
+vectorOpTiming(const TpuConfig &tpu, const VectorUnitConfig &vu,
+               VectorOp op, Index elements, Index window)
+{
+    CFCONV_FATAL_IF(elements < 1, "vectorOpTiming: no elements");
+    CFCONV_FATAL_IF(window < 1, "vectorOpTiming: bad window");
+    CFCONV_FATAL_IF(vu.alus < 1, "vectorOpTiming: no ALUs");
+
+    double ops_per_element;
+    switch (op) {
+      case VectorOp::Relu:
+      case VectorOp::Add:
+        ops_per_element = 1.0;
+        break;
+      case VectorOp::BatchNorm:
+        ops_per_element = 2.0; // scale + shift (fused)
+        break;
+      case VectorOp::MaxPool:
+        ops_per_element = static_cast<double>(window - 1);
+        if (ops_per_element < 1.0)
+            ops_per_element = 1.0;
+        break;
+      case VectorOp::AvgPool:
+        ops_per_element = static_cast<double>(window);
+        break;
+      default:
+        panic("vectorOpTiming: unknown op");
+    }
+
+    const double total_ops =
+        static_cast<double>(elements) * ops_per_element;
+    const double throughput =
+        static_cast<double>(vu.alus) * vu.opsPerAluPerCycle;
+    VectorOpResult r;
+    r.elements = elements;
+    r.cycles = static_cast<Cycles>(total_ops / throughput + 0.999);
+    r.seconds = tpu.cyclesToSeconds(r.cycles);
+    return r;
+}
+
+double
+convBlockSeconds(const TpuConfig &tpu, const VectorUnitConfig &vu,
+                 const tensor::ConvParams &conv, bool with_pool,
+                 Index pool_window)
+{
+    TpuSim sim(tpu);
+    double total = sim.runConv(conv).seconds;
+    const Index out_elems = conv.outputElems();
+    total += vectorOpTiming(tpu, vu, VectorOp::BatchNorm, out_elems)
+                 .seconds;
+    total += vectorOpTiming(tpu, vu, VectorOp::Relu, out_elems).seconds;
+    if (with_pool) {
+        total += vectorOpTiming(tpu, vu, VectorOp::MaxPool,
+                                out_elems / pool_window, pool_window)
+                     .seconds;
+    }
+    return total;
+}
+
+} // namespace cfconv::tpusim

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * TPU vector-unit timing: Table II lists 256 vector ALUs alongside the
+ * systolic array; they run the non-GEMM layers (pooling, batch norm,
+ * ReLU, residual adds) directly on the unskewed HWC layout — which is
+ * exactly why the TPU skews *address generation* instead of the data
+ * (Sec. IV-A). This model prices those layers so whole-network
+ * estimates include them.
+ */
+
+#ifndef CFCONV_TPUSIM_VECTOR_UNIT_H
+#define CFCONV_TPUSIM_VECTOR_UNIT_H
+
+#include "tensor/conv_params.h"
+#include "tpusim/tpu_config.h"
+
+namespace cfconv::tpusim {
+
+/** Vector-unit operation kinds with their per-element ALU op counts. */
+enum class VectorOp {
+    Relu,      ///< 1 op/element
+    Add,       ///< 1 op/element (reads two operands)
+    BatchNorm, ///< 2 ops/element (fused multiply-add per element)
+    MaxPool,   ///< window-1 compares per output element
+    AvgPool,   ///< window adds + 1 multiply per output element
+};
+
+/** Timing/accounting result for one vector-unit layer. */
+struct VectorOpResult
+{
+    Cycles cycles = 0;
+    double seconds = 0.0;
+    Index elements = 0; ///< output elements produced
+};
+
+/** Vector-unit shape (defaults match Table II). */
+struct VectorUnitConfig
+{
+    Index alus = 256;    ///< lanes
+    double opsPerAluPerCycle = 1.0;
+};
+
+/**
+ * Cycles for an element-wise op over @p elements outputs, or a pooling
+ * op with an @p window-element reduction per output.
+ */
+VectorOpResult vectorOpTiming(const TpuConfig &tpu,
+                              const VectorUnitConfig &vu, VectorOp op,
+                              Index elements, Index window = 1);
+
+/**
+ * End-to-end time of a conv + BN + ReLU (+ pool) block: the
+ * convolution on the systolic array, the rest on the vector unit. The
+ * point the numbers make: the vector-unit layers are a small additive
+ * cost precisely because no layout skewing/restoring is needed.
+ */
+double convBlockSeconds(const TpuConfig &tpu, const VectorUnitConfig &vu,
+                        const tensor::ConvParams &conv,
+                        bool with_pool = false, Index pool_window = 4);
+
+} // namespace cfconv::tpusim
+
+#endif // CFCONV_TPUSIM_VECTOR_UNIT_H

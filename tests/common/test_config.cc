@@ -1,0 +1,102 @@
+/** @file Tests for the key=value configuration parser and the TPU
+ *  config adapter. */
+
+#include <gtest/gtest.h>
+
+#include "common/config.h"
+#include "common/logging.h"
+#include "tpusim/tpu_config.h"
+
+namespace cfconv {
+namespace {
+
+TEST(Config, ParsesTypedValues)
+{
+    const Config c = Config::fromString(
+        "array = 256\n"
+        "clock_ghz = 0.94   # comment\n"
+        "name = tpu-v3ish\n"
+        "overlap = true\n"
+        "\n"
+        "# full-line comment\n");
+    EXPECT_EQ(c.size(), 4u);
+    EXPECT_EQ(c.getInt("array", 0), 256);
+    EXPECT_DOUBLE_EQ(c.getDouble("clock_ghz", 0.0), 0.94);
+    EXPECT_EQ(c.getString("name", ""), "tpu-v3ish");
+    EXPECT_TRUE(c.getBool("overlap", false));
+}
+
+TEST(Config, FallbacksForMissingKeys)
+{
+    const Config c = Config::fromString("a = 1\n");
+    EXPECT_EQ(c.getInt("missing", 42), 42);
+    EXPECT_DOUBLE_EQ(c.getDouble("missing", 2.5), 2.5);
+    EXPECT_FALSE(c.getBool("missing", false));
+    EXPECT_EQ(c.getString("missing", "x"), "x");
+    EXPECT_FALSE(c.has("missing"));
+    EXPECT_TRUE(c.has("a"));
+}
+
+TEST(Config, RejectsMalformedInput)
+{
+    EXPECT_THROW(Config::fromString("just a line\n"), FatalError);
+    EXPECT_THROW(Config::fromString("= value\n"), FatalError);
+    EXPECT_THROW(Config::fromString("a = 1\na = 2\n"), FatalError);
+}
+
+TEST(Config, RejectsWrongTypes)
+{
+    const Config c = Config::fromString("k = hello\n");
+    EXPECT_THROW(c.getInt("k", 0), FatalError);
+    EXPECT_THROW(c.getDouble("k", 0.0), FatalError);
+    EXPECT_THROW(c.getBool("k", false), FatalError);
+}
+
+TEST(Config, TracksUnusedKeys)
+{
+    const Config c = Config::fromString("a = 1\nb = 2\n");
+    EXPECT_EQ(c.getInt("a", 0), 1);
+    const auto unused = c.unusedKeys();
+    ASSERT_EQ(unused.size(), 1u);
+    EXPECT_EQ(*unused.begin(), "b");
+}
+
+TEST(Config, MissingFileIsFatal)
+{
+    EXPECT_THROW(Config::fromFile("/nonexistent/path.cfg"),
+                 FatalError);
+}
+
+TEST(TpuConfigFrom, AppliesOverrides)
+{
+    const Config c = Config::fromString(
+        "array = 256\n"
+        "clock_ghz = 0.94\n"
+        "dram_gbps = 900\n");
+    const tpusim::TpuConfig cfg = tpusim::tpuConfigFrom(c);
+    EXPECT_EQ(cfg.array.rows, 256);
+    EXPECT_EQ(cfg.vectorMemories, 256);
+    EXPECT_DOUBLE_EQ(cfg.clockGhz, 0.94);
+    EXPECT_NEAR(cfg.dram.peakGBps(), 900.0, 1.0);
+    // Untouched fields keep their TPU-v2 defaults.
+    EXPECT_EQ(cfg.wordElems, 8);
+}
+
+TEST(TpuConfigFrom, EmptyConfigIsIdentity)
+{
+    const tpusim::TpuConfig base = tpusim::TpuConfig::tpuV2();
+    const tpusim::TpuConfig cfg =
+        tpusim::tpuConfigFrom(Config::fromString(""));
+    EXPECT_EQ(cfg.array.rows, base.array.rows);
+    EXPECT_DOUBLE_EQ(cfg.clockGhz, base.clockGhz);
+    EXPECT_EQ(cfg.onChipBytes, base.onChipBytes);
+}
+
+TEST(TpuConfigFrom, UnknownKeysAreFatal)
+{
+    const Config c = Config::fromString("arary = 256\n");
+    EXPECT_THROW(tpusim::tpuConfigFrom(c), FatalError);
+}
+
+} // namespace
+} // namespace cfconv

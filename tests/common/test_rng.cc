@@ -1,0 +1,79 @@
+/** @file Tests for the deterministic RNG and hash utilities. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+
+namespace cfconv {
+namespace {
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform(-3.0, 5.0);
+        ASSERT_GE(v, -3.0);
+        ASSERT_LT(v, 5.0);
+    }
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t v = rng.below(10);
+        ASSERT_LT(v, 10u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 10u); // all buckets hit
+}
+
+TEST(HashCombine, OrderSensitive)
+{
+    EXPECT_NE(hashCombine(hashCombine(0, 1), 2),
+              hashCombine(hashCombine(0, 2), 1));
+}
+
+TEST(HashCombine, DeterministicAndSpreading)
+{
+    std::set<std::uint64_t> values;
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        values.insert(hashCombine(0x1234, i));
+    EXPECT_EQ(values.size(), 1000u);
+    EXPECT_EQ(hashCombine(5, 7), hashCombine(5, 7));
+}
+
+} // namespace
+} // namespace cfconv

@@ -1,0 +1,88 @@
+/** @file Unit tests for the statistics helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace cfconv {
+namespace {
+
+TEST(Scalar, TracksCountSumMinMaxMean)
+{
+    Scalar s;
+    s.sample(2.0);
+    s.sample(4.0);
+    s.sample(6.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.sum(), 12.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 6.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+    EXPECT_NEAR(s.stddev(), 2.0, 1e-12);
+}
+
+TEST(Scalar, EmptyIsZero)
+{
+    Scalar s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Scalar, ResetClearsState)
+{
+    Scalar s;
+    s.sample(5.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(StatGroup, CountersAccumulate)
+{
+    StatGroup g;
+    g.add("dram_bytes", 100.0);
+    g.add("dram_bytes", 50.0);
+    EXPECT_DOUBLE_EQ(g.counter("dram_bytes"), 150.0);
+    EXPECT_DOUBLE_EQ(g.counter("missing"), 0.0);
+}
+
+TEST(StatGroup, ScalarsCollectSamples)
+{
+    StatGroup g;
+    g.sample("latency", 1.0);
+    g.sample("latency", 3.0);
+    EXPECT_DOUBLE_EQ(g.scalar("latency").mean(), 2.0);
+}
+
+TEST(MeanAbsPctError, ComputesExpectedValue)
+{
+    // |110-100|/100 = 10%, |90-100|/100 = 10% -> mean 10%.
+    EXPECT_NEAR(meanAbsPctError({100.0, 100.0}, {110.0, 90.0}), 10.0,
+                1e-12);
+}
+
+TEST(MeanAbsPctError, RejectsSizeMismatch)
+{
+    EXPECT_THROW(meanAbsPctError({1.0}, {1.0, 2.0}), FatalError);
+}
+
+TEST(MeanAbsPctError, RejectsZeroReference)
+{
+    EXPECT_THROW(meanAbsPctError({0.0}, {1.0}), FatalError);
+}
+
+TEST(GeoMean, ComputesExpectedValue)
+{
+    EXPECT_NEAR(geoMean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geoMean({}), 0.0);
+}
+
+TEST(GeoMean, RejectsNonPositive)
+{
+    EXPECT_THROW(geoMean({1.0, -2.0}), FatalError);
+}
+
+} // namespace
+} // namespace cfconv

@@ -1,0 +1,49 @@
+/** @file Unit tests for the table/CSV emitter. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/table.h"
+
+namespace cfconv {
+namespace {
+
+TEST(Table, CsvRoundTrip)
+{
+    Table t("demo");
+    t.setHeader({"layer", "tflops"});
+    t.addRow({"conv1", "12.5"});
+    t.addRow({"conv2", "20.0"});
+    EXPECT_EQ(t.toCsv(), "layer,tflops\nconv1,12.5\nconv2,20.0\n");
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Table, RowWidthMustMatchHeader)
+{
+    Table t("demo");
+    t.setHeader({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), FatalError);
+}
+
+TEST(Table, RowBeforeHeaderIsFatal)
+{
+    Table t("demo");
+    EXPECT_THROW(t.addRow({"x"}), FatalError);
+}
+
+TEST(Table, HeaderAfterRowsIsFatal)
+{
+    Table t("demo");
+    t.setHeader({"a"});
+    t.addRow({"1"});
+    EXPECT_THROW(t.setHeader({"b"}), FatalError);
+}
+
+TEST(Cell, FormatsLikePrintf)
+{
+    EXPECT_EQ(cell("%.2f", 3.14159), "3.14");
+    EXPECT_EQ(cell("%lld", 42LL), "42");
+}
+
+} // namespace
+} // namespace cfconv

@@ -1,0 +1,52 @@
+/** @file Tests for the fundamental type helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/types.h"
+
+namespace cfconv {
+namespace {
+
+TEST(Types, DivCeil)
+{
+    EXPECT_EQ(divCeil(10, 3), 4);
+    EXPECT_EQ(divCeil(9, 3), 3);
+    EXPECT_EQ(divCeil(1, 3), 1);
+    EXPECT_EQ(divCeil<Bytes>(1025, 1024), 2u);
+    EXPECT_EQ(divCeil<Index>(0, 5), 0);
+}
+
+TEST(Types, RoundUp)
+{
+    EXPECT_EQ(roundUp(10, 8), 16);
+    EXPECT_EQ(roundUp(16, 8), 16);
+    EXPECT_EQ(roundUp(1, 128), 128);
+    EXPECT_EQ(roundUp(0, 4), 0);
+}
+
+TEST(Types, DataTypeSizes)
+{
+    EXPECT_EQ(dataTypeSize(DataType::Int8), 1u);
+    EXPECT_EQ(dataTypeSize(DataType::Fp16), 2u);
+    EXPECT_EQ(dataTypeSize(DataType::Bf16), 2u);
+    EXPECT_EQ(dataTypeSize(DataType::Fp32), 4u);
+}
+
+TEST(Types, DataTypeNames)
+{
+    EXPECT_STREQ(dataTypeName(DataType::Int8), "int8");
+    EXPECT_STREQ(dataTypeName(DataType::Fp16), "fp16");
+    EXPECT_STREQ(dataTypeName(DataType::Bf16), "bf16");
+    EXPECT_STREQ(dataTypeName(DataType::Fp32), "fp32");
+}
+
+TEST(Types, ConstexprUsable)
+{
+    static_assert(divCeil(7, 2) == 4);
+    static_assert(roundUp(7, 2) == 8);
+    static_assert(dataTypeSize(DataType::Bf16) == 2);
+    SUCCEED();
+}
+
+} // namespace
+} // namespace cfconv

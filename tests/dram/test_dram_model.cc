@@ -1,0 +1,111 @@
+/** @file Tests for the banked DRAM timing model. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+#include "dram/dram_model.h"
+
+namespace cfconv::dram {
+namespace {
+
+TEST(DramConfig, PeakBandwidthMatchesTargets)
+{
+    EXPECT_NEAR(DramConfig::hbm700().peakGBps(), 700.0, 10.0);
+    EXPECT_NEAR(DramConfig::hbm900().peakGBps(), 900.0, 15.0);
+}
+
+TEST(DramModel, SequentialStreamApproachesPeak)
+{
+    DramModel model(DramConfig::hbm700());
+    std::vector<Request> stream;
+    for (Bytes addr = 0; addr < 8 * 1024 * 1024; addr += 4096)
+        stream.push_back({addr, 4096});
+    model.service(stream);
+    EXPECT_GT(model.lastEffectiveGBps(),
+              0.7 * model.config().peakGBps());
+}
+
+TEST(DramModel, SubRowRequestsHitOpenRows)
+{
+    DramModel model(DramConfig::hbm700());
+    // Four 256-byte requests per 1 KB row: 3 of 4 accesses hit.
+    std::vector<Request> stream;
+    for (Bytes addr = 0; addr < 64 * 1024; addr += 256)
+        stream.push_back({addr, 256});
+    model.service(stream);
+    EXPECT_NEAR(model.lastRowHitRate(), 0.75, 0.05);
+}
+
+TEST(DramModel, ScatteredSmallRequestsLoseBandwidth)
+{
+    DramModel model(DramConfig::hbm700());
+    // 4-byte requests scattered with a large prime stride: every access
+    // opens a new row.
+    std::vector<Request> stream;
+    Bytes addr = 0;
+    for (int i = 0; i < 4096; ++i) {
+        stream.push_back({addr, 4});
+        addr += 1048583; // prime > row size * banks
+    }
+    model.service(stream);
+    EXPECT_LT(model.lastEffectiveGBps(),
+              0.05 * model.config().peakGBps());
+}
+
+TEST(DramModel, ContiguousBeatsStridedForSameVolume)
+{
+    // The Fig 7 contrast: same bytes, different layouts.
+    DramModel model(DramConfig::hbm700());
+    std::vector<Request> contiguous;
+    for (Bytes addr = 0; addr < 1024 * 1024; addr += 1024)
+        contiguous.push_back({addr, 1024});
+    const Cycles c_cont = model.service(contiguous);
+
+    std::vector<Request> strided;
+    for (Bytes addr = 0; addr < 16 * 1024 * 1024 && strided.size() <
+                         1024;
+         addr += 16 * 1024)
+        strided.push_back({addr, 1024});
+    const Cycles c_str = model.service(strided);
+    EXPECT_LE(c_cont, c_str);
+}
+
+TEST(DramModel, RowCrossingRequestSplits)
+{
+    DramConfig cfg = DramConfig::hbm700();
+    DramModel model(cfg);
+    // One request spanning two rows must pay at most two activations
+    // and still complete.
+    const Cycles t =
+        model.service({{cfg.rowBytes - 64, 128}});
+    EXPECT_GT(t, 0u);
+    EXPECT_LT(model.lastRowHitRate(), 1.0);
+}
+
+TEST(DramModel, ZeroLengthRequestIsFatal)
+{
+    DramModel model(DramConfig::hbm700());
+    EXPECT_THROW(model.service({{0, 0}}), FatalError);
+}
+
+TEST(TransferCycles, ClosedFormScalesLinearly)
+{
+    const Cycles one = transferCycles(1000, 700.0, 0.7, 1.0);
+    const Cycles two = transferCycles(2000, 700.0, 0.7, 1.0);
+    EXPECT_NEAR(static_cast<double>(two),
+                2.0 * static_cast<double>(one), 2.0);
+    // Efficiency of 0.5 doubles the time.
+    EXPECT_NEAR(
+        static_cast<double>(transferCycles(1000, 700.0, 0.7, 0.5)),
+        2.0 * static_cast<double>(one), 2.0);
+}
+
+TEST(TransferCycles, RejectsNonPositiveRates)
+{
+    EXPECT_THROW(transferCycles(100, 0.0, 0.7, 1.0), FatalError);
+    EXPECT_THROW(transferCycles(100, 700.0, 0.7, 0.0), FatalError);
+}
+
+} // namespace
+} // namespace cfconv::dram

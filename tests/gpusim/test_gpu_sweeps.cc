@@ -1,0 +1,128 @@
+/** @file Parameterized property sweeps over the GPU simulator. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "gpusim/gpu_sim.h"
+
+namespace cfconv::gpusim {
+namespace {
+
+using tensor::makeConv;
+
+class GpuStrideSweep : public ::testing::TestWithParam<Index>
+{
+};
+
+TEST_P(GpuStrideSweep, ChannelFirstNeverSlowerThanChannelLast)
+{
+    // Fig 18a as a property: for every stride, our kernel is at least
+    // as fast as the (equal-efficiency) channel-last one.
+    const Index stride = GetParam();
+    GpuSim sim((GpuConfig::v100()));
+    GpuRunOptions cf, cl;
+    cf.algorithm = GpuAlgorithm::ImplicitChannelFirst;
+    cl.algorithm = GpuAlgorithm::ImplicitChannelLast;
+    const auto p = makeConv(8, 64, 56, 128, 3, stride, 1);
+    EXPECT_LE(sim.runConv(p, cf).seconds,
+              sim.runConv(p, cl).seconds * 1.001)
+        << "stride " << stride;
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, GpuStrideSweep,
+                         ::testing::Values(1, 2, 3, 4));
+
+class GpuBatchSweep : public ::testing::TestWithParam<Index>
+{
+};
+
+TEST_P(GpuBatchSweep, SecondsMonotonicInBatch)
+{
+    const Index batch = GetParam();
+    GpuSim sim((GpuConfig::v100()));
+    const double small =
+        sim.runConv(makeConv(batch, 64, 28, 64, 3, 1, 1)).seconds;
+    const double big =
+        sim.runConv(makeConv(2 * batch, 64, 28, 64, 3, 1, 1)).seconds;
+    EXPECT_GE(big, small) << "batch " << batch;
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, GpuBatchSweep,
+                         ::testing::Values(1, 4, 16, 64));
+
+TEST(GpuSweeps, ThroughputImprovesWithBatchUntilSaturation)
+{
+    // Small batches underfill the machine; throughput should rise
+    // toward a plateau.
+    GpuSim sim((GpuConfig::v100()));
+    const double t1 =
+        sim.runConv(makeConv(1, 128, 28, 128, 3, 1, 1)).tflops;
+    const double t64 =
+        sim.runConv(makeConv(64, 128, 28, 128, 3, 1, 1)).tflops;
+    EXPECT_GT(t64, 2.0 * t1);
+}
+
+TEST(GpuSweeps, ReuseNeverHurts)
+{
+    GpuSim sim((GpuConfig::v100()));
+    GpuRunOptions with_reuse, without;
+    with_reuse.algorithm = GpuAlgorithm::ImplicitChannelFirst;
+    without.algorithm = GpuAlgorithm::ImplicitChannelFirst;
+    without.interTileReuse = false;
+    for (Index stride : {1L, 2L, 3L}) {
+        const auto p = makeConv(8, 32, 112, 64, 3, stride, 1);
+        EXPECT_LE(sim.runConv(p, with_reuse).seconds,
+                  sim.runConv(p, without).seconds * 1.001)
+            << "stride " << stride;
+    }
+}
+
+TEST(GpuSweeps, DramBytesScaleWithUniqueFootprint)
+{
+    GpuSim sim((GpuConfig::v100()));
+    GpuRunOptions cf;
+    cf.algorithm = GpuAlgorithm::ImplicitChannelFirst;
+    const auto small = sim.runConv(makeConv(8, 64, 28, 64, 3, 1, 1),
+                                   cf);
+    const auto big = sim.runConv(makeConv(8, 64, 56, 64, 3, 1, 1),
+                                 cf);
+    // 4x the pixels -> roughly 4x the unique traffic.
+    const double ratio = static_cast<double>(big.dramBytes) /
+                         static_cast<double>(small.dramBytes);
+    EXPECT_NEAR(ratio, 4.0, 1.0);
+}
+
+TEST(GpuSweeps, ExplicitWorkspaceDominatesDramBytes)
+{
+    GpuSim sim((GpuConfig::v100()));
+    GpuRunOptions ex;
+    ex.algorithm = GpuAlgorithm::ExplicitIm2col;
+    const auto p = makeConv(8, 64, 56, 64, 3, 1, 1);
+    const auto r = sim.runConv(p, ex);
+    EXPECT_GT(r.dramBytes, 2 * p.loweredBytes());
+}
+
+TEST(GpuSweeps, HigherClockIsFasterForComputeBound)
+{
+    const auto p = makeConv(64, 256, 28, 256, 3, 1, 1);
+    GpuConfig slow = GpuConfig::v100();
+    slow.clockGhz = 1.0;
+    GpuConfig fast = GpuConfig::v100();
+    GpuRunOptions cf;
+    EXPECT_LT(GpuSim(fast).runConv(p, cf).seconds,
+              GpuSim(slow).runConv(p, cf).seconds);
+}
+
+TEST(GpuSweeps, GemmTflopsMonotonicInProblemSize)
+{
+    GpuSim sim((GpuConfig::v100()));
+    double prev = 0.0;
+    for (Index dim : {256L, 1024L, 4096L}) {
+        const double t = sim.runGemm(dim, dim, dim).tflops;
+        EXPECT_GT(t, prev) << "dim " << dim;
+        prev = t;
+    }
+}
+
+} // namespace
+} // namespace cfconv::gpusim

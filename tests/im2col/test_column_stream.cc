@@ -1,0 +1,129 @@
+/** @file Tests for the Fig 5 window-major column stream. */
+
+#include <gtest/gtest.h>
+
+#include "im2col/column_stream.h"
+#include "tensor/conv_ref.h"
+#include "tensor/im2col_explicit.h"
+
+namespace cfconv::im2col {
+namespace {
+
+using tensor::makeConv;
+
+TEST(ColumnStream, LengthIsWindowsTimesTaps)
+{
+    const auto p = makeConv(2, 8, 5, 4, 3);
+    const ColumnStream stream(p);
+    EXPECT_EQ(stream.length(), p.gemmM() * 9);
+}
+
+TEST(ColumnStream, FirstNineCyclesMatchFig5Walkthrough)
+{
+    // Fig 5: 5x5 IFMap, 3x3 filter, no padding. "In the first 9
+    // cycles, columns of 1A, 1B, 1C, 2A, 2B, 2C, 3A, 3B, 3C are read
+    // out" -- rows 0..2 x cols 0..2 in our indexing.
+    const auto p = makeConv(1, 8, 5, 4, 3);
+    const ColumnStream stream(p);
+    const Index expected[9][2] = {{0, 0}, {0, 1}, {0, 2}, {1, 0},
+                                  {1, 1}, {1, 2}, {2, 0}, {2, 1},
+                                  {2, 2}};
+    for (Index t = 0; t < 9; ++t) {
+        const ColumnRef ref = stream.at(t);
+        EXPECT_EQ(ref.m, 0);
+        EXPECT_EQ(ref.ih, expected[t][0]) << "cycle " << t;
+        EXPECT_EQ(ref.iw, expected[t][1]) << "cycle " << t;
+        EXPECT_FALSE(ref.padding);
+    }
+    // "In the next 9 cycles, columns ... 1B, 1C, 1D, ..." -- the
+    // window shifts one column right.
+    const ColumnRef next = stream.at(9);
+    EXPECT_EQ(next.m, 1);
+    EXPECT_EQ(next.ih, 0);
+    EXPECT_EQ(next.iw, 1);
+}
+
+TEST(ColumnStream, ReadCountMatchesFig5Multiplicity)
+{
+    // "all the 1C elements are read three times": pixel (0, 2) of the
+    // 5x5 input with a 3x3 filter belongs to windows (0,0), (0,1),
+    // (0,2).
+    const auto p = makeConv(1, 8, 5, 4, 3);
+    const ColumnStream stream(p);
+    EXPECT_EQ(stream.readCount(0, 2), 3);
+    EXPECT_EQ(stream.readCount(0, 0), 1); // corner
+    EXPECT_EQ(stream.readCount(2, 2), 9); // center
+}
+
+TEST(ColumnStream, ReadCountMatchesCol2ImMultiplicity)
+{
+    // The stream's per-pixel read counts are exactly the receptive-
+    // field multiplicity computed by col2im over an all-ones matrix.
+    const auto p = makeConv(2, 3, 6, 2, 3, 2, 1);
+    const ColumnStream stream(p);
+    tensor::Matrix ones(p.gemmM(), p.gemmK());
+    ones.fill(1.0f);
+    const tensor::Tensor mult =
+        tensor::col2im(p, ones, tensor::ColumnOrder::ChannelFirst);
+    // col2im multiplicity is per batch sample; the stream reads each
+    // pixel once per sample.
+    for (Index ih = 0; ih < p.inH; ++ih)
+        for (Index iw = 0; iw < p.inW; ++iw)
+            EXPECT_FLOAT_EQ(
+                static_cast<float>(stream.readCount(ih, iw)),
+                mult.at(0, 0, ih, iw) * static_cast<float>(p.batch))
+                << "(" << ih << "," << iw << ")";
+}
+
+TEST(ColumnStream, StreamedAccumulationReproducesConvolution)
+{
+    // Consuming the stream column by column (rank-1 updates) must
+    // reproduce direct convolution -- the execution the TPU performs.
+    const auto p = makeConv(2, 3, 6, 4, 3, 2, 1);
+    tensor::Tensor input = tensor::makeInput(p);
+    tensor::Tensor filter = tensor::makeFilter(p);
+    input.fillRandom(81);
+    filter.fillRandom(83);
+
+    const ColumnStream stream(p);
+    tensor::Matrix acc(p.gemmM(), p.gemmN());
+    acc.fill(0.0f);
+    for (Index t = 0; t < stream.length(); ++t) {
+        const ColumnRef ref = stream.at(t);
+        for (Index ci = 0; ci < p.inChannels; ++ci) {
+            const tensor::RowCoord rc = tensor::rowCoord(p, ref.m);
+            const float v =
+                input.atPadded(rc.n, ci, ref.ih, ref.iw);
+            if (v == 0.0f)
+                continue;
+            for (Index co = 0; co < p.outChannels; ++co)
+                acc.at(ref.m, co) += v * filter.at(co, ci, ref.r,
+                                                   ref.s);
+        }
+    }
+    const tensor::Tensor out = tensor::foldOutput(p, acc);
+    const tensor::Tensor ref_out =
+        tensor::convDirect(p, input, filter);
+    EXPECT_LT(out.maxAbsDiff(ref_out), 1e-3f);
+}
+
+TEST(ColumnStream, PaddingColumnsAreFlagged)
+{
+    const auto p = makeConv(1, 2, 4, 2, 3, 1, 1);
+    const ColumnStream stream(p);
+    const ColumnRef first = stream.at(0); // window (0,0), tap (0,0)
+    EXPECT_TRUE(first.padding);
+    EXPECT_EQ(first.ih, -1);
+}
+
+TEST(ColumnStream, RejectsOutOfRangeQueries)
+{
+    const auto p = makeConv(1, 2, 4, 2, 3);
+    const ColumnStream stream(p);
+    EXPECT_THROW(stream.at(-1), FatalError);
+    EXPECT_THROW(stream.at(stream.length()), FatalError);
+    EXPECT_THROW(stream.readCount(4, 0), FatalError);
+}
+
+} // namespace
+} // namespace cfconv::im2col

@@ -1,0 +1,167 @@
+/** @file Tests for training-mode (backward) convolution passes. */
+
+#include <gtest/gtest.h>
+
+#include "im2col/conv_backward.h"
+#include "tensor/conv_ref.h"
+
+namespace cfconv::im2col {
+namespace {
+
+using tensor::makeConv;
+using tensor::makeFilter;
+using tensor::makeInput;
+using tensor::Tensor;
+
+Tensor
+makeGradOut(const ConvParams &p, std::uint64_t seed)
+{
+    Tensor g(p.batch, p.outChannels, p.outH(), p.outW());
+    g.fillRandom(seed);
+    return g;
+}
+
+struct BackwardCase
+{
+    Index batch, ci, hw, co, k, s, p, d;
+};
+
+class ConvBackward : public ::testing::TestWithParam<BackwardCase>
+{
+};
+
+TEST_P(ConvBackward, ImplicitDataGradEqualsDirect)
+{
+    const BackwardCase c = GetParam();
+    const ConvParams p =
+        makeConv(c.batch, c.ci, c.hw, c.co, c.k, c.s, c.p, c.d);
+    Tensor filter = makeFilter(p);
+    filter.fillRandom(11);
+    const Tensor grad_out = makeGradOut(p, 13);
+
+    const Tensor ref = convBackwardDataDirect(p, grad_out, filter);
+    const Tensor got = convBackwardDataImplicit(p, grad_out, filter);
+    EXPECT_LT(got.maxAbsDiff(ref), 1e-3f) << p.toString();
+}
+
+TEST_P(ConvBackward, ImplicitFilterGradEqualsDirect)
+{
+    const BackwardCase c = GetParam();
+    const ConvParams p =
+        makeConv(c.batch, c.ci, c.hw, c.co, c.k, c.s, c.p, c.d);
+    Tensor input = makeInput(p);
+    input.fillRandom(17);
+    const Tensor grad_out = makeGradOut(p, 19);
+
+    const Tensor ref = convBackwardFilterDirect(p, input, grad_out);
+    const Tensor got = convBackwardFilterImplicit(p, input, grad_out);
+    EXPECT_LT(got.maxAbsDiff(ref), 1e-3f) << p.toString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeSweep, ConvBackward,
+    ::testing::Values(BackwardCase{1, 1, 5, 1, 3, 1, 0, 1},
+                      BackwardCase{2, 3, 6, 4, 3, 1, 1, 1},
+                      BackwardCase{2, 4, 7, 3, 3, 2, 1, 1},
+                      BackwardCase{1, 2, 9, 2, 3, 1, 0, 2},
+                      BackwardCase{1, 3, 8, 2, 5, 1, 2, 1},
+                      BackwardCase{3, 2, 6, 2, 2, 2, 0, 1},
+                      BackwardCase{1, 4, 11, 3, 3, 4, 1, 1}));
+
+TEST(ConvBackward, DataGradientViaFiniteDifference)
+{
+    // d(sum(Y))/dX[i] must equal the backward-data gradient of an
+    // all-ones dY.
+    const ConvParams p = makeConv(1, 2, 5, 2, 3, 1, 1);
+    Tensor input = makeInput(p);
+    Tensor filter = makeFilter(p);
+    input.fillRandom(23);
+    filter.fillRandom(29);
+
+    Tensor ones(p.batch, p.outChannels, p.outH(), p.outW());
+    ones.fill(1.0f);
+    const Tensor analytic = convBackwardDataImplicit(p, ones, filter);
+
+    const float eps = 1e-2f;
+    auto loss = [&](const Tensor &x) {
+        const Tensor y = tensor::convDirect(p, x, filter);
+        float total = 0.0f;
+        for (Index n = 0; n < y.n(); ++n)
+            for (Index c = 0; c < y.c(); ++c)
+                for (Index h = 0; h < y.h(); ++h)
+                    for (Index w = 0; w < y.w(); ++w)
+                        total += y.at(n, c, h, w);
+        return total;
+    };
+    // Sample a few input coordinates.
+    const Index coords[][3] = {{0, 2, 2}, {1, 0, 0}, {0, 4, 4},
+                               {1, 3, 1}};
+    for (const auto &c : coords) {
+        Tensor bumped = input;
+        bumped.at(0, c[0], c[1], c[2]) += eps;
+        const float numeric = (loss(bumped) - loss(input)) / eps;
+        EXPECT_NEAR(analytic.at(0, c[0], c[1], c[2]), numeric, 1e-2f);
+    }
+}
+
+TEST(ConvBackward, FilterGradientViaFiniteDifference)
+{
+    const ConvParams p = makeConv(2, 2, 5, 2, 3);
+    Tensor input = makeInput(p);
+    Tensor filter = makeFilter(p);
+    input.fillRandom(31);
+    filter.fillRandom(37);
+
+    Tensor ones(p.batch, p.outChannels, p.outH(), p.outW());
+    ones.fill(1.0f);
+    const Tensor analytic = convBackwardFilterImplicit(p, input, ones);
+
+    const float eps = 1e-2f;
+    auto loss = [&](const Tensor &w) {
+        const Tensor y = tensor::convDirect(p, input, w);
+        float total = 0.0f;
+        for (Index n = 0; n < y.n(); ++n)
+            for (Index c = 0; c < y.c(); ++c)
+                for (Index hh = 0; hh < y.h(); ++hh)
+                    for (Index ww = 0; ww < y.w(); ++ww)
+                        total += y.at(n, c, hh, ww);
+        return total;
+    };
+    for (Index co = 0; co < 2; ++co) {
+        Tensor bumped = filter;
+        bumped.at(co, 1, 1, 1) += eps;
+        const float numeric = (loss(bumped) - loss(filter)) / eps;
+        EXPECT_NEAR(analytic.at(co, 1, 1, 1), numeric, 2e-2f);
+    }
+}
+
+TEST(ConvBackward, RejectsMismatchedGradOut)
+{
+    const ConvParams p = makeConv(1, 2, 5, 2, 3);
+    Tensor filter = makeFilter(p);
+    Tensor wrong(1, 2, 2, 2); // wrong OFMap dims
+    EXPECT_THROW(convBackwardDataImplicit(p, wrong, filter),
+                 FatalError);
+    Tensor input = makeInput(p);
+    EXPECT_THROW(convBackwardFilterImplicit(p, input, wrong),
+                 FatalError);
+}
+
+TEST(ConvBackward, ZeroGradOutGivesZeroGradients)
+{
+    const ConvParams p = makeConv(1, 2, 6, 3, 3, 2, 1);
+    Tensor input = makeInput(p);
+    Tensor filter = makeFilter(p);
+    input.fillRandom(41);
+    filter.fillRandom(43);
+    Tensor zeros(p.batch, p.outChannels, p.outH(), p.outW());
+    EXPECT_EQ(convBackwardDataImplicit(p, zeros, filter)
+                  .maxAbsDiff(makeInput(p)),
+              0.0f);
+    EXPECT_EQ(convBackwardFilterImplicit(p, input, zeros)
+                  .maxAbsDiff(makeFilter(p)),
+              0.0f);
+}
+
+} // namespace
+} // namespace cfconv::im2col

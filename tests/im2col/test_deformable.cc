@@ -1,0 +1,142 @@
+/** @file Tests for deformable convolution under the channel-first
+ *  decomposition. */
+
+#include <gtest/gtest.h>
+
+#include "im2col/deformable.h"
+#include "tensor/conv_ref.h"
+
+namespace cfconv::im2col {
+namespace {
+
+using tensor::makeConv;
+using tensor::makeFilter;
+using tensor::makeInput;
+using tensor::Tensor;
+
+TEST(BilinearSample, IntegerCoordinatesAreExact)
+{
+    Tensor t(1, 1, 3, 3);
+    t.fillRamp();
+    EXPECT_EQ(bilinearSample(t, 0, 0, 1.0, 2.0), t.at(0, 0, 1, 2));
+}
+
+TEST(BilinearSample, MidpointAverages)
+{
+    Tensor t(1, 1, 2, 2);
+    t.at(0, 0, 0, 0) = 0.0f;
+    t.at(0, 0, 0, 1) = 2.0f;
+    t.at(0, 0, 1, 0) = 4.0f;
+    t.at(0, 0, 1, 1) = 6.0f;
+    EXPECT_FLOAT_EQ(bilinearSample(t, 0, 0, 0.5, 0.5), 3.0f);
+    EXPECT_FLOAT_EQ(bilinearSample(t, 0, 0, 0.0, 0.5), 1.0f);
+}
+
+TEST(BilinearSample, OutOfRangeFadesToZeroPadding)
+{
+    Tensor t(1, 1, 2, 2);
+    t.fill(8.0f);
+    // Halfway off the top edge: 50% padding.
+    EXPECT_FLOAT_EQ(bilinearSample(t, 0, 0, -0.5, 0.0), 4.0f);
+    // Fully outside.
+    EXPECT_FLOAT_EQ(bilinearSample(t, 0, 0, -2.0, 0.0), 0.0f);
+}
+
+TEST(Deformable, ZeroOffsetsEqualRigidConvolution)
+{
+    const ConvParams p = makeConv(2, 3, 6, 4, 3, 1, 1);
+    Tensor input = makeInput(p);
+    Tensor filter = makeFilter(p);
+    input.fillRandom(51);
+    filter.fillRandom(53);
+    const auto offsets = DeformableOffsets::zeros(p);
+
+    const Tensor rigid = tensor::convDirect(p, input, filter);
+    const Tensor direct =
+        convDeformableDirect(p, input, offsets, filter);
+    const Tensor implicit =
+        convDeformableImplicit(p, input, offsets, filter);
+    EXPECT_LT(direct.maxAbsDiff(rigid), 1e-4f);
+    EXPECT_LT(implicit.maxAbsDiff(rigid), 1e-4f);
+}
+
+struct DeformCase
+{
+    Index batch, ci, hw, co, k, s, p;
+    double scale;
+};
+
+class DeformableSweep : public ::testing::TestWithParam<DeformCase>
+{
+};
+
+TEST_P(DeformableSweep, ImplicitEqualsDirectWithRandomOffsets)
+{
+    const DeformCase c = GetParam();
+    const ConvParams p =
+        makeConv(c.batch, c.ci, c.hw, c.co, c.k, c.s, c.p);
+    Tensor input = makeInput(p);
+    Tensor filter = makeFilter(p);
+    input.fillRandom(61);
+    filter.fillRandom(67);
+    const auto offsets = DeformableOffsets::random(p, 71, c.scale);
+
+    const Tensor direct =
+        convDeformableDirect(p, input, offsets, filter);
+    const Tensor implicit =
+        convDeformableImplicit(p, input, offsets, filter);
+    EXPECT_LT(implicit.maxAbsDiff(direct), 1e-3f) << p.toString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DeformableSweep,
+    ::testing::Values(DeformCase{1, 1, 5, 1, 3, 1, 0, 1.0},
+                      DeformCase{2, 3, 6, 2, 3, 1, 1, 0.5},
+                      DeformCase{1, 2, 8, 3, 3, 2, 1, 2.0},
+                      DeformCase{2, 2, 7, 2, 5, 1, 2, 1.5},
+                      DeformCase{1, 4, 6, 4, 1, 1, 0, 3.0}));
+
+TEST(Deformable, OffsetsShiftSampling)
+{
+    // A (+1, 0) offset on every tap of a 1x1 conv shifts the input by
+    // one row.
+    const ConvParams p = makeConv(1, 1, 4, 1, 1);
+    Tensor input = makeInput(p);
+    input.fillRamp();
+    Tensor filter = makeFilter(p);
+    filter.fill(1.0f);
+    auto offsets = DeformableOffsets::zeros(p);
+    for (Index i = 0; i < offsets.offsetY.size(); ++i)
+        offsets.offsetY.data()[i] = 1.0f;
+
+    const Tensor out =
+        convDeformableImplicit(p, input, offsets, filter);
+    for (Index h = 0; h < 3; ++h)
+        for (Index w = 0; w < 4; ++w)
+            EXPECT_FLOAT_EQ(out.at(0, 0, h, w),
+                            input.at(0, 0, h + 1, w));
+    // The last row samples the padding halo.
+    EXPECT_FLOAT_EQ(out.at(0, 0, 3, 0), 0.0f);
+}
+
+TEST(Deformable, FillBoundIsFourTimesRigid)
+{
+    const ConvParams p = makeConv(2, 4, 9, 2, 3, 2, 1);
+    const FilterTile tile{1, 1};
+    EXPECT_EQ(deformableTileFillBound(p, tile),
+              4 * tileFillElems(p, tile));
+}
+
+TEST(Deformable, RejectsMismatchedOffsets)
+{
+    const ConvParams p = makeConv(1, 2, 6, 2, 3);
+    Tensor input = makeInput(p);
+    Tensor filter = makeFilter(p);
+    const ConvParams other = makeConv(1, 2, 8, 2, 3);
+    const auto wrong = DeformableOffsets::zeros(other);
+    EXPECT_THROW(convDeformableImplicit(p, input, wrong, filter),
+                 FatalError);
+}
+
+} // namespace
+} // namespace cfconv::im2col

@@ -1,0 +1,171 @@
+/** @file Tests for filter decomposition and tile footprints. */
+
+#include <gtest/gtest.h>
+
+#include "im2col/filter_decomp.h"
+#include "tensor/conv_ref.h"
+#include "tensor/gemm.h"
+#include "tensor/im2col_explicit.h"
+
+namespace cfconv::im2col {
+namespace {
+
+using tensor::makeConv;
+using tensor::makeFilter;
+using tensor::makeInput;
+
+TEST(DecomposeFilter, EnumeratesRowMajor)
+{
+    const ConvParams p = makeConv(1, 2, 5, 2, 3);
+    const auto tiles = decomposeFilter(p);
+    ASSERT_EQ(tiles.size(), 9u);
+    EXPECT_EQ(tiles[0], (FilterTile{0, 0}));
+    EXPECT_EQ(tiles[1], (FilterTile{0, 1}));
+    EXPECT_EQ(tiles[3], (FilterTile{1, 0}));
+    EXPECT_EQ(tiles[8], (FilterTile{2, 2}));
+}
+
+TEST(TileFootprint, Stride1NoPad)
+{
+    // 5x5 input, k3: tile <0,0> touches rows/cols [0,3), <2,2> [2,5).
+    const ConvParams p = makeConv(1, 1, 5, 1, 3);
+    const TileFootprint f00 = tileFootprint(p, {0, 0});
+    EXPECT_EQ(f00.ihBegin, 0);
+    EXPECT_EQ(f00.ihEnd, 3);
+    EXPECT_EQ(f00.positions(), 9);
+    const TileFootprint f22 = tileFootprint(p, {2, 2});
+    EXPECT_EQ(f22.ihBegin, 2);
+    EXPECT_EQ(f22.ihEnd, 5);
+    EXPECT_EQ(f22.positions(), 9);
+}
+
+TEST(TileFootprint, Stride2MatchesFig8)
+{
+    // Fig 8a: 5x5 input, k3, stride 2: tile <0,0> covers positions
+    // 1A, 1C, 3A, 3C (rows/cols 0 and 2) -> 4 positions with step 2.
+    const ConvParams p = makeConv(1, 1, 5, 1, 3, 2);
+    const TileFootprint f = tileFootprint(p, {0, 0});
+    EXPECT_EQ(f.ihBegin, 0);
+    EXPECT_EQ(f.ihStep, 2);
+    EXPECT_EQ(f.positions(), 4);
+    EXPECT_TRUE(f.contains(0, 2));
+    EXPECT_TRUE(f.contains(2, 0));
+    EXPECT_FALSE(f.contains(1, 0));
+    EXPECT_FALSE(f.contains(0, 4)); // beyond last output column
+}
+
+TEST(TileFootprint, PaddingClipsEdges)
+{
+    // k3 pad1 on 5x5: tile <0,0> would start at ih = -1; the first
+    // valid position is ih = 0 for oh = 1.
+    const ConvParams p = makeConv(1, 1, 5, 1, 3, 1, 1);
+    const TileFootprint f = tileFootprint(p, {0, 0});
+    EXPECT_EQ(f.ihBegin, 0);
+    EXPECT_EQ(f.ihEnd, 4); // oh = 4 -> ih = 3
+    EXPECT_EQ(f.positions(), 16);
+}
+
+TEST(TileFootprint, DilationShiftsOffsets)
+{
+    const ConvParams p = makeConv(1, 1, 9, 1, 3, 1, 0, 2);
+    const TileFootprint f = tileFootprint(p, {2, 0});
+    EXPECT_EQ(f.ihBegin, 4); // r*dil = 4
+    EXPECT_EQ(f.ihEnd, 9);
+}
+
+TEST(TileFillElems, ScalesWithChannelsAndBatch)
+{
+    const ConvParams p = makeConv(4, 8, 5, 2, 3);
+    EXPECT_EQ(tileFillElems(p, {0, 0}), 9 * 8 * 4);
+}
+
+TEST(TileFillElems, ShrinksQuadraticallyWithStride)
+{
+    const ConvParams s1 = makeConv(1, 1, 33, 1, 3, 1, 1);
+    const ConvParams s2 = makeConv(1, 1, 33, 1, 3, 2, 1);
+    const double ratio =
+        static_cast<double>(tileFillElems(s1, {1, 1})) /
+        static_cast<double>(tileFillElems(s2, {1, 1}));
+    EXPECT_NEAR(ratio, 4.0, 0.5);
+}
+
+TEST(TileOverlap, AdjacentTilesAtStride1OverlapHeavily)
+{
+    const ConvParams p = makeConv(1, 1, 99, 1, 3);
+    const double ov = tileOverlap(p, {0, 0}, {0, 1});
+    EXPECT_GT(ov, 0.95);
+}
+
+TEST(TileOverlap, ParityMismatchAtStride2IsZero)
+{
+    // Stride 2: <0,0> covers even columns, <0,1> odd columns.
+    const ConvParams p = makeConv(1, 1, 9, 1, 3, 2);
+    EXPECT_EQ(tileOverlap(p, {0, 0}, {0, 1}), 0.0);
+}
+
+TEST(TileOverlap, SameParityTilesOverlapAtStride2)
+{
+    // Sec. V: <0,0> and <0,2> share columns when stride = 2 and the
+    // IFMap is large (96% at 99x99).
+    const ConvParams p = makeConv(1, 1, 99, 1, 3, 2);
+    const double ov = tileOverlap(p, {0, 0}, {0, 2});
+    EXPECT_GT(ov, 0.9);
+}
+
+TEST(TileOverlap, SelfOverlapIsOne)
+{
+    const ConvParams p = makeConv(1, 2, 7, 1, 3, 2, 1);
+    EXPECT_DOUBLE_EQ(tileOverlap(p, {1, 1}, {1, 1}), 1.0);
+}
+
+TEST(TileOperandAndWeights, ReconstructDirectConv)
+{
+    // Summing per-tile 1x1-conv GEMMs reproduces direct convolution:
+    // the algebraic heart of the channel-first algorithm (Sec. III-B).
+    const ConvParams p = makeConv(2, 3, 6, 4, 3, 2, 1);
+    tensor::Tensor input = makeInput(p);
+    tensor::Tensor filter = makeFilter(p);
+    input.fillRandom(41);
+    filter.fillRandom(43);
+
+    tensor::Matrix acc(p.gemmM(), p.gemmN());
+    acc.fill(0.0f);
+    for (const auto &tile : decomposeFilter(p)) {
+        const tensor::Matrix a = tileOperand(p, input, tile);
+        const tensor::Matrix b = tileWeights(p, filter, tile);
+        tensor::gemmAccumulate(a, b, acc);
+    }
+    const tensor::Tensor out = tensor::foldOutput(p, acc);
+    const tensor::Tensor ref = tensor::convDirect(p, input, filter);
+    EXPECT_LT(out.maxAbsDiff(ref), 1e-3f);
+}
+
+TEST(InputUnion, FullCoverageAtStride1)
+{
+    const ConvParams p = makeConv(1, 2, 8, 1, 3, 1, 1);
+    EXPECT_EQ(inputUnionPositions(p), 64);
+}
+
+TEST(InputUnion, PartialCoverageWhenStrideExceedsKernel)
+{
+    // k1 s2 touches only every other row/column.
+    const ConvParams p = makeConv(1, 1, 8, 1, 1, 2);
+    EXPECT_EQ(inputUnionPositions(p), 16);
+}
+
+TEST(InputUnion, BytesScaleWithDtypeChannelsBatch)
+{
+    ConvParams p = makeConv(3, 5, 8, 1, 3, 1, 1);
+    p.dataType = DataType::Fp32;
+    EXPECT_EQ(inputUnionBytes(p), 64u * 5 * 3 * 4);
+}
+
+TEST(TileFootprint, RejectsOutOfRangeTile)
+{
+    const ConvParams p = makeConv(1, 1, 5, 1, 3);
+    EXPECT_THROW(tileFootprint(p, {3, 0}), FatalError);
+    EXPECT_THROW(tileFootprint(p, {0, -1}), FatalError);
+}
+
+} // namespace
+} // namespace cfconv::im2col

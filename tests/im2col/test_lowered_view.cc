@@ -1,0 +1,111 @@
+/** @file Tests for the virtual lowered-matrix view. */
+
+#include <gtest/gtest.h>
+
+#include "im2col/lowered_view.h"
+#include "tensor/conv_ref.h"
+
+namespace cfconv::im2col {
+namespace {
+
+using tensor::makeConv;
+using tensor::makeInput;
+
+TEST(LoweredView, MaterializeEqualsExplicitLowering)
+{
+    const ConvParams p = makeConv(2, 3, 6, 4, 3, 2, 1);
+    Tensor input = makeInput(p);
+    input.fillRandom(31);
+    for (ColumnOrder order :
+         {ColumnOrder::ChannelLast, ColumnOrder::ChannelFirst}) {
+        const LoweredView view(p, order);
+        const Matrix implicit = view.materialize(input);
+        const Matrix explicit_m = tensor::im2colLower(p, input, order);
+        EXPECT_EQ(implicit.maxAbsDiff(explicit_m), 0.0f);
+    }
+}
+
+TEST(LoweredView, CoordsHonorStridePadDilation)
+{
+    const ConvParams p = makeConv(1, 2, 9, 1, 3, 2, 1, 2);
+    const LoweredView view(p, ColumnOrder::ChannelFirst);
+    // Row 0 = output (0,0); col for (r=1, s=0, ci=1).
+    const Index k = tensor::colIndex(p, ColumnOrder::ChannelFirst, 1, 0,
+                                     1);
+    const InputCoord c = view.coordAt(0, k);
+    EXPECT_EQ(c.n, 0);
+    EXPECT_EQ(c.ci, 1);
+    EXPECT_EQ(c.ih, 0 * 2 - 1 + 1 * 2); // oh*s - pad + r*dil = 1
+    EXPECT_EQ(c.iw, 0 * 2 - 1 + 0 * 2); // -1: padding halo
+    EXPECT_TRUE(c.isPadding(p));
+}
+
+TEST(LoweredView, PaddingCellsReadZero)
+{
+    const ConvParams p = makeConv(1, 1, 3, 1, 3, 1, 1);
+    Tensor input = makeInput(p);
+    input.fill(5.0f);
+    const LoweredView view(p, ColumnOrder::ChannelLast);
+    EXPECT_EQ(view.valueAt(input, 0, 0), 0.0f); // corner halo
+    EXPECT_EQ(view.valueAt(input, 0, 4), 5.0f); // center
+}
+
+TEST(LoweredView, DuplicationFactorUnpaddedK3)
+{
+    // 4x4 input, k3, s1, no pad: 4 windows x 9 cells = 36 references
+    // over 16 elements -> 2.25.
+    const ConvParams p = makeConv(1, 1, 4, 1, 3);
+    const LoweredView view(p, ColumnOrder::ChannelLast);
+    EXPECT_NEAR(view.duplicationFactor(), 36.0 / 16.0, 1e-12);
+}
+
+TEST(LoweredView, DuplicationFactorApproachesKernelSizeForLargeInputs)
+{
+    const ConvParams p = makeConv(1, 1, 64, 1, 3, 1, 1);
+    const LoweredView view(p, ColumnOrder::ChannelFirst);
+    EXPECT_GT(view.duplicationFactor(), 8.5);
+    EXPECT_LE(view.duplicationFactor(), 9.0);
+}
+
+TEST(LoweredView, StrideReducesDuplication)
+{
+    const ConvParams s1 = makeConv(1, 1, 16, 1, 3, 1, 1);
+    const ConvParams s2 = makeConv(1, 1, 16, 1, 3, 2, 1);
+    const double d1 =
+        LoweredView(s1, ColumnOrder::ChannelFirst).duplicationFactor();
+    const double d2 =
+        LoweredView(s2, ColumnOrder::ChannelFirst).duplicationFactor();
+    EXPECT_GT(d1, 2.0 * d2);
+}
+
+TEST(LoweredView, ColumnPermutationRoundTrips)
+{
+    const ConvParams p = makeConv(1, 5, 7, 2, 3, 1, 1);
+    const LoweredView first(p, ColumnOrder::ChannelFirst);
+    const LoweredView last(p, ColumnOrder::ChannelLast);
+    for (Index k = 0; k < p.gemmK(); ++k) {
+        const Index kl = first.permuteColumnTo(ColumnOrder::ChannelLast,
+                                               k);
+        EXPECT_EQ(last.permuteColumnTo(ColumnOrder::ChannelFirst, kl),
+                  k);
+    }
+}
+
+TEST(LoweredView, PermutedColumnsCarrySameValues)
+{
+    const ConvParams p = makeConv(2, 3, 5, 2, 3);
+    Tensor input = makeInput(p);
+    input.fillRandom(37);
+    const LoweredView first(p, ColumnOrder::ChannelFirst);
+    for (Index k = 0; k < p.gemmK(); ++k) {
+        const Index kl =
+            first.permuteColumnTo(ColumnOrder::ChannelLast, k);
+        const LoweredView last(p, ColumnOrder::ChannelLast);
+        for (Index m = 0; m < p.gemmM(); m += 3)
+            EXPECT_EQ(first.valueAt(input, m, k),
+                      last.valueAt(input, m, kl));
+    }
+}
+
+} // namespace
+} // namespace cfconv::im2col

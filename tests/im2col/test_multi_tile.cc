@@ -1,0 +1,131 @@
+/** @file Tests for multi-tile planning and merged operands. */
+
+#include <gtest/gtest.h>
+
+#include "im2col/multi_tile.h"
+#include "tensor/conv_ref.h"
+#include "tensor/gemm.h"
+#include "tensor/im2col_explicit.h"
+
+namespace cfconv::im2col {
+namespace {
+
+using tensor::makeConv;
+using tensor::makeFilter;
+using tensor::makeInput;
+
+TEST(TpuMultiTileParam, MatchesPaperStrategy)
+{
+    // T = MIN(128 / C_I, W_F).
+    EXPECT_EQ(tpuMultiTileParam(128, makeConv(1, 8, 32, 16, 3, 1, 1)),
+              3); // 128/8 = 16, W_F = 3 -> 3
+    EXPECT_EQ(tpuMultiTileParam(128, makeConv(1, 64, 32, 16, 5, 1, 2)),
+              2); // 128/64 = 2
+    EXPECT_EQ(tpuMultiTileParam(128, makeConv(1, 128, 32, 16, 3, 1, 1)),
+              1);
+    EXPECT_EQ(tpuMultiTileParam(128, makeConv(1, 3, 32, 16, 7, 2, 3)),
+              7); // 128/3 = 42 -> capped by W_F = 7
+    EXPECT_EQ(tpuMultiTileParam(128, makeConv(1, 256, 32, 16, 3, 1, 1)),
+              1); // C_I exceeds the array: no merging possible
+}
+
+TEST(PlanMultiTile, GroupsConsecutiveTiles)
+{
+    const ConvParams p = makeConv(1, 4, 6, 2, 3, 1, 1);
+    const MultiTilePlan plan = planMultiTile(p, 2);
+    ASSERT_EQ(plan.groups.size(), 5u); // ceil(9 / 2)
+    EXPECT_EQ(plan.groups[0].tiles.size(), 2u);
+    EXPECT_EQ(plan.groups[4].tiles.size(), 1u); // remainder
+    EXPECT_EQ(plan.groups[0].mergedK(p), 8);
+}
+
+TEST(PlanMultiTile, SingleTileDegeneratesToPerTileGroups)
+{
+    const ConvParams p = makeConv(1, 4, 6, 2, 3, 1, 1);
+    const MultiTilePlan plan = planMultiTile(p, 1);
+    EXPECT_EQ(plan.groups.size(), 9u);
+    EXPECT_NEAR(plan.duplicationFactor(p), 1.0, 1e-12);
+}
+
+TEST(PlanMultiTile, DuplicationGrowsWithGroupSize)
+{
+    const ConvParams p = makeConv(1, 8, 10, 4, 3, 1, 1);
+    const double d1 = planMultiTile(p, 1).duplicationFactor(p);
+    const double d3 = planMultiTile(p, 3).duplicationFactor(p);
+    EXPECT_LT(d1, d3);
+    EXPECT_NEAR(d3, 3.0, 1e-12); // 9 tiles divide evenly into 3 groups
+}
+
+TEST(PlanMultiTile, WorkspaceGrowsLinearlyWithGroupSize)
+{
+    // Fig 14a: on-chip workspace grows linearly with the multi-tile
+    // parameter.
+    const ConvParams p = makeConv(8, 8, 128, 128, 3, 1, 1);
+    const Index w1 = planMultiTile(p, 1).peakWorkspaceElems(p);
+    const Index w2 = planMultiTile(p, 2).peakWorkspaceElems(p);
+    const Index w3 = planMultiTile(p, 3).peakWorkspaceElems(p);
+    EXPECT_NEAR(static_cast<double>(w2) / static_cast<double>(w1), 2.0,
+                0.1);
+    EXPECT_NEAR(static_cast<double>(w3) / static_cast<double>(w1), 3.0,
+                0.2);
+}
+
+TEST(PlanMultiTile, RejectsNonPositiveGroupSize)
+{
+    const ConvParams p = makeConv(1, 4, 6, 2, 3);
+    EXPECT_THROW(planMultiTile(p, 0), FatalError);
+}
+
+TEST(GroupOperand, ColumnsAreSideBySideTileOperands)
+{
+    const ConvParams p = makeConv(1, 2, 5, 2, 3);
+    tensor::Tensor input = makeInput(p);
+    input.fillRandom(3);
+    const MultiTilePlan plan = planMultiTile(p, 2);
+    const TileGroup &g = plan.groups[0];
+    const tensor::Matrix merged = groupOperand(p, input, g);
+    ASSERT_EQ(merged.cols(), 4);
+    const tensor::Matrix a0 = tileOperand(p, input, g.tiles[0]);
+    const tensor::Matrix a1 = tileOperand(p, input, g.tiles[1]);
+    for (Index m = 0; m < merged.rows(); ++m) {
+        EXPECT_EQ(merged.at(m, 0), a0.at(m, 0));
+        EXPECT_EQ(merged.at(m, 1), a0.at(m, 1));
+        EXPECT_EQ(merged.at(m, 2), a1.at(m, 0));
+        EXPECT_EQ(merged.at(m, 3), a1.at(m, 1));
+    }
+}
+
+class MultiTileConv : public ::testing::TestWithParam<Index>
+{
+};
+
+TEST_P(MultiTileConv, MergedGemmsEqualDirectConv)
+{
+    // GEMM associativity: merging T tiles into one pass must not change
+    // the result (the correctness argument of Sec. IV-B).
+    const Index tiles_per_group = GetParam();
+    const ConvParams p = makeConv(2, 3, 7, 4, 3, 2, 1);
+    tensor::Tensor input = makeInput(p);
+    tensor::Tensor filter = makeFilter(p);
+    input.fillRandom(5);
+    filter.fillRandom(7);
+
+    const MultiTilePlan plan = planMultiTile(p, tiles_per_group);
+    tensor::Matrix acc(p.gemmM(), p.gemmN());
+    acc.fill(0.0f);
+    for (const auto &g : plan.groups) {
+        const tensor::Matrix a = groupOperand(p, input, g);
+        const tensor::Matrix b = groupWeights(p, filter, g);
+        tensor::gemmAccumulate(a, b, acc);
+    }
+    const tensor::Tensor out = tensor::foldOutput(p, acc);
+    const tensor::Tensor ref = tensor::convDirect(p, input, filter);
+    EXPECT_LT(out.maxAbsDiff(ref), 1e-3f)
+        << "tiles_per_group = " << tiles_per_group;
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, MultiTileConv,
+                         ::testing::Values(1, 2, 3, 4, 5, 9));
+
+} // namespace
+} // namespace cfconv::im2col

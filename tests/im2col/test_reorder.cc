@@ -1,0 +1,107 @@
+/** @file Tests for inter-tile reuse ordering. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "im2col/reorder.h"
+
+namespace cfconv::im2col {
+namespace {
+
+using tensor::makeConv;
+
+TEST(OrderTiles, NaiveIsRowMajor)
+{
+    const ConvParams p = makeConv(1, 2, 9, 1, 3, 1, 1);
+    const auto seq = orderTiles(p, TileOrder::Naive);
+    ASSERT_EQ(seq.size(), 9u);
+    EXPECT_EQ(seq[0], (FilterTile{0, 0}));
+    EXPECT_EQ(seq[1], (FilterTile{0, 1}));
+    EXPECT_EQ(seq[8], (FilterTile{2, 2}));
+}
+
+TEST(OrderTiles, GreedyIsAPermutation)
+{
+    const ConvParams p = makeConv(1, 2, 11, 1, 3, 2, 1);
+    const auto seq = orderTiles(p, TileOrder::ReuseGreedy);
+    ASSERT_EQ(seq.size(), 9u);
+    std::set<std::pair<Index, Index>> seen;
+    for (const auto &t : seq)
+        seen.insert({t.r, t.s});
+    EXPECT_EQ(seen.size(), 9u);
+}
+
+TEST(OrderTiles, GreedyChainsSameParityTilesAtStride2)
+{
+    // At stride 2 the greedy order should follow <0,0> with a tile of
+    // the same (even, even) parity, which is the only way to overlap.
+    const ConvParams p = makeConv(1, 2, 99, 1, 3, 2, 1);
+    const auto seq = orderTiles(p, TileOrder::ReuseGreedy);
+    EXPECT_EQ(seq[0], (FilterTile{0, 0}));
+    EXPECT_EQ(seq[1].r % 2, 0);
+    EXPECT_EQ(seq[1].s % 2, 0);
+}
+
+TEST(SequenceReuse, GreedyBeatsNaiveAtStride2)
+{
+    // Sec. V: naive order has no consecutive overlap at stride 2;
+    // reordering recovers it (the 0,0 -> 0,2 example of Fig 12).
+    const ConvParams p = makeConv(1, 2, 99, 1, 3, 2, 1);
+    const double naive =
+        sequenceReuseFraction(p, orderTiles(p, TileOrder::Naive));
+    const double greedy =
+        sequenceReuseFraction(p, orderTiles(p, TileOrder::ReuseGreedy));
+    EXPECT_LT(naive, 0.05);
+    EXPECT_GT(greedy, 0.5);
+}
+
+TEST(SequenceReuse, PaperNinetySixPercentExample)
+{
+    // "When the IFMap size increases to 99x99, the working set overlap
+    // between these two decomposed filters becomes 96%."
+    const ConvParams p = makeConv(1, 1, 99, 1, 3, 2);
+    const double ov = tileOverlap(p, {0, 0}, {0, 2});
+    EXPECT_NEAR(ov, 0.96, 0.02);
+}
+
+TEST(SequenceFillElems, ReorderingReducesTraffic)
+{
+    const ConvParams p = makeConv(1, 4, 57, 2, 3, 2, 1);
+    const Index naive =
+        sequenceFillElems(p, orderTiles(p, TileOrder::Naive));
+    const Index greedy =
+        sequenceFillElems(p, orderTiles(p, TileOrder::ReuseGreedy));
+    EXPECT_LT(greedy, naive);
+}
+
+TEST(SequenceFillElems, FirstTileAlwaysFullyLoaded)
+{
+    const ConvParams p = makeConv(1, 2, 9, 1, 3, 1, 1);
+    const std::vector<FilterTile> single{{1, 1}};
+    EXPECT_EQ(sequenceFillElems(p, single), tileFillElems(p, {1, 1}));
+}
+
+TEST(SequenceFillElems, NeverBelowLargestTile)
+{
+    const ConvParams p = makeConv(1, 3, 17, 2, 3, 1, 1);
+    for (TileOrder ord : {TileOrder::Naive, TileOrder::ReuseGreedy}) {
+        const auto seq = orderTiles(p, ord);
+        Index largest = 0;
+        for (const auto &t : seq)
+            largest = std::max(largest, tileFillElems(p, t));
+        EXPECT_GE(sequenceFillElems(p, seq), largest);
+    }
+}
+
+TEST(SequenceReuse, Stride1AdjacentOverlapIsHighForBothOrders)
+{
+    const ConvParams p = makeConv(1, 2, 56, 2, 3, 1, 1);
+    const double naive =
+        sequenceReuseFraction(p, orderTiles(p, TileOrder::Naive));
+    EXPECT_GT(naive, 0.9);
+}
+
+} // namespace
+} // namespace cfconv::im2col

@@ -1,0 +1,133 @@
+/** @file Tests for tile-level weight sparsity. */
+
+#include <gtest/gtest.h>
+
+#include "im2col/sparse.h"
+#include "tensor/conv_ref.h"
+
+namespace cfconv::im2col {
+namespace {
+
+using tensor::makeConv;
+using tensor::Tensor;
+
+TEST(PruneFilter, MagnitudeThresholdZeroesSmallWeights)
+{
+    const auto p = makeConv(1, 2, 5, 2, 3);
+    Tensor filter = tensor::makeFilter(p);
+    filter.fillRandom(211);
+    const Tensor pruned = pruneFilter(filter, 0.5f);
+    for (Index i = 0; i < pruned.size(); ++i) {
+        const float orig = filter.data()[i];
+        const float v = pruned.data()[i];
+        if (std::abs(orig) < 0.5f)
+            EXPECT_EQ(v, 0.0f);
+        else
+            EXPECT_EQ(v, orig);
+    }
+}
+
+TEST(PruneFilterTiles, RemovesExactlyTheRequestedFraction)
+{
+    const auto p = makeConv(1, 4, 7, 4, 3, 1, 1);
+    Tensor filter = tensor::makeFilter(p);
+    filter.fillRandom(213);
+    // Prune 1/3 of the 9 taps -> 3 skippable tiles.
+    const Tensor pruned = pruneFilterTiles(p, filter, 3.0 / 9.0);
+    const SparsityReport report = analyzeSparsity(p, pruned);
+    EXPECT_EQ(report.skippableTiles, 3);
+    EXPECT_NEAR(report.passSavings(), 3.0 / 9.0, 1e-12);
+}
+
+TEST(PruneFilterTiles, PrunesLowestMassTiles)
+{
+    const auto p = makeConv(1, 2, 5, 2, 3);
+    Tensor filter = tensor::makeFilter(p);
+    filter.fill(1.0f);
+    // Make tap <1,1> the lightest.
+    for (Index co = 0; co < 2; ++co)
+        for (Index ci = 0; ci < 2; ++ci)
+            filter.at(co, ci, 1, 1) = 0.01f;
+    const Tensor pruned = pruneFilterTiles(p, filter, 1.0 / 9.0);
+    for (Index co = 0; co < 2; ++co)
+        for (Index ci = 0; ci < 2; ++ci) {
+            EXPECT_EQ(pruned.at(co, ci, 1, 1), 0.0f);
+            EXPECT_EQ(pruned.at(co, ci, 0, 0), 1.0f);
+        }
+}
+
+TEST(AnalyzeSparsity, DenseFilterHasNoSkippableTiles)
+{
+    const auto p = makeConv(1, 3, 6, 3, 3);
+    Tensor filter = tensor::makeFilter(p);
+    filter.fill(1.0f);
+    const SparsityReport r = analyzeSparsity(p, filter);
+    EXPECT_EQ(r.skippableTiles, 0);
+    EXPECT_DOUBLE_EQ(r.overallDensity, 1.0);
+    EXPECT_EQ(r.tiles.size(), 9u);
+}
+
+struct SparseCase
+{
+    Index batch, ci, hw, co, k, s, p;
+    double prune_fraction;
+};
+
+class SparseConv : public ::testing::TestWithParam<SparseCase>
+{
+};
+
+TEST_P(SparseConv, SkippingZeroTilesIsExact)
+{
+    const SparseCase c = GetParam();
+    const auto p = makeConv(c.batch, c.ci, c.hw, c.co, c.k, c.s, c.p);
+    Tensor input = tensor::makeInput(p);
+    Tensor filter = tensor::makeFilter(p);
+    input.fillRandom(217);
+    filter.fillRandom(219);
+    const Tensor pruned = pruneFilterTiles(p, filter, c.prune_fraction);
+
+    Index skipped = 0;
+    const Tensor sparse = convImplicitSparse(p, input, pruned, &skipped);
+    const Tensor dense = tensor::convDirect(p, input, pruned);
+    EXPECT_LT(sparse.maxAbsDiff(dense), 1e-3f) << p.toString();
+
+    const SparsityReport report = analyzeSparsity(p, pruned);
+    EXPECT_EQ(skipped, report.skippableTiles);
+    if (c.prune_fraction > 0.0) {
+        EXPECT_GT(skipped, 0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SparseConv,
+    ::testing::Values(SparseCase{1, 2, 6, 2, 3, 1, 1, 0.0},
+                      SparseCase{2, 3, 6, 4, 3, 1, 1, 0.33},
+                      SparseCase{1, 4, 8, 2, 3, 2, 1, 0.55},
+                      SparseCase{2, 2, 7, 3, 5, 1, 2, 0.5},
+                      SparseCase{1, 3, 9, 2, 3, 1, 0, 1.0}));
+
+TEST(SparseConv, FullyPrunedFilterYieldsZeroOutput)
+{
+    const auto p = makeConv(1, 2, 5, 2, 3);
+    Tensor input = tensor::makeInput(p);
+    input.fillRandom(223);
+    Tensor filter = tensor::makeFilter(p);
+    filter.fill(0.0f);
+    Index skipped = 0;
+    const Tensor out = convImplicitSparse(p, input, filter, &skipped);
+    EXPECT_EQ(skipped, 9);
+    Tensor zeros(p.batch, p.outChannels, p.outH(), p.outW());
+    EXPECT_EQ(out.maxAbsDiff(zeros), 0.0f);
+}
+
+TEST(SparseConv, RejectsBadArguments)
+{
+    const auto p = makeConv(1, 2, 5, 2, 3);
+    Tensor filter = tensor::makeFilter(p);
+    EXPECT_THROW(pruneFilter(filter, -1.0f), FatalError);
+    EXPECT_THROW(pruneFilterTiles(p, filter, 1.5), FatalError);
+}
+
+} // namespace
+} // namespace cfconv::im2col

@@ -1,0 +1,64 @@
+/** @file Tests for the Lym-style banked SRAM + crossbar model. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+#include "sram/banked_sram.h"
+
+namespace cfconv::sram {
+namespace {
+
+TEST(BankedSram, ConflictFreeColumnTakesOneCycle)
+{
+    BankedSram sram({8, 8});
+    EXPECT_EQ(sram.serveColumn({0, 1, 2, 3, 4, 5, 6, 7}), 1u);
+    EXPECT_EQ(sram.conflictCycles(), 0);
+}
+
+TEST(BankedSram, ConflictsSerialize)
+{
+    BankedSram sram({8, 8});
+    // Four requests to bank 0: 4 cycles.
+    EXPECT_EQ(sram.serveColumn({0, 0, 0, 0}), 4u);
+    EXPECT_EQ(sram.conflictCycles(), 3);
+}
+
+TEST(BankedSram, WorstBankDominates)
+{
+    BankedSram sram({4, 8});
+    EXPECT_EQ(sram.serveColumn({0, 0, 1, 2, 3, 3, 3, 2}), 3u);
+}
+
+TEST(BankedSram, EmptyColumnStillCostsACycle)
+{
+    BankedSram sram({4, 4});
+    EXPECT_EQ(sram.serveColumn({}), 1u);
+    EXPECT_EQ(sram.servedColumns(), 1);
+}
+
+TEST(BankedSram, RejectsBadRequests)
+{
+    BankedSram sram({4, 4});
+    EXPECT_THROW(sram.serveColumn({0, 1, 2, 3, 0}), FatalError);
+    EXPECT_THROW(sram.serveColumn({4}), FatalError);
+    EXPECT_THROW(sram.serveColumn({-1}), FatalError);
+}
+
+TEST(CrossbarCost, GrowsQuadratically)
+{
+    // Sec. II-C: a 256x256 crossbar (TPU-sized) costs 64x a 32x32 one.
+    EXPECT_DOUBLE_EQ(crossbarRelativeCost(32), 1.0);
+    EXPECT_DOUBLE_EQ(crossbarRelativeCost(64), 4.0);
+    EXPECT_DOUBLE_EQ(crossbarRelativeCost(256), 64.0);
+}
+
+TEST(BankingCost, MoreBanksCostMore)
+{
+    EXPECT_DOUBLE_EQ(bankingRelativeCost(32), 1.0);
+    EXPECT_GT(bankingRelativeCost(256), 2.0);
+    EXPECT_LT(bankingRelativeCost(8), 1.0);
+}
+
+} // namespace
+} // namespace cfconv::sram

@@ -1,0 +1,116 @@
+/** @file Tests for the channel-last banked-SRAM feed (Sec. II-C). */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/logging.h"
+#include "sram/channel_last_feed.h"
+
+namespace cfconv::sram {
+namespace {
+
+using tensor::makeConv;
+
+TEST(BankOf, SkewedLayoutSpreadsOneWindowAcrossBanks)
+{
+    // K = 3*3*3 = 27 <= 32 banks: every element of one sliding window
+    // must land in a distinct bank.
+    const auto p = makeConv(1, 3, 8, 4, 3);
+    const BankedSramConfig cfg{32, 32};
+    std::set<Index> banks;
+    for (Index r = 0; r < 3; ++r)
+        for (Index s = 0; s < 3; ++s)
+            for (Index ci = 0; ci < 3; ++ci)
+                banks.insert(bankOf(p, cfg, BankLayout::Skewed, 2 + r,
+                                    3 + s, ci));
+    EXPECT_EQ(banks.size(), 27u);
+}
+
+TEST(BankOf, NaiveLayoutCollidesWithinAWindow)
+{
+    // Naive modulo: elements (ih, iw, ci) and (ih+1, iw, ci) of an
+    // 8-wide, 4-channel IFMap are exactly 32 apart -> same bank.
+    const auto p = makeConv(1, 4, 8, 4, 3);
+    const BankedSramConfig cfg{32, 32};
+    std::set<Index> banks;
+    Index elements = 0;
+    for (Index r = 0; r < 3; ++r)
+        for (Index s = 0; s < 3; ++s)
+            for (Index ci = 0; ci < 4; ++ci) {
+                banks.insert(bankOf(p, cfg, BankLayout::NaiveModulo,
+                                    1 + r, 1 + s, ci));
+                ++elements;
+            }
+    EXPECT_LT(banks.size(), static_cast<size_t>(elements));
+}
+
+TEST(Feed, SkewedLayoutServesWithoutStalls)
+{
+    // The Lym design point: careful offline layout -> no conflicts.
+    const auto p = makeConv(1, 3, 16, 8, 3);
+    const FeedReport r =
+        replayChannelLastFeed(p, {32, 32}, BankLayout::Skewed);
+    EXPECT_EQ(r.conflictStalls, 0);
+    EXPECT_DOUBLE_EQ(r.slowdown(), 1.0);
+}
+
+TEST(Feed, NaiveLayoutStalls)
+{
+    const auto p = makeConv(1, 4, 16, 8, 3);
+    const FeedReport naive =
+        replayChannelLastFeed(p, {32, 32}, BankLayout::NaiveModulo);
+    EXPECT_GT(naive.conflictStalls, 0);
+    EXPECT_GT(naive.slowdown(), 1.3);
+}
+
+TEST(Feed, SkewBreaksDownWhenKExceedsBankCount)
+{
+    // K = 3*3*8 = 72 > 32 banks: even the skewed layout must
+    // serialize within a beat only if two same-beat elements collide;
+    // the chunked feed keeps beats at 32 elements, so a clean skew
+    // still serves beat-by-beat. What must hold: total cycles equal
+    // ceil(K/ports) per window when conflict-free.
+    const auto p = makeConv(1, 8, 12, 8, 3);
+    const FeedReport r =
+        replayChannelLastFeed(p, {32, 32}, BankLayout::Skewed);
+    EXPECT_EQ(r.idealCycles,
+              static_cast<Cycles>(p.outH() * p.outW() *
+                                  divCeil<Index>(p.gemmK(), 32)));
+    EXPECT_LE(r.slowdown(), 1.2);
+}
+
+TEST(Feed, StridedConvolutionKeepsSkewConflictFree)
+{
+    // Stride changes which windows exist, not the within-window
+    // spread; the skewed layout stays conflict-free.
+    const auto p = makeConv(1, 3, 17, 8, 3, 2, 1);
+    const FeedReport r =
+        replayChannelLastFeed(p, {32, 32}, BankLayout::Skewed);
+    EXPECT_EQ(r.conflictStalls, 0);
+}
+
+TEST(Feed, FewerBanksForceStallsEvenWhenSkewed)
+{
+    // The scalability point: a GEMM engine consuming 27 elements per
+    // beat over an 8-bank SRAM cannot avoid conflicts.
+    const auto p = makeConv(1, 3, 12, 8, 3);
+    const FeedReport r =
+        replayChannelLastFeed(p, {8, 32}, BankLayout::Skewed);
+    EXPECT_GT(r.conflictStalls, 0);
+}
+
+TEST(BankOf, RejectsOutOfRangeElements)
+{
+    const auto p = makeConv(1, 3, 8, 4, 3);
+    const BankedSramConfig cfg{32, 32};
+    EXPECT_THROW(bankOf(p, cfg, BankLayout::Skewed, -1, 0, 0),
+                 FatalError);
+    EXPECT_THROW(bankOf(p, cfg, BankLayout::Skewed, 0, 8, 0),
+                 FatalError);
+    EXPECT_THROW(bankOf(p, cfg, BankLayout::Skewed, 0, 0, 3),
+                 FatalError);
+}
+
+} // namespace
+} // namespace cfconv::sram

@@ -1,0 +1,82 @@
+/** @file Tests for the analytical SRAM area model (Fig 16b anchors). */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+#include "sram/sram_area_model.h"
+
+namespace cfconv::sram {
+namespace {
+
+constexpr Bytes kCap = 256 * 1024;
+
+TEST(SramAreaModel, PaperAnchorWord4vs32Bytes)
+{
+    // "a word size of 4 bytes increases the area overhead by 3.2 times
+    // compared to that when the word size is 32 bytes" (Sec. IV-C):
+    // word 1 element (4 B) vs word 8 elements (32 B).
+    SramAreaModel model;
+    const double ratio =
+        model.areaMm2(kCap, 1) / model.areaMm2(kCap, 8);
+    EXPECT_NEAR(ratio, 3.2, 0.05);
+}
+
+TEST(SramAreaModel, PaperAnchorWord1LargeOverheadVsMinimum)
+{
+    // The paper quotes "~5x" for word size 1 vs the minimum; that is
+    // not exactly consistent with its other anchor (3.2x vs word 8
+    // with word 8 "close to the minimum"), so we require a large
+    // overhead in the 3.4x-5.5x band while keeping the 3.2x anchor
+    // exact (previous test).
+    SramAreaModel model;
+    EXPECT_GT(model.relativeArea(kCap, 1), 3.4);
+    EXPECT_LT(model.relativeArea(kCap, 1), 5.5);
+}
+
+TEST(SramAreaModel, Word8IsCloseToMinimum)
+{
+    // "The word size 8 achieves the area efficiency that is close to
+    // the minimum value."
+    SramAreaModel model;
+    EXPECT_LT(model.relativeArea(kCap, 8), 1.15);
+}
+
+TEST(SramAreaModel, AreaDecreasesThenFlattens)
+{
+    SramAreaModel model;
+    double prev = model.areaMm2(kCap, 1);
+    for (Index w : {2, 4, 8, 16}) {
+        const double cur = model.areaMm2(kCap, w);
+        EXPECT_LT(cur, prev) << "word " << w;
+        prev = cur;
+    }
+    // Past the optimum the column periphery grows the area again, but
+    // gently.
+    EXPECT_LT(model.areaMm2(kCap, 64) / model.areaMm2(kCap, 16), 1.5);
+}
+
+TEST(SramAreaModel, AreaScalesWithCapacity)
+{
+    SramAreaModel model;
+    EXPECT_NEAR(model.areaMm2(2 * kCap, 8) / model.areaMm2(kCap, 8),
+                2.0, 1e-9);
+}
+
+TEST(SramAreaModel, BestWordInPlausibleRange)
+{
+    SramAreaModel model;
+    const Index best = model.bestWordElems(kCap);
+    EXPECT_GE(best, 8);
+    EXPECT_LE(best, 64);
+}
+
+TEST(SramAreaModel, RejectsBadInputs)
+{
+    SramAreaModel model;
+    EXPECT_THROW(model.areaMm2(kCap, 0), FatalError);
+    EXPECT_THROW(model.areaMm2(0, 8), FatalError);
+}
+
+} // namespace
+} // namespace cfconv::sram

@@ -1,0 +1,105 @@
+/** @file Tests for the vector-memory (single-port SRAM array) model. */
+
+#include <gtest/gtest.h>
+
+#include "sram/vector_memory.h"
+
+namespace cfconv::sram {
+namespace {
+
+VectorMemoryConfig
+smallConfig()
+{
+    VectorMemoryConfig c;
+    c.wordElems = 4;
+    c.elemBytes = 4;
+    c.capacityBytes = 1024;
+    return c;
+}
+
+TEST(VectorMemoryConfig, WordCountFromCapacity)
+{
+    EXPECT_EQ(smallConfig().words(), 64); // 1024 / (4*4)
+}
+
+TEST(VectorMemory, WordRoundTrip)
+{
+    VectorMemory vm(smallConfig());
+    const std::vector<float> word{1, 2, 3, 4};
+    vm.writeWord(5, word, 0);
+    EXPECT_EQ(vm.readWord(5, 1), word);
+    EXPECT_EQ(vm.readCount(), 1);
+    EXPECT_EQ(vm.writeCount(), 1);
+}
+
+TEST(VectorMemory, UntouchedWordsReadZero)
+{
+    VectorMemory vm(smallConfig());
+    const auto word = vm.readWord(3, 0);
+    for (float v : word)
+        EXPECT_EQ(v, 0.0f);
+}
+
+TEST(VectorMemory, SameCycleDoubleUseIsConflict)
+{
+    VectorMemory vm(smallConfig());
+    vm.readWord(0, 7);
+    EXPECT_FALSE(vm.hadPortConflict());
+    vm.writeWord(1, {0, 0, 0, 0}, 7); // same cycle: single port!
+    EXPECT_TRUE(vm.hadPortConflict());
+}
+
+TEST(VectorMemory, AlternatingCyclesConflictFree)
+{
+    // The Fig 10 interleave: reads on even cycles, writes on odd.
+    VectorMemory vm(smallConfig());
+    for (Cycles t = 0; t < 32; t += 2) {
+        vm.readWord(static_cast<Index>(t / 2), t);
+        vm.writeWord(static_cast<Index>(32 + t / 2), {1, 2, 3, 4},
+                     t + 1);
+    }
+    EXPECT_FALSE(vm.hadPortConflict());
+    EXPECT_NEAR(vm.portUtilization(32), 1.0, 1e-12);
+}
+
+TEST(VectorMemory, PortUtilizationCountsBothOps)
+{
+    VectorMemory vm(smallConfig());
+    vm.readWord(0, 0);
+    vm.writeWord(1, {0, 0, 0, 0}, 8);
+    EXPECT_NEAR(vm.portUtilization(16), 2.0 / 16.0, 1e-12);
+    EXPECT_EQ(vm.portUtilization(0), 0.0);
+}
+
+TEST(VectorMemory, BoundsAndSizeChecks)
+{
+    VectorMemory vm(smallConfig());
+    EXPECT_THROW(vm.readWord(-1, 0), FatalError);
+    EXPECT_THROW(vm.readWord(64, 0), FatalError);
+    EXPECT_THROW(vm.writeWord(0, {1, 2, 3}, 0), FatalError);
+}
+
+TEST(VectorMemory, ResetStatsClearsAccounting)
+{
+    VectorMemory vm(smallConfig());
+    vm.readWord(0, 0);
+    vm.writeWord(0, {1, 2, 3, 4}, 0);
+    EXPECT_TRUE(vm.hadPortConflict());
+    vm.resetStats();
+    EXPECT_FALSE(vm.hadPortConflict());
+    EXPECT_EQ(vm.readCount(), 0);
+    EXPECT_EQ(vm.writeCount(), 0);
+}
+
+TEST(VectorMemory, RejectsDegenerateConfigs)
+{
+    VectorMemoryConfig c = smallConfig();
+    c.wordElems = 0;
+    EXPECT_THROW(VectorMemory{c}, FatalError);
+    c = smallConfig();
+    c.capacityBytes = 8; // below one word
+    EXPECT_THROW(VectorMemory{c}, FatalError);
+}
+
+} // namespace
+} // namespace cfconv::sram

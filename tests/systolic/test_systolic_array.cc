@@ -1,0 +1,131 @@
+/** @file Tests for the functional weight-stationary systolic array. */
+
+#include <gtest/gtest.h>
+
+#include "systolic/systolic_array.h"
+#include "tensor/gemm.h"
+
+namespace cfconv::systolic {
+namespace {
+
+TEST(SystolicArray, TinyKnownGemm)
+{
+    // [1 2; 3 4] * [5 6; 7 8].
+    Matrix a(2, 2), b(2, 2);
+    a.at(0, 0) = 1;
+    a.at(0, 1) = 2;
+    a.at(1, 0) = 3;
+    a.at(1, 1) = 4;
+    b.at(0, 0) = 5;
+    b.at(0, 1) = 6;
+    b.at(1, 0) = 7;
+    b.at(1, 1) = 8;
+
+    SystolicArray array(2, 2);
+    array.loadWeights(b);
+    const Matrix c = array.run(a);
+    EXPECT_FLOAT_EQ(c.at(0, 0), 19);
+    EXPECT_FLOAT_EQ(c.at(0, 1), 22);
+    EXPECT_FLOAT_EQ(c.at(1, 0), 43);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 50);
+}
+
+struct GemmDims
+{
+    Index m, k, n;
+    Index array_rows, array_cols;
+};
+
+class SystolicGemm : public ::testing::TestWithParam<GemmDims>
+{
+};
+
+TEST_P(SystolicGemm, MatchesReferenceGemm)
+{
+    const GemmDims d = GetParam();
+    Matrix a(d.m, d.k), b(d.k, d.n), ref(d.m, d.n);
+    a.fillRandom(201);
+    b.fillRandom(202);
+    tensor::gemm(a, b, ref);
+
+    SystolicArray array(d.array_rows, d.array_cols);
+    array.loadWeights(b);
+    const Matrix c = array.run(a);
+    EXPECT_LT(c.maxAbsDiff(ref), 1e-4f)
+        << d.m << "x" << d.k << "x" << d.n << " on " << d.array_rows
+        << "x" << d.array_cols;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimSweep, SystolicGemm,
+    ::testing::Values(GemmDims{1, 1, 1, 1, 1}, GemmDims{4, 4, 4, 4, 4},
+                      GemmDims{7, 3, 5, 3, 5}, GemmDims{16, 4, 4, 4, 4},
+                      GemmDims{5, 2, 6, 4, 8}, GemmDims{9, 8, 8, 8, 8},
+                      GemmDims{32, 8, 4, 8, 4},
+                      GemmDims{3, 6, 2, 8, 8}));
+
+TEST(SystolicArray, SmallerWeightsLeaveArrayPartiallyUsed)
+{
+    // Loading a 2x3 weight block into a 4x4 array must still be exact.
+    Matrix a(5, 2), b(2, 3), ref(5, 3);
+    a.fillRandom(203);
+    b.fillRandom(204);
+    tensor::gemm(a, b, ref);
+
+    SystolicArray array(4, 4);
+    array.loadWeights(b);
+    const Matrix c = array.run(a);
+    EXPECT_LT(c.maxAbsDiff(ref), 1e-4f);
+}
+
+TEST(SystolicArray, RunCyclesMatchClosedForm)
+{
+    // Cycles = M + K + N - 1 for a single pass.
+    Matrix a(10, 3), b(3, 4);
+    a.fillRandom(205);
+    b.fillRandom(206);
+    SystolicArray array(3, 4);
+    array.loadWeights(b);
+    array.run(a);
+    EXPECT_EQ(array.lastRunCycles(), 10u + 3 + 4 - 1);
+}
+
+TEST(SystolicArray, ProviderSeesSkewedSchedule)
+{
+    // Row k must be asked for A[t - k][k]: check the cycles at which
+    // each row is first consulted for a real (non-bubble) element.
+    Matrix b(3, 2);
+    b.fill(1.0f);
+    SystolicArray array(3, 2);
+    array.loadWeights(b);
+
+    std::vector<Cycles> first_real(3, ~0ULL);
+    ActivationProvider provider = [&](Index k, Cycles t) -> float {
+        const Index m = static_cast<Index>(t) - k;
+        if (m < 0 || m >= 4)
+            return 0.0f;
+        if (first_real[static_cast<size_t>(k)] == ~0ULL)
+            first_real[static_cast<size_t>(k)] = t;
+        return 1.0f;
+    };
+    array.runWithProvider(provider, 4);
+    EXPECT_EQ(first_real[0], 0u);
+    EXPECT_EQ(first_real[1], 1u);
+    EXPECT_EQ(first_real[2], 2u);
+}
+
+TEST(SystolicArray, RejectsMisuse)
+{
+    SystolicArray array(2, 2);
+    Matrix a(2, 2);
+    EXPECT_THROW(array.run(a), FatalError); // no weights loaded
+    Matrix big(3, 2);
+    EXPECT_THROW(array.loadWeights(big), FatalError);
+    Matrix b(2, 2);
+    array.loadWeights(b);
+    Matrix wrong_depth(2, 3);
+    EXPECT_THROW(array.run(wrong_depth), FatalError);
+}
+
+} // namespace
+} // namespace cfconv::systolic

@@ -1,0 +1,106 @@
+/** @file Unit tests for reference and blocked GEMM. */
+
+#include <gtest/gtest.h>
+
+#include "tensor/gemm.h"
+
+namespace cfconv::tensor {
+namespace {
+
+Matrix
+naiveGemm(const Matrix &a, const Matrix &b)
+{
+    Matrix c(a.rows(), b.cols());
+    for (Index i = 0; i < a.rows(); ++i)
+        for (Index j = 0; j < b.cols(); ++j) {
+            float acc = 0.0f;
+            for (Index p = 0; p < a.cols(); ++p)
+                acc += a.at(i, p) * b.at(p, j);
+            c.at(i, j) = acc;
+        }
+    return c;
+}
+
+TEST(Gemm, SmallKnownResult)
+{
+    Matrix a(2, 2), b(2, 2), c(2, 2);
+    a.at(0, 0) = 1;
+    a.at(0, 1) = 2;
+    a.at(1, 0) = 3;
+    a.at(1, 1) = 4;
+    b.at(0, 0) = 5;
+    b.at(0, 1) = 6;
+    b.at(1, 0) = 7;
+    b.at(1, 1) = 8;
+    gemm(a, b, c);
+    EXPECT_FLOAT_EQ(c.at(0, 0), 19);
+    EXPECT_FLOAT_EQ(c.at(0, 1), 22);
+    EXPECT_FLOAT_EQ(c.at(1, 0), 43);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 50);
+}
+
+TEST(Gemm, MatchesNaiveOnRandom)
+{
+    Matrix a(17, 9), b(9, 13), c(17, 13);
+    a.fillRandom(1);
+    b.fillRandom(2);
+    gemm(a, b, c);
+    EXPECT_LT(c.maxAbsDiff(naiveGemm(a, b)), 1e-4f);
+}
+
+TEST(Gemm, AccumulateAddsOntoExisting)
+{
+    Matrix a(3, 4), b(4, 2), c(3, 2);
+    a.fillRandom(3);
+    b.fillRandom(4);
+    c.fill(1.0f);
+    gemmAccumulate(a, b, c);
+    Matrix expected = naiveGemm(a, b);
+    for (Index i = 0; i < 3; ++i)
+        for (Index j = 0; j < 2; ++j)
+            EXPECT_NEAR(c.at(i, j), expected.at(i, j) + 1.0f, 1e-5f);
+}
+
+TEST(Gemm, RejectsShapeMismatch)
+{
+    Matrix a(2, 3), b(4, 2), c(2, 2);
+    EXPECT_THROW(gemm(a, b, c), FatalError);
+    Matrix b2(3, 2), c_bad(3, 2);
+    EXPECT_THROW(gemm(a, b2, c_bad), FatalError);
+}
+
+struct TileCase
+{
+    Index tm, tn, tk;
+};
+
+class BlockedGemm : public ::testing::TestWithParam<TileCase>
+{
+};
+
+TEST_P(BlockedGemm, TilingIsValuePreserving)
+{
+    const TileCase tc = GetParam();
+    Matrix a(23, 17), b(17, 11), c(23, 11), ref(23, 11);
+    a.fillRandom(5);
+    b.fillRandom(6);
+    gemm(a, b, ref);
+    gemmBlocked(a, b, c, tc.tm, tc.tn, tc.tk);
+    EXPECT_LT(c.maxAbsDiff(ref), 1e-4f)
+        << "tiles " << tc.tm << "x" << tc.tn << "x" << tc.tk;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TileSweep, BlockedGemm,
+    ::testing::Values(TileCase{1, 1, 1}, TileCase{4, 4, 4},
+                      TileCase{8, 3, 5}, TileCase{23, 11, 17},
+                      TileCase{32, 32, 32}, TileCase{7, 2, 16}));
+
+TEST(BlockedGemm, RejectsBadTileSizes)
+{
+    Matrix a(2, 2), b(2, 2), c(2, 2);
+    EXPECT_THROW(gemmBlocked(a, b, c, 0, 1, 1), FatalError);
+}
+
+} // namespace
+} // namespace cfconv::tensor

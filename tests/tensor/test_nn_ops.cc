@@ -1,0 +1,151 @@
+/** @file Tests for the non-GEMM network layers. */
+
+#include <gtest/gtest.h>
+
+#include "tensor/nn_ops.h"
+
+namespace cfconv::tensor {
+namespace {
+
+TEST(MaxPool, TwoByTwoKnownResult)
+{
+    Tensor t(1, 1, 4, 4);
+    for (Index h = 0; h < 4; ++h)
+        for (Index w = 0; w < 4; ++w)
+            t.at(0, 0, h, w) = static_cast<float>(h * 4 + w);
+    const Tensor out = maxPool2d(t, {});
+    ASSERT_EQ(out.h(), 2);
+    ASSERT_EQ(out.w(), 2);
+    EXPECT_EQ(out.at(0, 0, 0, 0), 5.0f);
+    EXPECT_EQ(out.at(0, 0, 0, 1), 7.0f);
+    EXPECT_EQ(out.at(0, 0, 1, 0), 13.0f);
+    EXPECT_EQ(out.at(0, 0, 1, 1), 15.0f);
+}
+
+TEST(MaxPool, PaddingNeverWins)
+{
+    Tensor t(1, 1, 2, 2);
+    t.fill(-5.0f);
+    PoolParams p;
+    p.kernelH = p.kernelW = 3;
+    p.strideH = p.strideW = 2;
+    p.padH = p.padW = 1;
+    const Tensor out = maxPool2d(t, p);
+    // All windows see only negative values; padding must not inject 0.
+    EXPECT_EQ(out.at(0, 0, 0, 0), -5.0f);
+}
+
+TEST(MaxPool, OverlappingWindows)
+{
+    // AlexNet-style 3x3/s2 pooling.
+    Tensor t(1, 1, 5, 5);
+    t.fillRamp();
+    PoolParams p;
+    p.kernelH = p.kernelW = 3;
+    p.strideH = p.strideW = 2;
+    const Tensor out = maxPool2d(t, p);
+    EXPECT_EQ(out.h(), 2);
+    EXPECT_EQ(out.at(0, 0, 1, 1), t.at(0, 0, 4, 4));
+}
+
+TEST(AvgPool, CountsOnlyInBoundsCells)
+{
+    Tensor t(1, 1, 2, 2);
+    t.fill(4.0f);
+    PoolParams p;
+    p.kernelH = p.kernelW = 3;
+    p.strideH = p.strideW = 2;
+    p.padH = p.padW = 1;
+    const Tensor out = avgPool2d(t, p);
+    // Window at (0,0) covers 2x2 in-bounds cells of value 4 -> avg 4.
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0, 0), 4.0f);
+}
+
+TEST(AvgPool, SimpleMean)
+{
+    Tensor t(1, 1, 2, 2);
+    t.at(0, 0, 0, 0) = 1.0f;
+    t.at(0, 0, 0, 1) = 2.0f;
+    t.at(0, 0, 1, 0) = 3.0f;
+    t.at(0, 0, 1, 1) = 4.0f;
+    const Tensor out = avgPool2d(t, {});
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0, 0), 2.5f);
+}
+
+TEST(Pool, ValidatesParameters)
+{
+    Tensor t(1, 1, 4, 4);
+    PoolParams bad;
+    bad.kernelH = 0;
+    EXPECT_THROW(maxPool2d(t, bad), FatalError);
+    PoolParams pad_too_big;
+    pad_too_big.padH = 2; // >= kernel 2
+    EXPECT_THROW(maxPool2d(t, pad_too_big), FatalError);
+}
+
+TEST(BatchNorm, NormalizesToZeroMeanUnitVar)
+{
+    Tensor t(1, 2, 1, 2);
+    t.at(0, 0, 0, 0) = 2.0f;
+    t.at(0, 0, 0, 1) = 6.0f;
+    t.at(0, 1, 0, 0) = -1.0f;
+    t.at(0, 1, 0, 1) = 1.0f;
+    BatchNormParams p;
+    p.mean = {4.0f, 0.0f};
+    p.variance = {4.0f, 1.0f};
+    p.epsilon = 0.0f;
+    const Tensor out = batchNorm(t, p);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0, 0), -1.0f);
+    EXPECT_FLOAT_EQ(out.at(0, 0, 0, 1), 1.0f);
+    EXPECT_FLOAT_EQ(out.at(0, 1, 0, 0), -1.0f);
+}
+
+TEST(BatchNorm, AffineScaleAndShift)
+{
+    Tensor t(1, 1, 1, 1);
+    t.at(0, 0, 0, 0) = 3.0f;
+    BatchNormParams p;
+    p.mean = {1.0f};
+    p.variance = {4.0f};
+    p.gamma = {2.0f};
+    p.beta = {10.0f};
+    p.epsilon = 0.0f;
+    // (3-1)/2 * 2 + 10 = 12.
+    EXPECT_FLOAT_EQ(batchNorm(t, p).at(0, 0, 0, 0), 12.0f);
+}
+
+TEST(BatchNorm, RejectsSizeMismatch)
+{
+    Tensor t(1, 3, 2, 2);
+    BatchNormParams p;
+    p.mean = {0.0f};
+    p.variance = {1.0f};
+    EXPECT_THROW(batchNorm(t, p), FatalError);
+}
+
+TEST(Relu, ClampsNegatives)
+{
+    Tensor t(1, 1, 1, 3);
+    t.at(0, 0, 0, 0) = -2.0f;
+    t.at(0, 0, 0, 1) = 0.0f;
+    t.at(0, 0, 0, 2) = 3.0f;
+    const Tensor out = relu(t);
+    EXPECT_EQ(out.at(0, 0, 0, 0), 0.0f);
+    EXPECT_EQ(out.at(0, 0, 0, 1), 0.0f);
+    EXPECT_EQ(out.at(0, 0, 0, 2), 3.0f);
+}
+
+TEST(Add, ElementwiseSumAndShapeCheck)
+{
+    Tensor a(1, 2, 2, 2), b(1, 2, 2, 2);
+    a.fillRamp();
+    b.fill(1.0f);
+    const Tensor out = add(a, b);
+    EXPECT_FLOAT_EQ(out.at(0, 1, 1, 1),
+                    a.at(0, 1, 1, 1) + 1.0f);
+    Tensor wrong(1, 2, 2, 3);
+    EXPECT_THROW(add(a, wrong), FatalError);
+}
+
+} // namespace
+} // namespace cfconv::tensor

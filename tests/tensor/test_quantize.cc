@@ -1,0 +1,112 @@
+/** @file Tests for bf16/fp16 storage emulation. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "im2col/implicit_conv.h"
+#include "tensor/conv_ref.h"
+#include "tensor/quantize.h"
+
+namespace cfconv::tensor {
+namespace {
+
+TEST(Bf16, ExactValuesPassThrough)
+{
+    // Values with <= 8 mantissa bits are exactly representable.
+    for (float v : {0.0f, 1.0f, -2.5f, 0.15625f, 1024.0f})
+        EXPECT_EQ(toBf16(v), v);
+}
+
+TEST(Bf16, RoundsToNearestEven)
+{
+    // 1 + 2^-8 is exactly halfway between bf16 neighbours 1.0 and
+    // 1 + 2^-7; ties go to even (1.0).
+    const float halfway = 1.0f + std::ldexp(1.0f, -8);
+    EXPECT_EQ(toBf16(halfway), 1.0f);
+    // Slightly above the halfway point rounds up.
+    EXPECT_EQ(toBf16(1.0f + std::ldexp(1.5f, -8)),
+              1.0f + std::ldexp(1.0f, -7));
+}
+
+TEST(Bf16, RelativeErrorBounded)
+{
+    Tensor t(1, 4, 8, 8);
+    t.fillRandom(7);
+    // bf16 has 7 explicit mantissa bits: relative error <= 2^-8.
+    EXPECT_LE(quantizationError(t, DataType::Bf16),
+              std::ldexp(1.0, -8) + 1e-9);
+}
+
+TEST(Fp16, ExactValuesPassThrough)
+{
+    for (float v : {0.0f, 1.0f, -0.5f, 2048.0f, 0.0009765625f})
+        EXPECT_EQ(toFp16(v), v);
+}
+
+TEST(Fp16, RelativeErrorBounded)
+{
+    Tensor t(1, 4, 8, 8);
+    t.fillRandom(11);
+    // fp16 has 10 mantissa bits: relative error <= 2^-11.
+    EXPECT_LE(quantizationError(t, DataType::Fp16),
+              std::ldexp(1.0, -11) + 1e-9);
+}
+
+TEST(Fp16, OverflowSaturatesToInfinity)
+{
+    EXPECT_TRUE(std::isinf(toFp16(70000.0f)));
+    EXPECT_TRUE(std::isinf(toFp16(-70000.0f)));
+    EXPECT_LT(toFp16(-70000.0f), 0.0f);
+}
+
+TEST(Fp16, SubnormalsSurvive)
+{
+    // 2^-24 is the smallest positive fp16 subnormal.
+    const float tiny = std::ldexp(1.0f, -24);
+    EXPECT_EQ(toFp16(tiny), tiny);
+    // Below half of that underflows to zero.
+    EXPECT_EQ(toFp16(std::ldexp(1.0f, -26)), 0.0f);
+}
+
+TEST(Fp16, MoreAccurateThanBf16)
+{
+    Tensor t(2, 3, 9, 9);
+    t.fillRandom(13);
+    EXPECT_LT(quantizationError(t, DataType::Fp16),
+              quantizationError(t, DataType::Bf16));
+}
+
+TEST(Quantize, Fp32IsIdentityAndInt8Rejected)
+{
+    Tensor t(1, 2, 3, 3);
+    t.fillRandom(17);
+    EXPECT_EQ(quantize(t, DataType::Fp32).maxAbsDiff(t), 0.0f);
+    EXPECT_THROW(quantize(t, DataType::Int8), FatalError);
+}
+
+TEST(Quantize, ImplicitConvInBf16StaysClose)
+{
+    // Run the implicit engine on bf16-rounded operands: the result
+    // should track the fp32 result within the format's error budget.
+    const ConvParams p = makeConv(2, 8, 10, 8, 3, 1, 1);
+    Tensor input = makeInput(p);
+    Tensor filter = makeFilter(p);
+    input.fillRandom(19);
+    filter.fillRandom(23);
+
+    const Tensor fp32 = convDirect(p, input, filter);
+    const Tensor bf16 = im2col::convImplicit(
+        p, quantize(input, DataType::Bf16),
+        quantize(filter, DataType::Bf16));
+
+    // K = 72 accumulation steps; a loose but meaningful bound.
+    float max_mag = 0.0f;
+    for (Index i = 0; i < fp32.size(); ++i)
+        max_mag = std::max(max_mag, std::abs(fp32.data()[i]));
+    EXPECT_LT(bf16.maxAbsDiff(fp32), 0.05f * max_mag);
+    EXPECT_GT(bf16.maxAbsDiff(fp32), 0.0f); // rounding really occurred
+}
+
+} // namespace
+} // namespace cfconv::tensor

@@ -1,0 +1,99 @@
+/** @file Tests for space-to-depth / depth-to-space transforms. */
+
+#include <gtest/gtest.h>
+
+#include "tensor/space_to_depth.h"
+
+namespace cfconv::tensor {
+namespace {
+
+TEST(SpaceToDepth, ShapesAndChannelOrder)
+{
+    Tensor t(1, 2, 4, 4);
+    t.fillRamp();
+    const Tensor out = spaceToDepth(t, 2);
+    EXPECT_EQ(out.c(), 8);
+    EXPECT_EQ(out.h(), 2);
+    EXPECT_EQ(out.w(), 2);
+    // Block offset (dy=1, dx=0) of channel 1 is channel
+    // (1*2+0)*2 + 1 = 5.
+    EXPECT_EQ(out.at(0, 5, 0, 0), t.at(0, 1, 1, 0));
+    // Block offset (0, 0) keeps the original channels up front.
+    EXPECT_EQ(out.at(0, 0, 1, 1), t.at(0, 0, 2, 2));
+}
+
+TEST(SpaceToDepth, RoundTripsWithDepthToSpace)
+{
+    Tensor t(2, 3, 6, 8);
+    t.fillRandom(7);
+    for (Index block : {1L, 2L}) {
+        const Tensor round =
+            depthToSpace(spaceToDepth(t, block), block);
+        EXPECT_EQ(round.maxAbsDiff(t), 0.0f) << "block " << block;
+    }
+}
+
+TEST(SpaceToDepth, BlockOneIsIdentity)
+{
+    Tensor t(1, 3, 4, 4);
+    t.fillRandom(9);
+    EXPECT_EQ(spaceToDepth(t, 1).maxAbsDiff(t), 0.0f);
+}
+
+TEST(SpaceToDepth, RejectsIndivisibleDims)
+{
+    Tensor t(1, 1, 5, 4);
+    EXPECT_THROW(spaceToDepth(t, 2), FatalError);
+    Tensor c(1, 3, 2, 2);
+    EXPECT_THROW(depthToSpace(c, 2), FatalError);
+}
+
+TEST(SpaceToDepthParams, RewritesFirstLayerGeometry)
+{
+    // ResNet conv1: 3ch 224x224 k7 s2 p3 -> with block 2:
+    // 12ch 112x112 k4 s1 p2.
+    const ConvParams conv1 = makeConv(8, 3, 224, 64, 7, 2, 3);
+    const ConvParams rewritten = spaceToDepthParams(conv1, 2);
+    EXPECT_EQ(rewritten.inChannels, 12);
+    EXPECT_EQ(rewritten.inH, 112);
+    EXPECT_EQ(rewritten.strideH, 1);
+    EXPECT_EQ(rewritten.kernelH, 4);
+    // The output grid survives (same number of output positions,
+    // within kernel-edge rounding).
+    EXPECT_NEAR(static_cast<double>(rewritten.outH()),
+                static_cast<double>(conv1.outH()), 2.0);
+}
+
+TEST(SpaceToDepthParams, ImprovesSystolicRowOccupancy)
+{
+    // The whole point: 3 channels leave 125 idle rows; 12 channels
+    // quadruple the occupancy per pass.
+    const ConvParams conv1 = makeConv(8, 3, 224, 64, 7, 2, 3);
+    const ConvParams rewritten = spaceToDepthParams(conv1, 2);
+    EXPECT_EQ(rewritten.inChannels, 4 * conv1.inChannels);
+    // FLOPs are preserved up to kernel rounding (k7 -> k4 over a
+    // half-resolution grid covers 8x8 original taps vs 7x7).
+    const double ratio = static_cast<double>(rewritten.flops()) /
+                         static_cast<double>(conv1.flops());
+    EXPECT_GT(ratio, 0.9);
+    EXPECT_LT(ratio, 1.5);
+}
+
+TEST(SpaceToDepthParams, RejectsUnsupportedGeometry)
+{
+    // Stride not divisible by block.
+    EXPECT_THROW(
+        spaceToDepthParams(makeConv(1, 3, 224, 64, 7, 1, 3), 2),
+        FatalError);
+    // Dilated kernels are not rewritten.
+    EXPECT_THROW(
+        spaceToDepthParams(makeConv(1, 3, 224, 64, 7, 2, 3, 2), 2),
+        FatalError);
+    // Degenerate block.
+    EXPECT_THROW(
+        spaceToDepthParams(makeConv(1, 3, 224, 64, 7, 2, 3), 0),
+        FatalError);
+}
+
+} // namespace
+} // namespace cfconv::tensor

@@ -1,0 +1,101 @@
+/** @file Unit tests for the Tensor/Matrix containers and layouts. */
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.h"
+
+namespace cfconv::tensor {
+namespace {
+
+TEST(Tensor, OffsetsAreLayoutSpecific)
+{
+    Tensor nchw(2, 3, 4, 5, Layout::NCHW);
+    EXPECT_EQ(nchw.offsetOf(0, 0, 0, 1), 1);
+    EXPECT_EQ(nchw.offsetOf(0, 0, 1, 0), 5);
+    EXPECT_EQ(nchw.offsetOf(0, 1, 0, 0), 20);
+    EXPECT_EQ(nchw.offsetOf(1, 0, 0, 0), 60);
+
+    Tensor nhwc(2, 3, 4, 5, Layout::NHWC);
+    EXPECT_EQ(nhwc.offsetOf(0, 1, 0, 0), 1);
+    EXPECT_EQ(nhwc.offsetOf(0, 0, 0, 1), 3);
+    EXPECT_EQ(nhwc.offsetOf(0, 0, 1, 0), 15);
+
+    Tensor hwcn(2, 3, 4, 5, Layout::HWCN);
+    EXPECT_EQ(hwcn.offsetOf(1, 0, 0, 0), 1);
+    EXPECT_EQ(hwcn.offsetOf(0, 1, 0, 0), 2);
+    EXPECT_EQ(hwcn.offsetOf(0, 0, 0, 1), 6);
+
+    Tensor chwn(2, 3, 4, 5, Layout::CHWN);
+    EXPECT_EQ(chwn.offsetOf(1, 0, 0, 0), 1);
+    EXPECT_EQ(chwn.offsetOf(0, 0, 0, 1), 2);
+    EXPECT_EQ(chwn.offsetOf(0, 1, 0, 0), 40);
+}
+
+TEST(Tensor, LayoutConversionPreservesContent)
+{
+    Tensor t(2, 3, 4, 5, Layout::NCHW);
+    t.fillRamp();
+    for (Layout layout : {Layout::NHWC, Layout::HWCN, Layout::CHWN}) {
+        const Tensor converted = t.toLayout(layout);
+        EXPECT_EQ(converted.maxAbsDiff(t), 0.0f)
+            << "layout " << layoutName(layout);
+        // And back again.
+        const Tensor round = converted.toLayout(Layout::NCHW);
+        EXPECT_EQ(round.maxAbsDiff(t), 0.0f);
+    }
+}
+
+TEST(Tensor, PaddedReadsReturnZeroOutside)
+{
+    Tensor t(1, 1, 2, 2);
+    t.fill(7.0f);
+    EXPECT_EQ(t.atPadded(0, 0, -1, 0), 0.0f);
+    EXPECT_EQ(t.atPadded(0, 0, 0, -1), 0.0f);
+    EXPECT_EQ(t.atPadded(0, 0, 2, 0), 0.0f);
+    EXPECT_EQ(t.atPadded(0, 0, 0, 2), 0.0f);
+    EXPECT_EQ(t.atPadded(0, 0, 1, 1), 7.0f);
+}
+
+TEST(Tensor, FillRandomIsDeterministic)
+{
+    Tensor a(1, 2, 3, 3);
+    Tensor b(1, 2, 3, 3);
+    a.fillRandom(42);
+    b.fillRandom(42);
+    EXPECT_EQ(a.maxAbsDiff(b), 0.0f);
+    b.fillRandom(43);
+    EXPECT_GT(a.maxAbsDiff(b), 0.0f);
+}
+
+TEST(Tensor, RampIsLayoutIndependent)
+{
+    Tensor a(2, 2, 3, 3, Layout::NCHW);
+    Tensor b(2, 2, 3, 3, Layout::HWCN);
+    a.fillRamp();
+    b.fillRamp();
+    EXPECT_EQ(a.maxAbsDiff(b), 0.0f);
+}
+
+TEST(Tensor, RejectsNonPositiveDims)
+{
+    EXPECT_THROW(Tensor(0, 1, 1, 1), FatalError);
+    EXPECT_THROW(Tensor(1, 1, 0, 1), FatalError);
+}
+
+TEST(Matrix, BasicAccessAndDiff)
+{
+    Matrix m(2, 3);
+    m.at(1, 2) = 5.0f;
+    EXPECT_EQ(m.at(1, 2), 5.0f);
+    Matrix other(2, 3);
+    EXPECT_EQ(m.maxAbsDiff(other), 5.0f);
+}
+
+TEST(Matrix, DiffRejectsShapeMismatch)
+{
+    Matrix a(2, 3), b(3, 2);
+    EXPECT_THROW(a.maxAbsDiff(b), FatalError);
+}
+
+} // namespace
+} // namespace cfconv::tensor

@@ -1,0 +1,94 @@
+/** @file Tests for Winograd F(2x2, 3x3) convolution. */
+
+#include <gtest/gtest.h>
+
+#include "tensor/conv_ref.h"
+#include "tensor/winograd.h"
+
+namespace cfconv::tensor {
+namespace {
+
+TEST(Winograd, ApplicabilityDomain)
+{
+    EXPECT_TRUE(winogradApplicable(makeConv(1, 4, 8, 4, 3, 1, 1)));
+    EXPECT_FALSE(winogradApplicable(makeConv(1, 4, 8, 4, 3, 2, 1)));
+    EXPECT_FALSE(winogradApplicable(makeConv(1, 4, 8, 4, 5, 1, 2)));
+    EXPECT_FALSE(
+        winogradApplicable(makeConv(1, 4, 9, 4, 3, 1, 0, 2)));
+}
+
+struct WinoCase
+{
+    Index batch, ci, hw, co, pad;
+};
+
+class WinogradSweep : public ::testing::TestWithParam<WinoCase>
+{
+};
+
+TEST_P(WinogradSweep, MatchesDirectConvolution)
+{
+    const WinoCase c = GetParam();
+    const ConvParams p = makeConv(c.batch, c.ci, c.hw, c.co, 3, 1,
+                                  c.pad);
+    Tensor input = makeInput(p);
+    Tensor filter = makeFilter(p);
+    input.fillRandom(401);
+    filter.fillRandom(403);
+
+    const Tensor wino = convWinograd(p, input, filter);
+    const Tensor ref = convDirect(p, input, filter);
+    EXPECT_LT(wino.maxAbsDiff(ref), 1e-3f) << p.toString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WinogradSweep,
+    ::testing::Values(WinoCase{1, 1, 6, 1, 0},  // even outputs
+                      WinoCase{1, 1, 5, 1, 0},  // odd outputs (edge tile)
+                      WinoCase{2, 3, 8, 4, 1},  // padded
+                      WinoCase{1, 4, 7, 2, 1},  // odd + padded
+                      WinoCase{2, 2, 12, 2, 0},
+                      WinoCase{1, 8, 9, 8, 1}));
+
+TEST(Winograd, RejectsOutsideDomain)
+{
+    const ConvParams p = makeConv(1, 2, 8, 2, 3, 2, 1);
+    Tensor input = makeInput(p);
+    Tensor filter = makeFilter(p);
+    EXPECT_THROW(convWinograd(p, input, filter), FatalError);
+    EXPECT_THROW(winogradCost(p), FatalError);
+}
+
+TEST(Winograd, CostReductionApproaches2Point25)
+{
+    // 16 multiplies produce 4 outputs vs 36 for direct: 2.25x, exact
+    // when the output dims are even.
+    const ConvParams p = makeConv(1, 16, 34, 16, 3, 1, 1);
+    const WinogradCost cost = winogradCost(p);
+    EXPECT_NEAR(cost.reduction(), 2.25, 0.01);
+}
+
+TEST(Winograd, EdgeTilesReduceTheSavings)
+{
+    // Odd output dims waste part of the last tile row/column.
+    const ConvParams p = makeConv(1, 4, 7, 4, 3, 1, 1);
+    const WinogradCost cost = winogradCost(p);
+    EXPECT_LT(cost.reduction(), 2.25);
+    EXPECT_GT(cost.reduction(), 1.5);
+}
+
+TEST(Winograd, IdentityFilterPassesThrough)
+{
+    // A center-tap-only filter copies the input (away from edges).
+    const ConvParams p = makeConv(1, 1, 6, 1, 3, 1, 1);
+    Tensor input = makeInput(p);
+    input.fillRamp();
+    Tensor filter = makeFilter(p);
+    filter.fill(0.0f);
+    filter.at(0, 0, 1, 1) = 1.0f;
+    const Tensor out = convWinograd(p, input, filter);
+    EXPECT_LT(out.maxAbsDiff(input), 1e-4f);
+}
+
+} // namespace
+} // namespace cfconv::tensor

@@ -1,0 +1,95 @@
+/** @file Cross-validation: the functional TPU core's cycle counts must
+ *  match the closed-form pass timing the tile-level simulator uses. */
+
+#include <gtest/gtest.h>
+
+#include "im2col/multi_tile.h"
+#include "systolic/systolic_timing.h"
+#include "tensor/conv_ref.h"
+#include "tpusim/functional_core.h"
+
+namespace cfconv::tpusim {
+namespace {
+
+using tensor::makeConv;
+
+struct TimingCase
+{
+    Index batch, ci, hw, co, k;
+    Index rows, cols, word, tiles;
+};
+
+class FunctionalTiming : public ::testing::TestWithParam<TimingCase>
+{
+};
+
+TEST_P(FunctionalTiming, CyclesMatchClosedFormPassSum)
+{
+    const TimingCase c = GetParam();
+    const auto p = makeConv(c.batch, c.ci, c.hw, c.co, c.k);
+    tensor::Tensor input = tensor::makeInput(p);
+    tensor::Tensor filter = tensor::makeFilter(p);
+    input.fillRandom(131);
+    filter.fillRandom(137);
+
+    FunctionalTpuCore core(c.rows, c.cols, c.word);
+    const auto result = core.runConv(p, input, filter, c.tiles);
+
+    // Closed form: one pass per multi-tile group, each streaming all
+    // M rows through a (T*C_I x C_O) weight block.
+    systolic::SystolicConfig cfg;
+    cfg.rows = c.rows;
+    cfg.cols = c.cols;
+    const auto plan = im2col::planMultiTile(p, c.tiles);
+    Cycles expected = 0;
+    for (const auto &group : plan.groups)
+        expected += systolic::passCycles(cfg, p.gemmM(),
+                                         group.mergedK(p), p.gemmN());
+    EXPECT_EQ(result.cycles, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FunctionalTiming,
+    ::testing::Values(TimingCase{1, 4, 5, 4, 3, 4, 4, 2, 1},
+                      TimingCase{2, 2, 5, 4, 3, 4, 4, 2, 2},
+                      TimingCase{1, 8, 6, 8, 3, 8, 8, 4, 1},
+                      TimingCase{2, 2, 6, 6, 2, 8, 8, 2, 4},
+                      TimingCase{1, 3, 5, 5, 3, 8, 8, 1, 2}));
+
+TEST(FunctionalTiming, MultiTileCutsCyclesProportionally)
+{
+    // Merging T tiles reduces the pass count by ~T (Fig 11 doubles
+    // utilization at T = 2).
+    const auto p = makeConv(2, 2, 6, 4, 3);
+    tensor::Tensor input = tensor::makeInput(p);
+    tensor::Tensor filter = tensor::makeFilter(p);
+    input.fillRandom(139);
+    filter.fillRandom(149);
+    FunctionalTpuCore core(8, 8, 2);
+    const auto t1 = core.runConv(p, input, filter, 1);
+    const auto t3 = core.runConv(p, input, filter, 3);
+    const double ratio = static_cast<double>(t1.cycles) /
+                         static_cast<double>(t3.cycles);
+    EXPECT_NEAR(ratio, 3.0, 0.3);
+}
+
+TEST(FunctionalTiming, ReadsScaleWithGroupCount)
+{
+    // Each pass re-reads its operand lanes from the vector memories;
+    // word reads = sum over groups of lanes * ceil(M / word).
+    const auto p = makeConv(1, 2, 5, 2, 3);
+    tensor::Tensor input = tensor::makeInput(p);
+    tensor::Tensor filter = tensor::makeFilter(p);
+    input.fillRandom(151);
+    filter.fillRandom(157);
+    FunctionalTpuCore core(8, 8, 2);
+    const auto r = core.runConv(p, input, filter, 2);
+    const auto plan = im2col::planMultiTile(p, 2);
+    Index expected_reads = 0;
+    for (const auto &g : plan.groups)
+        expected_reads += g.mergedK(p) * divCeil(p.gemmM(), Index{2});
+    EXPECT_EQ(r.vecMemReads, expected_reads);
+}
+
+} // namespace
+} // namespace cfconv::tpusim

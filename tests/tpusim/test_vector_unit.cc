@@ -1,0 +1,94 @@
+/** @file Tests for the vector-unit (non-GEMM layer) timing model. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "tpusim/tpu_sim.h"
+#include "tpusim/vector_unit.h"
+
+namespace cfconv::tpusim {
+namespace {
+
+using tensor::makeConv;
+
+TEST(VectorUnit, ThroughputIsAlusPerCycle)
+{
+    const TpuConfig tpu = TpuConfig::tpuV2();
+    const VectorUnitConfig vu{};
+    // 256k ReLU elements over 256 ALUs: 1000 cycles.
+    const auto r =
+        vectorOpTiming(tpu, vu, VectorOp::Relu, 256 * 1000);
+    EXPECT_EQ(r.cycles, 1000u);
+    EXPECT_NEAR(r.seconds, 1000.0 / 0.7e9, 1e-12);
+}
+
+TEST(VectorUnit, OpCostsAreOrdered)
+{
+    const TpuConfig tpu = TpuConfig::tpuV2();
+    const VectorUnitConfig vu{};
+    const Index n = 1 << 20;
+    const Cycles relu =
+        vectorOpTiming(tpu, vu, VectorOp::Relu, n).cycles;
+    const Cycles bn =
+        vectorOpTiming(tpu, vu, VectorOp::BatchNorm, n).cycles;
+    const Cycles pool =
+        vectorOpTiming(tpu, vu, VectorOp::MaxPool, n, 9).cycles;
+    EXPECT_LT(relu, bn);
+    EXPECT_LT(bn, pool);
+}
+
+TEST(VectorUnit, PoolScalesWithWindow)
+{
+    const TpuConfig tpu = TpuConfig::tpuV2();
+    const VectorUnitConfig vu{};
+    const Index n = 1 << 18;
+    const Cycles w4 =
+        vectorOpTiming(tpu, vu, VectorOp::AvgPool, n, 4).cycles;
+    const Cycles w9 =
+        vectorOpTiming(tpu, vu, VectorOp::AvgPool, n, 9).cycles;
+    EXPECT_NEAR(static_cast<double>(w9) / static_cast<double>(w4),
+                9.0 / 4.0, 0.05);
+}
+
+TEST(VectorUnit, NonGemmLayersAreSmallAdditiveCost)
+{
+    // The Sec. IV-A payoff: with no layout skew/restore, BN + ReLU add
+    // only a few percent to a conv block.
+    const TpuConfig tpu = TpuConfig::tpuV2();
+    const VectorUnitConfig vu{};
+    const auto conv = makeConv(8, 256, 28, 256, 3, 1, 1);
+    TpuSim sim(tpu);
+    const double conv_only = sim.runConv(conv).seconds;
+    const double block = convBlockSeconds(tpu, vu, conv);
+    EXPECT_GT(block, conv_only);
+    EXPECT_LT(block, 1.10 * conv_only);
+}
+
+TEST(VectorUnit, PoolingBlockStillConvDominated)
+{
+    const TpuConfig tpu = TpuConfig::tpuV2();
+    const VectorUnitConfig vu{};
+    const auto conv = makeConv(8, 64, 56, 64, 3, 1, 1);
+    TpuSim sim(tpu);
+    const double conv_only = sim.runConv(conv).seconds;
+    const double block =
+        convBlockSeconds(tpu, vu, conv, /*with_pool=*/true, 4);
+    EXPECT_LT(block, 1.25 * conv_only);
+}
+
+TEST(VectorUnit, RejectsBadInputs)
+{
+    const TpuConfig tpu = TpuConfig::tpuV2();
+    const VectorUnitConfig vu{};
+    EXPECT_THROW(vectorOpTiming(tpu, vu, VectorOp::Relu, 0),
+                 FatalError);
+    EXPECT_THROW(vectorOpTiming(tpu, vu, VectorOp::MaxPool, 10, 0),
+                 FatalError);
+    VectorUnitConfig bad;
+    bad.alus = 0;
+    EXPECT_THROW(vectorOpTiming(tpu, bad, VectorOp::Relu, 10),
+                 FatalError);
+}
+
+} // namespace
+} // namespace cfconv::tpusim
