@@ -22,8 +22,10 @@
 using namespace cfconv;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBench(argc, argv);
+    const bench::WallTimer wall;
     // ---- 1. crossbar scaling ----
     bench::experimentHeader(
         "Ablation 1",
@@ -109,5 +111,6 @@ main()
                    cell("%.2fx", skewed.slowdown())});
     }
     t4.print();
+    bench::printWallClock("bench_ablation_hardware", wall);
     return 0;
 }

@@ -23,8 +23,10 @@
 using namespace cfconv;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBench(argc, argv);
+    const bench::WallTimer wall;
     tpusim::TpuSim sim((tpusim::TpuConfig::tpuV2()));
 
     // ---- 1. dilation ----
@@ -137,5 +139,6 @@ main()
                        tensor::winogradCost(
                            tensor::makeConv(1, 16, 34, 16, 3, 1, 1))
                            .reduction());
+    bench::printWallClock("bench_ablation_variants", wall);
     return 0;
 }

@@ -9,8 +9,10 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
+#include "common/parallel.h"
 #include "common/table.h"
 #include "gpusim/gpu_sim.h"
 #include "im2col/grouped.h"
@@ -20,8 +22,10 @@
 using namespace cfconv;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBench(argc, argv);
+    const bench::WallTimer wall;
     tpusim::TpuSim tpu((tpusim::TpuConfig::tpuV2()));
     gpusim::GpuSim gpu((gpusim::GpuConfig::v100()));
     const Index batch = 8, hw = 56, co = 128;
@@ -33,27 +37,44 @@ main()
     Table t1("TPU-v2 / V100 TFLOPS sweep");
     t1.setHeader({"C_I", "k", "s", "TPU TFLOPS", "TPU util",
                   "TPU pJ/MAC", "GPU TFLOPS"});
-    for (Index ci : {3L, 16L, 64L, 128L, 256L}) {
-        for (Index k : {1L, 3L, 5L}) {
+    // Flatten the (C_I, kernel, stride) grid so the combos can be
+    // simulated in parallel; the table rows print serially afterwards
+    // in the original sweep order.
+    struct Combo
+    {
+        Index ci, k, s;
+        tpusim::TpuLayerResult tpu;
+        tpusim::TpuEnergyReport energy;
+        gpusim::GpuKernelResult gpu;
+    };
+    std::vector<Combo> combos;
+    for (Index ci : {3L, 16L, 64L, 128L, 256L})
+        for (Index k : {1L, 3L, 5L})
             for (Index s : {1L, 2L}) {
                 if (k == 1 && s == 2)
                     continue; // rarely used; keep the table tight
-                const auto p =
-                    tensor::makeConv(batch, ci, hw, co, k, s, k / 2);
-                const auto tr = tpu.runConv(p);
-                const auto te = tpusim::layerEnergy(tpu.config(), tr);
-                gpusim::GpuRunOptions cf;
-                const auto gr = gpu.runConv(p, cf);
-                t1.addRow({cell("%lld", (long long)ci),
-                           cell("%lld", (long long)k),
-                           cell("%lld", (long long)s),
-                           cell("%.1f", tr.tflops),
-                           cell("%.0f%%", 100.0 * tr.arrayUtilization),
-                           cell("%.2f", te.pjPerMac),
-                           cell("%.1f", gr.tflops)});
+                combos.push_back({ci, k, s, {}, {}, {}});
             }
-        }
-    }
+    parallel::parallelFor(
+        0, static_cast<Index>(combos.size()), 1,
+        [&](Index lo, Index hi) {
+            for (Index i = lo; i < hi; ++i) {
+                Combo &c = combos[i];
+                const auto p = tensor::makeConv(batch, c.ci, hw, co,
+                                                c.k, c.s, c.k / 2);
+                c.tpu = tpu.runConv(p);
+                c.energy = tpusim::layerEnergy(tpu.config(), c.tpu);
+                c.gpu = gpu.runConv(p, gpusim::GpuRunOptions{});
+            }
+        });
+    for (const Combo &c : combos)
+        t1.addRow({cell("%lld", (long long)c.ci),
+                   cell("%lld", (long long)c.k),
+                   cell("%lld", (long long)c.s),
+                   cell("%.1f", c.tpu.tflops),
+                   cell("%.0f%%", 100.0 * c.tpu.arrayUtilization),
+                   cell("%.2f", c.energy.pjPerMac),
+                   cell("%.1f", c.gpu.tflops)});
     t1.print();
 
     bench::experimentHeader(
@@ -109,13 +130,21 @@ main()
         "FLOPs but dominate the runtime (the occupancy cliff at model "
         "scale)");
     const auto mobilenet = models::mobilenetv1(batch);
+    const Index n_mob =
+        static_cast<Index>(mobilenet.layers.size());
+    std::vector<double> mob_secs(n_mob);
+    parallel::parallelFor(0, n_mob, 1, [&](Index lo, Index hi) {
+        for (Index i = lo; i < hi; ++i) {
+            const auto &l = mobilenet.layers[i];
+            mob_secs[i] =
+                tpu.runGroupedConv(l.params, l.groups).seconds *
+                static_cast<double>(l.count);
+        }
+    });
     double dw_s = 0.0, other_s = 0.0;
-    for (const auto &l : mobilenet.layers) {
-        const double secs =
-            tpu.runGroupedConv(l.params, l.groups).seconds *
-            static_cast<double>(l.count);
-        (l.groups > 1 ? dw_s : other_s) += secs;
-    }
+    for (Index i = 0; i < n_mob; ++i)
+        (mobilenet.layers[i].groups > 1 ? dw_s : other_s) +=
+            mob_secs[i];
     const auto mob = tpu.runModel(mobilenet);
     std::printf("MobileNetV1 batch 8: %.3f ms total, %.1f%% spent in "
                 "depthwise layers, effective %.2f TFLOPS (peak %.1f)\n",
@@ -124,5 +153,6 @@ main()
     bench::summaryLine("Characterization-4",
                        "depthwise share of MobileNet TPU time", 0.5,
                        dw_s / (dw_s + other_s));
+    bench::printWallClock("bench_characterization", wall);
     return 0;
 }

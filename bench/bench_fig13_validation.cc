@@ -20,8 +20,10 @@
 using namespace cfconv;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBench(argc, argv);
+    const bench::WallTimer wall;
     tpusim::TpuSim sim((tpusim::TpuConfig::tpuV2()));
     oracle::TpuOracle oracle;
 
@@ -78,5 +80,6 @@ main()
     gb.print();
     bench::summaryLine("Fig-13b", "CONV avg |error| %", 4.87,
                        meanAbsPctError(ref, got));
+    bench::printWallClock("bench_fig13_validation", wall);
     return 0;
 }

@@ -22,8 +22,10 @@
 using namespace cfconv;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBench(argc, argv);
+    const bench::WallTimer wall;
     tpusim::TpuSim sim((tpusim::TpuConfig::tpuV2()));
     oracle::TpuOracle oracle;
 
@@ -82,5 +84,6 @@ main()
     gb.print();
     bench::summaryLine("Fig-14b", "strategy avg |error| %", 5.3,
                        meanAbsPctError(ref, got));
+    bench::printWallClock("bench_fig14_multitile", wall);
     return 0;
 }

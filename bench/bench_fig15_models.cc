@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/parallel.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "models/model_zoo.h"
@@ -19,8 +20,10 @@
 using namespace cfconv;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBench(argc, argv);
+    const bench::WallTimer wall;
     const Index batch = 8;
     tpusim::TpuSim sim((tpusim::TpuConfig::tpuV2()));
     oracle::TpuOracle oracle;
@@ -32,15 +35,28 @@ main()
 
     std::vector<double> all_ref, all_got;
     for (const auto &model : models::allModels(batch)) {
+        // Simulate the layers in parallel into indexed slots, then
+        // aggregate serially so totals are order-independent of the
+        // thread count.
+        const Index n_layers =
+            static_cast<Index>(model.layers.size());
+        std::vector<double> layer_sim(n_layers), layer_meas(n_layers);
+        parallel::parallelFor(0, n_layers, 1, [&](Index lo, Index hi) {
+            for (Index i = lo; i < hi; ++i) {
+                layer_sim[i] =
+                    sim.runConv(model.layers[i].params).seconds;
+                layer_meas[i] =
+                    oracle.convSeconds(model.layers[i].params);
+            }
+        });
         double sim_s = 0.0, meas_s = 0.0;
-        for (const auto &layer : model.layers) {
-            const double n = static_cast<double>(layer.count);
-            const double s = sim.runConv(layer.params).seconds;
-            const double o = oracle.convSeconds(layer.params);
-            sim_s += n * s;
-            meas_s += n * o;
-            all_ref.push_back(o);
-            all_got.push_back(s);
+        for (Index i = 0; i < n_layers; ++i) {
+            const double n =
+                static_cast<double>(model.layers[i].count);
+            sim_s += n * layer_sim[i];
+            meas_s += n * layer_meas[i];
+            all_ref.push_back(layer_meas[i]);
+            all_got.push_back(layer_sim[i]);
         }
         ga.addRow({model.name, cell("%.3f", sim_s * 1e3),
                    cell("%.3f", meas_s * 1e3),
@@ -78,5 +94,6 @@ main()
 
     bench::summaryLine("Fig-15b", "all-layer MAE %", 5.8,
                        meanAbsPctError(all_ref, all_got));
+    bench::printWallClock("bench_fig15_models", wall);
     return 0;
 }

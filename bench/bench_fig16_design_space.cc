@@ -11,8 +11,10 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
+#include "common/parallel.h"
 #include "common/table.h"
 #include "models/model_zoo.h"
 #include "sram/sram_area_model.h"
@@ -54,8 +56,10 @@ runVgg(const tpusim::TpuConfig &config, Index batch)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBench(argc, argv);
+    const bench::WallTimer wall;
     const Index batch = 8;
 
     // ---- (a) array size ----
@@ -64,13 +68,25 @@ main()
     Table ga("Fig 16a: performance and utilization vs array size");
     ga.setHeader({"array", "TFLOPS", "utilization"});
     double util128 = 0.0, util256 = 0.0;
-    for (Index size : {32L, 64L, 128L, 256L, 512L}) {
-        tpusim::TpuConfig cfg = tpusim::TpuConfig::tpuV2();
-        cfg.array.rows = cfg.array.cols = size;
-        cfg.vectorMemories = size;
-        // Keep total on-chip capacity constant (32 MB split over the
-        // per-row memories).
-        const VggRun r = runVgg(cfg, batch);
+    const std::vector<Index> sizes = {32, 64, 128, 256, 512};
+    std::vector<VggRun> size_runs(sizes.size());
+    // Each grid point owns one result slot; rows print serially after
+    // the sweep so output order is stable.
+    parallel::parallelFor(
+        0, static_cast<Index>(sizes.size()), 1,
+        [&](Index lo, Index hi) {
+            for (Index i = lo; i < hi; ++i) {
+                tpusim::TpuConfig cfg = tpusim::TpuConfig::tpuV2();
+                cfg.array.rows = cfg.array.cols = sizes[i];
+                cfg.vectorMemories = sizes[i];
+                // Keep total on-chip capacity constant (32 MB split
+                // over the per-row memories).
+                size_runs[i] = runVgg(cfg, batch);
+            }
+        });
+    for (size_t i = 0; i < sizes.size(); ++i) {
+        const Index size = sizes[i];
+        const VggRun &r = size_runs[i];
         if (size == 128)
             util128 = r.utilization;
         if (size == 256)
@@ -93,10 +109,20 @@ main()
                   "port idle ratio"});
     sram::SramAreaModel area;
     const Bytes cap = 256 * 1024;
-    for (Index word : {1L, 2L, 4L, 8L, 16L, 32L}) {
-        tpusim::TpuConfig cfg = tpusim::TpuConfig::tpuV2();
-        cfg.wordElems = word;
-        const VggRun r = runVgg(cfg, batch);
+    const std::vector<Index> words = {1, 2, 4, 8, 16, 32};
+    std::vector<VggRun> word_runs(words.size());
+    parallel::parallelFor(
+        0, static_cast<Index>(words.size()), 1,
+        [&](Index lo, Index hi) {
+            for (Index i = lo; i < hi; ++i) {
+                tpusim::TpuConfig cfg = tpusim::TpuConfig::tpuV2();
+                cfg.wordElems = words[i];
+                word_runs[i] = runVgg(cfg, batch);
+            }
+        });
+    for (size_t i = 0; i < words.size(); ++i) {
+        const Index word = words[i];
+        const VggRun &r = word_runs[i];
         gb.addRow({cell("%lld", (long long)word),
                    cell("%.2f", area.areaMm2(cap, word)),
                    cell("%.2fx", area.relativeArea(cap, word)),
@@ -119,19 +145,28 @@ main()
     Table gc("Second MXU speedup vs word size (VGG16, batch 8)");
     gc.setHeader({"word (elems)", "1 MXU (ms)", "2 MXUs (ms)",
                   "speedup"});
-    for (Index word : {1L, 2L, 8L}) {
-        tpusim::TpuConfig one = tpusim::TpuConfig::tpuV2();
-        one.wordElems = word;
-        tpusim::TpuConfig two = one;
-        two.mxus = 2;
-        const double t1 = runVgg(one, batch).tflops;
-        const double s1 =
-            static_cast<double>(models::vgg16(batch).totalFlops()) /
-            t1 / 1e9;
-        const double t2 = runVgg(two, batch).tflops;
-        const double s2 =
-            static_cast<double>(models::vgg16(batch).totalFlops()) /
-            t2 / 1e9;
+    const std::vector<Index> mxu_words = {1, 2, 8};
+    std::vector<double> one_ms(mxu_words.size()),
+        two_ms(mxu_words.size());
+    parallel::parallelFor(
+        0, static_cast<Index>(mxu_words.size()), 1,
+        [&](Index lo, Index hi) {
+            for (Index i = lo; i < hi; ++i) {
+                tpusim::TpuConfig one = tpusim::TpuConfig::tpuV2();
+                one.wordElems = mxu_words[i];
+                tpusim::TpuConfig two = one;
+                two.mxus = 2;
+                const double total_flops = static_cast<double>(
+                    models::vgg16(batch).totalFlops());
+                one_ms[i] =
+                    total_flops / runVgg(one, batch).tflops / 1e9;
+                two_ms[i] =
+                    total_flops / runVgg(two, batch).tflops / 1e9;
+            }
+        });
+    for (size_t i = 0; i < mxu_words.size(); ++i) {
+        const Index word = mxu_words[i];
+        const double s1 = one_ms[i], s2 = two_ms[i];
         gc.addRow({cell("%lld", (long long)word), cell("%.2f", s1),
                    cell("%.2f", s2), cell("%.2fx", s1 / s2)});
         if (word == 8)
@@ -140,5 +175,6 @@ main()
                                s1 / s2);
     }
     gc.print();
+    bench::printWallClock("bench_fig16_design_space", wall);
     return 0;
 }

@@ -18,8 +18,10 @@
 using namespace cfconv;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBench(argc, argv);
+    const bench::WallTimer wall;
     const Index batch = 8;
     gpusim::GpuSim sim((gpusim::GpuConfig::v100()));
     oracle::GpuOracle cudnn;
@@ -56,5 +58,6 @@ main()
     avg /= static_cast<double>(ratios.size());
     bench::summaryLine("Fig-17", "ours/cuDNN (avg, paper ~1.01)", 1.01,
                        avg);
+    bench::printWallClock("bench_fig17_gpu_models", wall);
     return 0;
 }

@@ -22,8 +22,10 @@
 using namespace cfconv;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBench(argc, argv);
+    const bench::WallTimer wall;
     const Index batch = 8;
     gpusim::GpuSim sim((gpusim::GpuConfig::v100()));
     oracle::GpuOracle cudnn;
@@ -102,5 +104,6 @@ main()
     gb.print();
     bench::summaryLine("Fig-18b", "avg improvement (paper 1.167)",
                        1.167, geoMean(gains));
+    bench::printWallClock("bench_fig18_gpu_opts", wall);
     return 0;
 }

@@ -22,8 +22,10 @@
 using namespace cfconv;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBench(argc, argv);
+    const bench::WallTimer wall;
     const Index batch = 64;
     const auto zoo = models::allModels(batch);
     oracle::GpuOracle gpu;
@@ -100,5 +102,6 @@ main()
     tpu_avg /= static_cast<double>(tpu_slowdowns.size());
     bench::summaryLine("Fig-2b", "explicit slowdown (avg)", 1.23,
                        tpu_avg);
+    bench::printWallClock("bench_fig2_explicit_overhead", wall);
     return 0;
 }

@@ -32,8 +32,10 @@ withStride(tensor::ConvParams p, Index stride)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBench(argc, argv);
+    const bench::WallTimer wall;
     const Index batch = 64;
     const auto layers = models::resnetRepresentativeLayers(batch);
     const std::vector<Index> strides{1, 2, 4};
@@ -113,5 +115,6 @@ main()
                        tpu_drop2 / n);
     bench::summaryLine("Fig-4b", "TPU drop at stride 4", 0.0,
                        tpu_drop4 / n);
+    bench::printWallClock("bench_fig4_stride", wall);
     return 0;
 }

@@ -8,6 +8,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <vector>
+
+#include "bench_util.h"
 #include "im2col/implicit_conv.h"
 #include "im2col/lowered_view.h"
 #include "tensor/conv_ref.h"
@@ -104,4 +108,24 @@ BENCHMARK(BM_DirectConv)->Arg(14)->Arg(28);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Peel off the uniform `threads=N` bench argument before google
+    // benchmark parses its own flags.
+    std::vector<char *> kept{argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "threads=", 8) == 0) {
+            char *args[] = {argv[0], argv[i]};
+            bench::initBench(2, args);
+        } else {
+            kept.push_back(argv[i]);
+        }
+    }
+    int kept_argc = static_cast<int>(kept.size());
+    benchmark::Initialize(&kept_argc, kept.data());
+    const bench::WallTimer wall;
+    benchmark::RunSpecifiedBenchmarks();
+    bench::printWallClock("bench_micro_kernels", wall);
+    return 0;
+}

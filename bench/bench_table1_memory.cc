@@ -18,8 +18,10 @@
 using namespace cfconv;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::initBench(argc, argv);
+    const bench::WallTimer wall;
     bench::experimentHeader(
         "Table I",
         "Memory usage (MB) of explicit im2col lowered matrices");
@@ -59,5 +61,6 @@ main()
                                paper_ratio, ratio);
     }
     table.print();
+    bench::printWallClock("bench_table1_memory", wall);
     return 0;
 }

@@ -3,15 +3,21 @@
  * Shared helpers for the paper-reproduction benchmark binaries. Each
  * binary regenerates one table or figure of the paper and prints the
  * series in a uniform tabular format, alongside the paper's headline
- * numbers for comparison (recorded in EXPERIMENTS.md).
+ * numbers for comparison (recorded in EXPERIMENTS.md). All binaries
+ * accept a `threads=N` argument (equivalent to CFCONV_THREADS=N) and
+ * print a machine-parseable `WALL` line with their wall-clock time.
  */
 
 #ifndef CFCONV_BENCH_BENCH_UTIL_H
 #define CFCONV_BENCH_BENCH_UTIL_H
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
+#include "common/parallel.h"
 #include "common/table.h"
 
 namespace cfconv::bench {
@@ -33,6 +39,61 @@ summaryLine(const char *experiment_id, const char *metric, double paper,
 {
     std::printf("SUMMARY %s | %s | paper=%.4g | measured=%.4g\n",
                 experiment_id, metric, paper, measured);
+}
+
+/** Steady-clock wall timer for the bench-wide WALL summary lines. */
+class WallTimer
+{
+  public:
+    WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+    double
+    seconds() const
+    {
+        const auto now = std::chrono::steady_clock::now();
+        return std::chrono::duration<double>(now - start_).count();
+    }
+
+    void reset() { start_ = std::chrono::steady_clock::now(); }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/**
+ * Parse the uniform bench arguments: `threads=N` overrides the worker
+ * count (same effect as CFCONV_THREADS=N). Unknown arguments are
+ * rejected so typos surface.
+ */
+inline void
+initBench(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "threads=", 8) == 0) {
+            const long v = std::strtol(argv[i] + 8, nullptr, 10);
+            if (v < 1) {
+                std::fprintf(stderr, "bad threads=%s (want >= 1)\n",
+                             argv[i] + 8);
+                std::exit(2);
+            }
+            parallel::setThreads(static_cast<Index>(v));
+        } else {
+            std::fprintf(stderr,
+                         "unknown argument \"%s\" (supported: "
+                         "threads=N)\n",
+                         argv[i]);
+            std::exit(2);
+        }
+    }
+}
+
+/** Machine-parseable wall-clock summary; run_all.sh greps "^WALL". */
+inline void
+printWallClock(const char *bench_name, const WallTimer &timer)
+{
+    std::printf("WALL %s | %.3f s | threads=%lld\n", bench_name,
+                timer.seconds(),
+                static_cast<long long>(parallel::threads()));
 }
 
 } // namespace cfconv::bench

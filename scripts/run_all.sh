@@ -5,17 +5,31 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
+# Prefer Ninja when available; otherwise fall back to the default
+# generator (usually Unix Makefiles) so the gate runs everywhere. An
+# already-configured build directory keeps its generator — CMake
+# refuses to switch generators in place.
+if [ -f build/CMakeCache.txt ]; then
+    cmake -B build
+elif command -v ninja >/dev/null 2>&1; then
+    cmake -B build -G Ninja
+else
+    echo "ninja not found; using default CMake generator"
+    cmake -B build
+fi
+cmake --build build -j "$(nproc)"
 
 echo "==== tests ===="
 ctest --test-dir build --output-on-failure
 
 echo "==== benches (paper tables/figures + ablations) ===="
+wall_summary=""
 for b in build/bench/bench_*; do
     [ -x "$b" ] || continue
     echo "---- $b"
-    "$b"
+    out="$("$b")"
+    printf '%s\n' "$out"
+    wall_summary+="$(printf '%s\n' "$out" | grep '^WALL' || true)"$'\n'
 done
 
 echo "==== examples ===="
@@ -28,5 +42,12 @@ build/examples/design_explorer config=configs/tpu_v2.cfg >/dev/null \
     && echo "design_explorer: ok"
 build/examples/cfconv_cli n=8 ci=64 hw=56 co=128 k=3 s=2 p=1 >/dev/null \
     && echo "cfconv_cli: ok"
+
+echo "==== bench wall-clock summary ===="
+if printf '%s' "$wall_summary" | grep -q '^WALL'; then
+    printf '%s' "$wall_summary" | grep '^WALL' | sort -k2
+else
+    echo "(no WALL lines captured)"
+fi
 
 echo "ALL GREEN"

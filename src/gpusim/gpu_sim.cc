@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "im2col/reorder.h"
 
 namespace cfconv::gpusim {
@@ -302,16 +303,27 @@ GpuSim::runModel(const models::ModelSpec &model,
 {
     GpuModelResult result;
     result.model = model.name;
+    // Layer kernels are independent; simulate in parallel, reduce in
+    // layer order so totals match the serial run bit for bit.
+    const Index n_layers = static_cast<Index>(model.layers.size());
+    result.layers.resize(model.layers.size());
+    parallel::parallelFor(0, n_layers, 1, [&](Index b, Index e) {
+        for (Index i = b; i < e; ++i) {
+            const auto &layer = model.layers[static_cast<size_t>(i)];
+            // Grouped layers: one kernel per group slice (real stacks
+            // fuse these, but the slice count dominates the estimate).
+            GpuKernelResult lr = runConv(layer.sliceParams(), options);
+            lr.seconds *= static_cast<double>(layer.groups);
+            lr.dramBytes *= static_cast<Bytes>(layer.groups);
+            result.layers[static_cast<size_t>(i)] = lr;
+        }
+    });
     Flops flops = 0;
-    for (const auto &layer : model.layers) {
-        // Grouped layers: one kernel per group slice (real stacks fuse
-        // these, but the slice count dominates the estimate).
-        GpuKernelResult lr = runConv(layer.sliceParams(), options);
-        lr.seconds *= static_cast<double>(layer.groups);
-        lr.dramBytes *= static_cast<Bytes>(layer.groups);
-        result.seconds += lr.seconds * static_cast<double>(layer.count);
-        flops += layer.flops() * static_cast<Flops>(layer.count);
-        result.layers.push_back(lr);
+    for (size_t i = 0; i < model.layers.size(); ++i) {
+        result.seconds += result.layers[i].seconds *
+                          static_cast<double>(model.layers[i].count);
+        flops += model.layers[i].flops() *
+                 static_cast<Flops>(model.layers[i].count);
     }
     result.tflops = static_cast<double>(flops) / result.seconds / 1e12;
     return result;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "tensor/im2col_explicit.h"
 
 namespace cfconv::im2col {
@@ -145,15 +146,18 @@ tileOperand(const ConvParams &params, const Tensor &input,
             const FilterTile &tile)
 {
     Matrix a(params.gemmM(), params.inChannels);
-    for (Index m = 0; m < a.rows(); ++m) {
-        const tensor::RowCoord rc = tensor::rowCoord(params, m);
-        const Index ih = rc.oh * params.strideH - params.padH +
-                         tile.r * params.dilationH;
-        const Index iw = rc.ow * params.strideW - params.padW +
-                         tile.s * params.dilationW;
-        for (Index ci = 0; ci < params.inChannels; ++ci)
-            a.at(m, ci) = input.atPadded(rc.n, ci, ih, iw);
-    }
+    // Row blocks are (batch, output-row) slices; writes are disjoint.
+    parallel::parallelFor(0, a.rows(), 64, [&](Index m0, Index m1) {
+        for (Index m = m0; m < m1; ++m) {
+            const tensor::RowCoord rc = tensor::rowCoord(params, m);
+            const Index ih = rc.oh * params.strideH - params.padH +
+                             tile.r * params.dilationH;
+            const Index iw = rc.ow * params.strideW - params.padW +
+                             tile.s * params.dilationW;
+            for (Index ci = 0; ci < params.inChannels; ++ci)
+                a.at(m, ci) = input.atPadded(rc.n, ci, ih, iw);
+        }
+    });
     return a;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 
 namespace cfconv::im2col {
 
@@ -76,9 +77,12 @@ groupOperand(const ConvParams &params, const Tensor &input,
     Index col0 = 0;
     for (const auto &t : group.tiles) {
         const Matrix a = tileOperand(params, input, t);
-        for (Index m = 0; m < merged.rows(); ++m)
-            for (Index ci = 0; ci < params.inChannels; ++ci)
-                merged.at(m, col0 + ci) = a.at(m, ci);
+        parallel::parallelFor(
+            0, merged.rows(), 64, [&](Index m0, Index m1) {
+                for (Index m = m0; m < m1; ++m)
+                    for (Index ci = 0; ci < params.inChannels; ++ci)
+                        merged.at(m, col0 + ci) = a.at(m, ci);
+            });
         col0 += params.inChannels;
     }
     return merged;

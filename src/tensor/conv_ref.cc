@@ -1,5 +1,7 @@
 #include "tensor/conv_ref.h"
 
+#include "common/parallel.h"
+
 namespace cfconv::tensor {
 
 Tensor
@@ -22,28 +24,40 @@ convDirect(const ConvParams &params, const Tensor &input,
     const Index ho = params.outH(), wo = params.outW();
     Tensor out(params.batch, params.outChannels, ho, wo, Layout::NCHW);
 
-    for (Index n = 0; n < params.batch; ++n) {
-        for (Index co = 0; co < params.outChannels; ++co) {
-            for (Index oh = 0; oh < ho; ++oh) {
-                for (Index ow = 0; ow < wo; ++ow) {
-                    float acc = 0.0f;
-                    for (Index ci = 0; ci < params.inChannels; ++ci) {
-                        for (Index r = 0; r < params.kernelH; ++r) {
-                            const Index ih = oh * params.strideH -
-                                params.padH + r * params.dilationH;
-                            for (Index s = 0; s < params.kernelW; ++s) {
-                                const Index iw = ow * params.strideW -
-                                    params.padW + s * params.dilationW;
-                                acc += input.atPadded(n, ci, ih, iw) *
-                                       filter.at(co, ci, r, s);
+    // Parallel over (batch, output-channel) slices: each worker owns a
+    // disjoint set of output planes, and the per-output accumulation
+    // order is unchanged, so results are bit-exact vs the serial path.
+    parallel::parallelFor(
+        0, params.batch * params.outChannels, 1,
+        [&](Index plane0, Index plane1) {
+            for (Index plane = plane0; plane < plane1; ++plane) {
+                const Index n = plane / params.outChannels;
+                const Index co = plane % params.outChannels;
+                for (Index oh = 0; oh < ho; ++oh) {
+                    for (Index ow = 0; ow < wo; ++ow) {
+                        float acc = 0.0f;
+                        for (Index ci = 0; ci < params.inChannels;
+                             ++ci) {
+                            for (Index r = 0; r < params.kernelH; ++r) {
+                                const Index ih = oh * params.strideH -
+                                    params.padH + r * params.dilationH;
+                                for (Index s = 0; s < params.kernelW;
+                                     ++s) {
+                                    const Index iw =
+                                        ow * params.strideW -
+                                        params.padW +
+                                        s * params.dilationW;
+                                    acc +=
+                                        input.atPadded(n, ci, ih, iw) *
+                                        filter.at(co, ci, r, s);
+                                }
                             }
                         }
+                        out.at(n, co, oh, ow) = acc;
                     }
-                    out.at(n, co, oh, ow) = acc;
                 }
             }
-        }
-    }
+        });
     return out;
 }
 

@@ -2,9 +2,14 @@
 
 #include <algorithm>
 
+#include "common/parallel.h"
+
 namespace cfconv::tensor {
 
 namespace {
+
+/** Minimum output rows per parallel chunk; small GEMMs stay serial. */
+constexpr Index kRowGrain = 16;
 
 void
 checkShapes(const Matrix &a, const Matrix &b, const Matrix &c)
@@ -31,15 +36,26 @@ gemmAccumulate(const Matrix &a, const Matrix &b, Matrix &c)
 {
     checkShapes(a, b, c);
     const Index m = a.rows(), k = a.cols(), n = b.cols();
-    for (Index i = 0; i < m; ++i) {
-        for (Index p = 0; p < k; ++p) {
-            const float av = a.at(i, p);
-            if (av == 0.0f)
-                continue;
-            for (Index j = 0; j < n; ++j)
-                c.at(i, j) += av * b.at(p, j);
+    const float *adata = a.data();
+    const float *bdata = b.data();
+    float *cdata = c.data();
+    // Workers own disjoint row blocks of C; the per-row accumulation
+    // order is identical to the serial loop, so results are bit-exact
+    // at any thread count.
+    parallel::parallelFor(0, m, kRowGrain, [&](Index i0, Index i1) {
+        for (Index i = i0; i < i1; ++i) {
+            const float *arow = adata + i * k;
+            float *crow = cdata + i * n;
+            for (Index p = 0; p < k; ++p) {
+                const float av = arow[p];
+                if (av == 0.0f)
+                    continue;
+                const float *brow = bdata + p * n;
+                for (Index j = 0; j < n; ++j)
+                    crow[j] += av * brow[j];
+            }
         }
-    }
+    });
 }
 
 void
@@ -51,19 +67,39 @@ gemmBlocked(const Matrix &a, const Matrix &b, Matrix &c,
                     "gemmBlocked: non-positive tile size");
     c.fill(0.0f);
     const Index m = a.rows(), k = a.cols(), n = b.cols();
-    for (Index i0 = 0; i0 < m; i0 += tile_m) {
-        for (Index j0 = 0; j0 < n; j0 += tile_n) {
-            for (Index p0 = 0; p0 < k; p0 += tile_k) {
-                const Index i1 = std::min(i0 + tile_m, m);
-                const Index j1 = std::min(j0 + tile_n, n);
-                const Index p1 = std::min(p0 + tile_k, k);
-                for (Index i = i0; i < i1; ++i)
-                    for (Index p = p0; p < p1; ++p)
-                        for (Index j = j0; j < j1; ++j)
-                            c.at(i, j) += a.at(i, p) * b.at(p, j);
+    const float *adata = a.data();
+    const float *bdata = b.data();
+    float *cdata = c.data();
+    // Parallel over row blocks (each owns its rows of C); the j0/p0
+    // tile walk inside a block matches the serial ordering exactly.
+    const Index m_blocks = divCeil(m, tile_m);
+    parallel::parallelFor(0, m_blocks, 1, [&](Index blk0, Index blk1) {
+        for (Index blk = blk0; blk < blk1; ++blk) {
+            const Index i0 = blk * tile_m;
+            const Index i1 = std::min(i0 + tile_m, m);
+            for (Index j0 = 0; j0 < n; j0 += tile_n) {
+                for (Index p0 = 0; p0 < k; p0 += tile_k) {
+                    const Index j1 = std::min(j0 + tile_n, n);
+                    const Index p1 = std::min(p0 + tile_k, k);
+                    for (Index i = i0; i < i1; ++i) {
+                        const float *arow = adata + i * k;
+                        float *crow = cdata + i * n;
+                        for (Index p = p0; p < p1; ++p) {
+                            // Same zero-skip as gemmAccumulate: the
+                            // two reference paths stay consistent and
+                            // sparse operands cost nothing.
+                            const float av = arow[p];
+                            if (av == 0.0f)
+                                continue;
+                            const float *brow = bdata + p * n;
+                            for (Index j = j0; j < j1; ++j)
+                                crow[j] += av * brow[j];
+                        }
+                    }
+                }
             }
         }
-    }
+    });
 }
 
 } // namespace cfconv::tensor

@@ -1,5 +1,6 @@
 #include "tensor/im2col_explicit.h"
 
+#include "common/parallel.h"
 #include "tensor/conv_ref.h"
 #include "tensor/gemm.h"
 
@@ -64,9 +65,14 @@ im2colLower(const ConvParams &params, const Tensor &input,
 {
     params.validate();
     Matrix lowered(params.gemmM(), params.gemmK());
-    for (Index m = 0; m < lowered.rows(); ++m)
-        for (Index k = 0; k < lowered.cols(); ++k)
-            lowered.at(m, k) = loweredElement(params, order, input, m, k);
+    // Each worker fills a disjoint block of output positions (rows).
+    parallel::parallelFor(
+        0, lowered.rows(), 64, [&](Index m0, Index m1) {
+            for (Index m = m0; m < m1; ++m)
+                for (Index k = 0; k < lowered.cols(); ++k)
+                    lowered.at(m, k) =
+                        loweredElement(params, order, input, m, k);
+        });
     return lowered;
 }
 
@@ -96,11 +102,16 @@ foldOutput(const ConvParams &params, const Matrix &gemm_out)
                     "foldOutput: GEMM output shape mismatch");
     Tensor out(params.batch, params.outChannels, params.outH(),
                params.outW(), Layout::NCHW);
-    for (Index m = 0; m < gemm_out.rows(); ++m) {
-        const RowCoord rc = rowCoord(params, m);
-        for (Index co = 0; co < params.outChannels; ++co)
-            out.at(rc.n, co, rc.oh, rc.ow) = gemm_out.at(m, co);
-    }
+    // Distinct GEMM rows map to distinct (n, oh, ow) positions, so row
+    // blocks write disjoint output elements.
+    parallel::parallelFor(
+        0, gemm_out.rows(), 64, [&](Index m0, Index m1) {
+            for (Index m = m0; m < m1; ++m) {
+                const RowCoord rc = rowCoord(params, m);
+                for (Index co = 0; co < params.outChannels; ++co)
+                    out.at(rc.n, co, rc.oh, rc.ow) = gemm_out.at(m, co);
+            }
+        });
     return out;
 }
 

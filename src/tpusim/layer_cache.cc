@@ -1,0 +1,178 @@
+#include "tpusim/layer_cache.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace cfconv::tpusim {
+
+namespace {
+
+void
+appendInt(std::string &key, long long v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld|", v);
+    key += buf;
+}
+
+void
+appendFloat(std::string &key, double v)
+{
+    char buf[40];
+    // %.17g round-trips doubles, so distinct values get distinct keys.
+    std::snprintf(buf, sizeof(buf), "%.17g|", v);
+    key += buf;
+}
+
+void
+appendConfig(std::string &key, const TpuConfig &config)
+{
+    appendInt(key, config.array.rows);
+    appendInt(key, config.array.cols);
+    appendInt(key, config.array.weightLoadOverlapped ? 1 : 0);
+    appendInt(key, config.mxus);
+    appendFloat(key, config.clockGhz);
+    appendInt(key, config.vectorMemories);
+    appendInt(key, config.wordElems);
+    appendInt(key, static_cast<long long>(config.elemBytes));
+    appendInt(key, static_cast<long long>(config.onChipBytes));
+    appendInt(key, static_cast<long long>(config.invokeOverheadCycles));
+    const dram::DramConfig &d = config.dram;
+    appendInt(key, d.channels);
+    appendInt(key, d.banksPerChannel);
+    appendInt(key, static_cast<long long>(d.rowBytes));
+    appendInt(key, static_cast<long long>(d.busBytesPerCycle));
+    appendInt(key, static_cast<long long>(d.tPrecharge));
+    appendInt(key, static_cast<long long>(d.tActivate));
+    appendInt(key, static_cast<long long>(d.tCas));
+    appendFloat(key, d.clockGhz);
+    appendInt(key, static_cast<long long>(d.pagePolicy));
+    appendInt(key, static_cast<long long>(d.mapping));
+}
+
+void
+appendParams(std::string &key, const tensor::ConvParams &p)
+{
+    appendInt(key, p.batch);
+    appendInt(key, p.inChannels);
+    appendInt(key, p.inH);
+    appendInt(key, p.inW);
+    appendInt(key, p.outChannels);
+    appendInt(key, p.kernelH);
+    appendInt(key, p.kernelW);
+    appendInt(key, p.strideH);
+    appendInt(key, p.strideW);
+    appendInt(key, p.padH);
+    appendInt(key, p.padW);
+    appendInt(key, p.dilationH);
+    appendInt(key, p.dilationW);
+    appendInt(key, static_cast<long long>(p.dataType));
+}
+
+} // namespace
+
+std::string
+layerCacheKey(const TpuConfig &config, const tensor::ConvParams &params,
+              const TpuRunOptions &options)
+{
+    std::string key = "conv|";
+    key.reserve(256);
+    appendParams(key, params);
+    appendInt(key, static_cast<long long>(options.algorithm));
+    appendInt(key, options.multiTileOverride);
+    appendInt(key, static_cast<long long>(options.dramLayout));
+    appendInt(key, options.detailedDram ? 1 : 0);
+    appendFloat(key, options.explicitTransformSeconds);
+    appendInt(key, options.captureTrace ? 1 : 0);
+    appendInt(key, options.spaceToDepthFirstLayer ? 1 : 0);
+    appendConfig(key, config);
+    return key;
+}
+
+std::string
+gemmCacheKey(const TpuConfig &config, Index m, Index k, Index n,
+             DataType dtype)
+{
+    std::string key = "gemm|";
+    key.reserve(192);
+    appendInt(key, m);
+    appendInt(key, k);
+    appendInt(key, n);
+    appendInt(key, static_cast<long long>(dtype));
+    appendConfig(key, config);
+    return key;
+}
+
+LayerCache::LayerCache()
+{
+    if (const char *env = std::getenv("CFCONV_LAYER_CACHE"))
+        enabled_.store(env[0] != '0');
+}
+
+LayerCache &
+LayerCache::instance()
+{
+    static LayerCache cache;
+    return cache;
+}
+
+bool
+LayerCache::lookup(const std::string &key, TpuLayerResult *out)
+{
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            *out = it->second;
+            ++hits_;
+            return true;
+        }
+    }
+    ++misses_;
+    return false;
+}
+
+void
+LayerCache::insert(const std::string &key, const TpuLayerResult &result)
+{
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    entries_[key] = result;
+}
+
+void
+LayerCache::clear()
+{
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    entries_.clear();
+    hits_.store(0);
+    misses_.store(0);
+}
+
+std::uint64_t
+LayerCache::entries() const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return entries_.size();
+}
+
+double
+LayerCache::hitRate() const
+{
+    const std::uint64_t h = hits_.load(), m = misses_.load();
+    return h + m == 0
+        ? 0.0
+        : static_cast<double>(h) / static_cast<double>(h + m);
+}
+
+StatGroup
+LayerCache::statsSnapshot() const
+{
+    StatGroup g;
+    g.add("layer_cache.hits", static_cast<double>(hits()));
+    g.add("layer_cache.misses", static_cast<double>(misses()));
+    g.add("layer_cache.entries", static_cast<double>(entries()));
+    return g;
+}
+
+} // namespace cfconv::tpusim

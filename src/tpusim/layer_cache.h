@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Process-wide memo cache for TpuSim layer results. The benches and
+ * examples re-simulate identical layer shapes constantly (ResNet's
+ * repeated bottleneck blocks, the Fig 13/14/15 validation grids, model
+ * sweeps at a fixed config), and a layer's timing result is a pure
+ * function of (ConvParams, TpuConfig, TpuRunOptions) — so each unique
+ * shape is paid for once. Shared-mutex protected, safe under the
+ * parallel model/sweep runners; hit/miss counters are exported through
+ * the common/stats StatGroup machinery. Disable with
+ * CFCONV_LAYER_CACHE=0 (results are identical either way).
+ */
+
+#ifndef CFCONV_TPUSIM_LAYER_CACHE_H
+#define CFCONV_TPUSIM_LAYER_CACHE_H
+
+#include <atomic>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/stats.h"
+#include "tensor/conv_params.h"
+#include "tpusim/tpu_config.h"
+#include "tpusim/tpu_sim.h"
+
+namespace cfconv::tpusim {
+
+/**
+ * Exact textual cache key for one simulated layer: every field of the
+ * params, run options, and core config that the timing result depends
+ * on. Full-fidelity keys make hash collisions impossible to observe
+ * (equal keys imply equal inputs).
+ */
+std::string layerCacheKey(const TpuConfig &config,
+                          const tensor::ConvParams &params,
+                          const TpuRunOptions &options);
+
+/** Cache key for a plain GEMM run. */
+std::string gemmCacheKey(const TpuConfig &config, Index m, Index k,
+                         Index n, DataType dtype);
+
+/** The process-wide layer-result memo cache. */
+class LayerCache
+{
+  public:
+    static LayerCache &instance();
+
+    bool enabled() const { return enabled_.load(); }
+    void setEnabled(bool on) { enabled_.store(on); }
+
+    /** @return true and fill @p out on a hit; count the lookup. */
+    bool lookup(const std::string &key, TpuLayerResult *out);
+
+    /** Store @p result under @p key (last writer wins; results for a
+     *  given key are identical by construction, so races are benign). */
+    void insert(const std::string &key, const TpuLayerResult &result);
+
+    /** Drop all entries and reset the counters. */
+    void clear();
+
+    std::uint64_t hits() const { return hits_.load(); }
+    std::uint64_t misses() const { return misses_.load(); }
+    std::uint64_t entries() const;
+
+    /** Hit fraction over all lookups so far (0 when none). */
+    double hitRate() const;
+
+    /** Snapshot of the counters as a common/stats StatGroup
+     *  ("layer_cache.hits" / "layer_cache.misses" /
+     *  "layer_cache.entries"). */
+    StatGroup statsSnapshot() const;
+
+  private:
+    LayerCache();
+
+    mutable std::shared_mutex mutex_;
+    std::unordered_map<std::string, TpuLayerResult> entries_;
+    std::atomic<bool> enabled_{true};
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+};
+
+} // namespace cfconv::tpusim
+
+#endif // CFCONV_TPUSIM_LAYER_CACHE_H

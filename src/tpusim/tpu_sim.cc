@@ -3,9 +3,11 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "dram/access_pattern.h"
 #include "systolic/systolic_timing.h"
 #include "tensor/space_to_depth.h"
+#include "tpusim/layer_cache.h"
 
 namespace cfconv::tpusim {
 
@@ -121,6 +123,30 @@ TpuSim::runConv(const ConvParams &params,
                 const TpuRunOptions &options) const
 {
     params.validate();
+
+    // A layer result is a pure function of (params, options, config);
+    // memoize it so repeated shapes (model blocks, sweep grids) are
+    // simulated once. Concurrent misses on the same key may compute
+    // the identical result twice — benign, last insert wins.
+    LayerCache &cache = LayerCache::instance();
+    std::string key;
+    TpuLayerResult cached;
+    if (cache.enabled()) {
+        key = layerCacheKey(config_, params, options);
+        if (cache.lookup(key, &cached))
+            return cached;
+    }
+
+    TpuLayerResult r = runConvUncached(params, options);
+    if (cache.enabled())
+        cache.insert(key, r);
+    return r;
+}
+
+TpuLayerResult
+TpuSim::runConvUncached(const ConvParams &params,
+                        const TpuRunOptions &options) const
+{
     if (options.spaceToDepthFirstLayer && params.inChannels <= 4 &&
         params.strideH % 2 == 0 && params.strideW % 2 == 0 &&
         params.dilationH == 1 && params.dilationW == 1) {
@@ -423,6 +449,14 @@ TpuSim::runGemm(Index m, Index k, Index n, DataType dtype) const
 {
     CFCONV_FATAL_IF(m < 1 || k < 1 || n < 1,
                     "TpuSim::runGemm: non-positive dimensions");
+    LayerCache &cache = LayerCache::instance();
+    std::string key;
+    TpuLayerResult cached;
+    if (cache.enabled()) {
+        key = gemmCacheKey(config_, m, k, n, dtype);
+        if (cache.lookup(key, &cached))
+            return cached;
+    }
     const Index rows = config_.array.rows;
     const Index cols = config_.array.cols;
     const Bytes elem = dataTypeSize(dtype);
@@ -461,6 +495,8 @@ TpuSim::runGemm(Index m, Index k, Index n, DataType dtype) const
                    static_cast<Bytes>(k) * static_cast<Bytes>(n) +
                    static_cast<Bytes>(m) * static_cast<Bytes>(n)) *
                   elem;
+    if (cache.enabled())
+        cache.insert(key, r);
     return r;
 }
 
@@ -495,13 +531,23 @@ TpuSim::runModel(const models::ModelSpec &model,
 {
     TpuModelResult result;
     result.model = model.name;
+    // Per-layer timings are independent; simulate them in parallel and
+    // reduce in layer order afterwards, so totals match the serial run
+    // bit for bit.
+    const Index n_layers = static_cast<Index>(model.layers.size());
+    result.layers.resize(model.layers.size());
+    parallel::parallelFor(0, n_layers, 1, [&](Index b, Index e) {
+        for (Index i = b; i < e; ++i)
+            result.layers[static_cast<size_t>(i)] = runGroupedConv(
+                model.layers[static_cast<size_t>(i)].params,
+                model.layers[static_cast<size_t>(i)].groups, options);
+    });
     Flops flops = 0;
-    for (const auto &layer : model.layers) {
-        TpuLayerResult lr =
-            runGroupedConv(layer.params, layer.groups, options);
-        result.seconds += lr.seconds * static_cast<double>(layer.count);
-        flops += layer.flops() * static_cast<Flops>(layer.count);
-        result.layers.push_back(lr);
+    for (size_t i = 0; i < model.layers.size(); ++i) {
+        result.seconds += result.layers[i].seconds *
+                          static_cast<double>(model.layers[i].count);
+        flops += model.layers[i].flops() *
+                 static_cast<Flops>(model.layers[i].count);
     }
     result.tflops = static_cast<double>(flops) / result.seconds / 1e12;
     return result;

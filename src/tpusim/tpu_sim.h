@@ -144,6 +144,10 @@ class TpuSim
         Index portOps = 0; ///< vector-memory reads+writes in this unit
     };
 
+    /** runConv body, bypassing the layer memo cache. */
+    TpuLayerResult runConvUncached(const ConvParams &params,
+                                   const TpuRunOptions &options) const;
+
     TpuLayerResult scheduleUnits(const std::vector<Unit> &units,
                                  Flops total_flops,
                                  bool capture_trace = false) const;

@@ -1,0 +1,154 @@
+/** @file Unit tests for the deterministic thread pool / parallelFor. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace cfconv {
+namespace {
+
+/** Restore the default lane count after each test. */
+class ParallelTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override
+    {
+        unsetenv("CFCONV_THREADS");
+        parallel::setThreads(0);
+    }
+};
+
+TEST_F(ParallelTest, ChunksCoverRangeExactlyOnce)
+{
+    parallel::setThreads(4);
+    const Index n = 1003;
+    std::vector<std::atomic<int>> touched(n);
+    for (auto &t : touched)
+        t.store(0);
+    parallel::parallelFor(0, n, 7, [&](Index b, Index e) {
+        ASSERT_LE(0, b);
+        ASSERT_LT(b, e);
+        ASSERT_LE(e, n);
+        for (Index i = b; i < e; ++i)
+            touched[static_cast<size_t>(i)].fetch_add(1);
+    });
+    for (Index i = 0; i < n; ++i)
+        EXPECT_EQ(touched[static_cast<size_t>(i)].load(), 1)
+            << "index " << i;
+}
+
+TEST_F(ParallelTest, NonZeroBeginIsRespected)
+{
+    parallel::setThreads(3);
+    std::atomic<Index> sum{0};
+    parallel::parallelFor(10, 20, 1, [&](Index b, Index e) {
+        for (Index i = b; i < e; ++i)
+            sum.fetch_add(i);
+    });
+    EXPECT_EQ(sum.load(), 145); // 10 + 11 + ... + 19
+}
+
+TEST_F(ParallelTest, EmptyRangeNeverCallsBody)
+{
+    std::atomic<int> calls{0};
+    parallel::parallelFor(5, 5, 1,
+                          [&](Index, Index) { calls.fetch_add(1); });
+    parallel::parallelFor(7, 3, 1,
+                          [&](Index, Index) { calls.fetch_add(1); });
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST_F(ParallelTest, GrainLargerThanRangeRunsInline)
+{
+    parallel::setThreads(4);
+    const auto caller = std::this_thread::get_id();
+    std::atomic<int> calls{0};
+    parallel::parallelFor(0, 8, 64, [&](Index b, Index e) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        EXPECT_EQ(b, 0);
+        EXPECT_EQ(e, 8);
+        calls.fetch_add(1);
+    });
+    EXPECT_EQ(calls.load(), 1);
+}
+
+TEST_F(ParallelTest, SerialModeRunsOnCallerThread)
+{
+    parallel::setThreads(1);
+    EXPECT_EQ(parallel::threads(), 1);
+    const auto caller = std::this_thread::get_id();
+    parallel::parallelFor(0, 100, 1, [&](Index, Index) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+    });
+}
+
+TEST_F(ParallelTest, ExceptionPropagatesAndPoolStaysUsable)
+{
+    parallel::setThreads(4);
+    EXPECT_THROW(
+        parallel::parallelFor(0, 100, 1,
+                              [&](Index b, Index) {
+                                  if (b >= 50)
+                                      throw std::runtime_error("boom");
+                              }),
+        std::runtime_error);
+    // The pool must survive a failed job and run the next one.
+    std::atomic<Index> sum{0};
+    parallel::parallelFor(0, 100, 1, [&](Index b, Index e) {
+        sum.fetch_add(e - b);
+    });
+    EXPECT_EQ(sum.load(), 100);
+}
+
+TEST_F(ParallelTest, NestedParallelForRunsInlineWithoutDeadlock)
+{
+    parallel::setThreads(4);
+    std::atomic<Index> inner_total{0};
+    parallel::parallelFor(0, 8, 1, [&](Index b, Index e) {
+        for (Index i = b; i < e; ++i) {
+            // Nested call: must run inline on this worker, not
+            // deadlock waiting for pool lanes.
+            parallel::parallelFor(0, 10, 1, [&](Index ib, Index ie) {
+                inner_total.fetch_add(ie - ib);
+            });
+        }
+    });
+    EXPECT_EQ(inner_total.load(), 80);
+}
+
+TEST_F(ParallelTest, SetThreadsOverridesAndZeroRestoresDefault)
+{
+    parallel::setThreads(3);
+    EXPECT_EQ(parallel::threads(), 3);
+    parallel::setThreads(0);
+    EXPECT_GE(parallel::threads(), 1);
+}
+
+TEST_F(ParallelTest, EnvVariableSetsDefaultThreadCount)
+{
+    setenv("CFCONV_THREADS", "2", 1);
+    parallel::setThreads(0); // re-read the default
+    EXPECT_EQ(parallel::threads(), 2);
+}
+
+TEST_F(ParallelTest, ManySmallJobsBackToBack)
+{
+    parallel::setThreads(4);
+    for (int round = 0; round < 50; ++round) {
+        std::atomic<Index> sum{0};
+        parallel::parallelFor(0, 17, 2, [&](Index b, Index e) {
+            sum.fetch_add(e - b);
+        });
+        ASSERT_EQ(sum.load(), 17);
+    }
+}
+
+} // namespace
+} // namespace cfconv
