@@ -8,7 +8,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -17,6 +20,7 @@
 #include "tensor/conv_ref.h"
 #include "tensor/gemm.h"
 #include "tensor/im2col_explicit.h"
+#include "tensor/microkernel.h"
 
 using namespace cfconv;
 using tensor::makeConv;
@@ -106,6 +110,128 @@ BM_DirectConv(benchmark::State &state)
 }
 BENCHMARK(BM_DirectConv)->Arg(14)->Arg(28);
 
+/** One timed GEMM data point of the per-backend sweep. */
+struct GemmPoint
+{
+    Index m, n, k;
+    std::string backend;
+    long long threads;
+    double wallMs;
+    double gflops;
+};
+
+/** Best-of-3 wall time for one gemm() call on the active backend. */
+double
+timeGemmMs(const tensor::Matrix &a, const tensor::Matrix &b,
+           tensor::Matrix &c)
+{
+    double best = 1e30;
+    tensor::gemm(a, b, c); // warm up packing buffers and the pool
+    for (int rep = 0; rep < 3; ++rep) {
+        bench::WallTimer t;
+        tensor::gemm(a, b, c);
+        best = std::min(best, t.seconds() * 1e3);
+    }
+    benchmark::DoNotOptimize(c.data());
+    return best;
+}
+
+/**
+ * Per-backend GEMM sweep: GFLOP/s for every available backend on a few
+ * paper-relevant shapes, printed as GEMM lines and written to
+ * BENCH_gemm.json so the repo's bench trajectory has machine-readable
+ * data points. The SUMMARY line tracks the acceptance target of a
+ * >= 3x best-backend speedup over the seed scalar loop at 512^3.
+ */
+void
+gemmBackendSweep()
+{
+    bench::experimentHeader(
+        "gemm_backends",
+        "micro-kernel GEMM GFLOP/s per backend (best of 3)");
+
+    const struct
+    {
+        Index m, n, k;
+    } shapes[] = {
+        {256, 256, 256},
+        {512, 512, 512},
+        {3136, 64, 576}, // resnet conv3x3 56x56x64 lowered
+    };
+    const tensor::KernelBackend backends[] = {
+        tensor::KernelBackend::Scalar,
+        tensor::KernelBackend::Generic,
+        tensor::KernelBackend::Avx2,
+    };
+
+    std::vector<GemmPoint> points;
+    double scalar512 = 0.0, best512 = 1e30;
+    for (const auto &sh : shapes) {
+        tensor::Matrix a(sh.m, sh.k), b(sh.k, sh.n), c(sh.m, sh.n);
+        a.fillRandom(11);
+        b.fillRandom(12);
+        for (const auto backend : backends) {
+            if (!tensor::kernelBackendAvailable(backend))
+                continue;
+            tensor::setKernelBackend(backend);
+            GemmPoint pt;
+            pt.m = sh.m;
+            pt.n = sh.n;
+            pt.k = sh.k;
+            pt.backend = tensor::kernelBackendName(backend);
+            pt.threads = static_cast<long long>(parallel::threads());
+            pt.wallMs = timeGemmMs(a, b, c);
+            pt.gflops = 2.0 * static_cast<double>(sh.m) *
+                        static_cast<double>(sh.n) *
+                        static_cast<double>(sh.k) /
+                        (pt.wallMs * 1e6);
+            std::printf("GEMM shape=%lldx%lldx%lld backend=%s "
+                        "threads=%lld wall_ms=%.3f gflops=%.2f\n",
+                        static_cast<long long>(pt.m),
+                        static_cast<long long>(pt.n),
+                        static_cast<long long>(pt.k),
+                        pt.backend.c_str(), pt.threads, pt.wallMs,
+                        pt.gflops);
+            if (sh.m == 512 && sh.n == 512 && sh.k == 512) {
+                if (backend == tensor::KernelBackend::Scalar)
+                    scalar512 = pt.wallMs;
+                else
+                    best512 = std::min(best512, pt.wallMs);
+            }
+            points.push_back(std::move(pt));
+        }
+    }
+    tensor::resetKernelBackend();
+
+    if (scalar512 > 0.0 && best512 < 1e30)
+        bench::summaryLine("gemm_backends",
+                           "512^3 best-backend speedup vs scalar (>=3 "
+                           "required)",
+                           3.0, scalar512 / best512);
+
+    std::FILE *json = std::fopen("BENCH_gemm.json", "w");
+    if (json == nullptr) {
+        std::fprintf(stderr, "could not write BENCH_gemm.json\n");
+        return;
+    }
+    std::fprintf(json, "[\n");
+    for (size_t i = 0; i < points.size(); ++i) {
+        const GemmPoint &pt = points[i];
+        std::fprintf(
+            json,
+            "  {\"m\": %lld, \"n\": %lld, \"k\": %lld, "
+            "\"backend\": \"%s\", \"threads\": %lld, "
+            "\"wall_ms\": %.3f, \"gflops\": %.2f}%s\n",
+            static_cast<long long>(pt.m), static_cast<long long>(pt.n),
+            static_cast<long long>(pt.k), pt.backend.c_str(),
+            pt.threads, pt.wallMs, pt.gflops,
+            i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(json, "]\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_gemm.json (%zu points)\n", points.size());
+}
+
 } // namespace
 
 int
@@ -126,6 +252,7 @@ main(int argc, char **argv)
     benchmark::Initialize(&kept_argc, kept.data());
     const bench::WallTimer wall;
     benchmark::RunSpecifiedBenchmarks();
+    gemmBackendSweep();
     bench::printWallClock("bench_micro_kernels", wall);
     return 0;
 }

@@ -19,6 +19,7 @@
 
 #include "common/parallel.h"
 #include "common/table.h"
+#include "tensor/microkernel.h"
 
 namespace cfconv::bench {
 
@@ -87,13 +88,16 @@ initBench(int argc, char **argv)
     }
 }
 
-/** Machine-parseable wall-clock summary; run_all.sh greps "^WALL". */
+/** Machine-parseable wall-clock summary; run_all.sh greps "^WALL".
+ *  Includes the GEMM micro-kernel backend so speedups in the bench
+ *  trajectory are attributable to the kernel actually dispatched. */
 inline void
 printWallClock(const char *bench_name, const WallTimer &timer)
 {
-    std::printf("WALL %s | %.3f s | threads=%lld\n", bench_name,
-                timer.seconds(),
-                static_cast<long long>(parallel::threads()));
+    std::printf("WALL %s | %.3f s | threads=%lld | kernel=%s\n",
+                bench_name, timer.seconds(),
+                static_cast<long long>(parallel::threads()),
+                tensor::activeKernelBackendName());
 }
 
 } // namespace cfconv::bench

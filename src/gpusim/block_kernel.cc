@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "im2col/filter_decomp.h"
 #include "tensor/im2col_explicit.h"
+#include "tensor/microkernel.h"
 
 namespace cfconv::gpusim {
 
@@ -87,18 +88,15 @@ convBlockChannelFirst(const ConvParams &params, const Tensor &input,
                                 (k - k0) * (n1 - n0) + (n - n0))] =
                                 filter.at(n, k, tile.r, tile.s);
 
-                    // The tensor-core MMA over the staged chunks.
-                    for (Index m = 0; m < m1 - m0; ++m)
-                        for (Index k = 0; k < k1 - k0; ++k) {
-                            const float av = a_smem[static_cast<size_t>(
-                                m * (k1 - k0) + k)];
-                            if (av == 0.0f)
-                                continue;
-                            for (Index n = 0; n < n1 - n0; ++n)
-                                acc.at(m, n) +=
-                                    av * b_smem[static_cast<size_t>(
-                                             k * (n1 - n0) + n)];
-                        }
+                    // The tensor-core MMA over the staged chunks,
+                    // dispatched to the micro-kernel GEMM (the staged
+                    // buffers are exactly its packed-operand shape).
+                    tensor::GemmOptions mma;
+                    mma.accumulate = true;
+                    tensor::microkernelGemm(
+                        m1 - m0, n1 - n0, k1 - k0, a_smem.data(),
+                        k1 - k0, b_smem.data(), n1 - n0, acc.data(),
+                        n1 - n0, mma);
                 }
             }
 

@@ -34,13 +34,13 @@ convImplicit(const ConvParams &params, const tensor::Tensor &input,
 
     ImplicitConvStats local;
     tensor::Matrix acc(params.gemmM(), params.gemmN());
-    acc.fill(0.0f);
 
     // The group loop stays serial (accumulation order is part of the
-    // bit-exactness contract); parallelism comes from the row-parallel
-    // operand build and GEMM underneath, where each worker owns a
-    // disjoint (batch, output-row) slice of the M dimension and
-    // accumulates its rows in the serial tile order.
+    // bit-exactness contract); parallelism and SIMD come from the
+    // row-parallel operand build and the micro-kernel GEMM underneath,
+    // where each worker owns a disjoint (batch, output-row) slice of
+    // the M dimension and accumulates its rows in the serial tile
+    // order (see tensor/microkernel.h for the determinism contract).
     for (const auto &group : plan.groups) {
         const tensor::Matrix a = groupOperand(params, input, group);
         const tensor::Matrix b = groupWeights(params, filter, group);

@@ -1,8 +1,91 @@
 #include "tensor/conv_ref.h"
 
+#include <algorithm>
+
 #include "common/parallel.h"
+#include "tensor/microkernel.h"
 
 namespace cfconv::tensor {
+
+namespace {
+
+/**
+ * Vectorized NCHW plane: for stride-1 rows the ow loop is a SAXPY over
+ * a contiguous input span, dispatched to the active micro-kernel
+ * backend. Accumulation per output element stays in the reference
+ * (ci, r, s) order, so the only difference from the scalar plane is
+ * FMA/vector rounding.
+ */
+void
+convPlaneFast(const ConvParams &params, const Tensor &input,
+              const Tensor &filter, Tensor &out, Index n, Index co)
+{
+    const Index ho = params.outH(), wo = params.outW();
+    float *out_plane = out.data() + out.offsetOf(n, co, 0, 0);
+    for (Index ci = 0; ci < params.inChannels; ++ci) {
+        for (Index r = 0; r < params.kernelH; ++r) {
+            const Index off_h = r * params.dilationH - params.padH;
+            for (Index oh = 0; oh < ho; ++oh) {
+                const Index ih = oh * params.strideH + off_h;
+                if (ih < 0 || ih >= params.inH)
+                    continue;
+                const float *in_row =
+                    input.data() + input.offsetOf(n, ci, ih, 0);
+                float *out_row = out_plane + oh * wo;
+                for (Index s = 0; s < params.kernelW; ++s) {
+                    const float f = filter.at(co, ci, r, s);
+                    const Index off_w =
+                        s * params.dilationW - params.padW;
+                    if (params.strideW == 1) {
+                        const Index ow_lo = std::max<Index>(0, -off_w);
+                        const Index ow_hi = std::min(
+                            wo - 1, params.inW - 1 - off_w);
+                        if (ow_lo > ow_hi)
+                            continue;
+                        vectorAxpyInto(out_row + ow_lo,
+                                       in_row + ow_lo + off_w, f,
+                                       ow_hi - ow_lo + 1);
+                    } else {
+                        for (Index ow = 0; ow < wo; ++ow) {
+                            const Index iw =
+                                ow * params.strideW + off_w;
+                            if (iw >= 0 && iw < params.inW)
+                                out_row[ow] += f * in_row[iw];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/** The seed's per-element plane loop; scalar-backend reference. */
+void
+convPlaneScalar(const ConvParams &params, const Tensor &input,
+                const Tensor &filter, Tensor &out, Index n, Index co)
+{
+    const Index ho = params.outH(), wo = params.outW();
+    for (Index oh = 0; oh < ho; ++oh) {
+        for (Index ow = 0; ow < wo; ++ow) {
+            float acc = 0.0f;
+            for (Index ci = 0; ci < params.inChannels; ++ci) {
+                for (Index r = 0; r < params.kernelH; ++r) {
+                    const Index ih = oh * params.strideH -
+                        params.padH + r * params.dilationH;
+                    for (Index s = 0; s < params.kernelW; ++s) {
+                        const Index iw = ow * params.strideW -
+                            params.padW + s * params.dilationW;
+                        acc += input.atPadded(n, ci, ih, iw) *
+                               filter.at(co, ci, r, s);
+                    }
+                }
+            }
+            out.at(n, co, oh, ow) = acc;
+        }
+    }
+}
+
+} // namespace
 
 Tensor
 convDirect(const ConvParams &params, const Tensor &input,
@@ -21,8 +104,15 @@ convDirect(const ConvParams &params, const Tensor &input,
                     "convDirect: filter dims do not match params (%s)",
                     params.toString().c_str());
 
-    const Index ho = params.outH(), wo = params.outW();
-    Tensor out(params.batch, params.outChannels, ho, wo, Layout::NCHW);
+    Tensor out(params.batch, params.outChannels, params.outH(),
+               params.outW(), Layout::NCHW);
+
+    // The fast plane needs contiguous NCHW rows; CFCONV_KERNEL=scalar
+    // keeps the seed's per-element loop as the golden reference.
+    const bool fast =
+        activeKernelBackend() != KernelBackend::Scalar &&
+        input.layout() == Layout::NCHW &&
+        filter.layout() == Layout::NCHW;
 
     // Parallel over (batch, output-channel) slices: each worker owns a
     // disjoint set of output planes, and the per-output accumulation
@@ -33,29 +123,10 @@ convDirect(const ConvParams &params, const Tensor &input,
             for (Index plane = plane0; plane < plane1; ++plane) {
                 const Index n = plane / params.outChannels;
                 const Index co = plane % params.outChannels;
-                for (Index oh = 0; oh < ho; ++oh) {
-                    for (Index ow = 0; ow < wo; ++ow) {
-                        float acc = 0.0f;
-                        for (Index ci = 0; ci < params.inChannels;
-                             ++ci) {
-                            for (Index r = 0; r < params.kernelH; ++r) {
-                                const Index ih = oh * params.strideH -
-                                    params.padH + r * params.dilationH;
-                                for (Index s = 0; s < params.kernelW;
-                                     ++s) {
-                                    const Index iw =
-                                        ow * params.strideW -
-                                        params.padW +
-                                        s * params.dilationW;
-                                    acc +=
-                                        input.atPadded(n, ci, ih, iw) *
-                                        filter.at(co, ci, r, s);
-                                }
-                            }
-                        }
-                        out.at(n, co, oh, ow) = acc;
-                    }
-                }
+                if (fast)
+                    convPlaneFast(params, input, filter, out, n, co);
+                else
+                    convPlaneScalar(params, input, filter, out, n, co);
             }
         });
     return out;

@@ -1,15 +1,10 @@
 #include "tensor/gemm.h"
 
-#include <algorithm>
-
-#include "common/parallel.h"
+#include "tensor/microkernel.h"
 
 namespace cfconv::tensor {
 
 namespace {
-
-/** Minimum output rows per parallel chunk; small GEMMs stay serial. */
-constexpr Index kRowGrain = 16;
 
 void
 checkShapes(const Matrix &a, const Matrix &b, const Matrix &c)
@@ -25,81 +20,39 @@ checkShapes(const Matrix &a, const Matrix &b, const Matrix &c)
 } // namespace
 
 void
-gemm(const Matrix &a, const Matrix &b, Matrix &c)
+gemm(const Matrix &a, const Matrix &b, Matrix &c,
+     const GemmOptions &options)
 {
-    c.fill(0.0f);
-    gemmAccumulate(a, b, c);
+    checkShapes(a, b, c);
+    GemmOptions opts = options;
+    opts.accumulate = false;
+    opts.kcOverride = 0;
+    microkernelGemm(a.rows(), b.cols(), a.cols(), a.data(), a.cols(),
+                    b.data(), b.cols(), c.data(), c.cols(), opts);
 }
 
 void
-gemmAccumulate(const Matrix &a, const Matrix &b, Matrix &c)
+gemmAccumulate(const Matrix &a, const Matrix &b, Matrix &c,
+               const GemmOptions &options)
 {
     checkShapes(a, b, c);
-    const Index m = a.rows(), k = a.cols(), n = b.cols();
-    const float *adata = a.data();
-    const float *bdata = b.data();
-    float *cdata = c.data();
-    // Workers own disjoint row blocks of C; the per-row accumulation
-    // order is identical to the serial loop, so results are bit-exact
-    // at any thread count.
-    parallel::parallelFor(0, m, kRowGrain, [&](Index i0, Index i1) {
-        for (Index i = i0; i < i1; ++i) {
-            const float *arow = adata + i * k;
-            float *crow = cdata + i * n;
-            for (Index p = 0; p < k; ++p) {
-                const float av = arow[p];
-                if (av == 0.0f)
-                    continue;
-                const float *brow = bdata + p * n;
-                for (Index j = 0; j < n; ++j)
-                    crow[j] += av * brow[j];
-            }
-        }
-    });
+    GemmOptions opts = options;
+    opts.accumulate = true;
+    opts.kcOverride = 0;
+    microkernelGemm(a.rows(), b.cols(), a.cols(), a.data(), a.cols(),
+                    b.data(), b.cols(), c.data(), c.cols(), opts);
 }
 
 void
-gemmBlocked(const Matrix &a, const Matrix &b, Matrix &c,
-            Index tile_m, Index tile_n, Index tile_k)
+gemmBlocked(const Matrix &a, const Matrix &b, Matrix &c, Index tile_m,
+            Index tile_n, Index tile_k, const GemmOptions &options)
 {
     checkShapes(a, b, c);
-    CFCONV_FATAL_IF(tile_m < 1 || tile_n < 1 || tile_k < 1,
-                    "gemmBlocked: non-positive tile size");
-    c.fill(0.0f);
-    const Index m = a.rows(), k = a.cols(), n = b.cols();
-    const float *adata = a.data();
-    const float *bdata = b.data();
-    float *cdata = c.data();
-    // Parallel over row blocks (each owns its rows of C); the j0/p0
-    // tile walk inside a block matches the serial ordering exactly.
-    const Index m_blocks = divCeil(m, tile_m);
-    parallel::parallelFor(0, m_blocks, 1, [&](Index blk0, Index blk1) {
-        for (Index blk = blk0; blk < blk1; ++blk) {
-            const Index i0 = blk * tile_m;
-            const Index i1 = std::min(i0 + tile_m, m);
-            for (Index j0 = 0; j0 < n; j0 += tile_n) {
-                for (Index p0 = 0; p0 < k; p0 += tile_k) {
-                    const Index j1 = std::min(j0 + tile_n, n);
-                    const Index p1 = std::min(p0 + tile_k, k);
-                    for (Index i = i0; i < i1; ++i) {
-                        const float *arow = adata + i * k;
-                        float *crow = cdata + i * n;
-                        for (Index p = p0; p < p1; ++p) {
-                            // Same zero-skip as gemmAccumulate: the
-                            // two reference paths stay consistent and
-                            // sparse operands cost nothing.
-                            const float av = arow[p];
-                            if (av == 0.0f)
-                                continue;
-                            const float *brow = bdata + p * n;
-                            for (Index j = j0; j < j1; ++j)
-                                crow[j] += av * brow[j];
-                        }
-                    }
-                }
-            }
-        }
-    });
+    GemmOptions opts = options;
+    opts.accumulate = false;
+    microkernelGemmBlocked(a.rows(), b.cols(), a.cols(), a.data(),
+                           a.cols(), b.data(), b.cols(), c.data(),
+                           c.cols(), tile_m, tile_n, tile_k, opts);
 }
 
 } // namespace cfconv::tensor

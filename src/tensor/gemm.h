@@ -1,30 +1,47 @@
 /**
  * @file
  * Reference and blocked GEMM over the Matrix type. These are the golden
- * functional kernels the implicit engines are checked against.
+ * functional kernels the implicit engines are checked against. All
+ * entry points run on the runtime-dispatched micro-kernel subsystem
+ * (tensor/microkernel.h); set CFCONV_KERNEL=scalar to reproduce the
+ * seed's scalar loop bit-exactly.
+ *
+ * IEEE note: the reference path never skips zero A operands by default,
+ * so 0 * NaN/Inf contributions from B propagate as IEEE requires. The
+ * historical sparse-friendly skip is available via
+ * GemmOptions::allowZeroSkip (scalar backend only).
  */
 
 #ifndef CFCONV_TENSOR_GEMM_H
 #define CFCONV_TENSOR_GEMM_H
 
 #include "common/types.h"
+#include "tensor/microkernel.h"
 #include "tensor/tensor.h"
 
 namespace cfconv::tensor {
 
-/** C = A(MxK) * B(KxN). Overwrites @p c. */
-void gemm(const Matrix &a, const Matrix &b, Matrix &c);
+/**
+ * C = A(MxK) * B(KxN). Overwrites @p c. Only @p options.allowZeroSkip
+ * is consulted; the accumulate/blocking fields are fixed internally.
+ */
+void gemm(const Matrix &a, const Matrix &b, Matrix &c,
+          const GemmOptions &options = {});
 
 /** C += A(MxK) * B(KxN). */
-void gemmAccumulate(const Matrix &a, const Matrix &b, Matrix &c);
+void gemmAccumulate(const Matrix &a, const Matrix &b, Matrix &c,
+                    const GemmOptions &options = {});
 
 /**
- * Cache-blocked GEMM with configurable tile sizes. Functionally identical
- * to gemm(); exists so tests can check that tiling (the basis of every
- * timing model here) is value-preserving.
+ * Cache-blocked GEMM with configurable tile sizes. Functionally
+ * identical to gemm(); exists so tests can check that tiling (the basis
+ * of every timing model here) is value-preserving. @p tile_k drives the
+ * packed backends' K-block depth; the scalar backend walks the seed's
+ * three-level tile loop with all three sizes.
  */
 void gemmBlocked(const Matrix &a, const Matrix &b, Matrix &c,
-                 Index tile_m, Index tile_n, Index tile_k);
+                 Index tile_m, Index tile_n, Index tile_k,
+                 const GemmOptions &options = {});
 
 } // namespace cfconv::tensor
 

@@ -65,13 +65,27 @@ im2colLower(const ConvParams &params, const Tensor &input,
 {
     params.validate();
     Matrix lowered(params.gemmM(), params.gemmK());
+    // Column coordinates depend only on k; compute them once instead
+    // of per element (the lowering feeds the micro-kernel GEMM, so the
+    // relayout itself is now a visible fraction of conv time).
+    std::vector<ColCoord> cols(static_cast<size_t>(lowered.cols()));
+    for (Index k = 0; k < lowered.cols(); ++k)
+        cols[static_cast<size_t>(k)] = colCoord(params, order, k);
     // Each worker fills a disjoint block of output positions (rows).
     parallel::parallelFor(
         0, lowered.rows(), 64, [&](Index m0, Index m1) {
-            for (Index m = m0; m < m1; ++m)
-                for (Index k = 0; k < lowered.cols(); ++k)
-                    lowered.at(m, k) =
-                        loweredElement(params, order, input, m, k);
+            for (Index m = m0; m < m1; ++m) {
+                const RowCoord rc = rowCoord(params, m);
+                float *row = lowered.data() + m * lowered.cols();
+                for (Index k = 0; k < lowered.cols(); ++k) {
+                    const ColCoord &cc = cols[static_cast<size_t>(k)];
+                    const Index ih = rc.oh * params.strideH -
+                        params.padH + cc.r * params.dilationH;
+                    const Index iw = rc.ow * params.strideW -
+                        params.padW + cc.s * params.dilationW;
+                    row[k] = input.atPadded(rc.n, cc.ci, ih, iw);
+                }
+            }
         });
     return lowered;
 }

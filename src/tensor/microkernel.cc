@@ -1,0 +1,465 @@
+#include "tensor/microkernel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "tensor/microkernel_kernels.h"
+
+namespace cfconv::tensor {
+
+namespace {
+
+constexpr Index MR = kMicroRows;
+constexpr Index NR = kMicroCols;
+
+/** Minimum output rows per parallel chunk; small GEMMs stay serial. */
+constexpr Index kRowGrain = 16;
+
+/** Below this many MACs the pool dispatch overhead dominates. */
+constexpr Index kSerialMacThreshold = 1 << 15;
+
+bool
+cpuHasAvx2Fma()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_cpu_init();
+    return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+    return false;
+#endif
+}
+
+/** Resolve the startup backend: env override first, then CPUID. */
+KernelBackend
+resolveBackend()
+{
+    const char *env = std::getenv("CFCONV_KERNEL");
+    const KernelBackend best = kernelBackendAvailable(KernelBackend::Avx2)
+                                   ? KernelBackend::Avx2
+                                   : KernelBackend::Generic;
+    if (env != nullptr && env[0] != '\0') {
+        std::string want(env);
+        KernelBackend requested;
+        if (want == "scalar") {
+            requested = KernelBackend::Scalar;
+        } else if (want == "generic") {
+            requested = KernelBackend::Generic;
+        } else if (want == "avx2") {
+            requested = KernelBackend::Avx2;
+        } else {
+            fatal("CFCONV_KERNEL=%s is not a kernel backend (supported: "
+                  "avx2, generic, scalar)",
+                  env);
+        }
+        if (!kernelBackendAvailable(requested)) {
+            warn("CFCONV_KERNEL=%s unavailable on this build/CPU; using "
+                 "%s",
+                 env, kernelBackendName(best));
+            return best;
+        }
+        inform("gemm micro-kernel backend: %s (CFCONV_KERNEL override)",
+               kernelBackendName(requested));
+        return requested;
+    }
+    inform("gemm micro-kernel backend: %s (runtime CPU dispatch)",
+           kernelBackendName(best));
+    return best;
+}
+
+/** Active backend; -1 until first resolution. */
+std::atomic<int> g_active{-1};
+std::once_flag g_resolve_once;
+
+using PanelKernel = void (*)(Index kc, const float *a_panel,
+                             const float *b_panel, float *c, Index ldc,
+                             bool load_c);
+
+/**
+ * Plain-C twin of the AVX2 panel kernel: same packed operands, same
+ * ascending-p accumulation order, fixed 8-wide inner loop the compiler
+ * can vectorize without any ISA-specific flags.
+ */
+void
+gemmPanelGeneric(Index kc, const float *a_panel, const float *b_panel,
+                 float *c, Index ldc, bool load_c)
+{
+    float acc[MR][NR];
+    if (load_c) {
+        for (Index i = 0; i < MR; ++i)
+            for (Index j = 0; j < NR; ++j)
+                acc[i][j] = c[i * ldc + j];
+    } else {
+        for (Index i = 0; i < MR; ++i)
+            for (Index j = 0; j < NR; ++j)
+                acc[i][j] = 0.0f;
+    }
+    for (Index p = 0; p < kc; ++p) {
+        const float *a = a_panel + p * MR;
+        const float *b = b_panel + p * NR;
+        for (Index i = 0; i < MR; ++i) {
+            const float av = a[i];
+            for (Index j = 0; j < NR; ++j)
+                acc[i][j] += av * b[j];
+        }
+    }
+    for (Index i = 0; i < MR; ++i)
+        for (Index j = 0; j < NR; ++j)
+            c[i * ldc + j] = acc[i][j];
+}
+
+/**
+ * The seed's reference loop, kept verbatim as the scalar backend:
+ * row-parallel, strictly ascending (p, j) per row, with the historical
+ * zero-skip now gated behind options.allowZeroSkip.
+ */
+void
+scalarGemm(Index m, Index n, Index k, const float *a, Index lda,
+           const float *b, Index ldb, float *c, Index ldc,
+           const GemmOptions &options)
+{
+    parallel::parallelFor(0, m, kRowGrain, [&](Index i0, Index i1) {
+        for (Index i = i0; i < i1; ++i) {
+            const float *arow = a + i * lda;
+            float *crow = c + i * ldc;
+            if (!options.accumulate)
+                std::fill(crow, crow + n, 0.0f);
+            for (Index p = 0; p < k; ++p) {
+                const float av = arow[p];
+                if (options.allowZeroSkip && av == 0.0f)
+                    continue;
+                const float *brow = b + p * ldb;
+                for (Index j = 0; j < n; ++j)
+                    crow[j] += av * brow[j];
+            }
+        }
+    });
+}
+
+/**
+ * The seed's blocked reference loop (scalar backend of
+ * microkernelGemmBlocked): parallel over row blocks, serial j0/p0 tile
+ * walk inside each block, exactly the historical ordering.
+ */
+void
+scalarGemmBlocked(Index m, Index n, Index k, const float *a, Index lda,
+                  const float *b, Index ldb, float *c, Index ldc,
+                  Index tile_m, Index tile_n, Index tile_k,
+                  const GemmOptions &options)
+{
+    const Index m_blocks = divCeil(m, tile_m);
+    parallel::parallelFor(0, m_blocks, 1, [&](Index blk0, Index blk1) {
+        for (Index blk = blk0; blk < blk1; ++blk) {
+            const Index i0 = blk * tile_m;
+            const Index i1 = std::min(i0 + tile_m, m);
+            for (Index i = i0; i < i1; ++i)
+                std::fill(c + i * ldc, c + i * ldc + n, 0.0f);
+            for (Index j0 = 0; j0 < n; j0 += tile_n) {
+                for (Index p0 = 0; p0 < k; p0 += tile_k) {
+                    const Index j1 = std::min(j0 + tile_n, n);
+                    const Index p1 = std::min(p0 + tile_k, k);
+                    for (Index i = i0; i < i1; ++i) {
+                        const float *arow = a + i * lda;
+                        float *crow = c + i * ldc;
+                        for (Index p = p0; p < p1; ++p) {
+                            const float av = arow[p];
+                            if (options.allowZeroSkip && av == 0.0f)
+                                continue;
+                            const float *brow = b + p * ldb;
+                            for (Index j = j0; j < j1; ++j)
+                                crow[j] += av * brow[j];
+                        }
+                    }
+                }
+            }
+        }
+    });
+}
+
+PanelKernel
+panelKernelFor(KernelBackend backend)
+{
+    return backend == KernelBackend::Avx2 ? detail::gemmPanelAvx2
+                                          : gemmPanelGeneric;
+}
+
+/**
+ * Cache-blocked packed GEMM driver shared by the avx2 and generic
+ * backends. B is packed once into NR-column panels per KC block (pure
+ * relayout, so parallel packing is trivially deterministic); each
+ * worker owns disjoint MR-row blocks of C, packs the matching A
+ * micro-panel thread-locally, and walks the KC panels in serial order,
+ * so per-element accumulation is identical at any thread count.
+ */
+void
+packedGemm(Index m, Index n, Index k, const float *a, Index lda,
+           const float *b, Index ldb, float *c, Index ldc,
+           const GemmOptions &options, PanelKernel kernel)
+{
+    const Index kc_max =
+        options.kcOverride > 0 ? options.kcOverride : kPanelK;
+    const Index n_strips = divCeil(n, NR);
+    const Index packed_n = n_strips * NR;
+
+    // Panel-major B packing: the KC block starting at row p0 occupies
+    // [p0 * packed_n, (p0 + kc) * packed_n); within it, column strip s
+    // is a contiguous kc x NR micro-panel (zero-padded past column n).
+    std::vector<float> b_pack(static_cast<size_t>(packed_n * k));
+    const bool serial = 2 * m * n * k < kSerialMacThreshold;
+    auto packStrips = [&](Index s0, Index s1) {
+        for (Index s = s0; s < s1; ++s) {
+            for (Index p0 = 0; p0 < k; p0 += kc_max) {
+                const Index kc = std::min(kc_max, k - p0);
+                float *dst =
+                    b_pack.data() + p0 * packed_n + s * kc * NR;
+                for (Index p = 0; p < kc; ++p) {
+                    const float *brow = b + (p0 + p) * ldb + s * NR;
+                    const Index valid = std::min(NR, n - s * NR);
+                    for (Index jj = 0; jj < valid; ++jj)
+                        dst[p * NR + jj] = brow[jj];
+                    for (Index jj = valid; jj < NR; ++jj)
+                        dst[p * NR + jj] = 0.0f;
+                }
+            }
+        }
+    };
+
+    const Index m_blocks = divCeil(m, MR);
+    auto computeBlocks = [&](Index ib0, Index ib1) {
+        static thread_local std::vector<float> a_pack;
+        a_pack.resize(static_cast<size_t>(kc_max * MR));
+        float c_tmp[MR * NR];
+        for (Index ib = ib0; ib < ib1; ++ib) {
+            const Index i0 = ib * MR;
+            const Index mr = std::min(MR, m - i0);
+            for (Index p0 = 0; p0 < k; p0 += kc_max) {
+                const Index kc = std::min(kc_max, k - p0);
+                for (Index p = 0; p < kc; ++p) {
+                    const float *acol = a + i0 * lda + (p0 + p);
+                    for (Index ii = 0; ii < MR; ++ii)
+                        a_pack[static_cast<size_t>(p * MR + ii)] =
+                            ii < mr ? acol[ii * lda] : 0.0f;
+                }
+                const bool load_c = options.accumulate || p0 > 0;
+                for (Index s = 0; s < n_strips; ++s) {
+                    const Index j0 = s * NR;
+                    const Index nr = std::min(NR, n - j0);
+                    const float *bp =
+                        b_pack.data() + p0 * packed_n + s * kc * NR;
+                    float *cp = c + i0 * ldc + j0;
+                    if (mr == MR && nr == NR) {
+                        kernel(kc, a_pack.data(), bp, cp, ldc, load_c);
+                        continue;
+                    }
+                    // Edge tile: stage the valid C region in a full
+                    // 8x8 scratch tile. The scratch round-trips fp32
+                    // values exactly, so edge outputs see the same op
+                    // sequence as interior ones.
+                    if (load_c) {
+                        std::memset(c_tmp, 0, sizeof(c_tmp));
+                        for (Index ii = 0; ii < mr; ++ii)
+                            for (Index jj = 0; jj < nr; ++jj)
+                                c_tmp[ii * NR + jj] = cp[ii * ldc + jj];
+                    }
+                    kernel(kc, a_pack.data(), bp, c_tmp, NR, load_c);
+                    for (Index ii = 0; ii < mr; ++ii)
+                        for (Index jj = 0; jj < nr; ++jj)
+                            cp[ii * ldc + jj] = c_tmp[ii * NR + jj];
+                }
+            }
+        }
+    };
+
+    if (serial) {
+        packStrips(0, n_strips);
+        computeBlocks(0, m_blocks);
+    } else {
+        parallel::parallelFor(0, n_strips, 4, packStrips);
+        parallel::parallelFor(0, m_blocks, 2, computeBlocks);
+    }
+}
+
+/** Zero (overwrite mode) or preserve C when K == 0: no products exist. */
+void
+handleEmptyK(Index m, Index n, float *c, Index ldc,
+             const GemmOptions &options)
+{
+    if (options.accumulate)
+        return;
+    for (Index i = 0; i < m; ++i)
+        std::fill(c + i * ldc, c + i * ldc + n, 0.0f);
+}
+
+} // namespace
+
+const char *
+kernelBackendName(KernelBackend backend)
+{
+    switch (backend) {
+      case KernelBackend::Scalar:
+        return "scalar";
+      case KernelBackend::Generic:
+        return "generic";
+      case KernelBackend::Avx2:
+        return "avx2";
+    }
+    return "unknown";
+}
+
+bool
+kernelBackendAvailable(KernelBackend backend)
+{
+    if (backend == KernelBackend::Avx2)
+        return detail::avx2CompiledIn() && cpuHasAvx2Fma();
+    return true;
+}
+
+KernelBackend
+activeKernelBackend()
+{
+    std::call_once(g_resolve_once, [] {
+        g_active.store(static_cast<int>(resolveBackend()),
+                       std::memory_order_relaxed);
+    });
+    return static_cast<KernelBackend>(
+        g_active.load(std::memory_order_relaxed));
+}
+
+const char *
+activeKernelBackendName()
+{
+    return kernelBackendName(activeKernelBackend());
+}
+
+void
+setKernelBackend(KernelBackend backend)
+{
+    CFCONV_FATAL_IF(!kernelBackendAvailable(backend),
+                    "setKernelBackend: %s backend unavailable on this "
+                    "build/CPU",
+                    kernelBackendName(backend));
+    activeKernelBackend(); // force the one-time resolution/log first
+    g_active.store(static_cast<int>(backend), std::memory_order_relaxed);
+}
+
+void
+resetKernelBackend()
+{
+    activeKernelBackend();
+    const char *env = std::getenv("CFCONV_KERNEL");
+    KernelBackend def = kernelBackendAvailable(KernelBackend::Avx2)
+                            ? KernelBackend::Avx2
+                            : KernelBackend::Generic;
+    if (env != nullptr && env[0] != '\0') {
+        const std::string want(env);
+        if (want == "scalar")
+            def = KernelBackend::Scalar;
+        else if (want == "generic")
+            def = KernelBackend::Generic;
+        // avx2/invalid: keep the CPUID default resolved above
+    }
+    g_active.store(static_cast<int>(def), std::memory_order_relaxed);
+}
+
+void
+microkernelGemm(Index m, Index n, Index k, const float *a, Index lda,
+                const float *b, Index ldb, float *c, Index ldc,
+                const GemmOptions &options)
+{
+    if (m <= 0 || n <= 0)
+        return;
+    if (k <= 0) {
+        handleEmptyK(m, n, c, ldc, options);
+        return;
+    }
+    const KernelBackend backend = activeKernelBackend();
+    if (backend == KernelBackend::Scalar) {
+        scalarGemm(m, n, k, a, lda, b, ldb, c, ldc, options);
+        return;
+    }
+    packedGemm(m, n, k, a, lda, b, ldb, c, ldc, options,
+               panelKernelFor(backend));
+}
+
+void
+microkernelGemmBlocked(Index m, Index n, Index k, const float *a,
+                       Index lda, const float *b, Index ldb, float *c,
+                       Index ldc, Index tile_m, Index tile_n,
+                       Index tile_k, const GemmOptions &options)
+{
+    CFCONV_FATAL_IF(tile_m < 1 || tile_n < 1 || tile_k < 1,
+                    "gemmBlocked: non-positive tile size");
+    if (m <= 0 || n <= 0)
+        return;
+    if (k <= 0) {
+        handleEmptyK(m, n, c, ldc, options);
+        return;
+    }
+    const KernelBackend backend = activeKernelBackend();
+    if (backend == KernelBackend::Scalar) {
+        scalarGemmBlocked(m, n, k, a, lda, b, ldb, c, ldc, tile_m,
+                          tile_n, tile_k, options);
+        return;
+    }
+    GemmOptions opts = options;
+    opts.kcOverride = tile_k;
+    opts.accumulate = false;
+    packedGemm(m, n, k, a, lda, b, ldb, c, ldc, opts,
+               panelKernelFor(backend));
+}
+
+float
+dotProduct(const float *x, const float *y, Index n)
+{
+    const KernelBackend backend = activeKernelBackend();
+    if (backend == KernelBackend::Avx2)
+        return detail::dotAvx2(x, y, n);
+    if (backend == KernelBackend::Generic) {
+        // Eight independent partial sums (vectorizable without
+        // reassociation license), combined in a fixed pairwise order.
+        float lane[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+        Index i = 0;
+        for (; i + 8 <= n; i += 8)
+            for (Index l = 0; l < 8; ++l)
+                lane[l] += x[i + l] * y[i + l];
+        float sum = ((lane[0] + lane[4]) + (lane[2] + lane[6])) +
+                    ((lane[1] + lane[5]) + (lane[3] + lane[7]));
+        for (; i < n; ++i)
+            sum += x[i] * y[i];
+        return sum;
+    }
+    float sum = 0.0f;
+    for (Index i = 0; i < n; ++i)
+        sum += x[i] * y[i];
+    return sum;
+}
+
+void
+vectorAddInto(float *dst, const float *src, Index n)
+{
+    if (activeKernelBackend() == KernelBackend::Avx2) {
+        detail::addIntoAvx2(dst, src, n);
+        return;
+    }
+    for (Index i = 0; i < n; ++i)
+        dst[i] += src[i];
+}
+
+void
+vectorAxpyInto(float *dst, const float *src, float scale, Index n)
+{
+    if (activeKernelBackend() == KernelBackend::Avx2) {
+        detail::axpyIntoAvx2(dst, src, scale, n);
+        return;
+    }
+    for (Index i = 0; i < n; ++i)
+        dst[i] += scale * src[i];
+}
+
+} // namespace cfconv::tensor

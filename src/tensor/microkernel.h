@@ -1,0 +1,144 @@
+/**
+ * @file
+ * SIMD micro-kernel GEMM subsystem: runtime-dispatched, register-tiled
+ * inner kernels with cache-blocked operand packing. This is the single
+ * hot loop under every functional GEMM in the repo; gemm.h's reference
+ * entry points and the simulator functional cores all route here.
+ *
+ * Kernel hierarchy (see DESIGN.md "Micro-kernel GEMM"):
+ *
+ *   dispatch  — one backend is resolved at first use from CPUID, with a
+ *               CFCONV_KERNEL=avx2|generic|scalar env override;
+ *   packing   — A is packed into MR-row panels and B into NR-column
+ *               panels per KC-deep cache block so the inner kernel only
+ *               ever streams contiguous memory;
+ *   kernel    — an MR x NR register-tiled FMA micro-kernel (AVX2+FMA
+ *               intrinsics, a plain-C vectorizable 8-wide kernel, or
+ *               the historical scalar triple loop).
+ *
+ * Determinism contract: within a fixed backend, every entry point is
+ * bit-exact at any thread count (workers own disjoint row blocks of C
+ * and the per-element accumulation order is thread-independent).
+ * Different backends may differ by FMA/association rounding and are
+ * only required to agree to a documented ULP tolerance.
+ */
+
+#ifndef CFCONV_TENSOR_MICROKERNEL_H
+#define CFCONV_TENSOR_MICROKERNEL_H
+
+#include "common/types.h"
+
+namespace cfconv::tensor {
+
+/** Register tile height (rows of A per micro-panel). */
+constexpr Index kMicroRows = 8;
+/** Register tile width (columns of B per micro-panel). */
+constexpr Index kMicroCols = 8;
+/** Default K-dimension cache-block depth for operand packing. */
+constexpr Index kPanelK = 256;
+
+/** The available inner-kernel implementations, slowest first. */
+enum class KernelBackend {
+    Scalar,  ///< the seed's triple loop; reproduces seed results bit-exactly
+    Generic, ///< plain-C 8-wide kernel over packed panels (auto-vectorized)
+    Avx2,    ///< AVX2+FMA intrinsics over packed panels
+};
+
+/** @return a printable lowercase name ("scalar", "generic", "avx2"). */
+const char *kernelBackendName(KernelBackend backend);
+
+/**
+ * @return whether @p backend can run on this build/CPU (scalar and
+ * generic always can; avx2 needs both the compiled-in TU and CPUID
+ * support for AVX2 and FMA).
+ */
+bool kernelBackendAvailable(KernelBackend backend);
+
+/**
+ * The backend all GEMM entry points currently use. Resolved once on
+ * first call: CFCONV_KERNEL=avx2|generic|scalar when set (falling back
+ * with a warning if the requested backend is unavailable), otherwise
+ * the best backend CPUID reports. The selection is logged once.
+ */
+KernelBackend activeKernelBackend();
+
+/** Printable name of activeKernelBackend(); for bench WALL lines. */
+const char *activeKernelBackendName();
+
+/**
+ * Force @p backend for subsequent GEMM calls (tests and benches).
+ * Fatal if the backend is unavailable on this build/CPU.
+ */
+void setKernelBackend(KernelBackend backend);
+
+/** Undo setKernelBackend(): back to the env/CPUID resolution. */
+void resetKernelBackend();
+
+/**
+ * Options for the raw micro-kernel GEMM driver. The gemm.h wrappers
+ * fix `accumulate`; callers there only ever choose `allowZeroSkip`.
+ */
+struct GemmOptions
+{
+    /** C += A*B instead of C = A*B. */
+    bool accumulate = false;
+
+    /**
+     * Permit skipping k-terms whose A operand is exactly 0.0f. Off by
+     * default: skipping drops 0 * NaN/Inf contributions, so a skipping
+     * "reference" GEMM silently diverges from IEEE semantics on
+     * non-finite B operands. Only the scalar backend inspects operand
+     * values; the packed backends never skip and are IEEE-correct
+     * regardless of this flag.
+     */
+    bool allowZeroSkip = false;
+
+    /**
+     * Override the K cache-block depth (kPanelK when 0). Value-
+     * preserving within a backend for any positive value: partial
+     * products round-trip through C in fp32 exactly, so K-blocking
+     * never changes results.
+     */
+    Index kcOverride = 0;
+};
+
+/**
+ * C (row-major, leading dimension @p ldc) = or += A (m x k, leading
+ * dimension @p lda) * B (k x n, leading dimension @p ldb) using the
+ * active backend. This is the raw driver under gemm()/gemmAccumulate();
+ * use those unless operating on borrowed buffers (the simulators'
+ * staged shared-memory chunks do).
+ */
+void microkernelGemm(Index m, Index n, Index k, const float *a,
+                     Index lda, const float *b, Index ldb, float *c,
+                     Index ldc, const GemmOptions &options = {});
+
+/**
+ * gemmBlocked()'s engine: honors @p tile_k as the packing depth so the
+ * tile sweep genuinely exercises K-blocking. @p tile_m / @p tile_n are
+ * validated but do not affect values (packing geometry is fixed by the
+ * backend); under the scalar backend the historical three-level tiled
+ * loop runs with exactly the seed's tile walk.
+ */
+void microkernelGemmBlocked(Index m, Index n, Index k, const float *a,
+                            Index lda, const float *b, Index ldb,
+                            float *c, Index ldc, Index tile_m,
+                            Index tile_n, Index tile_k,
+                            const GemmOptions &options = {});
+
+/**
+ * Dot product of two contiguous float spans using the active backend's
+ * vector width (fixed, thread-independent accumulation order). The
+ * scalar backend accumulates strictly left-to-right.
+ */
+float dotProduct(const float *x, const float *y, Index n);
+
+/** dst[i] += src[i] over @p n contiguous floats, vectorized. */
+void vectorAddInto(float *dst, const float *src, Index n);
+
+/** dst[i] += scale * src[i] over @p n contiguous floats (SAXPY). */
+void vectorAxpyInto(float *dst, const float *src, float scale, Index n);
+
+} // namespace cfconv::tensor
+
+#endif // CFCONV_TENSOR_MICROKERNEL_H

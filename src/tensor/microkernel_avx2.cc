@@ -1,0 +1,155 @@
+/**
+ * @file
+ * AVX2+FMA inner kernels. This is the only translation unit built with
+ * -mavx2 -mfma (via CFCONV_ENABLE_AVX2); nothing here runs unless
+ * runtime CPUID dispatch confirmed the instruction sets, so the rest of
+ * the library stays baseline-x86-64 clean. When the build option is
+ * off (or the compiler lacks the flags) the same symbols compile to
+ * panicking stubs behind avx2CompiledIn() == false.
+ */
+
+#include "tensor/microkernel_kernels.h"
+
+#include "common/logging.h"
+
+#if defined(CFCONV_AVX2_BUILD)
+
+#include <immintrin.h>
+
+namespace cfconv::tensor::detail {
+
+bool
+avx2CompiledIn()
+{
+    return true;
+}
+
+void
+gemmPanelAvx2(Index kc, const float *a_panel, const float *b_panel,
+              float *c, Index ldc, bool load_c)
+{
+    // One ymm accumulator per output row; with the B row vector and the
+    // broadcast lane this uses 10 of the 16 ymm registers.
+    __m256 c0, c1, c2, c3, c4, c5, c6, c7;
+    if (load_c) {
+        c0 = _mm256_loadu_ps(c + 0 * ldc);
+        c1 = _mm256_loadu_ps(c + 1 * ldc);
+        c2 = _mm256_loadu_ps(c + 2 * ldc);
+        c3 = _mm256_loadu_ps(c + 3 * ldc);
+        c4 = _mm256_loadu_ps(c + 4 * ldc);
+        c5 = _mm256_loadu_ps(c + 5 * ldc);
+        c6 = _mm256_loadu_ps(c + 6 * ldc);
+        c7 = _mm256_loadu_ps(c + 7 * ldc);
+    } else {
+        c0 = c1 = c2 = c3 = c4 = c5 = c6 = c7 = _mm256_setzero_ps();
+    }
+    for (Index p = 0; p < kc; ++p) {
+        const __m256 b = _mm256_loadu_ps(b_panel + p * 8);
+        const float *a = a_panel + p * 8;
+        c0 = _mm256_fmadd_ps(_mm256_broadcast_ss(a + 0), b, c0);
+        c1 = _mm256_fmadd_ps(_mm256_broadcast_ss(a + 1), b, c1);
+        c2 = _mm256_fmadd_ps(_mm256_broadcast_ss(a + 2), b, c2);
+        c3 = _mm256_fmadd_ps(_mm256_broadcast_ss(a + 3), b, c3);
+        c4 = _mm256_fmadd_ps(_mm256_broadcast_ss(a + 4), b, c4);
+        c5 = _mm256_fmadd_ps(_mm256_broadcast_ss(a + 5), b, c5);
+        c6 = _mm256_fmadd_ps(_mm256_broadcast_ss(a + 6), b, c6);
+        c7 = _mm256_fmadd_ps(_mm256_broadcast_ss(a + 7), b, c7);
+    }
+    _mm256_storeu_ps(c + 0 * ldc, c0);
+    _mm256_storeu_ps(c + 1 * ldc, c1);
+    _mm256_storeu_ps(c + 2 * ldc, c2);
+    _mm256_storeu_ps(c + 3 * ldc, c3);
+    _mm256_storeu_ps(c + 4 * ldc, c4);
+    _mm256_storeu_ps(c + 5 * ldc, c5);
+    _mm256_storeu_ps(c + 6 * ldc, c6);
+    _mm256_storeu_ps(c + 7 * ldc, c7);
+}
+
+float
+dotAvx2(const float *x, const float *y, Index n)
+{
+    __m256 acc = _mm256_setzero_ps();
+    Index i = 0;
+    for (; i + 8 <= n; i += 8)
+        acc = _mm256_fmadd_ps(_mm256_loadu_ps(x + i),
+                              _mm256_loadu_ps(y + i), acc);
+    // Fixed-order horizontal sum: (lo + hi), then pairwise within the
+    // 128-bit lane, so the reduction order never varies run to run.
+    __m128 lo = _mm256_castps256_ps128(acc);
+    __m128 hi = _mm256_extractf128_ps(acc, 1);
+    __m128 s = _mm_add_ps(lo, hi);
+    s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+    s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x55));
+    float sum = _mm_cvtss_f32(s);
+    for (; i < n; ++i)
+        sum += x[i] * y[i];
+    return sum;
+}
+
+void
+addIntoAvx2(float *dst, const float *src, Index n)
+{
+    Index i = 0;
+    for (; i + 8 <= n; i += 8)
+        _mm256_storeu_ps(dst + i,
+                         _mm256_add_ps(_mm256_loadu_ps(dst + i),
+                                       _mm256_loadu_ps(src + i)));
+    for (; i < n; ++i)
+        dst[i] += src[i];
+}
+
+void
+axpyIntoAvx2(float *dst, const float *src, float scale, Index n)
+{
+    const __m256 v = _mm256_set1_ps(scale);
+    Index i = 0;
+    for (; i + 8 <= n; i += 8)
+        _mm256_storeu_ps(dst + i,
+                         _mm256_fmadd_ps(v, _mm256_loadu_ps(src + i),
+                                         _mm256_loadu_ps(dst + i)));
+    for (; i < n; ++i)
+        dst[i] += scale * src[i];
+}
+
+} // namespace cfconv::tensor::detail
+
+#else // !CFCONV_AVX2_BUILD
+
+namespace cfconv::tensor::detail {
+
+bool
+avx2CompiledIn()
+{
+    return false;
+}
+
+// Dispatch never routes here when avx2CompiledIn() is false; reaching a
+// stub is an internal invariant violation, not a user error.
+
+void
+gemmPanelAvx2(Index, const float *, const float *, float *, Index, bool)
+{
+    panic("AVX2 kernel called but not compiled in");
+}
+
+float
+dotAvx2(const float *, const float *, Index)
+{
+    panic("AVX2 kernel called but not compiled in");
+}
+
+void
+addIntoAvx2(float *, const float *, Index)
+{
+    panic("AVX2 kernel called but not compiled in");
+}
+
+void
+axpyIntoAvx2(float *, const float *, float, Index)
+{
+    panic("AVX2 kernel called but not compiled in");
+}
+
+} // namespace cfconv::tensor::detail
+
+#endif // CFCONV_AVX2_BUILD

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "tensor/im2col_explicit.h"
+#include "tensor/microkernel.h"
 
 namespace cfconv::tpusim {
 
@@ -139,9 +140,10 @@ FunctionalTpuCore::runConv(const ConvParams &params, const Tensor &input,
             result.vecMemWrites += vm.writeCount();
         }
 
-        for (Index m = 0; m < m_dim; ++m)
-            for (Index n = 0; n < params.gemmN(); ++n)
-                acc.at(m, n) += out.at(m, n);
+        // Partial-sum accumulation across tile groups: one add per
+        // element either way, so the vectorized form is bit-exact.
+        tensor::vectorAddInto(acc.data(), out.data(),
+                              m_dim * params.gemmN());
     }
 
     result.output = tensor::foldOutput(params, acc);

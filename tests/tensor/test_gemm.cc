@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "tensor/gemm.h"
+#include "tensor/microkernel.h"
 
 namespace cfconv::tensor {
 namespace {
@@ -100,6 +104,68 @@ TEST(BlockedGemm, RejectsBadTileSizes)
 {
     Matrix a(2, 2), b(2, 2), c(2, 2);
     EXPECT_THROW(gemmBlocked(a, b, c, 0, 1, 1), FatalError);
+}
+
+/** Operands for the 0 * NaN/Inf regression: A carries exact zeros
+ *  against B's non-finite entries, so any zero-skip shortcut changes
+ *  the IEEE-mandated NaN outputs. */
+void
+makeNonFiniteCase(Matrix &a, Matrix &b)
+{
+    a.at(0, 0) = 0.0f;
+    a.at(0, 1) = 1.0f;
+    a.at(0, 2) = 0.0f;
+    // a row 1 stays all zeros
+    b.fill(2.0f);
+    b.at(0, 0) = std::numeric_limits<float>::quiet_NaN();
+    b.at(2, 1) = std::numeric_limits<float>::infinity();
+}
+
+TEST(Gemm, ZeroTimesNonFinitePropagatesByDefault)
+{
+    // Regression for the historical zero-skip hazard: skipping
+    // av == 0.0f dropped 0 * NaN/Inf contributions, so the reference
+    // GEMM silently diverged from IEEE semantics. Default options must
+    // propagate, on every backend.
+    for (const KernelBackend backend :
+         {KernelBackend::Scalar, KernelBackend::Generic,
+          KernelBackend::Avx2}) {
+        if (!kernelBackendAvailable(backend))
+            continue;
+        setKernelBackend(backend);
+        Matrix a(2, 3), b(3, 2), c(2, 2);
+        makeNonFiniteCase(a, b);
+        gemm(a, b, c);
+        // Every output column mixes a zero A operand with a NaN or Inf
+        // B entry, so IEEE arithmetic yields NaN everywhere.
+        EXPECT_TRUE(std::isnan(c.at(0, 0)))
+            << "0 * NaN dropped on " << kernelBackendName(backend);
+        EXPECT_TRUE(std::isnan(c.at(0, 1)))
+            << "0 * Inf dropped on " << kernelBackendName(backend);
+        EXPECT_TRUE(std::isnan(c.at(1, 0)))
+            << "0 * NaN dropped on " << kernelBackendName(backend);
+        EXPECT_TRUE(std::isnan(c.at(1, 1)))
+            << "0 * Inf dropped on " << kernelBackendName(backend);
+    }
+    resetKernelBackend();
+}
+
+TEST(Gemm, AllowZeroSkipRestoresSparseShortcutOnScalar)
+{
+    setKernelBackend(KernelBackend::Scalar);
+    GemmOptions skip;
+    skip.allowZeroSkip = true;
+    Matrix a(2, 3), b(3, 2), c(2, 2);
+    makeNonFiniteCase(a, b);
+    gemm(a, b, c, skip);
+    // With the skip opted in, the zero A terms never touch B's
+    // non-finite entries: row 0 sees only a(0,1) * b(1,*), row 1
+    // nothing at all.
+    EXPECT_FLOAT_EQ(c.at(0, 0), 2.0f);
+    EXPECT_FLOAT_EQ(c.at(0, 1), 2.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 0), 0.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 0.0f);
+    resetKernelBackend();
 }
 
 } // namespace
