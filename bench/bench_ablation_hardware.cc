@@ -24,7 +24,7 @@ using namespace cfconv;
 int
 main(int argc, char **argv)
 {
-    bench::initBench(argc, argv);
+    bench::parseBenchArgs(argc, argv, /*supports_json=*/false);
     const bench::WallTimer wall;
     // ---- 1. crossbar scaling ----
     bench::experimentHeader(

@@ -25,7 +25,7 @@ using namespace cfconv;
 int
 main(int argc, char **argv)
 {
-    bench::initBench(argc, argv);
+    bench::parseBenchArgs(argc, argv, /*supports_json=*/false);
     const bench::WallTimer wall;
     tpusim::TpuSim sim((tpusim::TpuConfig::tpuV2()));
 

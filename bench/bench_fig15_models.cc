@@ -4,6 +4,9 @@
  *  (a) Per-model execution time, TPUSim vs measured TPU-v2.
  *  (b) Layer-wise error distribution; the paper reports a 5.8% MAE
  *      over all layers.
+ * The simulation side runs through sim::ModelRunner (parallel layer
+ * sweep + layer memo cache); `json=FILE` additionally emits the
+ * structured RunRecord document for the whole zoo.
  */
 
 #include <cstdio>
@@ -15,17 +18,19 @@
 #include "common/table.h"
 #include "models/model_zoo.h"
 #include "oracle/tpu_oracle.h"
-#include "tpusim/tpu_sim.h"
+#include "sim/model_runner.h"
+#include "sim/report.h"
 
 using namespace cfconv;
 
 int
 main(int argc, char **argv)
 {
-    bench::initBench(argc, argv);
+    const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
     const bench::WallTimer wall;
     const Index batch = 8;
-    tpusim::TpuSim sim((tpusim::TpuConfig::tpuV2()));
+    const auto accelerator = sim::makeAccelerator("tpu-v2");
+    const sim::ModelRunner runner(*accelerator);
     oracle::TpuOracle oracle;
 
     bench::experimentHeader(
@@ -33,34 +38,25 @@ main(int argc, char **argv)
     Table ga("Fig 15a: model execution time (ms)");
     ga.setHeader({"model", "TPUSim", "measured", "error"});
 
+    std::vector<sim::RunRecord> records;
     std::vector<double> all_ref, all_got;
     for (const auto &model : models::allModels(batch)) {
-        // Simulate the layers in parallel into indexed slots, then
-        // aggregate serially so totals are order-independent of the
-        // thread count.
-        const Index n_layers =
-            static_cast<Index>(model.layers.size());
-        std::vector<double> layer_sim(n_layers), layer_meas(n_layers);
-        parallel::parallelFor(0, n_layers, 1, [&](Index lo, Index hi) {
-            for (Index i = lo; i < hi; ++i) {
-                layer_sim[i] =
-                    sim.runConv(model.layers[i].params).seconds;
-                layer_meas[i] =
-                    oracle.convSeconds(model.layers[i].params);
-            }
-        });
-        double sim_s = 0.0, meas_s = 0.0;
-        for (Index i = 0; i < n_layers; ++i) {
+        const sim::RunRecord record = runner.runModel(model);
+        double meas_s = 0.0;
+        for (size_t i = 0; i < model.layers.size(); ++i) {
             const double n =
                 static_cast<double>(model.layers[i].count);
-            sim_s += n * layer_sim[i];
-            meas_s += n * layer_meas[i];
-            all_ref.push_back(layer_meas[i]);
-            all_got.push_back(layer_sim[i]);
+            const double meas =
+                oracle.convSeconds(model.layers[i].params);
+            meas_s += n * meas;
+            all_ref.push_back(meas);
+            all_got.push_back(record.layers[i].seconds);
         }
+        const double sim_s = record.seconds;
         ga.addRow({model.name, cell("%.3f", sim_s * 1e3),
                    cell("%.3f", meas_s * 1e3),
                    cell("%.1f%%", 100.0 * (sim_s - meas_s) / meas_s)});
+        records.push_back(record);
     }
     ga.print();
 
@@ -94,6 +90,11 @@ main(int argc, char **argv)
 
     bench::summaryLine("Fig-15b", "all-layer MAE %", 5.8,
                        meanAbsPctError(all_ref, all_got));
+    if (!args.jsonPath.empty() &&
+        sim::writeRunRecords(args.jsonPath, records))
+        std::printf("wrote %s (%zu records)\n", args.jsonPath.c_str(),
+                    records.size());
+    bench::printCacheStats(*accelerator);
     bench::printWallClock("bench_fig15_models", wall);
     return 0;
 }

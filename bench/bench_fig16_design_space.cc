@@ -58,7 +58,7 @@ runVgg(const tpusim::TpuConfig &config, Index batch)
 int
 main(int argc, char **argv)
 {
-    bench::initBench(argc, argv);
+    bench::parseBenchArgs(argc, argv, /*supports_json=*/false);
     const bench::WallTimer wall;
     const Index batch = 8;
 

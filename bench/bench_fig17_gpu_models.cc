@@ -4,6 +4,9 @@
  * block-level channel-first implementation on the V100, normalized to
  * the cuDNN (channel-last implicit, vendor-tuned) baseline at batch 8.
  * Paper headline: ours is ~1% slower on average.
+ * The simulation side runs through sim::ModelRunner (parallel layer
+ * sweep + the GPU kernel memo cache); `json=FILE` additionally emits
+ * the structured RunRecord document for the whole zoo.
  */
 
 #include <cstdio>
@@ -11,19 +14,21 @@
 
 #include "bench_util.h"
 #include "common/table.h"
-#include "gpusim/gpu_sim.h"
 #include "models/model_zoo.h"
 #include "oracle/gpu_oracle.h"
+#include "sim/model_runner.h"
+#include "sim/report.h"
 
 using namespace cfconv;
 
 int
 main(int argc, char **argv)
 {
-    bench::initBench(argc, argv);
+    const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
     const bench::WallTimer wall;
     const Index batch = 8;
-    gpusim::GpuSim sim((gpusim::GpuConfig::v100()));
+    const auto accelerator = sim::makeAccelerator("gpu-v100");
+    const sim::ModelRunner runner(*accelerator);
     oracle::GpuOracle cudnn;
 
     bench::experimentHeader(
@@ -33,22 +38,21 @@ main(int argc, char **argv)
     Table t("Fig 17: normalized execution time (cuDNN = 1.0)");
     t.setHeader({"model", "cuDNN (ms)", "ours (ms)", "normalized"});
 
-    gpusim::GpuRunOptions ours;
-    ours.algorithm = gpusim::GpuAlgorithm::ImplicitChannelFirst;
-    ours.interTileReuse = true;
-
+    std::vector<sim::RunRecord> records;
     std::vector<double> ratios;
     for (const auto &model : models::allModels(batch)) {
-        double ours_s = 0.0, cudnn_s = 0.0;
+        const sim::RunRecord record = runner.runModel(model);
+        double cudnn_s = 0.0;
         for (const auto &layer : model.layers) {
-            const double n = static_cast<double>(layer.count);
-            ours_s += n * sim.runConv(layer.params, ours).seconds;
-            cudnn_s += n * cudnn.convSeconds(layer.params);
+            cudnn_s += static_cast<double>(layer.count) *
+                       cudnn.convSeconds(layer.params);
         }
+        const double ours_s = record.seconds;
         const double ratio = ours_s / cudnn_s;
         ratios.push_back(ratio);
         t.addRow({model.name, cell("%.3f", cudnn_s * 1e3),
                   cell("%.3f", ours_s * 1e3), cell("%.3f", ratio)});
+        records.push_back(record);
     }
     t.print();
 
@@ -58,6 +62,11 @@ main(int argc, char **argv)
     avg /= static_cast<double>(ratios.size());
     bench::summaryLine("Fig-17", "ours/cuDNN (avg, paper ~1.01)", 1.01,
                        avg);
+    if (!args.jsonPath.empty() &&
+        sim::writeRunRecords(args.jsonPath, records))
+        std::printf("wrote %s (%zu records)\n", args.jsonPath.c_str(),
+                    records.size());
+    bench::printCacheStats(*accelerator);
     bench::printWallClock("bench_fig17_gpu_models", wall);
     return 0;
 }

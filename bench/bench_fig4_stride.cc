@@ -34,7 +34,7 @@ withStride(tensor::ConvParams p, Index stride)
 int
 main(int argc, char **argv)
 {
-    bench::initBench(argc, argv);
+    bench::parseBenchArgs(argc, argv, /*supports_json=*/false);
     const bench::WallTimer wall;
     const Index batch = 64;
     const auto layers = models::resnetRepresentativeLayers(batch);

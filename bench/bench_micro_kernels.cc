@@ -243,7 +243,7 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "threads=", 8) == 0) {
             char *args[] = {argv[0], argv[i]};
-            bench::initBench(2, args);
+            bench::parseBenchArgs(2, args, /*supports_json=*/false);
         } else {
             kept.push_back(argv[i]);
         }

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * End-to-end model throughput trajectory: run the full model zoo
+ * (the paper's seven CNNs plus MobileNetV1) at batch 8 through
+ * sim::ModelRunner on every stock backend — TPU-v2, the v3-ish
+ * two-MXU core, and the V100 channel-first kernel — and write the
+ * unified RunRecord document to BENCH_models.json (override with
+ * json=FILE). The BENCH_gemm.json companion tracks raw GEMM; this one
+ * tracks whole models, so regressions in the model runner, the memo
+ * caches, or either simulator show up in the bench trajectory.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "models/model_zoo.h"
+#include "sim/model_runner.h"
+#include "sim/report.h"
+
+using namespace cfconv;
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
+    if (args.jsonPath.empty())
+        args.jsonPath = "BENCH_models.json";
+    const bench::WallTimer wall;
+    const Index batch = 8;
+
+    auto zoo = models::allModels(batch);
+    zoo.push_back(models::mobilenetv1(batch));
+    const std::vector<std::string> backends = {"tpu-v2", "tpu-v3ish",
+                                               "gpu-v100"};
+
+    bench::experimentHeader(
+        "models_report",
+        "Model zoo on every backend via sim::ModelRunner, batch 8");
+    Table t("End-to-end model time (ms) per backend");
+    std::vector<std::string> header = {"model"};
+    for (const auto &b : backends)
+        header.push_back(b);
+    t.setHeader(header);
+
+    // One runner per backend, reused across the zoo so the memo
+    // caches collapse repeated shapes between models too.
+    std::vector<std::unique_ptr<sim::Accelerator>> accelerators;
+    for (const auto &name : backends)
+        accelerators.push_back(sim::makeAccelerator(name));
+
+    std::vector<sim::RunRecord> records;
+    for (const auto &model : zoo) {
+        std::vector<std::string> row = {model.name};
+        for (const auto &accelerator : accelerators) {
+            const sim::RunRecord record =
+                sim::ModelRunner(*accelerator).runModel(model);
+            row.push_back(cell("%.3f", record.seconds * 1e3));
+            records.push_back(record);
+        }
+        t.addRow(row);
+    }
+    t.print();
+
+    // Headline: zoo-wide effective throughput per backend, the number
+    // the trajectory tracks.
+    for (size_t b = 0; b < backends.size(); ++b) {
+        double seconds = 0.0;
+        double flops = 0.0;
+        for (size_t r = b; r < records.size(); r += backends.size()) {
+            seconds += records[r].seconds;
+            flops += records[r].tflops * records[r].seconds;
+        }
+        char metric[64];
+        std::snprintf(metric, sizeof(metric), "%s zoo TFLOPS",
+                      backends[b].c_str());
+        bench::summaryLine("models_report", metric,
+                           accelerators[b]->peakTflops(),
+                           flops / seconds);
+    }
+
+    if (sim::writeRunRecords(args.jsonPath, records))
+        std::printf("wrote %s (%zu records)\n", args.jsonPath.c_str(),
+                    records.size());
+    for (const auto &accelerator : accelerators)
+        bench::printCacheStats(*accelerator);
+    bench::printWallClock("bench_models_report", wall);
+    return 0;
+}

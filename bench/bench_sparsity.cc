@@ -22,7 +22,7 @@ using namespace cfconv;
 int
 main(int argc, char **argv)
 {
-    bench::initBench(argc, argv);
+    bench::parseBenchArgs(argc, argv, /*supports_json=*/false);
     const bench::WallTimer wall;
     bench::experimentHeader(
         "Sparsity",

@@ -19,6 +19,7 @@
 
 #include "common/parallel.h"
 #include "common/table.h"
+#include "sim/accelerator.h"
 #include "tensor/microkernel.h"
 
 namespace cfconv::bench {
@@ -61,14 +62,27 @@ class WallTimer
     std::chrono::steady_clock::time_point start_;
 };
 
-/**
- * Parse the uniform bench arguments: `threads=N` overrides the worker
- * count (same effect as CFCONV_THREADS=N). Unknown arguments are
- * rejected so typos surface.
- */
-inline void
-initBench(int argc, char **argv)
+/** Parsed uniform bench arguments (see parseBenchArgs). */
+struct BenchArgs
 {
+    /** Destination of the structured JSON report (json=FILE), empty
+     *  when not requested. Benches that emit a sim::RunRecord
+     *  document honor it; report-less benches reject it. */
+    std::string jsonPath;
+};
+
+/**
+ * Parse the uniform bench arguments — the one place bench CLI syntax
+ * is defined: `threads=N` overrides the worker count (same effect as
+ * CFCONV_THREADS=N) and `json=FILE` requests a structured JSON report.
+ * Pass @p supports_json = false from binaries that have no report so
+ * a stray json= errors out instead of silently doing nothing. Unknown
+ * arguments are rejected so typos surface.
+ */
+inline BenchArgs
+parseBenchArgs(int argc, char **argv, bool supports_json = true)
+{
+    BenchArgs args;
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "threads=", 8) == 0) {
             const long v = std::strtol(argv[i] + 8, nullptr, 10);
@@ -78,14 +92,39 @@ initBench(int argc, char **argv)
                 std::exit(2);
             }
             parallel::setThreads(static_cast<Index>(v));
+        } else if (supports_json &&
+                   std::strncmp(argv[i], "json=", 5) == 0 &&
+                   argv[i][5] != '\0') {
+            args.jsonPath = argv[i] + 5;
         } else {
             std::fprintf(stderr,
                          "unknown argument \"%s\" (supported: "
-                         "threads=N)\n",
-                         argv[i]);
+                         "threads=N%s)\n",
+                         argv[i],
+                         supports_json ? ", json=FILE" : "");
             std::exit(2);
         }
     }
+    return args;
+}
+
+/** Machine-parseable memo-cache summary for one backend; printed by
+ *  the model-driven benches so the trajectory tracks how much of a
+ *  sweep the layer/kernel caches absorbed. */
+inline void
+printCacheStats(const sim::Accelerator &accelerator)
+{
+    std::string line = "CACHE " + accelerator.name();
+    // Materialize the snapshot: counters() returns a reference into
+    // the StatGroup, which must outlive the loop.
+    const StatGroup stats = accelerator.cacheStats();
+    for (const auto &[name, value] : stats.counters()) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), " | %s=%.0f", name.c_str(),
+                      value);
+        line += buf;
+    }
+    std::printf("%s\n", line.c_str());
 }
 
 /** Machine-parseable wall-clock summary; run_all.sh greps "^WALL".

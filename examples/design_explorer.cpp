@@ -2,10 +2,13 @@
  * @file
  * TPU design-space explorer: vary the systolic array size, vector-
  * memory word size, and HBM bandwidth from the command line and see
- * how a chosen model responds — the workflow behind Fig 16.
+ * how a chosen model responds — the workflow behind Fig 16. The run
+ * goes through sim::TpuAccelerator + sim::ModelRunner, so `json=FILE`
+ * can dump the full per-layer RunRecord for offline analysis.
  *
  * Usage: design_explorer [array=128] [word=8] [gbps=700]
  *                        [model=vgg16] [config=configs/tpu_v2.cfg]
+ *                        [json=FILE]
  *
  * A config file (see configs/) is applied first; command-line keys
  * override it.
@@ -19,7 +22,9 @@
 #include "common/logging.h"
 #include "common/table.h"
 #include "models/model_zoo.h"
-#include "tpusim/tpu_sim.h"
+#include "sim/model_runner.h"
+#include "sim/report.h"
+#include "sim/tpu_accelerator.h"
 
 using namespace cfconv;
 
@@ -50,6 +55,7 @@ main(int argc, char **argv)
     Index array = 0, word = 0;
     double gbps = 0.0;
     std::string model_name = "vgg16";
+    std::string json_path;
     for (int i = 1; i < argc; ++i) {
         if (std::sscanf(argv[i], "array=%lld", (long long *)&array) == 1)
             continue;
@@ -66,9 +72,14 @@ main(int argc, char **argv)
                                         cfg);
             continue;
         }
+        if (std::strncmp(argv[i], "json=", 5) == 0 &&
+            argv[i][5] != '\0') {
+            json_path = argv[i] + 5;
+            continue;
+        }
         std::fprintf(stderr,
                      "usage: %s [array=N] [word=N] [gbps=X] [model=M] "
-                     "[config=FILE]\n",
+                     "[config=FILE] [json=FILE]\n",
                      argv[0]);
         return 1;
     }
@@ -84,8 +95,9 @@ main(int argc, char **argv)
         cfg.dram.clockGhz *= gbps / cfg.dram.peakGBps();
 
     const models::ModelSpec model = pickModel(model_name, 8);
-    tpusim::TpuSim sim(cfg);
-    const tpusim::TpuModelResult r = sim.runModel(model);
+    const sim::TpuAccelerator accelerator("tpu-explorer", cfg);
+    const sim::RunRecord r =
+        sim::ModelRunner(accelerator).runModel(model);
 
     std::printf("Configuration: %lldx%lld array, word %lld, "
                 "%.0f GB/s, peak %.1f TFLOPS\n",
@@ -106,11 +118,13 @@ main(int argc, char **argv)
     std::sort(order.rbegin(), order.rend());
     for (size_t i = 0; i < order.size() && i < 5; ++i) {
         const auto &lr = r.layers[order[i].second];
-        table.addRow({model.layers[order[i].second].params.toString(),
-                      cell("%.1f", lr.seconds * 1e6),
+        table.addRow({lr.geometry, cell("%.1f", lr.seconds * 1e6),
                       cell("%.1f", lr.tflops),
-                      cell("%.0f%%", 100.0 * lr.arrayUtilization)});
+                      cell("%.0f%%", 100.0 * lr.utilization)});
     }
     table.print();
+
+    if (!json_path.empty() && sim::writeRunRecords(json_path, {r}))
+        std::printf("wrote %s\n", json_path.c_str());
     return 0;
 }

@@ -5,16 +5,16 @@
  * batch norm, ReLU, max pooling, a grouped (depthwise) stage, and a
  * residual add. Every convolution is cross-checked against the direct
  * reference as it runs, and the TPU-v2 cost of the conv stack is
- * estimated at the end.
+ * estimated at the end through the unified sim::Accelerator layer.
  */
 
 #include <cstdio>
 
 #include "im2col/grouped.h"
 #include "im2col/implicit_conv.h"
+#include "sim/accelerator.h"
 #include "tensor/conv_ref.h"
 #include "tensor/nn_ops.h"
-#include "tpusim/tpu_sim.h"
 
 using namespace cfconv;
 using tensor::Tensor;
@@ -117,11 +117,11 @@ main()
     std::printf("\nlogit checksum: %.4f | worst conv |diff| vs direct: "
                 "%.2e\n", static_cast<double>(checksum), worst);
 
-    // TPU cost of the conv stack.
-    tpusim::TpuSim sim((tpusim::TpuConfig::tpuV2()));
+    // TPU cost of the conv stack, through the accelerator layer.
+    const auto tpu = sim::makeAccelerator("tpu-v2");
     double total = 0.0;
     for (const auto &p : conv_stack)
-        total += sim.runConv(p).seconds;
+        total += tpu->runLayer(p).seconds;
     std::printf("TPU-v2 estimate for the conv stack: %.1f us\n",
                 total * 1e6);
     return worst < 5e-3 ? 0 : 1;

@@ -3,7 +3,12 @@
  * Model report generator: per-layer CSV for every network in the zoo
  * (the paper's seven plus MobileNetV1) on both simulators — the raw
  * data behind the end-to-end figures, in a form downstream analysis
- * (spreadsheets, plotting scripts) can consume directly.
+ * (spreadsheets, plotting scripts) can consume directly. Both
+ * backends are driven through the unified sim::Accelerator layer;
+ * TPU-only fields (multi-tile, energy) and GPU-only fields
+ * (memory/compute bound) come out of LayerRecord::extras. The memo
+ * caches collapse repeated shapes; their hit/miss totals go to
+ * stderr so the CSV on stdout stays clean.
  *
  * Usage: report_models [batch]   (CSV on stdout)
  */
@@ -11,20 +16,32 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "gpusim/gpu_sim.h"
 #include "models/model_zoo.h"
-#include "tpusim/energy.h"
-#include "tpusim/tpu_sim.h"
+#include "sim/accelerator.h"
 
 using namespace cfconv;
+
+namespace {
+
+void
+cacheReport(const sim::Accelerator &accelerator)
+{
+    const StatGroup stats = accelerator.cacheStats();
+    std::fprintf(stderr, "cache %s:", accelerator.name().c_str());
+    for (const auto &[name, value] : stats.counters())
+        std::fprintf(stderr, " %s=%.0f", name.c_str(), value);
+    std::fprintf(stderr, "\n");
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     const Index batch =
         argc > 1 ? std::strtoll(argv[1], nullptr, 10) : 8;
-    tpusim::TpuSim tpu((tpusim::TpuConfig::tpuV2()));
-    gpusim::GpuSim gpu((gpusim::GpuConfig::v100()));
+    const auto tpu = sim::makeAccelerator("tpu-v2");
+    const auto gpu = sim::makeAccelerator("gpu-v100");
 
     std::printf("model,layer,count,groups,geometry,M,K,N,gflops,"
                 "tpu_us,tpu_tflops,tpu_util,tpu_multitile,"
@@ -36,12 +53,10 @@ main(int argc, char **argv)
     for (const auto &model : zoo) {
         for (const auto &layer : model.layers) {
             const auto &p = layer.params;
-            const auto tr =
-                tpu.runGroupedConv(p, layer.groups);
-            const auto te = tpusim::layerEnergy(tpu.config(), tr);
-            const auto gr = gpu.runConv(layer.sliceParams());
-            const double gpu_us =
-                gr.seconds * 1e6 * static_cast<double>(layer.groups);
+            sim::RunOptions options;
+            options.groups = layer.groups;
+            const sim::LayerRecord tr = tpu->runLayer(p, options);
+            const sim::LayerRecord gr = gpu->runLayer(p, options);
             std::printf(
                 "%s,%s,%lld,%lld,%s,%lld,%lld,%lld,%.4f,"
                 "%.3f,%.3f,%.4f,%lld,%.3f,%.3f,%.3f,%.3f,%s\n",
@@ -50,14 +65,15 @@ main(int argc, char **argv)
                 p.toString().c_str(), (long long)p.gemmM(),
                 (long long)p.gemmK(), (long long)p.gemmN(),
                 static_cast<double>(layer.flops()) / 1e9,
-                tr.seconds * 1e6, tr.tflops, tr.arrayUtilization,
-                (long long)tr.multiTile,
-                static_cast<double>(tr.dramBytes) / 1e6, te.pjPerMac,
-                gpu_us,
-                static_cast<double>(layer.flops()) /
-                    (gpu_us * 1e-6) / 1e12,
-                gr.memoryBound ? "memory" : "compute");
+                tr.seconds * 1e6, tr.tflops, tr.utilization,
+                (long long)tr.extras.at("multiTile"),
+                static_cast<double>(tr.dramBytes) / 1e6,
+                tr.extras.at("pjPerMac"), gr.seconds * 1e6, gr.tflops,
+                gr.extras.at("memoryBound") != 0.0 ? "memory"
+                                                   : "compute");
         }
     }
+    cacheReport(*tpu);
+    cacheReport(*gpu);
     return 0;
 }

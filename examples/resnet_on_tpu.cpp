@@ -3,17 +3,20 @@
  * Simulate ResNet-50 inference (batch 8) on a TPU-v2 core and print a
  * per-layer performance report: where the multi-tile optimization
  * kicks in, which layers are memory-exposed, and the end-to-end time.
- * Every repeated layer instance is simulated individually — the layer
- * memo cache collapses the repeats (ResNet's bottleneck blocks repeat
- * heavily), and the cache report at the end shows the savings.
+ * The backend is driven through the unified sim::Accelerator layer;
+ * the TPU-only columns (multi-tile factor, exposed fill) come out of
+ * LayerRecord::extras. Every repeated layer instance is simulated
+ * individually — the layer memo cache collapses the repeats (ResNet's
+ * bottleneck blocks repeat heavily), and the cache report at the end
+ * shows the savings.
  */
 
 #include <cstdio>
 
 #include "common/table.h"
 #include "models/model_zoo.h"
+#include "sim/model_runner.h"
 #include "tpusim/layer_cache.h"
-#include "tpusim/tpu_sim.h"
 
 using namespace cfconv;
 
@@ -21,7 +24,7 @@ int
 main()
 {
     const models::ModelSpec model = models::resnet50(8);
-    tpusim::TpuSim sim((tpusim::TpuConfig::tpuV2()));
+    const auto accelerator = sim::makeAccelerator("tpu-v2");
     auto &cache = tpusim::LayerCache::instance();
     cache.clear();
 
@@ -34,23 +37,21 @@ main()
     for (const auto &layer : model.layers) {
         // Simulate every instance of the layer (not result * count):
         // repeats after the first are served by the layer memo cache.
-        tpusim::TpuLayerResult r;
+        sim::LayerRecord r;
         for (Index rep = 0; rep < layer.count; ++rep) {
-            r = sim.runConv(layer.params);
+            r = accelerator->runLayer(layer.params);
             total += r.seconds;
         }
         flops +=
             layer.params.flops() * static_cast<Flops>(layer.count);
         table.addRow(
-            {layer.name, layer.params.toString(),
+            {layer.name, r.geometry,
              cell("%lld", (long long)layer.count),
              cell("%.1f", r.seconds * 1e6), cell("%.1f", r.tflops),
-             cell("%.0f%%", 100.0 * r.arrayUtilization),
-             cell("%lld", (long long)r.multiTile),
-             cell("%.0f%%", r.cycles
-                      ? 100.0 * static_cast<double>(r.exposedFillCycles) /
-                            static_cast<double>(r.cycles)
-                      : 0.0)});
+             cell("%.0f%%", 100.0 * r.utilization),
+             cell("%lld", (long long)r.extras.at("multiTile")),
+             cell("%.0f%%",
+                  100.0 * r.extras.at("exposedFillFrac"))});
     }
     table.print();
 
@@ -58,11 +59,12 @@ main()
                 "(peak %.1f)\n",
                 total * 1e3,
                 static_cast<double>(flops) / total / 1e12,
-                sim.config().peakTflops());
+                accelerator->peakTflops());
 
-    // Cross-check against the model runner (its per-layer lookups all
-    // hit the now-warm cache).
-    const auto whole = sim.runModel(model);
+    // Cross-check against the shared model runner (its per-layer
+    // lookups all hit the now-warm cache).
+    const sim::RunRecord whole =
+        sim::ModelRunner(*accelerator).runModel(model);
     std::printf("runModel cross-check: %.3f ms\n", whole.seconds * 1e3);
 
     std::printf("\nLayer cache: %llu hits / %llu misses "
@@ -71,7 +73,7 @@ main()
                 (unsigned long long)cache.misses(),
                 100.0 * cache.hitRate(),
                 (unsigned long long)cache.entries());
-    const StatGroup stats = cache.statsSnapshot();
+    const StatGroup stats = accelerator->cacheStats();
     for (const auto &[name, value] : stats.counters())
         std::printf("  %s = %.0f\n", name.c_str(), value);
     return 0;

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Structured-report gate: run the model benches with json=FILE and
+# validate the emitted sim::RunRecord documents — schema identifier
+# and version, at least one record with a non-empty layers array, and
+# finite positive whole-model TFLOPS (the writer emits non-finite
+# doubles as null, so a NaN anywhere in the pipeline shows up here).
+# Uses python3 when available, otherwise a grep-based fallback that
+# checks the same invariants coarsely.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+if [ ! -d "$BUILD_DIR" ]; then
+    echo "build directory '$BUILD_DIR' not found; run cmake first" >&2
+    exit 1
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+validate_py() {
+    python3 - "$1" <<'EOF'
+import json
+import math
+import sys
+
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+assert doc.get("schema") == "cfconv.run_record", "bad schema id"
+assert doc.get("version") == 1, "bad schema version"
+records = doc.get("records")
+assert isinstance(records, list) and records, "no records"
+for record in records:
+    assert record.get("layers"), (
+        f"record {record.get('model')} has no layers")
+    tflops = record.get("tflops")
+    assert isinstance(tflops, (int, float)), (
+        f"record {record.get('model')} tflops is {tflops!r}")
+    assert math.isfinite(tflops) and tflops > 0, (
+        f"record {record.get('model')} tflops = {tflops}")
+print(f"{path}: {len(records)} records OK")
+EOF
+}
+
+validate_grep() {
+    local path="$1"
+    grep -q '"schema": "cfconv.run_record"' "$path"
+    grep -q '"version": 1' "$path"
+    grep -q '"layers": \[' "$path"
+    # The writer emits non-finite doubles as null; a null tflops means
+    # a NaN/Inf escaped the simulators.
+    if grep -q '"tflops": null' "$path"; then
+        echo "$path: non-finite tflops" >&2
+        return 1
+    fi
+    echo "$path: OK (grep fallback)"
+}
+
+validate() {
+    if command -v python3 >/dev/null 2>&1; then
+        validate_py "$1"
+    else
+        validate_grep "$1"
+    fi
+}
+
+echo "==== check_report: bench_fig15_models ===="
+"$BUILD_DIR"/bench/bench_fig15_models "json=$workdir/fig15.json" \
+    >/dev/null
+validate "$workdir/fig15.json"
+
+echo "==== check_report: bench_fig17_gpu_models ===="
+"$BUILD_DIR"/bench/bench_fig17_gpu_models "json=$workdir/fig17.json" \
+    >/dev/null
+validate "$workdir/fig17.json"
+
+echo "REPORTS OK"

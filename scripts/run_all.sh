@@ -32,6 +32,9 @@ for b in build/bench/bench_*; do
     wall_summary+="$(printf '%s\n' "$out" | grep '^WALL' || true)"$'\n'
 done
 
+echo "==== structured run reports ===="
+scripts/check_report.sh
+
 echo "==== examples ===="
 build/examples/quickstart
 build/examples/training_step

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Generic process-wide memoization cache for simulator results. The
+ * benches and model runners re-simulate identical layer shapes
+ * constantly (repeated bottleneck blocks, validation grids, sweeps at
+ * a fixed config); a result that is a pure function of its full-
+ * fidelity textual key is paid for once. Shared-mutex protected, safe
+ * under the common/parallel sweep runners; hit/miss counters are
+ * exported through the common/stats StatGroup machinery. Each backend
+ * instantiates one singleton (tpusim/layer_cache, gpusim/kernel_cache)
+ * over its own result struct; all instances honor the same
+ * CFCONV_LAYER_CACHE=0 kill switch (results are identical either way).
+ */
+
+#ifndef CFCONV_COMMON_MEMO_CACHE_H
+#define CFCONV_COMMON_MEMO_CACHE_H
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/stats.h"
+
+namespace cfconv {
+
+/** Key-builder helpers shared by the backend cache-key functions.
+ *  %.17g round-trips doubles, so distinct values get distinct keys. */
+inline void
+memoKeyAppendInt(std::string &key, long long v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld|", v);
+    key += buf;
+}
+
+inline void
+memoKeyAppendFloat(std::string &key, double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g|", v);
+    key += buf;
+}
+
+/**
+ * String-keyed memo cache over one result type. Equal keys must imply
+ * equal inputs (full-fidelity keys make hash collisions impossible to
+ * observe), and the cached computation must be a pure function of the
+ * key — under those contracts concurrent misses on the same key are
+ * benign: both threads compute the identical value, last insert wins.
+ *
+ * @p stat_prefix names the counters in statsSnapshot(), e.g.
+ * "layer_cache" gives "layer_cache.hits" / ".misses" / ".entries".
+ */
+template <typename Result>
+class MemoCache
+{
+  public:
+    explicit MemoCache(std::string stat_prefix)
+        : statPrefix_(std::move(stat_prefix))
+    {
+        if (const char *env = std::getenv("CFCONV_LAYER_CACHE"))
+            enabled_.store(env[0] != '0');
+    }
+
+    MemoCache(const MemoCache &) = delete;
+    MemoCache &operator=(const MemoCache &) = delete;
+
+    bool enabled() const { return enabled_.load(); }
+    void setEnabled(bool on) { enabled_.store(on); }
+
+    /** @return true and fill @p out on a hit; count the lookup. */
+    bool
+    lookup(const std::string &key, Result *out)
+    {
+        {
+            std::shared_lock<std::shared_mutex> lock(mutex_);
+            auto it = entries_.find(key);
+            if (it != entries_.end()) {
+                *out = it->second;
+                ++hits_;
+                return true;
+            }
+        }
+        ++misses_;
+        return false;
+    }
+
+    /** Store @p result under @p key (last writer wins; results for a
+     *  given key are identical by construction, so races are benign). */
+    void
+    insert(const std::string &key, const Result &result)
+    {
+        std::unique_lock<std::shared_mutex> lock(mutex_);
+        entries_[key] = result;
+    }
+
+    /** Drop all entries and reset the counters. */
+    void
+    clear()
+    {
+        std::unique_lock<std::shared_mutex> lock(mutex_);
+        entries_.clear();
+        hits_.store(0);
+        misses_.store(0);
+    }
+
+    std::uint64_t hits() const { return hits_.load(); }
+    std::uint64_t misses() const { return misses_.load(); }
+
+    std::uint64_t
+    entries() const
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        return entries_.size();
+    }
+
+    /** Hit fraction over all lookups so far (0 when none). */
+    double
+    hitRate() const
+    {
+        const std::uint64_t h = hits_.load(), m = misses_.load();
+        return h + m == 0
+            ? 0.0
+            : static_cast<double>(h) / static_cast<double>(h + m);
+    }
+
+    /** Snapshot of the counters as a common/stats StatGroup. */
+    StatGroup
+    statsSnapshot() const
+    {
+        StatGroup g;
+        g.add(statPrefix_ + ".hits", static_cast<double>(hits()));
+        g.add(statPrefix_ + ".misses", static_cast<double>(misses()));
+        g.add(statPrefix_ + ".entries", static_cast<double>(entries()));
+        return g;
+    }
+
+  private:
+    const std::string statPrefix_;
+    mutable std::shared_mutex mutex_;
+    std::unordered_map<std::string, Result> entries_;
+    std::atomic<bool> enabled_{true};
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+};
+
+} // namespace cfconv
+
+#endif // CFCONV_COMMON_MEMO_CACHE_H

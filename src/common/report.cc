@@ -1,0 +1,222 @@
+#include "common/report.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace cfconv {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::indent()
+{
+    out_.append(2 * stack_.size(), ' ');
+}
+
+void
+JsonWriter::beginValue()
+{
+    if (pendingKey_) {
+        pendingKey_ = false;
+        return;
+    }
+    if (!stack_.empty()) {
+        CFCONV_FATAL_IF(stack_.back().isObject,
+                        "JsonWriter: object member needs a key()");
+        if (stack_.back().hasItems)
+            out_ += ',';
+        out_ += '\n';
+        stack_.back().hasItems = true;
+        indent();
+    }
+}
+
+void
+JsonWriter::beginObject()
+{
+    beginValue();
+    out_ += '{';
+    stack_.push_back({true, false});
+}
+
+void
+JsonWriter::endObject()
+{
+    CFCONV_FATAL_IF(stack_.empty() || !stack_.back().isObject,
+                    "JsonWriter: endObject without beginObject");
+    const bool had = stack_.back().hasItems;
+    stack_.pop_back();
+    if (had) {
+        out_ += '\n';
+        indent();
+    }
+    out_ += '}';
+}
+
+void
+JsonWriter::beginArray()
+{
+    beginValue();
+    out_ += '[';
+    stack_.push_back({false, false});
+}
+
+void
+JsonWriter::endArray()
+{
+    CFCONV_FATAL_IF(stack_.empty() || stack_.back().isObject,
+                    "JsonWriter: endArray without beginArray");
+    const bool had = stack_.back().hasItems;
+    stack_.pop_back();
+    if (had) {
+        out_ += '\n';
+        indent();
+    }
+    out_ += ']';
+}
+
+void
+JsonWriter::key(const std::string &name)
+{
+    CFCONV_FATAL_IF(stack_.empty() || !stack_.back().isObject,
+                    "JsonWriter: key() outside an object");
+    CFCONV_FATAL_IF(pendingKey_, "JsonWriter: key() twice in a row");
+    if (stack_.back().hasItems)
+        out_ += ',';
+    out_ += '\n';
+    stack_.back().hasItems = true;
+    indent();
+    out_ += '"';
+    out_ += jsonEscape(name);
+    out_ += "\": ";
+    pendingKey_ = true;
+}
+
+void
+JsonWriter::value(const std::string &v)
+{
+    beginValue();
+    out_ += '"';
+    out_ += jsonEscape(v);
+    out_ += '"';
+}
+
+void
+JsonWriter::value(const char *v)
+{
+    value(std::string(v));
+}
+
+void
+JsonWriter::value(double v)
+{
+    if (!std::isfinite(v)) {
+        valueNull();
+        return;
+    }
+    beginValue();
+    char buf[40];
+    // %.17g round-trips doubles; trim to a friendlier %.10g when that
+    // already round-trips the value.
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    double back = 0.0;
+    std::sscanf(buf, "%lf", &back);
+    if (back != v)
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out_ += buf;
+}
+
+void
+JsonWriter::value(long long v)
+{
+    beginValue();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", v);
+    out_ += buf;
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    beginValue();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    out_ += buf;
+}
+
+void
+JsonWriter::value(bool v)
+{
+    beginValue();
+    out_ += v ? "true" : "false";
+}
+
+void
+JsonWriter::valueNull()
+{
+    beginValue();
+    out_ += "null";
+}
+
+const std::string &
+JsonWriter::str() const
+{
+    CFCONV_FATAL_IF(!stack_.empty(),
+                    "JsonWriter: %zu container(s) still open",
+                    stack_.size());
+    return out_;
+}
+
+bool
+writeFile(const std::string &path, const std::string &content)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "could not write %s\n", path.c_str());
+        return false;
+    }
+    const size_t n = std::fwrite(content.data(), 1, content.size(), f);
+    const bool ok = n == content.size() && std::fclose(f) == 0;
+    if (!ok)
+        std::fprintf(stderr, "short write to %s\n", path.c_str());
+    return ok;
+}
+
+} // namespace cfconv

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Minimal streaming JSON writer for the structured run reports
+ * (BENCH_*.json, the sim::RunRecord documents). Generalizes the
+ * hand-rolled fprintf pattern the GEMM bench used: nesting and comma
+ * placement are tracked by a container stack, strings are escaped, and
+ * non-finite doubles are emitted as null (JSON has no NaN/Inf), which
+ * is exactly what the report validators key on.
+ */
+
+#ifndef CFCONV_COMMON_REPORT_H
+#define CFCONV_COMMON_REPORT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cfconv {
+
+/** Escape @p s for inclusion in a JSON string literal (no quotes). */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Incremental JSON document builder. Usage:
+ *
+ *   JsonWriter w;
+ *   w.beginObject();
+ *   w.field("version", 1);
+ *   w.key("layers"); w.beginArray(); ... w.endArray();
+ *   w.endObject();
+ *   writeFile(path, w.str());
+ *
+ * The writer indents two spaces per nesting level so the emitted
+ * documents stay diffable and human-readable.
+ */
+class JsonWriter
+{
+  public:
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Emit the key of the next object member. */
+    void key(const std::string &name);
+
+    void value(const std::string &v);
+    void value(const char *v);
+    void value(double v);
+    void value(long long v);
+    void value(std::uint64_t v);
+    void value(bool v);
+    void valueNull();
+
+    /** key() + value() in one call. */
+    template <typename T>
+    void
+    field(const std::string &name, const T &v)
+    {
+        key(name);
+        value(v);
+    }
+
+    /** The finished document. All containers must be closed. */
+    const std::string &str() const;
+
+  private:
+    void beginValue();
+    void indent();
+
+    struct Frame
+    {
+        bool isObject = false;
+        bool hasItems = false;
+    };
+
+    std::string out_;
+    std::vector<Frame> stack_;
+    bool pendingKey_ = false;
+};
+
+/** Write @p content to @p path; @return false (with a stderr note) on
+ *  I/O failure instead of aborting — report emission must never take
+ *  down a bench run. */
+bool writeFile(const std::string &path, const std::string &content);
+
+} // namespace cfconv
+
+#endif // CFCONV_COMMON_REPORT_H

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "gpusim/kernel_cache.h"
 #include "im2col/reorder.h"
 
 namespace cfconv::gpusim {
@@ -109,6 +110,17 @@ GpuSim::runGemm(Index m, Index k, Index n, bool vendor_tuned,
 {
     CFCONV_FATAL_IF(m < 1 || k < 1 || n < 1,
                     "GpuSim::runGemm: non-positive dimensions");
+    // A GEMM result is a pure function of (dims, flags, config);
+    // memoize it exactly like TpuSim::runGemm.
+    KernelCache &cache = KernelCache::instance();
+    std::string key;
+    GpuKernelResult cached;
+    if (cache.enabled()) {
+        key = gpuGemmCacheKey(config_, m, k, n, vendor_tuned,
+                              operands_in_dram);
+        if (cache.lookup(key, &cached))
+            return cached;
+    }
     Index tm, tn;
     chooseTile(m, n, config_.sms * config_.tbPerSm, tm, tn);
     const Bytes elem = 2; // FP16 operands
@@ -155,6 +167,8 @@ GpuSim::runGemm(Index m, Index k, Index n, bool vendor_tuned,
         }
     }
     r.dramBytes = unique;
+    if (cache.enabled())
+        cache.insert(key, r);
     return r;
 }
 
@@ -163,6 +177,30 @@ GpuSim::runConv(const ConvParams &params,
                 const GpuRunOptions &options) const
 {
     params.validate();
+
+    // A kernel result is a pure function of (params, options, config);
+    // memoize it so repeated shapes (model blocks, sweep grids) are
+    // simulated once. Concurrent misses on the same key may compute
+    // the identical result twice — benign, last insert wins.
+    KernelCache &cache = KernelCache::instance();
+    std::string key;
+    GpuKernelResult cached;
+    if (cache.enabled()) {
+        key = kernelCacheKey(config_, params, options);
+        if (cache.lookup(key, &cached))
+            return cached;
+    }
+
+    GpuKernelResult r = runConvUncached(params, options);
+    if (cache.enabled())
+        cache.insert(key, r);
+    return r;
+}
+
+GpuKernelResult
+GpuSim::runConvUncached(const ConvParams &params,
+                        const GpuRunOptions &options) const
+{
     const Index m = params.gemmM();
     const Index n = params.gemmN();
     const Bytes elem = dataTypeSize(params.dataType);

@@ -100,6 +100,10 @@ class GpuSim
         Bytes fillBytes = 0; ///< gmem bytes the TB loads (incl. waste)
     };
 
+    /** runConv body, bypassing the kernel memo cache. */
+    GpuKernelResult runConvUncached(const ConvParams &params,
+                                    const GpuRunOptions &options) const;
+
     GpuKernelResult runPipeline(Index m, Index n,
                                 const std::vector<Step> &steps,
                                 Flops useful_flops, double compute_eff,

@@ -1,23 +1,28 @@
-#include "tpusim/layer_cache.h"
+#include "gpusim/kernel_cache.h"
 
-namespace cfconv::tpusim {
+namespace cfconv::gpusim {
 
 namespace {
 
 void
-appendConfig(std::string &key, const TpuConfig &config)
+appendConfig(std::string &key, const GpuConfig &config)
 {
-    memoKeyAppendInt(key, config.array.rows);
-    memoKeyAppendInt(key, config.array.cols);
-    memoKeyAppendInt(key, config.array.weightLoadOverlapped ? 1 : 0);
-    memoKeyAppendInt(key, config.mxus);
+    memoKeyAppendInt(key, config.sms);
+    memoKeyAppendInt(key, config.tbPerSm);
     memoKeyAppendFloat(key, config.clockGhz);
-    memoKeyAppendInt(key, config.vectorMemories);
-    memoKeyAppendInt(key, config.wordElems);
-    memoKeyAppendInt(key, static_cast<long long>(config.elemBytes));
-    memoKeyAppendInt(key, static_cast<long long>(config.onChipBytes));
+    memoKeyAppendInt(key, config.macsPerSmPerCycle);
+    memoKeyAppendFloat(key, config.computeEff);
+    memoKeyAppendFloat(key, config.cudnnComputeEff);
+    memoKeyAppendFloat(key, config.bwUtil);
+    memoKeyAppendFloat(key, config.l2GBps);
+    memoKeyAppendFloat(key, config.l2Util);
+    memoKeyAppendFloat(key, config.clStrideWasteCoeff);
+    memoKeyAppendFloat(key, config.transformGBps);
+    memoKeyAppendInt(key, static_cast<long long>(config.sharedMemPerSm));
     memoKeyAppendInt(key,
-                     static_cast<long long>(config.invokeOverheadCycles));
+                     static_cast<long long>(config.transactionBytes));
+    memoKeyAppendFloat(key, config.kernelOverheadSec);
+    memoKeyAppendFloat(key, config.cudnnKernelOverheadSec);
     const dram::DramConfig &d = config.dram;
     memoKeyAppendInt(key, d.channels);
     memoKeyAppendInt(key, d.banksPerChannel);
@@ -53,42 +58,39 @@ appendParams(std::string &key, const tensor::ConvParams &p)
 } // namespace
 
 std::string
-layerCacheKey(const TpuConfig &config, const tensor::ConvParams &params,
-              const TpuRunOptions &options)
+kernelCacheKey(const GpuConfig &config, const tensor::ConvParams &params,
+               const GpuRunOptions &options)
 {
-    std::string key = "conv|";
+    std::string key = "gconv|";
     key.reserve(256);
     appendParams(key, params);
     memoKeyAppendInt(key, static_cast<long long>(options.algorithm));
-    memoKeyAppendInt(key, options.multiTileOverride);
-    memoKeyAppendInt(key, static_cast<long long>(options.dramLayout));
-    memoKeyAppendInt(key, options.detailedDram ? 1 : 0);
-    memoKeyAppendFloat(key, options.explicitTransformSeconds);
-    memoKeyAppendInt(key, options.captureTrace ? 1 : 0);
-    memoKeyAppendInt(key, options.spaceToDepthFirstLayer ? 1 : 0);
+    memoKeyAppendInt(key, options.interTileReuse ? 1 : 0);
+    memoKeyAppendInt(key, options.vendorTuned ? 1 : 0);
     appendConfig(key, config);
     return key;
 }
 
 std::string
-gemmCacheKey(const TpuConfig &config, Index m, Index k, Index n,
-             DataType dtype)
+gpuGemmCacheKey(const GpuConfig &config, Index m, Index k, Index n,
+                bool vendor_tuned, bool operands_in_dram)
 {
-    std::string key = "gemm|";
+    std::string key = "ggemm|";
     key.reserve(192);
     memoKeyAppendInt(key, m);
     memoKeyAppendInt(key, k);
     memoKeyAppendInt(key, n);
-    memoKeyAppendInt(key, static_cast<long long>(dtype));
+    memoKeyAppendInt(key, vendor_tuned ? 1 : 0);
+    memoKeyAppendInt(key, operands_in_dram ? 1 : 0);
     appendConfig(key, config);
     return key;
 }
 
-LayerCache &
-LayerCache::instance()
+KernelCache &
+KernelCache::instance()
 {
-    static LayerCache cache;
+    static KernelCache cache;
     return cache;
 }
 
-} // namespace cfconv::tpusim
+} // namespace cfconv::gpusim

@@ -1,0 +1,42 @@
+#include "sim/accelerator.h"
+
+#include "common/logging.h"
+#include "sim/gpu_accelerator.h"
+#include "sim/tpu_accelerator.h"
+
+namespace cfconv::sim {
+
+std::unique_ptr<Accelerator>
+makeAccelerator(const std::string &name)
+{
+    if (name == "tpu-v2") {
+        return std::make_unique<TpuAccelerator>(
+            name, tpusim::TpuConfig::tpuV2());
+    }
+    if (name == "tpu-v3ish") {
+        return std::make_unique<TpuAccelerator>(
+            name, tpusim::TpuConfig::tpuV3ish());
+    }
+    if (name == "gpu-v100") {
+        return std::make_unique<GpuAccelerator>(
+            name, gpusim::GpuConfig::v100());
+    }
+    if (name == "gpu-v100-cudnn") {
+        gpusim::GpuRunOptions options;
+        options.algorithm = gpusim::GpuAlgorithm::ImplicitChannelLast;
+        options.vendorTuned = true;
+        return std::make_unique<GpuAccelerator>(
+            name, gpusim::GpuConfig::v100(), options);
+    }
+    fatal("unknown accelerator '%s' (known: tpu-v2, tpu-v3ish, "
+          "gpu-v100, gpu-v100-cudnn)",
+          name.c_str());
+}
+
+std::vector<std::string>
+knownAccelerators()
+{
+    return {"tpu-v2", "tpu-v3ish", "gpu-v100", "gpu-v100-cudnn"};
+}
+
+} // namespace cfconv::sim

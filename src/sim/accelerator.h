@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The common accelerator abstraction over the backend simulators. The
+ * paper's point is that one algorithm family — GEMM-lowered implicit
+ * convolution — maps onto both a weight-stationary systolic TPU
+ * (Sec. IV/VI) and tensor-core GPUs (Sec. V); this layer gives the
+ * two simulators one API so model runs, sweeps, caching, and report
+ * emission are written once. Backend-specific knobs stay where they
+ * belong: in the adapter constructors (tpu_accelerator.h,
+ * gpu_accelerator.h) and in each LayerRecord's `extras` map.
+ */
+
+#ifndef CFCONV_SIM_ACCELERATOR_H
+#define CFCONV_SIM_ACCELERATOR_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "tensor/conv_params.h"
+
+namespace cfconv::sim {
+
+using tensor::ConvParams;
+
+/** Backend-independent per-layer run knobs. */
+struct RunOptions
+{
+    /**
+     * Grouped-convolution factor. Each backend maps groups its own
+     * way (the TPU packs group slices block-diagonally into the
+     * array; the GPU launches one kernel per group slice), which is
+     * exactly why the knob lives here and not in the params.
+     */
+    Index groups = 1;
+};
+
+/** Unified result of simulating one layer on any backend. */
+struct LayerRecord
+{
+    std::string name;     ///< layer name (empty for ad-hoc layers)
+    std::string geometry; ///< ConvParams::toString() of the full layer
+    Index count = 1;      ///< repetitions of this shape in the model
+    Index groups = 1;     ///< grouped-convolution factor
+    double seconds = 0.0; ///< one instance, end to end
+    double tflops = 0.0;  ///< useful FLOPs / second
+    /**
+     * Fraction of the backend's peak compute actually used: the
+     * systolic-array occupancy on the TPU, achieved/peak TFLOPS on
+     * the GPU.
+     */
+    double utilization = 0.0;
+    Bytes dramBytes = 0;  ///< off-chip traffic of one instance
+    Flops flops = 0;      ///< useful FLOPs of one instance
+    /**
+     * Backend-specific fields, e.g. "multiTile", "portUtilization",
+     * "exposedFillFrac" (TPU) or "memoryBound", "computeSeconds",
+     * "memorySeconds" (GPU). std::map so iteration order — and the
+     * emitted JSON — is deterministic.
+     */
+    std::map<std::string, double> extras;
+};
+
+/** Unified result of one model run on one backend. */
+struct RunRecord
+{
+    /** Version of the RunRecord JSON schema (sim/report). */
+    static constexpr long long kSchemaVersion = 1;
+
+    std::string accelerator;  ///< backend name, e.g. "tpu-v2"
+    std::string model;        ///< model name, e.g. "ResNet"
+    Index batch = 0;          ///< batch size the layers were built with
+    double peakTflops = 0.0;  ///< backend peak compute
+    double seconds = 0.0;     ///< total incl. layer repetitions
+    double tflops = 0.0;      ///< useful FLOPs / second, whole model
+    Bytes dramBytes = 0;      ///< total off-chip traffic incl. reps
+    std::vector<LayerRecord> layers; ///< one entry per distinct layer
+};
+
+/** Abstract accelerator: what ModelRunner and the benches program
+ *  against. Implementations adapt tpusim::TpuSim and gpusim::GpuSim. */
+class Accelerator
+{
+  public:
+    virtual ~Accelerator() = default;
+
+    /** Stable backend identifier, e.g. "tpu-v2", "gpu-v100". */
+    virtual std::string name() const = 0;
+
+    /** Peak useful TFLOPS of the configured hardware. */
+    virtual double peakTflops() const = 0;
+
+    /** Simulate one (possibly grouped) convolution layer. */
+    virtual LayerRecord runLayer(const ConvParams &params,
+                                 const RunOptions &options = {}) const
+        = 0;
+
+    /** Snapshot of this backend's memo-cache counters. */
+    virtual StatGroup cacheStats() const = 0;
+};
+
+/**
+ * Factory over the stock configurations: "tpu-v2" (Table II core),
+ * "tpu-v3ish" (v2 core with a second matrix unit and faster HBM —
+ * the Fig 16b insight), "gpu-v100" (the paper's V100 + our
+ * channel-first kernel), "gpu-v100-cudnn" (vendor-tuned channel-last
+ * baseline). Fatal on unknown names so typos surface.
+ */
+std::unique_ptr<Accelerator> makeAccelerator(const std::string &name);
+
+/** The names makeAccelerator() accepts, in presentation order. */
+std::vector<std::string> knownAccelerators();
+
+} // namespace cfconv::sim
+
+#endif // CFCONV_SIM_ACCELERATOR_H

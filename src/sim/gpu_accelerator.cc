@@ -1,0 +1,56 @@
+#include "sim/gpu_accelerator.h"
+
+#include "gpusim/kernel_cache.h"
+#include "models/model_zoo.h"
+
+namespace cfconv::sim {
+
+GpuAccelerator::GpuAccelerator(std::string name,
+                               const gpusim::GpuConfig &config,
+                               const gpusim::GpuRunOptions &options)
+    : name_(std::move(name)), sim_(config), options_(options)
+{}
+
+double
+GpuAccelerator::peakTflops() const
+{
+    return sim_.config().peakTflops();
+}
+
+LayerRecord
+GpuAccelerator::runLayer(const ConvParams &params,
+                         const RunOptions &options) const
+{
+    // Grouped layers: one kernel per group slice (real stacks fuse
+    // these, but the slice count dominates the estimate). The slice
+    // geometry is computed by ConvLayerSpec::sliceParams so it is
+    // byte-identical to what GpuSim::runModel always simulated.
+    models::ConvLayerSpec spec;
+    spec.params = params;
+    spec.groups = options.groups;
+    const gpusim::GpuKernelResult r =
+        sim_.runConv(spec.sliceParams(), options_);
+    const double groups = static_cast<double>(options.groups);
+
+    LayerRecord rec;
+    rec.geometry = params.toString();
+    rec.groups = options.groups;
+    rec.seconds = r.seconds * groups;
+    rec.dramBytes = r.dramBytes * static_cast<Bytes>(options.groups);
+    rec.flops = spec.flops();
+    rec.tflops = static_cast<double>(rec.flops) / rec.seconds / 1e12;
+    rec.utilization = rec.tflops / peakTflops();
+    rec.extras["memoryBound"] = r.memoryBound ? 1.0 : 0.0;
+    rec.extras["computeSeconds"] = r.computeSeconds * groups;
+    rec.extras["memorySeconds"] = r.memorySeconds * groups;
+    rec.extras["transformSeconds"] = r.transformSeconds * groups;
+    return rec;
+}
+
+StatGroup
+GpuAccelerator::cacheStats() const
+{
+    return gpusim::KernelCache::instance().statsSnapshot();
+}
+
+} // namespace cfconv::sim

@@ -1,0 +1,71 @@
+#include "sim/model_runner.h"
+
+#include "common/parallel.h"
+
+namespace cfconv::sim {
+
+RunRecord
+ModelRunner::runModel(const models::ModelSpec &model) const
+{
+    RunRecord record;
+    record.accelerator = accelerator_.name();
+    record.model = model.name;
+    record.batch =
+        model.layers.empty() ? 0 : model.layers.front().params.batch;
+    record.peakTflops = accelerator_.peakTflops();
+
+    // Per-layer timings are independent; simulate them in parallel and
+    // reduce in layer order afterwards, so totals match the serial run
+    // bit for bit.
+    const Index n_layers = static_cast<Index>(model.layers.size());
+    record.layers.resize(model.layers.size());
+    parallel::parallelFor(0, n_layers, 1, [&](Index b, Index e) {
+        for (Index i = b; i < e; ++i) {
+            const auto &layer = model.layers[static_cast<size_t>(i)];
+            RunOptions opts;
+            opts.groups = layer.groups;
+            LayerRecord rec = accelerator_.runLayer(layer.params, opts);
+            rec.name = layer.name;
+            rec.count = layer.count;
+            record.layers[static_cast<size_t>(i)] = std::move(rec);
+        }
+    });
+
+    Flops flops = 0;
+    for (const auto &layer : record.layers) {
+        const double n = static_cast<double>(layer.count);
+        record.seconds += n * layer.seconds;
+        record.dramBytes +=
+            layer.dramBytes * static_cast<Bytes>(layer.count);
+        flops += layer.flops * static_cast<Flops>(layer.count);
+    }
+    record.tflops = record.seconds > 0.0
+        ? static_cast<double>(flops) / record.seconds / 1e12
+        : 0.0;
+    return record;
+}
+
+std::vector<RunRecord>
+ModelRunner::runModels(const std::vector<models::ModelSpec> &models) const
+{
+    std::vector<RunRecord> records;
+    records.reserve(models.size());
+    for (const auto &model : models)
+        records.push_back(runModel(model));
+    return records;
+}
+
+std::vector<RunRecord>
+runModelOnBackends(const models::ModelSpec &model,
+                   const std::vector<std::string> &accelerator_names)
+{
+    std::vector<RunRecord> records;
+    records.reserve(accelerator_names.size());
+    for (const auto &name : accelerator_names) {
+        const auto accelerator = makeAccelerator(name);
+        records.push_back(ModelRunner(*accelerator).runModel(model));
+    }
+    return records;
+}
+
+} // namespace cfconv::sim

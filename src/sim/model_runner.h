@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The shared model runner: runs every layer of a models::ModelSpec on
+ * any sim::Accelerator with the common/parallel sweep (independent
+ * per-layer timings simulated concurrently, reduced serially in layer
+ * order so totals match a serial run bit for bit), grouped-conv
+ * handling delegated to the backend adapter, and repeated shapes
+ * collapsed by the backend memo caches. Replaces the per-binary
+ * hand-rolled layer loops the benches and examples used to carry.
+ */
+
+#ifndef CFCONV_SIM_MODEL_RUNNER_H
+#define CFCONV_SIM_MODEL_RUNNER_H
+
+#include <string>
+#include <vector>
+
+#include "models/model_zoo.h"
+#include "sim/accelerator.h"
+
+namespace cfconv::sim {
+
+class ModelRunner
+{
+  public:
+    explicit ModelRunner(const Accelerator &accelerator)
+        : accelerator_(accelerator)
+    {}
+
+    /** Simulate all layers of @p model; one LayerRecord per distinct
+     *  layer, model totals accumulated over layer repetitions. */
+    RunRecord runModel(const models::ModelSpec &model) const;
+
+    /** Run several models back to back (a zoo sweep). */
+    std::vector<RunRecord>
+    runModels(const std::vector<models::ModelSpec> &models) const;
+
+    const Accelerator &accelerator() const { return accelerator_; }
+
+  private:
+    const Accelerator &accelerator_;
+};
+
+/**
+ * The cross-accelerator one-liner the unified layer exists for: run
+ * @p model on every backend in @p accelerator_names (see
+ * makeAccelerator) and return the records side by side for diffing.
+ */
+std::vector<RunRecord>
+runModelOnBackends(const models::ModelSpec &model,
+                   const std::vector<std::string> &accelerator_names);
+
+} // namespace cfconv::sim
+
+#endif // CFCONV_SIM_MODEL_RUNNER_H

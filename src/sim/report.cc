@@ -1,0 +1,74 @@
+#include "sim/report.h"
+
+#include "common/report.h"
+
+namespace cfconv::sim {
+
+namespace {
+
+void
+emitLayer(JsonWriter &w, const LayerRecord &layer)
+{
+    w.beginObject();
+    w.field("name", layer.name);
+    w.field("geometry", layer.geometry);
+    w.field("count", static_cast<long long>(layer.count));
+    w.field("groups", static_cast<long long>(layer.groups));
+    w.field("seconds", layer.seconds);
+    w.field("tflops", layer.tflops);
+    w.field("utilization", layer.utilization);
+    w.field("dram_bytes", static_cast<std::uint64_t>(layer.dramBytes));
+    w.field("flops", static_cast<std::uint64_t>(layer.flops));
+    w.key("extras");
+    w.beginObject();
+    for (const auto &[name, value] : layer.extras)
+        w.field(name, value);
+    w.endObject();
+    w.endObject();
+}
+
+void
+emitRecord(JsonWriter &w, const RunRecord &record)
+{
+    w.beginObject();
+    w.field("accelerator", record.accelerator);
+    w.field("model", record.model);
+    w.field("batch", static_cast<long long>(record.batch));
+    w.field("peak_tflops", record.peakTflops);
+    w.field("seconds", record.seconds);
+    w.field("tflops", record.tflops);
+    w.field("dram_bytes", static_cast<std::uint64_t>(record.dramBytes));
+    w.key("layers");
+    w.beginArray();
+    for (const auto &layer : record.layers)
+        emitLayer(w, layer);
+    w.endArray();
+    w.endObject();
+}
+
+} // namespace
+
+std::string
+runRecordsJson(const std::vector<RunRecord> &records)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("schema", "cfconv.run_record");
+    w.field("version", RunRecord::kSchemaVersion);
+    w.key("records");
+    w.beginArray();
+    for (const auto &record : records)
+        emitRecord(w, record);
+    w.endArray();
+    w.endObject();
+    return w.str() + "\n";
+}
+
+bool
+writeRunRecords(const std::string &path,
+                const std::vector<RunRecord> &records)
+{
+    return writeFile(path, runRecordsJson(records));
+}
+
+} // namespace cfconv::sim

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Versioned JSON emission of sim::RunRecord documents — the
+ * BENCH_gemm.json pattern generalized to whole-model runs. The
+ * document shape (validated by scripts/check_report.sh):
+ *
+ *   {
+ *     "schema": "cfconv.run_record",
+ *     "version": 1,
+ *     "records": [
+ *       {
+ *         "accelerator": "tpu-v2", "model": "ResNet", "batch": 8,
+ *         "peak_tflops": 22.9, "seconds": ..., "tflops": ...,
+ *         "dram_bytes": ...,
+ *         "layers": [
+ *           { "name": ..., "geometry": ..., "count": ..,
+ *             "groups": .., "seconds": ..., "tflops": ...,
+ *             "utilization": ..., "dram_bytes": ..., "flops": ...,
+ *             "extras": { "multiTile": 3, ... } },
+ *           ...
+ *         ]
+ *       }, ...
+ *     ]
+ *   }
+ *
+ * Non-finite metric values are emitted as null (common/report), which
+ * the validator rejects — a bench whose model run produced NaN cannot
+ * silently ship a green report.
+ */
+
+#ifndef CFCONV_SIM_REPORT_H
+#define CFCONV_SIM_REPORT_H
+
+#include <string>
+#include <vector>
+
+#include "sim/accelerator.h"
+
+namespace cfconv::sim {
+
+/** Render @p records as the versioned JSON document. */
+std::string runRecordsJson(const std::vector<RunRecord> &records);
+
+/** Write runRecordsJson() to @p path; @return false on I/O failure. */
+bool writeRunRecords(const std::string &path,
+                     const std::vector<RunRecord> &records);
+
+} // namespace cfconv::sim
+
+#endif // CFCONV_SIM_REPORT_H

@@ -1,25 +1,21 @@
 /**
  * @file
- * Process-wide memo cache for TpuSim layer results. The benches and
- * examples re-simulate identical layer shapes constantly (ResNet's
- * repeated bottleneck blocks, the Fig 13/14/15 validation grids, model
- * sweeps at a fixed config), and a layer's timing result is a pure
- * function of (ConvParams, TpuConfig, TpuRunOptions) — so each unique
- * shape is paid for once. Shared-mutex protected, safe under the
- * parallel model/sweep runners; hit/miss counters are exported through
- * the common/stats StatGroup machinery. Disable with
- * CFCONV_LAYER_CACHE=0 (results are identical either way).
+ * Process-wide memo cache for TpuSim layer results: the TPU
+ * instantiation of the generic common/memo_cache template. A layer's
+ * timing result is a pure function of (ConvParams, TpuConfig,
+ * TpuRunOptions), so each unique shape is simulated once — ResNet's
+ * repeated bottleneck blocks, the Fig 13/14/15 validation grids, and
+ * model sweeps at a fixed config all collapse onto cache hits.
+ * Disable with CFCONV_LAYER_CACHE=0 (results are identical either
+ * way). The GPU counterpart lives in gpusim/kernel_cache.
  */
 
 #ifndef CFCONV_TPUSIM_LAYER_CACHE_H
 #define CFCONV_TPUSIM_LAYER_CACHE_H
 
-#include <atomic>
-#include <shared_mutex>
 #include <string>
-#include <unordered_map>
 
-#include "common/stats.h"
+#include "common/memo_cache.h"
 #include "tensor/conv_params.h"
 #include "tpusim/tpu_config.h"
 #include "tpusim/tpu_sim.h"
@@ -40,45 +36,15 @@ std::string layerCacheKey(const TpuConfig &config,
 std::string gemmCacheKey(const TpuConfig &config, Index m, Index k,
                          Index n, DataType dtype);
 
-/** The process-wide layer-result memo cache. */
-class LayerCache
+/** The process-wide TPU layer-result memo cache ("layer_cache.hits" /
+ *  ".misses" / ".entries" in statsSnapshot()). */
+class LayerCache : public MemoCache<TpuLayerResult>
 {
   public:
     static LayerCache &instance();
 
-    bool enabled() const { return enabled_.load(); }
-    void setEnabled(bool on) { enabled_.store(on); }
-
-    /** @return true and fill @p out on a hit; count the lookup. */
-    bool lookup(const std::string &key, TpuLayerResult *out);
-
-    /** Store @p result under @p key (last writer wins; results for a
-     *  given key are identical by construction, so races are benign). */
-    void insert(const std::string &key, const TpuLayerResult &result);
-
-    /** Drop all entries and reset the counters. */
-    void clear();
-
-    std::uint64_t hits() const { return hits_.load(); }
-    std::uint64_t misses() const { return misses_.load(); }
-    std::uint64_t entries() const;
-
-    /** Hit fraction over all lookups so far (0 when none). */
-    double hitRate() const;
-
-    /** Snapshot of the counters as a common/stats StatGroup
-     *  ("layer_cache.hits" / "layer_cache.misses" /
-     *  "layer_cache.entries"). */
-    StatGroup statsSnapshot() const;
-
   private:
-    LayerCache();
-
-    mutable std::shared_mutex mutex_;
-    std::unordered_map<std::string, TpuLayerResult> entries_;
-    std::atomic<bool> enabled_{true};
-    std::atomic<std::uint64_t> hits_{0};
-    std::atomic<std::uint64_t> misses_{0};
+    LayerCache() : MemoCache<TpuLayerResult>("layer_cache") {}
 };
 
 } // namespace cfconv::tpusim

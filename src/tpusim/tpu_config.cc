@@ -21,6 +21,16 @@ TpuConfig::tpuV2()
 }
 
 TpuConfig
+TpuConfig::tpuV3ish()
+{
+    TpuConfig c = tpuV2();
+    c.mxus = 2;
+    c.clockGhz = 0.94;
+    c.dram = dram::DramConfig::hbm900();
+    return c;
+}
+
+TpuConfig
 tpuConfigFrom(const Config &config, TpuConfig base)
 {
     TpuConfig c = base;

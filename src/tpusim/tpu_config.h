@@ -61,6 +61,14 @@ struct TpuConfig
 
     /** The published TPU-v2 single-core configuration. */
     static TpuConfig tpuV2();
+
+    /**
+     * A TPU-v3-like core: the v2 array with a second matrix unit
+     * (using the port bandwidth an 8-element word leaves idle — the
+     * Fig 16b insight), a faster clock, and HBM at ~900 GB/s. "ish"
+     * because the real v3's full parameters are not public.
+     */
+    static TpuConfig tpuV3ish();
 };
 
 /**

@@ -1,0 +1,142 @@
+/** @file Tests for sim::ModelRunner: exact agreement with the raw
+ *  simulators' runModel, determinism of the parallel sweep, the
+ *  cross-backend convenience runner, and memo-cache behaviour over
+ *  whole-model runs. */
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "gpusim/gpu_sim.h"
+#include "gpusim/kernel_cache.h"
+#include "models/model_zoo.h"
+#include "sim/model_runner.h"
+#include "tpusim/layer_cache.h"
+#include "tpusim/tpu_sim.h"
+
+namespace cfconv::sim {
+namespace {
+
+TEST(ModelRunner, MatchesTpuSimRunModelBitForBit)
+{
+    const auto model = models::resnet50(8);
+    const tpusim::TpuSim raw((tpusim::TpuConfig::tpuV2()));
+    const tpusim::TpuModelResult expect = raw.runModel(model);
+
+    const auto accelerator = makeAccelerator("tpu-v2");
+    const RunRecord got = ModelRunner(*accelerator).runModel(model);
+    EXPECT_DOUBLE_EQ(got.seconds, expect.seconds);
+    ASSERT_EQ(got.layers.size(), expect.layers.size());
+    for (size_t i = 0; i < got.layers.size(); ++i) {
+        EXPECT_DOUBLE_EQ(got.layers[i].seconds,
+                         expect.layers[i].seconds)
+            << "layer " << i;
+    }
+    EXPECT_EQ(got.model, model.name);
+    EXPECT_EQ(got.batch, 8);
+    EXPECT_GT(got.tflops, 0.0);
+    EXPECT_GT(got.dramBytes, 0u);
+}
+
+TEST(ModelRunner, MatchesGpuSimRunModelBitForBit)
+{
+    const auto model = models::mobilenetv1(8); // heavily grouped
+    const gpusim::GpuSim raw((gpusim::GpuConfig::v100()));
+    const gpusim::GpuModelResult expect = raw.runModel(model);
+
+    const auto accelerator = makeAccelerator("gpu-v100");
+    const RunRecord got = ModelRunner(*accelerator).runModel(model);
+    EXPECT_DOUBLE_EQ(got.seconds, expect.seconds);
+    ASSERT_EQ(got.layers.size(), expect.layers.size());
+    for (size_t i = 0; i < got.layers.size(); ++i) {
+        EXPECT_DOUBLE_EQ(got.layers[i].seconds,
+                         expect.layers[i].seconds)
+            << "layer " << i;
+    }
+}
+
+TEST(ModelRunner, GroupedSlicingRoundTripsOnBothBackends)
+{
+    // A grouped layer must slice identically whether it goes through
+    // ModelRunner or the raw simulator: same slice geometry, same
+    // block-diagonal packing, same totals.
+    models::ModelSpec model;
+    model.name = "grouped-roundtrip";
+    models::ConvLayerSpec layer;
+    layer.name = "dw3x3";
+    layer.params = tensor::makeConv(8, 32, 14, 32, 3, 1, 1);
+    layer.count = 3;
+    layer.groups = 32;
+    model.layers.push_back(layer);
+
+    for (const std::string backend : {"tpu-v2", "gpu-v100"}) {
+        const auto accelerator = makeAccelerator(backend);
+        const RunRecord record =
+            ModelRunner(*accelerator).runModel(model);
+        ASSERT_EQ(record.layers.size(), 1u) << backend;
+        EXPECT_EQ(record.layers[0].groups, 32) << backend;
+        EXPECT_EQ(record.layers[0].count, 3) << backend;
+        // The runner's total is exactly count * the adapter's
+        // per-instance time for the same grouped layer.
+        RunOptions options;
+        options.groups = layer.groups;
+        const LayerRecord direct =
+            accelerator->runLayer(layer.params, options);
+        EXPECT_DOUBLE_EQ(record.layers[0].seconds, direct.seconds)
+            << backend;
+        EXPECT_DOUBLE_EQ(record.seconds, 3.0 * direct.seconds)
+            << backend;
+    }
+}
+
+TEST(ModelRunner, ParallelSweepIsDeterministic)
+{
+    const auto model = models::googlenet(8);
+    const auto accelerator = makeAccelerator("tpu-v2");
+    const ModelRunner runner(*accelerator);
+    const RunRecord a = runner.runModel(model);
+    const RunRecord b = runner.runModel(model);
+    EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+    EXPECT_DOUBLE_EQ(a.tflops, b.tflops);
+    EXPECT_EQ(a.dramBytes, b.dramBytes);
+}
+
+TEST(ModelRunner, RunModelOnBackendsReturnsOneRecordPerBackend)
+{
+    const auto model = models::alexnet(8);
+    const std::vector<std::string> names = {"tpu-v2", "tpu-v3ish",
+                                            "gpu-v100"};
+    const auto records = runModelOnBackends(model, names);
+    ASSERT_EQ(records.size(), names.size());
+    for (size_t i = 0; i < names.size(); ++i) {
+        EXPECT_EQ(records[i].accelerator, names[i]);
+        EXPECT_EQ(records[i].model, model.name);
+        EXPECT_GT(records[i].seconds, 0.0);
+        EXPECT_GT(records[i].peakTflops, 0.0);
+    }
+    // The faster TPU core must beat the v2 baseline end to end.
+    EXPECT_LT(records[1].seconds, records[0].seconds);
+}
+
+TEST(ModelRunner, SecondGpuModelRunIsServedFromTheCache)
+{
+    const auto model = models::resnet50(8);
+    auto &cache = gpusim::KernelCache::instance();
+    if (!cache.enabled())
+        GTEST_SKIP() << "kernel cache disabled via env";
+    cache.clear();
+
+    const auto accelerator = makeAccelerator("gpu-v100");
+    const ModelRunner runner(*accelerator);
+    const RunRecord cold = runner.runModel(model);
+    const std::uint64_t misses_after_cold = cache.misses();
+    const std::uint64_t hits_after_cold = cache.hits();
+    const RunRecord warm = runner.runModel(model);
+    // The warm sweep re-simulates nothing: every conv lookup hits.
+    EXPECT_EQ(cache.misses(), misses_after_cold);
+    EXPECT_GE(cache.hits(),
+              hits_after_cold + model.layers.size());
+    EXPECT_DOUBLE_EQ(warm.seconds, cold.seconds);
+}
+
+} // namespace
+} // namespace cfconv::sim

@@ -1,0 +1,115 @@
+/** @file Tests for the JSON report layer: the common/report writer
+ *  primitives and the versioned sim::RunRecord document emitter. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/report.h"
+#include "sim/model_runner.h"
+#include "sim/report.h"
+
+namespace cfconv::sim {
+namespace {
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+    EXPECT_EQ(jsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(JsonWriter, BuildsNestedDocumentWithCommas)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("version", 1LL);
+    w.field("name", "x\"y");
+    w.key("items");
+    w.beginArray();
+    w.value(1.5);
+    w.value(true);
+    w.valueNull();
+    w.endArray();
+    w.endObject();
+    const std::string doc = w.str();
+    EXPECT_NE(doc.find("\"version\": 1"), std::string::npos);
+    EXPECT_NE(doc.find("\"name\": \"x\\\"y\""), std::string::npos);
+    EXPECT_NE(doc.find("1.5,"), std::string::npos);
+    EXPECT_NE(doc.find("null"), std::string::npos);
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("nan", std::numeric_limits<double>::quiet_NaN());
+    w.field("inf", std::numeric_limits<double>::infinity());
+    w.endObject();
+    const std::string doc = w.str();
+    EXPECT_NE(doc.find("\"nan\": null"), std::string::npos);
+    EXPECT_NE(doc.find("\"inf\": null"), std::string::npos);
+    EXPECT_EQ(doc.find("nan,"), std::string::npos);
+}
+
+TEST(RunRecordJson, EmitsVersionedSchemaWithLayersAndExtras)
+{
+    const auto accelerator = makeAccelerator("tpu-v2");
+    const RunRecord record = ModelRunner(*accelerator)
+                                 .runModel(models::alexnet(8));
+    const std::string doc = runRecordsJson({record});
+
+    EXPECT_NE(doc.find("\"schema\": \"cfconv.run_record\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"version\": 1"), std::string::npos);
+    EXPECT_NE(doc.find("\"accelerator\": \"tpu-v2\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"model\": \"AlexNet\""), std::string::npos);
+    EXPECT_NE(doc.find("\"layers\""), std::string::npos);
+    EXPECT_NE(doc.find("\"geometry\""), std::string::npos);
+    // Backend extras ride along per layer.
+    EXPECT_NE(doc.find("\"multiTile\""), std::string::npos);
+    // A healthy record has no nulls (every metric finite).
+    EXPECT_EQ(doc.find("null"), std::string::npos);
+}
+
+TEST(RunRecordJson, NonFiniteMetricsSurfaceAsNullForValidators)
+{
+    RunRecord record;
+    record.accelerator = "tpu-v2";
+    record.model = "broken";
+    record.tflops = std::numeric_limits<double>::quiet_NaN();
+    const std::string doc = runRecordsJson({record});
+    EXPECT_NE(doc.find("\"tflops\": null"), std::string::npos);
+}
+
+TEST(RunRecordJson, WriteRunRecordsRoundTripsThroughTheFile)
+{
+    const auto accelerator = makeAccelerator("gpu-v100");
+    const RunRecord record = ModelRunner(*accelerator)
+                                 .runModel(models::zfnet(8));
+    const std::string path =
+        ::testing::TempDir() + "cfconv_report_test.json";
+    ASSERT_TRUE(writeRunRecords(path, {record}));
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(buf.str(), runRecordsJson({record}));
+    std::remove(path.c_str());
+}
+
+TEST(RunRecordJson, WriteToUnwritablePathFailsWithoutAborting)
+{
+    EXPECT_FALSE(writeRunRecords("/nonexistent-dir/x/y.json", {}));
+}
+
+} // namespace
+} // namespace cfconv::sim
