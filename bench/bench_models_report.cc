@@ -83,6 +83,7 @@ main(int argc, char **argv)
     if (sim::writeRunRecords(args.jsonPath, records))
         std::printf("wrote %s (%zu records)\n", args.jsonPath.c_str(),
                     records.size());
+    bench::printLatencyStats();
     for (const auto &accelerator : accelerators)
         bench::printCacheStats(*accelerator);
     bench::printWallClock("bench_models_report", wall);

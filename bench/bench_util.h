@@ -17,8 +17,10 @@
 #include <cstring>
 #include <string>
 
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/table.h"
+#include "common/trace.h"
 #include "sim/accelerator.h"
 #include "tensor/microkernel.h"
 
@@ -69,12 +71,17 @@ struct BenchArgs
      *  when not requested. Benches that emit a sim::RunRecord
      *  document honor it; report-less benches reject it. */
     std::string jsonPath;
+    /** Destination of the Chrome-trace file (trace=FILE), empty when
+     *  the run is untraced. The parser arms the recorder itself. */
+    std::string tracePath;
 };
 
 /**
  * Parse the uniform bench arguments — the one place bench CLI syntax
  * is defined: `threads=N` overrides the worker count (same effect as
- * CFCONV_THREADS=N) and `json=FILE` requests a structured JSON report.
+ * CFCONV_THREADS=N), `json=FILE` requests a structured JSON report,
+ * and `trace=FILE` arms the Chrome-trace recorder (same effect as
+ * CFCONV_TRACE=FILE; flushed at exit, loadable in Perfetto).
  * Pass @p supports_json = false from binaries that have no report so
  * a stray json= errors out instead of silently doing nothing. Unknown
  * arguments are rejected so typos surface.
@@ -96,10 +103,14 @@ parseBenchArgs(int argc, char **argv, bool supports_json = true)
                    std::strncmp(argv[i], "json=", 5) == 0 &&
                    argv[i][5] != '\0') {
             args.jsonPath = argv[i] + 5;
+        } else if (std::strncmp(argv[i], "trace=", 6) == 0 &&
+                   argv[i][6] != '\0') {
+            args.tracePath = argv[i] + 6;
+            trace::start(args.tracePath);
         } else {
             std::fprintf(stderr,
                          "unknown argument \"%s\" (supported: "
-                         "threads=N%s)\n",
+                         "threads=N, trace=FILE%s)\n",
                          argv[i],
                          supports_json ? ", json=FILE" : "");
             std::exit(2);
@@ -125,6 +136,25 @@ printCacheStats(const sim::Accelerator &accelerator)
         line += buf;
     }
     std::printf("%s\n", line.c_str());
+}
+
+/** Machine-parseable latency-percentile lines from the process-wide
+ *  MetricsRegistry (one STAT line per sampled distribution): the
+ *  p50/p95/p99 come from the Scalar log histograms, so the model
+ *  benches expose tail behaviour, not just totals. */
+inline void
+printLatencyStats()
+{
+    const StatGroup stats = MetricsRegistry::instance().snapshot();
+    for (const auto &[name, s] : stats.scalars()) {
+        if (s.count() == 0)
+            continue;
+        std::printf("STAT %s | n=%llu | mean=%.4g | p50=%.4g | "
+                    "p95=%.4g | p99=%.4g\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(s.count()),
+                    s.mean(), s.p50(), s.p95(), s.p99());
+    }
 }
 
 /** Machine-parseable wall-clock summary; run_all.sh greps "^WALL".

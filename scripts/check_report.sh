@@ -28,7 +28,16 @@ path = sys.argv[1]
 with open(path) as f:
     doc = json.load(f)
 assert doc.get("schema") == "cfconv.run_record", "bad schema id"
-assert doc.get("version") == 1, "bad schema version"
+version = doc.get("version")
+assert version in (1, 2), f"bad schema version {version!r}"
+if version >= 2:
+    # v2 added the document-level metrics object; the trace_file key
+    # is optional (present only on traced runs) but never null.
+    metrics = doc.get("metrics")
+    assert isinstance(metrics, dict), "v2 document without metrics"
+    assert isinstance(metrics.get("counters"), dict), "no counters"
+    assert isinstance(metrics.get("histograms"), dict), "no histograms"
+    assert doc.get("trace_file", "") is not None, "null trace_file"
 records = doc.get("records")
 assert isinstance(records, list) and records, "no records"
 for record in records:
@@ -46,7 +55,7 @@ EOF
 validate_grep() {
     local path="$1"
     grep -q '"schema": "cfconv.run_record"' "$path"
-    grep -q '"version": 1' "$path"
+    grep -Eq '"version": (1|2)' "$path"
     grep -q '"layers": \[' "$path"
     # The writer emits non-finite doubles as null; a null tflops means
     # a NaN/Inf escaped the simulators.

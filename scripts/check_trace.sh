@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Chrome-trace gate: run the model-zoo bench with the recorder armed
+# (trace=FILE) and validate the emitted trace-event document — it must
+# parse as JSON, contain spans from every instrumented subsystem
+# (model runner, both simulators, the thread pool, the memo caches),
+# carry events on both clock domains (pid 1 wall clock, pid 2
+# simulated cycles), and the v2 RunRecord written by the same run must
+# point back at the trace file. Uses python3 when available, otherwise
+# a grep-based fallback that checks the same invariants coarsely.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+if [ ! -d "$BUILD_DIR" ]; then
+    echo "build directory '$BUILD_DIR' not found; run cmake first" >&2
+    exit 1
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+trace_file="$workdir/trace.json"
+report_file="$workdir/models.json"
+
+echo "==== check_trace: bench_models_report (traced) ===="
+# threads=2 forces the thread-pool path even on single-core machines,
+# so the pool's queue-depth/worker spans show up in the trace; the
+# deterministic pool produces identical numbers at any thread count.
+"$BUILD_DIR"/bench/bench_models_report threads=2 "trace=$trace_file" \
+    "json=$report_file" >/dev/null
+
+validate_py() {
+    python3 - "$trace_file" "$report_file" <<'EOF'
+import json
+import sys
+
+trace_path, report_path = sys.argv[1], sys.argv[2]
+with open(trace_path) as f:
+    doc = json.load(f)
+events = doc.get("traceEvents")
+assert isinstance(events, list) and events, "no traceEvents"
+
+cats = {e.get("cat") for e in events}
+for expected in ("runner", "tpusim", "gpusim", "pool", "cache"):
+    assert expected in cats, f"no '{expected}' events in the trace"
+
+phases = {e.get("ph") for e in events}
+for expected in ("X", "i", "C", "M"):
+    assert expected in phases, f"no '{expected}' phase events"
+
+pids = {e.get("pid") for e in events if e.get("ph") != "M"}
+assert 1 in pids, "no wall-clock (pid 1) events"
+assert 2 in pids, "no simulated-cycles (pid 2) events"
+
+spans = [e for e in events if e.get("ph") == "X"]
+assert all(e.get("dur", 0) >= 0 for e in spans), "negative duration"
+
+with open(report_path) as f:
+    report = json.load(f)
+assert report.get("version") == 2, "traced report is not schema v2"
+assert report.get("trace_file") == trace_path, (
+    f"report trace_file {report.get('trace_file')!r} != {trace_path!r}")
+hists = report.get("metrics", {}).get("histograms", {})
+assert "runner.layer_sim_seconds" in hists, "no layer latency histogram"
+
+print(f"{trace_path}: {len(events)} events, "
+      f"{len(spans)} spans across {len(cats)} categories OK")
+EOF
+}
+
+validate_grep() {
+    grep -q '"traceEvents"' "$trace_file"
+    # Every instrumented subsystem shows up at least once.
+    for cat in runner tpusim gpusim pool cache; do
+        grep -q "\"cat\": \"$cat\"" "$trace_file"
+    done
+    # Both clock domains are present.
+    grep -q '"pid": 1' "$trace_file"
+    grep -q '"pid": 2' "$trace_file"
+    # The report points back at the trace.
+    grep -q "\"trace_file\": \"$trace_file\"" "$report_file"
+    echo "$trace_file: OK (grep fallback)"
+}
+
+if command -v python3 >/dev/null 2>&1; then
+    validate_py
+else
+    validate_grep
+fi
+
+echo "TRACE OK"

@@ -35,6 +35,9 @@ done
 echo "==== structured run reports ===="
 scripts/check_report.sh
 
+echo "==== chrome-trace recorder ===="
+scripts/check_trace.sh
+
 echo "==== examples ===="
 build/examples/quickstart
 build/examples/training_step

@@ -53,13 +53,39 @@ std::string format(const char *fmt, ...)
  */
 [[noreturn]] void panicMsg(const std::string &msg);
 
+/**
+ * Verbosity threshold for the status channels. Messages at or above
+ * the active level print; fatal/panic are exceptions, not prints, and
+ * are never filtered. Initialized from the CFCONV_LOG_LEVEL
+ * environment variable ("info", "warn", "error"/"quiet"/"silent";
+ * default Info) — set CFCONV_LOG_LEVEL=warn in benches/CI to silence
+ * inform() chatter while keeping warnings on.
+ */
+enum class LogLevel {
+    Info = 0, ///< inform() and warn() print (default)
+    Warn = 1, ///< warn() prints, inform() is silenced
+    Error = 2 ///< both status channels are silenced
+};
+
+/** The active verbosity threshold (env-initialized on first use). */
+LogLevel logLevel();
+
+/** Override the verbosity threshold (takes precedence over the env). */
+void setLogLevel(LogLevel level);
+
+/** Parse a CFCONV_LOG_LEVEL value; @return false (and leave @p out
+ *  untouched) when @p text names no known level. */
+bool parseLogLevel(const char *text, LogLevel *out);
+
 /** Print an informational status message to stderr. */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /** Print a warning about possibly-imprecise behaviour to stderr. */
 void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
-/** Globally silence inform()/warn() output (used by benches). */
+/** Globally silence inform()/warn() output (used by benches);
+ *  equivalent to raising the level to Error, kept as a separate flag
+ *  so callers can restore the previous level with setQuiet(false). */
 void setQuiet(bool quiet);
 
 /** printf-style fatal(). */

@@ -25,6 +25,7 @@
 #include <unordered_map>
 
 #include "common/stats.h"
+#include "common/trace.h"
 
 namespace cfconv {
 
@@ -83,10 +84,14 @@ class MemoCache
             if (it != entries_.end()) {
                 *out = it->second;
                 ++hits_;
+                if (trace::enabled())
+                    trace::instant("cache", statPrefix_ + ".hit");
                 return true;
             }
         }
         ++misses_;
+        if (trace::enabled())
+            trace::instant("cache", statPrefix_ + ".miss");
         return false;
     }
 

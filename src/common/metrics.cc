@@ -1,0 +1,40 @@
+#include "common/metrics.h"
+
+namespace cfconv {
+
+MetricsRegistry &
+MetricsRegistry::instance()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+void
+MetricsRegistry::add(const std::string &name, double v)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    group_.add(name, v);
+}
+
+void
+MetricsRegistry::sample(const std::string &name, double v)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    group_.sample(name, v);
+}
+
+StatGroup
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return group_;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    group_.reset();
+}
+
+} // namespace cfconv

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Process-wide metrics registry: named counters and latency
+ * distributions (common/stats Scalar histograms, so p50/p95/p99 come
+ * for free) aggregated across the whole run and exported into the v2
+ * RunRecord JSON (sim/report) and the bench STAT lines. Where the
+ * trace (common/trace) answers "what happened when", the registry
+ * answers "how were the durations distributed" — the two views a
+ * serving/batching layer needs side by side.
+ *
+ * Thread-safe via one mutex; intended for per-layer / per-task
+ * granularity (thousands of samples), not per-element hot loops.
+ */
+
+#ifndef CFCONV_COMMON_METRICS_H
+#define CFCONV_COMMON_METRICS_H
+
+#include <mutex>
+#include <string>
+
+#include "common/stats.h"
+
+namespace cfconv {
+
+class MetricsRegistry
+{
+  public:
+    static MetricsRegistry &instance();
+
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** Add @p v to the counter named @p name. */
+    void add(const std::string &name, double v);
+
+    /** Record one sample into the histogram named @p name. */
+    void sample(const std::string &name, double v);
+
+    /** Copy of everything recorded so far. */
+    StatGroup snapshot() const;
+
+    /** Drop all counters and histograms (tests, repeated sweeps). */
+    void reset();
+
+  private:
+    MetricsRegistry() = default;
+
+    mutable std::mutex mu_;
+    StatGroup group_;
+};
+
+} // namespace cfconv
+
+#endif // CFCONV_COMMON_METRICS_H

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace cfconv::parallel {
 
@@ -92,6 +93,9 @@ class ThreadPool
         job.pendingChunks.store(job.numChunks,
                                 std::memory_order_relaxed);
 
+        TRACE_SCOPE("pool", "parallelFor");
+        TRACE_COUNTER("pool", "queue_depth", job.numChunks);
+
         std::unique_lock<std::mutex> submit(submitMutex_);
         ensureStarted(lanes);
         {
@@ -102,7 +106,15 @@ class ThreadPool
         wakeWorkers_.notify_all();
 
         // The submitting thread is one of the lanes.
+        TRACE_COUNTER("pool", "active_workers",
+                      activeLanes_.fetch_add(1,
+                                             std::memory_order_relaxed) +
+                          1);
         processChunks(job);
+        TRACE_COUNTER("pool", "active_workers",
+                      activeLanes_.fetch_sub(1,
+                                             std::memory_order_relaxed) -
+                          1);
 
         // Wait until every chunk retired AND every worker detached
         // from the job, so the stack-allocated Job cannot be touched
@@ -149,8 +161,12 @@ class ThreadPool
             stopping_ = false;
         }
         workers_.reserve(want);
-        for (size_t i = 0; i < want; ++i)
-            workers_.emplace_back([this] { workerLoop(); });
+        for (size_t i = 0; i < want; ++i) {
+            workers_.emplace_back([this, i] {
+                trace::setThreadName("worker-" + std::to_string(i + 1));
+                workerLoop();
+            });
+        }
     }
 
     void
@@ -195,7 +211,15 @@ class ThreadPool
                     ++activeWorkers_;
             }
             if (job) {
+                TRACE_COUNTER("pool", "active_workers",
+                              activeLanes_.fetch_add(
+                                  1, std::memory_order_relaxed) +
+                                  1);
                 processChunks(*job);
+                TRACE_COUNTER("pool", "active_workers",
+                              activeLanes_.fetch_sub(
+                                  1, std::memory_order_relaxed) -
+                                  1);
                 std::lock_guard<std::mutex> lock(jobMutex_);
                 if (--activeWorkers_ == 0)
                     jobDone_.notify_all();
@@ -214,6 +238,14 @@ class ThreadPool
                 break;
             const Index b = job.begin + c * job.chunk;
             const Index e = std::min(job.end, b + job.chunk);
+            trace::Scope chunkSpan("pool", "chunk");
+            chunkSpan.arg("begin", static_cast<double>(b));
+            chunkSpan.arg("end", static_cast<double>(e));
+            TRACE_COUNTER(
+                "pool", "queue_depth",
+                std::max<Index>(0, job.numChunks -
+                                       job.nextChunk.load(
+                                           std::memory_order_relaxed)));
             if (!job.failed.load(std::memory_order_relaxed)) {
                 try {
                     (*job.body)(b, e);
@@ -240,6 +272,7 @@ class ThreadPool
     std::condition_variable jobDone_;
     std::vector<std::thread> workers_;
     Job *job_ = nullptr;
+    std::atomic<Index> activeLanes_{0}; ///< lanes in processChunks (trace)
     Index activeWorkers_ = 0;
     std::uint64_t generation_ = 0;
     bool stopping_ = false;

@@ -7,6 +7,30 @@
 namespace cfconv {
 
 double
+Scalar::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    const std::uint64_t target = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(p * static_cast<double>(count_))));
+    std::uint64_t cumulative = underflow_;
+    if (cumulative >= target)
+        return 0.0;
+    for (int i = 0; i < kNumBuckets; ++i) {
+        cumulative += buckets_[static_cast<std::size_t>(i)];
+        if (cumulative >= target) {
+            const double exponent =
+                kMinExp +
+                (static_cast<double>(i) + 0.5) / kBucketsPerOctave;
+            return std::exp2(exponent);
+        }
+    }
+    return max_; // unreachable unless counters drift
+}
+
+double
 meanAbsPctError(const std::vector<double> &reference,
                 const std::vector<double> &measured)
 {

@@ -8,6 +8,7 @@
 #define CFCONV_COMMON_STATS_H
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <map>
@@ -16,7 +17,15 @@
 
 namespace cfconv {
 
-/** A running scalar statistic supporting count/sum/min/max/mean. */
+/**
+ * A running scalar statistic supporting count/sum/min/max/mean plus
+ * approximate percentiles from a fixed-bucket log histogram: 8 buckets
+ * per octave over [2^-34, 2^30), so any percentile is exact to within
+ * half a bucket (2^(1/16), ~4.4% relative). Non-positive samples land
+ * in a dedicated underflow bucket reported as 0. Memory is a fixed
+ * 2 KB per Scalar — cheap enough to keep always on, so every existing
+ * sample() call site gains percentiles for free.
+ */
 class Scalar
 {
   public:
@@ -32,6 +41,15 @@ class Scalar
         sum_ += v;
         sumSq_ += v * v;
         ++count_;
+        if (v > 0.0 && std::isfinite(v)) {
+            const double pos = std::log2(v) * kBucketsPerOctave;
+            const long idx = static_cast<long>(std::floor(pos)) -
+                             kMinExp * kBucketsPerOctave;
+            buckets_[static_cast<std::size_t>(std::clamp<long>(
+                idx, 0, kNumBuckets - 1))] += 1;
+        } else {
+            ++underflow_;
+        }
     }
 
     std::uint64_t count() const { return count_; }
@@ -55,19 +73,41 @@ class Scalar
         return var > 0.0 ? std::sqrt(var) : 0.0;
     }
 
+    /**
+     * The @p p quantile (p in [0, 1]) from the log histogram: the
+     * geometric center of the bucket holding the rank-ceil(p*count)
+     * sample. 0 when empty or when the quantile falls among the
+     * non-positive samples.
+     */
+    double percentile(double p) const;
+
+    double p50() const { return percentile(0.50); }
+    double p95() const { return percentile(0.95); }
+    double p99() const { return percentile(0.99); }
+
     void
     reset()
     {
         count_ = 0;
         sum_ = sumSq_ = min_ = max_ = 0.0;
+        underflow_ = 0;
+        buckets_.fill(0);
     }
 
   private:
+    static constexpr int kBucketsPerOctave = 8;
+    static constexpr int kMinExp = -34; ///< smallest binnable octave
+    static constexpr int kMaxExp = 30;  ///< one past the largest octave
+    static constexpr int kNumBuckets =
+        (kMaxExp - kMinExp) * kBucketsPerOctave;
+
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
     double sumSq_ = 0.0;
     double min_ = 0.0;
     double max_ = 0.0;
+    std::uint64_t underflow_ = 0; ///< non-positive/non-finite samples
+    std::array<std::uint32_t, kNumBuckets> buckets_{};
 };
 
 /** A named collection of scalar stats owned by a simulator component. */
@@ -104,6 +144,12 @@ class StatGroup
     const std::map<std::string, double> &counters() const
     {
         return counters_;
+    }
+
+    /** All sampled distributions, for report/stat-line emission. */
+    const std::map<std::string, Scalar> &scalars() const
+    {
+        return scalars_;
     }
 
     void

@@ -1,9 +1,12 @@
 #include "gpusim/gpu_sim.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <string>
 
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "common/trace.h"
 #include "gpusim/kernel_cache.h"
 #include "im2col/reorder.h"
 
@@ -33,6 +36,44 @@ chooseTile(Index m, Index n, Index occupancy_target, Index &tm,
     }
 }
 
+/** Label for a conv kernel's trace rows, e.g. "cf-conv 3x3 64->128". */
+std::string
+convKernelLabel(const ConvParams &params, const GpuRunOptions &options)
+{
+    const char *alg = "cl-conv";
+    switch (options.algorithm) {
+      case GpuAlgorithm::ImplicitChannelFirst:
+        alg = options.interTileReuse ? "cf-conv+reuse" : "cf-conv";
+        break;
+      case GpuAlgorithm::ImplicitChannelLast:
+        alg = "cl-conv";
+        break;
+      case GpuAlgorithm::ExplicitIm2col:
+        alg = "im2col-conv";
+        break;
+      case GpuAlgorithm::GemmOnly:
+        alg = "gemm-conv";
+        break;
+    }
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%s %lldx%lld %lld->%lld", alg,
+                  static_cast<long long>(params.kernelH),
+                  static_cast<long long>(params.kernelW),
+                  static_cast<long long>(params.inChannels),
+                  static_cast<long long>(params.outChannels));
+    return buf;
+}
+
+std::string
+gemmKernelLabel(Index m, Index k, Index n)
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "gemm %lldx%lldx%lld",
+                  static_cast<long long>(m), static_cast<long long>(k),
+                  static_cast<long long>(n));
+    return buf;
+}
+
 } // namespace
 
 GpuSim::GpuSim(const GpuConfig &config) : config_(config)
@@ -55,9 +96,11 @@ GpuSim::gatherWaste(Bytes contiguous_run_bytes, Index stride) const
 GpuKernelResult
 GpuSim::runPipeline(Index m, Index n, const std::vector<Step> &steps,
                     Flops useful_flops, double compute_eff,
-                    double overhead_sec) const
+                    double overhead_sec, const std::string &label) const
 {
     CFCONV_FATAL_IF(steps.empty(), "GpuSim: empty pipeline");
+    trace::Scope span("gpusim",
+                      trace::enabled() ? label : std::string());
     Index tm, tn;
     chooseTile(m, n, config_.sms * config_.tbPerSm, tm, tn);
     const Index num_tbs = divCeil(m, tm) * divCeil(n, tn);
@@ -76,6 +119,19 @@ GpuSim::runPipeline(Index m, Index n, const std::vector<Step> &steps,
         config_.l2GBps * 1e9 * config_.l2Util /
         (static_cast<double>(concurrent) * config_.clockGhz * 1e9);
 
+    // One representative thread block's pipeline on the simulated-
+    // cycles clock: fills overlap the previous step's MACs, so the two
+    // phases get their own rows (they would collide on one track).
+    trace::SimTrack fill_row;
+    trace::SimTrack mac_row;
+    if (trace::enabled()) {
+        fill_row = trace::simTrack(label + " fill");
+        mac_row = trace::simTrack(label + " mac");
+    }
+    // Past this many k-steps the picture is periodic anyway.
+    constexpr size_t kMaxSteps = 512;
+    size_t emitted = 0;
+
     double tb_cycles = 0.0;
     double compute_cycles = 0.0;
     double fill_cycles = 0.0;
@@ -84,11 +140,23 @@ GpuSim::runPipeline(Index m, Index n, const std::vector<Step> &steps,
         const double c = static_cast<double>(s.macs) / per_tb_macs;
         const double f =
             static_cast<double>(s.fillBytes) / per_tb_fill_bpc;
+        if (mac_row.active() && emitted < kMaxSteps) {
+            const auto t0 = static_cast<std::uint64_t>(tb_cycles + 0.5);
+            if (c > 0.0)
+                trace::simSpan(mac_row, "mac", t0,
+                               static_cast<std::uint64_t>(c + 0.5));
+            if (f > 0.0)
+                trace::simSpan(fill_row, "smem fill", t0,
+                               static_cast<std::uint64_t>(f + 0.5));
+            ++emitted;
+        }
         tb_cycles += std::max(c, f);
         compute_cycles += c;
         fill_cycles += f;
         tb_bytes += s.fillBytes;
     }
+    span.arg("waves", waves);
+    span.arg("threadBlocks", static_cast<double>(num_tbs));
 
     GpuKernelResult r;
     const double kernel_secs =
@@ -147,7 +215,7 @@ GpuSim::runGemm(Index m, Index k, Index n, bool vendor_tuned,
         runPipeline(m, n, steps, flops,
                     vendor_tuned ? config_.cudnnComputeEff
                                  : config_.computeEff,
-                    overhead);
+                    overhead, gemmKernelLabel(m, k, n));
 
     // Global DRAM roofline: unique operand + result bytes. Skipped for
     // the idealized reference GEMM whose operands are assumed resident.
@@ -232,10 +300,13 @@ GpuSim::runConvUncached(const ConvParams &params,
     if (options.algorithm == GpuAlgorithm::ImplicitChannelFirst) {
         // Block-level channel-first kernel (Fig 12): each TB walks the
         // decomposed tiles in the chosen order, C_I depth per tile.
-        const auto sequence = im2col::orderTiles(
-            params, options.interTileReuse
-                        ? im2col::TileOrder::ReuseGreedy
-                        : im2col::TileOrder::Naive);
+        const auto sequence = [&] {
+            TRACE_SCOPE("gpusim", "orderTiles");
+            return im2col::orderTiles(
+                params, options.interTileReuse
+                            ? im2col::TileOrder::ReuseGreedy
+                            : im2col::TileOrder::Naive);
+        }();
         // NHWC gathers are contiguous over C_I; waste appears only for
         // shallow inputs. With inter-tile reuse and stride <= kernel,
         // whole pixel rows are useful across the tile sequence, so the
@@ -305,8 +376,9 @@ GpuSim::runConvUncached(const ConvParams &params,
     const double overhead = options.vendorTuned
         ? config_.cudnnKernelOverheadSec
         : config_.kernelOverheadSec;
-    GpuKernelResult r =
-        runPipeline(m, n, steps, params.flops(), eff, overhead);
+    GpuKernelResult r = runPipeline(m, n, steps, params.flops(), eff,
+                                    overhead,
+                                    convKernelLabel(params, options));
 
     // Global DRAM roofline over unique traffic.
     const Bytes unique = unique_input + params.filterBytes() +
@@ -339,6 +411,7 @@ GpuModelResult
 GpuSim::runModel(const models::ModelSpec &model,
                  const GpuRunOptions &options) const
 {
+    TRACE_SCOPE_DYN("gpusim", "runModel " + model.name);
     GpuModelResult result;
     result.model = model.name;
     // Layer kernels are independent; simulate in parallel, reduce in

@@ -107,7 +107,8 @@ class GpuSim
     GpuKernelResult runPipeline(Index m, Index n,
                                 const std::vector<Step> &steps,
                                 Flops useful_flops, double compute_eff,
-                                double overhead_sec) const;
+                                double overhead_sec,
+                                const std::string &label) const;
 
     /** DRAM-transaction waste factor for a strided gather. */
     double gatherWaste(Bytes contiguous_run_bytes, Index stride) const;

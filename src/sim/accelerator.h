@@ -67,8 +67,11 @@ struct LayerRecord
 /** Unified result of one model run on one backend. */
 struct RunRecord
 {
-    /** Version of the RunRecord JSON schema (sim/report). */
-    static constexpr long long kSchemaVersion = 1;
+    /** Version of the RunRecord JSON schema (sim/report). v2 added the
+     *  document-level "metrics" object (registry counters + latency
+     *  histograms with percentiles) and the optional "trace_file"
+     *  pointer to the Chrome-trace file the run wrote. */
+    static constexpr long long kSchemaVersion = 2;
 
     std::string accelerator;  ///< backend name, e.g. "tpu-v2"
     std::string model;        ///< model name, e.g. "ResNet"

@@ -1,5 +1,6 @@
 #include "sim/gpu_accelerator.h"
 
+#include "gpusim/energy.h"
 #include "gpusim/kernel_cache.h"
 #include "models/model_zoo.h"
 
@@ -44,6 +45,11 @@ GpuAccelerator::runLayer(const ConvParams &params,
     rec.extras["computeSeconds"] = r.computeSeconds * groups;
     rec.extras["memorySeconds"] = r.memorySeconds * groups;
     rec.extras["transformSeconds"] = r.transformSeconds * groups;
+    // pJ/MAC is a per-MAC ratio, so the single-slice kernel result is
+    // the grouped layer's figure too (both energy and MACs scale by
+    // the group count).
+    rec.extras["pjPerMac"] =
+        gpusim::kernelEnergy(sim_.config(), r).pjPerMac;
     return rec;
 }
 

@@ -1,12 +1,14 @@
 #include "sim/model_runner.h"
 
 #include "common/parallel.h"
+#include "sim/trace_hooks.h"
 
 namespace cfconv::sim {
 
 RunRecord
 ModelRunner::runModel(const models::ModelSpec &model) const
 {
+    ModelSpan model_span(accelerator_.name(), model.name);
     RunRecord record;
     record.accelerator = accelerator_.name();
     record.model = model.name;
@@ -24,9 +26,11 @@ ModelRunner::runModel(const models::ModelSpec &model) const
             const auto &layer = model.layers[static_cast<size_t>(i)];
             RunOptions opts;
             opts.groups = layer.groups;
+            LayerSpan span(record.accelerator, layer.name);
             LayerRecord rec = accelerator_.runLayer(layer.params, opts);
             rec.name = layer.name;
             rec.count = layer.count;
+            span.finish(rec);
             record.layers[static_cast<size_t>(i)] = std::move(rec);
         }
     });
@@ -42,6 +46,7 @@ ModelRunner::runModel(const models::ModelSpec &model) const
     record.tflops = record.seconds > 0.0
         ? static_cast<double>(flops) / record.seconds / 1e12
         : 0.0;
+    model_span.finish(record);
     return record;
 }
 

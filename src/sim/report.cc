@@ -1,6 +1,8 @@
 #include "sim/report.h"
 
+#include "common/metrics.h"
 #include "common/report.h"
+#include "common/trace.h"
 
 namespace cfconv::sim {
 
@@ -46,15 +48,56 @@ emitRecord(JsonWriter &w, const RunRecord &record)
     w.endObject();
 }
 
+void
+emitMeta(JsonWriter &w, const ReportMeta &meta)
+{
+    if (!meta.traceFile.empty())
+        w.field("trace_file", meta.traceFile);
+    w.key("metrics");
+    w.beginObject();
+    w.key("counters");
+    w.beginObject();
+    for (const auto &[name, value] : meta.metrics.counters())
+        w.field(name, value);
+    w.endObject();
+    w.key("histograms");
+    w.beginObject();
+    for (const auto &[name, s] : meta.metrics.scalars()) {
+        w.key(name);
+        w.beginObject();
+        w.field("count", static_cast<std::uint64_t>(s.count()));
+        w.field("mean", s.mean());
+        w.field("min", s.min());
+        w.field("max", s.max());
+        w.field("p50", s.p50());
+        w.field("p95", s.p95());
+        w.field("p99", s.p99());
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+}
+
 } // namespace
 
+ReportMeta
+currentReportMeta()
+{
+    ReportMeta meta;
+    meta.traceFile = trace::outputPath();
+    meta.metrics = MetricsRegistry::instance().snapshot();
+    return meta;
+}
+
 std::string
-runRecordsJson(const std::vector<RunRecord> &records)
+runRecordsJson(const std::vector<RunRecord> &records,
+               const ReportMeta &meta)
 {
     JsonWriter w;
     w.beginObject();
     w.field("schema", "cfconv.run_record");
     w.field("version", RunRecord::kSchemaVersion);
+    emitMeta(w, meta);
     w.key("records");
     w.beginArray();
     for (const auto &record : records)
@@ -64,11 +107,25 @@ runRecordsJson(const std::vector<RunRecord> &records)
     return w.str() + "\n";
 }
 
+std::string
+runRecordsJson(const std::vector<RunRecord> &records)
+{
+    return runRecordsJson(records, currentReportMeta());
+}
+
+bool
+writeRunRecords(const std::string &path,
+                const std::vector<RunRecord> &records,
+                const ReportMeta &meta)
+{
+    return writeFile(path, runRecordsJson(records, meta));
+}
+
 bool
 writeRunRecords(const std::string &path,
                 const std::vector<RunRecord> &records)
 {
-    return writeFile(path, runRecordsJson(records));
+    return writeFile(path, runRecordsJson(records, currentReportMeta()));
 }
 
 } // namespace cfconv::sim

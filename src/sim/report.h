@@ -6,7 +6,16 @@
  *
  *   {
  *     "schema": "cfconv.run_record",
- *     "version": 1,
+ *     "version": 2,
+ *     "trace_file": "trace.json",        // only when the run traced
+ *     "metrics": {
+ *       "counters": { "runner.layers": 53, ... },
+ *       "histograms": {
+ *         "runner.layer_sim_seconds": { "count": .., "mean": ...,
+ *           "min": ..., "max": ..., "p50": ..., "p95": ...,
+ *           "p99": ... }, ...
+ *       }
+ *     },
  *     "records": [
  *       {
  *         "accelerator": "tpu-v2", "model": "ResNet", "batch": 8,
@@ -38,12 +47,33 @@
 
 namespace cfconv::sim {
 
-/** Render @p records as the versioned JSON document. */
+/** Document-level metadata of the v2 schema. */
+struct ReportMeta
+{
+    /** Chrome-trace file this run wrote; empty = untraced (the
+     *  "trace_file" key is omitted, keeping healthy documents
+     *  null-free for the validators). */
+    std::string traceFile;
+    /** Metrics snapshot: counters and sampled distributions. */
+    StatGroup metrics;
+};
+
+/** Meta describing the live process: the MetricsRegistry snapshot
+ *  plus the armed trace path. What the benches pass. */
+ReportMeta currentReportMeta();
+
+/** Render @p records as the versioned JSON document. The two-argument
+ *  form stamps currentReportMeta(). */
 std::string runRecordsJson(const std::vector<RunRecord> &records);
+std::string runRecordsJson(const std::vector<RunRecord> &records,
+                           const ReportMeta &meta);
 
 /** Write runRecordsJson() to @p path; @return false on I/O failure. */
 bool writeRunRecords(const std::string &path,
                      const std::vector<RunRecord> &records);
+bool writeRunRecords(const std::string &path,
+                     const std::vector<RunRecord> &records,
+                     const ReportMeta &meta);
 
 } // namespace cfconv::sim
 

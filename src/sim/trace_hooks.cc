@@ -1,0 +1,52 @@
+#include "sim/trace_hooks.h"
+
+#include "common/metrics.h"
+
+namespace cfconv::sim {
+
+LayerSpan::LayerSpan(const std::string &accelerator,
+                     const std::string &layer_name)
+    : scope_("runner",
+             trace::enabled()
+                 ? accelerator + " layer " +
+                       (layer_name.empty() ? "<ad hoc>" : layer_name)
+                 : std::string()),
+      startUs_(trace::nowUs())
+{}
+
+void
+LayerSpan::finish(const LayerRecord &record)
+{
+    scope_.arg("seconds", record.seconds);
+    scope_.arg("tflops", record.tflops);
+    scope_.arg("utilization", record.utilization);
+    auto &metrics = MetricsRegistry::instance();
+    metrics.add("runner.layers", 1.0);
+    metrics.sample("runner.layer_sim_seconds", record.seconds);
+    metrics.sample("runner.layer_tflops", record.tflops);
+    metrics.sample("runner.layer_wall_seconds",
+                   (trace::nowUs() - startUs_) * 1e-6);
+}
+
+ModelSpan::ModelSpan(const std::string &accelerator,
+                     const std::string &model)
+    : scope_("runner",
+             trace::enabled() ? "runModel " + model + " on " + accelerator
+                              : std::string()),
+      startUs_(trace::nowUs())
+{}
+
+void
+ModelSpan::finish(const RunRecord &record)
+{
+    scope_.arg("seconds", record.seconds);
+    scope_.arg("tflops", record.tflops);
+    scope_.arg("layers", static_cast<double>(record.layers.size()));
+    auto &metrics = MetricsRegistry::instance();
+    metrics.add("runner.models", 1.0);
+    metrics.sample("runner.model_sim_seconds", record.seconds);
+    metrics.sample("runner.model_wall_seconds",
+                   (trace::nowUs() - startUs_) * 1e-6);
+}
+
+} // namespace cfconv::sim

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Sim-layer observability hooks: RAII helpers that tie one ModelRunner
+ * invocation (and each layer inside it) to a wall-clock trace span and
+ * to the process-wide MetricsRegistry. The backend simulators emit
+ * their own spans on the simulated-cycles clock (tpusim, gpusim);
+ * these hooks add the host-side view — where the runner actually
+ * spends real time — plus the latency histograms the v2 RunRecord
+ * schema exports. Metrics are recorded whether or not tracing is
+ * armed, so reports carry percentiles even in untraced runs.
+ */
+
+#ifndef CFCONV_SIM_TRACE_HOOKS_H
+#define CFCONV_SIM_TRACE_HOOKS_H
+
+#include <string>
+
+#include "common/trace.h"
+#include "sim/accelerator.h"
+
+namespace cfconv::sim {
+
+/**
+ * Wall-clock span + metrics for simulating one layer. Construct
+ * before Accelerator::runLayer, call finish() with the result; the
+ * span is emitted at destruction. Safe on pool worker threads (the
+ * registry is mutex-protected, the span buffers per thread).
+ */
+class LayerSpan
+{
+  public:
+    LayerSpan(const std::string &accelerator,
+              const std::string &layer_name);
+    ~LayerSpan() = default;
+
+    LayerSpan(const LayerSpan &) = delete;
+    LayerSpan &operator=(const LayerSpan &) = delete;
+
+    /** Attach the layer result to the span and meter it. */
+    void finish(const LayerRecord &record);
+
+  private:
+    trace::Scope scope_;
+    double startUs_;
+};
+
+/** Wall-clock span + metrics for one whole model run. */
+class ModelSpan
+{
+  public:
+    ModelSpan(const std::string &accelerator, const std::string &model);
+    ~ModelSpan() = default;
+
+    ModelSpan(const ModelSpan &) = delete;
+    ModelSpan &operator=(const ModelSpan &) = delete;
+
+    /** Attach the run result to the span and meter it. */
+    void finish(const RunRecord &record);
+
+  private:
+    trace::Scope scope_;
+    double startUs_;
+};
+
+} // namespace cfconv::sim
+
+#endif // CFCONV_SIM_TRACE_HOOKS_H

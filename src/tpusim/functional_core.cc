@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/logging.h"
+#include "common/trace.h"
 #include "tensor/im2col_explicit.h"
 #include "tensor/microkernel.h"
 
@@ -44,6 +45,23 @@ FunctionalTpuCore::runConv(const ConvParams &params, const Tensor &input,
         Tensor(1, 1, 1, 1), false, 0, 0, 0};
 
     systolic::SystolicArray array(arrayRows_, arrayCols_);
+
+    // One simulated-cycles row for the array passes (serializer feeds)
+    // and one for the de-serializer writebacks: the two phases overlap,
+    // so they would collide on a single track. Tile-group rounds are
+    // laid out back to back.
+    TRACE_SCOPE_DYN("tpusim",
+                    "functional conv " +
+                        std::to_string(params.inChannels) + "->" +
+                        std::to_string(params.outChannels));
+    trace::SimTrack array_row;
+    trace::SimTrack deser_row;
+    if (trace::enabled()) {
+        array_row = trace::simTrack("functional array");
+        deser_row = trace::simTrack("functional de-serializer");
+    }
+    Cycles round_start = 0;
+    double round = 0.0;
 
     for (const auto &group : plan.groups) {
         const Matrix a = im2col::groupOperand(params, input, group);
@@ -102,13 +120,15 @@ FunctionalTpuCore::runConv(const ConvParams &params, const Tensor &input,
         };
 
         const Matrix out = array.runWithProvider(provider, m_dim);
-        result.cycles += array.lastRunCycles();
+        const Cycles group_cycles = array.lastRunCycles();
+        result.cycles += group_cycles;
 
         // De-serializer: output column j (of array column j) produces
         // C[m][j] at cycle m + j + k_dim - 1; after w results a word
         // write is due. Schedule each write at the first port-free cycle
         // at or after it becomes ready. Column j's results are stored in
         // vector memory j % arrayRows_ above the IFMap region.
+        Cycles deser_last = 0;
         for (Index j = 0; j < b.cols(); ++j) {
             const Index target = j % arrayRows_;
             auto &busy_set = busy[static_cast<size_t>(target)];
@@ -120,6 +140,7 @@ FunctionalTpuCore::runConv(const ConvParams &params, const Tensor &input,
                 while (busy_set.count(ready))
                     ++ready;
                 busy_set.insert(ready);
+                deser_last = std::max(deser_last, ready);
 
                 std::vector<float> data(static_cast<size_t>(w), 0.0f);
                 for (Index e = 0; e < w; ++e) {
@@ -134,11 +155,27 @@ FunctionalTpuCore::runConv(const ConvParams &params, const Tensor &input,
             }
         }
 
+        bool group_conflict = false;
         for (const auto &vm : vmems) {
-            result.portConflict |= vm.hadPortConflict();
+            group_conflict |= vm.hadPortConflict();
             result.vecMemReads += vm.readCount();
             result.vecMemWrites += vm.writeCount();
         }
+        result.portConflict |= group_conflict;
+
+        if (array_row.active()) {
+            trace::simSpan(array_row, "array pass", round_start,
+                           group_cycles,
+                           {{"round", round},
+                            {"k", static_cast<double>(k_dim)}});
+            trace::simSpan(deser_row, "de-serialize", round_start,
+                           deser_last);
+            if (group_conflict)
+                trace::simInstant(deser_row, "port conflict",
+                                  round_start + deser_last);
+        }
+        round_start += std::max(group_cycles, deser_last);
+        round += 1.0;
 
         // Partial-sum accumulation across tile groups: one add per
         // element either way, so the vectorized form is bit-exact.

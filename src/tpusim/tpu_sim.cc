@@ -1,9 +1,12 @@
 #include "tpusim/tpu_sim.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <string>
 
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "common/trace.h"
 #include "dram/access_pattern.h"
 #include "systolic/systolic_timing.h"
 #include "tensor/space_to_depth.h"
@@ -26,6 +29,64 @@ layoutEfficiency(tensor::Layout layout)
         return 0.45; // short scattered bursts (Fig 7, CHW side)
     }
     return 0.5;
+}
+
+/** Label for a layer's rows on the simulated-cycles clock. */
+std::string
+convTraceLabel(const ConvParams &params)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "conv %lldx%lld %lld->%lld M=%lld",
+                  static_cast<long long>(params.kernelH),
+                  static_cast<long long>(params.kernelW),
+                  static_cast<long long>(params.inChannels),
+                  static_cast<long long>(params.outChannels),
+                  static_cast<long long>(params.gemmM()));
+    return buf;
+}
+
+std::string
+gemmTraceLabel(Index m, Index k, Index n)
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "gemm %lldx%lldx%lld",
+                  static_cast<long long>(m), static_cast<long long>(k),
+                  static_cast<long long>(n));
+    return buf;
+}
+
+/**
+ * Re-play a captured unit schedule onto the simulated-cycles clock.
+ * Mirrors scheduleUnits' double buffering: fill 0 is fully exposed,
+ * fill i+1 overlaps compute i, and time advances by
+ * max(compute_i, fill_{i+1}). Two rows per timeline because the
+ * overlapped phases would collide on a single track.
+ */
+void
+emitSimTimeline(const std::string &label, const TpuConfig &config,
+                const TpuLayerResult &r)
+{
+    if (!trace::enabled() || r.trace.empty())
+        return;
+    // Keep giant layers viewable: past this many units the picture is
+    // periodic anyway.
+    constexpr size_t kMaxUnits = 512;
+    trace::SimTrack fill_row = trace::simTrack(label + " fill");
+    trace::SimTrack compute_row = trace::simTrack(label + " compute");
+    std::uint64_t t = config.invokeOverheadCycles;
+    trace::simSpan(fill_row, "fill", t, r.trace.front().fill);
+    t += r.trace.front().fill;
+    const size_t n = std::min(r.trace.size(), kMaxUnits);
+    for (size_t i = 0; i < n; ++i) {
+        const Cycles c = r.trace[i].compute;
+        const Cycles f =
+            i + 1 < r.trace.size() ? r.trace[i + 1].fill : 0;
+        trace::simSpan(compute_row, "compute", t, c,
+                       {{"unit", static_cast<double>(i)}});
+        if (f > 0)
+            trace::simSpan(fill_row, "fill", t, f);
+        t += std::max(c, f);
+    }
 }
 
 } // namespace
@@ -124,6 +185,13 @@ TpuSim::runConv(const ConvParams &params,
 {
     params.validate();
 
+    // Timeline emission needs the captured unit schedule; forcing the
+    // flag while tracing is benign because captureTrace is part of the
+    // memo key, so traced and untraced runs use distinct entries.
+    TpuRunOptions opts = options;
+    if (trace::enabled())
+        opts.captureTrace = true;
+
     // A layer result is a pure function of (params, options, config);
     // memoize it so repeated shapes (model blocks, sweep grids) are
     // simulated once. Concurrent misses on the same key may compute
@@ -132,12 +200,15 @@ TpuSim::runConv(const ConvParams &params,
     std::string key;
     TpuLayerResult cached;
     if (cache.enabled()) {
-        key = layerCacheKey(config_, params, options);
+        key = layerCacheKey(config_, params, opts);
         if (cache.lookup(key, &cached))
             return cached;
     }
 
-    TpuLayerResult r = runConvUncached(params, options);
+    TRACE_SCOPE_DYN("tpusim", convTraceLabel(params));
+    TpuLayerResult r = runConvUncached(params, opts);
+    if (trace::enabled())
+        emitSimTimeline(convTraceLabel(params), config_, r);
     if (cache.enabled())
         cache.insert(key, r);
     return r;
@@ -457,6 +528,7 @@ TpuSim::runGemm(Index m, Index k, Index n, DataType dtype) const
         if (cache.lookup(key, &cached))
             return cached;
     }
+    TRACE_SCOPE_DYN("tpusim", gemmTraceLabel(m, k, n));
     const Index rows = config_.array.rows;
     const Index cols = config_.array.cols;
     const Bytes elem = dataTypeSize(dtype);
@@ -490,7 +562,9 @@ TpuSim::runGemm(Index m, Index k, Index n, DataType dtype) const
 
     const Flops flops = 2ULL * static_cast<Flops>(m) *
                         static_cast<Flops>(k) * static_cast<Flops>(n);
-    TpuLayerResult r = scheduleUnits(units, flops);
+    TpuLayerResult r = scheduleUnits(units, flops, trace::enabled());
+    if (trace::enabled())
+        emitSimTimeline(gemmTraceLabel(m, k, n), config_, r);
     r.dramBytes = (static_cast<Bytes>(m) * static_cast<Bytes>(k) +
                    static_cast<Bytes>(k) * static_cast<Bytes>(n) +
                    static_cast<Bytes>(m) * static_cast<Bytes>(n)) *
@@ -529,6 +603,7 @@ TpuModelResult
 TpuSim::runModel(const models::ModelSpec &model,
                  const TpuRunOptions &options) const
 {
+    TRACE_SCOPE_DYN("tpusim", "runModel " + model.name);
     TpuModelResult result;
     result.model = model.name;
     // Per-layer timings are independent; simulate them in parallel and

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/stats.h"
 
 namespace cfconv {
@@ -82,6 +83,84 @@ TEST(GeoMean, ComputesExpectedValue)
 TEST(GeoMean, RejectsNonPositive)
 {
     EXPECT_THROW(geoMean({1.0, -2.0}), FatalError);
+}
+
+// The log histogram quantizes to 8 buckets per octave, so any
+// percentile is exact to within one bucket width (2^(1/8), ~9%); the
+// geometric-center estimate is half that (~4.4%).
+constexpr double kHistRelTol = 0.05;
+
+TEST(ScalarPercentiles, UniformRampHitsExpectedQuantiles)
+{
+    Scalar s;
+    for (int i = 1; i <= 1000; ++i)
+        s.sample(static_cast<double>(i));
+    EXPECT_NEAR(s.p50(), 500.0, 500.0 * kHistRelTol);
+    EXPECT_NEAR(s.p95(), 950.0, 950.0 * kHistRelTol);
+    EXPECT_NEAR(s.p99(), 990.0, 990.0 * kHistRelTol);
+}
+
+TEST(ScalarPercentiles, TinyLatenciesStayAccurate)
+{
+    // Microsecond-scale latencies in seconds — well inside the
+    // histogram's [2^-34, 2^30) range.
+    Scalar s;
+    for (int i = 0; i < 100; ++i)
+        s.sample(1e-6);
+    for (int i = 0; i < 100; ++i)
+        s.sample(1e-3);
+    EXPECT_NEAR(s.p50(), 1e-6, 1e-6 * kHistRelTol);
+    EXPECT_NEAR(s.p99(), 1e-3, 1e-3 * kHistRelTol);
+}
+
+TEST(ScalarPercentiles, EmptyAndNonPositiveReportZero)
+{
+    Scalar s;
+    EXPECT_DOUBLE_EQ(s.p50(), 0.0);
+    s.sample(0.0);
+    s.sample(-3.0);
+    // Both samples land in the underflow bucket, reported as 0.
+    EXPECT_DOUBLE_EQ(s.p50(), 0.0);
+    EXPECT_DOUBLE_EQ(s.p99(), 0.0);
+}
+
+TEST(ScalarPercentiles, MixedSignQuantilesSplitAtUnderflow)
+{
+    Scalar s;
+    for (int i = 0; i < 90; ++i)
+        s.sample(-1.0); // underflow
+    for (int i = 0; i < 10; ++i)
+        s.sample(64.0);
+    EXPECT_DOUBLE_EQ(s.p50(), 0.0); // still among the underflow mass
+    EXPECT_NEAR(s.p99(), 64.0, 64.0 * kHistRelTol);
+}
+
+TEST(ScalarPercentiles, ResetClearsHistogram)
+{
+    Scalar s;
+    s.sample(100.0);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.p99(), 0.0);
+    s.sample(2.0);
+    EXPECT_NEAR(s.p50(), 2.0, 2.0 * kHistRelTol);
+}
+
+TEST(MetricsRegistry, AccumulatesAcrossCallsAndResets)
+{
+    MetricsRegistry &m = MetricsRegistry::instance();
+    m.reset();
+    m.add("test.counter", 2.0);
+    m.add("test.counter", 3.0);
+    for (int i = 1; i <= 100; ++i)
+        m.sample("test.latency", static_cast<double>(i));
+    const StatGroup snap = m.snapshot();
+    EXPECT_DOUBLE_EQ(snap.counter("test.counter"), 5.0);
+    const Scalar &s = snap.scalars().at("test.latency");
+    EXPECT_EQ(s.count(), 100u);
+    EXPECT_NEAR(s.p50(), 50.0, 50.0 * kHistRelTol);
+    m.reset();
+    EXPECT_TRUE(m.snapshot().counters().empty());
+    EXPECT_TRUE(m.snapshot().scalars().empty());
 }
 
 } // namespace

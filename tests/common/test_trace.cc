@@ -1,0 +1,336 @@
+/** @file Unit tests for the Chrome-trace recorder: document validity,
+ *  balanced nesting under concurrent writers, and the disabled-mode
+ *  zero-event guarantee. */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/trace.h"
+
+namespace cfconv::trace {
+namespace {
+
+/**
+ * Minimal recursive-descent JSON syntax checker — enough to assert the
+ * emitted document parses (chrome://tracing uses a full parser; any
+ * comma/quote slip the hand-built writer makes fails here too).
+ */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : text_(text) {}
+
+    bool
+    valid()
+    {
+        pos_ = 0;
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return pos_ == text_.size();
+    }
+
+  private:
+    bool
+    value()
+    {
+        if (pos_ >= text_.size())
+            return false;
+        switch (text_[pos_]) {
+          case '{':
+            return object();
+          case '[':
+            return array();
+          case '"':
+            return string();
+          case 't':
+            return literal("true");
+          case 'f':
+            return literal("false");
+          case 'n':
+            return literal("null");
+          default:
+            return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return false;
+            ++pos_;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos_; // '['
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        if (peek() != '"')
+            return false;
+        ++pos_;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\')
+                ++pos_; // skip the escaped character
+            ++pos_;
+        }
+        if (pos_ >= text_.size())
+            return false;
+        ++pos_; // closing quote
+        return true;
+    }
+
+    bool
+    number()
+    {
+        const size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        return pos_ > start;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const size_t len = std::char_traits<char>::length(word);
+        if (text_.compare(pos_, len, word) != 0)
+            return false;
+        pos_ += len;
+        return true;
+    }
+
+    char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+                text_[pos_] == '\t' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+size_t
+countOccurrences(const std::string &doc, const std::string &needle)
+{
+    size_t count = 0;
+    for (size_t at = doc.find(needle); at != std::string::npos;
+         at = doc.find(needle, at + needle.size())) {
+        ++count;
+    }
+    return count;
+}
+
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { resetForTest(); }
+    void TearDown() override { resetForTest(); }
+};
+
+TEST_F(TraceTest, DisabledModeRecordsNothing)
+{
+    ASSERT_FALSE(enabled());
+    {
+        TRACE_SCOPE("test", "should-vanish");
+        TRACE_INSTANT("test", "tick");
+        TRACE_COUNTER("test", "depth", 3);
+        Scope s("test", "manual");
+        EXPECT_FALSE(s.active());
+    }
+    instant("test", "direct-call");
+    counter("test", "direct", 1.0);
+    simSpan(simTrack("row"), "span", 0, 10);
+    EXPECT_EQ(bufferedEventCountForTest(), 0u);
+}
+
+TEST_F(TraceTest, WritesValidChromeTraceJson)
+{
+    const std::string path =
+        ::testing::TempDir() + "cfconv_trace_basic.json";
+    start(path);
+    ASSERT_TRUE(enabled());
+    {
+        TRACE_SCOPE("test", "outer");
+        TRACE_SCOPE_DYN("test", std::string("dyn-") + "name");
+        TRACE_INSTANT("test", "tick");
+        TRACE_COUNTER("test", "depth", 2);
+    }
+    const SimTrack row = simTrack("sim row");
+    EXPECT_TRUE(row.active());
+    simSpan(row, "fill", 0, 128, {{"unit", 0.0}});
+    simInstant(row, "hit", 64);
+    EXPECT_GT(bufferedEventCountForTest(), 0u);
+    ASSERT_TRUE(stop());
+    EXPECT_FALSE(enabled());
+
+    const std::string doc = slurp(path);
+    EXPECT_TRUE(JsonChecker(doc).valid()) << doc;
+    EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+    // Both clock domains announce themselves.
+    EXPECT_NE(doc.find("wall clock"), std::string::npos);
+    EXPECT_NE(doc.find("simulated cycles"), std::string::npos);
+    // The recorded events survive the round trip.
+    EXPECT_NE(doc.find("\"outer\""), std::string::npos);
+    EXPECT_NE(doc.find("\"dyn-name\""), std::string::npos);
+    EXPECT_NE(doc.find("\"tick\""), std::string::npos);
+    EXPECT_NE(doc.find("\"fill\""), std::string::npos);
+    EXPECT_NE(doc.find("\"sim row\""), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, BalancedNestingUnderConcurrentThreads)
+{
+    const std::string path =
+        ::testing::TempDir() + "cfconv_trace_threads.json";
+    start(path);
+    constexpr int kThreads = 8;
+    constexpr int kIters = 25;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([t] {
+            setThreadName("tester-" + std::to_string(t));
+            for (int i = 0; i < kIters; ++i) {
+                TRACE_SCOPE("test", "outer");
+                TRACE_SCOPE("test", "inner");
+                TRACE_COUNTER("test", "iter", i);
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    ASSERT_TRUE(stop());
+
+    const std::string doc = slurp(path);
+    ASSERT_TRUE(JsonChecker(doc).valid());
+    // Every scope on every thread produced exactly one complete event;
+    // none were lost to racing buffers.
+    EXPECT_EQ(countOccurrences(doc, "\"outer\""),
+              static_cast<size_t>(kThreads * kIters));
+    EXPECT_EQ(countOccurrences(doc, "\"inner\""),
+              static_cast<size_t>(kThreads * kIters));
+    EXPECT_EQ(countOccurrences(doc, "\"tester-"),
+              static_cast<size_t>(kThreads));
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, StopIsIdempotentAndRestartDropsOldEvents)
+{
+    const std::string path =
+        ::testing::TempDir() + "cfconv_trace_restart.json";
+    start(path);
+    instant("test", "from-first-run");
+    ASSERT_TRUE(stop());
+    EXPECT_TRUE(stop()); // disarmed no-op; nothing rewritten
+
+    start(path);
+    instant("test", "from-second-run");
+    ASSERT_TRUE(stop());
+    const std::string doc = slurp(path);
+    ASSERT_TRUE(JsonChecker(doc).valid());
+    EXPECT_EQ(doc.find("from-first-run"), std::string::npos);
+    EXPECT_NE(doc.find("from-second-run"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, CounterAndInstantCarryChromePhases)
+{
+    const std::string path =
+        ::testing::TempDir() + "cfconv_trace_phases.json";
+    start(path);
+    counter("test", "queue_depth", 5.0);
+    instant("test", "hit");
+    {
+        TRACE_SCOPE("test", "span");
+    }
+    ASSERT_TRUE(stop());
+    const std::string doc = slurp(path);
+    ASSERT_TRUE(JsonChecker(doc).valid());
+    EXPECT_NE(doc.find("\"ph\": \"C\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\": \"i\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\": \"X\""), std::string::npos);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace cfconv::trace

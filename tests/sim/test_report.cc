@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "common/report.h"
+#include "common/trace.h"
 #include "sim/model_runner.h"
 #include "sim/report.h"
 
@@ -67,7 +68,7 @@ TEST(RunRecordJson, EmitsVersionedSchemaWithLayersAndExtras)
 
     EXPECT_NE(doc.find("\"schema\": \"cfconv.run_record\""),
               std::string::npos);
-    EXPECT_NE(doc.find("\"version\": 1"), std::string::npos);
+    EXPECT_NE(doc.find("\"version\": 2"), std::string::npos);
     EXPECT_NE(doc.find("\"accelerator\": \"tpu-v2\""),
               std::string::npos);
     EXPECT_NE(doc.find("\"model\": \"AlexNet\""), std::string::npos);
@@ -75,8 +76,28 @@ TEST(RunRecordJson, EmitsVersionedSchemaWithLayersAndExtras)
     EXPECT_NE(doc.find("\"geometry\""), std::string::npos);
     // Backend extras ride along per layer.
     EXPECT_NE(doc.find("\"multiTile\""), std::string::npos);
+    // v2: the document-level metrics object, with percentile
+    // histograms fed by the model run above.
+    EXPECT_NE(doc.find("\"metrics\""), std::string::npos);
+    EXPECT_NE(doc.find("\"counters\""), std::string::npos);
+    EXPECT_NE(doc.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(doc.find("\"p99\""), std::string::npos);
+    // Untraced run: the trace_file key is omitted, not null.
+    EXPECT_EQ(doc.find("\"trace_file\""), std::string::npos);
     // A healthy record has no nulls (every metric finite).
     EXPECT_EQ(doc.find("null"), std::string::npos);
+}
+
+TEST(RunRecordJson, TracedRunReferencesItsTraceFile)
+{
+    const std::string trace_path =
+        ::testing::TempDir() + "cfconv_report_trace.json";
+    trace::start(trace_path);
+    const std::string doc = runRecordsJson({});
+    trace::resetForTest(); // disarm without writing the trace
+    EXPECT_NE(doc.find("\"trace_file\": \"" + jsonEscape(trace_path) +
+                       "\""),
+              std::string::npos);
 }
 
 TEST(RunRecordJson, NonFiniteMetricsSurfaceAsNullForValidators)

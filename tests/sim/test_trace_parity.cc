@@ -1,0 +1,101 @@
+/** @file Tracing must be an observer: a run with the Chrome-trace
+ *  recorder armed must produce bit-identical RunRecords to an untraced
+ *  run. The TPU backend flips captureTrace on while tracing (a
+ *  distinct memo-cache entry), so this exercises the recompute path
+ *  too — any numeric drift between the traced and untraced code paths
+ *  fails here. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/trace.h"
+#include "gpusim/kernel_cache.h"
+#include "models/model_zoo.h"
+#include "sim/model_runner.h"
+#include "tpusim/layer_cache.h"
+
+namespace cfconv::sim {
+namespace {
+
+void
+expectBitIdentical(const RunRecord &a, const RunRecord &b)
+{
+    EXPECT_EQ(a.accelerator, b.accelerator);
+    EXPECT_EQ(a.model, b.model);
+    EXPECT_EQ(a.batch, b.batch);
+    // Bit-exact, not approximately equal: tracing may not perturb a
+    // single ulp of the simulated numbers.
+    EXPECT_EQ(a.peakTflops, b.peakTflops);
+    EXPECT_EQ(a.seconds, b.seconds);
+    EXPECT_EQ(a.tflops, b.tflops);
+    EXPECT_EQ(a.dramBytes, b.dramBytes);
+    ASSERT_EQ(a.layers.size(), b.layers.size());
+    for (size_t i = 0; i < a.layers.size(); ++i) {
+        const LayerRecord &la = a.layers[i];
+        const LayerRecord &lb = b.layers[i];
+        EXPECT_EQ(la.name, lb.name);
+        EXPECT_EQ(la.geometry, lb.geometry);
+        EXPECT_EQ(la.count, lb.count);
+        EXPECT_EQ(la.groups, lb.groups);
+        EXPECT_EQ(la.seconds, lb.seconds) << la.name;
+        EXPECT_EQ(la.tflops, lb.tflops) << la.name;
+        EXPECT_EQ(la.utilization, lb.utilization) << la.name;
+        EXPECT_EQ(la.dramBytes, lb.dramBytes) << la.name;
+        EXPECT_EQ(la.flops, lb.flops) << la.name;
+        EXPECT_EQ(la.extras, lb.extras) << la.name;
+    }
+}
+
+void
+clearMemoCaches()
+{
+    tpusim::LayerCache::instance().clear();
+    gpusim::KernelCache::instance().clear();
+}
+
+class TraceParityTest : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    void TearDown() override { trace::resetForTest(); }
+};
+
+TEST_P(TraceParityTest, TracedRunMatchesUntracedBitExactly)
+{
+    const auto accelerator = makeAccelerator(GetParam());
+    const auto model = models::alexnet(8);
+
+    clearMemoCaches();
+    ASSERT_FALSE(trace::enabled());
+    const RunRecord untraced =
+        ModelRunner(*accelerator).runModel(model);
+
+    // Clear the memo caches so the traced run actually recomputes
+    // instead of replaying the untraced results.
+    clearMemoCaches();
+    const std::string path =
+        ::testing::TempDir() + "cfconv_parity_" + GetParam() + ".json";
+    trace::start(path);
+    const RunRecord traced = ModelRunner(*accelerator).runModel(model);
+    // The comparison only means something if the traced run actually
+    // recorded events on this backend.
+    EXPECT_GT(trace::bufferedEventCountForTest(), 0u);
+    ASSERT_TRUE(trace::stop());
+
+    expectBitIdentical(untraced, traced);
+    std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, TraceParityTest,
+                         ::testing::Values("tpu-v2", "gpu-v100"),
+                         [](const auto &info) {
+                             std::string name = info.param;
+                             for (char &c : name)
+                                 if (c == '-')
+                                     c = '_';
+                             return name;
+                         });
+
+} // namespace
+} // namespace cfconv::sim
