@@ -17,8 +17,10 @@
 #include <cstring>
 #include <string>
 
+#include "common/fault.h"
 #include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/status.h"
 #include "common/table.h"
 #include "common/trace.h"
 #include "sim/accelerator.h"
@@ -67,6 +69,8 @@ class WallTimer
 /** Parsed uniform bench arguments (see parseBenchArgs). */
 struct BenchArgs
 {
+    /** Worker-count override (threads=N); 0 = leave the pool alone. */
+    Index threads = 0;
     /** Destination of the structured JSON report (json=FILE), empty
      *  when not requested. Benches that emit a sim::RunRecord
      *  document honor it; report-less benches reject it. */
@@ -74,48 +78,76 @@ struct BenchArgs
     /** Destination of the Chrome-trace file (trace=FILE), empty when
      *  the run is untraced. The parser arms the recorder itself. */
     std::string tracePath;
+    /** Chaos spec (faults=SPEC; see common/fault.h for the grammar),
+     *  empty when the run is fault-free. The parser arms the
+     *  injector itself. */
+    std::string faultsSpec;
 };
+
+/**
+ * The recoverable core of parseBenchArgs: pure parse into @p args, no
+ * side effects, INVALID_ARGUMENT naming the offending argument.
+ */
+inline Status
+tryParseBenchArgs(int argc, char **argv, bool supports_json,
+                  BenchArgs *args)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "threads=", 8) == 0) {
+            const long v = std::strtol(argv[i] + 8, nullptr, 10);
+            if (v < 1)
+                return invalidArgumentError(
+                    "bad threads=%s (want >= 1)", argv[i] + 8);
+            args->threads = static_cast<Index>(v);
+        } else if (supports_json &&
+                   std::strncmp(argv[i], "json=", 5) == 0 &&
+                   argv[i][5] != '\0') {
+            args->jsonPath = argv[i] + 5;
+        } else if (std::strncmp(argv[i], "trace=", 6) == 0 &&
+                   argv[i][6] != '\0') {
+            args->tracePath = argv[i] + 6;
+        } else if (std::strncmp(argv[i], "faults=", 7) == 0 &&
+                   argv[i][7] != '\0') {
+            args->faultsSpec = argv[i] + 7;
+        } else {
+            return invalidArgumentError(
+                "unknown argument \"%s\" (supported: threads=N, "
+                "trace=FILE, faults=SPEC%s)",
+                argv[i], supports_json ? ", json=FILE" : "");
+        }
+    }
+    return okStatus();
+}
 
 /**
  * Parse the uniform bench arguments — the one place bench CLI syntax
  * is defined: `threads=N` overrides the worker count (same effect as
  * CFCONV_THREADS=N), `json=FILE` requests a structured JSON report,
- * and `trace=FILE` arms the Chrome-trace recorder (same effect as
- * CFCONV_TRACE=FILE; flushed at exit, loadable in Perfetto).
- * Pass @p supports_json = false from binaries that have no report so
- * a stray json= errors out instead of silently doing nothing. Unknown
- * arguments are rejected so typos surface.
+ * `trace=FILE` arms the Chrome-trace recorder (same effect as
+ * CFCONV_TRACE=FILE; flushed at exit, loadable in Perfetto), and
+ * `faults=SPEC` arms the fault injector (same effect as
+ * CFCONV_FAULTS=SPEC). Pass @p supports_json = false from binaries
+ * that have no report so a stray json= errors out instead of silently
+ * doing nothing. Unknown arguments and malformed values exit 2 with
+ * the structured error naming the offender.
  */
 inline BenchArgs
 parseBenchArgs(int argc, char **argv, bool supports_json = true)
 {
     BenchArgs args;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strncmp(argv[i], "threads=", 8) == 0) {
-            const long v = std::strtol(argv[i] + 8, nullptr, 10);
-            if (v < 1) {
-                std::fprintf(stderr, "bad threads=%s (want >= 1)\n",
-                             argv[i] + 8);
-                std::exit(2);
-            }
-            parallel::setThreads(static_cast<Index>(v));
-        } else if (supports_json &&
-                   std::strncmp(argv[i], "json=", 5) == 0 &&
-                   argv[i][5] != '\0') {
-            args.jsonPath = argv[i] + 5;
-        } else if (std::strncmp(argv[i], "trace=", 6) == 0 &&
-                   argv[i][6] != '\0') {
-            args.tracePath = argv[i] + 6;
-            trace::start(args.tracePath);
-        } else {
-            std::fprintf(stderr,
-                         "unknown argument \"%s\" (supported: "
-                         "threads=N, trace=FILE%s)\n",
-                         argv[i],
-                         supports_json ? ", json=FILE" : "");
-            std::exit(2);
-        }
+    Status status = tryParseBenchArgs(argc, argv, supports_json, &args);
+    // configure() errors already carry a "faults:" prefix.
+    if (status.ok() && !args.faultsSpec.empty())
+        status = fault::FaultInjector::instance()
+                     .configure(args.faultsSpec);
+    if (!status.ok()) {
+        std::fprintf(stderr, "%s\n", status.toString().c_str());
+        std::exit(2);
     }
+    if (args.threads > 0)
+        parallel::setThreads(args.threads);
+    if (!args.tracePath.empty())
+        trace::start(args.tracePath);
     return args;
 }
 

@@ -29,7 +29,7 @@ with open(path) as f:
     doc = json.load(f)
 assert doc.get("schema") == "cfconv.run_record", "bad schema id"
 version = doc.get("version")
-assert version in (1, 2), f"bad schema version {version!r}"
+assert version in (1, 2, 3), f"bad schema version {version!r}"
 if version >= 2:
     # v2 added the document-level metrics object; the trace_file key
     # is optional (present only on traced runs) but never null.
@@ -40,6 +40,7 @@ if version >= 2:
     assert doc.get("trace_file", "") is not None, "null trace_file"
 records = doc.get("records")
 assert isinstance(records, list) and records, "no records"
+resilient = 0
 for record in records:
     assert record.get("layers"), (
         f"record {record.get('model')} has no layers")
@@ -48,7 +49,29 @@ for record in records:
         f"record {record.get('model')} tflops is {tflops!r}")
     assert math.isfinite(tflops) and tflops > 0, (
         f"record {record.get('model')} tflops = {tflops}")
-print(f"{path}: {len(records)} records OK")
+    # v3 added the per-record resilience block (chaos runs only); a
+    # pre-v3 document must not carry one, and a carried one must be
+    # internally sane.
+    resilience = record.get("resilience")
+    if resilience is None:
+        continue
+    resilient += 1
+    assert version >= 3, "resilience block in a pre-v3 document"
+    assert resilience.get("active") is True, "inactive resilience block"
+    for key in ("faults_seen", "retries", "failovers",
+                "layers_failed_over", "layers_resumed"):
+        value = resilience.get(key)
+        assert isinstance(value, int) and value >= 0, (
+            f"resilience {key} = {value!r}")
+    backoff = resilience.get("backoff_seconds")
+    assert isinstance(backoff, (int, float)) and backoff >= 0, (
+        f"resilience backoff_seconds = {backoff!r}")
+    assert isinstance(resilience.get("final_backend"), str), (
+        "resilience final_backend missing")
+if version >= 3:
+    assert resilient > 0, "v3 document without any resilience block"
+print(f"{path}: {len(records)} records OK"
+      + (f" ({resilient} resilient)" if resilient else ""))
 EOF
 }
 

@@ -38,6 +38,9 @@ scripts/check_report.sh
 echo "==== chrome-trace recorder ===="
 scripts/check_trace.sh
 
+echo "==== fault injection + resilience ===="
+scripts/check_faults.sh
+
 echo "==== examples ===="
 build/examples/quickstart
 build/examples/training_step

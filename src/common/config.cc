@@ -22,8 +22,8 @@ strip(const std::string &s)
 
 } // namespace
 
-Config
-Config::fromString(const std::string &text)
+StatusOr<Config>
+Config::tryFromString(const std::string &text)
 {
     Config config;
     std::istringstream in(text);
@@ -38,29 +38,54 @@ Config::fromString(const std::string &text)
         if (stripped.empty())
             continue;
         const size_t eq = stripped.find('=');
-        CFCONV_FATAL_IF(eq == std::string::npos,
-                        "config line %d: expected 'key = value', got "
-                        "'%s'", line_no, stripped.c_str());
+        if (eq == std::string::npos)
+            return invalidArgumentError(
+                "config line %d: expected 'key = value', got '%s'",
+                line_no, stripped.c_str());
         const std::string key = strip(stripped.substr(0, eq));
         const std::string value = strip(stripped.substr(eq + 1));
-        CFCONV_FATAL_IF(key.empty(), "config line %d: empty key",
-                        line_no);
-        CFCONV_FATAL_IF(config.values_.count(key) > 0,
-                        "config line %d: duplicate key '%s'", line_no,
-                        key.c_str());
+        if (key.empty())
+            return invalidArgumentError("config line %d: empty key",
+                                        line_no);
+        if (config.values_.count(key) > 0)
+            return invalidArgumentError(
+                "config line %d: duplicate key '%s'", line_no,
+                key.c_str());
         config.values_[key] = value;
     }
     return config;
 }
 
+StatusOr<Config>
+Config::tryFromFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return notFoundError("config: cannot open '%s'", path.c_str());
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    auto parsed = tryFromString(buffer.str());
+    if (!parsed.ok())
+        return parsed.status().withContext(path);
+    return parsed;
+}
+
+Config
+Config::fromString(const std::string &text)
+{
+    auto parsed = tryFromString(text);
+    if (!parsed.ok())
+        fatal("%s", parsed.status().toString().c_str());
+    return std::move(parsed).value();
+}
+
 Config
 Config::fromFile(const std::string &path)
 {
-    std::ifstream in(path);
-    CFCONV_FATAL_IF(!in, "config: cannot open '%s'", path.c_str());
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    return fromString(buffer.str());
+    auto parsed = tryFromFile(path);
+    if (!parsed.ok())
+        fatal("%s", parsed.status().toString().c_str());
+    return std::move(parsed).value();
 }
 
 const std::string *
@@ -79,36 +104,37 @@ Config::has(const std::string &key) const
     return values_.count(key) > 0;
 }
 
-long long
-Config::getInt(const std::string &key, long long fallback) const
+StatusOr<long long>
+Config::tryGetInt(const std::string &key, long long fallback) const
 {
     const std::string *v = find(key);
     if (!v)
         return fallback;
     char *end = nullptr;
     const long long parsed = std::strtoll(v->c_str(), &end, 0);
-    CFCONV_FATAL_IF(end == v->c_str() || *end != '\0',
-                    "config: '%s = %s' is not an integer", key.c_str(),
-                    v->c_str());
+    if (end == v->c_str() || *end != '\0')
+        return invalidArgumentError(
+            "config: '%s = %s' is not an integer", key.c_str(),
+            v->c_str());
     return parsed;
 }
 
-double
-Config::getDouble(const std::string &key, double fallback) const
+StatusOr<double>
+Config::tryGetDouble(const std::string &key, double fallback) const
 {
     const std::string *v = find(key);
     if (!v)
         return fallback;
     char *end = nullptr;
     const double parsed = std::strtod(v->c_str(), &end);
-    CFCONV_FATAL_IF(end == v->c_str() || *end != '\0',
-                    "config: '%s = %s' is not a number", key.c_str(),
-                    v->c_str());
+    if (end == v->c_str() || *end != '\0')
+        return invalidArgumentError("config: '%s = %s' is not a number",
+                                    key.c_str(), v->c_str());
     return parsed;
 }
 
-bool
-Config::getBool(const std::string &key, bool fallback) const
+StatusOr<bool>
+Config::tryGetBool(const std::string &key, bool fallback) const
 {
     const std::string *v = find(key);
     if (!v)
@@ -117,8 +143,35 @@ Config::getBool(const std::string &key, bool fallback) const
         return true;
     if (*v == "false" || *v == "0" || *v == "no")
         return false;
-    fatal("config: '%s = %s' is not a boolean", key.c_str(),
-          v->c_str());
+    return invalidArgumentError("config: '%s = %s' is not a boolean",
+                                key.c_str(), v->c_str());
+}
+
+long long
+Config::getInt(const std::string &key, long long fallback) const
+{
+    auto v = tryGetInt(key, fallback);
+    if (!v.ok())
+        fatal("%s", v.status().toString().c_str());
+    return v.value();
+}
+
+double
+Config::getDouble(const std::string &key, double fallback) const
+{
+    auto v = tryGetDouble(key, fallback);
+    if (!v.ok())
+        fatal("%s", v.status().toString().c_str());
+    return v.value();
+}
+
+bool
+Config::getBool(const std::string &key, bool fallback) const
+{
+    auto v = tryGetBool(key, fallback);
+    if (!v.ok())
+        fatal("%s", v.status().toString().c_str());
+    return v.value();
 }
 
 std::string

@@ -13,6 +13,8 @@
 #include <set>
 #include <string>
 
+#include "common/status.h"
+
 namespace cfconv {
 
 /** A parsed key=value configuration. */
@@ -20,6 +22,14 @@ class Config
 {
   public:
     Config() = default;
+
+    /** Parse from file contents. The error names the offending line
+     *  and key (INVALID_ARGUMENT). */
+    static StatusOr<Config> tryFromString(const std::string &text);
+
+    /** Parse from a file on disk; NOT_FOUND when unreadable, parse
+     *  errors as tryFromString annotated with the path. */
+    static StatusOr<Config> tryFromFile(const std::string &path);
 
     /** Parse from file contents; fatal on syntax errors. */
     static Config fromString(const std::string &text);
@@ -36,6 +46,16 @@ class Config
     bool getBool(const std::string &key, bool fallback) const;
     std::string getString(const std::string &key,
                           const std::string &fallback) const;
+
+    /** Recoverable typed getters: @p fallback when the key is absent,
+     *  INVALID_ARGUMENT naming key and value when it does not parse.
+     *  The fatal getters above are thin wrappers over these. */
+    StatusOr<long long> tryGetInt(const std::string &key,
+                                  long long fallback) const;
+    StatusOr<double> tryGetDouble(const std::string &key,
+                                  double fallback) const;
+    StatusOr<bool> tryGetBool(const std::string &key,
+                              bool fallback) const;
 
     /**
      * Keys present in the file but never read through a getter; call

@@ -19,11 +19,15 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/fault.h"
+#include "common/metrics.h"
+#include "common/rng.h"
 #include "common/stats.h"
 #include "common/trace.h"
 
@@ -74,21 +78,46 @@ class MemoCache
     bool enabled() const { return enabled_.load(); }
     void setEnabled(bool on) { enabled_.store(on); }
 
-    /** @return true and fill @p out on a hit; count the lookup. */
+    /**
+     * Install the entry-checksum function (a stable field-by-field
+     * hash of a Result — never raw struct bytes, padding is
+     * indeterminate). Once set, every insert stores the entry's
+     * checksum and every lookup re-verifies it: a mismatch — real
+     * memory corruption, or the `cache.corrupt` fault site keyed on
+     * this cache's stat prefix — evicts the entry and reports a miss,
+     * so a corrupted result is recomputed instead of served. Call once
+     * at construction, before the cache is shared across threads.
+     */
+    void setChecksumFn(std::function<std::uint64_t(const Result &)> fn)
+    {
+        checksumFn_ = std::move(fn);
+    }
+
+    /** @return true and fill @p out on a hit; count the lookup. A
+     *  checksum mismatch counts as a detected corruption + a miss. */
     bool
     lookup(const std::string &key, Result *out)
     {
+        bool corrupt = false;
         {
             std::shared_lock<std::shared_mutex> lock(mutex_);
             auto it = entries_.find(key);
             if (it != entries_.end()) {
-                *out = it->second;
-                ++hits_;
-                if (trace::enabled())
-                    trace::instant("cache", statPrefix_ + ".hit");
-                return true;
+                if (checksumFn_ &&
+                    checksumFn_(it->second.value) !=
+                        it->second.checksum) {
+                    corrupt = true;
+                } else {
+                    *out = it->second.value;
+                    ++hits_;
+                    if (trace::enabled())
+                        trace::instant("cache", statPrefix_ + ".hit");
+                    return true;
+                }
             }
         }
+        if (corrupt)
+            evictCorrupt(key);
         ++misses_;
         if (trace::enabled())
             trace::instant("cache", statPrefix_ + ".miss");
@@ -100,8 +129,19 @@ class MemoCache
     void
     insert(const std::string &key, const Result &result)
     {
+        Entry entry{result, 0};
+        if (checksumFn_) {
+            entry.checksum = checksumFn_(entry.value);
+            // The cache.corrupt fault site: flip the stored checksum
+            // so the next lookup detects the entry as damaged. Keyed
+            // on the cache key, so the schedule is deterministic.
+            if (fault::FaultInjector::instance().inject(
+                    fault::kCacheCorrupt, statPrefix_,
+                    hashBytes(key.data(), key.size())))
+                entry.checksum ^= 0xbad0bad0bad0bad0ULL;
+        }
         std::unique_lock<std::shared_mutex> lock(mutex_);
-        entries_[key] = result;
+        entries_[key] = std::move(entry);
     }
 
     /** Drop all entries and reset the counters. */
@@ -112,10 +152,18 @@ class MemoCache
         entries_.clear();
         hits_.store(0);
         misses_.store(0);
+        corruptionsDetected_.store(0);
     }
 
     std::uint64_t hits() const { return hits_.load(); }
     std::uint64_t misses() const { return misses_.load(); }
+
+    /** Checksum mismatches detected (and healed by eviction) so far. */
+    std::uint64_t
+    corruptionsDetected() const
+    {
+        return corruptionsDetected_.load();
+    }
 
     std::uint64_t
     entries() const
@@ -142,16 +190,50 @@ class MemoCache
         g.add(statPrefix_ + ".hits", static_cast<double>(hits()));
         g.add(statPrefix_ + ".misses", static_cast<double>(misses()));
         g.add(statPrefix_ + ".entries", static_cast<double>(entries()));
+        // Only reported once nonzero, so fault-free CACHE lines and
+        // snapshots stay byte-identical to the pre-chaos goldens.
+        if (corruptionsDetected() > 0)
+            g.add(statPrefix_ + ".corruptions_detected",
+                  static_cast<double>(corruptionsDetected()));
         return g;
     }
 
   private:
+    struct Entry
+    {
+        Result value{};
+        std::uint64_t checksum = 0;
+    };
+
+    /** Re-verify under the writer lock and drop the damaged entry;
+     *  the caller then reports a miss, so the layer is recomputed. */
+    void
+    evictCorrupt(const std::string &key)
+    {
+        {
+            std::unique_lock<std::shared_mutex> lock(mutex_);
+            auto it = entries_.find(key);
+            if (it == entries_.end() ||
+                (checksumFn_ &&
+                 checksumFn_(it->second.value) == it->second.checksum))
+                return; // already healed by a concurrent re-insert
+            entries_.erase(it);
+        }
+        ++corruptionsDetected_;
+        MetricsRegistry::instance().add(
+            "fault.detected." + statPrefix_ + ".corruption", 1.0);
+        if (trace::enabled())
+            trace::instant("fault", statPrefix_ + ".corruption_detected");
+    }
+
     const std::string statPrefix_;
+    std::function<std::uint64_t(const Result &)> checksumFn_;
     mutable std::shared_mutex mutex_;
-    std::unordered_map<std::string, Result> entries_;
+    std::unordered_map<std::string, Entry> entries_;
     std::atomic<bool> enabled_{true};
     std::atomic<std::uint64_t> hits_{0};
     std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> corruptionsDetected_{0};
 };
 
 } // namespace cfconv

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <exception>
@@ -9,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/trace.h"
 
@@ -238,6 +240,15 @@ class ThreadPool
                 break;
             const Index b = job.begin + c * job.chunk;
             const Index e = std::min(job.end, b + job.chunk);
+            // Chaos site: a stalled worker. Purely a latency fault —
+            // the chunk still runs, so results stay bit-exact; what
+            // the stall exercises is the pool's load balancing and
+            // the wall-clock tail the metrics/trace layers report.
+            if (fault::FaultInjector::instance().inject(
+                    fault::kPoolWorkerStall, "",
+                    static_cast<std::uint64_t>(c)))
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(200));
             trace::Scope chunkSpan("pool", "chunk");
             chunkSpan.arg("begin", static_cast<double>(b));
             chunkSpan.arg("end", static_cast<double>(e));

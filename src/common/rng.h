@@ -8,6 +8,7 @@
 #ifndef CFCONV_COMMON_RNG_H
 #define CFCONV_COMMON_RNG_H
 
+#include <cstddef>
 #include <cstdint>
 
 namespace cfconv {
@@ -64,6 +65,33 @@ constexpr std::uint64_t
 hashCombine(std::uint64_t h, std::uint64_t v)
 {
     h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return h;
+}
+
+/** FNV-1a over a NUL-terminated string; constexpr so fault-site names
+ *  hash at compile time. */
+constexpr std::uint64_t
+fnv1a(const char *s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (; *s != '\0'; ++s) {
+        h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(*s));
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/** FNV-1a over an arbitrary byte range; used for memo-cache entry
+ *  checksums and fault-injection keys. */
+inline std::uint64_t
+hashBytes(const void *data, std::size_t size)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= static_cast<std::uint64_t>(p[i]);
+        h *= 0x100000001b3ULL;
+    }
     return h;
 }
 

@@ -1,0 +1,47 @@
+#include "common/status.h"
+
+namespace cfconv {
+
+const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+    case StatusCode::kOk:
+        return "OK";
+    case StatusCode::kInvalidArgument:
+        return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+        return "NOT_FOUND";
+    case StatusCode::kDeadlineExceeded:
+        return "DEADLINE_EXCEEDED";
+    case StatusCode::kDataLoss:
+        return "DATA_LOSS";
+    case StatusCode::kUnavailable:
+        return "UNAVAILABLE";
+    case StatusCode::kResourceExhausted:
+        return "RESOURCE_EXHAUSTED";
+    case StatusCode::kInternal:
+        return "INTERNAL";
+    }
+    return "UNKNOWN";
+}
+
+bool
+isRetryable(StatusCode code)
+{
+    switch (code) {
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kDataLoss:
+    case StatusCode::kUnavailable:
+    case StatusCode::kResourceExhausted:
+        return true;
+    case StatusCode::kOk:
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kInternal:
+        return false;
+    }
+    return false;
+}
+
+} // namespace cfconv

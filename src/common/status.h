@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Structured error propagation for the recoverable paths: Status (an
+ * error code + message + context chain) and StatusOr<T> (a value or a
+ * Status). The logging channel stays split by audience — fatal() for
+ * unrecoverable user errors, panic() for simulator bugs — but the
+ * runLayer/runModel/config-parsing paths return Status instead of
+ * throwing, so a resilient caller (sim::ModelRunner retry/failover,
+ * the chaos harness) can decide per error whether to retry, fail over
+ * to another backend, or surface the failure. Transient codes
+ * (DeadlineExceeded, Unavailable, DataLoss, ResourceExhausted) are the
+ * ones worth retrying; InvalidArgument/Internal fail the same way on
+ * every attempt and should fail fast.
+ */
+
+#ifndef CFCONV_COMMON_STATUS_H
+#define CFCONV_COMMON_STATUS_H
+
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace cfconv {
+
+/** Error taxonomy, a deliberately small subset of the familiar
+ *  absl/gRPC canonical codes. */
+enum class StatusCode {
+    kOk = 0,
+    kInvalidArgument,   ///< caller passed nonsense (not retryable)
+    kNotFound,          ///< named thing does not exist (not retryable)
+    kDeadlineExceeded,  ///< step timed out (retryable)
+    kDataLoss,          ///< corruption detected (retryable: recompute)
+    kUnavailable,       ///< resource transiently down (retryable)
+    kResourceExhausted, ///< capacity exceeded (retryable elsewhere)
+    kInternal,          ///< invariant violation escaped (not retryable)
+};
+
+/** Stable uppercase name of @p code, e.g. "INVALID_ARGUMENT". */
+const char *statusCodeName(StatusCode code);
+
+/** Whether an error of this code may succeed on a later attempt or on
+ *  another backend. The retry policy in sim::ModelRunner keys on it. */
+bool isRetryable(StatusCode code);
+
+/**
+ * An operation outcome: kOk (no message) or an error code plus a
+ * human-readable message. Context accumulates front-to-back as the
+ * error bubbles up (withContext), so the final text reads like a call
+ * chain: "runModel 'ResNet': layer conv2_x.3x3: step timed out".
+ */
+class Status
+{
+  public:
+    /** Default: OK. */
+    Status() = default;
+
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {}
+
+    bool ok() const { return code_ == StatusCode::kOk; }
+    StatusCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** A copy with "@p context: " prepended to the message (no-op on
+     *  OK), for annotating an error as it crosses a layer boundary. */
+    Status
+    withContext(const std::string &context) const
+    {
+        if (ok())
+            return *this;
+        return Status(code_, context + ": " + message_);
+    }
+
+    /** "CODE_NAME: message", or "OK". */
+    std::string
+    toString() const
+    {
+        if (ok())
+            return "OK";
+        return std::string(statusCodeName(code_)) + ": " + message_;
+    }
+
+    bool operator==(const Status &other) const = default;
+
+  private:
+    StatusCode code_ = StatusCode::kOk;
+    std::string message_;
+};
+
+/** The OK singleton, for symmetric return statements. */
+inline Status
+okStatus()
+{
+    return Status();
+}
+
+/** printf-style constructors for each error code. */
+template <typename... Args>
+Status
+invalidArgumentError(const char *fmt, Args... args)
+{
+    if constexpr (sizeof...(Args) == 0)
+        return Status(StatusCode::kInvalidArgument, fmt);
+    else
+        return Status(StatusCode::kInvalidArgument,
+                      detail::format(fmt, args...));
+}
+
+template <typename... Args>
+Status
+notFoundError(const char *fmt, Args... args)
+{
+    if constexpr (sizeof...(Args) == 0)
+        return Status(StatusCode::kNotFound, fmt);
+    else
+        return Status(StatusCode::kNotFound, detail::format(fmt, args...));
+}
+
+template <typename... Args>
+Status
+deadlineExceededError(const char *fmt, Args... args)
+{
+    if constexpr (sizeof...(Args) == 0)
+        return Status(StatusCode::kDeadlineExceeded, fmt);
+    else
+        return Status(StatusCode::kDeadlineExceeded,
+                      detail::format(fmt, args...));
+}
+
+template <typename... Args>
+Status
+dataLossError(const char *fmt, Args... args)
+{
+    if constexpr (sizeof...(Args) == 0)
+        return Status(StatusCode::kDataLoss, fmt);
+    else
+        return Status(StatusCode::kDataLoss, detail::format(fmt, args...));
+}
+
+template <typename... Args>
+Status
+unavailableError(const char *fmt, Args... args)
+{
+    if constexpr (sizeof...(Args) == 0)
+        return Status(StatusCode::kUnavailable, fmt);
+    else
+        return Status(StatusCode::kUnavailable,
+                      detail::format(fmt, args...));
+}
+
+template <typename... Args>
+Status
+resourceExhaustedError(const char *fmt, Args... args)
+{
+    if constexpr (sizeof...(Args) == 0)
+        return Status(StatusCode::kResourceExhausted, fmt);
+    else
+        return Status(StatusCode::kResourceExhausted,
+                      detail::format(fmt, args...));
+}
+
+template <typename... Args>
+Status
+internalError(const char *fmt, Args... args)
+{
+    if constexpr (sizeof...(Args) == 0)
+        return Status(StatusCode::kInternal, fmt);
+    else
+        return Status(StatusCode::kInternal, detail::format(fmt, args...));
+}
+
+/**
+ * A T or the Status explaining why there is no T. value() on an error
+ * is a programming bug and panics — callers must check ok() (or use
+ * CFCONV_ASSIGN_OR_RETURN) first.
+ */
+template <typename T>
+class StatusOr
+{
+  public:
+    /** Implicit from an error Status (an OK status without a value is
+     *  a contract violation and panics). */
+    StatusOr(Status status) : status_(std::move(status)) // NOLINT
+    {
+        if (status_.ok())
+            panic("StatusOr constructed from OK status without a value");
+    }
+
+    /** Implicit from a value. */
+    StatusOr(T value) // NOLINT
+        : status_(), value_(std::move(value)), hasValue_(true)
+    {}
+
+    bool ok() const { return hasValue_; }
+    const Status &status() const { return status_; }
+
+    const T &
+    value() const &
+    {
+        requireValue();
+        return value_;
+    }
+
+    T &
+    value() &
+    {
+        requireValue();
+        return value_;
+    }
+
+    T &&
+    value() &&
+    {
+        requireValue();
+        return std::move(value_);
+    }
+
+    const T &operator*() const & { return value(); }
+    T &operator*() & { return value(); }
+    const T *operator->() const { return &value(); }
+    T *operator->() { return &value(); }
+
+    /** The value, or @p fallback on error. */
+    T
+    valueOr(T fallback) const &
+    {
+        return hasValue_ ? value_ : std::move(fallback);
+    }
+
+  private:
+    void
+    requireValue() const
+    {
+        if (!hasValue_)
+            panic("StatusOr::value() on error status: %s",
+                  status_.toString().c_str());
+    }
+
+    Status status_;
+    T value_{};
+    bool hasValue_ = false;
+};
+
+#define CFCONV_STATUS_CAT2(a, b) a##b
+#define CFCONV_STATUS_CAT(a, b) CFCONV_STATUS_CAT2(a, b)
+
+/** Propagate a non-OK Status from a Status-returning expression. */
+#define CFCONV_RETURN_IF_ERROR(expr)                                        \
+    do {                                                                    \
+        ::cfconv::Status cfconv_status_tmp = (expr);                        \
+        if (!cfconv_status_tmp.ok())                                        \
+            return cfconv_status_tmp;                                       \
+    } while (0)
+
+#define CFCONV_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr)                        \
+    auto tmp = (expr);                                                      \
+    if (!tmp.ok())                                                          \
+        return tmp.status();                                                \
+    lhs = std::move(tmp).value()
+
+/** Evaluate a StatusOr expression; on error return its Status, else
+ *  assign the value to @p lhs (which may include a declaration). */
+#define CFCONV_ASSIGN_OR_RETURN(lhs, expr)                                  \
+    CFCONV_ASSIGN_OR_RETURN_IMPL(                                           \
+        CFCONV_STATUS_CAT(cfconv_statusor_, __COUNTER__), lhs, expr)
+
+} // namespace cfconv
+
+#endif // CFCONV_COMMON_STATUS_H

@@ -86,6 +86,23 @@ gpuGemmCacheKey(const GpuConfig &config, Index m, Index k, Index n,
     return key;
 }
 
+std::uint64_t
+kernelResultChecksum(const GpuKernelResult &r)
+{
+    std::uint64_t h = 0;
+    auto mixFloat = [&h](double v) {
+        h = hashCombine(h, hashBytes(&v, sizeof v));
+    };
+    mixFloat(r.seconds);
+    mixFloat(r.tflops);
+    h = hashCombine(h, static_cast<std::uint64_t>(r.dramBytes));
+    mixFloat(r.computeSeconds);
+    mixFloat(r.memorySeconds);
+    mixFloat(r.transformSeconds);
+    h = hashCombine(h, r.memoryBound ? 1 : 0);
+    return h;
+}
+
 KernelCache &
 KernelCache::instance()
 {

@@ -35,6 +35,12 @@ std::string gpuGemmCacheKey(const GpuConfig &config, Index m, Index k,
                             Index n, bool vendor_tuned,
                             bool operands_in_dram);
 
+/** Field-by-field checksum of a cached kernel result (never raw
+ *  struct bytes — padding is indeterminate). Lets the cache detect
+ *  corrupted entries (and the `cache.corrupt` chaos site) and
+ *  recompute instead of serving damaged figures. */
+std::uint64_t kernelResultChecksum(const GpuKernelResult &r);
+
 /** The process-wide GPU kernel-result memo cache ("kernel_cache.hits"
  *  / ".misses" / ".entries" in statsSnapshot()). */
 class KernelCache : public MemoCache<GpuKernelResult>
@@ -43,7 +49,10 @@ class KernelCache : public MemoCache<GpuKernelResult>
     static KernelCache &instance();
 
   private:
-    KernelCache() : MemoCache<GpuKernelResult>("kernel_cache") {}
+    KernelCache() : MemoCache<GpuKernelResult>("kernel_cache")
+    {
+        setChecksumFn(&kernelResultChecksum);
+    }
 };
 
 } // namespace cfconv::gpusim

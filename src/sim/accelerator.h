@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "common/status.h"
 #include "common/types.h"
 #include "tensor/conv_params.h"
 
@@ -36,6 +37,14 @@ struct RunOptions
      * exactly why the knob lives here and not in the params.
      */
     Index groups = 1;
+    /**
+     * Retry ordinal of this invocation (0 = first try). Purely
+     * bookkeeping for the fault layer: the `accel.step_timeout`
+     * injection decision is keyed on (backend, geometry, attempt), so
+     * a retried layer rolls a fresh — but still deterministic — die.
+     * Backends ignore it; it is not part of any memo-cache key.
+     */
+    Index attempt = 0;
 };
 
 /** Unified result of simulating one layer on any backend. */
@@ -64,14 +73,39 @@ struct LayerRecord
     std::map<std::string, double> extras;
 };
 
+/**
+ * Resilience outcome of one model run: what the fault layer injected
+ * and what the resilient runner did about it. Emitted as the schema-v3
+ * `resilience` block — but only when `active`, so fault-free documents
+ * stay byte-identical to the v2 goldens.
+ */
+struct ResilienceInfo
+{
+    /** Whether the FaultInjector was armed during this run (the block
+     *  is emitted, even all-zero, so chaos runs are self-describing). */
+    bool active = false;
+    Index faultsSeen = 0;       ///< failed layer attempts observed
+    Index retries = 0;          ///< same-backend re-attempts
+    Index failovers = 0;        ///< backend switches performed
+    Index layersFailedOver = 0; ///< layers completed on a failover backend
+    Index layersResumed = 0;    ///< checkpointed layers skipped at failover
+    double backoffSeconds = 0.0; ///< total simulated retry backoff
+    /** Backend of the last failover; empty when the primary finished
+     *  the whole model. */
+    std::string finalBackend;
+};
+
 /** Unified result of one model run on one backend. */
 struct RunRecord
 {
     /** Version of the RunRecord JSON schema (sim/report). v2 added the
      *  document-level "metrics" object (registry counters + latency
      *  histograms with percentiles) and the optional "trace_file"
-     *  pointer to the Chrome-trace file the run wrote. */
-    static constexpr long long kSchemaVersion = 2;
+     *  pointer to the Chrome-trace file the run wrote. v3 adds the
+     *  per-record "resilience" block; the writer only stamps v3 when
+     *  a record carries one, so fault-free documents remain v2 and
+     *  byte-identical to the pre-chaos goldens. */
+    static constexpr long long kSchemaVersion = 3;
 
     std::string accelerator;  ///< backend name, e.g. "tpu-v2"
     std::string model;        ///< model name, e.g. "ResNet"
@@ -81,6 +115,7 @@ struct RunRecord
     double tflops = 0.0;      ///< useful FLOPs / second, whole model
     Bytes dramBytes = 0;      ///< total off-chip traffic incl. reps
     std::vector<LayerRecord> layers; ///< one entry per distinct layer
+    ResilienceInfo resilience;       ///< chaos outcome (v3)
 };
 
 /** Abstract accelerator: what ModelRunner and the benches program
@@ -101,9 +136,31 @@ class Accelerator
                                  const RunOptions &options = {}) const
         = 0;
 
+    /**
+     * The recoverable front door to runLayer(): validates the layer
+     * geometry (validateLayerParams), rolls the `accel.step_timeout`
+     * chaos die scoped to this backend's name, and converts any
+     * FatalError/PanicError escaping the backend into a Status
+     * (INVALID_ARGUMENT / INTERNAL) instead of unwinding through the
+     * thread pool. What the resilient ModelRunner programs against.
+     */
+    StatusOr<LayerRecord> tryRunLayer(const ConvParams &params,
+                                      const RunOptions &options = {})
+        const;
+
     /** Snapshot of this backend's memo-cache counters. */
     virtual StatGroup cacheStats() const = 0;
 };
+
+/**
+ * Validate one layer at the accelerator boundary: positive dims,
+ * stride/dilation >= 1, kernel fits the padded input, non-degenerate
+ * output, and grouped-conv channel divisibility. Returns a descriptive
+ * INVALID_ARGUMENT naming the offending field instead of letting the
+ * shape flow into the kernels.
+ */
+Status validateLayerParams(const ConvParams &params,
+                           const RunOptions &options = {});
 
 /**
  * Factory over the stock configurations: "tpu-v2" (Table II core),
@@ -113,6 +170,12 @@ class Accelerator
  * baseline). Fatal on unknown names so typos surface.
  */
 std::unique_ptr<Accelerator> makeAccelerator(const std::string &name);
+
+/** makeAccelerator that reports an unknown name as a NOT_FOUND Status
+ *  instead of fatal — what the failover chain (whose backend names
+ *  come from user-written chaos specs) resolves through. */
+StatusOr<std::unique_ptr<Accelerator>>
+tryMakeAccelerator(const std::string &name);
 
 /** The names makeAccelerator() accepts, in presentation order. */
 std::vector<std::string> knownAccelerators();

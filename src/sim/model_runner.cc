@@ -1,13 +1,77 @@
 #include "sim/model_runner.h"
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/logging.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/trace.h"
 #include "sim/trace_hooks.h"
 
 namespace cfconv::sim {
 
+namespace {
+
+/**
+ * Per-layer resilience bookkeeping. Each entry is written only by the
+ * parallel chunk that owns its layer index (and read serially between
+ * passes), so the sweep needs no locks and the serial reduction is
+ * deterministic across thread counts.
+ */
+struct LayerOutcome
+{
+    bool done = false;       ///< checkpointed: completed on some backend
+    bool failedOver = false; ///< completed on a failover backend
+    Index attempts = 0;      ///< total attempts across all backends
+    Index retries = 0;       ///< re-attempts after a retryable failure
+    Index faults = 0;        ///< failed attempts observed
+    double backoffSeconds = 0.0; ///< simulated backoff accumulated
+    Status error;                ///< last error (OK once done)
+    std::string backend;         ///< backend that completed the layer
+};
+
+/** Simulated backoff before retry number @p retry (1-based), capped
+ *  exponential per the policy. */
+double
+backoffFor(const fault::ResiliencePolicy &policy, Index retry)
+{
+    double d = policy.backoffSeconds;
+    for (Index i = 1; i < retry; ++i) {
+        d *= policy.backoffMultiplier;
+        if (d >= policy.maxBackoffSeconds)
+            break;
+    }
+    return std::min(d, policy.maxBackoffSeconds);
+}
+
+} // namespace
+
 RunRecord
 ModelRunner::runModel(const models::ModelSpec &model) const
 {
+    if (fault::FaultInjector::instance().armed()) {
+        auto resilient = tryRunModel(model);
+        if (!resilient.ok())
+            fatal("runModel '%s': %s", model.name.c_str(),
+                  resilient.status().toString().c_str());
+        return std::move(resilient).value();
+    }
+
+    // Validate at the accelerator boundary before spending any
+    // simulation time; a nonsense layer dies with the structured
+    // message instead of an assert deep inside a backend.
+    for (const auto &layer : model.layers) {
+        RunOptions opts;
+        opts.groups = layer.groups;
+        const Status valid = validateLayerParams(layer.params, opts);
+        if (!valid.ok())
+            fatal("runModel '%s': %s", model.name.c_str(),
+                  valid.toString().c_str());
+    }
+
     ModelSpan model_span(accelerator_.name(), model.name);
     RunRecord record;
     record.accelerator = accelerator_.name();
@@ -46,6 +110,195 @@ ModelRunner::runModel(const models::ModelSpec &model) const
     record.tflops = record.seconds > 0.0
         ? static_cast<double>(flops) / record.seconds / 1e12
         : 0.0;
+    model_span.finish(record);
+    return record;
+}
+
+StatusOr<RunRecord>
+ModelRunner::tryRunModel(const models::ModelSpec &model) const
+{
+    auto &injector = fault::FaultInjector::instance();
+    const fault::ResiliencePolicy policy = injector.policy();
+
+    ModelSpan model_span(accelerator_.name(), model.name);
+    RunRecord record;
+    record.accelerator = accelerator_.name();
+    record.model = model.name;
+    record.batch =
+        model.layers.empty() ? 0 : model.layers.front().params.batch;
+    record.peakTflops = accelerator_.peakTflops();
+    record.resilience.active = injector.armed();
+
+    const Index n_layers = static_cast<Index>(model.layers.size());
+    record.layers.resize(model.layers.size());
+    std::vector<LayerOutcome> outcomes(model.layers.size());
+
+    // One pass over the not-yet-checkpointed layers on @p acc: up to
+    // policy.maxAttempts tries per layer, simulated backoff between
+    // retryable failures. Outcome slots are owned by the parallel
+    // chunk holding the layer index.
+    const auto runPass = [&](const Accelerator &acc, bool is_failover) {
+        parallel::parallelFor(0, n_layers, 1, [&](Index b, Index e) {
+            for (Index i = b; i < e; ++i) {
+                auto &out = outcomes[static_cast<size_t>(i)];
+                if (out.done)
+                    continue; // checkpointed: resume, don't rerun
+                const auto &layer =
+                    model.layers[static_cast<size_t>(i)];
+                RunOptions opts;
+                opts.groups = layer.groups;
+                LayerSpan span(acc.name(), layer.name);
+                for (Index attempt = 0; attempt < policy.maxAttempts;
+                     ++attempt) {
+                    opts.attempt = attempt;
+                    auto result = acc.tryRunLayer(layer.params, opts);
+                    ++out.attempts;
+                    if (result.ok()) {
+                        LayerRecord rec = std::move(result).value();
+                        rec.name = layer.name;
+                        rec.count = layer.count;
+                        if (out.attempts > 1)
+                            rec.extras["attempts"] =
+                                static_cast<double>(out.attempts);
+                        if (is_failover) {
+                            rec.extras["failedOver"] = 1.0;
+                            out.failedOver = true;
+                        }
+                        span.finish(rec);
+                        record.layers[static_cast<size_t>(i)] =
+                            std::move(rec);
+                        out.done = true;
+                        out.error = okStatus();
+                        out.backend = acc.name();
+                        break;
+                    }
+                    ++out.faults;
+                    out.error = result.status().withContext(
+                        "layer " + layer.name);
+                    if (!isRetryable(result.status().code()))
+                        break; // deterministic failure: retrying is futile
+                    if (attempt + 1 < policy.maxAttempts) {
+                        ++out.retries;
+                        out.backoffSeconds +=
+                            backoffFor(policy, out.retries);
+                    }
+                }
+            }
+        });
+    };
+
+    runPass(accelerator_, /*is_failover=*/false);
+
+    // Fail fast on non-retryable errors (first in layer order): the
+    // same bad geometry fails identically on every backend, so the
+    // failover chain stays unburned.
+    const auto firstNonRetryable = [&]() -> const LayerOutcome * {
+        for (const auto &out : outcomes)
+            if (!out.done && !out.error.ok() &&
+                !isRetryable(out.error.code()))
+                return &out;
+        return nullptr;
+    };
+    const auto remaining = [&] {
+        Index n = 0;
+        for (const auto &out : outcomes)
+            n += out.done ? 0 : 1;
+        return n;
+    };
+
+    std::string current_backend = accelerator_.name();
+    size_t next_failover = 0;
+    while (remaining() > 0) {
+        if (const LayerOutcome *bad = firstNonRetryable())
+            return bad->error.withContext("model " + model.name);
+        if (next_failover >= policy.failover.size())
+            break;
+        const std::string target = policy.failover[next_failover++];
+        if (target == current_backend)
+            continue; // failing over to ourselves cannot help
+        auto fallback = tryMakeAccelerator(target);
+        if (!fallback.ok())
+            return fallback.status().withContext(
+                "model " + model.name + ": failover");
+        ++record.resilience.failovers;
+        // Checkpoint resume: completed layers are skipped, not rerun.
+        record.resilience.layersResumed += n_layers - remaining();
+        record.resilience.finalBackend = target;
+        current_backend = target;
+        runPass(*fallback.value(), /*is_failover=*/true);
+    }
+    if (const LayerOutcome *bad = firstNonRetryable())
+        return bad->error.withContext("model " + model.name);
+    if (remaining() > 0) {
+        for (const auto &out : outcomes)
+            if (!out.done)
+                return out.error.withContext(
+                    "model " + model.name + ": backends exhausted");
+    }
+
+    // Serial reduction in layer order: totals, resilience tallies, and
+    // the simulated-timeline instants all come out identical at any
+    // thread count.
+    Flops flops = 0;
+    trace::SimTrack chaos_track;
+    double sim_us = 0.0; // position on the simulated timeline
+    for (size_t i = 0; i < record.layers.size(); ++i) {
+        const auto &layer = record.layers[i];
+        const auto &out = outcomes[i];
+        const double n = static_cast<double>(layer.count);
+        record.seconds += n * layer.seconds;
+        record.dramBytes +=
+            layer.dramBytes * static_cast<Bytes>(layer.count);
+        flops += layer.flops * static_cast<Flops>(layer.count);
+
+        record.resilience.faultsSeen += out.faults;
+        record.resilience.retries += out.retries;
+        record.resilience.layersFailedOver += out.failedOver ? 1 : 0;
+        record.resilience.backoffSeconds += out.backoffSeconds;
+
+        if (out.faults > 0 && trace::enabled()) {
+            if (!chaos_track.active())
+                chaos_track = trace::simTrack(
+                    "resilience " + record.accelerator + " " +
+                    record.model);
+            trace::simInstant(
+                chaos_track,
+                "fault " + layer.name + " attempts=" +
+                    std::to_string(out.attempts),
+                static_cast<std::uint64_t>(sim_us));
+            if (out.failedOver)
+                trace::simInstant(chaos_track,
+                                  "failover " + layer.name + " -> " +
+                                      out.backend,
+                                  static_cast<std::uint64_t>(sim_us));
+        }
+        sim_us +=
+            (n * layer.seconds + out.backoffSeconds) * 1e6;
+    }
+    record.tflops = record.seconds > 0.0
+        ? static_cast<double>(flops) / record.seconds / 1e12
+        : 0.0;
+
+    auto &metrics = MetricsRegistry::instance();
+    const auto &res = record.resilience;
+    if (res.faultsSeen > 0)
+        metrics.add("resilience.faults_seen",
+                    static_cast<double>(res.faultsSeen));
+    if (res.retries > 0)
+        metrics.add("resilience.retries",
+                    static_cast<double>(res.retries));
+    if (res.failovers > 0)
+        metrics.add("resilience.failovers",
+                    static_cast<double>(res.failovers));
+    if (res.layersFailedOver > 0)
+        metrics.add("resilience.layers_failed_over",
+                    static_cast<double>(res.layersFailedOver));
+    if (res.layersResumed > 0)
+        metrics.add("resilience.layers_resumed",
+                    static_cast<double>(res.layersResumed));
+    if (res.backoffSeconds > 0.0)
+        metrics.add("resilience.backoff_seconds", res.backoffSeconds);
+
     model_span.finish(record);
     return record;
 }

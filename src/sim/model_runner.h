@@ -7,6 +7,19 @@
  * handling delegated to the backend adapter, and repeated shapes
  * collapsed by the backend memo caches. Replaces the per-binary
  * hand-rolled layer loops the benches and examples used to carry.
+ *
+ * Resilience (the chaos counterpart): when the common/fault injector
+ * is armed, runModel() routes through tryRunModel(), which retries
+ * failed layer attempts with capped exponential (simulated) backoff,
+ * checkpoints completed layers, and — when a layer exhausts its
+ * attempts on the current backend — fails over to the next backend in
+ * the ResiliencePolicy chain, resuming from the checkpoint instead of
+ * restarting. Every injection decision is a pure function of
+ * (seed, site, scope, key), and per-layer outcome tallies are written
+ * by the owning parallel chunk then reduced serially in layer order,
+ * so a chaos RunRecord is byte-identical across runs and thread
+ * counts. Fault-free runs never enter this path and stay bit-identical
+ * to the pre-chaos behavior.
  */
 
 #ifndef CFCONV_SIM_MODEL_RUNNER_H
@@ -28,8 +41,26 @@ class ModelRunner
     {}
 
     /** Simulate all layers of @p model; one LayerRecord per distinct
-     *  layer, model totals accumulated over layer repetitions. */
+     *  layer, model totals accumulated over layer repetitions. Routes
+     *  through tryRunModel() when the fault injector is armed (fatal
+     *  on unrecoverable errors); otherwise validates every layer at
+     *  the accelerator boundary and takes the exact legacy path. */
     RunRecord runModel(const models::ModelSpec &model) const;
+
+    /**
+     * The recoverable runModel(): per-layer retry with capped
+     * exponential simulated backoff, completed-layer checkpointing,
+     * and backend failover along FaultInjector::policy().failover.
+     * Outcomes land in the record's ResilienceInfo (and per-layer
+     * "attempts"/"failedOver" extras on layers that misbehaved);
+     * retries, failovers, and detected faults are also counted in the
+     * MetricsRegistry ("resilience.*") and dropped as instants on the
+     * simulated-cycles trace timeline. Fails fast on non-retryable
+     * errors (bad layer geometry) without burning the failover chain;
+     * returns the last per-layer error when every backend is
+     * exhausted.
+     */
+    StatusOr<RunRecord> tryRunModel(const models::ModelSpec &model) const;
 
     /** Run several models back to back (a zoo sweep). */
     std::vector<RunRecord>

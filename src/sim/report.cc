@@ -40,6 +40,25 @@ emitRecord(JsonWriter &w, const RunRecord &record)
     w.field("seconds", record.seconds);
     w.field("tflops", record.tflops);
     w.field("dram_bytes", static_cast<std::uint64_t>(record.dramBytes));
+    // The v3 resilience block: emitted only for chaos runs (injector
+    // armed), so fault-free documents stay byte-identical to the v2
+    // goldens.
+    if (record.resilience.active) {
+        const auto &r = record.resilience;
+        w.key("resilience");
+        w.beginObject();
+        w.field("active", true);
+        w.field("faults_seen", static_cast<long long>(r.faultsSeen));
+        w.field("retries", static_cast<long long>(r.retries));
+        w.field("failovers", static_cast<long long>(r.failovers));
+        w.field("layers_failed_over",
+                static_cast<long long>(r.layersFailedOver));
+        w.field("layers_resumed",
+                static_cast<long long>(r.layersResumed));
+        w.field("backoff_seconds", r.backoffSeconds);
+        w.field("final_backend", r.finalBackend);
+        w.endObject();
+    }
     w.key("layers");
     w.beginArray();
     for (const auto &layer : record.layers)
@@ -93,10 +112,16 @@ std::string
 runRecordsJson(const std::vector<RunRecord> &records,
                const ReportMeta &meta)
 {
+    // Stamp v3 only when some record actually carries a resilience
+    // block; fault-free documents remain v2 byte for byte.
+    bool anyResilience = false;
+    for (const auto &record : records)
+        anyResilience = anyResilience || record.resilience.active;
+
     JsonWriter w;
     w.beginObject();
     w.field("schema", "cfconv.run_record");
-    w.field("version", RunRecord::kSchemaVersion);
+    w.field("version", anyResilience ? RunRecord::kSchemaVersion : 2LL);
     emitMeta(w, meta);
     w.key("records");
     w.beginArray();

@@ -6,7 +6,8 @@
  *
  *   {
  *     "schema": "cfconv.run_record",
- *     "version": 2,
+ *     "version": 2,                      // 3 when any record carries
+ *                                        // a "resilience" block
  *     "trace_file": "trace.json",        // only when the run traced
  *     "metrics": {
  *       "counters": { "runner.layers": 53, ... },
@@ -21,6 +22,11 @@
  *         "accelerator": "tpu-v2", "model": "ResNet", "batch": 8,
  *         "peak_tflops": 22.9, "seconds": ..., "tflops": ...,
  *         "dram_bytes": ...,
+ *         "resilience": {                // v3, chaos runs only
+ *           "active": true, "faults_seen": .., "retries": ..,
+ *           "failovers": .., "layers_failed_over": ..,
+ *           "layers_resumed": .., "backoff_seconds": ...,
+ *           "final_backend": "gpu-v100" },
  *         "layers": [
  *           { "name": ..., "geometry": ..., "count": ..,
  *             "groups": .., "seconds": ..., "tflops": ...,

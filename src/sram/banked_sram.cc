@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/fault.h"
 #include "common/logging.h"
 
 namespace cfconv::sram {
@@ -27,8 +28,17 @@ BankedSram::serveColumn(const std::vector<Index> &bank_of_row)
         ++load[static_cast<size_t>(bank)];
     }
     const Index worst = *std::max_element(load.begin(), load.end());
-    const Cycles cycles = worst == 0 ? 1 : static_cast<Cycles>(worst);
+    Cycles cycles = worst == 0 ? 1 : static_cast<Cycles>(worst);
     conflicts_ += worst > 1 ? worst - 1 : 0;
+    // Chaos site: a bank read error caught by (modeled) ECC. The
+    // column is served again, doubling its cost; figures change only
+    // when the site is armed, and identically for a given seed.
+    if (fault::FaultInjector::instance().inject(
+            fault::kSramBankRead, "",
+            static_cast<std::uint64_t>(columns_))) {
+        cycles += cycles;
+        ++readErrors_;
+    }
     ++columns_;
     return cycles;
 }
@@ -38,6 +48,7 @@ BankedSram::resetStats()
 {
     conflicts_ = 0;
     columns_ = 0;
+    readErrors_ = 0;
 }
 
 double

@@ -34,11 +34,18 @@ class BankedSram
     /**
      * Serve one vector of per-row bank indices (one GEMM column's worth
      * of operands). @return the cycles needed = max per-bank load.
+     * The `sram.bank_read` chaos site models a detected-and-corrected
+     * read error here: the column is re-read (its cycles are paid
+     * again) and readErrors() counts the event. The injection decision
+     * is keyed on the column index, so a seeded fault schedule is
+     * deterministic.
      */
     Cycles serveColumn(const std::vector<Index> &bank_of_row);
 
     Index conflictCycles() const { return conflicts_; }
     Index servedColumns() const { return columns_; }
+    /** Injected-and-retried bank read errors since resetStats(). */
+    Index readErrors() const { return readErrors_; }
 
     void resetStats();
 
@@ -46,6 +53,7 @@ class BankedSram
     BankedSramConfig config_;
     Index conflicts_ = 0;
     Index columns_ = 0;
+    Index readErrors_ = 0;
 };
 
 /**

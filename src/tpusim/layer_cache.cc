@@ -84,6 +84,31 @@ gemmCacheKey(const TpuConfig &config, Index m, Index k, Index n,
     return key;
 }
 
+std::uint64_t
+layerResultChecksum(const TpuLayerResult &r)
+{
+    std::uint64_t h = 0;
+    auto mixInt = [&h](long long v) {
+        h = hashCombine(h, static_cast<std::uint64_t>(v));
+    };
+    auto mixFloat = [&h](double v) {
+        h = hashCombine(h, hashBytes(&v, sizeof v));
+    };
+    mixInt(static_cast<long long>(r.cycles));
+    mixFloat(r.seconds);
+    mixFloat(r.tflops);
+    mixFloat(r.arrayUtilization);
+    mixInt(static_cast<long long>(r.dramBytes));
+    mixInt(r.multiTile);
+    mixFloat(r.portUtilization);
+    mixInt(static_cast<long long>(r.peakOnChipBytes));
+    mixInt(r.vecMemOps);
+    mixInt(static_cast<long long>(r.computeCycles));
+    mixInt(static_cast<long long>(r.fillCycles));
+    mixInt(static_cast<long long>(r.exposedFillCycles));
+    return h;
+}
+
 LayerCache &
 LayerCache::instance()
 {

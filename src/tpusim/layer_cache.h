@@ -36,6 +36,12 @@ std::string layerCacheKey(const TpuConfig &config,
 std::string gemmCacheKey(const TpuConfig &config, Index m, Index k,
                          Index n, DataType dtype);
 
+/** Field-by-field checksum of a cached timing result (the per-unit
+ *  trace rides along uncovered — it is derived data). Entry checksums
+ *  let the cache detect corrupted entries (and the `cache.corrupt`
+ *  chaos site) and recompute instead of serving damaged figures. */
+std::uint64_t layerResultChecksum(const TpuLayerResult &r);
+
 /** The process-wide TPU layer-result memo cache ("layer_cache.hits" /
  *  ".misses" / ".entries" in statsSnapshot()). */
 class LayerCache : public MemoCache<TpuLayerResult>
@@ -44,7 +50,10 @@ class LayerCache : public MemoCache<TpuLayerResult>
     static LayerCache &instance();
 
   private:
-    LayerCache() : MemoCache<TpuLayerResult>("layer_cache") {}
+    LayerCache() : MemoCache<TpuLayerResult>("layer_cache")
+    {
+        setChecksumFn(&layerResultChecksum);
+    }
 };
 
 } // namespace cfconv::tpusim

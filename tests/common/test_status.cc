@@ -1,0 +1,135 @@
+/** @file Tests for Status / StatusOr structured error propagation. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace cfconv {
+namespace {
+
+TEST(Status, DefaultIsOk)
+{
+    const Status s;
+    EXPECT_TRUE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kOk);
+    EXPECT_EQ(s.message(), "");
+    EXPECT_EQ(s.toString(), "OK");
+    EXPECT_EQ(s, okStatus());
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage)
+{
+    const Status s = invalidArgumentError("bad stride %d", 0);
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(s.message(), "bad stride 0");
+    EXPECT_EQ(s.toString(), "INVALID_ARGUMENT: bad stride 0");
+}
+
+TEST(Status, ContextChainsFrontToBack)
+{
+    const Status s = deadlineExceededError("step timed out")
+                         .withContext("layer conv1")
+                         .withContext("runModel 'ResNet'");
+    EXPECT_EQ(s.message(),
+              "runModel 'ResNet': layer conv1: step timed out");
+    // Context on OK is a no-op.
+    EXPECT_EQ(okStatus().withContext("anything"), okStatus());
+}
+
+TEST(Status, CodeNamesAreStable)
+{
+    EXPECT_STREQ(statusCodeName(StatusCode::kOk), "OK");
+    EXPECT_STREQ(statusCodeName(StatusCode::kInvalidArgument),
+                 "INVALID_ARGUMENT");
+    EXPECT_STREQ(statusCodeName(StatusCode::kNotFound), "NOT_FOUND");
+    EXPECT_STREQ(statusCodeName(StatusCode::kDeadlineExceeded),
+                 "DEADLINE_EXCEEDED");
+    EXPECT_STREQ(statusCodeName(StatusCode::kDataLoss), "DATA_LOSS");
+    EXPECT_STREQ(statusCodeName(StatusCode::kUnavailable),
+                 "UNAVAILABLE");
+    EXPECT_STREQ(statusCodeName(StatusCode::kResourceExhausted),
+                 "RESOURCE_EXHAUSTED");
+    EXPECT_STREQ(statusCodeName(StatusCode::kInternal), "INTERNAL");
+}
+
+TEST(Status, RetryableTaxonomy)
+{
+    // Transient failures are worth retrying...
+    EXPECT_TRUE(isRetryable(StatusCode::kDeadlineExceeded));
+    EXPECT_TRUE(isRetryable(StatusCode::kDataLoss));
+    EXPECT_TRUE(isRetryable(StatusCode::kUnavailable));
+    EXPECT_TRUE(isRetryable(StatusCode::kResourceExhausted));
+    // ...deterministic ones fail identically on every attempt.
+    EXPECT_FALSE(isRetryable(StatusCode::kOk));
+    EXPECT_FALSE(isRetryable(StatusCode::kInvalidArgument));
+    EXPECT_FALSE(isRetryable(StatusCode::kNotFound));
+    EXPECT_FALSE(isRetryable(StatusCode::kInternal));
+}
+
+TEST(StatusOr, HoldsValue)
+{
+    const StatusOr<int> v = 42;
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(v.value(), 42);
+    EXPECT_EQ(*v, 42);
+    EXPECT_EQ(v.valueOr(-1), 42);
+    EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOr, HoldsError)
+{
+    const StatusOr<int> v = notFoundError("no such backend");
+    ASSERT_FALSE(v.ok());
+    EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+    EXPECT_EQ(v.valueOr(-1), -1);
+    EXPECT_THROW(v.value(), PanicError);
+}
+
+TEST(StatusOr, MoveOnlyValues)
+{
+    StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+    ASSERT_TRUE(v.ok());
+    std::unique_ptr<int> taken = std::move(v).value();
+    ASSERT_NE(taken, nullptr);
+    EXPECT_EQ(*taken, 7);
+}
+
+TEST(StatusOr, OkStatusWithoutValuePanics)
+{
+    EXPECT_THROW((StatusOr<int>{okStatus()}), PanicError);
+}
+
+StatusOr<int>
+parsePositive(int v)
+{
+    if (v <= 0)
+        return invalidArgumentError("want positive, got %d", v);
+    return v;
+}
+
+Status
+useMacros(int v, int *out)
+{
+    CFCONV_RETURN_IF_ERROR(okStatus());
+    CFCONV_ASSIGN_OR_RETURN(const int parsed, parsePositive(v));
+    *out = parsed * 2;
+    return okStatus();
+}
+
+TEST(StatusOr, MacrosPropagate)
+{
+    int out = 0;
+    EXPECT_TRUE(useMacros(21, &out).ok());
+    EXPECT_EQ(out, 42);
+    const Status bad = useMacros(-1, &out);
+    EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(out, 42); // untouched on the error path
+}
+
+} // namespace
+} // namespace cfconv
