@@ -8,6 +8,12 @@
  *      area (OpenRAM/CACTI stand-in) vs bandwidth idle ratio; word 8
  *      is near the area minimum but leaves the port mostly idle,
  *      explaining TPU-v3's second systolic array.
+ *
+ * Every design point is a *named variant* from the tune registry
+ * ("tpu-v2-256x256", "tpu-v2-word4", ...), so each swept baseline is
+ * reproducible by name anywhere the factory is accepted (benches,
+ * chaos failover specs, the autotuner). `json=FILE` additionally dumps
+ * the per-variant VGG16 RunRecords.
  */
 
 #include <cstdio>
@@ -17,40 +23,41 @@
 #include "common/parallel.h"
 #include "common/table.h"
 #include "models/model_zoo.h"
+#include "sim/model_runner.h"
+#include "sim/report.h"
 #include "sram/sram_area_model.h"
-#include "tpusim/tpu_sim.h"
 
 using namespace cfconv;
 
 namespace {
 
-/** Run all VGG16 layers on @p config; return {tflops, utilization,
- *  port utilization}. */
+/** Run all VGG16 layers on the named variant; return {tflops,
+ *  time-weighted utilization, time-weighted port utilization} plus
+ *  the full record for the optional JSON report. */
 struct VggRun
 {
     double tflops;
     double utilization;
     double portUtil;
+    sim::RunRecord record;
 };
 
 VggRun
-runVgg(const tpusim::TpuConfig &config, Index batch)
+runVgg(const std::string &variant, Index batch)
 {
-    tpusim::TpuSim sim(config);
-    double seconds = 0.0;
-    Flops flops = 0;
+    const auto accelerator = sim::makeAccelerator(variant);
+    const sim::RunRecord record =
+        sim::ModelRunner(*accelerator).runModel(models::vgg16(batch));
     double util_weighted = 0.0;
     double port_weighted = 0.0;
-    for (const auto &layer : models::vgg16(batch).layers) {
-        const auto r = sim.runConv(layer.params);
-        const double n = static_cast<double>(layer.count);
-        seconds += n * r.seconds;
-        flops += layer.params.flops() * static_cast<Flops>(layer.count);
-        util_weighted += n * r.seconds * r.arrayUtilization;
-        port_weighted += n * r.seconds * r.portUtilization;
+    for (const auto &layer : record.layers) {
+        const double s =
+            static_cast<double>(layer.count) * layer.seconds;
+        util_weighted += s * layer.utilization;
+        port_weighted += s * layer.extras.at("portUtilization");
     }
-    return {static_cast<double>(flops) / seconds / 1e12,
-            util_weighted / seconds, port_weighted / seconds};
+    return {record.tflops, util_weighted / record.seconds,
+            port_weighted / record.seconds, record};
 }
 
 } // namespace
@@ -58,9 +65,10 @@ runVgg(const tpusim::TpuConfig &config, Index batch)
 int
 main(int argc, char **argv)
 {
-    bench::parseBenchArgs(argc, argv, /*supports_json=*/false);
+    bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
     const bench::WallTimer wall;
     const Index batch = 8;
+    std::vector<sim::RunRecord> records;
 
     // ---- (a) array size ----
     bench::experimentHeader(
@@ -69,20 +77,17 @@ main(int argc, char **argv)
     ga.setHeader({"array", "TFLOPS", "utilization"});
     double util128 = 0.0, util256 = 0.0;
     const std::vector<Index> sizes = {32, 64, 128, 256, 512};
+    const std::vector<std::string> size_variants = {
+        "tpu-v2-32x32", "tpu-v2-64x64", "tpu-v2", "tpu-v2-256x256",
+        "tpu-v2-512x512"};
     std::vector<VggRun> size_runs(sizes.size());
     // Each grid point owns one result slot; rows print serially after
     // the sweep so output order is stable.
     parallel::parallelFor(
         0, static_cast<Index>(sizes.size()), 1,
         [&](Index lo, Index hi) {
-            for (Index i = lo; i < hi; ++i) {
-                tpusim::TpuConfig cfg = tpusim::TpuConfig::tpuV2();
-                cfg.array.rows = cfg.array.cols = sizes[i];
-                cfg.vectorMemories = sizes[i];
-                // Keep total on-chip capacity constant (32 MB split
-                // over the per-row memories).
-                size_runs[i] = runVgg(cfg, batch);
-            }
+            for (Index i = lo; i < hi; ++i)
+                size_runs[i] = runVgg(size_variants[i], batch);
         });
     for (size_t i = 0; i < sizes.size(); ++i) {
         const Index size = sizes[i];
@@ -94,6 +99,7 @@ main(int argc, char **argv)
         ga.addRow({cell("%lldx%lld", (long long)size, (long long)size),
                    cell("%.1f", r.tflops),
                    cell("%.0f%%", 100.0 * r.utilization)});
+        records.push_back(r.record);
     }
     ga.print();
     bench::summaryLine("Fig-16a", "util(256)/util(128)", 0.5,
@@ -110,15 +116,15 @@ main(int argc, char **argv)
     sram::SramAreaModel area;
     const Bytes cap = 256 * 1024;
     const std::vector<Index> words = {1, 2, 4, 8, 16, 32};
+    const std::vector<std::string> word_variants = {
+        "tpu-v2-word1", "tpu-v2-word2", "tpu-v2-word4", "tpu-v2",
+        "tpu-v2-word16", "tpu-v2-word32"};
     std::vector<VggRun> word_runs(words.size());
     parallel::parallelFor(
         0, static_cast<Index>(words.size()), 1,
         [&](Index lo, Index hi) {
-            for (Index i = lo; i < hi; ++i) {
-                tpusim::TpuConfig cfg = tpusim::TpuConfig::tpuV2();
-                cfg.wordElems = words[i];
-                word_runs[i] = runVgg(cfg, batch);
-            }
+            for (Index i = lo; i < hi; ++i)
+                word_runs[i] = runVgg(word_variants[i], batch);
         });
     for (size_t i = 0; i < words.size(); ++i) {
         const Index word = words[i];
@@ -134,6 +140,8 @@ main(int argc, char **argv)
                                area.areaMm2(cap, 1) /
                                    area.areaMm2(cap, 8));
         }
+        if (word != 8) // the word-8 point is already in via Fig 16a
+            records.push_back(r.record);
     }
     gb.print();
 
@@ -146,22 +154,25 @@ main(int argc, char **argv)
     gc.setHeader({"word (elems)", "1 MXU (ms)", "2 MXUs (ms)",
                   "speedup"});
     const std::vector<Index> mxu_words = {1, 2, 8};
+    const std::vector<std::string> one_variants = {
+        "tpu-v2-word1", "tpu-v2-word2", "tpu-v2"};
+    const std::vector<std::string> two_variants = {
+        "tpu-v2-word1-2mxu", "tpu-v2-word2-2mxu", "tpu-v2-2mxu"};
     std::vector<double> one_ms(mxu_words.size()),
         two_ms(mxu_words.size());
+    std::vector<sim::RunRecord> two_records(mxu_words.size());
     parallel::parallelFor(
         0, static_cast<Index>(mxu_words.size()), 1,
         [&](Index lo, Index hi) {
             for (Index i = lo; i < hi; ++i) {
-                tpusim::TpuConfig one = tpusim::TpuConfig::tpuV2();
-                one.wordElems = mxu_words[i];
-                tpusim::TpuConfig two = one;
-                two.mxus = 2;
                 const double total_flops = static_cast<double>(
                     models::vgg16(batch).totalFlops());
                 one_ms[i] =
-                    total_flops / runVgg(one, batch).tflops / 1e9;
-                two_ms[i] =
-                    total_flops / runVgg(two, batch).tflops / 1e9;
+                    total_flops / runVgg(one_variants[i], batch).tflops
+                    / 1e9;
+                const VggRun two = runVgg(two_variants[i], batch);
+                two_ms[i] = total_flops / two.tflops / 1e9;
+                two_records[i] = two.record;
             }
         });
     for (size_t i = 0; i < mxu_words.size(); ++i) {
@@ -173,8 +184,13 @@ main(int argc, char **argv)
             bench::summaryLine("Fig-16b-followon",
                                "2nd MXU speedup at word 8", 2.0,
                                s1 / s2);
+        records.push_back(two_records[i]);
     }
     gc.print();
+    if (!args.jsonPath.empty()
+        && sim::writeRunRecords(args.jsonPath, records))
+        std::printf("wrote %s (%zu records)\n", args.jsonPath.c_str(),
+                    records.size());
     bench::printWallClock("bench_fig16_design_space", wall);
     return 0;
 }

@@ -1,0 +1,180 @@
+#!/usr/bin/env bash
+# Perf-regression gate: diff the bench trajectory artifacts
+# (BENCH_models.json, BENCH_gemm.json) against the checked-in
+# baselines in scripts/perf_baselines/.
+#
+#   - Simulated quantities (per accelerator+model seconds / tflops /
+#     dram_bytes from BENCH_models.json) must match the baseline
+#     EXACTLY: the simulators are deterministic, so any drift is a
+#     real behavior change — rebaseline deliberately with --update.
+#   - Wall-clock quantities (per shape+backend GFLOP/s from
+#     BENCH_gemm.json) regress only beyond a noise band: fail when
+#     current < baseline * CFCONV_PERF_TOL (default 0.40 — CI machines
+#     are noisy; the gate is for the 13.6x-class cliffs, not 5% jitter).
+#
+# Usage:
+#   check_perf.sh             compare (regenerates BENCH files if absent)
+#   check_perf.sh --update    regenerate the baselines from a fresh run
+#   check_perf.sh --selftest  prove the gate fails on a perturbed baseline
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+BASELINE_DIR="scripts/perf_baselines"
+TOL="${CFCONV_PERF_TOL:-0.40}"
+MODE="${1:-check}"
+
+if ! command -v python3 >/dev/null 2>&1; then
+    # The comparison needs structured JSON diffing; without python3 we
+    # can only check the artifacts exist. Say so loudly.
+    echo "check_perf: python3 unavailable; structural check only" >&2
+    [ -s BENCH_models.json ] && [ -s BENCH_gemm.json ]
+    echo "PERF OK (coarse)"
+    exit 0
+fi
+
+regen_bench_files() {
+    if [ ! -x "$BUILD_DIR/bench/bench_models_report" ]; then
+        echo "check_perf: $BUILD_DIR not built; run cmake first" >&2
+        exit 1
+    fi
+    "$BUILD_DIR"/bench/bench_models_report json=BENCH_models.json \
+        >/dev/null
+    # Skip the google-benchmark registrations; only the GEMM backend
+    # sweep (which writes BENCH_gemm.json in the cwd) is needed.
+    "$BUILD_DIR"/bench/bench_micro_kernels \
+        --benchmark_filter=NOTHING_MATCHES >/dev/null
+}
+
+# extract <models.json> <gemm.json> <out.json>: boil the two artifacts
+# down to the compared metrics, deterministically ordered.
+extract() {
+    python3 - "$1" "$2" "$3" <<'EOF'
+import json
+import sys
+
+models_path, gemm_path, out_path = sys.argv[1:4]
+baseline = {"simulated": {}, "wallclock": {}}
+with open(models_path) as f:
+    doc = json.load(f)
+for record in doc["records"]:
+    key = f"{record['accelerator']}|{record['model']}"
+    baseline["simulated"][key] = {
+        "seconds": record["seconds"],
+        "tflops": record["tflops"],
+        "dram_bytes": record["dram_bytes"],
+    }
+with open(gemm_path) as f:
+    points = json.load(f)
+for pt in points:
+    key = f"{pt['m']}x{pt['n']}x{pt['k']}|{pt['backend']}"
+    baseline["wallclock"][key] = {"gflops": pt["gflops"]}
+with open(out_path, "w") as f:
+    json.dump(baseline, f, indent=2, sort_keys=True)
+    f.write("\n")
+EOF
+}
+
+# compare <baseline.json> <current.json> <tolerance>
+compare() {
+    python3 - "$1" "$2" "$3" <<'EOF'
+import json
+import sys
+
+baseline_path, current_path, tol = sys.argv[1], sys.argv[2], float(
+    sys.argv[3])
+with open(baseline_path) as f:
+    baseline = json.load(f)
+with open(current_path) as f:
+    current = json.load(f)
+
+failures = []
+for key, want in sorted(baseline["simulated"].items()):
+    got = current["simulated"].get(key)
+    if got is None:
+        failures.append(f"simulated {key}: missing from current run")
+        continue
+    for metric, value in sorted(want.items()):
+        if got.get(metric) != value:
+            failures.append(
+                f"simulated {key}: {metric} {got.get(metric)!r} != "
+                f"baseline {value!r} (exact match required)")
+for key, want in sorted(baseline["wallclock"].items()):
+    got = current["wallclock"].get(key)
+    if got is None:
+        failures.append(f"wallclock {key}: missing from current run")
+        continue
+    floor = want["gflops"] * tol
+    if got["gflops"] < floor:
+        failures.append(
+            f"wallclock {key}: {got['gflops']:.2f} GFLOP/s < "
+            f"{floor:.2f} (baseline {want['gflops']:.2f} * tol {tol})")
+
+for failure in failures:
+    print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+n_sim = len(baseline["simulated"])
+n_wall = len(baseline["wallclock"])
+if failures:
+    sys.exit(1)
+print(f"perf check: {n_sim} simulated + {n_wall} wall-clock points OK")
+EOF
+}
+
+case "$MODE" in
+update | --update)
+    regen_bench_files
+    mkdir -p "$BASELINE_DIR"
+    extract BENCH_models.json BENCH_gemm.json \
+        "$BASELINE_DIR/perf_baseline.json"
+    echo "wrote $BASELINE_DIR/perf_baseline.json"
+    ;;
+selftest | --selftest)
+    # The gate must demonstrably fail on a perturbed baseline: nudge
+    # one simulated number past exactness and one wall-clock number
+    # past the noise band, then require the comparison to reject both.
+    workdir="$(mktemp -d)"
+    trap 'rm -rf "$workdir"' EXIT
+    [ -s BENCH_models.json ] && [ -s BENCH_gemm.json ] \
+        || regen_bench_files
+    extract BENCH_models.json BENCH_gemm.json "$workdir/current.json"
+    python3 - "$BASELINE_DIR/perf_baseline.json" \
+        "$workdir/perturbed.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    baseline = json.load(f)
+sim_key = sorted(baseline["simulated"])[0]
+baseline["simulated"][sim_key]["seconds"] *= 1.01
+wall_key = sorted(baseline["wallclock"])[0]
+baseline["wallclock"][wall_key]["gflops"] *= 1000.0
+with open(sys.argv[2], "w") as f2:
+    json.dump(baseline, f2, indent=2, sort_keys=True)
+EOF
+    if compare "$workdir/perturbed.json" "$workdir/current.json" \
+        "$TOL" 2>/dev/null; then
+        echo "check_perf selftest: perturbed baseline PASSED the" \
+            "gate (it must fail)" >&2
+        exit 1
+    fi
+    echo "PERF SELFTEST OK (perturbed baseline rejected)"
+    ;;
+check | --check)
+    if [ ! -s "$BASELINE_DIR/perf_baseline.json" ]; then
+        echo "check_perf: no baseline; run check_perf.sh --update" >&2
+        exit 1
+    fi
+    [ -s BENCH_models.json ] && [ -s BENCH_gemm.json ] \
+        || regen_bench_files
+    workdir="$(mktemp -d)"
+    trap 'rm -rf "$workdir"' EXIT
+    extract BENCH_models.json BENCH_gemm.json "$workdir/current.json"
+    compare "$BASELINE_DIR/perf_baseline.json" \
+        "$workdir/current.json" "$TOL"
+    echo "PERF OK"
+    ;;
+*)
+    echo "usage: check_perf.sh [--update|--selftest]" >&2
+    exit 2
+    ;;
+esac

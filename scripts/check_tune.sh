@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Autotuner gate: the tuned-config database must make repeat runs pure
+# lookups, and the loader must reject stale entries instead of
+# trusting them.
+#
+#   1. Fresh run: searches happen (evaluations > 0), the tuned records
+#      beat the stock baselines (speedup > 1) on both backend
+#      families, and the database is written.
+#   2. Repeat run with the same database: ZERO search evaluations and
+#      a byte-identical report + database.
+#   3. Staleness: rename a variant inside the database; the loader
+#      must reject that entry (rejected > 0) and the run must still
+#      succeed by re-searching.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+BENCH="$BUILD_DIR/bench/bench_autotune"
+if [ ! -x "$BENCH" ]; then
+    echo "check_tune: $BENCH not built; run cmake first" >&2
+    exit 1
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+db="$workdir/tuned.json"
+json1="$workdir/report1.json"
+json2="$workdir/report2.json"
+
+# tune_line <family> <output-file>: the TUNE summary for one family.
+tune_line() {
+    grep "^TUNE family=$1 " "$2"
+}
+# field <line> <key>: value of key=value in a TUNE line.
+field() {
+    printf '%s\n' "$1" | tr ' ' '\n' | sed -n "s/^$2=//p"
+}
+
+echo "==== check_tune: fresh search ===="
+"$BENCH" "db=$db" "json=$json1" > "$workdir/run1.out"
+for family in tpu gpu; do
+    line="$(tune_line "$family" "$workdir/run1.out")"
+    evals="$(field "$line" evaluations)"
+    speedup="$(field "$line" speedup)"
+    if [ "$evals" -le 0 ]; then
+        echo "check_tune: fresh $family run did no search" >&2
+        exit 1
+    fi
+    if ! awk -v s="$speedup" 'BEGIN { exit !(s > 1.0) }'; then
+        echo "check_tune: $family tuned speedup $speedup <= 1.0" >&2
+        exit 1
+    fi
+    echo "  $family: evaluations=$evals speedup=$speedup"
+done
+[ -s "$db" ] || { echo "check_tune: no database written" >&2; exit 1; }
+
+echo "==== check_tune: repeat run answers from the database ===="
+cp "$db" "$workdir/db_after_run1.json"
+"$BENCH" "db=$db" "json=$json2" > "$workdir/run2.out"
+for family in tpu gpu; do
+    line="$(tune_line "$family" "$workdir/run2.out")"
+    evals="$(field "$line" evaluations)"
+    if [ "$evals" -ne 0 ]; then
+        echo "check_tune: repeat $family run searched again" \
+            "(evaluations=$evals)" >&2
+        exit 1
+    fi
+done
+cmp "$json1" "$json2" \
+    || { echo "check_tune: repeat report differs" >&2; exit 1; }
+cmp "$db" "$workdir/db_after_run1.json" \
+    || { echo "check_tune: repeat run rewrote the database" >&2; exit 1; }
+echo "  zero evaluations, byte-identical report and database"
+
+echo "==== check_tune: stale entries are rejected ===="
+sed 's/"variant": "tpu-v2-a256-w4"/"variant": "tpu-v9-retired"/' \
+    "$db" > "$workdir/stale.json"
+"$BENCH" "db=$workdir/stale.json" "json=$workdir/report3.json" \
+    > "$workdir/run3.out" 2> "$workdir/run3.err"
+rejected="$(sed -n 's/.*rejected=\([0-9]*\).*/\1/p' \
+    "$workdir/run3.out" | head -n 1)"
+if [ -z "$rejected" ] || [ "$rejected" -le 0 ]; then
+    echo "check_tune: stale entries were not rejected" >&2
+    exit 1
+fi
+line="$(tune_line tpu "$workdir/run3.out")"
+evals="$(field "$line" evaluations)"
+if [ "$evals" -le 0 ]; then
+    echo "check_tune: rejected entries were not re-searched" >&2
+    exit 1
+fi
+cmp "$workdir/report3.json" "$json1" \
+    || { echo "check_tune: re-searched report differs" >&2; exit 1; }
+echo "  rejected=$rejected stale entries, re-search reproduced the report"
+
+echo "TUNE OK"

@@ -41,6 +41,13 @@ scripts/check_trace.sh
 echo "==== fault injection + resilience ===="
 scripts/check_faults.sh
 
+echo "==== perf regression gate ===="
+scripts/check_perf.sh
+scripts/check_perf.sh --selftest
+
+echo "==== autotuner + tuned-config database ===="
+scripts/check_tune.sh
+
 echo "==== examples ===="
 build/examples/quickstart
 build/examples/training_step

@@ -1,0 +1,366 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace cfconv {
+
+const JsonValue *
+JsonValue::get(const std::string &key) const
+{
+    if (!isObject())
+        return nullptr;
+    auto it = object_.find(key);
+    return it == object_.end() ? nullptr : &it->second;
+}
+
+double
+JsonValue::numberOr(const std::string &key, double fallback) const
+{
+    const JsonValue *v = get(key);
+    return (v != nullptr && v->isNumber()) ? v->asNumber() : fallback;
+}
+
+std::string
+JsonValue::stringOr(const std::string &key,
+                    const std::string &fallback) const
+{
+    const JsonValue *v = get(key);
+    return (v != nullptr && v->isString()) ? v->asString() : fallback;
+}
+
+JsonValue
+JsonValue::makeNull()
+{
+    return JsonValue{};
+}
+
+JsonValue
+JsonValue::makeBool(bool v)
+{
+    JsonValue j;
+    j.type_ = Type::Bool;
+    j.bool_ = v;
+    return j;
+}
+
+JsonValue
+JsonValue::makeNumber(double v)
+{
+    JsonValue j;
+    j.type_ = Type::Number;
+    j.number_ = v;
+    return j;
+}
+
+JsonValue
+JsonValue::makeString(std::string v)
+{
+    JsonValue j;
+    j.type_ = Type::String;
+    j.string_ = std::move(v);
+    return j;
+}
+
+JsonValue
+JsonValue::makeArray(std::vector<JsonValue> v)
+{
+    JsonValue j;
+    j.type_ = Type::Array;
+    j.array_ = std::move(v);
+    return j;
+}
+
+JsonValue
+JsonValue::makeObject(std::map<std::string, JsonValue> v)
+{
+    JsonValue j;
+    j.type_ = Type::Object;
+    j.object_ = std::move(v);
+    return j;
+}
+
+namespace {
+
+/** Recursive-descent parser over one immutable text buffer. Depth is
+ *  capped so a pathological document cannot blow the stack. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    StatusOr<JsonValue>
+    parse()
+    {
+        CFCONV_ASSIGN_OR_RETURN(JsonValue value, parseValue(0));
+        skipWhitespace();
+        if (pos_ != text_.size())
+            return errorHere("trailing characters after document");
+        return value;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 64;
+
+    Status
+    errorHere(const char *what) const
+    {
+        return invalidArgumentError("json: %s at offset %zu", what,
+                                    pos_);
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    consumeLiteral(const char *lit)
+    {
+        const size_t n = std::char_traits<char>::length(lit);
+        if (text_.compare(pos_, n, lit) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    StatusOr<JsonValue>
+    parseValue(int depth)
+    {
+        if (depth > kMaxDepth)
+            return errorHere("nesting too deep");
+        skipWhitespace();
+        if (pos_ >= text_.size())
+            return errorHere("unexpected end of input");
+        const char c = text_[pos_];
+        if (c == '{')
+            return parseObject(depth);
+        if (c == '[')
+            return parseArray(depth);
+        if (c == '"') {
+            CFCONV_ASSIGN_OR_RETURN(std::string s, parseString());
+            return JsonValue::makeString(std::move(s));
+        }
+        if (consumeLiteral("null"))
+            return JsonValue::makeNull();
+        if (consumeLiteral("true"))
+            return JsonValue::makeBool(true);
+        if (consumeLiteral("false"))
+            return JsonValue::makeBool(false);
+        if (c == '-' || (c >= '0' && c <= '9'))
+            return parseNumber();
+        return errorHere("unexpected character");
+    }
+
+    StatusOr<JsonValue>
+    parseObject(int depth)
+    {
+        ++pos_; // '{'
+        std::map<std::string, JsonValue> members;
+        skipWhitespace();
+        if (consume('}'))
+            return JsonValue::makeObject(std::move(members));
+        while (true) {
+            skipWhitespace();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return errorHere("expected object key");
+            CFCONV_ASSIGN_OR_RETURN(std::string key, parseString());
+            skipWhitespace();
+            if (!consume(':'))
+                return errorHere("expected ':' after object key");
+            CFCONV_ASSIGN_OR_RETURN(JsonValue value,
+                                    parseValue(depth + 1));
+            members[std::move(key)] = std::move(value);
+            skipWhitespace();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return JsonValue::makeObject(std::move(members));
+            return errorHere("expected ',' or '}' in object");
+        }
+    }
+
+    StatusOr<JsonValue>
+    parseArray(int depth)
+    {
+        ++pos_; // '['
+        std::vector<JsonValue> items;
+        skipWhitespace();
+        if (consume(']'))
+            return JsonValue::makeArray(std::move(items));
+        while (true) {
+            CFCONV_ASSIGN_OR_RETURN(JsonValue value,
+                                    parseValue(depth + 1));
+            items.push_back(std::move(value));
+            skipWhitespace();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return JsonValue::makeArray(std::move(items));
+            return errorHere("expected ',' or ']' in array");
+        }
+    }
+
+    StatusOr<std::string>
+    parseString()
+    {
+        ++pos_; // opening quote
+        std::string out;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return out;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return errorHere("unescaped control character");
+            if (c != '\\') {
+                out += c;
+                ++pos_;
+                continue;
+            }
+            ++pos_; // backslash
+            if (pos_ >= text_.size())
+                return errorHere("dangling escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'n': out += '\n'; break;
+            case 'r': out += '\r'; break;
+            case 't': out += '\t'; break;
+            case 'u': {
+                CFCONV_ASSIGN_OR_RETURN(unsigned code, parseHex4());
+                appendUtf8(out, code);
+                break;
+            }
+            default:
+                --pos_;
+                return errorHere("invalid escape");
+            }
+        }
+        return errorHere("unterminated string");
+    }
+
+    StatusOr<unsigned>
+    parseHex4()
+    {
+        if (pos_ + 4 > text_.size())
+            return errorHere("truncated \\u escape");
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text_[pos_ + static_cast<size_t>(i)];
+            code <<= 4;
+            if (c >= '0' && c <= '9')
+                code |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                code |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                code |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                return errorHere("bad hex digit in \\u escape");
+        }
+        pos_ += 4;
+        return code;
+    }
+
+    /** Encode one BMP code point as UTF-8 (surrogate pairs are kept
+     *  as-is; the writers never emit them). */
+    static void
+    appendUtf8(std::string &out, unsigned code)
+    {
+        if (code < 0x80) {
+            out += static_cast<char>(code);
+        } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+        } else {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+        }
+    }
+
+    StatusOr<JsonValue>
+    parseNumber()
+    {
+        const size_t start = pos_;
+        if (consume('-')) {}
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        if (consume('.'))
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        const std::string token = text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        const double v = std::strtod(token.c_str(), &end);
+        if (end == token.c_str() || *end != '\0') {
+            pos_ = start;
+            return errorHere("malformed number");
+        }
+        return JsonValue::makeNumber(v);
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+StatusOr<JsonValue>
+parseJson(const std::string &text)
+{
+    return Parser(text).parse();
+}
+
+StatusOr<JsonValue>
+parseJsonFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return notFoundError("json file '%s' not readable",
+                             path.c_str());
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    auto parsed = parseJson(buffer.str());
+    if (!parsed.ok())
+        return parsed.status().withContext("file " + path);
+    return parsed;
+}
+
+} // namespace cfconv

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Minimal JSON reader: the parsing counterpart of common/report's
+ * JsonWriter. The tuned-config database (tune/tuned_db) and any other
+ * persisted documents the tools write must be read back and validated
+ * in-process, without a third-party dependency. Parses the full JSON
+ * grammar (objects, arrays, strings with escapes, numbers, literals)
+ * into an owning tree of JsonValue nodes; errors come back as
+ * INVALID_ARGUMENT Statuses naming the byte offset, never as process
+ * aborts — a corrupted database file must be rejected, not fatal.
+ */
+
+#ifndef CFCONV_COMMON_JSON_H
+#define CFCONV_COMMON_JSON_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cfconv {
+
+/** One node of a parsed JSON document. */
+class JsonValue
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    JsonValue() = default;
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    /** Typed accessors; a type mismatch yields the neutral value
+     *  (false / 0.0 / empty). Callers that must distinguish "absent"
+     *  from "zero" check is*() first. */
+    bool asBool() const { return isBool() && bool_; }
+    double asNumber() const { return isNumber() ? number_ : 0.0; }
+    const std::string &asString() const { return string_; }
+
+    /** Array elements (empty unless isArray()). */
+    const std::vector<JsonValue> &items() const { return array_; }
+
+    /** Object members (empty unless isObject()). */
+    const std::map<std::string, JsonValue> &members() const
+    {
+        return object_;
+    }
+
+    /** Member lookup; nullptr when absent or not an object. */
+    const JsonValue *get(const std::string &key) const;
+
+    /** Convenience typed member reads with defaults. */
+    double numberOr(const std::string &key, double fallback) const;
+    std::string stringOr(const std::string &key,
+                         const std::string &fallback) const;
+
+    static JsonValue makeNull();
+    static JsonValue makeBool(bool v);
+    static JsonValue makeNumber(double v);
+    static JsonValue makeString(std::string v);
+    static JsonValue makeArray(std::vector<JsonValue> v);
+    static JsonValue makeObject(std::map<std::string, JsonValue> v);
+
+  private:
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> array_;
+    std::map<std::string, JsonValue> object_;
+};
+
+/**
+ * Parse @p text as one JSON document. Trailing non-whitespace after
+ * the top-level value, unterminated containers/strings, bad escapes,
+ * and malformed numbers all return INVALID_ARGUMENT with the byte
+ * offset of the offending character.
+ */
+StatusOr<JsonValue> parseJson(const std::string &text);
+
+/** Read and parse a JSON file. NOT_FOUND when the file is missing or
+ *  unreadable; parse errors carry the path as context. */
+StatusOr<JsonValue> parseJsonFile(const std::string &path);
+
+} // namespace cfconv
+
+#endif // CFCONV_COMMON_JSON_H

@@ -5,8 +5,6 @@
 #include "common/fault.h"
 #include "common/logging.h"
 #include "common/rng.h"
-#include "sim/gpu_accelerator.h"
-#include "sim/tpu_accelerator.h"
 
 namespace cfconv::sim {
 
@@ -148,52 +146,8 @@ Accelerator::tryRunLayer(const ConvParams &params,
     }
 }
 
-StatusOr<std::unique_ptr<Accelerator>>
-tryMakeAccelerator(const std::string &name)
-{
-    if (name == "tpu-v2") {
-        return std::unique_ptr<Accelerator>(
-            std::make_unique<TpuAccelerator>(
-                name, tpusim::TpuConfig::tpuV2()));
-    }
-    if (name == "tpu-v3ish") {
-        return std::unique_ptr<Accelerator>(
-            std::make_unique<TpuAccelerator>(
-                name, tpusim::TpuConfig::tpuV3ish()));
-    }
-    if (name == "gpu-v100") {
-        return std::unique_ptr<Accelerator>(
-            std::make_unique<GpuAccelerator>(
-                name, gpusim::GpuConfig::v100()));
-    }
-    if (name == "gpu-v100-cudnn") {
-        gpusim::GpuRunOptions options;
-        options.algorithm = gpusim::GpuAlgorithm::ImplicitChannelLast;
-        options.vendorTuned = true;
-        return std::unique_ptr<Accelerator>(
-            std::make_unique<GpuAccelerator>(
-                name, gpusim::GpuConfig::v100(), options));
-    }
-    std::string known;
-    for (const auto &k : knownAccelerators())
-        known += (known.empty() ? "" : ", ") + k;
-    return notFoundError("unknown accelerator '%s' (known: %s)",
-                         name.c_str(), known.c_str());
-}
-
-std::unique_ptr<Accelerator>
-makeAccelerator(const std::string &name)
-{
-    auto made = tryMakeAccelerator(name);
-    if (!made.ok())
-        fatal("%s", made.status().toString().c_str());
-    return std::move(made).value();
-}
-
-std::vector<std::string>
-knownAccelerators()
-{
-    return {"tpu-v2", "tpu-v3ish", "gpu-v100", "gpu-v100-cudnn"};
-}
+// makeAccelerator / tryMakeAccelerator / knownAccelerators are defined
+// in tune/variant_registry.cc: both the name list and the dispatch
+// derive from the variant registry, the single source of truth.
 
 } // namespace cfconv::sim

@@ -1,0 +1,343 @@
+#include "tune/autotuner.h"
+
+#include <limits>
+#include <utility>
+
+#include "common/memo_cache.h"
+#include "common/parallel.h"
+
+namespace cfconv::tune {
+
+const char *
+searchModeName(SearchMode mode)
+{
+    return mode == SearchMode::Exhaustive ? "exhaustive" : "greedy";
+}
+
+StatusOr<SearchMode>
+parseSearchMode(const std::string &name)
+{
+    if (name == "exhaustive")
+        return SearchMode::Exhaustive;
+    if (name == "greedy")
+        return SearchMode::Greedy;
+    return invalidArgumentError(
+        "unknown search mode '%s' (known: exhaustive, greedy)",
+        name.c_str());
+}
+
+size_t
+KnobSpace::flatIndex(const std::vector<Index> &point) const
+{
+    size_t flat = 0;
+    for (size_t i = 0; i < axes.size(); ++i)
+        flat = flat * axes[i].levels.size()
+            + static_cast<size_t>(point[i]);
+    return flat;
+}
+
+std::vector<Index>
+KnobSpace::pointOf(size_t flat) const
+{
+    std::vector<Index> point(axes.size(), 0);
+    for (size_t i = axes.size(); i-- > 0;) {
+        const size_t n = axes[i].levels.size();
+        point[i] = static_cast<Index>(flat % n);
+        flat /= n;
+    }
+    return point;
+}
+
+const std::string &
+KnobSpace::variantAt(const std::vector<Index> &point) const
+{
+    return variants[flatIndex(point)];
+}
+
+StatusOr<std::vector<Index>>
+KnobSpace::pointOfVariant(const std::string &name) const
+{
+    for (size_t flat = 0; flat < variants.size(); ++flat)
+        if (variants[flat] == name)
+            return pointOf(flat);
+    return notFoundError(
+        "variant '%s' is not a point of this knob space",
+        name.c_str());
+}
+
+KnobSpace
+tpuKnobSpace()
+{
+    KnobSpace space;
+    space.family = Backend::Tpu;
+    space.axes = {{"array", {"64", "128", "256"}},
+                  {"word", {"4", "8", "16"}}};
+    space.variants = {
+        "tpu-v2-a64-w4",  "tpu-v2-64x64",   "tpu-v2-a64-w16",
+        "tpu-v2-word4",   "tpu-v2",         "tpu-v2-word16",
+        "tpu-v2-a256-w4", "tpu-v2-256x256", "tpu-v2-a256-w16",
+    };
+    return space;
+}
+
+KnobSpace
+gpuKnobSpace()
+{
+    KnobSpace space;
+    space.family = Backend::Gpu;
+    space.axes = {{"kernel", {"chfirst", "chlast", "explicit"}},
+                  {"effort", {"stock", "vendor"}}};
+    space.variants = {
+        "gpu-v100",          "gpu-v100-tuned",
+        "gpu-v100-chlast",   "gpu-v100-cudnn",
+        "gpu-v100-explicit", "gpu-v100-explicit-tuned",
+    };
+    return space;
+}
+
+namespace {
+
+/** Process-wide memo of candidate evaluations, shared by every
+ *  Autotuner instance (keys carry the variant name, so spaces cannot
+ *  collide). Counters surface as "tune_cache.*". */
+MemoCache<double> &
+tuneCache()
+{
+    static MemoCache<double> *cache = new MemoCache<double>("tune_cache");
+    return *cache;
+}
+
+std::string
+evalKey(const std::string &variant, const tensor::ConvParams &params,
+        Index groups)
+{
+    std::string key = "tune|" + variant + "|" + params.toString() + "|";
+    memoKeyAppendInt(key, groups);
+    return key;
+}
+
+} // namespace
+
+StatusOr<std::unique_ptr<Autotuner>>
+Autotuner::create(KnobSpace space, const VariantRegistry &registry)
+{
+    size_t expected = space.axes.empty() ? 0 : 1;
+    for (const auto &axis : space.axes)
+        expected *= axis.levels.size();
+    if (expected == 0 || space.variants.size() != expected)
+        return invalidArgumentError(
+            "knob space: %zu variants for %zu grid points",
+            space.variants.size(), expected);
+    std::unique_ptr<Autotuner> tuner(new Autotuner(std::move(space)));
+    tuner->candidates_.reserve(tuner->space_.points());
+    for (const std::string &name : tuner->space_.variants) {
+        const VariantSpec *spec = registry.find(name);
+        if (spec == nullptr)
+            return notFoundError(
+                "knob space names unregistered variant '%s'",
+                name.c_str());
+        if (spec->backend != tuner->space_.family)
+            return invalidArgumentError(
+                "knob space variant '%s' is not a %s variant",
+                name.c_str(),
+                backendFamilyName(tuner->space_.family));
+        tuner->candidates_.push_back(makeFromSpec(*spec));
+    }
+    return tuner;
+}
+
+Autotuner::Autotuner(KnobSpace space) : space_(std::move(space)) {}
+
+StatGroup
+Autotuner::cacheStats()
+{
+    return tuneCache().statsSnapshot();
+}
+
+double
+Autotuner::evaluate(size_t flat, const tensor::ConvParams &params,
+                    Index groups,
+                    std::atomic<Index> &evaluations) const
+{
+    MemoCache<double> &cache = tuneCache();
+    const std::string key =
+        evalKey(space_.variants[flat], params, groups);
+    double seconds = 0.0;
+    if (cache.enabled() && cache.lookup(key, &seconds))
+        return seconds;
+    sim::RunOptions options;
+    options.groups = groups;
+    seconds = candidates_[flat]->runLayer(params, options).seconds;
+    ++evaluations;
+    if (cache.enabled())
+        cache.insert(key, seconds);
+    return seconds;
+}
+
+size_t
+Autotuner::searchExhaustive(const tensor::ConvParams &params,
+                            Index groups,
+                            std::atomic<Index> &evaluations) const
+{
+    std::vector<double> seconds(space_.points(), 0.0);
+    parallel::parallelFor(
+        0, static_cast<Index>(space_.points()), 1,
+        [&](Index begin, Index end) {
+            for (Index i = begin; i < end; ++i)
+                seconds[static_cast<size_t>(i)] =
+                    evaluate(static_cast<size_t>(i), params, groups,
+                             evaluations);
+        });
+    // Ascending scan with strict improvement: ties resolve to the
+    // lowest flat index regardless of thread count.
+    size_t best = 0;
+    for (size_t i = 1; i < seconds.size(); ++i)
+        if (seconds[i] < seconds[best])
+            best = i;
+    return best;
+}
+
+size_t
+Autotuner::searchGreedy(size_t start, const tensor::ConvParams &params,
+                        Index groups,
+                        std::atomic<Index> &evaluations) const
+{
+    size_t current = start;
+    std::atomic<Index> &evals = evaluations;
+    double currentSeconds = evaluate(current, params, groups, evals);
+    while (true) {
+        // Candidate moves: one step along each axis in each direction.
+        std::vector<size_t> moves;
+        const std::vector<Index> point = space_.pointOf(current);
+        for (size_t axis = 0; axis < space_.axes.size(); ++axis) {
+            for (const int delta : {-1, +1}) {
+                const Index level = point[axis] + delta;
+                if (level < 0
+                    || level >= static_cast<Index>(
+                           space_.axes[axis].levels.size()))
+                    continue;
+                std::vector<Index> next = point;
+                next[axis] = level;
+                moves.push_back(space_.flatIndex(next));
+            }
+        }
+        std::vector<double> seconds(moves.size(), 0.0);
+        parallel::parallelFor(
+            0, static_cast<Index>(moves.size()), 1,
+            [&](Index begin, Index end) {
+                for (Index i = begin; i < end; ++i)
+                    seconds[static_cast<size_t>(i)] =
+                        evaluate(moves[static_cast<size_t>(i)], params,
+                                 groups, evals);
+            });
+        // Steepest descent with plateau walking: a move is acceptable
+        // when strictly faster, or equally fast at a lower flat index
+        // (time ties are common — e.g. the word axis on DRAM-bound
+        // layers — and walking them keeps greedy's tie-break
+        // consistent with exhaustive's lowest-flat-index rule). Every
+        // move strictly decreases (seconds, flat index)
+        // lexicographically, so the walk terminates.
+        size_t bestMove = moves.size();
+        for (size_t i = 0; i < moves.size(); ++i) {
+            const bool acceptable = seconds[i] < currentSeconds
+                || (seconds[i] == currentSeconds && moves[i] < current);
+            const bool better = acceptable
+                && (bestMove == moves.size()
+                    || seconds[i] < seconds[bestMove]
+                    || (seconds[i] == seconds[bestMove]
+                        && moves[i] < moves[bestMove]));
+            if (better)
+                bestMove = i;
+        }
+        if (bestMove == moves.size())
+            return current;
+        current = moves[bestMove];
+        currentSeconds = seconds[bestMove];
+    }
+}
+
+StatusOr<LayerTuneChoice>
+Autotuner::tuneLayer(const models::ConvLayerSpec &layer,
+                     const TuneOptions &options)
+{
+    CFCONV_ASSIGN_OR_RETURN(const std::vector<Index> basePoint,
+                            space_.pointOfVariant(options.baseline));
+    sim::RunOptions runOptions;
+    runOptions.groups = layer.groups;
+    CFCONV_RETURN_IF_ERROR(
+        sim::validateLayerParams(layer.params, runOptions)
+            .withContext("tuning layer " + layer.name));
+
+    LayerTuneChoice choice;
+    choice.layerName = layer.name;
+    choice.geometry = layer.params.toString();
+    choice.groups = layer.groups;
+    choice.count = layer.count;
+
+    const char *family = backendFamilyName(space_.family);
+    if (options.db != nullptr) {
+        const TunedEntry *hit = options.db->find(
+            family, choice.geometry, choice.groups);
+        // Honor the entry only when it answers this exact question:
+        // same baseline, and a winner this space can instantiate.
+        if (hit != nullptr && hit->baseline == options.baseline
+            && space_.pointOfVariant(hit->variant).ok()) {
+            choice.variant = hit->variant;
+            choice.tunedSeconds = hit->tunedSeconds;
+            choice.baselineSeconds = hit->baselineSeconds;
+            choice.fromDb = true;
+            return choice;
+        }
+    }
+
+    std::atomic<Index> evaluations{0};
+    const size_t base = space_.flatIndex(basePoint);
+    const size_t best = options.mode == SearchMode::Exhaustive
+        ? searchExhaustive(layer.params, layer.groups, evaluations)
+        : searchGreedy(base, layer.params, layer.groups, evaluations);
+    choice.variant = space_.variants[best];
+    choice.tunedSeconds =
+        evaluate(best, layer.params, layer.groups, evaluations);
+    choice.baselineSeconds =
+        evaluate(base, layer.params, layer.groups, evaluations);
+    choice.evaluations = evaluations.load();
+
+    if (options.db != nullptr) {
+        TunedEntry entry;
+        entry.family = family;
+        entry.geometry = choice.geometry;
+        entry.groups = choice.groups;
+        entry.variant = choice.variant;
+        entry.baseline = options.baseline;
+        entry.tunedSeconds = choice.tunedSeconds;
+        entry.baselineSeconds = choice.baselineSeconds;
+        entry.evaluations = choice.evaluations;
+        entry.mode = searchModeName(options.mode);
+        options.db->upsert(std::move(entry));
+    }
+    return choice;
+}
+
+StatusOr<ModelTuneResult>
+Autotuner::tuneModel(const models::ModelSpec &model,
+                     const TuneOptions &options)
+{
+    ModelTuneResult result;
+    result.model = model.name;
+    result.baseline = options.baseline;
+    result.mode = options.mode;
+    for (const models::ConvLayerSpec &layer : model.layers) {
+        CFCONV_ASSIGN_OR_RETURN(LayerTuneChoice choice,
+                                tuneLayer(layer, options));
+        const double reps = static_cast<double>(choice.count);
+        result.baselineSeconds += choice.baselineSeconds * reps;
+        result.tunedSeconds += choice.tunedSeconds * reps;
+        result.evaluations += choice.evaluations;
+        if (choice.fromDb)
+            ++result.dbHits;
+        result.layers.push_back(std::move(choice));
+    }
+    return result;
+}
+
+} // namespace cfconv::tune

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The named accelerator-variant zoo: a data-driven registry of
+ * declarative parameter records that generalizes the old hard-coded
+ * makeAccelerator name table. Each variant is one VariantSpec — a
+ * backend tag plus the fully-resolved simulator config and run
+ * options — so adding a design point (array-size sweep, buffer/word
+ * variant, algorithm baseline) is one record, not a new factory
+ * branch. The registry is the single source of truth for accelerator
+ * names: sim::makeAccelerator / sim::tryMakeAccelerator /
+ * sim::knownAccelerators (declared in sim/accelerator.h) are DEFINED
+ * here and resolve through it, so the dispatch and the name list can
+ * never drift, and the tuner (tune/autotuner) and the tuned-config
+ * database (tune/tuned_db) validate against the same zoo the benches
+ * instantiate. The four stock names ("tpu-v2", "tpu-v3ish",
+ * "gpu-v100", "gpu-v100-cudnn") are registered first with specs
+ * byte-identical to their pre-registry constructions.
+ */
+
+#ifndef CFCONV_TUNE_VARIANT_REGISTRY_H
+#define CFCONV_TUNE_VARIANT_REGISTRY_H
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "gpusim/gpu_config.h"
+#include "gpusim/gpu_sim.h"
+#include "sim/accelerator.h"
+#include "tpusim/tpu_config.h"
+#include "tpusim/tpu_sim.h"
+
+namespace cfconv::tune {
+
+/** Which simulator family a variant instantiates. */
+enum class Backend { Tpu, Gpu };
+
+/** Stable lowercase family name: "tpu" or "gpu". The tuned-config
+ *  database keys entries on it. */
+const char *backendFamilyName(Backend backend);
+
+/**
+ * Declarative record for one named accelerator instance. Only the
+ * fields of the tagged backend are meaningful; the other family's
+ * config rides along at its default so the record stays a plain
+ * value type (copyable, comparable field-by-field in tests).
+ */
+struct VariantSpec
+{
+    std::string name;
+    Backend backend = Backend::Tpu;
+    /** One-line provenance shown by tooling ("v2 core, 256x256
+     *  array"). Not part of any cache or database key. */
+    std::string description;
+
+    tpusim::TpuConfig tpuConfig = tpusim::TpuConfig::tpuV2();
+    tpusim::TpuRunOptions tpuOptions{};
+
+    gpusim::GpuConfig gpuConfig = gpusim::GpuConfig::v100();
+    gpusim::GpuRunOptions gpuOptions{};
+};
+
+/** Instantiate the accelerator a spec describes (adapter construction
+ *  only; never fails for a well-formed spec). */
+std::unique_ptr<sim::Accelerator> makeFromSpec(const VariantSpec &spec);
+
+/**
+ * Process-wide name -> VariantSpec table. Construction registers the
+ * built-in zoo (registerBuiltinVariants); tests and tools may add
+ * further variants at runtime. Reads after startup are lock-cheap;
+ * records live in a deque so find() pointers stay valid across
+ * add() calls.
+ */
+class VariantRegistry
+{
+  public:
+    static VariantRegistry &instance();
+
+    /** Register @p spec. INVALID_ARGUMENT on an empty or duplicate
+     *  name (the zoo is append-only; redefining a name would silently
+     *  change what persisted tuned-config entries mean). */
+    Status add(VariantSpec spec);
+
+    /** Lookup; nullptr when unknown. The pointer stays valid for the
+     *  registry's lifetime. */
+    const VariantSpec *find(const std::string &name) const;
+
+    bool contains(const std::string &name) const;
+
+    /** Instantiate a registered variant. NOT_FOUND (listing all valid
+     *  names) when unknown — the message the failover chain and CLI
+     *  tools surface to users. */
+    StatusOr<std::unique_ptr<sim::Accelerator>>
+    make(const std::string &name) const;
+
+    /** All names in registration order (stock four first — the
+     *  presentation order knownAccelerators() promises). */
+    std::vector<std::string> names() const;
+
+    /** Names of one backend family only, registration order. */
+    std::vector<std::string> names(Backend family) const;
+
+    size_t size() const;
+
+  private:
+    VariantRegistry();
+
+    mutable std::mutex mutex_;
+    std::deque<VariantSpec> variants_;
+    std::unordered_map<std::string, const VariantSpec *> index_;
+};
+
+/** Register the built-in zoo into @p registry: the four stock
+ *  configurations, the TPU design-space sweeps (array size, word
+ *  size, MXU count, on-chip capacity, algorithm/layout baselines),
+ *  the GPU kernel/efficiency variants, and the autotuner grid
+ *  points. Called once by VariantRegistry::instance(). */
+void registerBuiltinVariants(VariantRegistry &registry);
+
+} // namespace cfconv::tune
+
+#endif // CFCONV_TUNE_VARIANT_REGISTRY_H

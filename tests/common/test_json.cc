@@ -1,0 +1,121 @@
+/** @file Tests for the minimal JSON reader (common/json): scalar and
+ *  container parsing, escape handling, round-trip with the JsonWriter,
+ *  and rejection of malformed documents with byte offsets. */
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "common/report.h"
+
+namespace cfconv {
+namespace {
+
+TEST(JsonParse, Scalars)
+{
+    EXPECT_TRUE(parseJson("null").value().isNull());
+    EXPECT_TRUE(parseJson("true").value().asBool());
+    EXPECT_FALSE(parseJson("false").value().asBool());
+    EXPECT_DOUBLE_EQ(parseJson("42").value().asNumber(), 42.0);
+    EXPECT_DOUBLE_EQ(parseJson("-3.5e2").value().asNumber(), -350.0);
+    EXPECT_EQ(parseJson("\"hi\"").value().asString(), "hi");
+    EXPECT_DOUBLE_EQ(parseJson(" 7 ").value().asNumber(), 7.0);
+}
+
+TEST(JsonParse, NestedContainers)
+{
+    const auto doc = parseJson(
+        R"({"a": [1, 2, {"b": true}], "c": {"d": "x"}, "e": null})");
+    ASSERT_TRUE(doc.ok()) << doc.status().toString();
+    const JsonValue &v = doc.value();
+    ASSERT_TRUE(v.isObject());
+    const JsonValue *a = v.get("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_TRUE(a->isArray());
+    ASSERT_EQ(a->items().size(), 3u);
+    EXPECT_DOUBLE_EQ(a->items()[0].asNumber(), 1.0);
+    EXPECT_TRUE(a->items()[2].get("b")->asBool());
+    EXPECT_EQ(v.get("c")->stringOr("d", ""), "x");
+    EXPECT_TRUE(v.get("e")->isNull());
+    EXPECT_EQ(v.get("missing"), nullptr);
+}
+
+TEST(JsonParse, StringEscapes)
+{
+    const auto doc =
+        parseJson(R"("a\"b\\c\/d\n\tAé")");
+    ASSERT_TRUE(doc.ok());
+    EXPECT_EQ(doc.value().asString(), "a\"b\\c/d\n\tA\xc3\xa9");
+}
+
+TEST(JsonParse, TypedAccessorsAreNeutralOnMismatch)
+{
+    const JsonValue v = parseJson("\"text\"").value();
+    EXPECT_DOUBLE_EQ(v.asNumber(), 0.0);
+    EXPECT_FALSE(v.asBool());
+    EXPECT_TRUE(v.items().empty());
+    EXPECT_TRUE(v.members().empty());
+    EXPECT_EQ(v.get("k"), nullptr);
+    EXPECT_DOUBLE_EQ(v.numberOr("k", 9.0), 9.0);
+    EXPECT_EQ(v.stringOr("k", "d"), "d");
+}
+
+TEST(JsonParse, RejectsMalformedDocuments)
+{
+    for (const char *bad :
+         {"", "{", "[1,", "{\"a\"}", "{\"a\":}", "[1 2]", "tru",
+          "\"unterminated", "\"bad\\q\"", "\"trunc\\u00\"", "1 2",
+          "{\"a\": 1,}", "{1: 2}", "nan", "--1"}) {
+        const auto doc = parseJson(bad);
+        EXPECT_FALSE(doc.ok()) << "accepted: " << bad;
+        if (!doc.ok()) {
+            EXPECT_EQ(doc.status().code(),
+                      StatusCode::kInvalidArgument)
+                << bad;
+        }
+    }
+}
+
+TEST(JsonParse, RejectsPathologicalNesting)
+{
+    std::string deep(1000, '[');
+    deep += std::string(1000, ']');
+    const auto doc = parseJson(deep);
+    ASSERT_FALSE(doc.ok());
+    EXPECT_NE(doc.status().message().find("deep"), std::string::npos);
+}
+
+TEST(JsonParse, RoundTripsJsonWriterOutput)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("name", "tuned \"db\"");
+    w.field("version", static_cast<long long>(3));
+    w.field("ratio", 0.125);
+    w.field("on", true);
+    w.key("items");
+    w.beginArray();
+    w.value(1.5);
+    w.valueNull();
+    w.endArray();
+    w.endObject();
+
+    const auto doc = parseJson(w.str());
+    ASSERT_TRUE(doc.ok()) << doc.status().toString();
+    const JsonValue &v = doc.value();
+    EXPECT_EQ(v.stringOr("name", ""), "tuned \"db\"");
+    EXPECT_DOUBLE_EQ(v.numberOr("version", 0), 3.0);
+    EXPECT_DOUBLE_EQ(v.numberOr("ratio", 0), 0.125);
+    EXPECT_TRUE(v.get("on")->asBool());
+    ASSERT_EQ(v.get("items")->items().size(), 2u);
+    EXPECT_TRUE(v.get("items")->items()[1].isNull());
+}
+
+TEST(JsonParseFile, MissingFileIsNotFound)
+{
+    const auto doc = parseJsonFile("/nonexistent/nope.json");
+    ASSERT_FALSE(doc.ok());
+    EXPECT_EQ(doc.status().code(), StatusCode::kNotFound);
+}
+
+} // namespace
+} // namespace cfconv

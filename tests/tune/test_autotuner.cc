@@ -1,0 +1,251 @@
+/** @file Tests for the design-space autotuner (tune/autotuner):
+ *  knob-space indexing, exhaustive/greedy agreement, thread-count
+ *  determinism, database fast-path, and model aggregation. */
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "models/model_zoo.h"
+#include "tune/autotuner.h"
+#include "tune/tuned_db.h"
+
+namespace cfconv::tune {
+namespace {
+
+using tensor::makeConv;
+
+models::ConvLayerSpec
+layerOf(const char *name, tensor::ConvParams params, Index count = 1,
+        Index groups = 1)
+{
+    models::ConvLayerSpec layer;
+    layer.name = name;
+    layer.params = params;
+    layer.count = count;
+    layer.groups = groups;
+    return layer;
+}
+
+TEST(KnobSpace, FlatIndexAndPointRoundTrip)
+{
+    const KnobSpace space = tpuKnobSpace();
+    ASSERT_EQ(space.axes.size(), 2u);
+    ASSERT_EQ(space.points(),
+              space.axes[0].levels.size() * space.axes[1].levels.size());
+    for (size_t flat = 0; flat < space.points(); ++flat) {
+        const auto point = space.pointOf(flat);
+        EXPECT_EQ(space.flatIndex(point), flat);
+        EXPECT_EQ(space.variantAt(point), space.variants[flat]);
+    }
+    // The canonical anchor points sit where the doc comment says.
+    const auto v2 = space.pointOfVariant("tpu-v2");
+    ASSERT_TRUE(v2.ok());
+    EXPECT_EQ(space.variantAt(v2.value()), "tpu-v2");
+    EXPECT_FALSE(space.pointOfVariant("gpu-v100").ok());
+    EXPECT_EQ(space.pointOfVariant("no-such-variant").status().code(),
+              StatusCode::kNotFound);
+}
+
+TEST(KnobSpace, BuiltinGridsNameOnlyRegisteredVariants)
+{
+    const auto &registry = VariantRegistry::instance();
+    for (const KnobSpace &space : {tpuKnobSpace(), gpuKnobSpace()})
+        for (const auto &name : space.variants) {
+            const VariantSpec *spec = registry.find(name);
+            ASSERT_NE(spec, nullptr) << name;
+            EXPECT_EQ(spec->backend, space.family) << name;
+        }
+}
+
+TEST(SearchMode, NamesParseAndRoundTrip)
+{
+    EXPECT_STREQ(searchModeName(SearchMode::Exhaustive), "exhaustive");
+    EXPECT_STREQ(searchModeName(SearchMode::Greedy), "greedy");
+    EXPECT_EQ(parseSearchMode("exhaustive").value(),
+              SearchMode::Exhaustive);
+    EXPECT_EQ(parseSearchMode("greedy").value(), SearchMode::Greedy);
+    EXPECT_EQ(parseSearchMode("fancy").status().code(),
+              StatusCode::kInvalidArgument);
+}
+
+TEST(Autotuner, CreateRejectsUnregisteredGridPoints)
+{
+    KnobSpace space = tpuKnobSpace();
+    space.variants[0] = "tpu-v9-imaginary";
+    EXPECT_FALSE(Autotuner::create(space).ok());
+}
+
+TEST(Autotuner, ExhaustiveFindsTheGridMinimum)
+{
+    auto tuner = Autotuner::create(tpuKnobSpace()).value();
+    TuneOptions options;
+    options.baseline = "tpu-v2";
+
+    const auto layer = layerOf("conv3", makeConv(8, 128, 28, 128, 3, 1, 1));
+    const auto choice = tuner->tuneLayer(layer, options);
+    ASSERT_TRUE(choice.ok()) << choice.status().toString();
+
+    // The reported winner must actually be the minimum over every
+    // candidate, measured independently.
+    double best = 0.0;
+    std::string bestName;
+    for (const auto &name : tuner->space().variants) {
+        const auto accel = sim::makeAccelerator(name);
+        const double seconds = accel->runLayer(layer.params).seconds;
+        if (bestName.empty() || seconds < best) {
+            best = seconds;
+            bestName = name;
+        }
+    }
+    EXPECT_EQ(choice.value().variant, bestName);
+    EXPECT_DOUBLE_EQ(choice.value().tunedSeconds, best);
+    EXPECT_LE(choice.value().tunedSeconds,
+              choice.value().baselineSeconds);
+    EXPECT_GE(choice.value().speedup(), 1.0);
+}
+
+TEST(Autotuner, ChoiceIsIndependentOfThreadCount)
+{
+    auto tuner = Autotuner::create(tpuKnobSpace()).value();
+    TuneOptions options;
+    options.baseline = "tpu-v2";
+    const auto layer =
+        layerOf("conv4", makeConv(4, 256, 14, 256, 3, 2, 1));
+
+    parallel::setThreads(1);
+    const auto serial = tuner->tuneLayer(layer, options).value();
+    parallel::setThreads(4);
+    const auto threaded = tuner->tuneLayer(layer, options).value();
+    parallel::setThreads(1);
+
+    EXPECT_EQ(serial.variant, threaded.variant);
+    EXPECT_DOUBLE_EQ(serial.tunedSeconds, threaded.tunedSeconds);
+    EXPECT_DOUBLE_EQ(serial.baselineSeconds, threaded.baselineSeconds);
+}
+
+TEST(Autotuner, GreedyAgreesWithExhaustiveOnBuiltinGrids)
+{
+    // The built-in grids are small and well-behaved; greedy must land
+    // on the same winner exhaustive does for representative shapes.
+    const std::vector<models::ConvLayerSpec> layers = {
+        layerOf("stem", makeConv(8, 3, 224, 64, 7, 2, 3)),
+        layerOf("mid", makeConv(8, 128, 28, 128, 3, 1, 1)),
+        layerOf("late1x1", makeConv(8, 512, 7, 2048, 1, 1, 0)),
+    };
+    const std::vector<std::pair<KnobSpace, std::string>> setups = {
+        {tpuKnobSpace(), "tpu-v2"},
+        {gpuKnobSpace(), "gpu-v100"},
+    };
+    for (const auto &[space, baseline] : setups) {
+        auto tuner = Autotuner::create(space).value();
+        for (const auto &layer : layers) {
+            TuneOptions exhaustive;
+            exhaustive.baseline = baseline;
+            TuneOptions greedy = exhaustive;
+            greedy.mode = SearchMode::Greedy;
+            const auto a = tuner->tuneLayer(layer, exhaustive).value();
+            const auto b = tuner->tuneLayer(layer, greedy).value();
+            EXPECT_EQ(a.variant, b.variant)
+                << baseline << " " << layer.name;
+            EXPECT_DOUBLE_EQ(a.tunedSeconds, b.tunedSeconds)
+                << baseline << " " << layer.name;
+        }
+    }
+}
+
+TEST(Autotuner, DatabaseHitSkipsTheSearch)
+{
+    auto tuner = Autotuner::create(tpuKnobSpace()).value();
+    TunedConfigDb db;
+    TuneOptions options;
+    options.baseline = "tpu-v2";
+    options.db = &db;
+    const auto layer =
+        layerOf("conv2", makeConv(8, 64, 56, 64, 3, 1, 1), 3);
+
+    const auto fresh = tuner->tuneLayer(layer, options).value();
+    EXPECT_FALSE(fresh.fromDb);
+    EXPECT_EQ(db.size(), 1u);
+
+    const auto hit = tuner->tuneLayer(layer, options).value();
+    EXPECT_TRUE(hit.fromDb);
+    EXPECT_EQ(hit.evaluations, 0);
+    EXPECT_EQ(hit.variant, fresh.variant);
+    EXPECT_DOUBLE_EQ(hit.tunedSeconds, fresh.tunedSeconds);
+    EXPECT_DOUBLE_EQ(hit.baselineSeconds, fresh.baselineSeconds);
+    EXPECT_EQ(hit.count, layer.count);
+}
+
+TEST(Autotuner, DatabaseHitRequiresTheSameBaseline)
+{
+    auto tuner = Autotuner::create(gpuKnobSpace()).value();
+    TunedConfigDb db;
+    TuneOptions options;
+    options.baseline = "gpu-v100";
+    options.db = &db;
+    const auto layer =
+        layerOf("conv5", makeConv(8, 512, 7, 512, 3, 1, 1));
+
+    ASSERT_TRUE(tuner->tuneLayer(layer, options).ok());
+    // A different baseline means the stored entry's relative numbers
+    // do not answer the question; the tuner must re-search.
+    options.baseline = "gpu-v100-cudnn";
+    const auto other = tuner->tuneLayer(layer, options).value();
+    EXPECT_FALSE(other.fromDb);
+}
+
+TEST(Autotuner, RejectsBaselinesOutsideTheSpace)
+{
+    auto tuner = Autotuner::create(tpuKnobSpace()).value();
+    TuneOptions options;
+    options.baseline = "gpu-v100"; // registered, but not a grid point
+    const auto layer = layerOf("x", makeConv(1, 8, 8, 8, 3, 1, 1));
+    EXPECT_FALSE(tuner->tuneLayer(layer, options).ok());
+}
+
+TEST(Autotuner, TuneModelAggregatesLayers)
+{
+    auto tuner = Autotuner::create(tpuKnobSpace()).value();
+    TunedConfigDb db;
+    TuneOptions options;
+    options.baseline = "tpu-v2";
+    options.db = &db;
+
+    const auto model = models::resnet50(8);
+    const auto result = tuner->tuneModel(model, options);
+    ASSERT_TRUE(result.ok()) << result.status().toString();
+    const ModelTuneResult &r = result.value();
+    EXPECT_EQ(r.model, model.name);
+    EXPECT_EQ(r.baseline, "tpu-v2");
+    EXPECT_EQ(r.layers.size(), model.layers.size());
+
+    double baselineSum = 0.0, tunedSum = 0.0;
+    for (size_t i = 0; i < r.layers.size(); ++i) {
+        const LayerTuneChoice &choice = r.layers[i];
+        EXPECT_EQ(choice.layerName, model.layers[i].name);
+        EXPECT_LE(choice.tunedSeconds, choice.baselineSeconds);
+        const double n = static_cast<double>(choice.count);
+        baselineSum += choice.baselineSeconds * n;
+        tunedSum += choice.tunedSeconds * n;
+    }
+    EXPECT_DOUBLE_EQ(r.baselineSeconds, baselineSum);
+    EXPECT_DOUBLE_EQ(r.tunedSeconds, tunedSum);
+    EXPECT_GE(r.speedup(), 1.0);
+
+    // A second pass over the same model is answered entirely from the
+    // database: zero fresh evaluations, identical choices.
+    const auto again = tuner->tuneModel(model, options).value();
+    EXPECT_EQ(again.evaluations, 0);
+    EXPECT_EQ(again.dbHits,
+              static_cast<Index>(model.layers.size()));
+    ASSERT_EQ(again.layers.size(), r.layers.size());
+    for (size_t i = 0; i < r.layers.size(); ++i) {
+        EXPECT_EQ(again.layers[i].variant, r.layers[i].variant);
+        EXPECT_DOUBLE_EQ(again.layers[i].tunedSeconds,
+                         r.layers[i].tunedSeconds);
+    }
+    EXPECT_DOUBLE_EQ(again.tunedSeconds, r.tunedSeconds);
+}
+
+} // namespace
+} // namespace cfconv::tune

@@ -1,0 +1,214 @@
+/** @file Tests for the persistent tuned-config database
+ *  (tune/tuned_db): deterministic persistence, round-trips, and the
+ *  loader's schema and staleness validation against the live
+ *  variant registry. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "tune/tuned_db.h"
+#include "tune/variant_registry.h"
+
+namespace cfconv::tune {
+namespace {
+
+/** A temp-file path unique to this test binary run. */
+std::string
+tempPath(const std::string &stem)
+{
+    return testing::TempDir() + "cfconv_tuned_db_" + stem + ".json";
+}
+
+TunedEntry
+sampleEntry(const std::string &geometry = "n8_ci64_hw56_co64_k3_s1_p1",
+            Index groups = 1)
+{
+    TunedEntry entry;
+    entry.family = "tpu";
+    entry.geometry = geometry;
+    entry.groups = groups;
+    entry.variant = "tpu-v2-a256-w4";
+    entry.baseline = "tpu-v2";
+    entry.tunedSeconds = 1.25e-4;
+    entry.baselineSeconds = 2.5e-4;
+    entry.evaluations = 9;
+    entry.mode = "exhaustive";
+    return entry;
+}
+
+TEST(TunedConfigDb, UpsertFindAndReplace)
+{
+    TunedConfigDb db;
+    EXPECT_EQ(db.find("tpu", "g", 1), nullptr);
+
+    db.upsert(sampleEntry("g"));
+    ASSERT_EQ(db.size(), 1u);
+    const TunedEntry *hit = db.find("tpu", "g", 1);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->variant, "tpu-v2-a256-w4");
+
+    // Same key replaces; different groups or family is a new entry.
+    TunedEntry replacement = sampleEntry("g");
+    replacement.variant = "tpu-v2-256x256";
+    db.upsert(replacement);
+    EXPECT_EQ(db.size(), 1u);
+    EXPECT_EQ(db.find("tpu", "g", 1)->variant, "tpu-v2-256x256");
+
+    db.upsert(sampleEntry("g", 2));
+    TunedEntry gpu = sampleEntry("g");
+    gpu.family = "gpu";
+    gpu.variant = "gpu-v100-tuned";
+    gpu.baseline = "gpu-v100";
+    db.upsert(gpu);
+    EXPECT_EQ(db.size(), 3u);
+    EXPECT_EQ(db.find("tpu", "g", 2)->groups, 2);
+    EXPECT_EQ(db.find("gpu", "g", 1)->variant, "gpu-v100-tuned");
+}
+
+TEST(TunedConfigDb, ToJsonIsDeterministicAndInsertionOrderFree)
+{
+    TunedConfigDb forward, backward;
+    const auto a = sampleEntry("aaa");
+    const auto b = sampleEntry("bbb");
+    const auto c = sampleEntry("ccc");
+    forward.upsert(a);
+    forward.upsert(b);
+    forward.upsert(c);
+    backward.upsert(c);
+    backward.upsert(a);
+    backward.upsert(b);
+    EXPECT_EQ(forward.toJson(), backward.toJson());
+    EXPECT_EQ(forward.toJson(), forward.toJson());
+}
+
+TEST(TunedConfigDb, SaveAndLoadRoundTrips)
+{
+    const std::string path = tempPath("roundtrip");
+    TunedConfigDb db;
+    db.upsert(sampleEntry("layer1"));
+    db.upsert(sampleEntry("layer2", 4));
+    TunedEntry greedy = sampleEntry("layer3");
+    greedy.mode = "greedy";
+    greedy.evaluations = 5;
+    db.upsert(greedy);
+    ASSERT_TRUE(db.saveFile(path));
+
+    TunedConfigDb loaded;
+    const auto stats =
+        loaded.loadFile(path, VariantRegistry::instance());
+    ASSERT_TRUE(stats.ok()) << stats.status().toString();
+    EXPECT_EQ(stats.value().loaded, 3);
+    EXPECT_EQ(stats.value().rejected, 0);
+    ASSERT_EQ(loaded.size(), db.size());
+
+    for (const TunedEntry &want : db.entries()) {
+        const TunedEntry *got =
+            loaded.find(want.family, want.geometry, want.groups);
+        ASSERT_NE(got, nullptr) << want.geometry;
+        EXPECT_EQ(got->variant, want.variant);
+        EXPECT_EQ(got->baseline, want.baseline);
+        EXPECT_DOUBLE_EQ(got->tunedSeconds, want.tunedSeconds);
+        EXPECT_DOUBLE_EQ(got->baselineSeconds, want.baselineSeconds);
+        EXPECT_EQ(got->evaluations, want.evaluations);
+        EXPECT_EQ(got->mode, want.mode);
+    }
+    // A loaded database persists byte-identically.
+    EXPECT_EQ(loaded.toJson(), db.toJson());
+    std::remove(path.c_str());
+}
+
+TEST(TunedConfigDb, LoaderRejectsStaleEntriesIndividually)
+{
+    const std::string path = tempPath("stale");
+    TunedConfigDb db;
+    db.upsert(sampleEntry("good"));
+    TunedEntry unknownVariant = sampleEntry("stale_variant");
+    unknownVariant.variant = "tpu-v9-retired";
+    db.upsert(unknownVariant);
+    TunedEntry unknownBaseline = sampleEntry("stale_baseline");
+    unknownBaseline.baseline = "tpu-v9-retired";
+    db.upsert(unknownBaseline);
+    TunedEntry badSeconds = sampleEntry("bad_seconds");
+    badSeconds.tunedSeconds = 0.0;
+    db.upsert(badSeconds);
+    TunedEntry badGroups = sampleEntry("bad_groups");
+    badGroups.groups = 0;
+    db.upsert(badGroups);
+    ASSERT_TRUE(db.saveFile(path));
+
+    TunedConfigDb loaded;
+    const auto stats =
+        loaded.loadFile(path, VariantRegistry::instance());
+    ASSERT_TRUE(stats.ok()) << stats.status().toString();
+    EXPECT_EQ(stats.value().loaded, 1);
+    EXPECT_EQ(stats.value().rejected, 4);
+    EXPECT_EQ(loaded.size(), 1u);
+    EXPECT_NE(loaded.find("tpu", "good", 1), nullptr);
+    EXPECT_EQ(loaded.find("tpu", "stale_variant", 1), nullptr);
+    std::remove(path.c_str());
+}
+
+TEST(TunedConfigDb, LoaderRefusesForeignSchemas)
+{
+    const std::string path = tempPath("schema");
+    const auto writeDoc = [&](const std::string &doc) {
+        std::ofstream out(path);
+        out << doc;
+    };
+    TunedConfigDb db;
+
+    writeDoc(R"({"schema": "other.format", "version": 1,)"
+             R"( "entries": []})");
+    EXPECT_FALSE(db.loadFile(path, VariantRegistry::instance()).ok());
+
+    writeDoc(R"({"schema": "cfconv.tuned_db", "version": 999,)"
+             R"( "entries": []})");
+    EXPECT_FALSE(db.loadFile(path, VariantRegistry::instance()).ok());
+
+    writeDoc(R"({"schema": "cfconv.tuned_db", "version": 1})");
+    EXPECT_FALSE(db.loadFile(path, VariantRegistry::instance()).ok());
+
+    writeDoc("{not json");
+    EXPECT_FALSE(db.loadFile(path, VariantRegistry::instance()).ok());
+
+    // A structurally failed load leaves the database untouched.
+    EXPECT_EQ(db.size(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(TunedConfigDb, MissingFileIsNotFound)
+{
+    TunedConfigDb db;
+    const auto stats = db.loadFile("/nonexistent/tuned.json",
+                                   VariantRegistry::instance());
+    ASSERT_FALSE(stats.ok());
+    EXPECT_EQ(stats.status().code(), StatusCode::kNotFound);
+}
+
+TEST(TunedConfigDb, LoadMergesIntoExistingEntries)
+{
+    const std::string path = tempPath("merge");
+    TunedConfigDb onDisk;
+    TunedEntry newer = sampleEntry("shared");
+    newer.variant = "tpu-v2-256x256";
+    onDisk.upsert(newer);
+    onDisk.upsert(sampleEntry("disk_only"));
+    ASSERT_TRUE(onDisk.saveFile(path));
+
+    TunedConfigDb db;
+    db.upsert(sampleEntry("shared")); // to be overwritten by the file
+    db.upsert(sampleEntry("memory_only"));
+    const auto stats = db.loadFile(path, VariantRegistry::instance());
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(db.size(), 3u);
+    EXPECT_EQ(db.find("tpu", "shared", 1)->variant, "tpu-v2-256x256");
+    EXPECT_NE(db.find("tpu", "memory_only", 1), nullptr);
+    EXPECT_NE(db.find("tpu", "disk_only", 1), nullptr);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace cfconv::tune

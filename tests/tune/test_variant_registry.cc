@@ -1,0 +1,174 @@
+/** @file Tests for the named accelerator-variant zoo
+ *  (tune/variant_registry): every registered variant constructs and
+ *  runs a smoke layer, the factory surface derives from the registry,
+ *  and the four stock configurations stay byte-identical to their
+ *  pre-registry constructions. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/gpu_accelerator.h"
+#include "sim/model_runner.h"
+#include "sim/tpu_accelerator.h"
+#include "tune/variant_registry.h"
+
+namespace cfconv::tune {
+namespace {
+
+using tensor::makeConv;
+
+TEST(VariantRegistry, EveryVariantConstructsAndRunsASmokeLayer)
+{
+    const auto &registry = VariantRegistry::instance();
+    const auto names = registry.names();
+    ASSERT_GE(names.size(), 20u);
+    const auto p = makeConv(1, 64, 28, 64, 3, 1, 1);
+    for (const auto &name : names) {
+        const VariantSpec *spec = registry.find(name);
+        ASSERT_NE(spec, nullptr) << name;
+        EXPECT_EQ(spec->name, name);
+        auto made = registry.make(name);
+        ASSERT_TRUE(made.ok()) << name;
+        const auto accelerator = std::move(made).value();
+        EXPECT_EQ(accelerator->name(), name);
+        EXPECT_GT(accelerator->peakTflops(), 0.0) << name;
+        const sim::LayerRecord record = accelerator->runLayer(p);
+        EXPECT_GT(record.seconds, 0.0) << name;
+        EXPECT_GT(record.tflops, 0.0) << name;
+        EXPECT_EQ(record.flops, p.flops()) << name;
+    }
+}
+
+TEST(VariantRegistry, NamesAreUniqueAndFamilyFiltered)
+{
+    const auto &registry = VariantRegistry::instance();
+    const auto names = registry.names();
+    const std::set<std::string> unique(names.begin(), names.end());
+    EXPECT_EQ(unique.size(), names.size());
+    EXPECT_EQ(names.size(), registry.size());
+
+    const auto tpu = registry.names(Backend::Tpu);
+    const auto gpu = registry.names(Backend::Gpu);
+    EXPECT_EQ(tpu.size() + gpu.size(), names.size());
+    for (const auto &name : tpu)
+        EXPECT_EQ(registry.find(name)->backend, Backend::Tpu) << name;
+    for (const auto &name : gpu)
+        EXPECT_EQ(registry.find(name)->backend, Backend::Gpu) << name;
+}
+
+TEST(VariantRegistry, FactorySurfaceDerivesFromRegistry)
+{
+    // knownAccelerators() is the registry's name list, stock four
+    // first in the historical presentation order...
+    const auto names = sim::knownAccelerators();
+    ASSERT_EQ(names, VariantRegistry::instance().names());
+    ASSERT_GE(names.size(), 4u);
+    EXPECT_EQ(names[0], "tpu-v2");
+    EXPECT_EQ(names[1], "tpu-v3ish");
+    EXPECT_EQ(names[2], "gpu-v100");
+    EXPECT_EQ(names[3], "gpu-v100-cudnn");
+
+    // ...and every listed name resolves through makeAccelerator.
+    for (const auto &name : names)
+        EXPECT_EQ(sim::makeAccelerator(name)->name(), name);
+}
+
+TEST(VariantRegistry, UnknownNameIsNotFoundAndListsValidNames)
+{
+    const auto made = sim::tryMakeAccelerator("tpu-v9-imaginary");
+    ASSERT_FALSE(made.ok());
+    EXPECT_EQ(made.status().code(), StatusCode::kNotFound);
+    const std::string &message = made.status().message();
+    EXPECT_NE(message.find("tpu-v9-imaginary"), std::string::npos);
+    // The message enumerates the valid names — all of them.
+    for (const auto &name : sim::knownAccelerators())
+        EXPECT_NE(message.find(name), std::string::npos) << name;
+}
+
+TEST(VariantRegistry, RejectsEmptyAndDuplicateNames)
+{
+    auto &registry = VariantRegistry::instance();
+    VariantSpec nameless;
+    EXPECT_EQ(registry.add(nameless).code(),
+              StatusCode::kInvalidArgument);
+    VariantSpec duplicate;
+    duplicate.name = "tpu-v2";
+    EXPECT_EQ(registry.add(duplicate).code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_FALSE(registry.contains(""));
+}
+
+TEST(VariantRegistry, RuntimeAdditionsResolveThroughTheFactory)
+{
+    auto &registry = VariantRegistry::instance();
+    const std::string name = "test-only-tpu-w64";
+    if (!registry.contains(name)) {
+        VariantSpec spec;
+        spec.name = name;
+        spec.backend = Backend::Tpu;
+        spec.tpuConfig.wordElems = 64;
+        ASSERT_TRUE(registry.add(spec).ok());
+    }
+    const auto made = sim::tryMakeAccelerator(name);
+    ASSERT_TRUE(made.ok());
+    EXPECT_EQ(made.value()->name(), name);
+    const auto names = sim::knownAccelerators();
+    EXPECT_NE(std::find(names.begin(), names.end(), name),
+              names.end());
+}
+
+/** Compare two LayerRecords field by field, including extras. */
+void
+expectSameRecord(const sim::LayerRecord &got,
+                 const sim::LayerRecord &want, const std::string &tag)
+{
+    EXPECT_EQ(got.geometry, want.geometry) << tag;
+    EXPECT_EQ(got.seconds, want.seconds) << tag;
+    EXPECT_EQ(got.tflops, want.tflops) << tag;
+    EXPECT_EQ(got.utilization, want.utilization) << tag;
+    EXPECT_EQ(got.dramBytes, want.dramBytes) << tag;
+    EXPECT_EQ(got.flops, want.flops) << tag;
+    ASSERT_EQ(got.extras.size(), want.extras.size()) << tag;
+    for (const auto &[key, value] : want.extras) {
+        ASSERT_TRUE(got.extras.count(key)) << tag << " " << key;
+        EXPECT_EQ(got.extras.at(key), value) << tag << " " << key;
+    }
+}
+
+TEST(VariantRegistry, StockVariantsMatchPreRegistryRecordsExactly)
+{
+    // The four stock names must produce byte-identical records through
+    // the registry path vs the direct adapter constructions the
+    // factory used to hard-code.
+    const std::vector<tensor::ConvParams> layers = {
+        makeConv(8, 3, 224, 64, 7, 2, 3),
+        makeConv(8, 64, 56, 64, 1, 1, 0),
+        makeConv(8, 256, 14, 256, 3, 2, 1),
+    };
+
+    std::vector<std::unique_ptr<sim::Accelerator>> direct;
+    direct.push_back(std::make_unique<sim::TpuAccelerator>(
+        "tpu-v2", tpusim::TpuConfig::tpuV2()));
+    direct.push_back(std::make_unique<sim::TpuAccelerator>(
+        "tpu-v3ish", tpusim::TpuConfig::tpuV3ish()));
+    direct.push_back(std::make_unique<sim::GpuAccelerator>(
+        "gpu-v100", gpusim::GpuConfig::v100()));
+    gpusim::GpuRunOptions cudnn;
+    cudnn.algorithm = gpusim::GpuAlgorithm::ImplicitChannelLast;
+    cudnn.vendorTuned = true;
+    direct.push_back(std::make_unique<sim::GpuAccelerator>(
+        "gpu-v100-cudnn", gpusim::GpuConfig::v100(), cudnn));
+
+    for (const auto &want : direct) {
+        const auto got = sim::makeAccelerator(want->name());
+        EXPECT_EQ(got->peakTflops(), want->peakTflops())
+            << want->name();
+        for (const auto &p : layers)
+            expectSameRecord(got->runLayer(p), want->runLayer(p),
+                             want->name() + " " + p.toString());
+    }
+}
+
+} // namespace
+} // namespace cfconv::tune
