@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Request-level serving benchmark on the serve:: stack: synthetic
+ * traffic over a mixed model zoo through the dynamic batcher,
+ * multi-chip work-stealing scheduler, and admission controller. Four
+ * scenario families, each emitting one RunRecord into
+ * BENCH_serving.json (override with json=FILE):
+ *
+ *   pareto_b<N>   — throughput-versus-p99 Pareto sweep over maxBatch
+ *                   (the batching-delay / batch-efficiency frontier)
+ *   scale_n<N>    — multi-chip scaling at saturating offered load
+ *   stream_<kind> — the three arrival families at one mean rate
+ *   overload_*    — sustained overload with the admission door open
+ *                   versus bounded (goodput under load shedding)
+ *
+ * Accepts the workload keys: seed=N reseeds every traffic stream,
+ * stream=NAME picks the Pareto sweep's arrival family, and
+ * faults=SPEC (e.g. "seed=7; serve.chip_down=0.05") turns the whole
+ * run into chaos-under-load, stamping the v3 resilience block. All
+ * simulated metrics are deterministic per seed at any thread count;
+ * only the WALL lines move.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "models/model_zoo.h"
+#include "serve/serving_sim.h"
+#include "sim/report.h"
+
+using namespace cfconv;
+using namespace cfconv::serve;
+
+namespace {
+
+/** Small, distinct classes keep per-point cost evaluations cheap
+ *  while still exercising the mixed-zoo paths. */
+ModelMix
+servingMix()
+{
+    return {{"alexnet", &models::alexnet, 3.0},
+            {"zfnet", &models::zfnet, 1.0}};
+}
+
+TrafficSpec
+baseTraffic(std::uint64_t seed, ArrivalKind kind, double rate,
+            double horizon)
+{
+    TrafficSpec spec;
+    spec.kind = kind;
+    spec.ratePerSecond = rate;
+    spec.horizonSeconds = horizon;
+    spec.seed = seed;
+    return spec;
+}
+
+void
+addRow(Table &t, const std::string &name, const ServingResult &r)
+{
+    t.addRow({name, cell("%lld", static_cast<long long>(r.offered)),
+              cell("%lld", static_cast<long long>(r.completed)),
+              cell("%lld", static_cast<long long>(r.shed)),
+              cell("%.0f", r.throughputRps),
+              cell("%.0f", r.goodputRps), cell("%.2f", r.meanBatch),
+              cell("%.2f", r.p50 * 1e3), cell("%.2f", r.p99 * 1e3),
+              cell("%.2f", r.p999 * 1e3)});
+}
+
+constexpr const char *kTableHeader[] = {
+    "scenario", "offered", "done",   "shed",    "thru rps",
+    "good rps", "batch",   "p50 ms", "p99 ms",  "p999 ms"};
+
+std::vector<std::string>
+tableHeader()
+{
+    return {kTableHeader, kTableHeader + 10};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchArgs args =
+        bench::parseBenchArgs(argc, argv, true, true);
+    if (args.jsonPath.empty())
+        args.jsonPath = "BENCH_serving.json";
+    const std::uint64_t seed = args.seed ? args.seed : 42;
+    ArrivalKind paretoKind = ArrivalKind::Poisson;
+    if (!args.stream.empty()) {
+        auto parsed = parseArrivalKind(args.stream);
+        if (!parsed.ok()) {
+            std::fprintf(stderr, "%s\n",
+                         parsed.status().toString().c_str());
+            return 2;
+        }
+        paretoKind = parsed.value();
+    }
+    const bench::WallTimer wall;
+    std::vector<sim::RunRecord> records;
+
+    bench::experimentHeader(
+        "serving",
+        "Request-level serving: dynamic batching, multi-chip "
+        "scheduling, admission control");
+
+    // --- Pareto sweep: throughput versus p99 over maxBatch. One
+    // simulator, policies swapped between points, so every cost
+    // evaluation after the first point is a memo hit.
+    {
+        Table t("Batching Pareto frontier (2 chips, rate 6000/s, " +
+                std::string(arrivalKindName(paretoKind)) + ")");
+        t.setHeader(tableHeader());
+        ServingConfig config;
+        config.chips.assign(2, ChipSpec{"tpu-v2"});
+        ServingSimulator sim(config, servingMix());
+        const TrafficSpec traffic =
+            baseTraffic(seed, paretoKind, 6000, 0.25);
+        double batch1Goodput = 0.0;
+        double bestGoodput = 0.0;
+        for (Index maxBatch : {1, 4, 8, 16, 32, 64}) {
+            BatchPolicy policy;
+            policy.maxBatch = maxBatch;
+            policy.maxWaitSeconds = 2e-3;
+            sim.setPolicy(policy, {});
+            sim.setScenario("pareto_b" + std::to_string(maxBatch));
+            const ServingResult r = sim.run(traffic);
+            records.push_back(r.record);
+            addRow(t, r.record.model, r);
+            if (maxBatch == 1)
+                batch1Goodput = r.goodputRps;
+            bestGoodput = std::max(bestGoodput, r.goodputRps);
+        }
+        t.print();
+        // The headline batching win: goodput (completed within the
+        // 50 ms SLO) at the best sweep point versus no batching.
+        bench::summaryLine("serving", "batching goodput gain (x)",
+                           1.0, bestGoodput / batch1Goodput);
+    }
+
+    // --- Multi-chip scaling at saturating load: every board runs
+    // flat out, so throughput is pure drain rate.
+    {
+        Table t("Multi-chip scaling (maxBatch 8, saturating load)");
+        t.setHeader(tableHeader());
+        double oneChip = 0.0;
+        double fourChip = 0.0;
+        for (Index chips : {1, 2, 4, 8}) {
+            ServingConfig config;
+            config.chips.assign(static_cast<size_t>(chips),
+                                ChipSpec{"tpu-v2"});
+            config.scenario = "scale_n" + std::to_string(chips);
+            ServingSimulator sim(config, servingMix());
+            const ServingResult r = sim.run(baseTraffic(
+                seed, ArrivalKind::Poisson, 60000, 0.05));
+            records.push_back(r.record);
+            addRow(t, r.record.model, r);
+            if (chips == 1)
+                oneChip = r.throughputRps;
+            if (chips == 4)
+                fourChip = r.throughputRps;
+        }
+        t.print();
+        bench::summaryLine("serving", "4-chip scaling (x)", 4.0,
+                           fourChip / oneChip);
+    }
+
+    // --- Arrival families at one mean rate: how the same policies
+    // hold up under memoryless, flash-crowd, and diurnal load.
+    {
+        Table t("Arrival streams (2 chips, rate 3000/s, maxBatch 16)");
+        t.setHeader(tableHeader());
+        ServingConfig config;
+        config.chips.assign(2, ChipSpec{"tpu-v2"});
+        config.batch.maxBatch = 16;
+        ServingSimulator sim(config, servingMix());
+        for (ArrivalKind kind :
+             {ArrivalKind::Poisson, ArrivalKind::Bursty,
+              ArrivalKind::Diurnal}) {
+            sim.setScenario(std::string("stream_") +
+                            arrivalKindName(kind));
+            const ServingResult r =
+                sim.run(baseTraffic(seed, kind, 3000, 0.25));
+            records.push_back(r.record);
+            addRow(t, r.record.model, r);
+        }
+        t.print();
+    }
+
+    // --- Sustained overload, admission door open versus bounded:
+    // shedding early keeps the served tail inside the SLO.
+    {
+        Table t("Overload at 1.5x capacity (2 chips, maxBatch 8)");
+        t.setHeader(tableHeader());
+        ServingConfig config;
+        config.chips.assign(2, ChipSpec{"tpu-v2"});
+        ServingSimulator sim(config, servingMix());
+        const TrafficSpec traffic =
+            baseTraffic(seed, ArrivalKind::Poisson, 16000, 0.3);
+
+        sim.setScenario("overload_open");
+        const ServingResult open = sim.run(traffic);
+        records.push_back(open.record);
+        addRow(t, open.record.model, open);
+
+        AdmissionPolicy admission;
+        admission.maxQueuePerClass = 32;
+        sim.setPolicy(BatchPolicy{}, admission);
+        sim.setScenario("overload_shed");
+        const ServingResult shed = sim.run(traffic);
+        records.push_back(shed.record);
+        addRow(t, shed.record.model, shed);
+        t.print();
+
+        bench::summaryLine("serving", "shedding goodput gain (x)",
+                           1.0, shed.goodputRps /
+                                    std::max(1.0, open.goodputRps));
+        bench::summaryLine("serving", "overload shed fraction", 0.0,
+                           shed.shedFraction);
+    }
+
+    if (sim::writeRunRecords(args.jsonPath, records))
+        std::printf("wrote %s (%zu records)\n", args.jsonPath.c_str(),
+                    records.size());
+    bench::printLatencyStats();
+    bench::printWallClock("bench_serving", wall);
+    return 0;
+}

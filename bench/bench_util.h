@@ -82,15 +82,26 @@ struct BenchArgs
      *  empty when the run is fault-free. The parser arms the
      *  injector itself. */
     std::string faultsSpec;
+    /** Workload seed override (seed=N); 0 = the bench's default.
+     *  Consumed by the traffic-driven benches (bench_serving); the
+     *  paper-figure benches have no randomness to seed and reject
+     *  it via supports_workload. */
+    std::uint64_t seed = 0;
+    /** Arrival-stream kind override (stream=NAME, e.g. "poisson",
+     *  "bursty", "diurnal"); empty = the bench's default. Validated
+     *  by the consuming bench, not here. */
+    std::string stream;
 };
 
 /**
  * The recoverable core of parseBenchArgs: pure parse into @p args, no
- * side effects, INVALID_ARGUMENT naming the offending argument.
+ * side effects, INVALID_ARGUMENT naming the offending argument. Every
+ * unknown `key=value` is an error, never silently ignored — a typoed
+ * knob must not run the bench with defaults and look green.
  */
 inline Status
 tryParseBenchArgs(int argc, char **argv, bool supports_json,
-                  BenchArgs *args)
+                  BenchArgs *args, bool supports_workload = false)
 {
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "threads=", 8) == 0) {
@@ -109,11 +120,26 @@ tryParseBenchArgs(int argc, char **argv, bool supports_json,
         } else if (std::strncmp(argv[i], "faults=", 7) == 0 &&
                    argv[i][7] != '\0') {
             args->faultsSpec = argv[i] + 7;
+        } else if (supports_workload &&
+                   std::strncmp(argv[i], "seed=", 5) == 0) {
+            char *end = nullptr;
+            const unsigned long long v =
+                std::strtoull(argv[i] + 5, &end, 10);
+            if (argv[i][5] == '\0' || end == nullptr || *end != '\0' ||
+                v == 0)
+                return invalidArgumentError(
+                    "bad seed=%s (want an integer >= 1)", argv[i] + 5);
+            args->seed = v;
+        } else if (supports_workload &&
+                   std::strncmp(argv[i], "stream=", 7) == 0 &&
+                   argv[i][7] != '\0') {
+            args->stream = argv[i] + 7;
         } else {
             return invalidArgumentError(
                 "unknown argument \"%s\" (supported: threads=N, "
-                "trace=FILE, faults=SPEC%s)",
-                argv[i], supports_json ? ", json=FILE" : "");
+                "trace=FILE, faults=SPEC%s%s)",
+                argv[i], supports_json ? ", json=FILE" : "",
+                supports_workload ? ", seed=N, stream=NAME" : "");
         }
     }
     return okStatus();
@@ -128,14 +154,19 @@ tryParseBenchArgs(int argc, char **argv, bool supports_json,
  * `faults=SPEC` arms the fault injector (same effect as
  * CFCONV_FAULTS=SPEC). Pass @p supports_json = false from binaries
  * that have no report so a stray json= errors out instead of silently
- * doing nothing. Unknown arguments and malformed values exit 2 with
- * the structured error naming the offender.
+ * doing nothing; pass @p supports_workload = true from traffic-driven
+ * binaries (bench_serving) to additionally accept `seed=N` (workload
+ * seed) and `stream=NAME` (arrival-stream kind). Unknown arguments
+ * and malformed values exit 2 with the structured error naming the
+ * offender.
  */
 inline BenchArgs
-parseBenchArgs(int argc, char **argv, bool supports_json = true)
+parseBenchArgs(int argc, char **argv, bool supports_json = true,
+               bool supports_workload = false)
 {
     BenchArgs args;
-    Status status = tryParseBenchArgs(argc, argv, supports_json, &args);
+    Status status = tryParseBenchArgs(argc, argv, supports_json, &args,
+                                      supports_workload);
     // configure() errors already carry a "faults:" prefix.
     if (status.ok() && !args.faultsSpec.empty())
         status = fault::FaultInjector::instance()
@@ -172,8 +203,8 @@ printCacheStats(const sim::Accelerator &accelerator)
 
 /** Machine-parseable latency-percentile lines from the process-wide
  *  MetricsRegistry (one STAT line per sampled distribution): the
- *  p50/p95/p99 come from the Scalar log histograms, so the model
- *  benches expose tail behaviour, not just totals. */
+ *  p50/p95/p99/p99.9 come from the Scalar log histograms, so the
+ *  model benches expose tail behaviour, not just totals. */
 inline void
 printLatencyStats()
 {
@@ -182,10 +213,10 @@ printLatencyStats()
         if (s.count() == 0)
             continue;
         std::printf("STAT %s | n=%llu | mean=%.4g | p50=%.4g | "
-                    "p95=%.4g | p99=%.4g\n",
+                    "p95=%.4g | p99=%.4g | p999=%.4g\n",
                     name.c_str(),
                     static_cast<unsigned long long>(s.count()),
-                    s.mean(), s.p50(), s.p95(), s.p99());
+                    s.mean(), s.p50(), s.p95(), s.p99(), s.p999());
     }
 }
 

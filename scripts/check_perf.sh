@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
 # Perf-regression gate: diff the bench trajectory artifacts
-# (BENCH_models.json, BENCH_gemm.json) against the checked-in
-# baselines in scripts/perf_baselines/.
+# (BENCH_models.json, BENCH_gemm.json, BENCH_serving.json) against the
+# checked-in baselines in scripts/perf_baselines/.
 #
 #   - Simulated quantities (per accelerator+model seconds / tflops /
-#     dram_bytes from BENCH_models.json) must match the baseline
-#     EXACTLY: the simulators are deterministic, so any drift is a
-#     real behavior change — rebaseline deliberately with --update.
+#     dram_bytes from BENCH_models.json, and per board+scenario from
+#     BENCH_serving.json) must match the baseline EXACTLY: the
+#     simulators are deterministic, so any drift is a real behavior
+#     change — rebaseline deliberately with --update.
 #   - Wall-clock quantities (per shape+backend GFLOP/s from
 #     BENCH_gemm.json) regress only beyond a noise band: fail when
 #     current < baseline * CFCONV_PERF_TOL (default 0.40 — CI machines
@@ -28,7 +29,8 @@ if ! command -v python3 >/dev/null 2>&1; then
     # The comparison needs structured JSON diffing; without python3 we
     # can only check the artifacts exist. Say so loudly.
     echo "check_perf: python3 unavailable; structural check only" >&2
-    [ -s BENCH_models.json ] && [ -s BENCH_gemm.json ]
+    [ -s BENCH_models.json ] && [ -s BENCH_gemm.json ] \
+        && [ -s BENCH_serving.json ]
     echo "PERF OK (coarse)"
     exit 0
 fi
@@ -40,30 +42,35 @@ regen_bench_files() {
     fi
     "$BUILD_DIR"/bench/bench_models_report json=BENCH_models.json \
         >/dev/null
+    "$BUILD_DIR"/bench/bench_serving json=BENCH_serving.json \
+        >/dev/null
     # Skip the google-benchmark registrations; only the GEMM backend
     # sweep (which writes BENCH_gemm.json in the cwd) is needed.
     "$BUILD_DIR"/bench/bench_micro_kernels \
         --benchmark_filter=NOTHING_MATCHES >/dev/null
 }
 
-# extract <models.json> <gemm.json> <out.json>: boil the two artifacts
-# down to the compared metrics, deterministically ordered.
+# extract <models.json> <gemm.json> <serving.json> <out.json>: boil the
+# three artifacts down to the compared metrics, deterministically
+# ordered. Serving records are simulated quantities too — the event
+# loop is serial in simulated time — so they join the exact-match set.
 extract() {
-    python3 - "$1" "$2" "$3" <<'EOF'
+    python3 - "$1" "$2" "$3" "$4" <<'EOF'
 import json
 import sys
 
-models_path, gemm_path, out_path = sys.argv[1:4]
+models_path, gemm_path, serving_path, out_path = sys.argv[1:5]
 baseline = {"simulated": {}, "wallclock": {}}
-with open(models_path) as f:
-    doc = json.load(f)
-for record in doc["records"]:
-    key = f"{record['accelerator']}|{record['model']}"
-    baseline["simulated"][key] = {
-        "seconds": record["seconds"],
-        "tflops": record["tflops"],
-        "dram_bytes": record["dram_bytes"],
-    }
+for path in (models_path, serving_path):
+    with open(path) as f:
+        doc = json.load(f)
+    for record in doc["records"]:
+        key = f"{record['accelerator']}|{record['model']}"
+        baseline["simulated"][key] = {
+            "seconds": record["seconds"],
+            "tflops": record["tflops"],
+            "dram_bytes": record["dram_bytes"],
+        }
 with open(gemm_path) as f:
     points = json.load(f)
 for pt in points:
@@ -124,7 +131,7 @@ case "$MODE" in
 update | --update)
     regen_bench_files
     mkdir -p "$BASELINE_DIR"
-    extract BENCH_models.json BENCH_gemm.json \
+    extract BENCH_models.json BENCH_gemm.json BENCH_serving.json \
         "$BASELINE_DIR/perf_baseline.json"
     echo "wrote $BASELINE_DIR/perf_baseline.json"
     ;;
@@ -135,8 +142,9 @@ selftest | --selftest)
     workdir="$(mktemp -d)"
     trap 'rm -rf "$workdir"' EXIT
     [ -s BENCH_models.json ] && [ -s BENCH_gemm.json ] \
-        || regen_bench_files
-    extract BENCH_models.json BENCH_gemm.json "$workdir/current.json"
+        && [ -s BENCH_serving.json ] || regen_bench_files
+    extract BENCH_models.json BENCH_gemm.json BENCH_serving.json \
+        "$workdir/current.json"
     python3 - "$BASELINE_DIR/perf_baseline.json" \
         "$workdir/perturbed.json" <<'EOF'
 import json
@@ -165,10 +173,11 @@ check | --check)
         exit 1
     fi
     [ -s BENCH_models.json ] && [ -s BENCH_gemm.json ] \
-        || regen_bench_files
+        && [ -s BENCH_serving.json ] || regen_bench_files
     workdir="$(mktemp -d)"
     trap 'rm -rf "$workdir"' EXIT
-    extract BENCH_models.json BENCH_gemm.json "$workdir/current.json"
+    extract BENCH_models.json BENCH_gemm.json BENCH_serving.json \
+        "$workdir/current.json"
     compare "$BASELINE_DIR/perf_baseline.json" \
         "$workdir/current.json" "$TOL"
     echo "PERF OK"

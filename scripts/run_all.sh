@@ -41,6 +41,9 @@ scripts/check_trace.sh
 echo "==== fault injection + resilience ===="
 scripts/check_faults.sh
 
+echo "==== request-level serving ===="
+scripts/check_serving.sh
+
 echo "==== perf regression gate ===="
 scripts/check_perf.sh
 scripts/check_perf.sh --selftest

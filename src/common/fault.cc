@@ -180,6 +180,7 @@ knownSites()
         kAccelStepTimeout,
         kCacheCorrupt,
         kPoolWorkerStall,
+        kServeChipDown,
     };
     return sites;
 }

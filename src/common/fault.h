@@ -51,6 +51,10 @@ inline constexpr const char kSramBankRead[] = "sram.bank_read";
 inline constexpr const char kAccelStepTimeout[] = "accel.step_timeout";
 inline constexpr const char kCacheCorrupt[] = "cache.corrupt";
 inline constexpr const char kPoolWorkerStall[] = "pool.worker_stall";
+/** Whole-chip outage in the serving scheduler (serve/serving_sim):
+ *  the dispatched batch is re-queued and the chip sits out a repair
+ *  interval. Scope is the chip's accelerator variant name. */
+inline constexpr const char kServeChipDown[] = "serve.chip_down";
 
 /** Every site configure() accepts, in presentation order. */
 const std::vector<std::string> &knownSites();

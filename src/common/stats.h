@@ -84,6 +84,9 @@ class Scalar
     double p50() const { return percentile(0.50); }
     double p95() const { return percentile(0.95); }
     double p99() const { return percentile(0.99); }
+    /** Serving tails live out past p99; the log histogram resolves
+     *  p99.9 at the same ~4.4% relative error as every quantile. */
+    double p999() const { return percentile(0.999); }
 
     void
     reset()

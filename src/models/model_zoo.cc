@@ -1,5 +1,7 @@
 #include "models/model_zoo.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace cfconv::models {
@@ -308,6 +310,34 @@ resnetRepresentativeLayers(Index batch)
     mk(14, 256, 256, 3);
     mk(14, 512, 512, 3);
     return layers;
+}
+
+ModelSpec
+splitBatchAcrossCores(const ModelSpec &model, Index cores)
+{
+    CFCONV_FATAL_IF(cores < 1,
+                    "splitBatchAcrossCores: cores must be >= 1");
+    ModelSpec sliced = model;
+    for (auto &layer : sliced.layers) {
+        layer.params.batch = std::max<Index>(
+            1, divCeil(layer.params.batch, cores));
+    }
+    return sliced;
+}
+
+ModelSpec
+splitChannelsAcrossChips(const ModelSpec &model, Index shards)
+{
+    CFCONV_FATAL_IF(shards < 1,
+                    "splitChannelsAcrossChips: shards must be >= 1");
+    ModelSpec sharded = model;
+    for (auto &layer : sharded.layers) {
+        if (layer.groups != 1)
+            continue;
+        layer.params.outChannels = std::max<Index>(
+            1, divCeil(layer.params.outChannels, shards));
+    }
+    return sharded;
 }
 
 std::vector<ConvLayerSpec>

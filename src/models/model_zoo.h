@@ -73,6 +73,30 @@ std::vector<ConvLayerSpec> resnetRepresentativeLayers(Index batch);
  */
 std::vector<ConvLayerSpec> stridedLayers(Index batch);
 
+/**
+ * Data-parallel batch split across @p cores: every layer keeps its
+ * geometry but runs the per-core batch slice MAX(1, ceil(B / cores))
+ * — weights are broadcast, activations stay core-local, so one core's
+ * slice time is the board's time. Hoisted out of the TPU-only
+ * TpuSim::runModelMultiCore so the multi-chip scheduler (src/serve)
+ * and the compatibility wrapper share one slicing rule. A batch
+ * smaller than the core count leaves cores idle (batch 1 gains
+ * nothing), which is the honest behaviour of batch splitting.
+ * Fatal when @p cores < 1.
+ */
+ModelSpec splitBatchAcrossCores(const ModelSpec &model, Index cores);
+
+/**
+ * Tensor-parallel output-channel split across @p shards: layers with
+ * groups == 1 compute the C_O slice MAX(1, ceil(C_O / shards)) per
+ * chip (IFMap broadcast, Megatron-style column parallelism); grouped
+ * layers are left intact — their channel slices are already narrow,
+ * and splitting them again would break group divisibility. Used by
+ * the serving scheduler's model-parallel sharding of large layers.
+ * Fatal when @p shards < 1.
+ */
+ModelSpec splitChannelsAcrossChips(const ModelSpec &model, Index shards);
+
 } // namespace cfconv::models
 
 #endif // CFCONV_MODELS_MODEL_ZOO_H

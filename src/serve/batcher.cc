@@ -1,0 +1,137 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace cfconv::serve {
+
+namespace {
+
+/** Slack for comparing accumulated simulated timestamps against the
+ *  max-wait deadline; one picosecond is far below any service time
+ *  yet absorbs double rounding in t = a + b chains. */
+constexpr double kTimeEps = 1e-12;
+
+} // namespace
+
+BatchQueue::BatchQueue(Index num_classes, const BatchPolicy &batch,
+                       const AdmissionPolicy &admission)
+    : batch_(batch), admission_(admission),
+      queues_(static_cast<size_t>(num_classes)),
+      shed_(static_cast<size_t>(num_classes), 0)
+{
+    CFCONV_FATAL_IF(num_classes < 1,
+                    "BatchQueue: need at least one class");
+    CFCONV_FATAL_IF(batch_.maxBatch < 1,
+                    "BatchQueue: maxBatch must be >= 1");
+    CFCONV_FATAL_IF(batch_.maxWaitSeconds < 0.0,
+                    "BatchQueue: maxWaitSeconds must be >= 0");
+}
+
+bool
+BatchQueue::offer(const Request &request,
+                  double estimated_delay_seconds)
+{
+    const auto idx = static_cast<size_t>(request.classIdx);
+    CFCONV_FATAL_IF(idx >= queues_.size(),
+                    "BatchQueue: class index out of range");
+    const bool full =
+        admission_.maxQueuePerClass > 0 &&
+        static_cast<Index>(queues_[idx].size()) >=
+            admission_.maxQueuePerClass;
+    const bool late =
+        admission_.maxEstimatedDelaySeconds > 0.0 &&
+        estimated_delay_seconds > admission_.maxEstimatedDelaySeconds;
+    if (full || late) {
+        ++shed_[idx];
+        return false;
+    }
+    queues_[idx].push_back({request.id, request.arrivalSeconds});
+    return true;
+}
+
+Index
+BatchQueue::launchableClass(double now) const
+{
+    Index best = -1;
+    double best_arrival = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < queues_.size(); ++i) {
+        const auto &q = queues_[i];
+        if (q.empty())
+            continue;
+        const bool full =
+            static_cast<Index>(q.size()) >= batch_.maxBatch;
+        const bool timed_out = now - q.front().arrivalSeconds >=
+                               batch_.maxWaitSeconds - kTimeEps;
+        if (!full && !timed_out)
+            continue;
+        if (q.front().arrivalSeconds < best_arrival) {
+            best_arrival = q.front().arrivalSeconds;
+            best = static_cast<Index>(i);
+        }
+    }
+    return best;
+}
+
+double
+BatchQueue::nextDeadline() const
+{
+    double deadline = std::numeric_limits<double>::infinity();
+    for (const auto &q : queues_) {
+        if (q.empty())
+            continue;
+        deadline = std::min(
+            deadline, q.front().arrivalSeconds + batch_.maxWaitSeconds);
+    }
+    return deadline;
+}
+
+std::vector<QueuedRequest>
+BatchQueue::pop(Index class_idx, Index max_n)
+{
+    auto &q = queues_[static_cast<size_t>(class_idx)];
+    std::vector<QueuedRequest> batch;
+    const Index n =
+        std::min<Index>(max_n, static_cast<Index>(q.size()));
+    batch.reserve(static_cast<size_t>(n));
+    for (Index i = 0; i < n; ++i) {
+        batch.push_back(q.front());
+        q.pop_front();
+    }
+    return batch;
+}
+
+void
+BatchQueue::requeueFront(Index class_idx,
+                         const std::vector<QueuedRequest> &batch)
+{
+    auto &q = queues_[static_cast<size_t>(class_idx)];
+    for (auto it = batch.rbegin(); it != batch.rend(); ++it)
+        q.push_front(*it);
+}
+
+Index
+BatchQueue::depth(Index class_idx) const
+{
+    return static_cast<Index>(
+        queues_[static_cast<size_t>(class_idx)].size());
+}
+
+Index
+BatchQueue::totalDepth() const
+{
+    Index total = 0;
+    for (const auto &q : queues_)
+        total += static_cast<Index>(q.size());
+    return total;
+}
+
+Index
+BatchQueue::shedCount(Index class_idx) const
+{
+    return shed_[static_cast<size_t>(class_idx)];
+}
+
+} // namespace cfconv::serve

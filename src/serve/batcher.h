@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Dynamic batcher + admission control for the serving simulator. The
+ * batcher trades queueing delay against batch efficiency the same way
+ * batching amortizes im2col overhead in the GEMM-lowered algorithms:
+ * a batch launches when it is full (maxBatch) or when its oldest
+ * request has waited maxWait — the two knobs of the classic
+ * max-size / max-wait policy the Pareto sweep explores. Admission
+ * control sheds requests at arrival when a class queue is full or the
+ * estimated queueing delay already blows the budget: under overload,
+ * shedding early is what keeps the served requests inside the SLO
+ * (goodput) instead of letting every request time out (throughput
+ * without goodput).
+ *
+ * Purely mechanical and single-threaded: all state transitions happen
+ * at simulated timestamps handed in by the event loop, so the whole
+ * structure is deterministic by construction.
+ */
+
+#ifndef CFCONV_SERVE_BATCHER_H
+#define CFCONV_SERVE_BATCHER_H
+
+#include <deque>
+#include <vector>
+
+#include "common/types.h"
+#include "serve/workload.h"
+
+namespace cfconv::serve {
+
+/** The max-size / max-wait batching policy (batch 1..64). */
+struct BatchPolicy
+{
+    /** Largest batch formed; 1 = no batching. */
+    Index maxBatch = 8;
+    /** Longest a request may wait for its batch to fill before the
+     *  partial batch launches anyway; 0 = launch immediately. */
+    double maxWaitSeconds = 2e-3;
+};
+
+/** Load-shedding policy applied at arrival. Both limits 0 = admit
+ *  everything (pure FIFO, unbounded queues). */
+struct AdmissionPolicy
+{
+    /** Shed when the class queue already holds this many requests. */
+    Index maxQueuePerClass = 0;
+    /** Shed when the caller's estimated queueing delay exceeds this. */
+    double maxEstimatedDelaySeconds = 0.0;
+};
+
+/** One queued request (arrival kept for latency accounting). */
+struct QueuedRequest
+{
+    Index id = 0;
+    double arrivalSeconds = 0.0;
+};
+
+/**
+ * Per-class FIFO queues + the launch/shed decision logic. The event
+ * loop asks three questions: may this arrival enter (offer), which
+ * class may launch a batch now (launchableClass), and when does the
+ * next max-wait deadline expire (nextDeadline) so it can schedule a
+ * wake-up even while every chip is busy or idle-waiting.
+ */
+class BatchQueue
+{
+  public:
+    BatchQueue(Index num_classes, const BatchPolicy &batch,
+               const AdmissionPolicy &admission);
+
+    /**
+     * Admit or shed @p request. @p estimated_delay_seconds is the
+     * caller's current drain estimate for this class (ignored unless
+     * the policy bounds it). @return false when shed.
+     */
+    bool offer(const Request &request, double estimated_delay_seconds);
+
+    /**
+     * The class allowed to launch at @p now — non-empty and either
+     * full (>= maxBatch) or timed out (oldest waited >= maxWait) —
+     * or -1. Ties broken by earliest oldest-arrival, then lowest
+     * class index, so dispatch order is deterministic and FIFO
+     * across classes.
+     */
+    Index launchableClass(double now) const;
+
+    /** Earliest future instant some non-empty class times out; +inf
+     *  when every queue is empty. */
+    double nextDeadline() const;
+
+    /** Pop up to @p max_n oldest requests of @p class_idx. */
+    std::vector<QueuedRequest> pop(Index class_idx, Index max_n);
+
+    /** Put a popped batch back at the front, oldest first (chip-down
+     *  retry: the requests keep their arrival times and priority). */
+    void requeueFront(Index class_idx,
+                      const std::vector<QueuedRequest> &batch);
+
+    Index depth(Index class_idx) const;
+    Index totalDepth() const;
+    Index shedCount(Index class_idx) const;
+
+    const BatchPolicy &policy() const { return batch_; }
+
+  private:
+    BatchPolicy batch_;
+    AdmissionPolicy admission_;
+    std::vector<std::deque<QueuedRequest>> queues_;
+    std::vector<Index> shed_;
+};
+
+} // namespace cfconv::serve
+
+#endif // CFCONV_SERVE_BATCHER_H

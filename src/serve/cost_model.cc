@@ -1,0 +1,83 @@
+#include "serve/cost_model.h"
+
+#include <array>
+
+#include "common/fault.h"
+#include "common/logging.h"
+#include "sim/model_runner.h"
+
+namespace cfconv::serve {
+
+Index
+quantizeBatch(Index n)
+{
+    static constexpr std::array<Index, 10> kBuckets = {
+        1, 2, 4, 8, 12, 16, 24, 32, 48, 64};
+    CFCONV_FATAL_IF(n < 1, "quantizeBatch: batch must be >= 1");
+    for (Index bucket : kBuckets)
+        if (n <= bucket)
+            return bucket;
+    return kMaxServeBatch;
+}
+
+BatchCostModel::BatchCostModel(const ModelMix &mix)
+    : mix_(mix), perRequestFlops_(mix.size(), 0)
+{
+    CFCONV_FATAL_IF(mix_.empty(), "BatchCostModel: empty model mix");
+    for (const auto &cls : mix_)
+        CFCONV_FATAL_IF(cls.factory == nullptr,
+                        "BatchCostModel: class '%s' has no factory",
+                        cls.name.c_str());
+}
+
+const BatchCost &
+BatchCostModel::cost(const sim::Accelerator &accelerator,
+                     Index classIdx, Index batch, Index tpShards)
+{
+    CFCONV_FATAL_IF(classIdx < 0 ||
+                        classIdx >= static_cast<Index>(mix_.size()),
+                    "BatchCostModel: class index out of range");
+    CFCONV_FATAL_IF(batch < 1 || tpShards < 1,
+                    "BatchCostModel: batch and tpShards must be >= 1");
+    const Key key{accelerator.name(), classIdx, batch, tpShards};
+    auto it = cache_.find(key);
+    if (it != cache_.end())
+        return it->second;
+
+    auto &cls = mix_[static_cast<size_t>(classIdx)];
+    models::ModelSpec spec = cls.factory(batch);
+    if (tpShards > 1)
+        spec = models::splitChannelsAcrossChips(spec, tpShards);
+
+    sim::ModelRunner runner(accelerator);
+    sim::RunRecord record;
+    if (fault::FaultInjector::instance().armed()) {
+        auto resilient = runner.tryRunModel(spec);
+        CFCONV_FATAL_IF(!resilient.ok(),
+                        "BatchCostModel: class '%s' batch %lld: %s",
+                        cls.name.c_str(),
+                        static_cast<long long>(batch),
+                        resilient.status().toString().c_str());
+        record = std::move(resilient).value();
+    } else {
+        record = runner.runModel(spec);
+    }
+
+    auto &per_req = perRequestFlops_[static_cast<size_t>(classIdx)];
+    if (per_req == 0)
+        per_req = cls.factory(1).totalFlops();
+
+    BatchCost entry;
+    // Retry backoff is wasted wall time on the chip: charge it to the
+    // service interval so chaos runs see honestly longer batches.
+    entry.seconds =
+        record.seconds + record.resilience.backoffSeconds;
+    entry.paddedFlops = cls.factory(batch).totalFlops();
+    entry.perRequestFlops = per_req;
+    entry.dramBytes = record.dramBytes;
+    entry.resilience = record.resilience;
+    ++evaluations_;
+    return cache_.emplace(key, entry).first->second;
+}
+
+} // namespace cfconv::serve

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Batch-aware service-cost model on top of the per-layer simulators:
+ * "what does one batched run of model M at batch B cost on chip C?"
+ * answered by an actual sim::ModelRunner run and memoized. This is
+ * where the serving layer inherits the paper's per-layer fidelity —
+ * batch efficiency is not a closed-form guess but the simulated
+ * systolic-array / tensor-core occupancy at that batch, so the
+ * batching-delay-versus-efficiency trade-off the dynamic batcher
+ * optimizes is grounded in the same model the figures validate.
+ *
+ * Batch quantization: service cost is charged at the next *preferred
+ * batch size* >= the actual request count (the Triton/TensorRT
+ * padded-batch idiom). Padding waste is honest — useful FLOPs are
+ * credited for real requests only — and the bucket set bounds the
+ * number of distinct simulator evaluations per (chip, class) pair.
+ */
+
+#ifndef CFCONV_SERVE_COST_MODEL_H
+#define CFCONV_SERVE_COST_MODEL_H
+
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "models/model_zoo.h"
+#include "sim/accelerator.h"
+
+namespace cfconv::serve {
+
+/** One servable model class of a scenario's mix. */
+struct ModelClass
+{
+    std::string name;
+    /** Batch-parameterized spec factory (the model-zoo signature). */
+    models::ModelSpec (*factory)(Index batch) = nullptr;
+    /** Traffic mix weight (normalized by the workload generator). */
+    double weight = 1.0;
+};
+
+/** The mixed model zoo one serving scenario serves. */
+using ModelMix = std::vector<ModelClass>;
+
+/** Largest batch the serving layer forms (the paper-style sweep upper
+ *  bound; also the top quantization bucket). */
+inline constexpr Index kMaxServeBatch = 64;
+
+/** The next preferred batch size >= @p n (clamped to kMaxServeBatch).
+ *  Buckets: 1, 2, 4, 8, 12, 16, 24, 32, 48, 64. */
+Index quantizeBatch(Index n);
+
+/** Memoized cost of one batched model run on one chip variant. */
+struct BatchCost
+{
+    double seconds = 0.0;     ///< service time of the padded batch
+    Flops paddedFlops = 0;    ///< MAC FLOPs of the padded batch
+    Flops perRequestFlops = 0; ///< useful FLOPs of one request
+    Bytes dramBytes = 0;      ///< off-chip traffic of the padded batch
+    /** Chaos outcome of the underlying evaluation (all-zero when the
+     *  fault injector is disarmed). Folded into the serving record's
+     *  resilience tally once, at evaluation time. */
+    sim::ResilienceInfo resilience;
+};
+
+/**
+ * The memo table: (chip variant, class, padded batch, tensor-parallel
+ * shards) -> BatchCost. Evaluations run the real ModelRunner — through
+ * the resilient tryRunModel path when the fault injector is armed —
+ * and are strictly deterministic, so a warm or cold cache never
+ * changes simulated results, only wall time.
+ */
+class BatchCostModel
+{
+  public:
+    explicit BatchCostModel(const ModelMix &mix);
+
+    /**
+     * Cost of class @p classIdx at padded batch @p batch (callers
+     * quantize first) with @p tpShards-way output-channel sharding
+     * (1 = unsharded), on @p accelerator. The reference stays valid
+     * for the life of the model (entries are never evicted).
+     */
+    const BatchCost &cost(const sim::Accelerator &accelerator,
+                          Index classIdx, Index batch,
+                          Index tpShards = 1);
+
+    const ModelMix &mix() const { return mix_; }
+
+    /** Distinct simulator evaluations performed (test/report hook). */
+    Index evaluations() const { return evaluations_; }
+
+  private:
+    using Key = std::tuple<std::string, Index, Index, Index>;
+
+    ModelMix mix_;
+    std::map<Key, BatchCost> cache_;
+    std::vector<Flops> perRequestFlops_; ///< lazily filled per class
+    Index evaluations_ = 0;
+};
+
+} // namespace cfconv::serve
+
+#endif // CFCONV_SERVE_COST_MODEL_H

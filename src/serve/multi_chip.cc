@@ -1,0 +1,68 @@
+#include "serve/multi_chip.h"
+
+#include <string>
+
+#include "common/logging.h"
+#include "sim/model_runner.h"
+
+namespace cfconv::serve {
+
+namespace {
+
+/** Full-model useful FLOPs (grouped-aware, counting repetitions). */
+Flops
+modelFlops(const models::ModelSpec &model)
+{
+    Flops flops = 0;
+    for (const auto &layer : model.layers)
+        flops += layer.flops() * static_cast<Flops>(layer.count);
+    return flops;
+}
+
+} // namespace
+
+sim::RunRecord
+runModelDataParallel(const sim::Accelerator &accelerator,
+                     const models::ModelSpec &model, Index chips)
+{
+    CFCONV_FATAL_IF(chips < 1,
+                    "runModelDataParallel: chips must be >= 1");
+    sim::RunRecord record = sim::ModelRunner(accelerator)
+                                .runModel(models::splitBatchAcrossCores(
+                                    model, chips));
+    record.model =
+        model.name + " (x" + std::to_string(chips) + " chips)";
+    record.batch =
+        model.layers.empty() ? 0 : model.layers.front().params.batch;
+    // Throughput accounting covers the full batch: the board's time is
+    // one slice's time, but all `chips` slices' FLOPs got done.
+    const Flops flops = modelFlops(model);
+    record.tflops = record.seconds > 0.0
+        ? static_cast<double>(flops) / record.seconds / 1e12
+        : 0.0;
+    return record;
+}
+
+sim::RunRecord
+runModelTensorParallel(const sim::Accelerator &accelerator,
+                       const models::ModelSpec &model, Index chips,
+                       double sync_seconds)
+{
+    CFCONV_FATAL_IF(chips < 1,
+                    "runModelTensorParallel: chips must be >= 1");
+    CFCONV_FATAL_IF(sync_seconds < 0.0,
+                    "runModelTensorParallel: sync_seconds must be >= 0");
+    sim::RunRecord record =
+        sim::ModelRunner(accelerator)
+            .runModel(models::splitChannelsAcrossChips(model, chips));
+    record.model =
+        model.name + " (tp" + std::to_string(chips) + ")";
+    record.seconds += sync_seconds;
+    const Flops flops = modelFlops(model);
+    record.tflops = record.seconds > 0.0
+        ? static_cast<double>(flops) / record.seconds / 1e12
+        : 0.0;
+    return record;
+}
+
+} // namespace cfconv::serve

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Multi-chip model execution behind the unified Accelerator API — the
+ * generalization of the TPU-only TpuSim::runModelMultiCore (now a
+ * deprecated compatibility wrapper). Both data-parallel batch
+ * splitting and tensor-parallel output-channel sharding ride on the
+ * shared models:: split helpers, so the offline one-shot API here and
+ * the serving scheduler's in-flight sharding can never drift from the
+ * legacy TPU path (parity-tested in tests/serve/test_multi_chip.cc).
+ */
+
+#ifndef CFCONV_SERVE_MULTI_CHIP_H
+#define CFCONV_SERVE_MULTI_CHIP_H
+
+#include "models/model_zoo.h"
+#include "sim/accelerator.h"
+
+namespace cfconv::serve {
+
+/**
+ * Run @p model data-parallel across @p chips identical chips of
+ * @p accelerator's configuration: each chip runs the per-chip batch
+ * slice MAX(1, ceil(B / chips)) (weights broadcast, activations
+ * chip-local), so the board finishes when one slice does. Seconds are
+ * the slice time; TFLOPS are accounted over the full batch, exactly
+ * like the legacy TPU multi-core path. Fatal when @p chips < 1.
+ */
+sim::RunRecord runModelDataParallel(const sim::Accelerator &accelerator,
+                                    const models::ModelSpec &model,
+                                    Index chips);
+
+/**
+ * Run @p model tensor-parallel across @p chips chips: ungrouped
+ * layers compute the output-channel slice MAX(1, ceil(C_O / chips))
+ * per chip (grouped layers stay whole — see
+ * models::splitChannelsAcrossChips). Seconds are the slice time plus
+ * @p sync_seconds of all-gather overhead per model run; TFLOPS are
+ * accounted over the full model. Fatal when @p chips < 1.
+ */
+sim::RunRecord runModelTensorParallel(
+    const sim::Accelerator &accelerator,
+    const models::ModelSpec &model, Index chips,
+    double sync_seconds = 0.0);
+
+} // namespace cfconv::serve
+
+#endif // CFCONV_SERVE_MULTI_CHIP_H

@@ -1,0 +1,478 @@
+#include "serve/serving_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <utility>
+
+#include "common/fault.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/trace.h"
+
+namespace cfconv::serve {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** Simulated seconds -> the integer clock of the trace's simulated
+ *  rows (nanosecond ticks; the recorder only needs ordering). */
+std::uint64_t
+toTraceTicks(double seconds)
+{
+    return static_cast<std::uint64_t>(std::llround(seconds * 1e9));
+}
+
+} // namespace
+
+std::string
+describeChips(const std::vector<ChipSpec> &chips)
+{
+    // Group by variant in first-appearance order: "4xtpu-v2" or
+    // "2xtpu-v2+1xgpu-v100".
+    std::vector<std::pair<std::string, int>> groups;
+    for (const auto &chip : chips) {
+        bool found = false;
+        for (auto &[variant, count] : groups)
+            if (variant == chip.variant) {
+                ++count;
+                found = true;
+                break;
+            }
+        if (!found)
+            groups.emplace_back(chip.variant, 1);
+    }
+    std::string out = "serve:";
+    for (size_t i = 0; i < groups.size(); ++i) {
+        if (i > 0)
+            out += "+";
+        out += std::to_string(groups[i].second) + "x" + groups[i].first;
+    }
+    return out;
+}
+
+ServingSimulator::ServingSimulator(ServingConfig config, ModelMix mix)
+    : config_(std::move(config)), costModel_(std::move(mix))
+{
+    CFCONV_FATAL_IF(config_.chips.empty(),
+                    "ServingSimulator: need at least one chip");
+    CFCONV_FATAL_IF(config_.sloSeconds <= 0.0,
+                    "ServingSimulator: sloSeconds must be > 0");
+    CFCONV_FATAL_IF(config_.maxShards < 1,
+                    "ServingSimulator: maxShards must be >= 1");
+    CFCONV_FATAL_IF(config_.chipDowntimeSeconds < 0.0,
+                    "ServingSimulator: chipDowntimeSeconds must be >= 0");
+
+    // One accelerator per distinct variant; chips share instances (and
+    // thus layer memo caches) so heterogeneity costs one construction
+    // per kind, not per chip.
+    for (const auto &chip : config_.chips) {
+        size_t idx = accelerators_.size();
+        for (size_t i = 0; i < accelerators_.size(); ++i)
+            if (accelerators_[i]->name() == chip.variant) {
+                idx = i;
+                break;
+            }
+        if (idx == accelerators_.size())
+            accelerators_.push_back(sim::makeAccelerator(chip.variant));
+        chipAccel_.push_back(idx);
+    }
+
+    // Dispatch preference: fastest chips first (work-stealing pulls go
+    // to the chip that drains the queue soonest), index breaks ties so
+    // the order — and therefore every record — is deterministic.
+    chipOrder_.resize(config_.chips.size());
+    for (size_t i = 0; i < chipOrder_.size(); ++i)
+        chipOrder_[i] = i;
+    std::stable_sort(chipOrder_.begin(), chipOrder_.end(),
+                     [this](size_t a, size_t b) {
+                         return chipAccelerator(a).peakTflops() >
+                                chipAccelerator(b).peakTflops();
+                     });
+}
+
+const sim::Accelerator &
+ServingSimulator::chipAccelerator(size_t chip) const
+{
+    return *accelerators_[chipAccel_[chip]];
+}
+
+void
+ServingSimulator::setPolicy(const BatchPolicy &batch,
+                            const AdmissionPolicy &admission)
+{
+    config_.batch = batch;
+    config_.admission = admission;
+}
+
+void
+ServingSimulator::setScenario(const std::string &scenario)
+{
+    config_.scenario = scenario;
+}
+
+ServingResult
+ServingSimulator::run(const TrafficSpec &traffic)
+{
+    auto &injector = fault::FaultInjector::instance();
+    auto &metrics = MetricsRegistry::instance();
+    const ModelMix &mix = costModel_.mix();
+    const auto num_classes = static_cast<Index>(mix.size());
+    const size_t num_chips = config_.chips.size();
+
+    TrafficSpec spec = traffic;
+    if (spec.classWeights.empty())
+        for (const auto &cls : mix)
+            spec.classWeights.push_back(cls.weight);
+    CFCONV_FATAL_IF(static_cast<Index>(spec.classWeights.size()) !=
+                        num_classes,
+                    "ServingSimulator: classWeights/mix size mismatch");
+    const std::vector<Request> arrivals = generateArrivals(spec);
+
+    BatchQueue queue(num_classes, config_.batch, config_.admission);
+
+    ServingResult result;
+    result.classes.resize(static_cast<size_t>(num_classes));
+    for (Index c = 0; c < num_classes; ++c)
+        result.classes[static_cast<size_t>(c)].name =
+            mix[static_cast<size_t>(c)].name;
+    sim::ResilienceInfo resilience;
+    resilience.active = injector.armed();
+
+    // Per-chip state: the instant the chip can next accept work (busy
+    // until then, whether serving or sitting out a repair interval).
+    std::vector<double> availableAt(num_chips, 0.0);
+    std::vector<trace::SimTrack> tracks;
+    tracks.reserve(num_chips);
+    for (size_t i = 0; i < num_chips; ++i)
+        tracks.push_back(trace::simTrack(
+            "serve chip" + std::to_string(i) + " (" +
+            config_.chips[i].variant + ")"));
+
+    // Coarse per-class service estimate for the admission controller's
+    // estimated-delay bound: one full batch on the fastest chip.
+    std::vector<double> serviceEstimate(
+        static_cast<size_t>(num_classes), -1.0);
+    const auto classEstimate = [&](Index c) {
+        auto &est = serviceEstimate[static_cast<size_t>(c)];
+        if (est < 0.0)
+            est = costModel_
+                      .cost(chipAccelerator(chipOrder_.front()), c,
+                            quantizeBatch(config_.batch.maxBatch))
+                      .seconds;
+        return est;
+    };
+
+    // Fold a cost-model entry's chaos outcome into the run's tally
+    // exactly once (memo hits must not double-count).
+    Index seenEvaluations = costModel_.evaluations();
+    const auto chargeCost = [&](const BatchCost &cost) -> const BatchCost & {
+        if (costModel_.evaluations() != seenEvaluations) {
+            seenEvaluations = costModel_.evaluations();
+            resilience.faultsSeen += cost.resilience.faultsSeen;
+            resilience.retries += cost.resilience.retries;
+            resilience.failovers += cost.resilience.failovers;
+            resilience.layersFailedOver +=
+                cost.resilience.layersFailedOver;
+            resilience.layersResumed += cost.resilience.layersResumed;
+            resilience.backoffSeconds +=
+                cost.resilience.backoffSeconds;
+            if (!cost.resilience.finalBackend.empty())
+                resilience.finalBackend = cost.resilience.finalBackend;
+        }
+        return cost;
+    };
+
+    double makespan = 0.0;
+    Scalar latencyAll;
+    Index launchedRequests = 0;
+    std::uint64_t dispatchOrdinal = 0;
+    // Chip that chaos just bounced a class's batch off: the next
+    // successful launch on a different chip counts as a failover.
+    std::vector<Index> bouncedChip(static_cast<size_t>(num_classes), -1);
+
+    // Dispatch every batch launchable at `now`. Returns when no
+    // launchable class or no idle chip remains.
+    const auto dispatch = [&](double now) {
+        for (;;) {
+            const Index cls = queue.launchableClass(now);
+            if (cls < 0)
+                return;
+            // Work-stealing pull: the first idle chip in preference
+            // order takes the batch.
+            std::vector<size_t> idle;
+            for (size_t chip : chipOrder_)
+                if (availableAt[chip] <= now)
+                    idle.push_back(chip);
+            if (idle.empty())
+                return;
+            const size_t chip = idle.front();
+            const std::string &variant = config_.chips[chip].variant;
+
+            // Chaos: whole-chip outage at dispatch. The batch goes
+            // back to the front of its queue with arrival times (and
+            // FIFO priority) intact; the chip sits out the repair
+            // interval. Decision is pure in (seed, variant, ordinal).
+            if (injector.armed() &&
+                injector.inject(
+                    fault::kServeChipDown, variant,
+                    hashCombine(dispatchOrdinal++,
+                                static_cast<std::uint64_t>(chip)))) {
+                availableAt[chip] = now + config_.chipDowntimeSeconds;
+                ++result.chipDownEvents;
+                ++resilience.faultsSeen;
+                ++resilience.retries;
+                bouncedChip[static_cast<size_t>(cls)] =
+                    static_cast<Index>(chip);
+                continue; // retry: next idle chip, fresh die
+            }
+            ++dispatchOrdinal;
+            auto &bounced = bouncedChip[static_cast<size_t>(cls)];
+            if (bounced >= 0) {
+                if (bounced != static_cast<Index>(chip))
+                    ++resilience.failovers;
+                bounced = -1;
+            }
+
+            std::vector<QueuedRequest> batch =
+                queue.pop(cls, config_.batch.maxBatch);
+            const auto n = static_cast<Index>(batch.size());
+            const Index padded = quantizeBatch(n);
+            const BatchCost &solo = chargeCost(
+                costModel_.cost(chipAccelerator(chip), cls, padded));
+
+            // Sharding: span idle chips when allowed, worthwhile
+            // (service estimate past the floor), and possible (a
+            // second idle chip exists). The group frees together —
+            // the sync barrier of a real multi-chip launch.
+            size_t shards = 1;
+            if (config_.shardMode != ShardMode::None &&
+                config_.maxShards > 1 &&
+                solo.seconds >= config_.shardMinServiceSeconds)
+                shards = std::min(
+                    idle.size(),
+                    static_cast<size_t>(config_.maxShards));
+
+            double span = 0.0;
+            Bytes dram = 0;
+            if (shards <= 1) {
+                span = solo.seconds;
+                dram = solo.dramBytes;
+            } else if (config_.shardMode == ShardMode::DataParallel) {
+                const Index slice = quantizeBatch(std::max<Index>(
+                    1, divCeil(padded, static_cast<Index>(shards))));
+                for (size_t s = 0; s < shards; ++s) {
+                    const BatchCost &part = chargeCost(costModel_.cost(
+                        chipAccelerator(idle[s]), cls, slice));
+                    span = std::max(span, part.seconds);
+                    dram += part.dramBytes;
+                }
+            } else { // TensorParallel
+                for (size_t s = 0; s < shards; ++s) {
+                    const BatchCost &part = chargeCost(costModel_.cost(
+                        chipAccelerator(idle[s]), cls, padded,
+                        static_cast<Index>(shards)));
+                    span = std::max(span, part.seconds);
+                    dram += part.dramBytes;
+                }
+                span += config_.shardSyncSeconds;
+            }
+
+            const double finish = now + span;
+            makespan = std::max(makespan, finish);
+            for (size_t s = 0; s < shards; ++s) {
+                availableAt[idle[s]] = finish;
+                if (tracks[idle[s]].active())
+                    trace::simSpan(
+                        tracks[idle[s]],
+                        mix[static_cast<size_t>(cls)].name.c_str(),
+                        toTraceTicks(now), toTraceTicks(span),
+                        {{"batch", static_cast<double>(n)},
+                         {"padded", static_cast<double>(padded)},
+                         {"shards", static_cast<double>(shards)}});
+            }
+
+            auto &cstats = result.classes[static_cast<size_t>(cls)];
+            ++cstats.batches;
+            launchedRequests += n;
+            cstats.dramBytes += dram;
+            for (const auto &req : batch) {
+                const double latency = finish - req.arrivalSeconds;
+                const bool late = latency > config_.sloSeconds;
+                ++cstats.completed;
+                cstats.sloViolations += late ? 1 : 0;
+                cstats.latencySum += latency;
+                cstats.latency.sample(latency);
+                latencyAll.sample(latency);
+                cstats.queueWait.sample(now - req.arrivalSeconds);
+                cstats.usefulFlops += solo.perRequestFlops;
+                metrics.sample("serve.request_latency_seconds",
+                               latency);
+            }
+        }
+    };
+
+    // The event loop: strictly serial over simulated time. Events are
+    // (a) the next arrival, (b) the earliest max-wait deadline, and
+    // (c) — when work is queued but every chip is busy or down — the
+    // earliest chip-free instant.
+    double now = 0.0;
+    size_t next = 0;
+    while (next < arrivals.size() || queue.totalDepth() > 0) {
+        dispatch(now);
+        if (next >= arrivals.size() && queue.totalDepth() == 0)
+            break; // dispatch drained the last batch
+
+        double tNext = kInf;
+        if (next < arrivals.size())
+            tNext = std::min(tNext, arrivals[next].arrivalSeconds);
+        if (queue.totalDepth() > 0) {
+            // A deadline at or before `now` means dispatch was blocked
+            // by busy chips, not by the wait policy: the next real
+            // event is then a chip freeing up, so only strictly future
+            // deadlines count (else the loop would never advance).
+            const double deadline = queue.nextDeadline();
+            if (deadline > now)
+                tNext = std::min(tNext, deadline);
+            double chipFree = kInf;
+            for (size_t chip = 0; chip < num_chips; ++chip)
+                if (availableAt[chip] > now)
+                    chipFree = std::min(chipFree, availableAt[chip]);
+            tNext = std::min(tNext, chipFree);
+        }
+        CFCONV_FATAL_IF(tNext == kInf,
+                        "ServingSimulator: event loop stalled");
+        now = std::max(now, tNext);
+
+        while (next < arrivals.size() &&
+               arrivals[next].arrivalSeconds <= now) {
+            const Request &req = arrivals[next];
+            auto &cstats =
+                result.classes[static_cast<size_t>(req.classIdx)];
+            ++cstats.offered;
+            double estimate = 0.0;
+            if (config_.admission.maxEstimatedDelaySeconds > 0.0) {
+                double chipFree = kInf;
+                for (size_t chip = 0; chip < num_chips; ++chip)
+                    chipFree = std::min(chipFree, availableAt[chip]);
+                const Index backlog =
+                    queue.depth(req.classIdx) + 1;
+                estimate =
+                    std::max(0.0, chipFree - now) +
+                    static_cast<double>(divCeil(
+                        backlog, config_.batch.maxBatch)) *
+                        classEstimate(req.classIdx);
+            }
+            if (queue.offer(req, estimate)) {
+                ++cstats.admitted;
+            } else {
+                ++cstats.shed;
+                metrics.add("serve.requests_shed", 1.0);
+            }
+            ++next;
+        }
+    }
+
+    // Roll up totals and the unified record.
+    Index batches = 0;
+    Flops usefulFlops = 0;
+    for (auto &cstats : result.classes) {
+        result.offered += cstats.offered;
+        result.completed += cstats.completed;
+        result.shed += cstats.shed;
+        result.sloViolations += cstats.sloViolations;
+        batches += cstats.batches;
+        usefulFlops += cstats.usefulFlops;
+    }
+    result.makespanSeconds = makespan;
+    result.evaluations = costModel_.evaluations();
+    if (makespan > 0.0) {
+        result.throughputRps =
+            static_cast<double>(result.completed) / makespan;
+        result.goodputRps =
+            static_cast<double>(result.completed -
+                                result.sloViolations) /
+            makespan;
+    }
+    if (result.offered > 0)
+        result.shedFraction =
+            static_cast<double>(result.shed) /
+            static_cast<double>(result.offered);
+    if (latencyAll.count() > 0) {
+        result.p50 = latencyAll.p50();
+        result.p95 = latencyAll.p95();
+        result.p99 = latencyAll.p99();
+        result.p999 = latencyAll.p999();
+    }
+    if (batches > 0)
+        result.meanBatch = static_cast<double>(launchedRequests) /
+                           static_cast<double>(batches);
+
+    sim::RunRecord &record = result.record;
+    record.accelerator = describeChips(config_.chips);
+    record.model = config_.scenario;
+    record.batch = config_.batch.maxBatch;
+    // Board peak = per-chip peak summed (shared accelerator instances
+    // still count once per chip).
+    for (size_t chip = 0; chip < num_chips; ++chip)
+        record.peakTflops += chipAccelerator(chip).peakTflops();
+    record.seconds = makespan;
+    record.tflops = makespan > 0.0
+        ? static_cast<double>(usefulFlops) / makespan / 1e12
+        : 0.0;
+    record.resilience = resilience;
+    for (Index c = 0; c < num_classes; ++c) {
+        const auto &cstats = result.classes[static_cast<size_t>(c)];
+        sim::LayerRecord layer;
+        layer.name = cstats.name;
+        layer.geometry =
+            "serve(" + cstats.name +
+            ", slo=" + std::to_string(config_.sloSeconds) + "s)";
+        layer.count = cstats.completed;
+        layer.seconds = cstats.completed > 0
+            ? cstats.latencySum /
+                static_cast<double>(cstats.completed)
+            : 0.0;
+        layer.flops = cstats.usefulFlops;
+        layer.dramBytes = cstats.dramBytes;
+        layer.tflops = makespan > 0.0
+            ? static_cast<double>(cstats.usefulFlops) / makespan / 1e12
+            : 0.0;
+        layer.extras["offered"] =
+            static_cast<double>(cstats.offered);
+        layer.extras["admitted"] =
+            static_cast<double>(cstats.admitted);
+        layer.extras["shed"] = static_cast<double>(cstats.shed);
+        layer.extras["sloViolations"] =
+            static_cast<double>(cstats.sloViolations);
+        layer.extras["batches"] =
+            static_cast<double>(cstats.batches);
+        if (cstats.batches > 0)
+            layer.extras["meanBatch"] =
+                static_cast<double>(cstats.completed) /
+                static_cast<double>(cstats.batches);
+        if (cstats.latency.count() > 0) {
+            layer.extras["p50Ms"] = cstats.latency.p50() * 1e3;
+            layer.extras["p95Ms"] = cstats.latency.p95() * 1e3;
+            layer.extras["p99Ms"] = cstats.latency.p99() * 1e3;
+            layer.extras["p999Ms"] = cstats.latency.p999() * 1e3;
+            layer.extras["queueWaitP99Ms"] =
+                cstats.queueWait.p99() * 1e3;
+        }
+        if (makespan > 0.0)
+            layer.extras["goodputRps"] =
+                static_cast<double>(cstats.completed -
+                                    cstats.sloViolations) /
+                makespan;
+        record.layers.push_back(std::move(layer));
+        record.dramBytes += cstats.dramBytes;
+    }
+
+    metrics.add("serve.scenarios", 1.0);
+    return result;
+}
+
+} // namespace cfconv::serve

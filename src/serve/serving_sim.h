@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The request-level serving simulator: a discrete-event loop that
+ * drives N simulated chips (any sim::Accelerator variants, possibly
+ * heterogeneous) with synthetic traffic through the dynamic batcher,
+ * work-stealing multi-chip dispatch, optional sharding of oversized
+ * batches, and admission control — the CADOSys shape of per-layer
+ * sims owned by a topology-level scheduler, lifted to request
+ * granularity. Where the rest of the repo answers "how fast is one
+ * layer / one model", this layer answers the production questions:
+ * throughput versus tail latency, goodput under overload, and tail
+ * behaviour while a chip fails over mid-burst (fault injector armed,
+ * serve.chip_down site).
+ *
+ * Determinism contract: the event loop is strictly serial over
+ * simulated time; every arrival, launch, shed, completion, and chaos
+ * decision is a pure function of (TrafficSpec, ServingConfig, fault
+ * seed). The only parallelism is inside the per-layer simulators,
+ * which are thread-count-deterministic by construction (PR 1), so the
+ * same scenario emits a byte-identical RunRecord at any thread count.
+ * Wall-clock never enters the record — only the document-level
+ * metrics histograms, which the gates exclude from byte comparison.
+ */
+
+#ifndef CFCONV_SERVE_SERVING_SIM_H
+#define CFCONV_SERVE_SERVING_SIM_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "serve/batcher.h"
+#include "serve/cost_model.h"
+#include "serve/workload.h"
+#include "sim/accelerator.h"
+
+namespace cfconv::serve {
+
+/** One simulated chip: an accelerator variant from the registry
+ *  (tune/variant_registry), so heterogeneous boards — and PR 6's
+ *  tuned design points — drop in by name. */
+struct ChipSpec
+{
+    std::string variant = "tpu-v2";
+};
+
+/** How oversized batches may be split across idle chips. */
+enum class ShardMode {
+    None,           ///< every batch runs on exactly one chip
+    DataParallel,   ///< batch slices via models::splitBatchAcrossCores
+    TensorParallel, ///< C_O slices via models::splitChannelsAcrossChips
+};
+
+/** Full configuration of one serving scenario. */
+struct ServingConfig
+{
+    std::vector<ChipSpec> chips = {ChipSpec{}};
+    BatchPolicy batch;
+    AdmissionPolicy admission;
+    /** Latency SLO: a request finishing within this of its arrival
+     *  counts toward goodput. */
+    double sloSeconds = 50e-3;
+
+    ShardMode shardMode = ShardMode::None;
+    /** Most chips one batch may span (>= 2 enables sharding). */
+    Index maxShards = 1;
+    /** Shard only when the single-chip service estimate is at least
+     *  this long — small batches gain nothing from spanning chips. */
+    double shardMinServiceSeconds = 0.0;
+    /** All-gather overhead charged per tensor-parallel run. */
+    double shardSyncSeconds = 0.0;
+
+    /** Repair interval after a serve.chip_down injection. */
+    double chipDowntimeSeconds = 25e-3;
+    /** Scenario label: becomes RunRecord::model, so sweeps emit one
+     *  named record per policy point. */
+    std::string scenario = "serving";
+};
+
+/** Per-model-class outcome tallies of one scenario run. */
+struct ClassStats
+{
+    std::string name;
+    Index offered = 0;   ///< arrivals of this class
+    Index admitted = 0;  ///< survived admission control
+    Index completed = 0; ///< finished (== admitted when run drains)
+    Index shed = 0;      ///< rejected at arrival
+    Index sloViolations = 0; ///< completed but over the SLO
+    Index batches = 0;       ///< batched model runs launched
+    double latencySum = 0.0; ///< sum of request latencies
+    Scalar latency;          ///< request-latency distribution
+    Scalar queueWait;        ///< arrival -> launch distribution
+    Flops usefulFlops = 0;   ///< real-request FLOPs completed
+    Bytes dramBytes = 0;     ///< padded-batch traffic accumulated
+};
+
+/** Everything one scenario run produced. */
+struct ServingResult
+{
+    /** The unified record (schema of sim/report), ready for
+     *  writeRunRecords: one LayerRecord per served model class,
+     *  serving metrics in the extras, chaos outcome in the
+     *  resilience block. */
+    sim::RunRecord record;
+
+    double makespanSeconds = 0.0; ///< time 0 .. last completion
+    Index offered = 0;
+    Index completed = 0;
+    Index shed = 0;
+    Index sloViolations = 0;
+    double throughputRps = 0.0; ///< completed / makespan
+    double goodputRps = 0.0;    ///< completed within SLO / makespan
+    double shedFraction = 0.0;  ///< shed / offered
+    /** Request-latency percentiles (simulated seconds). */
+    double p50 = 0.0, p95 = 0.0, p99 = 0.0, p999 = 0.0;
+    double meanBatch = 0.0;     ///< requests per launched batch
+    Index chipDownEvents = 0;
+    Index evaluations = 0;      ///< cost-model simulator runs
+    std::vector<ClassStats> classes;
+};
+
+/**
+ * The simulator. Owns one accelerator instance per distinct chip
+ * variant (chips of the same variant share it, and its memo caches)
+ * and a BatchCostModel; both persist across run() calls so policy
+ * sweeps over the same mix reuse every evaluation.
+ */
+class ServingSimulator
+{
+  public:
+    ServingSimulator(ServingConfig config, ModelMix mix);
+
+    /** Run one scenario to completion (all admitted requests drain).
+     *  Deterministic for a given (config, traffic, fault seed). */
+    ServingResult run(const TrafficSpec &traffic);
+
+    const ServingConfig &config() const { return config_; }
+    BatchCostModel &costModel() { return costModel_; }
+
+    /** Replace the policy knobs between sweep points (chips and mix
+     *  stay, so caches survive). */
+    void setPolicy(const BatchPolicy &batch,
+                   const AdmissionPolicy &admission);
+    void setScenario(const std::string &scenario);
+
+  private:
+    const sim::Accelerator &chipAccelerator(size_t chip) const;
+
+    ServingConfig config_;
+    BatchCostModel costModel_;
+    /** Distinct variants instantiated once... index per chip below. */
+    std::vector<std::unique_ptr<sim::Accelerator>> accelerators_;
+    std::vector<size_t> chipAccel_; ///< chip index -> accelerators_ idx
+    std::vector<size_t> chipOrder_; ///< dispatch preference (fast first)
+};
+
+/** Compact board label for RunRecord::accelerator, e.g.
+ *  "serve:4xtpu-v2" or "serve:2xtpu-v2+1xgpu-v100". */
+std::string describeChips(const std::vector<ChipSpec> &chips);
+
+} // namespace cfconv::serve
+
+#endif // CFCONV_SERVE_SERVING_SIM_H

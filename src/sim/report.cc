@@ -91,6 +91,7 @@ emitMeta(JsonWriter &w, const ReportMeta &meta)
         w.field("p50", s.p50());
         w.field("p95", s.p95());
         w.field("p99", s.p99());
+        w.field("p999", s.p999());
         w.endObject();
     }
     w.endObject();

@@ -14,7 +14,7 @@
  *       "histograms": {
  *         "runner.layer_sim_seconds": { "count": .., "mean": ...,
  *           "min": ..., "max": ..., "p50": ..., "p95": ...,
- *           "p99": ... }, ...
+ *           "p99": ..., "p999": ... }, ...
  *       }
  *     },
  *     "records": [

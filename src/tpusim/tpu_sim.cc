@@ -579,15 +579,12 @@ TpuSim::runModelMultiCore(const models::ModelSpec &model, Index cores,
                           const TpuRunOptions &options) const
 {
     CFCONV_FATAL_IF(cores < 1, "runModelMultiCore: cores must be >= 1");
-    // Data parallelism: each core gets an equal batch slice. A batch
-    // smaller than the core count leaves cores idle (batch 1 gains
-    // nothing), which is the honest behaviour of batch splitting.
-    models::ModelSpec sliced = model;
-    for (auto &layer : sliced.layers) {
-        layer.params.batch =
-            std::max<Index>(1, divCeil(layer.params.batch, cores));
-    }
-    TpuModelResult result = runModel(sliced, options);
+    // Thin compatibility wrapper: the batch-slicing rule is hoisted
+    // into models::splitBatchAcrossCores, shared with the multi-chip
+    // scheduler path (serve::runModelDataParallel), so the two can
+    // never drift. Kept byte-identical to the pre-hoist behaviour.
+    TpuModelResult result =
+        runModel(models::splitBatchAcrossCores(model, cores), options);
     result.model = model.name + " (x" + std::to_string(cores) +
                    " cores)";
     // Throughput accounting covers the full batch.

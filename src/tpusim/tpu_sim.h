@@ -128,6 +128,15 @@ class TpuSim
      * Simulate @p model on a multi-core board (e.g. the 8-core cloud
      * TPU-v2) with the batch split data-parallel across cores; weights
      * are broadcast, activations stay core-local.
+     *
+     * Deprecated: multi-core execution is generalized behind the
+     * Accelerator API by serve::runModelDataParallel (any backend, and
+     * the serving scheduler's multi-chip dispatch builds on it); this
+     * TPU-only entry point remains as a thin byte-identical
+     * compatibility wrapper over the shared
+     * models::splitBatchAcrossCores slicing rule (parity-tested in
+     * tests/serve/test_multi_chip.cc). Prefer the serve path in new
+     * code.
      */
     TpuModelResult runModelMultiCore(const models::ModelSpec &model,
                                      Index cores,

@@ -1,0 +1,90 @@
+/** @file Regression tests for the uniform bench argument parser
+ *  (bench/bench_util.h): the workload keys (seed=, stream=) added for
+ *  bench_serving, and the strict unknown-argument policy. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bench_util.h"
+
+namespace cfconv::bench {
+namespace {
+
+Status
+parse(std::vector<const char *> argv, BenchArgs *args,
+      bool supports_json = true, bool supports_workload = false)
+{
+    argv.insert(argv.begin(), "bench");
+    return tryParseBenchArgs(static_cast<int>(argv.size()),
+                             const_cast<char **>(argv.data()),
+                             supports_json, args, supports_workload);
+}
+
+TEST(BenchArgsParse, ParsesCoreKeys)
+{
+    BenchArgs args;
+    ASSERT_TRUE(parse({"threads=4", "json=out.json",
+                       "trace=t.json"},
+                      &args)
+                    .ok());
+    EXPECT_EQ(args.threads, 4);
+    EXPECT_EQ(args.jsonPath, "out.json");
+    EXPECT_EQ(args.tracePath, "t.json");
+    EXPECT_EQ(args.seed, 0u);
+    EXPECT_TRUE(args.stream.empty());
+}
+
+TEST(BenchArgsParse, WorkloadKeysNeedOptIn)
+{
+    BenchArgs args;
+    // Without supports_workload, seed=/stream= are unknown arguments.
+    EXPECT_FALSE(parse({"seed=7"}, &args).ok());
+    EXPECT_FALSE(parse({"stream=bursty"}, &args).ok());
+
+    ASSERT_TRUE(
+        parse({"seed=7", "stream=bursty"}, &args, true, true).ok());
+    EXPECT_EQ(args.seed, 7u);
+    EXPECT_EQ(args.stream, "bursty");
+}
+
+TEST(BenchArgsParse, RejectsMalformedSeeds)
+{
+    BenchArgs args;
+    for (const char *bad :
+         {"seed=", "seed=0", "seed=abc", "seed=12x"}) {
+        Status status = parse({bad}, &args, true, true);
+        EXPECT_FALSE(status.ok()) << bad;
+        EXPECT_NE(status.toString().find("seed"), std::string::npos)
+            << bad;
+    }
+}
+
+TEST(BenchArgsParse, RejectsEmptyStream)
+{
+    BenchArgs args;
+    EXPECT_FALSE(parse({"stream="}, &args, true, true).ok());
+}
+
+TEST(BenchArgsParse, UnknownArgumentNamesItselfAndTheMenu)
+{
+    BenchArgs args;
+    Status status = parse({"btach=4"}, &args, true, true);
+    ASSERT_FALSE(status.ok());
+    const std::string message = status.toString();
+    EXPECT_NE(message.find("btach=4"), std::string::npos);
+    EXPECT_NE(message.find("seed=N"), std::string::npos);
+    EXPECT_NE(message.find("stream=NAME"), std::string::npos);
+}
+
+TEST(BenchArgsParse, JsonStaysGatedBySupportsJson)
+{
+    BenchArgs args;
+    EXPECT_FALSE(parse({"json=out.json"}, &args, false).ok());
+    Status status = parse({"nope=1"}, &args, false);
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.toString().find("json=FILE"), std::string::npos);
+}
+
+} // namespace
+} // namespace cfconv::bench

@@ -148,14 +148,15 @@ TEST_F(FaultTest, InjectCountsPerSite)
     EXPECT_EQ(injector.injectedCount(kCacheCorrupt), 0u);
 }
 
-TEST_F(FaultTest, KnownSitesListsAllFour)
+TEST_F(FaultTest, KnownSitesListsAllFive)
 {
     const auto &sites = knownSites();
-    ASSERT_EQ(sites.size(), 4u);
+    ASSERT_EQ(sites.size(), 5u);
     EXPECT_EQ(sites[0], kSramBankRead);
     EXPECT_EQ(sites[1], kAccelStepTimeout);
     EXPECT_EQ(sites[2], kCacheCorrupt);
     EXPECT_EQ(sites[3], kPoolWorkerStall);
+    EXPECT_EQ(sites[4], kServeChipDown);
 }
 
 } // namespace

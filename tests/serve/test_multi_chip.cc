@@ -1,0 +1,122 @@
+/** @file Parity and behaviour tests for the hoisted multi-chip path
+ *  (serve/multi_chip + models:: split helpers): the deprecated
+ *  TpuSim::runModelMultiCore wrapper must stay byte-identical to the
+ *  generalized serve::runModelDataParallel, and both split helpers
+ *  must obey their slicing rules. */
+
+#include <gtest/gtest.h>
+
+#include "models/model_zoo.h"
+#include "serve/multi_chip.h"
+#include "sim/accelerator.h"
+#include "sim/model_runner.h"
+#include "tpusim/tpu_sim.h"
+
+namespace cfconv::serve {
+namespace {
+
+TEST(SplitBatchAcrossCores, CeilDividesAndClampsToOne)
+{
+    const auto model = models::alexnet(8);
+    const auto sliced = models::splitBatchAcrossCores(model, 3);
+    ASSERT_EQ(sliced.layers.size(), model.layers.size());
+    for (const auto &layer : sliced.layers)
+        EXPECT_EQ(layer.params.batch, 3); // ceil(8/3)
+
+    const auto tiny = models::splitBatchAcrossCores(models::alexnet(1),
+                                                    16);
+    for (const auto &layer : tiny.layers)
+        EXPECT_EQ(layer.params.batch, 1); // never below one sample
+}
+
+TEST(SplitChannelsAcrossChips, SlicesOutputChannelsSkipsGrouped)
+{
+    const auto model = models::mobilenetv1(4); // has grouped layers
+    const auto sliced = models::splitChannelsAcrossChips(model, 4);
+    ASSERT_EQ(sliced.layers.size(), model.layers.size());
+    for (size_t i = 0; i < model.layers.size(); ++i) {
+        const auto &before = model.layers[i];
+        const auto &after = sliced.layers[i];
+        EXPECT_EQ(after.params.batch, before.params.batch);
+        if (before.groups != 1) {
+            EXPECT_EQ(after.params.outChannels,
+                      before.params.outChannels)
+                << "grouped layer " << i << " must stay whole";
+        } else {
+            EXPECT_EQ(after.params.outChannels,
+                      std::max<Index>(
+                          1, divCeil(before.params.outChannels,
+                                     static_cast<Index>(4))))
+                << "layer " << i;
+        }
+    }
+}
+
+TEST(MultiChip, DataParallelMatchesDeprecatedTpuMultiCoreBitForBit)
+{
+    // The legacy TPU-only path is now a wrapper over the same slicing
+    // rule; on an ungrouped model the two must agree exactly, layer
+    // for layer (the contract that lets runModelMultiCore callers
+    // migrate without golden churn).
+    const auto model = models::alexnet(32);
+    const tpusim::TpuSim raw((tpusim::TpuConfig::tpuV2()));
+
+    for (Index chips : {1, 4, 8}) {
+        const tpusim::TpuModelResult expect =
+            raw.runModelMultiCore(model, chips);
+        const auto accelerator = sim::makeAccelerator("tpu-v2");
+        const sim::RunRecord got =
+            runModelDataParallel(*accelerator, model, chips);
+
+        EXPECT_DOUBLE_EQ(got.seconds, expect.seconds)
+            << chips << " chips";
+        EXPECT_DOUBLE_EQ(got.tflops, expect.tflops)
+            << chips << " chips";
+        ASSERT_EQ(got.layers.size(), expect.layers.size());
+        for (size_t i = 0; i < got.layers.size(); ++i)
+            EXPECT_DOUBLE_EQ(got.layers[i].seconds,
+                             expect.layers[i].seconds)
+                << chips << " chips, layer " << i;
+        EXPECT_EQ(got.batch, 32); // reported at the full batch
+    }
+}
+
+TEST(MultiChip, DataParallelScalesAndKeepsUsefulFlops)
+{
+    const auto model = models::resnet50(32);
+    const auto accelerator = sim::makeAccelerator("tpu-v2");
+    const auto one = runModelDataParallel(*accelerator, model, 1);
+    const auto four = runModelDataParallel(*accelerator, model, 4);
+    EXPECT_LT(four.seconds, one.seconds);
+    // Full-batch FLOPs over slice time: the 4-chip board must beat
+    // one chip on throughput.
+    EXPECT_GT(four.tflops, one.tflops);
+}
+
+TEST(MultiChip, TensorParallelChargesSyncAndSpeedsUp)
+{
+    const auto model = models::alexnet(8);
+    const auto accelerator = sim::makeAccelerator("tpu-v2");
+    const auto whole = runModelDataParallel(*accelerator, model, 1);
+    const auto tp = runModelTensorParallel(*accelerator, model, 4);
+    EXPECT_LT(tp.seconds, whole.seconds);
+
+    const auto synced =
+        runModelTensorParallel(*accelerator, model, 4, 1e-3);
+    EXPECT_DOUBLE_EQ(synced.seconds, tp.seconds + 1e-3);
+    EXPECT_LT(synced.tflops, tp.tflops);
+}
+
+TEST(MultiChip, SingleChipIsTheIdentity)
+{
+    const auto model = models::alexnet(4);
+    const auto accelerator = sim::makeAccelerator("tpu-v2");
+    const auto direct =
+        sim::ModelRunner(*accelerator).runModel(model);
+    const auto one = runModelDataParallel(*accelerator, model, 1);
+    EXPECT_DOUBLE_EQ(one.seconds, direct.seconds);
+    EXPECT_DOUBLE_EQ(one.tflops, direct.tflops);
+}
+
+} // namespace
+} // namespace cfconv::serve

@@ -1,0 +1,252 @@
+/** @file Tests for the request-level serving simulator
+ *  (serve/serving_sim): conservation of requests, byte-identical
+ *  records across thread counts, the batching and multi-chip wins the
+ *  bench asserts, admission-control shedding, and chaos-under-load
+ *  with the serve.chip_down site. */
+
+#include <gtest/gtest.h>
+
+#include "common/fault.h"
+#include "common/parallel.h"
+#include "models/model_zoo.h"
+#include "serve/serving_sim.h"
+#include "sim/report.h"
+
+namespace cfconv::serve {
+namespace {
+
+/** Small-model mix so each test stays fast (cost evaluations are
+ *  memoized per simulator instance). */
+ModelMix
+tinyMix()
+{
+    return {{"alexnet", &models::alexnet, 3.0},
+            {"zfnet", &models::zfnet, 1.0}};
+}
+
+TrafficSpec
+lightTraffic(std::uint64_t seed = 42)
+{
+    TrafficSpec spec;
+    spec.ratePerSecond = 400;
+    spec.horizonSeconds = 0.25;
+    spec.seed = seed;
+    return spec;
+}
+
+TEST(ServingSim, ConservesRequestsAndDrains)
+{
+    ServingConfig config;
+    ServingSimulator sim(config, tinyMix());
+    const ServingResult result = sim.run(lightTraffic());
+
+    EXPECT_GT(result.offered, 0);
+    EXPECT_EQ(result.offered, result.completed + result.shed);
+    EXPECT_EQ(result.shed, 0); // unbounded admission: nothing shed
+    EXPECT_GT(result.makespanSeconds, 0.0);
+    EXPECT_GT(result.throughputRps, 0.0);
+    EXPECT_GE(result.throughputRps, result.goodputRps);
+    EXPECT_GT(result.p50, 0.0);
+    EXPECT_LE(result.p50, result.p99);
+    EXPECT_LE(result.p99, result.p999);
+
+    // The record mirrors the result.
+    const sim::RunRecord &record = result.record;
+    EXPECT_EQ(record.accelerator, "serve:1xtpu-v2");
+    EXPECT_EQ(record.model, "serving");
+    ASSERT_EQ(record.layers.size(), 2u);
+    Index completed = 0;
+    for (const auto &layer : record.layers)
+        completed += layer.count;
+    EXPECT_EQ(completed, result.completed);
+    EXPECT_GT(record.tflops, 0.0);
+    EXPECT_FALSE(record.resilience.active);
+}
+
+TEST(ServingSim, ByteIdenticalRecordsAcrossThreadCounts)
+{
+    // Empty meta: compare the records payload alone, excluding the
+    // process-global live-metrics block (wall-clock histograms), the
+    // same split the byte-identity gates use.
+    const auto runOnce = [] {
+        ServingConfig config;
+        config.chips = {ChipSpec{"tpu-v2"}, ChipSpec{"tpu-v2"}};
+        ServingSimulator sim(config, tinyMix());
+        return sim::runRecordsJson({sim.run(lightTraffic(7)).record},
+                                   sim::ReportMeta{});
+    };
+    parallel::setThreads(1);
+    const std::string serial = runOnce();
+    parallel::setThreads(4);
+    const std::string parallel4 = runOnce();
+    parallel::setThreads(0);
+    EXPECT_EQ(serial, parallel4);
+}
+
+TEST(ServingSim, DifferentSeedsDifferentRecords)
+{
+    ServingConfig config;
+    ServingSimulator sim(config, tinyMix());
+    const auto a = sim::runRecordsJson(
+        {sim.run(lightTraffic(1)).record}, sim::ReportMeta{});
+    const auto b = sim::runRecordsJson(
+        {sim.run(lightTraffic(2)).record}, sim::ReportMeta{});
+    EXPECT_NE(a, b);
+}
+
+TEST(ServingSim, BatchingBeatsBatchOneUnderLoad)
+{
+    TrafficSpec traffic;
+    traffic.ratePerSecond = 3000; // past batch-1 capacity
+    traffic.horizonSeconds = 0.1;
+    traffic.seed = 13;
+
+    ServingConfig config;
+    config.batch.maxBatch = 1;
+    ServingSimulator noBatch(config, tinyMix());
+    const ServingResult one = noBatch.run(traffic);
+
+    config.batch.maxBatch = 16;
+    config.batch.maxWaitSeconds = 2e-3;
+    ServingSimulator batched(config, tinyMix());
+    const ServingResult sixteen = batched.run(traffic);
+
+    EXPECT_GT(sixteen.meanBatch, 1.5);
+    EXPECT_GT(sixteen.throughputRps, one.throughputRps);
+    EXPECT_LT(sixteen.p99, one.p99); // queueing dominates at batch 1
+}
+
+TEST(ServingSim, FourChipsScaleThroughput)
+{
+    // Offered load far past even the 4-chip capacity, so both boards
+    // run flat out and throughput is pure drain rate.
+    TrafficSpec traffic;
+    traffic.ratePerSecond = 60000;
+    traffic.horizonSeconds = 0.02;
+    traffic.seed = 17;
+
+    ServingConfig config;
+    config.batch.maxBatch = 8;
+    ServingSimulator single(config, tinyMix());
+    const ServingResult one = single.run(traffic);
+
+    config.chips.assign(4, ChipSpec{"tpu-v2"});
+    ServingSimulator quad(config, tinyMix());
+    const ServingResult four = quad.run(traffic);
+
+    // Saturated offered load: a 4-chip board must scale well.
+    EXPECT_GT(four.throughputRps, 2.5 * one.throughputRps);
+    EXPECT_LT(four.p99, one.p99);
+}
+
+TEST(ServingSim, HeterogeneousBoardPrefersTheFastChip)
+{
+    ServingConfig config;
+    config.chips = {ChipSpec{"tpu-v2"}, ChipSpec{"tpu-v3ish"}};
+    ServingSimulator sim(config, tinyMix());
+    const ServingResult result = sim.run(lightTraffic(19));
+    EXPECT_EQ(result.offered, result.completed);
+    EXPECT_EQ(result.record.accelerator,
+              "serve:1xtpu-v2+1xtpu-v3ish");
+}
+
+TEST(ServingSim, AdmissionControlBoundsTheQueueAndKeepsGoodput)
+{
+    // Sustained ~1.5x overload long enough that the unbounded queue's
+    // drain tail blows far past the SLO.
+    TrafficSpec traffic;
+    traffic.ratePerSecond = 8000;
+    traffic.horizonSeconds = 0.3;
+    traffic.seed = 23;
+
+    ServingConfig config;
+    config.batch.maxBatch = 8;
+    ServingSimulator open(config, tinyMix());
+    const ServingResult unbounded = open.run(traffic);
+    EXPECT_EQ(unbounded.shed, 0);
+
+    config.admission.maxQueuePerClass = 32;
+    ServingSimulator bounded(config, tinyMix());
+    const ServingResult shed = bounded.run(traffic);
+
+    EXPECT_GT(shed.shed, 0);
+    EXPECT_LT(shed.shedFraction, 1.0);
+    EXPECT_EQ(shed.offered, shed.completed + shed.shed);
+    // Shedding keeps latency bounded, so goodput beats the open door.
+    EXPECT_LT(shed.p99, unbounded.p99);
+    EXPECT_GE(shed.goodputRps, unbounded.goodputRps);
+}
+
+TEST(ServingSim, DataParallelShardingCutsLatency)
+{
+    TrafficSpec traffic;
+    traffic.ratePerSecond = 200; // light: chips usually idle
+    traffic.horizonSeconds = 0.1;
+    traffic.seed = 29;
+
+    ServingConfig config;
+    config.chips.assign(4, ChipSpec{"tpu-v2"});
+    config.batch.maxBatch = 32;
+    config.batch.maxWaitSeconds = 5e-3;
+    ServingSimulator solo(config, tinyMix());
+    const ServingResult unsharded = solo.run(traffic);
+
+    config.shardMode = ShardMode::DataParallel;
+    config.maxShards = 4;
+    ServingSimulator sharded(config, tinyMix());
+    const ServingResult split = sharded.run(traffic);
+
+    EXPECT_EQ(split.completed, split.offered);
+    EXPECT_LT(split.p99, unsharded.p99);
+}
+
+TEST(ServingSim, ChaosChipDownRetriesEverythingToCompletion)
+{
+    auto &injector = fault::FaultInjector::instance();
+    ASSERT_TRUE(injector
+                    .configure("seed=99; serve.chip_down=0.2")
+                    .ok());
+
+    ServingConfig config;
+    config.chips.assign(2, ChipSpec{"tpu-v2"});
+    ServingSimulator sim(config, tinyMix());
+    const ServingResult result = sim.run(lightTraffic(31));
+    const std::string doc =
+        sim::runRecordsJson({result.record}, sim::ReportMeta{});
+    injector.disarm();
+
+    EXPECT_GT(result.chipDownEvents, 0);
+    EXPECT_EQ(result.offered, result.completed + result.shed);
+    EXPECT_EQ(result.shed, 0); // outages delay, never drop
+    EXPECT_TRUE(result.record.resilience.active);
+    EXPECT_GE(result.record.resilience.faultsSeen,
+              result.chipDownEvents);
+    EXPECT_GE(result.record.resilience.retries, 1);
+    // Armed injector stamps the v3 resilience block.
+    EXPECT_NE(doc.find("\"resilience\""), std::string::npos);
+
+    // Chaos runs are reproducible: same spec, same record.
+    ASSERT_TRUE(injector
+                    .configure("seed=99; serve.chip_down=0.2")
+                    .ok());
+    ServingSimulator again(config, tinyMix());
+    const std::string doc2 = sim::runRecordsJson(
+        {again.run(lightTraffic(31)).record}, sim::ReportMeta{});
+    injector.disarm();
+    EXPECT_EQ(doc, doc2);
+}
+
+TEST(ServingSim, PolicySweepReusesCostEvaluations)
+{
+    ServingConfig config;
+    ServingSimulator sim(config, tinyMix());
+    sim.run(lightTraffic(37));
+    const Index cold = sim.costModel().evaluations();
+    EXPECT_GT(cold, 0);
+    sim.setScenario("again");
+    sim.run(lightTraffic(37));
+    EXPECT_EQ(sim.costModel().evaluations(), cold); // all memo hits
+}
+
+} // namespace
+} // namespace cfconv::serve
