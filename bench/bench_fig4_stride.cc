@@ -1,20 +1,29 @@
 /**
  * @file
- * Fig 4 reproduction: TFLOPS of implicit im2col on representative
- * ResNet layers (W_I, C_I, C_O, W_F) under strides 1/2/4, with the
- * equivalent GEMM as a reference.
+ * Fig 4 reproduction + the algorithm-matrix extension: TFLOPS of
+ * implicit im2col on representative ResNet layers (W_I, C_I, C_O,
+ * W_F) under strides 1/2/4, with the equivalent GEMM as a reference.
  *  (a) GPU (cuDNN-like channel-last): degrades ~30% at stride 2 and
  *      ~60% at stride 4 while the GEMM reference stays high.
  *  (b) TPU (channel-first): insensitive to stride.
+ *  (c) The stride/dilation-sensitivity matrix across the full
+ *      conv::Algorithm zoo on both simulators: every registered
+ *      algorithm x {stride 1/2/4, dilation 2}, combos an algorithm
+ *      cannot run marked n/a (SMM-Conv is unit-stride only). The
+ *      matrix records land in BENCH_algos.json (json= overrides),
+ *      and algo=NAME restricts the matrix to one algorithm.
  */
 
 #include <cstdio>
+#include <utility>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/table.h"
 #include "gpusim/gpu_sim.h"
 #include "models/model_zoo.h"
+#include "sim/model_runner.h"
+#include "sim/report.h"
 #include "tpusim/tpu_sim.h"
 
 using namespace cfconv;
@@ -34,7 +43,11 @@ withStride(tensor::ConvParams p, Index stride)
 int
 main(int argc, char **argv)
 {
-    bench::parseBenchArgs(argc, argv, /*supports_json=*/false);
+    bench::BenchArgs args = bench::parseBenchArgs(
+        argc, argv, /*supports_json=*/true,
+        /*supports_workload=*/false, /*supports_algo=*/true);
+    if (args.jsonPath.empty())
+        args.jsonPath = "BENCH_algos.json";
     const bench::WallTimer wall;
     const Index batch = 64;
     const auto layers = models::resnetRepresentativeLayers(batch);
@@ -115,6 +128,87 @@ main(int argc, char **argv)
                        tpu_drop2 / n);
     bench::summaryLine("Fig-4b", "TPU drop at stride 4", 0.0,
                        tpu_drop4 / n);
+
+    // ---- (c) the algorithm matrix ----
+    bench::experimentHeader(
+        "Fig 4c",
+        "Stride/dilation sensitivity across the registered algorithm "
+        "zoo on both simulators (records -> BENCH_algos.json)");
+
+    struct Combo
+    {
+        Index stride, dilation;
+        const char *tag;
+    };
+    const std::vector<Combo> combos = {
+        {1, 1, "s1-d1"}, {2, 1, "s2-d1"}, {4, 1, "s4-d1"},
+        {1, 2, "s1-d2"}};
+    // One variant per (backend, algorithm) cell, all on the stock
+    // tpu-v2 / gpu-v100 cores so the algorithm is the only axis.
+    const std::vector<std::string> matrixVariants = {
+        "tpu-v2",          "tpu-v2-chlast",
+        "tpu-v2-explicit", "tpu-v2-indirect",
+        "tpu-v2-smm",      "gpu-v100",
+        "gpu-v100-chlast", "gpu-v100-explicit",
+        "gpu-v100-indirect", "gpu-v100-smm",
+    };
+    const auto repLayers = models::resnetRepresentativeLayers(8);
+
+    Table gc("Fig 4c: model milliseconds across the algorithm matrix");
+    gc.setHeader({"variant", "algorithm", "s1-d1", "s2-d1", "s4-d1",
+                  "s1-d2"});
+    std::vector<sim::RunRecord> records;
+    Index cells = 0, skipped = 0;
+    for (const auto &name : matrixVariants) {
+        const auto accel = sim::makeAccelerator(name);
+        const conv::Algorithm *algo = accel->algorithm();
+        const std::string algoName =
+            algo != nullptr ? algo->name() : "?";
+        if (!args.algo.empty() && args.algo != algoName)
+            continue;
+        std::vector<std::string> row = {name, algoName};
+        for (const Combo &combo : combos) {
+            models::ModelSpec m;
+            m.name = std::string("resnet-rep-") + combo.tag;
+            bool supported = true;
+            for (const auto &layer : repLayers) {
+                models::ConvLayerSpec spec = layer;
+                spec.params.strideH = spec.params.strideW =
+                    combo.stride;
+                spec.params.dilationH = spec.params.dilationW =
+                    combo.dilation;
+                spec.params.validate();
+                if (algo != nullptr &&
+                    !algo->supports(spec.params, spec.groups).ok())
+                    supported = false;
+                m.layers.push_back(std::move(spec));
+            }
+            if (!supported) {
+                // The applicability predicate said no (e.g. SMM-Conv
+                // on a strided combo): an honest hole, not a crash.
+                row.push_back("n/a");
+                ++skipped;
+                continue;
+            }
+            sim::RunRecord record =
+                sim::ModelRunner(*accel).runModel(m);
+            row.push_back(cell("%.3f", record.seconds * 1e3));
+            records.push_back(std::move(record));
+            ++cells;
+        }
+        gc.addRow(row);
+    }
+    gc.print();
+    std::printf("ALGOMATRIX combos=%zu | ran=%lld | n/a=%lld | "
+                "records=%zu\n",
+                combos.size(), static_cast<long long>(cells),
+                static_cast<long long>(skipped), records.size());
+    // An empty meta keeps the document a pure function of the sim, so
+    // repeat runs are byte-identical (check_algos.sh relies on it).
+    if (sim::writeRunRecords(args.jsonPath, records, sim::ReportMeta{}))
+        std::printf("wrote %s (%zu records)\n", args.jsonPath.c_str(),
+                    records.size());
+
     bench::printWallClock("bench_fig4_stride", wall);
     return 0;
 }

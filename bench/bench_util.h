@@ -23,6 +23,7 @@
 #include "common/status.h"
 #include "common/table.h"
 #include "common/trace.h"
+#include "conv/algorithm.h"
 #include "sim/accelerator.h"
 #include "tensor/microkernel.h"
 
@@ -91,6 +92,12 @@ struct BenchArgs
      *  "bursty", "diurnal"); empty = the bench's default. Validated
      *  by the consuming bench, not here. */
     std::string stream;
+    /** Algorithm filter (algo=NAME, a canonical conv::Algorithm name
+     *  such as "channel-first" or "indirect"); empty = the bench's
+     *  default (usually the full algorithm matrix). Validated here
+     *  against the conv::Algorithm registry; only the algorithm-aware
+     *  benches (bench_fig4_stride) accept it, via supports_algo. */
+    std::string algo;
 };
 
 /**
@@ -101,7 +108,8 @@ struct BenchArgs
  */
 inline Status
 tryParseBenchArgs(int argc, char **argv, bool supports_json,
-                  BenchArgs *args, bool supports_workload = false)
+                  BenchArgs *args, bool supports_workload = false,
+                  bool supports_algo = false)
 {
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "threads=", 8) == 0) {
@@ -134,12 +142,22 @@ tryParseBenchArgs(int argc, char **argv, bool supports_json,
                    std::strncmp(argv[i], "stream=", 7) == 0 &&
                    argv[i][7] != '\0') {
             args->stream = argv[i] + 7;
+        } else if (supports_algo &&
+                   std::strncmp(argv[i], "algo=", 5) == 0) {
+            const StatusOr<conv::AlgorithmId> parsed =
+                conv::parseAlgorithmName(argv[i] + 5);
+            if (!parsed.ok())
+                return invalidArgumentError(
+                    "bad algo=%s (%s)", argv[i] + 5,
+                    parsed.status().message().c_str());
+            args->algo = argv[i] + 5;
         } else {
             return invalidArgumentError(
                 "unknown argument \"%s\" (supported: threads=N, "
-                "trace=FILE, faults=SPEC%s%s)",
+                "trace=FILE, faults=SPEC%s%s%s)",
                 argv[i], supports_json ? ", json=FILE" : "",
-                supports_workload ? ", seed=N, stream=NAME" : "");
+                supports_workload ? ", seed=N, stream=NAME" : "",
+                supports_algo ? ", algo=NAME" : "");
         }
     }
     return okStatus();
@@ -156,17 +174,21 @@ tryParseBenchArgs(int argc, char **argv, bool supports_json,
  * that have no report so a stray json= errors out instead of silently
  * doing nothing; pass @p supports_workload = true from traffic-driven
  * binaries (bench_serving) to additionally accept `seed=N` (workload
- * seed) and `stream=NAME` (arrival-stream kind). Unknown arguments
- * and malformed values exit 2 with the structured error naming the
- * offender.
+ * seed) and `stream=NAME` (arrival-stream kind); pass
+ * @p supports_algo = true from algorithm-aware binaries
+ * (bench_fig4_stride) to additionally accept `algo=NAME` (a canonical
+ * conv::Algorithm name, validated against the registry). Unknown
+ * arguments and malformed values exit 2 with the structured error
+ * naming the offender.
  */
 inline BenchArgs
 parseBenchArgs(int argc, char **argv, bool supports_json = true,
-               bool supports_workload = false)
+               bool supports_workload = false,
+               bool supports_algo = false)
 {
     BenchArgs args;
     Status status = tryParseBenchArgs(argc, argv, supports_json, &args,
-                                      supports_workload);
+                                      supports_workload, supports_algo);
     // configure() errors already carry a "faults:" prefix.
     if (status.ok() && !args.faultsSpec.empty())
         status = fault::FaultInjector::instance()

@@ -1,0 +1,134 @@
+#!/usr/bin/env bash
+# Algorithm-zoo gate: the conv::Algorithm refactor must not move a
+# single byte on the pre-zoo paths, and the zoo additions must be real.
+#
+#   1. Byte-identity (bench stdout): the Fig 4a/4b sections of
+#      bench_fig4_stride — the paths that existed before the refactor —
+#      must match scripts/algo_goldens/fig4_stride.stdout.golden
+#      exactly (the golden was captured pre-refactor; the new Fig 4c
+#      section appends strictly after it).
+#   2. Byte-identity (RunRecords): the bench_models_report records
+#      subtree must match scripts/algo_goldens/models_records.golden.json
+#      exactly — same schema version, same numbers, no algorithm field
+#      leaking into the stock lowering paths.
+#   3. Functional parity: the AlgoParity gtest suite (every registered
+#      algorithm vs tensor::conv_ref on awkward shapes, both backends,
+#      thread-count invariance).
+#   4. The algorithm matrix: bench_fig4_stride writes BENCH_algos.json
+#      with a full matrix run, honest n/a holes (SMM-Conv on strided
+#      combos), a v4 document, and an algo=NAME filter that narrows it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+GOLDEN_DIR="scripts/algo_goldens"
+FIG4="$BUILD_DIR/bench/bench_fig4_stride"
+MODELS="$BUILD_DIR/bench/bench_models_report"
+TESTS="$BUILD_DIR/tests/cfconv_tests"
+for binary in "$FIG4" "$MODELS" "$TESTS"; do
+    if [ ! -x "$binary" ]; then
+        echo "check_algos: $binary not built; run cmake first" >&2
+        exit 1
+    fi
+done
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+echo "==== check_algos: pre-refactor bench stdout is byte-identical ===="
+golden="$GOLDEN_DIR/fig4_stride.stdout.golden"
+golden_lines="$(wc -l < "$golden")"
+"$FIG4" "json=$workdir/fig4_run1.json" > "$workdir/fig4.out"
+head -n "$golden_lines" "$workdir/fig4.out" > "$workdir/fig4.prefix"
+cmp "$workdir/fig4.prefix" "$golden" || {
+    echo "check_algos: Fig 4a/4b stdout drifted from the golden" >&2
+    diff "$golden" "$workdir/fig4.prefix" | head -n 20 >&2
+    exit 1
+}
+echo "  first $golden_lines lines identical to the pre-refactor golden"
+
+echo "==== check_algos: stock-path RunRecords are byte-identical ===="
+"$MODELS" "json=$workdir/models.json" >/dev/null
+python3 - "$workdir/models.json" "$workdir/models_records.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+with open(sys.argv[2], "w") as f:
+    json.dump(doc["records"], f, indent=2, sort_keys=True)
+    f.write("\n")
+EOF
+cmp "$workdir/models_records.json" "$GOLDEN_DIR/models_records.golden.json" || {
+    echo "check_algos: model RunRecords drifted from the golden" >&2
+    diff "$GOLDEN_DIR/models_records.golden.json" \
+        "$workdir/models_records.json" | head -n 20 >&2
+    exit 1
+}
+echo "  records subtree identical to the pre-refactor golden"
+
+echo "==== check_algos: functional parity suite ===="
+"$TESTS" --gtest_filter='AlgoParity.*:Algorithm*' --gtest_brief=1
+
+echo "==== check_algos: the algorithm matrix ===="
+"$FIG4" "json=$workdir/algos.json" > "$workdir/matrix.out"
+matrix_line="$(grep '^ALGOMATRIX ' "$workdir/matrix.out")"
+echo "  $matrix_line"
+ran="$(printf '%s\n' "$matrix_line" | sed -n 's/.*ran=\([0-9]*\).*/\1/p')"
+na="$(printf '%s\n' "$matrix_line" | sed -n 's/.*n\/a=\([0-9]*\).*/\1/p')"
+if [ -z "$ran" ] || [ "$ran" -le 0 ]; then
+    echo "check_algos: matrix ran no cells" >&2
+    exit 1
+fi
+if [ -z "$na" ] || [ "$na" -le 0 ]; then
+    echo "check_algos: no n/a holes — SMM-Conv should decline strided" \
+        "combos" >&2
+    exit 1
+fi
+python3 - "$workdir/algos.json" "$ran" <<'EOF'
+import json
+import sys
+
+path, ran = sys.argv[1], int(sys.argv[2])
+with open(path) as f:
+    doc = json.load(f)
+assert doc["schema"] == "cfconv.run_record", "bad schema id"
+# Some matrix rows run the zoo additions, so the per-layer algorithm
+# field must be present and the document stamped v4.
+assert doc["version"] == 4, f"matrix document is v{doc['version']}"
+records = doc["records"]
+assert len(records) == ran, (len(records), ran)
+algos = set()
+for record in records:
+    for layer in record["layers"]:
+        algos.add(layer.get("algorithm", ""))
+assert "indirect" in algos and "smm" in algos, sorted(algos)
+assert "" in algos, "stock paths must stay unstamped"
+print(f"  {len(records)} matrix records, algorithms stamped: "
+      + ", ".join(sorted(a for a in algos if a)))
+EOF
+
+echo "==== check_algos: algo= narrows the matrix ===="
+"$FIG4" "json=$workdir/indirect.json" algo=indirect \
+    > "$workdir/indirect.out"
+only="$(grep '^ALGOMATRIX ' "$workdir/indirect.out")"
+only_ran="$(printf '%s\n' "$only" | sed -n 's/.*ran=\([0-9]*\).*/\1/p')"
+if [ -z "$only_ran" ] || [ "$only_ran" -ge "$ran" ] \
+    || [ "$only_ran" -le 0 ]; then
+    echo "check_algos: algo=indirect did not narrow the matrix" \
+        "(ran=$only_ran vs full=$ran)" >&2
+    exit 1
+fi
+if ! "$FIG4" algo=winograd >/dev/null 2>"$workdir/bad.err"; then
+    grep -q 'bad algo=winograd' "$workdir/bad.err" || {
+        echo "check_algos: algo=winograd error does not name the" \
+            "offender" >&2
+        exit 1
+    }
+else
+    echo "check_algos: algo=winograd was accepted" >&2
+    exit 1
+fi
+echo "  algo=indirect ran $only_ran cells; algo=winograd rejected"
+
+echo "ALGOS OK"

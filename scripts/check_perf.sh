@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Perf-regression gate: diff the bench trajectory artifacts
-# (BENCH_models.json, BENCH_gemm.json, BENCH_serving.json) against the
-# checked-in baselines in scripts/perf_baselines/.
+# (BENCH_models.json, BENCH_gemm.json, BENCH_serving.json,
+# BENCH_algos.json) against the checked-in baselines in
+# scripts/perf_baselines/.
 #
 #   - Simulated quantities (per accelerator+model seconds / tflops /
-#     dram_bytes from BENCH_models.json, and per board+scenario from
-#     BENCH_serving.json) must match the baseline EXACTLY: the
+#     dram_bytes from BENCH_models.json, per board+scenario from
+#     BENCH_serving.json, and per variant+combo from the algorithm
+#     matrix in BENCH_algos.json) must match the baseline EXACTLY: the
 #     simulators are deterministic, so any drift is a real behavior
 #     change — rebaseline deliberately with --update.
 #   - Wall-clock quantities (per shape+backend GFLOP/s from
@@ -30,7 +32,7 @@ if ! command -v python3 >/dev/null 2>&1; then
     # can only check the artifacts exist. Say so loudly.
     echo "check_perf: python3 unavailable; structural check only" >&2
     [ -s BENCH_models.json ] && [ -s BENCH_gemm.json ] \
-        && [ -s BENCH_serving.json ]
+        && [ -s BENCH_serving.json ] && [ -s BENCH_algos.json ]
     echo "PERF OK (coarse)"
     exit 0
 fi
@@ -44,24 +46,30 @@ regen_bench_files() {
         >/dev/null
     "$BUILD_DIR"/bench/bench_serving json=BENCH_serving.json \
         >/dev/null
+    "$BUILD_DIR"/bench/bench_fig4_stride json=BENCH_algos.json \
+        >/dev/null
     # Skip the google-benchmark registrations; only the GEMM backend
     # sweep (which writes BENCH_gemm.json in the cwd) is needed.
     "$BUILD_DIR"/bench/bench_micro_kernels \
         --benchmark_filter=NOTHING_MATCHES >/dev/null
 }
 
-# extract <models.json> <gemm.json> <serving.json> <out.json>: boil the
-# three artifacts down to the compared metrics, deterministically
-# ordered. Serving records are simulated quantities too — the event
-# loop is serial in simulated time — so they join the exact-match set.
+# extract <models.json> <gemm.json> <serving.json> <algos.json>
+# <out.json>: boil the four artifacts down to the compared metrics,
+# deterministically ordered. Serving records are simulated quantities
+# too — the event loop is serial in simulated time — so they join the
+# exact-match set, as do the algorithm-matrix records (keyed by
+# variant|combo, so the pre-existing accelerator|model keys are
+# untouched when the matrix grows).
 extract() {
-    python3 - "$1" "$2" "$3" "$4" <<'EOF'
+    python3 - "$1" "$2" "$3" "$4" "$5" <<'EOF'
 import json
 import sys
 
-models_path, gemm_path, serving_path, out_path = sys.argv[1:5]
+models_path, gemm_path, serving_path, algos_path, out_path = (
+    sys.argv[1:6])
 baseline = {"simulated": {}, "wallclock": {}}
-for path in (models_path, serving_path):
+for path in (models_path, serving_path, algos_path):
     with open(path) as f:
         doc = json.load(f)
     for record in doc["records"]:
@@ -132,7 +140,7 @@ update | --update)
     regen_bench_files
     mkdir -p "$BASELINE_DIR"
     extract BENCH_models.json BENCH_gemm.json BENCH_serving.json \
-        "$BASELINE_DIR/perf_baseline.json"
+        BENCH_algos.json "$BASELINE_DIR/perf_baseline.json"
     echo "wrote $BASELINE_DIR/perf_baseline.json"
     ;;
 selftest | --selftest)
@@ -142,9 +150,10 @@ selftest | --selftest)
     workdir="$(mktemp -d)"
     trap 'rm -rf "$workdir"' EXIT
     [ -s BENCH_models.json ] && [ -s BENCH_gemm.json ] \
-        && [ -s BENCH_serving.json ] || regen_bench_files
+        && [ -s BENCH_serving.json ] && [ -s BENCH_algos.json ] \
+        || regen_bench_files
     extract BENCH_models.json BENCH_gemm.json BENCH_serving.json \
-        "$workdir/current.json"
+        BENCH_algos.json "$workdir/current.json"
     python3 - "$BASELINE_DIR/perf_baseline.json" \
         "$workdir/perturbed.json" <<'EOF'
 import json
@@ -173,11 +182,12 @@ check | --check)
         exit 1
     fi
     [ -s BENCH_models.json ] && [ -s BENCH_gemm.json ] \
-        && [ -s BENCH_serving.json ] || regen_bench_files
+        && [ -s BENCH_serving.json ] && [ -s BENCH_algos.json ] \
+        || regen_bench_files
     workdir="$(mktemp -d)"
     trap 'rm -rf "$workdir"' EXIT
     extract BENCH_models.json BENCH_gemm.json BENCH_serving.json \
-        "$workdir/current.json"
+        BENCH_algos.json "$workdir/current.json"
     compare "$BASELINE_DIR/perf_baseline.json" \
         "$workdir/current.json" "$TOL"
     echo "PERF OK"

@@ -29,7 +29,7 @@ with open(path) as f:
     doc = json.load(f)
 assert doc.get("schema") == "cfconv.run_record", "bad schema id"
 version = doc.get("version")
-assert version in (1, 2, 3), f"bad schema version {version!r}"
+assert version in (1, 2, 3, 4), f"bad schema version {version!r}"
 if version >= 2:
     # v2 added the document-level metrics object; the trace_file key
     # is optional (present only on traced runs) but never null.
@@ -68,17 +68,33 @@ for record in records:
         f"resilience backoff_seconds = {backoff!r}")
     assert isinstance(resilience.get("final_backend"), str), (
         "resilience final_backend missing")
-if version >= 3:
+if version == 3:
+    # v3 is stamped only when a record carries a resilience block; v4
+    # (the algorithm field) may legitimately have none.
     assert resilient > 0, "v3 document without any resilience block"
+algo_layers = 0
+for record in records:
+    for layer in record["layers"]:
+        algorithm = layer.get("algorithm")
+        if algorithm is None:
+            continue
+        algo_layers += 1
+        assert version >= 4, "algorithm field in a pre-v4 document"
+        assert isinstance(algorithm, str) and algorithm, (
+            f"empty layer algorithm in {record.get('model')}")
+if version >= 4:
+    assert algo_layers > 0, "v4 document without any algorithm field"
 print(f"{path}: {len(records)} records OK"
-      + (f" ({resilient} resilient)" if resilient else ""))
+      + (f" ({resilient} resilient)" if resilient else "")
+      + (f" ({algo_layers} algorithm-stamped layers)" if algo_layers
+         else ""))
 EOF
 }
 
 validate_grep() {
     local path="$1"
     grep -q '"schema": "cfconv.run_record"' "$path"
-    grep -Eq '"version": (1|2)' "$path"
+    grep -Eq '"version": (1|2|3|4)' "$path"
     grep -q '"layers": \[' "$path"
     # The writer emits non-finite doubles as null; a null tflops means
     # a NaN/Inf escaped the simulators.

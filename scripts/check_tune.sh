@@ -11,6 +11,9 @@
 #   3. Staleness: rename a variant inside the database; the loader
 #      must reject that entry (rejected > 0) and the run must still
 #      succeed by re-searching.
+#   4. Algorithm staleness: an entry naming an algorithm the live
+#      conv::Algorithm registry does not know must likewise be
+#      rejected and re-searched.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -73,7 +76,16 @@ cmp "$db" "$workdir/db_after_run1.json" \
 echo "  zero evaluations, byte-identical report and database"
 
 echo "==== check_tune: stale entries are rejected ===="
-sed 's/"variant": "tpu-v2-a256-w4"/"variant": "tpu-v9-retired"/' \
+# Pick whatever variant the first TPU-family entry actually chose — the
+# winner set (and the entry order) shifts as the zoo grows, so the
+# victim is found, not hardcoded; it must be a tpu entry because the
+# re-search assertion below watches the tpu TUNE line.
+victim="$(awk '/"family": "tpu"/ { intpu = 1 }
+    intpu && /"variant": / {
+        gsub(/.*"variant": "|".*/, ""); print; exit
+    }' "$db")"
+[ -n "$victim" ] || { echo "check_tune: no variant in db" >&2; exit 1; }
+sed "s/\"variant\": \"$victim\"/\"variant\": \"tpu-v9-retired\"/" \
     "$db" > "$workdir/stale.json"
 "$BENCH" "db=$workdir/stale.json" "json=$workdir/report3.json" \
     > "$workdir/run3.out" 2> "$workdir/run3.err"
@@ -92,5 +104,20 @@ fi
 cmp "$workdir/report3.json" "$json1" \
     || { echo "check_tune: re-searched report differs" >&2; exit 1; }
 echo "  rejected=$rejected stale entries, re-search reproduced the report"
+
+echo "==== check_tune: unknown-algorithm entries are rejected ===="
+sed 's/"algorithm": "channel-first"/"algorithm": "winograd"/' \
+    "$db" > "$workdir/stale_algo.json"
+"$BENCH" "db=$workdir/stale_algo.json" "json=$workdir/report4.json" \
+    > "$workdir/run4.out" 2> "$workdir/run4.err"
+rejected="$(sed -n 's/.*rejected=\([0-9]*\).*/\1/p' \
+    "$workdir/run4.out" | head -n 1)"
+if [ -z "$rejected" ] || [ "$rejected" -le 0 ]; then
+    echo "check_tune: unknown-algorithm entries were not rejected" >&2
+    exit 1
+fi
+cmp "$workdir/report4.json" "$json1" \
+    || { echo "check_tune: algo re-search report differs" >&2; exit 1; }
+echo "  rejected=$rejected unknown-algorithm entries, report reproduced"
 
 echo "TUNE OK"

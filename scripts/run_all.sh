@@ -48,6 +48,9 @@ echo "==== perf regression gate ===="
 scripts/check_perf.sh
 scripts/check_perf.sh --selftest
 
+echo "==== algorithm zoo (byte-identity + parity + matrix) ===="
+scripts/check_algos.sh
+
 echo "==== autotuner + tuned-config database ===="
 scripts/check_tune.sh
 

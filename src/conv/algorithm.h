@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The conv::Algorithm interface: one common contract every convolution
+ * lowering scheme implements so that all algorithms can be compared on
+ * equal footing across both simulators (ROADMAP "Algorithm zoo").
+ *
+ * An Algorithm bundles five things:
+ *   - identity (stable id + canonical name),
+ *   - an applicability predicate (stride/dilation/groups restrictions),
+ *   - the lowered-matrix geometry (GEMM dims, workspace, duplication),
+ *   - a DRAM traffic model (unique bytes each operand class moves),
+ *   - a functional execute() proven against tensor::convDirect.
+ *
+ * The registry is append-only: ids are serialized into memo-cache and
+ *  tuned-config-DB keys, so new algorithms append at the end and
+ * existing ids never renumber.
+ */
+
+#ifndef CFCONV_CONV_ALGORITHM_H
+#define CFCONV_CONV_ALGORITHM_H
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "tensor/conv_params.h"
+#include "tensor/tensor.h"
+
+namespace cfconv::conv {
+
+using tensor::ConvParams;
+using tensor::Tensor;
+
+/**
+ * Stable identity of a registered algorithm. Serialized (as its name)
+ * into RunRecords and tuned-config-DB entries — append new entries at
+ * the end, never reorder.
+ */
+enum class AlgorithmId {
+    ChannelFirst,   ///< implicit im2col, H_F->W_F->C_I column order
+    ChannelLast,    ///< implicit im2col, C_I->H_F->W_F column order
+    ExplicitIm2col, ///< materialized lowered matrix + GEMM
+    Indirect,       ///< indirection-buffer pointer GEMM (Dukhan)
+    Smm,            ///< scalar-matrix-multiply, zero packing (SMM-Conv)
+};
+
+/** Number of registered algorithm ids. */
+inline constexpr int kAlgorithmCount = 5;
+
+/**
+ * Lowered-matrix geometry of one algorithm on one layer: the logical
+ * GEMM it performs plus the memory-shape consequences of how the
+ * lowered operand is (or is not) materialized.
+ */
+struct LoweredGeometry
+{
+    Index m = 0; ///< GEMM rows (N * H_O * W_O)
+    Index k = 0; ///< GEMM depth as the algorithm schedules it
+    Index n = 0; ///< GEMM columns (C_O)
+
+    /** Extra DRAM workspace the algorithm materializes (bytes). Zero
+     *  for every implicit scheme; loweredBytes() for explicit. */
+    Bytes workspaceBytes = 0;
+
+    /** Side-table metadata (indirection-buffer pointers) in bytes. */
+    Bytes metadataBytes = 0;
+
+    /** Input-duplication factor of the lowered operand relative to the
+     *  IFMap (Table 1): 1.0 when nothing is duplicated. */
+    double duplication = 1.0;
+};
+
+/**
+ * Unique DRAM bytes each operand class moves for one layer, before any
+ * backend-specific efficiency or caching effects. The simulators use
+ * their own per-pass models for cycle counts; this is the
+ * backend-neutral summary used by reports and tests.
+ */
+struct Traffic
+{
+    Bytes inputBytes = 0;    ///< unique IFMap bytes read
+    Bytes filterBytes = 0;   ///< filter bytes read
+    Bytes outputBytes = 0;   ///< OFMap bytes written
+    Bytes workspaceBytes = 0;///< lowered-workspace write + read bytes
+    Bytes metadataBytes = 0; ///< indirection-buffer bytes read
+
+    Bytes
+    totalBytes() const
+    {
+        return inputBytes + filterBytes + outputBytes + workspaceBytes +
+               metadataBytes;
+    }
+};
+
+/**
+ * One convolution lowering scheme. Implementations are stateless
+ * singletons owned by the registry; callers hold `const Algorithm *`
+ * and never delete.
+ */
+class Algorithm
+{
+  public:
+    virtual ~Algorithm() = default;
+
+    /** Stable registry id. */
+    virtual AlgorithmId id() const = 0;
+
+    /** Canonical lowercase name, e.g. "channel-first". This is the
+     *  spelling used by `algo=` on bench CLIs, variant descriptions,
+     *  and tuned-config-DB entries. */
+    virtual const char *name() const = 0;
+
+    /** One-line human description for listings. */
+    virtual const char *description() const = 0;
+
+    /**
+     * Applicability predicate: OK when this algorithm can run @p params
+     * with @p groups, INVALID_ARGUMENT (naming algorithm and offending
+     * field) otherwise. The default accepts any validated layer.
+     */
+    virtual Status supports(const ConvParams &params, Index groups) const;
+
+    /** Lowered-matrix geometry on @p params. */
+    virtual LoweredGeometry geometry(const ConvParams &params) const = 0;
+
+    /** Backend-neutral unique-DRAM-traffic model on @p params. */
+    virtual Traffic traffic(const ConvParams &params) const = 0;
+
+    /**
+     * Functional execution: @p input is (N, C_I, H_I, W_I), @p filter
+     * is (C_O, C_I, H_F, W_F); returns the (N, C_O, H_O, W_O) OFMap in
+     * NCHW layout. Must be bit-identical at any parallel::threads()
+     * count and match tensor::convDirect within accumulation-order
+     * float tolerance. Callers must check supports() first; executing
+     * an unsupported layer is a fatal() user error.
+     */
+    virtual Tensor execute(const ConvParams &params, const Tensor &input,
+                           const Tensor &filter) const = 0;
+};
+
+/** The registered algorithm with @p id (never null). */
+const Algorithm *findAlgorithm(AlgorithmId id);
+
+/** The registered algorithm named @p name, or nullptr when unknown. */
+const Algorithm *findAlgorithm(const std::string &name);
+
+/** All registered algorithms in id order. */
+const std::vector<const Algorithm *> &allAlgorithms();
+
+/** Canonical name of @p id (same as findAlgorithm(id)->name()). */
+const char *algorithmName(AlgorithmId id);
+
+/** Parse a canonical name; INVALID_ARGUMENT names the offender and
+ *  lists the known algorithms when @p name is unknown. */
+StatusOr<AlgorithmId> parseAlgorithmName(const std::string &name);
+
+} // namespace cfconv::conv
+
+#endif // CFCONV_CONV_ALGORITHM_H

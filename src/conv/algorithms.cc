@@ -1,0 +1,484 @@
+/**
+ * @file
+ * The registered convolution algorithms: the paper's three lowering
+ * schemes (channel-first implicit, channel-last implicit, explicit
+ * im2col) plus the two zoo additions from PAPERS.md — IndirectConv
+ * (Dukhan, arXiv:1907.02129) and SMM-Conv (Ofir & Ben-Artzi,
+ * arXiv:2411.15659). Every execute() is deterministic at any thread
+ * count: parallelFor only ever distributes disjoint output rows.
+ */
+
+#include "conv/algorithm.h"
+
+#include <vector>
+
+#include "common/parallel.h"
+#include "im2col/filter_decomp.h"
+#include "im2col/implicit_conv.h"
+#include "tensor/im2col_explicit.h"
+
+namespace cfconv::conv {
+
+namespace {
+
+using tensor::ColumnOrder;
+using tensor::Matrix;
+
+/** Pointer-size of one indirection-buffer entry (64-bit host). */
+constexpr Bytes kPointerBytes = 8;
+
+/**
+ * Implicit GEMM over a virtual lowered view in @p order: out row m is
+ * sum_k lowered(m, k) * wflat(k, co) without materializing the lowered
+ * matrix. Rows are disjoint across parallelFor chunks and each row
+ * accumulates serially k-major, so the result is thread-invariant.
+ */
+Tensor
+implicitGemmExecute(const ConvParams &params, const Tensor &input,
+                    const Tensor &filter, ColumnOrder order)
+{
+    const Index m_total = params.gemmM();
+    const Index k_total = params.gemmK();
+    const Index n_total = params.gemmN();
+    const Matrix wflat = tensor::flattenFilter(params, filter, order);
+    Matrix out(m_total, n_total);
+    parallel::parallelFor(0, m_total, 16, [&](Index begin, Index end) {
+        for (Index m = begin; m < end; ++m) {
+            for (Index co = 0; co < n_total; ++co) {
+                float acc = 0.0f;
+                for (Index k = 0; k < k_total; ++k)
+                    acc += tensor::loweredElement(params, order, input, m,
+                                                  k) *
+                           wflat.at(k, co);
+                out.at(m, co) = acc;
+            }
+        }
+    });
+    return tensor::foldOutput(params, out);
+}
+
+/** Shared geometry for the implicit schemes: full logical GEMM, no
+ *  workspace, no duplication. */
+LoweredGeometry
+implicitGeometry(const ConvParams &params)
+{
+    LoweredGeometry g;
+    g.m = params.gemmM();
+    g.k = params.gemmK();
+    g.n = params.gemmN();
+    return g;
+}
+
+/** Shared traffic skeleton: unique input union + filter + output. */
+Traffic
+implicitTraffic(const ConvParams &params)
+{
+    Traffic t;
+    t.inputBytes = im2col::inputUnionBytes(params);
+    t.filterBytes = params.filterBytes();
+    t.outputBytes = params.outputBytes();
+    return t;
+}
+
+// ---------------------------------------------------------------------------
+// Channel-first implicit im2col (the paper's algorithm, Sec. III).
+// ---------------------------------------------------------------------------
+
+class ChannelFirstAlgorithm final : public Algorithm
+{
+  public:
+    AlgorithmId id() const override { return AlgorithmId::ChannelFirst; }
+    const char *name() const override { return "channel-first"; }
+
+    const char *
+    description() const override
+    {
+        return "implicit im2col, H_F->W_F->C_I order, decomposed 1x1 "
+               "tiles (the paper's algorithm)";
+    }
+
+    LoweredGeometry
+    geometry(const ConvParams &params) const override
+    {
+        return implicitGeometry(params);
+    }
+
+    Traffic
+    traffic(const ConvParams &params) const override
+    {
+        return implicitTraffic(params);
+    }
+
+    Tensor
+    execute(const ConvParams &params, const Tensor &input,
+            const Tensor &filter) const override
+    {
+        return im2col::convImplicit(params, input, filter);
+    }
+};
+
+// ---------------------------------------------------------------------------
+// Channel-last implicit im2col (the conventional column order).
+// ---------------------------------------------------------------------------
+
+class ChannelLastAlgorithm final : public Algorithm
+{
+  public:
+    AlgorithmId id() const override { return AlgorithmId::ChannelLast; }
+    const char *name() const override { return "channel-last"; }
+
+    const char *
+    description() const override
+    {
+        return "implicit im2col, C_I->H_F->W_F order (conventional "
+               "sliding-window columns)";
+    }
+
+    LoweredGeometry
+    geometry(const ConvParams &params) const override
+    {
+        return implicitGeometry(params);
+    }
+
+    Traffic
+    traffic(const ConvParams &params) const override
+    {
+        return implicitTraffic(params);
+    }
+
+    Tensor
+    execute(const ConvParams &params, const Tensor &input,
+            const Tensor &filter) const override
+    {
+        return implicitGemmExecute(params, input, filter,
+                                   ColumnOrder::ChannelLast);
+    }
+};
+
+// ---------------------------------------------------------------------------
+// Explicit im2col: materialized lowered matrix + GEMM (Sec. II-B).
+// ---------------------------------------------------------------------------
+
+class ExplicitIm2colAlgorithm final : public Algorithm
+{
+  public:
+    AlgorithmId
+    id() const override
+    {
+        return AlgorithmId::ExplicitIm2col;
+    }
+
+    const char *name() const override { return "explicit-im2col"; }
+
+    const char *
+    description() const override
+    {
+        return "materialized lowered matrix + GEMM (the baseline whose "
+               "duplication motivates the paper)";
+    }
+
+    LoweredGeometry
+    geometry(const ConvParams &params) const override
+    {
+        LoweredGeometry g = implicitGeometry(params);
+        g.workspaceBytes = params.loweredBytes();
+        const Index in_elems = params.inputElems();
+        g.duplication =
+            in_elems > 0 ? static_cast<double>(params.loweredElems()) /
+                               static_cast<double>(in_elems)
+                         : 1.0;
+        return g;
+    }
+
+    Traffic
+    traffic(const ConvParams &params) const override
+    {
+        Traffic t;
+        t.inputBytes = params.inputBytes();
+        t.filterBytes = params.filterBytes();
+        t.outputBytes = params.outputBytes();
+        // The lowered workspace is written by the transform and read
+        // back by the GEMM.
+        t.workspaceBytes = 2 * params.loweredBytes();
+        return t;
+    }
+
+    Tensor
+    execute(const ConvParams &params, const Tensor &input,
+            const Tensor &filter) const override
+    {
+        return tensor::convExplicitIm2col(params, input, filter,
+                                          ColumnOrder::ChannelLast);
+    }
+};
+
+// ---------------------------------------------------------------------------
+// IndirectConv (Dukhan, arXiv:1907.02129): a pointer table of
+// M x H_F x W_F entries gathers C_I-deep input rows straight out of the
+// IFMap, so nothing is duplicated and striding/dilation only change
+// which pointers are materialized. The cost of the scheme is the
+// indirection buffer itself: M * H_F * W_F pointers streamed alongside
+// the GEMM.
+// ---------------------------------------------------------------------------
+
+class IndirectAlgorithm final : public Algorithm
+{
+  public:
+    AlgorithmId id() const override { return AlgorithmId::Indirect; }
+    const char *name() const override { return "indirect"; }
+
+    const char *
+    description() const override
+    {
+        return "indirection-buffer pointer GEMM (Dukhan) — no lowered "
+               "duplication, streams M*HF*WF pointers";
+    }
+
+    LoweredGeometry
+    geometry(const ConvParams &params) const override
+    {
+        LoweredGeometry g = implicitGeometry(params);
+        g.metadataBytes = metadataBytes(params);
+        return g;
+    }
+
+    Traffic
+    traffic(const ConvParams &params) const override
+    {
+        Traffic t = implicitTraffic(params);
+        t.metadataBytes = metadataBytes(params);
+        return t;
+    }
+
+    Tensor
+    execute(const ConvParams &params, const Tensor &input,
+            const Tensor &filter) const override
+    {
+        const Index m_total = params.gemmM();
+        const Index taps = params.kernelH * params.kernelW;
+        const Index ci = params.inChannels;
+        const Index co_total = params.outChannels;
+
+        // Materialize the indirection buffer: one (n, ih, iw) entry per
+        // (output position, filter tap); padding-halo taps point at the
+        // shared zero row (entry.valid == false).
+        struct Entry
+        {
+            Index n, ih, iw;
+            bool valid;
+        };
+        std::vector<Entry> table(
+            static_cast<size_t>(m_total * taps));
+        for (Index m = 0; m < m_total; ++m) {
+            const tensor::RowCoord rc = tensor::rowCoord(params, m);
+            for (Index r = 0; r < params.kernelH; ++r) {
+                for (Index s = 0; s < params.kernelW; ++s) {
+                    const Index ih = rc.oh * params.strideH -
+                                     params.padH + r * params.dilationH;
+                    const Index iw = rc.ow * params.strideW -
+                                     params.padW + s * params.dilationW;
+                    Entry &e =
+                        table[static_cast<size_t>(m * taps +
+                                                  r * params.kernelW + s)];
+                    e.n = rc.n;
+                    e.ih = ih;
+                    e.iw = iw;
+                    e.valid = ih >= 0 && ih < params.inH && iw >= 0 &&
+                              iw < params.inW;
+                }
+            }
+        }
+
+        // Pointer GEMM: each output row gathers its taps through the
+        // table; accumulation is tap-major then channel, matching the
+        // channel-first column order.
+        Matrix out(m_total, co_total);
+        parallel::parallelFor(0, m_total, 16, [&](Index begin,
+                                                  Index end) {
+            for (Index m = begin; m < end; ++m) {
+                for (Index co = 0; co < co_total; ++co) {
+                    float acc = 0.0f;
+                    for (Index r = 0; r < params.kernelH; ++r) {
+                        for (Index s = 0; s < params.kernelW; ++s) {
+                            const Entry &e = table[static_cast<size_t>(
+                                m * taps + r * params.kernelW + s)];
+                            if (!e.valid)
+                                continue;
+                            for (Index c = 0; c < ci; ++c)
+                                acc += input.at(e.n, c, e.ih, e.iw) *
+                                       filter.at(co, c, r, s);
+                        }
+                    }
+                    out.at(m, co) = acc;
+                }
+            }
+        });
+        return tensor::foldOutput(params, out);
+    }
+
+  private:
+    static Bytes
+    metadataBytes(const ConvParams &params)
+    {
+        return static_cast<Bytes>(params.gemmM()) *
+               static_cast<Bytes>(params.kernelH * params.kernelW) *
+               kPointerBytes;
+    }
+};
+
+// ---------------------------------------------------------------------------
+// SMM-Conv (Ofir & Ben-Artzi, arXiv:2411.15659): one scalar-matrix
+// multiply per filter tap over contiguous input rows with zero packing
+// at the borders — no im2col at all, but only defined for unit stride
+// and dilation (the contiguity the scheme exploits).
+// ---------------------------------------------------------------------------
+
+class SmmAlgorithm final : public Algorithm
+{
+  public:
+    AlgorithmId id() const override { return AlgorithmId::Smm; }
+    const char *name() const override { return "smm"; }
+
+    const char *
+    description() const override
+    {
+        return "scalar-matrix-multiply per filter tap with zero packing "
+               "(SMM-Conv); unit stride/dilation only";
+    }
+
+    Status
+    supports(const ConvParams &params, Index groups) const override
+    {
+        CFCONV_RETURN_IF_ERROR(Algorithm::supports(params, groups));
+        if (params.strideH != 1 || params.strideW != 1)
+            return invalidArgumentError(
+                "algorithm \"smm\" requires unit stride (got %lldx%lld)",
+                static_cast<long long>(params.strideH),
+                static_cast<long long>(params.strideW));
+        if (params.dilationH != 1 || params.dilationW != 1)
+            return invalidArgumentError(
+                "algorithm \"smm\" requires unit dilation (got "
+                "%lldx%lld)",
+                static_cast<long long>(params.dilationH),
+                static_cast<long long>(params.dilationW));
+        return okStatus();
+    }
+
+    LoweredGeometry
+    geometry(const ConvParams &params) const override
+    {
+        return implicitGeometry(params);
+    }
+
+    Traffic
+    traffic(const ConvParams &params) const override
+    {
+        return implicitTraffic(params);
+    }
+
+    Tensor
+    execute(const ConvParams &params, const Tensor &input,
+            const Tensor &filter) const override
+    {
+        const Status ok = supports(params, /*groups=*/1);
+        CFCONV_FATAL_IF(!ok.ok(), "SmmConv: %s", ok.message().c_str());
+
+        const Index m_total = params.gemmM();
+        const Index co_total = params.outChannels;
+        Matrix out(m_total, co_total);
+        // One scalar-matrix pass per tap <r, s>; each pass shifts the
+        // whole IFMap by (r - pad, s - pad) and accumulates, with the
+        // border rows packed as zeros (atPadded). The tap loop is
+        // serial and rows are disjoint, so accumulation order per
+        // output element is fixed at any thread count.
+        for (Index r = 0; r < params.kernelH; ++r) {
+            for (Index s = 0; s < params.kernelW; ++s) {
+                parallel::parallelFor(0, m_total, 16, [&](Index begin,
+                                                          Index end) {
+                    for (Index m = begin; m < end; ++m) {
+                        const tensor::RowCoord rc =
+                            tensor::rowCoord(params, m);
+                        const Index ih = rc.oh - params.padH + r;
+                        const Index iw = rc.ow - params.padW + s;
+                        for (Index co = 0; co < co_total; ++co) {
+                            float acc = 0.0f;
+                            for (Index c = 0; c < params.inChannels; ++c)
+                                acc += input.atPadded(rc.n, c, ih, iw) *
+                                       filter.at(co, c, r, s);
+                            out.at(m, co) += acc;
+                        }
+                    }
+                });
+            }
+        }
+        return tensor::foldOutput(params, out);
+    }
+};
+
+} // namespace
+
+Status
+Algorithm::supports(const ConvParams &params, Index groups) const
+{
+    (void)params;
+    if (groups < 1)
+        return invalidArgumentError(
+            "algorithm \"%s\": groups must be >= 1 (got %lld)", name(),
+            static_cast<long long>(groups));
+    return okStatus();
+}
+
+const std::vector<const Algorithm *> &
+allAlgorithms()
+{
+    static const ChannelFirstAlgorithm channel_first;
+    static const ChannelLastAlgorithm channel_last;
+    static const ExplicitIm2colAlgorithm explicit_im2col;
+    static const IndirectAlgorithm indirect;
+    static const SmmAlgorithm smm;
+    static const std::vector<const Algorithm *> all = {
+        &channel_first, &channel_last, &explicit_im2col, &indirect, &smm,
+    };
+    return all;
+}
+
+const Algorithm *
+findAlgorithm(AlgorithmId id)
+{
+    const auto &all = allAlgorithms();
+    const auto index = static_cast<size_t>(id);
+    CFCONV_ASSERT(index < all.size(), "(unregistered AlgorithmId)");
+    return all[index];
+}
+
+const Algorithm *
+findAlgorithm(const std::string &name)
+{
+    for (const Algorithm *algo : allAlgorithms())
+        if (name == algo->name())
+            return algo;
+    return nullptr;
+}
+
+const char *
+algorithmName(AlgorithmId id)
+{
+    return findAlgorithm(id)->name();
+}
+
+StatusOr<AlgorithmId>
+parseAlgorithmName(const std::string &name)
+{
+    if (const Algorithm *algo = findAlgorithm(name))
+        return algo->id();
+    std::string known;
+    for (const Algorithm *algo : allAlgorithms()) {
+        if (!known.empty())
+            known += ", ";
+        known += algo->name();
+    }
+    return invalidArgumentError("unknown algorithm \"%s\" (known: %s)",
+                                name.c_str(), known.c_str());
+}
+
+} // namespace cfconv::conv

@@ -54,6 +54,12 @@ convKernelLabel(const ConvParams &params, const GpuRunOptions &options)
       case GpuAlgorithm::GemmOnly:
         alg = "gemm-conv";
         break;
+      case GpuAlgorithm::Indirect:
+        alg = "indirect-conv";
+        break;
+      case GpuAlgorithm::Smm:
+        alg = "smm-conv";
+        break;
     }
     char buf[160];
     std::snprintf(buf, sizeof(buf), "%s %lldx%lld %lld->%lld", alg,
@@ -339,6 +345,59 @@ GpuSim::runConvUncached(const ConvParams &params,
         unique_input = static_cast<Bytes>(im2col::sequenceFillElems(
                            params, sequence)) *
                        elem;
+    } else if (options.algorithm == GpuAlgorithm::Indirect) {
+        // IndirectConv kernel (Dukhan): each TB walks the H_F*W_F taps,
+        // C_I depth per tap, gathering input rows through the
+        // indirection buffer. The gathers dereference per-pixel
+        // pointers, so the transaction pattern is contiguous over C_I
+        // regardless of stride/dilation (no waste); the buffer itself
+        // — tm pointers per tap per TB — streams with the first chunk
+        // of every tap.
+        constexpr Bytes kPointerBytes = 8;
+        const Index taps = params.kernelH * params.kernelW;
+        for (Index t = 0; t < taps; ++t) {
+            for (Index k0 = 0; k0 < params.inChannels; k0 += kc) {
+                const Index kc_eff =
+                    std::min(kc, params.inChannels - k0);
+                Step s;
+                s.macs = static_cast<Flops>(tm) * static_cast<Flops>(tn) *
+                         static_cast<Flops>(kc_eff);
+                s.fillBytes = static_cast<Bytes>(tm * kc_eff) * elem +
+                              static_cast<Bytes>(kc_eff * tn) * elem;
+                if (k0 == 0)
+                    s.fillBytes +=
+                        static_cast<Bytes>(tm) * kPointerBytes;
+                steps.push_back(s);
+            }
+        }
+        unique_input = im2col::inputUnionBytes(params) +
+                       static_cast<Bytes>(m) *
+                           static_cast<Bytes>(taps) * kPointerBytes;
+    } else if (options.algorithm == GpuAlgorithm::Smm) {
+        // SMM-Conv kernel: one scalar-matrix multiply per tap over
+        // contiguous zero-packed rows; only defined for unit
+        // stride/dilation, where the shifted input block is one long
+        // sequential run (waste-free by construction).
+        CFCONV_FATAL_IF(params.strideH != 1 || params.strideW != 1 ||
+                            params.dilationH != 1 ||
+                            params.dilationW != 1,
+                        "GpuSim: SMM-Conv requires unit stride/dilation "
+                        "(layer %s)",
+                        params.toString().c_str());
+        const Index taps = params.kernelH * params.kernelW;
+        for (Index t = 0; t < taps; ++t) {
+            for (Index k0 = 0; k0 < params.inChannels; k0 += kc) {
+                const Index kc_eff =
+                    std::min(kc, params.inChannels - k0);
+                Step s;
+                s.macs = static_cast<Flops>(tm) * static_cast<Flops>(tn) *
+                         static_cast<Flops>(kc_eff);
+                s.fillBytes = static_cast<Bytes>(tm * kc_eff) * elem +
+                              static_cast<Bytes>(kc_eff * tn) * elem;
+                steps.push_back(s);
+            }
+        }
+        unique_input = im2col::inputUnionBytes(params);
     } else {
         // cuDNN-like implicit channel-last kernel: the K loop spans
         // H_F*W_F*C_I; strided layers gather scattered rows, paying a

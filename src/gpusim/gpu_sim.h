@@ -22,12 +22,18 @@ namespace cfconv::gpusim {
 
 using tensor::ConvParams;
 
-/** Which GPU kernel to simulate. */
+/**
+ * Which GPU kernel to simulate. The enum value is serialized into
+ * kernel memo-cache keys, so new algorithms append at the end — never
+ * reorder.
+ */
 enum class GpuAlgorithm {
     ImplicitChannelFirst, ///< our block-level channel-first kernel
     ImplicitChannelLast,  ///< cuDNN-like implicit kernel
     ExplicitIm2col,       ///< explicit transform + GEMM
     GemmOnly,             ///< equivalent GEMM (Fig 4 reference)
+    Indirect,             ///< indirection-buffer pointer GEMM (Dukhan)
+    Smm,                  ///< SMM-Conv scalar-matrix multiply (unit stride)
 };
 
 /** Per-run knobs. */

@@ -5,6 +5,7 @@
 #include "common/fault.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "conv/algorithm.h"
 
 namespace cfconv::sim {
 
@@ -120,6 +121,13 @@ Accelerator::tryRunLayer(const ConvParams &params,
     CFCONV_RETURN_IF_ERROR(
         validateLayerParams(params, options)
             .withContext("accelerator " + name()));
+    // Algorithm applicability is a property of the layer, not a
+    // simulator bug: reject unsupported shapes (SMM-Conv on strided
+    // layers) here so the resilient runner sees INVALID_ARGUMENT.
+    if (const conv::Algorithm *algo = algorithm())
+        CFCONV_RETURN_IF_ERROR(
+            algo->supports(params, options.groups)
+                .withContext("accelerator " + name()));
     // The step-timeout die is keyed on (backend, geometry, groups,
     // attempt): a retried layer rolls a fresh die, a different backend
     // rolls an independent one, and neither depends on thread schedule.

@@ -23,6 +23,10 @@
 #include "common/types.h"
 #include "tensor/conv_params.h"
 
+namespace cfconv::conv {
+class Algorithm;
+} // namespace cfconv::conv
+
 namespace cfconv::sim {
 
 using tensor::ConvParams;
@@ -65,6 +69,14 @@ struct LayerRecord
     Bytes dramBytes = 0;  ///< off-chip traffic of one instance
     Flops flops = 0;      ///< useful FLOPs of one instance
     /**
+     * Canonical conv::Algorithm name of the lowering scheme this
+     * backend ran, e.g. "indirect". Empty for the pre-zoo algorithms
+     * (channel-first/channel-last/explicit paths), so records from
+     * those paths — and their emitted JSON — stay byte-identical to
+     * the pre-refactor goldens.
+     */
+    std::string algorithm;
+    /**
      * Backend-specific fields, e.g. "multiTile", "portUtilization",
      * "exposedFillFrac" (TPU) or "memoryBound", "computeSeconds",
      * "memorySeconds" (GPU). std::map so iteration order — and the
@@ -104,8 +116,11 @@ struct RunRecord
      *  pointer to the Chrome-trace file the run wrote. v3 adds the
      *  per-record "resilience" block; the writer only stamps v3 when
      *  a record carries one, so fault-free documents remain v2 and
-     *  byte-identical to the pre-chaos goldens. */
-    static constexpr long long kSchemaVersion = 3;
+     *  byte-identical to the pre-chaos goldens. v4 adds the optional
+     *  per-layer "algorithm" field (conv::Algorithm name); the writer
+     *  stamps v4 only when some layer carries one, so stock-path
+     *  documents keep their previous version and bytes. */
+    static constexpr long long kSchemaVersion = 4;
 
     std::string accelerator;  ///< backend name, e.g. "tpu-v2"
     std::string model;        ///< model name, e.g. "ResNet"
@@ -150,6 +165,16 @@ class Accelerator
 
     /** Snapshot of this backend's memo-cache counters. */
     virtual StatGroup cacheStats() const = 0;
+
+    /**
+     * The registered conv::Algorithm this backend's configured
+     * lowering scheme corresponds to, or nullptr when none maps (the
+     * GPU GemmOnly reference). tryRunLayer consults its supports()
+     * predicate, so an accelerator configured for, say, SMM-Conv
+     * rejects strided layers with INVALID_ARGUMENT instead of dying in
+     * the kernel model.
+     */
+    virtual const conv::Algorithm *algorithm() const { return nullptr; }
 };
 
 /**

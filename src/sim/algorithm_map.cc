@@ -1,0 +1,45 @@
+#include "sim/algorithm_map.h"
+
+#include "common/logging.h"
+
+namespace cfconv::sim {
+
+const conv::Algorithm *
+algorithmForTpu(tpusim::ConvAlgorithm algorithm)
+{
+    switch (algorithm) {
+      case tpusim::ConvAlgorithm::ChannelFirst:
+        return conv::findAlgorithm(conv::AlgorithmId::ChannelFirst);
+      case tpusim::ConvAlgorithm::ChannelLast:
+        return conv::findAlgorithm(conv::AlgorithmId::ChannelLast);
+      case tpusim::ConvAlgorithm::Explicit:
+        return conv::findAlgorithm(conv::AlgorithmId::ExplicitIm2col);
+      case tpusim::ConvAlgorithm::Indirect:
+        return conv::findAlgorithm(conv::AlgorithmId::Indirect);
+      case tpusim::ConvAlgorithm::Smm:
+        return conv::findAlgorithm(conv::AlgorithmId::Smm);
+    }
+    panic("algorithmForTpu: unknown ConvAlgorithm");
+}
+
+const conv::Algorithm *
+algorithmForGpu(gpusim::GpuAlgorithm algorithm)
+{
+    switch (algorithm) {
+      case gpusim::GpuAlgorithm::ImplicitChannelFirst:
+        return conv::findAlgorithm(conv::AlgorithmId::ChannelFirst);
+      case gpusim::GpuAlgorithm::ImplicitChannelLast:
+        return conv::findAlgorithm(conv::AlgorithmId::ChannelLast);
+      case gpusim::GpuAlgorithm::ExplicitIm2col:
+        return conv::findAlgorithm(conv::AlgorithmId::ExplicitIm2col);
+      case gpusim::GpuAlgorithm::GemmOnly:
+        return nullptr;
+      case gpusim::GpuAlgorithm::Indirect:
+        return conv::findAlgorithm(conv::AlgorithmId::Indirect);
+      case gpusim::GpuAlgorithm::Smm:
+        return conv::findAlgorithm(conv::AlgorithmId::Smm);
+    }
+    panic("algorithmForGpu: unknown GpuAlgorithm");
+}
+
+} // namespace cfconv::sim

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Backend-enum to conv::Algorithm bridge. The conv module is backend
+ * agnostic (it depends only on tensor/im2col); the mapping from each
+ * simulator's private algorithm enum to the registered interface lives
+ * here in the sim layer, so neither backend grows a dependency on the
+ * other or on conv.
+ */
+
+#ifndef CFCONV_SIM_ALGORITHM_MAP_H
+#define CFCONV_SIM_ALGORITHM_MAP_H
+
+#include "conv/algorithm.h"
+#include "gpusim/gpu_sim.h"
+#include "tpusim/tpu_sim.h"
+
+namespace cfconv::sim {
+
+/** The registered algorithm a TPU run option selects (never null —
+ *  every TPU path is a registered lowering scheme). */
+const conv::Algorithm *algorithmForTpu(tpusim::ConvAlgorithm algorithm);
+
+/** The registered algorithm a GPU run option selects; nullptr for
+ *  GemmOnly (the idealized Fig-4 reference is not a lowering scheme). */
+const conv::Algorithm *algorithmForGpu(gpusim::GpuAlgorithm algorithm);
+
+} // namespace cfconv::sim
+
+#endif // CFCONV_SIM_ALGORITHM_MAP_H

@@ -3,6 +3,7 @@
 #include "gpusim/energy.h"
 #include "gpusim/kernel_cache.h"
 #include "models/model_zoo.h"
+#include "sim/algorithm_map.h"
 
 namespace cfconv::sim {
 
@@ -50,6 +51,11 @@ GpuAccelerator::runLayer(const ConvParams &params,
     // the group count).
     rec.extras["pjPerMac"] =
         gpusim::kernelEnergy(sim_.config(), r).pjPerMac;
+    // Stamp the algorithm only for the zoo additions: records from the
+    // pre-zoo paths stay byte-identical to the pre-refactor goldens.
+    if (options_.algorithm == gpusim::GpuAlgorithm::Indirect ||
+        options_.algorithm == gpusim::GpuAlgorithm::Smm)
+        rec.algorithm = algorithm()->name();
     return rec;
 }
 
@@ -57,6 +63,12 @@ StatGroup
 GpuAccelerator::cacheStats() const
 {
     return gpusim::KernelCache::instance().statsSnapshot();
+}
+
+const conv::Algorithm *
+GpuAccelerator::algorithm() const
+{
+    return algorithmForGpu(options_.algorithm);
 }
 
 } // namespace cfconv::sim

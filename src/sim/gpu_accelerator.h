@@ -31,6 +31,7 @@ class GpuAccelerator : public Accelerator
     LayerRecord runLayer(const ConvParams &params,
                          const RunOptions &options = {}) const override;
     StatGroup cacheStats() const override;
+    const conv::Algorithm *algorithm() const override;
 
     /** The wrapped simulator, for callers needing the full GPU API. */
     const gpusim::GpuSim &sim() const { return sim_; }

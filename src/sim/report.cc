@@ -21,6 +21,10 @@ emitLayer(JsonWriter &w, const LayerRecord &layer)
     w.field("utilization", layer.utilization);
     w.field("dram_bytes", static_cast<std::uint64_t>(layer.dramBytes));
     w.field("flops", static_cast<std::uint64_t>(layer.flops));
+    // The v4 algorithm field: emitted only for the zoo additions, so
+    // stock-path documents stay byte-identical to the pre-zoo goldens.
+    if (!layer.algorithm.empty())
+        w.field("algorithm", layer.algorithm);
     w.key("extras");
     w.beginObject();
     for (const auto &[name, value] : layer.extras)
@@ -113,16 +117,25 @@ std::string
 runRecordsJson(const std::vector<RunRecord> &records,
                const ReportMeta &meta)
 {
-    // Stamp v3 only when some record actually carries a resilience
-    // block; fault-free documents remain v2 byte for byte.
+    // Stamp the newest version some record actually needs: v4 when a
+    // layer carries an algorithm, v3 when a record carries a resilience
+    // block, v2 otherwise — so pre-zoo, fault-free documents remain
+    // byte-identical to their goldens.
     bool anyResilience = false;
-    for (const auto &record : records)
+    bool anyAlgorithm = false;
+    for (const auto &record : records) {
         anyResilience = anyResilience || record.resilience.active;
+        for (const auto &layer : record.layers)
+            anyAlgorithm = anyAlgorithm || !layer.algorithm.empty();
+    }
+    const long long version = anyAlgorithm
+        ? RunRecord::kSchemaVersion
+        : (anyResilience ? 3LL : 2LL);
 
     JsonWriter w;
     w.beginObject();
     w.field("schema", "cfconv.run_record");
-    w.field("version", anyResilience ? RunRecord::kSchemaVersion : 2LL);
+    w.field("version", version);
     emitMeta(w, meta);
     w.key("records");
     w.beginArray();

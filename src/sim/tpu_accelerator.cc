@@ -1,5 +1,6 @@
 #include "sim/tpu_accelerator.h"
 
+#include "sim/algorithm_map.h"
 #include "tpusim/energy.h"
 #include "tpusim/layer_cache.h"
 
@@ -42,6 +43,11 @@ TpuAccelerator::runLayer(const ConvParams &params,
         static_cast<double>(r.peakOnChipBytes);
     rec.extras["pjPerMac"] =
         tpusim::layerEnergy(sim_.config(), r).pjPerMac;
+    // Stamp the algorithm only for the zoo additions: records from the
+    // pre-zoo paths stay byte-identical to the pre-refactor goldens.
+    if (options_.algorithm == tpusim::ConvAlgorithm::Indirect ||
+        options_.algorithm == tpusim::ConvAlgorithm::Smm)
+        rec.algorithm = algorithm()->name();
     return rec;
 }
 
@@ -49,6 +55,12 @@ StatGroup
 TpuAccelerator::cacheStats() const
 {
     return tpusim::LayerCache::instance().statsSnapshot();
+}
+
+const conv::Algorithm *
+TpuAccelerator::algorithm() const
+{
+    return algorithmForTpu(options_.algorithm);
 }
 
 } // namespace cfconv::sim

@@ -30,6 +30,7 @@ class TpuAccelerator : public Accelerator
     LayerRecord runLayer(const ConvParams &params,
                          const RunOptions &options = {}) const override;
     StatGroup cacheStats() const override;
+    const conv::Algorithm *algorithm() const override;
 
     /** The wrapped simulator, for callers needing the full TPU API. */
     const tpusim::TpuSim &sim() const { return sim_; }

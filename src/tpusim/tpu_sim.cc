@@ -234,6 +234,10 @@ TpuSim::runConvUncached(const ConvParams &params,
         return runChannelLast(params, options);
       case ConvAlgorithm::Explicit:
         return runExplicit(params, options);
+      case ConvAlgorithm::Indirect:
+        return runIndirect(params, options);
+      case ConvAlgorithm::Smm:
+        return runSmm(params, options);
     }
     panic("TpuSim: unknown algorithm");
 }
@@ -467,6 +471,230 @@ TpuSim::runExplicit(const ConvParams &params,
                             static_cast<double>(config_.array.cols);
     r.arrayUtilization =
         static_cast<double>(params.flops()) / 2.0 / capacity;
+    return r;
+}
+
+TpuLayerResult
+TpuSim::runIndirect(const ConvParams &params,
+                    const TpuRunOptions &options) const
+{
+    // IndirectConv (Dukhan): the systolic passes are the channel-first
+    // per-tap schedule without multi-tile merging — the indirection
+    // buffer already de-duplicates input rows, so each <r, s> tap runs
+    // its own C_I-chunked weight-stationary passes. The price of the
+    // scheme is the pointer table: M * H_F * W_F eight-byte entries
+    // streamed from DRAM alongside the fills.
+    const Index rows = config_.array.rows;
+    const Index cols = config_.array.cols;
+    const Index m_total = params.gemmM();
+    const Bytes elem = dataTypeSize(params.dataType);
+    const Index word = config_.wordElems;
+    constexpr Bytes kPointerBytes = 8;
+
+    struct Pass
+    {
+        Index kEff;
+        Cycles fillCore;
+        Bytes fillBytes;
+    };
+    std::vector<Pass> passes;
+    const Index chunks = divCeil(params.inChannels, rows);
+    for (const auto &tile : im2col::decomposeFilter(params)) {
+        const Cycles tile_fill = tileFillCoreCycles(
+            params, tile, options.dramLayout, options.detailedDram);
+        const Bytes tile_bytes =
+            static_cast<Bytes>(im2col::tileFillElems(params, tile)) *
+            elem;
+        for (Index c = 0; c < chunks; ++c) {
+            Pass p{};
+            p.kEff = std::min(rows, params.inChannels - c * rows);
+            const double frac = static_cast<double>(p.kEff) /
+                                static_cast<double>(params.inChannels);
+            p.fillCore = static_cast<Cycles>(
+                static_cast<double>(tile_fill) * frac + 0.5);
+            p.fillBytes = static_cast<Bytes>(
+                static_cast<double>(tile_bytes) * frac + 0.5);
+            passes.push_back(p);
+        }
+    }
+
+    const Index usable =
+        static_cast<Index>(config_.perArrayBytes() / config_.elemBytes);
+    Index m_tile = std::min<Index>(m_total, usable / 2 - 4 * word);
+    m_tile = std::max<Index>(word, (m_tile / word) * word);
+    const Index m_tiles = divCeil(m_total, m_tile);
+
+    const Bytes union_bytes = im2col::inputUnionBytes(params);
+    const bool resident = union_bytes * 2 <= config_.onChipBytes;
+    const Bytes meta_bytes =
+        static_cast<Bytes>(m_total) *
+        static_cast<Bytes>(params.kernelH * params.kernelW) *
+        kPointerBytes;
+
+    std::vector<Unit> units;
+    Bytes dram_bytes = 0;
+    Bytes peak_on_chip = 0;
+    for (const auto &pass : passes) {
+        dram_bytes += pass.fillBytes;
+        peak_on_chip = std::max(
+            peak_on_chip,
+            static_cast<Bytes>(pass.kEff) *
+                    static_cast<Bytes>(std::min(m_tile, m_total)) *
+                    config_.elemBytes +
+                static_cast<Bytes>(std::min(m_tile, m_total)) *
+                    kPointerBytes);
+        for (Index mt = 0; mt < m_tiles; ++mt) {
+            const Index m_cur = std::min(m_tile, m_total - mt * m_tile);
+            Unit u;
+            const double frac = static_cast<double>(m_cur) /
+                                static_cast<double>(m_total);
+            u.fill = resident
+                ? 0
+                : static_cast<Cycles>(
+                      static_cast<double>(pass.fillCore) * frac + 0.5);
+            for (Index n0 = 0; n0 < params.gemmN(); n0 += cols) {
+                const Index n_eff = std::min(cols, params.gemmN() - n0);
+                u.compute += systolic::passCycles(config_.array, m_cur,
+                                                  pass.kEff, n_eff);
+                u.portOps += pass.kEff * divCeil(m_cur, word) +
+                             n_eff * divCeil(m_cur, word);
+            }
+            u.macs = static_cast<Flops>(m_cur) *
+                     static_cast<Flops>(pass.kEff) *
+                     static_cast<Flops>(params.gemmN());
+            units.push_back(u);
+        }
+    }
+
+    // Pointer-table streaming shares the bus with the fills; spread its
+    // cycles across the units like the output writeback. The table
+    // streams even when the activations are resident.
+    if (resident) {
+        dram_bytes = params.filterBytes() + meta_bytes;
+    } else {
+        dram_bytes +=
+            params.filterBytes() + params.outputBytes() + meta_bytes;
+        const Cycles out_cycles = dramCycles(params.outputBytes(), 0.85);
+        for (auto &u : units)
+            u.fill += out_cycles / static_cast<Cycles>(units.size());
+    }
+    const Cycles meta_cycles = dramCycles(meta_bytes, 0.85);
+    for (auto &u : units)
+        u.fill += meta_cycles / static_cast<Cycles>(units.size());
+
+    TpuLayerResult r =
+        scheduleUnits(units, params.flops(), options.captureTrace);
+    r.dramBytes = dram_bytes;
+    r.multiTile = 1;
+    r.peakOnChipBytes = peak_on_chip;
+    return r;
+}
+
+TpuLayerResult
+TpuSim::runSmm(const ConvParams &params,
+               const TpuRunOptions &options) const
+{
+    // SMM-Conv (Ofir & Ben-Artzi): one scalar-matrix multiply per
+    // filter tap over contiguous, zero-packed input rows. Only defined
+    // for unit stride/dilation — that contiguity is the scheme. Fills
+    // are closed-form at a high burst efficiency (no gather): the
+    // shifted input block per tap is read as long sequential runs.
+    CFCONV_FATAL_IF(params.strideH != 1 || params.strideW != 1 ||
+                        params.dilationH != 1 || params.dilationW != 1,
+                    "TpuSim: SMM-Conv requires unit stride/dilation "
+                    "(layer %s)",
+                    params.toString().c_str());
+
+    const Index rows = config_.array.rows;
+    const Index cols = config_.array.cols;
+    const Index m_total = params.gemmM();
+    const Bytes elem = dataTypeSize(params.dataType);
+    const Index word = config_.wordElems;
+    constexpr double kContiguousEfficiency = 0.95;
+
+    struct Pass
+    {
+        Index kEff;
+        Cycles fillCore;
+        Bytes fillBytes;
+    };
+    std::vector<Pass> passes;
+    const Index chunks = divCeil(params.inChannels, rows);
+    for (const auto &tile : im2col::decomposeFilter(params)) {
+        const Bytes tile_bytes =
+            static_cast<Bytes>(im2col::tileFillElems(params, tile)) *
+            elem;
+        const Cycles tile_fill =
+            dramCycles(tile_bytes, kContiguousEfficiency);
+        for (Index c = 0; c < chunks; ++c) {
+            Pass p{};
+            p.kEff = std::min(rows, params.inChannels - c * rows);
+            const double frac = static_cast<double>(p.kEff) /
+                                static_cast<double>(params.inChannels);
+            p.fillCore = static_cast<Cycles>(
+                static_cast<double>(tile_fill) * frac + 0.5);
+            p.fillBytes = static_cast<Bytes>(
+                static_cast<double>(tile_bytes) * frac + 0.5);
+            passes.push_back(p);
+        }
+    }
+
+    const Index usable =
+        static_cast<Index>(config_.perArrayBytes() / config_.elemBytes);
+    Index m_tile = std::min<Index>(m_total, usable / 2 - 4 * word);
+    m_tile = std::max<Index>(word, (m_tile / word) * word);
+    const Index m_tiles = divCeil(m_total, m_tile);
+
+    const Bytes union_bytes = im2col::inputUnionBytes(params);
+    const bool resident = union_bytes * 2 <= config_.onChipBytes;
+
+    std::vector<Unit> units;
+    Bytes dram_bytes = 0;
+    Bytes peak_on_chip = 0;
+    for (const auto &pass : passes) {
+        dram_bytes += pass.fillBytes;
+        peak_on_chip = std::max(
+            peak_on_chip,
+            static_cast<Bytes>(pass.kEff) *
+                static_cast<Bytes>(std::min(m_tile, m_total)) *
+                config_.elemBytes);
+        for (Index mt = 0; mt < m_tiles; ++mt) {
+            const Index m_cur = std::min(m_tile, m_total - mt * m_tile);
+            Unit u;
+            const double frac = static_cast<double>(m_cur) /
+                                static_cast<double>(m_total);
+            u.fill = resident
+                ? 0
+                : static_cast<Cycles>(
+                      static_cast<double>(pass.fillCore) * frac + 0.5);
+            for (Index n0 = 0; n0 < params.gemmN(); n0 += cols) {
+                const Index n_eff = std::min(cols, params.gemmN() - n0);
+                u.compute += systolic::passCycles(config_.array, m_cur,
+                                                  pass.kEff, n_eff);
+                u.portOps += pass.kEff * divCeil(m_cur, word) +
+                             n_eff * divCeil(m_cur, word);
+            }
+            u.macs = static_cast<Flops>(m_cur) *
+                     static_cast<Flops>(pass.kEff) *
+                     static_cast<Flops>(params.gemmN());
+            units.push_back(u);
+        }
+    }
+
+    if (resident) {
+        dram_bytes = params.filterBytes();
+    } else {
+        dram_bytes += params.filterBytes() + params.outputBytes();
+        const Cycles out_cycles = dramCycles(params.outputBytes(), 0.85);
+        for (auto &u : units)
+            u.fill += out_cycles / static_cast<Cycles>(units.size());
+    }
+
+    TpuLayerResult r =
+        scheduleUnits(units, params.flops(), options.captureTrace);
+    r.dramBytes = dram_bytes;
+    r.multiTile = 1;
+    r.peakOnChipBytes = peak_on_chip;
     return r;
 }
 

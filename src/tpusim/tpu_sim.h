@@ -24,11 +24,17 @@ namespace cfconv::tpusim {
 
 using tensor::ConvParams;
 
-/** Which lowering algorithm the simulated core runs. */
+/**
+ * Which lowering algorithm the simulated core runs. The enum value is
+ * serialized into layer memo-cache keys, so new algorithms append at
+ * the end — never reorder.
+ */
 enum class ConvAlgorithm {
     ChannelFirst, ///< the paper's implicit channel-first algorithm
     ChannelLast,  ///< Lym-style implicit channel-last (stride-sensitive)
     Explicit,     ///< explicit im2col: transform then GEMM
+    Indirect,     ///< indirection-buffer pointer GEMM (Dukhan)
+    Smm,          ///< SMM-Conv scalar-matrix multiply (unit stride only)
 };
 
 /** Per-run knobs. */
@@ -175,6 +181,10 @@ class TpuSim
                                   const TpuRunOptions &options) const;
     TpuLayerResult runExplicit(const ConvParams &params,
                                const TpuRunOptions &options) const;
+    TpuLayerResult runIndirect(const ConvParams &params,
+                               const TpuRunOptions &options) const;
+    TpuLayerResult runSmm(const ConvParams &params,
+                          const TpuRunOptions &options) const;
 
     TpuConfig config_;
 };

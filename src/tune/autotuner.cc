@@ -5,6 +5,7 @@
 
 #include "common/memo_cache.h"
 #include "common/parallel.h"
+#include "conv/algorithm.h"
 
 namespace cfconv::tune {
 
@@ -71,11 +72,25 @@ tpuKnobSpace()
     KnobSpace space;
     space.family = Backend::Tpu;
     space.axes = {{"array", {"64", "128", "256"}},
-                  {"word", {"4", "8", "16"}}};
+                  {"word", {"4", "8", "16"}},
+                  {"algo", {"chfirst", "indirect", "smm"}}};
     space.variants = {
-        "tpu-v2-a64-w4",  "tpu-v2-64x64",   "tpu-v2-a64-w16",
-        "tpu-v2-word4",   "tpu-v2",         "tpu-v2-word16",
-        "tpu-v2-a256-w4", "tpu-v2-256x256", "tpu-v2-a256-w16",
+        // array 64
+        "tpu-v2-a64-w4", "tpu-v2-a64-w4-indirect", "tpu-v2-a64-w4-smm",
+        "tpu-v2-64x64", "tpu-v2-64x64-indirect", "tpu-v2-64x64-smm",
+        "tpu-v2-a64-w16", "tpu-v2-a64-w16-indirect",
+        "tpu-v2-a64-w16-smm",
+        // array 128
+        "tpu-v2-word4", "tpu-v2-word4-indirect", "tpu-v2-word4-smm",
+        "tpu-v2", "tpu-v2-indirect", "tpu-v2-smm",
+        "tpu-v2-word16", "tpu-v2-word16-indirect", "tpu-v2-word16-smm",
+        // array 256
+        "tpu-v2-a256-w4", "tpu-v2-a256-w4-indirect",
+        "tpu-v2-a256-w4-smm",
+        "tpu-v2-256x256", "tpu-v2-256x256-indirect",
+        "tpu-v2-256x256-smm",
+        "tpu-v2-a256-w16", "tpu-v2-a256-w16-indirect",
+        "tpu-v2-a256-w16-smm",
     };
     return space;
 }
@@ -85,12 +100,16 @@ gpuKnobSpace()
 {
     KnobSpace space;
     space.family = Backend::Gpu;
-    space.axes = {{"kernel", {"chfirst", "chlast", "explicit"}},
+    space.axes = {{"kernel",
+                   {"chfirst", "chlast", "explicit", "indirect",
+                    "smm"}},
                   {"effort", {"stock", "vendor"}}};
     space.variants = {
         "gpu-v100",          "gpu-v100-tuned",
         "gpu-v100-chlast",   "gpu-v100-cudnn",
         "gpu-v100-explicit", "gpu-v100-explicit-tuned",
+        "gpu-v100-indirect", "gpu-v100-indirect-tuned",
+        "gpu-v100-smm",      "gpu-v100-smm-tuned",
     };
     return space;
 }
@@ -159,6 +178,13 @@ Autotuner::evaluate(size_t flat, const tensor::ConvParams &params,
                     Index groups,
                     std::atomic<Index> &evaluations) const
 {
+    // Candidates whose algorithm rejects the layer (e.g. SMM-Conv on a
+    // strided layer) score +infinity: never chosen, never simulated,
+    // never cached. The check is cheap and deterministic, so every
+    // thread count sees the same effective grid.
+    if (const conv::Algorithm *algo = candidates_[flat]->algorithm())
+        if (!algo->supports(params, groups).ok())
+            return std::numeric_limits<double>::infinity();
     MemoCache<double> &cache = tuneCache();
     const std::string key =
         evalKey(space_.variants[flat], params, groups);
@@ -275,9 +301,16 @@ Autotuner::tuneLayer(const models::ConvLayerSpec &layer,
     choice.count = layer.count;
 
     const char *family = backendFamilyName(space_.family);
+    const size_t base = space_.flatIndex(basePoint);
+    // DB entries are keyed per (family, algorithm, geometry): the
+    // algorithm context is the baseline accelerator's lowering, so
+    // searches anchored to different algorithms stay distinct.
+    const conv::Algorithm *baseAlgo = candidates_[base]->algorithm();
+    const std::string algoName =
+        baseAlgo != nullptr ? baseAlgo->name() : "channel-first";
     if (options.db != nullptr) {
         const TunedEntry *hit = options.db->find(
-            family, choice.geometry, choice.groups);
+            family, algoName, choice.geometry, choice.groups);
         // Honor the entry only when it answers this exact question:
         // same baseline, and a winner this space can instantiate.
         if (hit != nullptr && hit->baseline == options.baseline
@@ -291,7 +324,6 @@ Autotuner::tuneLayer(const models::ConvLayerSpec &layer,
     }
 
     std::atomic<Index> evaluations{0};
-    const size_t base = space_.flatIndex(basePoint);
     const size_t best = options.mode == SearchMode::Exhaustive
         ? searchExhaustive(layer.params, layer.groups, evaluations)
         : searchGreedy(base, layer.params, layer.groups, evaluations);
@@ -305,6 +337,7 @@ Autotuner::tuneLayer(const models::ConvLayerSpec &layer,
     if (options.db != nullptr) {
         TunedEntry entry;
         entry.family = family;
+        entry.algorithm = algoName;
         entry.geometry = choice.geometry;
         entry.groups = choice.groups;
         entry.variant = choice.variant;

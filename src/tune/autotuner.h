@@ -72,12 +72,13 @@ struct KnobSpace
 };
 
 /** The built-in TPU grid: array size {64,128,256} x vector-memory
- *  word {4,8,16}; "tpu-v2" is the (128, 8) point. */
+ *  word {4,8,16} x algorithm {chfirst,indirect,smm}; "tpu-v2" is the
+ *  (128, 8, chfirst) point. */
 KnobSpace tpuKnobSpace();
 
 /** The built-in GPU grid: kernel {channel-first, channel-last,
- *  explicit-im2col} x tuning effort {stock, vendor}; "gpu-v100" is
- *  the (channel-first, stock) point. */
+ *  explicit-im2col, indirect, smm} x tuning effort {stock, vendor};
+ *  "gpu-v100" is the (channel-first, stock) point. */
 KnobSpace gpuKnobSpace();
 
 /** One tuner invocation's knobs. */
@@ -171,7 +172,9 @@ class Autotuner
 
     /** Memoized candidate evaluation: seconds of one instance of
      *  (params, groups) on grid point @p flat. Thread-safe; bumps
-     *  @p evaluations on a fresh simulation. */
+     *  @p evaluations on a fresh simulation. Candidates whose
+     *  algorithm rejects the layer score +infinity without being
+     *  simulated, counted, or cached. */
     double evaluate(size_t flat, const tensor::ConvParams &params,
                     Index groups,
                     std::atomic<Index> &evaluations) const;

@@ -5,28 +5,33 @@
 
 #include "common/json.h"
 #include "common/report.h"
+#include "conv/algorithm.h"
 
 namespace cfconv::tune {
 
 std::string
 TunedConfigDb::key(const std::string &family,
+                   const std::string &algorithm,
                    const std::string &geometry, Index groups)
 {
-    return family + "|" + geometry + "|g" + std::to_string(groups);
+    return family + "|" + algorithm + "|" + geometry + "|g"
+        + std::to_string(groups);
 }
 
 void
 TunedConfigDb::upsert(TunedEntry entry)
 {
-    std::string k = key(entry.family, entry.geometry, entry.groups);
+    std::string k = key(entry.family, entry.algorithm, entry.geometry,
+                        entry.groups);
     entries_[std::move(k)] = std::move(entry);
 }
 
 const TunedEntry *
 TunedConfigDb::find(const std::string &family,
+                    const std::string &algorithm,
                     const std::string &geometry, Index groups) const
 {
-    auto it = entries_.find(key(family, geometry, groups));
+    auto it = entries_.find(key(family, algorithm, geometry, groups));
     return it == entries_.end() ? nullptr : &it->second;
 }
 
@@ -52,6 +57,7 @@ TunedConfigDb::toJson() const
     for (const auto &[k, e] : entries_) {
         w.beginObject();
         w.field("family", e.family);
+        w.field("algorithm", e.algorithm);
         w.field("geometry", e.geometry);
         w.field("groups", static_cast<long long>(e.groups));
         w.field("variant", e.variant);
@@ -82,6 +88,8 @@ entryProblem(const TunedEntry &e, const VariantRegistry &registry)
 {
     if (e.family != "tpu" && e.family != "gpu")
         return "unknown backend family";
+    if (conv::findAlgorithm(e.algorithm) == nullptr)
+        return "unknown algorithm";
     if (e.geometry.empty())
         return "empty geometry";
     if (e.groups < 1)
@@ -132,6 +140,7 @@ TunedConfigDb::loadFile(const std::string &path,
         }
         TunedEntry e;
         e.family = item.stringOr("family", "");
+        e.algorithm = item.stringOr("algorithm", "");
         e.geometry = item.stringOr("geometry", "");
         e.groups = static_cast<Index>(item.numberOr("groups", 1));
         e.variant = item.stringOr("variant", "");

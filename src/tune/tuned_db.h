@@ -8,9 +8,10 @@
  * evaluations). The JSON document is written deterministically
  * (entries sorted by key) via common/report's JsonWriter and read back
  * with common/json; the loader is schema-versioned and validates every
- * entry against the live VariantRegistry, rejecting stale records
- * (unknown variant or baseline names, non-positive timings) instead of
- * letting a renamed zoo silently redirect tuned choices.
+ * entry against the live VariantRegistry and conv::Algorithm registry,
+ * rejecting stale records (unknown variant, baseline, or algorithm
+ * names, non-positive timings) instead of letting a renamed zoo
+ * silently redirect tuned choices.
  */
 
 #ifndef CFCONV_TUNE_TUNED_DB_H
@@ -33,6 +34,11 @@ struct TunedEntry
      *  is tuned per family — the same layer may pick different
      *  variants on different hardware. */
     std::string family;
+    /** Canonical conv::Algorithm name of the baseline's lowering
+     *  ("channel-first", "indirect", ...). Part of the key: a geometry
+     *  is tuned per (family, algorithm) context, so searches anchored
+     *  to different baselines never overwrite each other. */
+    std::string algorithm;
     /** Canonical layer geometry: ConvParams::toString() of the full
      *  layer, the same string LayerRecord.geometry carries. */
     std::string geometry;
@@ -59,8 +65,8 @@ struct DbLoadStats
 };
 
 /**
- * In-memory map of tuned entries keyed by (family, geometry, groups),
- * with deterministic JSON persistence. Not thread-safe: the tuner
+ * In-memory map of tuned entries keyed by (family, algorithm,
+ * geometry, groups), with deterministic JSON persistence. Not thread-safe: the tuner
  * queries it from the orchestrating thread only, never from inside a
  * parallel search region.
  */
@@ -68,8 +74,9 @@ class TunedConfigDb
 {
   public:
     /** Bumped when the JSON layout changes incompatibly; the loader
-     *  refuses other versions rather than guessing. */
-    static constexpr long long kSchemaVersion = 1;
+     *  refuses other versions rather than guessing. v2 added the
+     *  per-entry "algorithm" key component (the algorithm zoo). */
+    static constexpr long long kSchemaVersion = 2;
     static constexpr const char *kSchemaName = "cfconv.tuned_db";
 
     /** Insert or replace the entry for @p entry's key. */
@@ -77,6 +84,7 @@ class TunedConfigDb
 
     /** Lookup; nullptr on a miss. Valid until the next mutation. */
     const TunedEntry *find(const std::string &family,
+                           const std::string &algorithm,
                            const std::string &geometry,
                            Index groups) const;
 
@@ -106,6 +114,7 @@ class TunedConfigDb
 
   private:
     static std::string key(const std::string &family,
+                           const std::string &algorithm,
                            const std::string &geometry, Index groups);
 
     std::map<std::string, TunedEntry> entries_;

@@ -322,6 +322,64 @@ registerBuiltinVariants(VariantRegistry &registry)
                             "im2col at vendor-grade compute "
                             "efficiency", options));
     }
+
+    // ---- Algorithm-zoo variants (DESIGN §14): the indirect-conv and
+    // SMM-Conv lowerings crossed with the autotuner's array x word
+    // grid, so the third "algo" knob axis (tune/autotuner's
+    // tpuKnobSpace) has a registered variant at every grid point.
+    for (const auto &[algo, suffix, what] :
+         {std::tuple<tpusim::ConvAlgorithm, const char *, const char *>
+              {tpusim::ConvAlgorithm::Indirect, "indirect",
+               "indirect-conv (pointer-table) lowering"},
+          {tpusim::ConvAlgorithm::Smm, "smm",
+           "SMM-Conv (shifted-block) lowering"}}) {
+        tpusim::TpuRunOptions options;
+        options.algorithm = algo;
+        for (const auto &[array, word, stem] :
+             {std::tuple<Index, Index, const char *>
+                  {64, 4, "tpu-v2-a64-w4"},
+              {64, 8, "tpu-v2-64x64"},
+              {64, 16, "tpu-v2-a64-w16"},
+              {128, 4, "tpu-v2-word4"},
+              {128, 8, "tpu-v2"},
+              {128, 16, "tpu-v2-word16"},
+              {256, 4, "tpu-v2-a256-w4"},
+              {256, 8, "tpu-v2-256x256"},
+              {256, 16, "tpu-v2-a256-w16"}}) {
+            const Index a = array, w = word;
+            const std::string name =
+                std::string(stem) + "-" + suffix;
+            const std::string desc =
+                std::string(stem) + " core running the " + what;
+            addOrDie(tpuVariant(name.c_str(), desc.c_str(),
+                                [a, w](tpusim::TpuConfig &c) {
+                                    setArray(c, a);
+                                    c.wordElems = w;
+                                }, options));
+        }
+    }
+    {
+        gpusim::GpuRunOptions options;
+        options.algorithm = gpusim::GpuAlgorithm::Indirect;
+        addOrDie(gpuVariant("gpu-v100-indirect", "V100 indirect-conv "
+                            "(pointer-table) kernel at stock "
+                            "efficiency", options));
+        options.vendorTuned = true;
+        addOrDie(gpuVariant("gpu-v100-indirect-tuned", "V100 "
+                            "indirect-conv kernel at vendor-grade "
+                            "compute efficiency", options));
+    }
+    {
+        gpusim::GpuRunOptions options;
+        options.algorithm = gpusim::GpuAlgorithm::Smm;
+        addOrDie(gpuVariant("gpu-v100-smm", "V100 SMM-Conv "
+                            "(shifted-block) kernel at stock "
+                            "efficiency", options));
+        options.vendorTuned = true;
+        addOrDie(gpuVariant("gpu-v100-smm-tuned", "V100 SMM-Conv "
+                            "kernel at vendor-grade compute "
+                            "efficiency", options));
+    }
 }
 
 } // namespace cfconv::tune

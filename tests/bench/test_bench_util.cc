@@ -13,12 +13,14 @@ namespace {
 
 Status
 parse(std::vector<const char *> argv, BenchArgs *args,
-      bool supports_json = true, bool supports_workload = false)
+      bool supports_json = true, bool supports_workload = false,
+      bool supports_algo = false)
 {
     argv.insert(argv.begin(), "bench");
     return tryParseBenchArgs(static_cast<int>(argv.size()),
                              const_cast<char **>(argv.data()),
-                             supports_json, args, supports_workload);
+                             supports_json, args, supports_workload,
+                             supports_algo);
 }
 
 TEST(BenchArgsParse, ParsesCoreKeys)
@@ -64,6 +66,42 @@ TEST(BenchArgsParse, RejectsEmptyStream)
 {
     BenchArgs args;
     EXPECT_FALSE(parse({"stream="}, &args, true, true).ok());
+}
+
+TEST(BenchArgsParse, AlgoKeyNeedsOptIn)
+{
+    BenchArgs args;
+    // Without supports_algo, algo= is an unknown argument, and the
+    // menu in the error does not advertise it.
+    Status status = parse({"algo=indirect"}, &args);
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.toString().find("algo=NAME"), std::string::npos);
+
+    for (const char *name :
+         {"channel-first", "channel-last", "explicit-im2col",
+          "indirect", "smm"}) {
+        BenchArgs parsed;
+        const std::string arg = std::string("algo=") + name;
+        ASSERT_TRUE(
+            parse({arg.c_str()}, &parsed, true, false, true).ok())
+            << name;
+        EXPECT_EQ(parsed.algo, name);
+    }
+}
+
+TEST(BenchArgsParse, RejectsUnknownAndMalformedAlgos)
+{
+    BenchArgs args;
+    for (const char *bad : {"algo=", "algo=winograd", "algo=SMM"}) {
+        Status status = parse({bad}, &args, true, false, true);
+        ASSERT_FALSE(status.ok()) << bad;
+        const std::string message = status.toString();
+        // The error names the offender and lists the known spellings,
+        // matching the seed=/stream= contract.
+        EXPECT_NE(message.find("algo="), std::string::npos) << bad;
+        EXPECT_NE(message.find("channel-first"), std::string::npos)
+            << bad;
+    }
 }
 
 TEST(BenchArgsParse, UnknownArgumentNamesItselfAndTheMenu)

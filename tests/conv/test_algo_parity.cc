@@ -1,0 +1,210 @@
+/** @file Golden-parity suite for the algorithm zoo: every registered
+ *  conv::Algorithm against the tensor::conv_ref direct reference over
+ *  awkward shapes (stride 2/3, dilation 2, asymmetric padding,
+ *  rectangular kernels, 1x1 and 7x7 filters), bit-identical at any
+ *  thread count, and the same zoo surfaced through both simulator
+ *  backends with thread-count-invariant LayerRecords. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/parallel.h"
+#include "conv/algorithm.h"
+#include "sim/accelerator.h"
+#include "tensor/conv_ref.h"
+#include "tensor/tensor.h"
+
+namespace cfconv::conv {
+namespace {
+
+using tensor::ConvParams;
+using tensor::makeConv;
+using tensor::makeConvRect;
+using tensor::Tensor;
+
+/** The awkward-shape zoo: every way a lowering scheme tends to get the
+ *  address arithmetic wrong. Sizes are small so the full matrix (shapes
+ *  x algorithms x thread counts) stays fast. */
+std::vector<ConvParams>
+awkwardShapes()
+{
+    return {
+        makeConv(2, 6, 8, 6, 3, 1, 1),  // unit-stride 3x3 (all algos)
+        makeConv(2, 5, 9, 4, 3, 2, 1),  // stride 2
+        makeConv(1, 3, 11, 2, 3, 3, 1), // stride 3
+        makeConv(1, 4, 9, 3, 3, 1, 2, 2), // dilation 2
+        // Rectangular 3x5 kernel, stride 1x2, asymmetric pad 2x1.
+        makeConvRect(1, 3, 8, 10, 4, 3, 5, 1, 2, 2, 1),
+        makeConv(2, 8, 7, 6, 1),        // pointwise 1x1
+        makeConv(1, 3, 15, 4, 7, 2, 3), // 7x7, stride 2
+    };
+}
+
+/** Scoped thread-count override that restores the pool on exit, so a
+ *  failing assertion cannot leak a 1-thread pool into later tests. */
+class ScopedThreads
+{
+  public:
+    explicit ScopedThreads(Index n) : saved_(parallel::threads())
+    {
+        parallel::setThreads(n);
+    }
+    ~ScopedThreads() { parallel::setThreads(saved_); }
+
+  private:
+    Index saved_;
+};
+
+TEST(AlgoParity, EveryAlgorithmMatchesConvDirect)
+{
+    for (const ConvParams &p : awkwardShapes()) {
+        Tensor input = tensor::makeInput(p);
+        Tensor filter = tensor::makeFilter(p);
+        input.fillRandom(101);
+        filter.fillRandom(103);
+        const Tensor ref = tensor::convDirect(p, input, filter);
+        for (const Algorithm *algo : allAlgorithms()) {
+            if (!algo->supports(p, 1).ok()) {
+                // Only SMM-Conv declines shapes in this zoo (non-unit
+                // stride/dilation); anything else refusing is a bug.
+                EXPECT_EQ(algo->id(), AlgorithmId::Smm)
+                    << algo->name() << " refused " << p.toString();
+                continue;
+            }
+            const Tensor out = algo->execute(p, input, filter);
+            EXPECT_LT(out.maxAbsDiff(ref), 1e-3f)
+                << algo->name() << " on " << p.toString();
+        }
+    }
+}
+
+TEST(AlgoParity, ExecuteIsBitIdenticalAcrossThreadCounts)
+{
+    for (const ConvParams &p : awkwardShapes()) {
+        Tensor input = tensor::makeInput(p);
+        Tensor filter = tensor::makeFilter(p);
+        input.fillRandom(101);
+        filter.fillRandom(103);
+        for (const Algorithm *algo : allAlgorithms()) {
+            if (!algo->supports(p, 1).ok())
+                continue;
+            const auto runWith = [&](Index n) {
+                ScopedThreads st(n);
+                return algo->execute(p, input, filter);
+            };
+            const Tensor one = runWith(1);
+            const Tensor four = runWith(4);
+            // Not "close": identical. The accumulation order must not
+            // depend on how parallelFor chunked the rows.
+            EXPECT_EQ(one.maxAbsDiff(four), 0.0f)
+                << algo->name() << " on " << p.toString();
+        }
+    }
+}
+
+/** One accelerator variant per (backend, algorithm) cell, stock cores. */
+std::vector<std::string>
+matrixVariants()
+{
+    return {
+        "tpu-v2",          "tpu-v2-chlast",     "tpu-v2-explicit",
+        "tpu-v2-indirect", "tpu-v2-smm",        "gpu-v100",
+        "gpu-v100-chlast", "gpu-v100-explicit", "gpu-v100-indirect",
+        "gpu-v100-smm",
+    };
+}
+
+TEST(AlgoParity, BothBackendsExposeTheRegisteredAlgorithm)
+{
+    for (const std::string &name : matrixVariants()) {
+        const auto accel = sim::makeAccelerator(name);
+        const Algorithm *algo = accel->algorithm();
+        ASSERT_NE(algo, nullptr) << name;
+        // The adapter's algorithm() must point back into the registry,
+        // not at a private copy.
+        EXPECT_EQ(findAlgorithm(algo->id()), algo) << name;
+    }
+}
+
+TEST(AlgoParity, LayerRecordsAreThreadCountInvariant)
+{
+    const auto p = makeConv(4, 64, 28, 64, 3, 1, 1);
+    sim::RunOptions grouped;
+    grouped.groups = 2;
+    for (const std::string &name : matrixVariants()) {
+        // Fresh accelerator per thread count so the comparison is
+        // between two real simulations, not a memo-cache hit.
+        sim::LayerRecord one, four, gone, gfour;
+        {
+            ScopedThreads st(1);
+            const auto accel = sim::makeAccelerator(name);
+            one = accel->runLayer(p);
+            gone = accel->runLayer(p, grouped);
+        }
+        {
+            ScopedThreads st(4);
+            const auto accel = sim::makeAccelerator(name);
+            four = accel->runLayer(p);
+            gfour = accel->runLayer(p, grouped);
+        }
+        for (const auto &[a, b] : {std::pair(one, four),
+                                   std::pair(gone, gfour)}) {
+            EXPECT_EQ(a.geometry, b.geometry) << name;
+            EXPECT_EQ(a.groups, b.groups) << name;
+            EXPECT_EQ(a.seconds, b.seconds) << name;
+            EXPECT_EQ(a.tflops, b.tflops) << name;
+            EXPECT_EQ(a.utilization, b.utilization) << name;
+            EXPECT_EQ(a.dramBytes, b.dramBytes) << name;
+            EXPECT_EQ(a.flops, b.flops) << name;
+            EXPECT_EQ(a.algorithm, b.algorithm) << name;
+            EXPECT_EQ(a.extras, b.extras) << name;
+        }
+    }
+}
+
+TEST(AlgoParity, RecordsStampOnlyTheZooAdditions)
+{
+    // The pre-zoo lowering paths keep their empty algorithm field so
+    // existing reports stay byte-identical; the additions are stamped.
+    const auto p = makeConv(4, 64, 28, 64, 3, 1, 1);
+    for (const std::string &name : matrixVariants()) {
+        const auto accel = sim::makeAccelerator(name);
+        const sim::LayerRecord record = accel->runLayer(p);
+        const AlgorithmId id = accel->algorithm()->id();
+        if (id == AlgorithmId::Indirect || id == AlgorithmId::Smm)
+            EXPECT_EQ(record.algorithm, accel->algorithm()->name())
+                << name;
+        else
+            EXPECT_TRUE(record.algorithm.empty()) << name;
+    }
+}
+
+TEST(AlgoParity, UnsupportedShapesAreRejectedNotSimulated)
+{
+    const auto strided = makeConv(4, 64, 28, 64, 3, /*stride=*/2, 1);
+    for (const std::string &name : matrixVariants()) {
+        const auto accel = sim::makeAccelerator(name);
+        const StatusOr<sim::LayerRecord> record =
+            accel->tryRunLayer(strided);
+        if (accel->algorithm()->id() == AlgorithmId::Smm) {
+            ASSERT_FALSE(record.ok()) << name;
+            EXPECT_EQ(record.status().code(),
+                      StatusCode::kInvalidArgument)
+                << name;
+            EXPECT_NE(record.status().message().find("smm"),
+                      std::string::npos)
+                << record.status().toString();
+        } else {
+            ASSERT_TRUE(record.ok())
+                << name << ": " << record.status().toString();
+            EXPECT_GT(record->seconds, 0.0) << name;
+        }
+    }
+}
+
+} // namespace
+} // namespace cfconv::conv

@@ -1,0 +1,217 @@
+/** @file Contract tests for the conv::Algorithm registry: identity,
+ *  name parsing, applicability predicates, and the lowered-geometry /
+ *  traffic models each registered scheme advertises. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "conv/algorithm.h"
+#include "tensor/conv_params.h"
+
+namespace cfconv::conv {
+namespace {
+
+using tensor::makeConv;
+
+TEST(AlgorithmRegistry, AllAlgorithmsInIdOrder)
+{
+    const auto &all = allAlgorithms();
+    ASSERT_EQ(all.size(), static_cast<size_t>(kAlgorithmCount));
+    for (size_t i = 0; i < all.size(); ++i) {
+        EXPECT_EQ(static_cast<size_t>(all[i]->id()), i);
+        // Both lookups agree with the registration order.
+        EXPECT_EQ(findAlgorithm(all[i]->id()), all[i]);
+        EXPECT_EQ(findAlgorithm(std::string(all[i]->name())), all[i]);
+        EXPECT_STREQ(algorithmName(all[i]->id()), all[i]->name());
+        EXPECT_STRNE(all[i]->description(), "");
+    }
+}
+
+TEST(AlgorithmRegistry, CanonicalNamesAreStable)
+{
+    // These spellings are serialized into RunRecords and the tuned-DB:
+    // changing one is a schema break, which is what this test pins.
+    const std::vector<std::string> expected = {
+        "channel-first", "channel-last", "explicit-im2col", "indirect",
+        "smm"};
+    const auto &all = allAlgorithms();
+    ASSERT_EQ(all.size(), expected.size());
+    for (size_t i = 0; i < all.size(); ++i)
+        EXPECT_EQ(all[i]->name(), expected[i]);
+}
+
+TEST(AlgorithmRegistry, ParseRoundTripsEveryName)
+{
+    for (const Algorithm *algo : allAlgorithms()) {
+        const StatusOr<AlgorithmId> parsed =
+            parseAlgorithmName(algo->name());
+        ASSERT_TRUE(parsed.ok()) << algo->name();
+        EXPECT_EQ(*parsed, algo->id());
+    }
+}
+
+TEST(AlgorithmRegistry, ParseNamesTheOffenderAndListsKnown)
+{
+    for (const char *bad : {"winograd", "SMM", "Channel-First", ""}) {
+        const StatusOr<AlgorithmId> parsed = parseAlgorithmName(bad);
+        ASSERT_FALSE(parsed.ok()) << bad;
+        EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+        const std::string message = parsed.status().message();
+        EXPECT_NE(message.find('"' + std::string(bad) + '"'),
+                  std::string::npos)
+            << message;
+        // The error doubles as the help text: every valid spelling.
+        for (const Algorithm *algo : allAlgorithms())
+            EXPECT_NE(message.find(algo->name()), std::string::npos)
+                << message;
+    }
+}
+
+TEST(AlgorithmRegistry, UnknownNameLookupReturnsNull)
+{
+    EXPECT_EQ(findAlgorithm(std::string("winograd")), nullptr);
+    EXPECT_EQ(findAlgorithm(std::string("")), nullptr);
+}
+
+TEST(AlgorithmSupports, OnlySmmRestrictsStrideAndDilation)
+{
+    const auto strided = makeConv(1, 4, 9, 4, 3, /*stride=*/2, 1);
+    const auto dilated =
+        makeConv(1, 4, 9, 4, 3, /*stride=*/1, /*pad=*/2, /*dilation=*/2);
+    for (const Algorithm *algo : allAlgorithms()) {
+        const bool is_smm = algo->id() == AlgorithmId::Smm;
+        EXPECT_EQ(algo->supports(strided, 1).ok(), !is_smm)
+            << algo->name();
+        EXPECT_EQ(algo->supports(dilated, 1).ok(), !is_smm)
+            << algo->name();
+    }
+    const Algorithm *smm = findAlgorithm(AlgorithmId::Smm);
+    EXPECT_NE(smm->supports(strided, 1).message().find("unit stride"),
+              std::string::npos);
+    EXPECT_NE(smm->supports(dilated, 1).message().find("unit dilation"),
+              std::string::npos);
+    // On a unit-stride/unit-dilation layer SMM-Conv is applicable.
+    EXPECT_TRUE(smm->supports(makeConv(1, 4, 9, 4, 3, 1, 1), 1).ok());
+}
+
+TEST(AlgorithmSupports, EveryAlgorithmRejectsNonPositiveGroups)
+{
+    const auto p = makeConv(1, 8, 9, 8, 3, 1, 1);
+    for (const Algorithm *algo : allAlgorithms()) {
+        const Status bad = algo->supports(p, 0);
+        ASSERT_FALSE(bad.ok()) << algo->name();
+        EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+        EXPECT_NE(bad.message().find("groups must be >= 1"),
+                  std::string::npos)
+            << bad.message();
+        EXPECT_NE(bad.message().find(algo->name()), std::string::npos)
+            << bad.message();
+        EXPECT_TRUE(algo->supports(p, 2).ok()) << algo->name();
+    }
+}
+
+TEST(AlgorithmGeometry, EveryAlgorithmAdvertisesTheLogicalGemm)
+{
+    const auto p = makeConv(2, 8, 14, 16, 3, 1, 1);
+    for (const Algorithm *algo : allAlgorithms()) {
+        const LoweredGeometry g = algo->geometry(p);
+        EXPECT_EQ(g.m, p.gemmM()) << algo->name();
+        EXPECT_EQ(g.k, p.gemmK()) << algo->name();
+        EXPECT_EQ(g.n, p.gemmN()) << algo->name();
+    }
+}
+
+TEST(AlgorithmGeometry, ImplicitSchemesMaterializeNothing)
+{
+    const auto p = makeConv(2, 8, 14, 16, 3, 1, 1);
+    for (const AlgorithmId id :
+         {AlgorithmId::ChannelFirst, AlgorithmId::ChannelLast,
+          AlgorithmId::Smm}) {
+        const LoweredGeometry g = findAlgorithm(id)->geometry(p);
+        EXPECT_EQ(g.workspaceBytes, 0) << algorithmName(id);
+        EXPECT_EQ(g.metadataBytes, 0) << algorithmName(id);
+        EXPECT_DOUBLE_EQ(g.duplication, 1.0) << algorithmName(id);
+    }
+}
+
+TEST(AlgorithmGeometry, ExplicitIm2colPaysTheDuplication)
+{
+    const auto p = makeConv(2, 8, 14, 16, 3, 1, 1);
+    const LoweredGeometry g =
+        findAlgorithm(AlgorithmId::ExplicitIm2col)->geometry(p);
+    EXPECT_EQ(g.workspaceBytes, p.loweredBytes());
+    EXPECT_EQ(g.metadataBytes, 0);
+    // A 3x3 lowered matrix duplicates the IFMap roughly 9x (Table 1).
+    EXPECT_GT(g.duplication, 1.0);
+    EXPECT_DOUBLE_EQ(g.duplication,
+                     static_cast<double>(p.loweredElems()) /
+                         static_cast<double>(p.inputElems()));
+}
+
+TEST(AlgorithmGeometry, IndirectPaysOnlyThePointerTable)
+{
+    const auto p = makeConv(2, 8, 14, 16, 3, 1, 1);
+    const LoweredGeometry g =
+        findAlgorithm(AlgorithmId::Indirect)->geometry(p);
+    EXPECT_EQ(g.workspaceBytes, 0);
+    EXPECT_DOUBLE_EQ(g.duplication, 1.0);
+    // One 8-byte pointer per (output position, filter tap).
+    EXPECT_EQ(g.metadataBytes,
+              static_cast<Bytes>(p.gemmM()) * p.kernelH * p.kernelW * 8);
+}
+
+TEST(AlgorithmTraffic, TotalIsTheSumOfTheOperandClasses)
+{
+    const auto p = makeConv(2, 8, 14, 16, 3, 2, 1);
+    for (const Algorithm *algo : allAlgorithms()) {
+        const Traffic t = algo->traffic(p);
+        EXPECT_EQ(t.totalBytes(), t.inputBytes + t.filterBytes +
+                                      t.outputBytes + t.workspaceBytes +
+                                      t.metadataBytes)
+            << algo->name();
+        EXPECT_GT(t.inputBytes, 0) << algo->name();
+        EXPECT_EQ(t.filterBytes, p.filterBytes()) << algo->name();
+        EXPECT_EQ(t.outputBytes, p.outputBytes()) << algo->name();
+    }
+}
+
+TEST(AlgorithmTraffic, SchemesDifferOnlyWhereTheyShould)
+{
+    const auto p = makeConv(2, 8, 14, 16, 3, 1, 1);
+    const Traffic cf =
+        findAlgorithm(AlgorithmId::ChannelFirst)->traffic(p);
+    const Traffic cl =
+        findAlgorithm(AlgorithmId::ChannelLast)->traffic(p);
+    const Traffic smm = findAlgorithm(AlgorithmId::Smm)->traffic(p);
+    // The three no-materialization schemes move identical unique bytes.
+    for (const Traffic &t : {cl, smm}) {
+        EXPECT_EQ(t.inputBytes, cf.inputBytes);
+        EXPECT_EQ(t.workspaceBytes, 0);
+        EXPECT_EQ(t.metadataBytes, 0);
+    }
+    EXPECT_EQ(cf.workspaceBytes, 0);
+    EXPECT_EQ(cf.metadataBytes, 0);
+
+    // Explicit writes the lowered matrix once and reads it back.
+    const Traffic ex =
+        findAlgorithm(AlgorithmId::ExplicitIm2col)->traffic(p);
+    EXPECT_EQ(ex.workspaceBytes, 2 * p.loweredBytes());
+    EXPECT_GT(ex.totalBytes(), cf.totalBytes());
+
+    // Indirect adds exactly the pointer table on top of implicit.
+    const Traffic in =
+        findAlgorithm(AlgorithmId::Indirect)->traffic(p);
+    EXPECT_EQ(in.inputBytes, cf.inputBytes);
+    EXPECT_EQ(in.workspaceBytes, 0);
+    EXPECT_EQ(in.metadataBytes,
+              findAlgorithm(AlgorithmId::Indirect)
+                  ->geometry(p)
+                  .metadataBytes);
+    EXPECT_GT(in.totalBytes(), cf.totalBytes());
+    EXPECT_LT(in.totalBytes(), ex.totalBytes());
+}
+
+} // namespace
+} // namespace cfconv::conv

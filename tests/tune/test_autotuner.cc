@@ -29,9 +29,11 @@ layerOf(const char *name, tensor::ConvParams params, Index count = 1,
 TEST(KnobSpace, FlatIndexAndPointRoundTrip)
 {
     const KnobSpace space = tpuKnobSpace();
-    ASSERT_EQ(space.axes.size(), 2u);
-    ASSERT_EQ(space.points(),
-              space.axes[0].levels.size() * space.axes[1].levels.size());
+    ASSERT_EQ(space.axes.size(), 3u);
+    size_t expected = 1;
+    for (const auto &axis : space.axes)
+        expected *= axis.levels.size();
+    ASSERT_EQ(space.points(), expected);
     for (size_t flat = 0; flat < space.points(); ++flat) {
         const auto point = space.pointOf(flat);
         EXPECT_EQ(space.flatIndex(point), flat);
@@ -192,6 +194,43 @@ TEST(Autotuner, DatabaseHitRequiresTheSameBaseline)
     options.baseline = "gpu-v100-cudnn";
     const auto other = tuner->tuneLayer(layer, options).value();
     EXPECT_FALSE(other.fromDb);
+}
+
+TEST(Autotuner, UnsupportedAlgorithmsNeverWin)
+{
+    // SMM-Conv rejects strided layers; on a stride-2 shape the
+    // exhaustive search must skip every smm grid point (scored
+    // +infinity, never simulated) and still land on a finite winner.
+    auto tuner = Autotuner::create(tpuKnobSpace()).value();
+    TuneOptions options;
+    options.baseline = "tpu-v2";
+    const auto layer =
+        layerOf("strided", makeConv(4, 64, 28, 64, 3, 2, 1));
+    const auto choice = tuner->tuneLayer(layer, options).value();
+    EXPECT_EQ(choice.variant.find("-smm"), std::string::npos)
+        << choice.variant;
+    EXPECT_GT(choice.tunedSeconds, 0.0);
+}
+
+TEST(Autotuner, DatabaseKeysSearchesByBaselineAlgorithm)
+{
+    // The same geometry tuned from baselines with different lowerings
+    // lands in distinct DB entries (family|algorithm|geometry keys).
+    auto tuner = Autotuner::create(tpuKnobSpace()).value();
+    TunedConfigDb db;
+    TuneOptions options;
+    options.baseline = "tpu-v2";
+    options.db = &db;
+    const auto layer =
+        layerOf("conv3", makeConv(8, 128, 28, 128, 3, 1, 1));
+    ASSERT_TRUE(tuner->tuneLayer(layer, options).ok());
+    options.baseline = "tpu-v2-indirect";
+    ASSERT_TRUE(tuner->tuneLayer(layer, options).ok());
+    EXPECT_EQ(db.size(), 2u);
+    const std::string geometry = layer.params.toString();
+    EXPECT_NE(db.find("tpu", "channel-first", geometry, 1), nullptr);
+    EXPECT_NE(db.find("tpu", "indirect", geometry, 1), nullptr);
+    EXPECT_EQ(db.find("tpu", "smm", geometry, 1), nullptr);
 }
 
 TEST(Autotuner, RejectsBaselinesOutsideTheSpace)

@@ -28,6 +28,7 @@ sampleEntry(const std::string &geometry = "n8_ci64_hw56_co64_k3_s1_p1",
 {
     TunedEntry entry;
     entry.family = "tpu";
+    entry.algorithm = "channel-first";
     entry.geometry = geometry;
     entry.groups = groups;
     entry.variant = "tpu-v2-a256-w4";
@@ -42,11 +43,11 @@ sampleEntry(const std::string &geometry = "n8_ci64_hw56_co64_k3_s1_p1",
 TEST(TunedConfigDb, UpsertFindAndReplace)
 {
     TunedConfigDb db;
-    EXPECT_EQ(db.find("tpu", "g", 1), nullptr);
+    EXPECT_EQ(db.find("tpu", "channel-first", "g", 1), nullptr);
 
     db.upsert(sampleEntry("g"));
     ASSERT_EQ(db.size(), 1u);
-    const TunedEntry *hit = db.find("tpu", "g", 1);
+    const TunedEntry *hit = db.find("tpu", "channel-first", "g", 1);
     ASSERT_NE(hit, nullptr);
     EXPECT_EQ(hit->variant, "tpu-v2-a256-w4");
 
@@ -55,7 +56,7 @@ TEST(TunedConfigDb, UpsertFindAndReplace)
     replacement.variant = "tpu-v2-256x256";
     db.upsert(replacement);
     EXPECT_EQ(db.size(), 1u);
-    EXPECT_EQ(db.find("tpu", "g", 1)->variant, "tpu-v2-256x256");
+    EXPECT_EQ(db.find("tpu", "channel-first", "g", 1)->variant, "tpu-v2-256x256");
 
     db.upsert(sampleEntry("g", 2));
     TunedEntry gpu = sampleEntry("g");
@@ -64,8 +65,8 @@ TEST(TunedConfigDb, UpsertFindAndReplace)
     gpu.baseline = "gpu-v100";
     db.upsert(gpu);
     EXPECT_EQ(db.size(), 3u);
-    EXPECT_EQ(db.find("tpu", "g", 2)->groups, 2);
-    EXPECT_EQ(db.find("gpu", "g", 1)->variant, "gpu-v100-tuned");
+    EXPECT_EQ(db.find("tpu", "channel-first", "g", 2)->groups, 2);
+    EXPECT_EQ(db.find("gpu", "channel-first", "g", 1)->variant, "gpu-v100-tuned");
 }
 
 TEST(TunedConfigDb, ToJsonIsDeterministicAndInsertionOrderFree)
@@ -106,8 +107,10 @@ TEST(TunedConfigDb, SaveAndLoadRoundTrips)
 
     for (const TunedEntry &want : db.entries()) {
         const TunedEntry *got =
-            loaded.find(want.family, want.geometry, want.groups);
+            loaded.find(want.family, want.algorithm, want.geometry,
+                        want.groups);
         ASSERT_NE(got, nullptr) << want.geometry;
+        EXPECT_EQ(got->algorithm, want.algorithm);
         EXPECT_EQ(got->variant, want.variant);
         EXPECT_EQ(got->baseline, want.baseline);
         EXPECT_DOUBLE_EQ(got->tunedSeconds, want.tunedSeconds);
@@ -137,6 +140,9 @@ TEST(TunedConfigDb, LoaderRejectsStaleEntriesIndividually)
     TunedEntry badGroups = sampleEntry("bad_groups");
     badGroups.groups = 0;
     db.upsert(badGroups);
+    TunedEntry unknownAlgorithm = sampleEntry("stale_algorithm");
+    unknownAlgorithm.algorithm = "winograd";
+    db.upsert(unknownAlgorithm);
     ASSERT_TRUE(db.saveFile(path));
 
     TunedConfigDb loaded;
@@ -144,10 +150,10 @@ TEST(TunedConfigDb, LoaderRejectsStaleEntriesIndividually)
         loaded.loadFile(path, VariantRegistry::instance());
     ASSERT_TRUE(stats.ok()) << stats.status().toString();
     EXPECT_EQ(stats.value().loaded, 1);
-    EXPECT_EQ(stats.value().rejected, 4);
+    EXPECT_EQ(stats.value().rejected, 5);
     EXPECT_EQ(loaded.size(), 1u);
-    EXPECT_NE(loaded.find("tpu", "good", 1), nullptr);
-    EXPECT_EQ(loaded.find("tpu", "stale_variant", 1), nullptr);
+    EXPECT_NE(loaded.find("tpu", "channel-first", "good", 1), nullptr);
+    EXPECT_EQ(loaded.find("tpu", "channel-first", "stale_variant", 1), nullptr);
     std::remove(path.c_str());
 }
 
@@ -168,7 +174,12 @@ TEST(TunedConfigDb, LoaderRefusesForeignSchemas)
              R"( "entries": []})");
     EXPECT_FALSE(db.loadFile(path, VariantRegistry::instance()).ok());
 
-    writeDoc(R"({"schema": "cfconv.tuned_db", "version": 1})");
+    // The pre-algorithm v1 layout is refused outright, not guessed at.
+    writeDoc(R"({"schema": "cfconv.tuned_db", "version": 1,)"
+             R"( "entries": []})");
+    EXPECT_FALSE(db.loadFile(path, VariantRegistry::instance()).ok());
+
+    writeDoc(R"({"schema": "cfconv.tuned_db", "version": 2})");
     EXPECT_FALSE(db.loadFile(path, VariantRegistry::instance()).ok());
 
     writeDoc("{not json");
@@ -204,9 +215,9 @@ TEST(TunedConfigDb, LoadMergesIntoExistingEntries)
     const auto stats = db.loadFile(path, VariantRegistry::instance());
     ASSERT_TRUE(stats.ok());
     EXPECT_EQ(db.size(), 3u);
-    EXPECT_EQ(db.find("tpu", "shared", 1)->variant, "tpu-v2-256x256");
-    EXPECT_NE(db.find("tpu", "memory_only", 1), nullptr);
-    EXPECT_NE(db.find("tpu", "disk_only", 1), nullptr);
+    EXPECT_EQ(db.find("tpu", "channel-first", "shared", 1)->variant, "tpu-v2-256x256");
+    EXPECT_NE(db.find("tpu", "channel-first", "memory_only", 1), nullptr);
+    EXPECT_NE(db.find("tpu", "channel-first", "disk_only", 1), nullptr);
     std::remove(path.c_str());
 }
 
