@@ -5,7 +5,9 @@
  * sim::ModelRunner on every stock backend — TPU-v2, the v3-ish
  * two-MXU core, and the V100 channel-first kernel — and write the
  * unified RunRecord document to BENCH_models.json (override with
- * json=FILE). The BENCH_gemm.json companion tracks raw GEMM; this one
+ * json=FILE; narrow the sweep with model=NAME and backend=NAME, which
+ * is how the trace-analyzer gate records clean single-model traces).
+ * The BENCH_gemm.json companion tracks raw GEMM; this one
  * tracks whole models, so regressions in the model runner, the memo
  * caches, or either simulator show up in the bench trajectory.
  */
@@ -24,7 +26,9 @@ using namespace cfconv;
 int
 main(int argc, char **argv)
 {
-    bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
+    bench::BenchArgs args = bench::parseBenchArgs(
+        argc, argv, /*supports_json=*/true, /*supports_workload=*/false,
+        /*supports_algo=*/false, /*supports_selection=*/true);
     if (args.jsonPath.empty())
         args.jsonPath = "BENCH_models.json";
     const bench::WallTimer wall;
@@ -32,8 +36,38 @@ main(int argc, char **argv)
 
     auto zoo = models::allModels(batch);
     zoo.push_back(models::mobilenetv1(batch));
-    const std::vector<std::string> backends = {"tpu-v2", "tpu-v3ish",
-                                               "gpu-v100"};
+    std::vector<std::string> backends = {"tpu-v2", "tpu-v3ish",
+                                         "gpu-v100"};
+    // model=/backend= narrow the sweep to one model and/or backend —
+    // how check_analyze.sh records a single-model single-backend trace
+    // whose timelines aren't interleaved with the rest of the zoo.
+    if (!args.model.empty()) {
+        decltype(zoo) kept;
+        for (auto &model : zoo)
+            if (model.name == args.model)
+                kept.push_back(std::move(model));
+        if (kept.empty()) {
+            std::fprintf(stderr,
+                         "INVALID_ARGUMENT: unknown model=%s (not in "
+                         "the zoo)\n",
+                         args.model.c_str());
+            return 2;
+        }
+        zoo = std::move(kept);
+    }
+    if (!args.backend.empty()) {
+        bool known = false;
+        for (const auto &b : backends)
+            known = known || b == args.backend;
+        if (!known) {
+            std::fprintf(stderr,
+                         "INVALID_ARGUMENT: unknown backend=%s "
+                         "(supported: tpu-v2, tpu-v3ish, gpu-v100)\n",
+                         args.backend.c_str());
+            return 2;
+        }
+        backends = {args.backend};
+    }
 
     bench::experimentHeader(
         "models_report",

@@ -98,6 +98,21 @@ struct BenchArgs
      *  against the conv::Algorithm registry; only the algorithm-aware
      *  benches (bench_fig4_stride) accept it, via supports_algo. */
     std::string algo;
+    /** Destination of the process-wide MetricsRegistry snapshot
+     *  (metrics=FILE), dumped at exit as a sorted deterministic
+     *  "cfconv.metrics" JSON document (the same counters/histograms
+     *  shape as the RunRecord metrics block). Empty = no dump.
+     *  Accepted by every bench — the registry is process-wide. */
+    std::string metricsPath;
+    /** Model filter (model=NAME, e.g. "ResNet"); empty = the bench's
+     *  default (usually the whole zoo). Only the model-sweep benches
+     *  accept it, via supports_selection; matched case-sensitively by
+     *  the consuming bench, which exits 2 on an unknown name. */
+    std::string model;
+    /** Backend filter (backend=NAME, e.g. "tpu-v2", "gpu-v100");
+     *  empty = all of the bench's backends. Only the model-sweep
+     *  benches accept it, via supports_selection. */
+    std::string backend;
 };
 
 /**
@@ -109,7 +124,8 @@ struct BenchArgs
 inline Status
 tryParseBenchArgs(int argc, char **argv, bool supports_json,
                   BenchArgs *args, bool supports_workload = false,
-                  bool supports_algo = false)
+                  bool supports_algo = false,
+                  bool supports_selection = false)
 {
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "threads=", 8) == 0) {
@@ -151,13 +167,25 @@ tryParseBenchArgs(int argc, char **argv, bool supports_json,
                     "bad algo=%s (%s)", argv[i] + 5,
                     parsed.status().message().c_str());
             args->algo = argv[i] + 5;
+        } else if (std::strncmp(argv[i], "metrics=", 8) == 0 &&
+                   argv[i][8] != '\0') {
+            args->metricsPath = argv[i] + 8;
+        } else if (supports_selection &&
+                   std::strncmp(argv[i], "model=", 6) == 0 &&
+                   argv[i][6] != '\0') {
+            args->model = argv[i] + 6;
+        } else if (supports_selection &&
+                   std::strncmp(argv[i], "backend=", 8) == 0 &&
+                   argv[i][8] != '\0') {
+            args->backend = argv[i] + 8;
         } else {
             return invalidArgumentError(
                 "unknown argument \"%s\" (supported: threads=N, "
-                "trace=FILE, faults=SPEC%s%s%s)",
+                "trace=FILE, faults=SPEC, metrics=FILE%s%s%s%s)",
                 argv[i], supports_json ? ", json=FILE" : "",
                 supports_workload ? ", seed=N, stream=NAME" : "",
-                supports_algo ? ", algo=NAME" : "");
+                supports_algo ? ", algo=NAME" : "",
+                supports_selection ? ", model=NAME, backend=NAME" : "");
         }
     }
     return okStatus();
@@ -177,18 +205,24 @@ tryParseBenchArgs(int argc, char **argv, bool supports_json,
  * seed) and `stream=NAME` (arrival-stream kind); pass
  * @p supports_algo = true from algorithm-aware binaries
  * (bench_fig4_stride) to additionally accept `algo=NAME` (a canonical
- * conv::Algorithm name, validated against the registry). Unknown
- * arguments and malformed values exit 2 with the structured error
- * naming the offender.
+ * conv::Algorithm name, validated against the registry); pass
+ * @p supports_selection = true from model-sweep binaries
+ * (bench_models_report) to additionally accept `model=NAME` and
+ * `backend=NAME` filters. `metrics=FILE` (dump the process-wide
+ * MetricsRegistry snapshot as deterministic JSON at exit) is accepted
+ * everywhere. Unknown arguments and malformed values exit 2 with the
+ * structured error naming the offender.
  */
 inline BenchArgs
 parseBenchArgs(int argc, char **argv, bool supports_json = true,
                bool supports_workload = false,
-               bool supports_algo = false)
+               bool supports_algo = false,
+               bool supports_selection = false)
 {
     BenchArgs args;
     Status status = tryParseBenchArgs(argc, argv, supports_json, &args,
-                                      supports_workload, supports_algo);
+                                      supports_workload, supports_algo,
+                                      supports_selection);
     // configure() errors already carry a "faults:" prefix.
     if (status.ok() && !args.faultsSpec.empty())
         status = fault::FaultInjector::instance()
@@ -201,6 +235,20 @@ parseBenchArgs(int argc, char **argv, bool supports_json = true,
         parallel::setThreads(args.threads);
     if (!args.tracePath.empty())
         trace::start(args.tracePath);
+    if (!args.metricsPath.empty()) {
+        // Flush at exit so the dump sees everything the bench
+        // recorded; the path lives in a function-local static because
+        // atexit takes a plain function pointer. Touch the registry
+        // singleton first: its destructor must be registered before
+        // our handler so the handler still sees a live registry.
+        MetricsRegistry::instance();
+        static std::string path;
+        path = args.metricsPath;
+        std::atexit([] {
+            writeMetricsJson(path,
+                             MetricsRegistry::instance().snapshot());
+        });
+    }
     return args;
 }
 

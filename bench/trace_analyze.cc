@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Offline trace analytics CLI: load a recorded Chrome-trace file
+ * (trace=FILE from any bench, or CFCONV_TRACE) and report what the
+ * simulated-cycle timelines say — per-layer fill/compute overlap and
+ * critical-path breakdown, serving-chip occupancy, resilience events,
+ * and (wall=on, the default) thread-pool and memo-cache activity.
+ *
+ *   trace_analyze IN.trace [json=FILE] [diff=OTHER.trace] [wall=on|off]
+ *
+ * With diff=OTHER.trace the two analyses align by normalized timeline
+ * signature and the deltas are reported instead; json=FILE then
+ * receives the "cfconv.trace_analysis_diff" document rather than the
+ * single-trace "cfconv.trace_analysis" one. Output is a pure function
+ * of the input trace bytes: same trace, same bytes out, regardless of
+ * thread count or repetition (scripts/check_analyze.sh enforces it).
+ * Bench-style argument handling: unknown or malformed arguments exit
+ * 2 naming the offender.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "analyze/analysis.h"
+#include "analyze/analysis_report.h"
+#include "analyze/diff.h"
+#include "analyze/trace_model.h"
+#include "common/report.h"
+
+using namespace cfconv;
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s IN.trace [json=FILE] [diff=OTHER.trace] "
+                 "[wall=on|off]\n",
+                 argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string inPath;
+    std::string jsonPath;
+    std::string diffPath;
+    analyze::AnalyzeOptions options;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "json=", 5) == 0 &&
+            argv[i][5] != '\0') {
+            jsonPath = argv[i] + 5;
+        } else if (std::strncmp(argv[i], "diff=", 5) == 0 &&
+                   argv[i][5] != '\0') {
+            diffPath = argv[i] + 5;
+        } else if (std::strncmp(argv[i], "wall=", 5) == 0) {
+            const std::string v = argv[i] + 5;
+            if (v == "on")
+                options.includeWall = true;
+            else if (v == "off")
+                options.includeWall = false;
+            else {
+                std::fprintf(stderr,
+                             "INVALID_ARGUMENT: bad wall=%s (want "
+                             "on|off)\n",
+                             v.c_str());
+                return 2;
+            }
+        } else if (std::strchr(argv[i], '=') != nullptr) {
+            std::fprintf(stderr,
+                         "INVALID_ARGUMENT: unknown argument \"%s\" "
+                         "(supported: json=FILE, diff=OTHER.trace, "
+                         "wall=on|off)\n",
+                         argv[i]);
+            return 2;
+        } else if (inPath.empty()) {
+            inPath = argv[i];
+        } else {
+            std::fprintf(stderr,
+                         "INVALID_ARGUMENT: more than one input trace "
+                         "(\"%s\" and \"%s\")\n",
+                         inPath.c_str(), argv[i]);
+            return 2;
+        }
+    }
+    if (inPath.empty())
+        return usage(argv[0]);
+
+    auto doc = analyze::parseTraceFile(inPath);
+    if (!doc.ok()) {
+        std::fprintf(stderr, "%s\n", doc.status().toString().c_str());
+        return 1;
+    }
+    const analyze::TraceAnalysis left =
+        analyze::analyzeTrace(doc.value(), options);
+    std::printf("%s\n",
+                analyze::analysisHeadline(inPath, left).c_str());
+    analyze::printAnalysis(left);
+
+    if (diffPath.empty()) {
+        if (!jsonPath.empty() &&
+            writeFile(jsonPath, analyze::analysisJson(left)))
+            std::printf("wrote %s\n", jsonPath.c_str());
+        return 0;
+    }
+
+    auto other = analyze::parseTraceFile(diffPath);
+    if (!other.ok()) {
+        std::fprintf(stderr, "%s\n",
+                     other.status().toString().c_str());
+        return 1;
+    }
+    const analyze::TraceAnalysis right =
+        analyze::analyzeTrace(other.value(), options);
+    std::printf("%s\n",
+                analyze::analysisHeadline(diffPath, right).c_str());
+
+    const analyze::AnalysisDiff diff =
+        analyze::diffAnalyses(left, right);
+    std::printf("%s\n", analyze::diffHeadline(diff).c_str());
+    analyze::printDiff(diff);
+    if (!jsonPath.empty() &&
+        writeFile(jsonPath, analyze::diffJson(diff)))
+        std::printf("wrote %s\n", jsonPath.c_str());
+    return 0;
+}

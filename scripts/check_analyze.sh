@@ -1,0 +1,147 @@
+#!/usr/bin/env bash
+# Trace-analytics gate: record single-model traces on both backends
+# (model=/backend= selection keeps them small), push them through the
+# offline analyzer, and validate the emitted cfconv.trace_analysis
+# document — schema + version, a non-empty timeline table, the
+# fill/compute identity (span == compute + exposed_fill + idle), and
+# the cross-backend diff aligning every layer. The analysis must be a
+# pure function of the trace bytes: repeated runs are byte-identical,
+# and sim-domain analysis (wall=off) is byte-identical whether the
+# trace was recorded at 1 or 4 threads. Also exercises the metrics=
+# bench dump and the exit-2 naming-offender contract for bad CLI args.
+# Uses python3 when available, otherwise a grep-based fallback.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+if [ ! -d "$BUILD_DIR" ]; then
+    echo "build directory '$BUILD_DIR' not found; run cmake first" >&2
+    exit 1
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+bench="$BUILD_DIR/bench/bench_models_report"
+analyze="$BUILD_DIR/bench/trace_analyze"
+
+echo "==== check_analyze: record single-model traces ===="
+# json= redirects each run's RunRecord into the scratch dir so the
+# checked-in BENCH_models.json golden is never touched.
+"$bench" model=AlexNet backend=tpu-v2 threads=1 \
+    "trace=$workdir/tpu_t1.trace" "metrics=$workdir/metrics.json" \
+    "json=$workdir/rec_t1.json" >/dev/null
+"$bench" model=AlexNet backend=tpu-v2 threads=4 \
+    "trace=$workdir/tpu_t4.trace" "json=$workdir/rec_t4.json" >/dev/null
+"$bench" model=AlexNet backend=gpu-v100 threads=1 \
+    "trace=$workdir/gpu_t1.trace" "json=$workdir/rec_gpu.json" >/dev/null
+
+echo "==== check_analyze: analyze + schema ===="
+"$analyze" "$workdir/tpu_t1.trace" "json=$workdir/analysis.json" \
+    > "$workdir/report_a.txt"
+grep -q '^ANALYZE ' "$workdir/report_a.txt"
+
+validate_py() {
+    python3 - "$workdir/analysis.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc.get("schema") == "cfconv.trace_analysis", doc.get("schema")
+assert doc.get("version") == 1, "unexpected analysis schema version"
+
+timelines = doc.get("timelines")
+assert isinstance(timelines, list) and timelines, "no timelines"
+for t in timelines:
+    span = t["span_cycles"]
+    parts = (t["compute_cycles"] + t["exposed_fill_cycles"]
+             + t["idle_cycles"])
+    assert abs(span - parts) <= 1e-6 * max(span, 1.0), (
+        f"{t['key']}: span {span} != compute+exposed_fill+idle {parts}")
+    assert 0.0 <= t["overlap_ratio"] <= 1.0, t["key"]
+
+cp = doc["critical_path"]
+assert cp["span_cycles"] > 0, "empty critical path"
+fracs = (cp["compute_frac"] + cp["exposed_fill_frac"]
+         + cp["idle_frac"])
+assert abs(fracs - 1.0) <= 1e-6, f"critical-path fracs sum {fracs}"
+
+assert "wall" in doc, "wall section missing from wall-clock trace"
+print(f"{sys.argv[1]}: {len(timelines)} timelines OK")
+EOF
+}
+
+validate_grep() {
+    grep -q '"schema": "cfconv.trace_analysis"' "$workdir/analysis.json"
+    grep -q '"version": 1' "$workdir/analysis.json"
+    grep -q '"timelines"' "$workdir/analysis.json"
+    grep -q '"critical_path"' "$workdir/analysis.json"
+    grep -q '"wall"' "$workdir/analysis.json"
+    echo "$workdir/analysis.json: OK (grep fallback)"
+}
+
+if command -v python3 >/dev/null 2>&1; then
+    validate_py
+else
+    validate_grep
+fi
+
+# The metrics= satellite dumps the same schema as the RunRecord
+# metrics block: counters + histograms, deterministically ordered.
+grep -q '"counters"' "$workdir/metrics.json"
+grep -q '"histograms"' "$workdir/metrics.json"
+
+echo "==== check_analyze: determinism ===="
+# Same trace analyzed twice -> byte-identical report and document.
+# (The "wrote FILE" echo names the json= path, which differs by
+# construction; everything else must match to the byte.)
+"$analyze" "$workdir/tpu_t1.trace" "json=$workdir/analysis_b.json" \
+    > "$workdir/report_b.txt"
+cmp <(grep -v '^wrote ' "$workdir/report_a.txt") \
+    <(grep -v '^wrote ' "$workdir/report_b.txt")
+cmp "$workdir/analysis.json" "$workdir/analysis_b.json"
+
+# Sim-domain analysis is a pure function of the simulated work, not of
+# how many worker threads recorded it (wall=off drops the wall-clock
+# section, which legitimately differs across thread counts). The
+# headline echoes the input path, so give both traces the same
+# relative name and run from their directories: every byte must match.
+abs_analyze="$(cd "$(dirname "$analyze")" && pwd)/trace_analyze"
+mkdir -p "$workdir/t1" "$workdir/t4"
+cp "$workdir/tpu_t1.trace" "$workdir/t1/in.trace"
+cp "$workdir/tpu_t4.trace" "$workdir/t4/in.trace"
+(cd "$workdir/t1" && "$abs_analyze" in.trace wall=off) \
+    > "$workdir/sim_t1.txt"
+(cd "$workdir/t4" && "$abs_analyze" in.trace wall=off) \
+    > "$workdir/sim_t4.txt"
+cmp "$workdir/sim_t1.txt" "$workdir/sim_t4.txt"
+
+echo "==== check_analyze: cross-backend diff ===="
+diff_out="$("$analyze" "$workdir/tpu_t1.trace" \
+    "diff=$workdir/gpu_t1.trace" "json=$workdir/diff.json")"
+printf '%s\n' "$diff_out" | grep -q '^DIFF aligned='
+if printf '%s\n' "$diff_out" \
+        | grep -q '^DIFF aligned=0\|left_only=[1-9]\|right_only=[1-9]'; then
+    echo "cross-backend diff failed to align the shared layers" >&2
+    printf '%s\n' "$diff_out" | grep '^DIFF' >&2
+    exit 1
+fi
+grep -q '"schema": "cfconv.trace_analysis_diff"' "$workdir/diff.json"
+
+echo "==== check_analyze: naming offenders exit 2 ===="
+expect_exit2() {
+    local rc=0
+    "$@" >/dev/null 2>&1 || rc=$?
+    if [ "$rc" -ne 2 ]; then
+        echo "expected exit 2 from: $* (got $rc)" >&2
+        exit 1
+    fi
+}
+expect_exit2 "$analyze"
+expect_exit2 "$analyze" "$workdir/tpu_t1.trace" frobnicate=1
+expect_exit2 "$analyze" "$workdir/tpu_t1.trace" "$workdir/gpu_t1.trace"
+expect_exit2 "$bench" model=not-a-model
+expect_exit2 "$bench" backend=abacus
+
+echo "ANALYZE OK"

@@ -38,6 +38,9 @@ scripts/check_report.sh
 echo "==== chrome-trace recorder ===="
 scripts/check_trace.sh
 
+echo "==== offline trace analytics ===="
+scripts/check_analyze.sh
+
 echo "==== fault injection + resilience ===="
 scripts/check_faults.sh
 

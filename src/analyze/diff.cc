@@ -1,0 +1,99 @@
+#include "analyze/diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace cfconv::analyze {
+
+namespace {
+
+DiffRow
+oneSided(const TimelineAnalysis &t, bool onLeft)
+{
+    DiffRow row;
+    row.signature = t.signature;
+    (onLeft ? row.leftKey : row.rightKey) = t.key;
+    (onLeft ? row.leftSpanCycles : row.rightSpanCycles) = t.spanCycles;
+    (onLeft ? row.leftOverlapRatio : row.rightOverlapRatio) =
+        t.overlapRatio;
+    (onLeft ? row.leftExposedFillFrac : row.rightExposedFillFrac) =
+        t.exposedFillFrac;
+    (onLeft ? row.leftFillBound : row.rightFillBound) = t.fillBound;
+    return row;
+}
+
+} // namespace
+
+AnalysisDiff
+diffAnalyses(const TraceAnalysis &left, const TraceAnalysis &right)
+{
+    AnalysisDiff diff;
+    diff.left = left.criticalPath;
+    diff.right = right.criticalPath;
+
+    // Signatures are unique within one analysis (the analyzer
+    // suffixes collisions), so a plain map is a faithful index.
+    std::map<std::string, const TimelineAnalysis *> rightBySig;
+    for (const auto &t : right.timelines)
+        rightBySig[t.signature] = &t;
+
+    std::map<std::string, bool> rightMatched;
+    double logRatioSum = 0.0;
+    std::size_t ratioCount = 0;
+    double overlapDeltaSum = 0.0;
+
+    for (const auto &t : left.timelines) {
+        auto it = rightBySig.find(t.signature);
+        if (it == rightBySig.end()) {
+            diff.leftOnly.push_back(oneSided(t, /*onLeft=*/true));
+            continue;
+        }
+        rightMatched[t.signature] = true;
+        const TimelineAnalysis &r = *it->second;
+
+        DiffRow row;
+        row.signature = t.signature;
+        row.leftKey = t.key;
+        row.rightKey = r.key;
+        row.leftSpanCycles = t.spanCycles;
+        row.rightSpanCycles = r.spanCycles;
+        if (t.spanCycles > 0.0 && r.spanCycles > 0.0) {
+            row.spanRatio = r.spanCycles / t.spanCycles;
+            logRatioSum += std::log(row.spanRatio);
+            ++ratioCount;
+        }
+        row.leftOverlapRatio = t.overlapRatio;
+        row.rightOverlapRatio = r.overlapRatio;
+        row.overlapDelta = r.overlapRatio - t.overlapRatio;
+        overlapDeltaSum += row.overlapDelta;
+        row.leftExposedFillFrac = t.exposedFillFrac;
+        row.rightExposedFillFrac = r.exposedFillFrac;
+        row.exposedFillDelta = r.exposedFillFrac - t.exposedFillFrac;
+        row.leftFillBound = t.fillBound;
+        row.rightFillBound = r.fillBound;
+        if (row.leftFillBound != row.rightFillBound)
+            ++diff.boundednessFlips;
+        diff.aligned.push_back(std::move(row));
+    }
+    for (const auto &t : right.timelines)
+        if (!rightMatched.count(t.signature))
+            diff.rightOnly.push_back(oneSided(t, /*onLeft=*/false));
+
+    const auto bySig = [](const DiffRow &x, const DiffRow &y) {
+        return x.signature < y.signature;
+    };
+    std::sort(diff.aligned.begin(), diff.aligned.end(), bySig);
+    std::sort(diff.leftOnly.begin(), diff.leftOnly.end(), bySig);
+    std::sort(diff.rightOnly.begin(), diff.rightOnly.end(), bySig);
+
+    if (ratioCount > 0)
+        diff.spanRatioGeoMean =
+            std::exp(logRatioSum / static_cast<double>(ratioCount));
+    if (!diff.aligned.empty())
+        diff.overlapDeltaMean =
+            overlapDeltaSum / static_cast<double>(diff.aligned.size());
+    return diff;
+}
+
+} // namespace cfconv::analyze

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Cross-trace comparison of two analyses (analyze/analysis.h): the
+ * paper's side-by-side tables as code. Timelines align by their
+ * normalized signature ("3x3 64->64"), which drops the lowering word
+ * and the TPU-only M= tail, so one recorded ResNet run on tpu-v2
+ * lines up layer-for-layer against the same model on gpu-v100, and a
+ * channel-first run lines up against an im2col or indirect run of the
+ * same network. Aligned rows report cycle-ratio and
+ * overlap/exposed-fill deltas; layers present on only one side are
+ * listed, never silently dropped — a diff that hides missing layers
+ * reads as "same shape" when it is not.
+ */
+
+#ifndef CFCONV_ANALYZE_DIFF_H
+#define CFCONV_ANALYZE_DIFF_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analyze/analysis.h"
+
+namespace cfconv::analyze {
+
+/** One aligned (or one-sided) pair of timelines. */
+struct DiffRow
+{
+    std::string signature; ///< the shared identity
+    std::string leftKey;   ///< raw label on the left ("" if absent)
+    std::string rightKey;  ///< raw label on the right ("" if absent)
+
+    double leftSpanCycles = 0.0;
+    double rightSpanCycles = 0.0;
+    double spanRatio = 0.0; ///< right / left (speedup < 1, slowdown > 1)
+
+    double leftOverlapRatio = 0.0;
+    double rightOverlapRatio = 0.0;
+    double overlapDelta = 0.0; ///< right - left
+
+    double leftExposedFillFrac = 0.0;
+    double rightExposedFillFrac = 0.0;
+    double exposedFillDelta = 0.0; ///< right - left
+
+    bool leftFillBound = false;
+    bool rightFillBound = false;
+};
+
+/** The whole comparison: aligned rows plus both one-sided lists. */
+struct AnalysisDiff
+{
+    std::vector<DiffRow> aligned;   ///< sorted by signature
+    std::vector<DiffRow> leftOnly;  ///< sorted by signature
+    std::vector<DiffRow> rightOnly; ///< sorted by signature
+
+    CriticalPathBreakdown left;  ///< run-level rollup, left trace
+    CriticalPathBreakdown right; ///< run-level rollup, right trace
+
+    /** Geometric-mean right/left span ratio over aligned rows with
+     *  nonzero spans on both sides (0 when none align). */
+    double spanRatioGeoMean = 0.0;
+    /** Mean right-left overlap-ratio delta over aligned rows. */
+    double overlapDeltaMean = 0.0;
+    /** Rows whose fill/compute boundedness flips between sides. */
+    std::size_t boundednessFlips = 0;
+};
+
+/** Align @p left against @p right by timeline signature. Pure. */
+AnalysisDiff diffAnalyses(const TraceAnalysis &left,
+                          const TraceAnalysis &right);
+
+} // namespace cfconv::analyze
+
+#endif // CFCONV_ANALYZE_DIFF_H

@@ -1,0 +1,160 @@
+#include "analyze/trace_model.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/json.h"
+
+namespace cfconv::analyze {
+
+namespace {
+
+const std::string kEmpty;
+
+StatusOr<TraceEvent::Phase>
+parsePhase(const std::string &ph, size_t index)
+{
+    if (ph == "X")
+        return TraceEvent::Phase::Complete;
+    if (ph == "i")
+        return TraceEvent::Phase::Instant;
+    if (ph == "C")
+        return TraceEvent::Phase::Counter;
+    if (ph == "M")
+        return TraceEvent::Phase::Metadata;
+    return invalidArgumentError(
+        "traceEvents[%zu]: unknown phase \"%s\" (the recorder emits "
+        "X/i/C/M only)",
+        index, ph.c_str());
+}
+
+/** The shared tree walk behind both parse entry points. */
+StatusOr<TraceDocument>
+parseTraceTree(const JsonValue &root)
+{
+    if (!root.isObject())
+        return invalidArgumentError(
+            "trace document: top level is not an object");
+    const JsonValue *events = root.get("traceEvents");
+    if (!events || !events->isArray())
+        return invalidArgumentError(
+            "trace document: no \"traceEvents\" array");
+    if (events->items().empty())
+        return invalidArgumentError(
+            "trace document: \"traceEvents\" is empty");
+
+    TraceDocument doc;
+    doc.events.reserve(events->items().size());
+    for (size_t i = 0; i < events->items().size(); ++i) {
+        const JsonValue &e = events->items()[i];
+        if (!e.isObject())
+            return invalidArgumentError(
+                "traceEvents[%zu]: not an object", i);
+        const JsonValue *ph = e.get("ph");
+        if (!ph || !ph->isString())
+            return invalidArgumentError(
+                "traceEvents[%zu]: missing \"ph\"", i);
+        auto phase = parsePhase(ph->asString(), i);
+        if (!phase.ok())
+            return phase.status();
+
+        TraceEvent event;
+        event.phase = phase.value();
+        event.name = e.stringOr("name", "");
+        event.category = e.stringOr("cat", "");
+        event.pid = static_cast<int>(e.numberOr("pid", 0));
+        event.tid = static_cast<int>(e.numberOr("tid", 0));
+
+        if (event.phase == TraceEvent::Phase::Metadata) {
+            const JsonValue *args = e.get("args");
+            const std::string label =
+                args ? args->stringOr("name", "") : "";
+            if (event.name == "thread_name")
+                doc.trackNames[{event.pid, event.tid}] = label;
+            else if (event.name == "process_name")
+                doc.processNames[event.pid] = label;
+            continue; // metadata carries no timestamp
+        }
+
+        const JsonValue *ts = e.get("ts");
+        if (!ts || !ts->isNumber())
+            return invalidArgumentError(
+                "traceEvents[%zu] (\"%s\"): missing numeric \"ts\"", i,
+                event.name.c_str());
+        event.ts = ts->asNumber();
+        if (event.phase == TraceEvent::Phase::Complete) {
+            const JsonValue *dur = e.get("dur");
+            if (!dur || !dur->isNumber())
+                return invalidArgumentError(
+                    "traceEvents[%zu] (\"%s\"): complete event "
+                    "without numeric \"dur\"",
+                    i, event.name.c_str());
+            event.dur = dur->asNumber();
+            if (event.dur < 0.0)
+                return invalidArgumentError(
+                    "traceEvents[%zu] (\"%s\"): negative duration", i,
+                    event.name.c_str());
+        }
+        if (const JsonValue *args = e.get("args");
+            args && args->isObject()) {
+            for (const auto &[key, value] : args->members()) {
+                if (value.isNumber())
+                    event.args[key] = value.asNumber();
+                else if (value.isString())
+                    event.textArgs[key] = value.asString();
+                else
+                    return invalidArgumentError(
+                        "traceEvents[%zu] (\"%s\"): arg \"%s\" is "
+                        "neither number nor string",
+                        i, event.name.c_str(), key.c_str());
+            }
+        }
+        doc.events.push_back(std::move(event));
+    }
+    if (doc.events.empty())
+        return invalidArgumentError(
+            "trace document: only metadata events, nothing to analyze");
+    return doc;
+}
+
+} // namespace
+
+const std::string &
+TraceDocument::simTrackName(int tid) const
+{
+    auto it = trackNames.find({kSimPid, tid});
+    return it == trackNames.end() ? kEmpty : it->second;
+}
+
+std::vector<const TraceEvent *>
+TraceDocument::eventsOnClock(int pid) const
+{
+    std::vector<const TraceEvent *> out;
+    for (const auto &e : events)
+        if (e.pid == pid)
+            out.push_back(&e);
+    return out;
+}
+
+StatusOr<TraceDocument>
+parseTrace(const std::string &text)
+{
+    auto parsed = parseJson(text);
+    if (!parsed.ok())
+        return parsed.status().withContext("trace document");
+    return parseTraceTree(parsed.value());
+}
+
+StatusOr<TraceDocument>
+parseTraceFile(const std::string &path)
+{
+    auto parsed = parseJsonFile(path);
+    if (!parsed.ok())
+        return parsed.status();
+    auto doc = parseTraceTree(parsed.value());
+    if (!doc.ok())
+        return doc.status().withContext("file " + path);
+    return doc;
+}
+
+} // namespace cfconv::analyze

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Typed event model over the Chrome-trace documents the recorder
+ * (common/trace) writes: the read-back half the repo was missing.
+ * parseTraceFile() loads a recorded trace through the common/json
+ * parser into TraceEvent/TraceDocument values — duration, instant,
+ * counter and metadata events, both clock domains (pid 1 wall clock,
+ * pid 2 simulated cycles), per-(pid, tid) track names — so the offline
+ * analytics (analyze/analysis.h) and diffs (analyze/diff.h) operate on
+ * structured data instead of regexes over JSON text. Malformed
+ * documents come back as INVALID_ARGUMENT Statuses naming what is
+ * wrong and where, never as process aborts: a truncated trace must be
+ * rejected, not crash the analyzer.
+ */
+
+#ifndef CFCONV_ANALYZE_TRACE_MODEL_H
+#define CFCONV_ANALYZE_TRACE_MODEL_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cfconv::analyze {
+
+/** The two clock domains the recorder emits, by Chrome-trace pid. */
+constexpr int kWallPid = 1;
+constexpr int kSimPid = 2;
+
+/** One parsed trace event (any phase the recorder writes). */
+struct TraceEvent
+{
+    /** Chrome-trace phase, mirroring the recorder's emission set. */
+    enum class Phase { Complete, Instant, Counter, Metadata };
+
+    std::string name;
+    std::string category;
+    Phase phase = Phase::Complete;
+    int pid = kWallPid;
+    int tid = 0;
+    double ts = 0.0;  ///< µs (wall) or cycles/ticks (sim)
+    double dur = 0.0; ///< Complete events only
+    /** Numeric args, sorted by key (std::map) for determinism. */
+    std::map<std::string, double> args;
+    /** String args (e.g. "algorithm", "variant" on runner spans). */
+    std::map<std::string, std::string> textArgs;
+
+    double end() const { return ts + dur; }
+    bool onSimClock() const { return pid == kSimPid; }
+};
+
+/** One whole parsed trace. */
+struct TraceDocument
+{
+    /** All non-metadata events, in file order. */
+    std::vector<TraceEvent> events;
+    /** thread_name metadata: (pid, tid) -> track label. Simulated
+     *  rows (pid 2) carry the timeline labels the analyzer groups
+     *  by, e.g. "conv 3x3 64->64 M=12544 fill". */
+    std::map<std::pair<int, int>, std::string> trackNames;
+    /** process_name metadata: pid -> clock-domain name. */
+    std::map<int, std::string> processNames;
+
+    /** Label of the simulated-cycles row @p tid ("" when unnamed). */
+    const std::string &simTrackName(int tid) const;
+
+    /** Events on pid @p pid, in file order (filtered copy). */
+    std::vector<const TraceEvent *> eventsOnClock(int pid) const;
+};
+
+/** Parse @p text as one Chrome-trace document: a top-level object
+ *  with a non-empty "traceEvents" array whose entries carry the
+ *  recorder's fields. Unknown phases, missing required fields, and
+ *  non-numeric timestamps are INVALID_ARGUMENT naming the event
+ *  index. */
+StatusOr<TraceDocument> parseTrace(const std::string &text);
+
+/** Read and parse a trace file; NOT_FOUND when unreadable, parse
+ *  errors carry the path as context. */
+StatusOr<TraceDocument> parseTraceFile(const std::string &path);
+
+} // namespace cfconv::analyze
+
+#endif // CFCONV_ANALYZE_TRACE_MODEL_H

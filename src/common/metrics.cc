@@ -1,5 +1,7 @@
 #include "common/metrics.h"
 
+#include "common/report.h"
+
 namespace cfconv {
 
 MetricsRegistry &
@@ -35,6 +37,50 @@ MetricsRegistry::reset()
 {
     std::lock_guard<std::mutex> lock(mu_);
     group_.reset();
+}
+
+void
+emitStatGroupJson(JsonWriter &w, const StatGroup &group)
+{
+    w.key("counters");
+    w.beginObject();
+    for (const auto &[name, value] : group.counters())
+        w.field(name, value);
+    w.endObject();
+    w.key("histograms");
+    w.beginObject();
+    for (const auto &[name, s] : group.scalars()) {
+        w.key(name);
+        w.beginObject();
+        w.field("count", static_cast<std::uint64_t>(s.count()));
+        w.field("mean", s.mean());
+        w.field("min", s.min());
+        w.field("max", s.max());
+        w.field("p50", s.p50());
+        w.field("p95", s.p95());
+        w.field("p99", s.p99());
+        w.field("p999", s.p999());
+        w.endObject();
+    }
+    w.endObject();
+}
+
+std::string
+metricsJson(const StatGroup &group)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("schema", "cfconv.metrics");
+    w.field("version", 1LL);
+    emitStatGroupJson(w, group);
+    w.endObject();
+    return w.str() + "\n";
+}
+
+bool
+writeMetricsJson(const std::string &path, const StatGroup &group)
+{
+    return writeFile(path, metricsJson(group));
 }
 
 } // namespace cfconv

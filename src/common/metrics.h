@@ -22,6 +22,8 @@
 
 namespace cfconv {
 
+class JsonWriter;
+
 class MetricsRegistry
 {
   public:
@@ -48,6 +50,24 @@ class MetricsRegistry
     mutable std::mutex mu_;
     StatGroup group_;
 };
+
+/**
+ * Emit @p group as the two members "counters" and "histograms" into
+ * the JSON object @p w is currently building — the exact shape of the
+ * RunRecord document's "metrics" block (sim/report), hoisted here so
+ * the standalone metrics dump and the report writer cannot drift.
+ * Iteration is over std::map, so the emission is sorted and
+ * deterministic.
+ */
+void emitStatGroupJson(JsonWriter &w, const StatGroup &group);
+
+/** Render @p group as a standalone versioned document:
+ *  {"schema": "cfconv.metrics", "version": 1, "counters": {...},
+ *   "histograms": {...}}. */
+std::string metricsJson(const StatGroup &group);
+
+/** Write metricsJson() to @p path; @return false on I/O failure. */
+bool writeMetricsJson(const std::string &path, const StatGroup &group);
 
 } // namespace cfconv
 

@@ -185,9 +185,14 @@ class Recorder
             if (i)
                 out += ", ";
             out += "\"" + jsonEscape(args[i].key) + "\": ";
-            char num[40];
-            std::snprintf(num, sizeof(num), "%.17g", args[i].value);
-            out += num;
+            if (args[i].isText) {
+                out += "\"" + jsonEscape(args[i].text) + "\"";
+            } else {
+                char num[40];
+                std::snprintf(num, sizeof(num), "%.17g",
+                              args[i].value);
+                out += num;
+            }
         }
         out += "}";
     }
@@ -406,7 +411,7 @@ simSpan(const SimTrack &track, const char *name,
 
 void
 simInstant(const SimTrack &track, std::string name,
-           std::uint64_t at_cycles)
+           std::uint64_t at_cycles, Args args)
 {
     if (!track.active() || !enabled())
         return;
@@ -418,6 +423,7 @@ simInstant(const SimTrack &track, std::string name,
     e.pid = kSimPid;
     e.tid = track.tid;
     e.ts = static_cast<double>(at_cycles);
+    e.args = std::move(args);
     r.record(std::move(e));
 }
 

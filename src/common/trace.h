@@ -40,12 +40,28 @@
 
 namespace cfconv::trace {
 
-/** One named numeric argument attached to an event ("args" in the
- *  trace-event format; numeric-only keeps recording allocation-light). */
+/**
+ * One named argument attached to an event ("args" in the trace-event
+ * format). Numeric by default — the hot recording paths stay
+ * allocation-light — with an optional string form for the
+ * self-describing annotations the offline analyzer groups by
+ * (algorithm / variant names). Events carrying only numeric args are
+ * emitted byte-identically to the pre-string-arg recorder.
+ */
 struct Arg
 {
+    Arg(std::string k, double v) : key(std::move(k)), value(v) {}
+    Arg(std::string k, std::string v)
+        : key(std::move(k)), text(std::move(v)), isText(true)
+    {}
+    Arg(std::string k, const char *v)
+        : key(std::move(k)), text(v), isText(true)
+    {}
+
     std::string key;
     double value = 0.0;
+    std::string text; ///< string payload when isText
+    bool isText = false;
 };
 
 using Args = std::vector<Arg>;
@@ -140,6 +156,15 @@ class Scope
             args_.push_back({key, value});
     }
 
+    /** Attach a string argument (e.g. an algorithm name) to the event
+     *  this scope will emit. */
+    void
+    arg(const char *key, std::string value)
+    {
+        if (startUs_ >= 0.0)
+            args_.push_back({key, std::move(value)});
+    }
+
     /** Whether this scope captured a start time (recorder was armed). */
     bool active() const { return startUs_ >= 0.0; }
 
@@ -172,9 +197,10 @@ void simSpan(const SimTrack &track, const char *name,
              std::uint64_t start_cycles, std::uint64_t dur_cycles,
              Args args = {});
 
-/** Record an instant at @p at_cycles on @p track. */
+/** Record an instant at @p at_cycles on @p track. Args (e.g. an
+ *  outage's downtime) ride along for the offline analyzer. */
 void simInstant(const SimTrack &track, std::string name,
-                std::uint64_t at_cycles);
+                std::uint64_t at_cycles, Args args = {});
 
 /** Number of events currently buffered (all threads). Test hook. */
 std::size_t bufferedEventCountForTest();

@@ -222,6 +222,15 @@ ServingSimulator::run(const TrafficSpec &traffic)
                     hashCombine(dispatchOrdinal++,
                                 static_cast<std::uint64_t>(chip)))) {
                 availableAt[chip] = now + config_.chipDowntimeSeconds;
+                // The outage on the chip's own simulated track, with
+                // its repair interval, so the offline analyzer can
+                // attribute the idle window to the fault rather than
+                // to a drained queue.
+                trace::simInstant(
+                    tracks[chip], "chip_down", toTraceTicks(now),
+                    {{"downtimeTicks",
+                      static_cast<double>(toTraceTicks(
+                          config_.chipDowntimeSeconds))}});
                 ++result.chipDownEvents;
                 ++resilience.faultsSeen;
                 ++resilience.retries;
@@ -292,7 +301,8 @@ ServingSimulator::run(const TrafficSpec &traffic)
                         toTraceTicks(now), toTraceTicks(span),
                         {{"batch", static_cast<double>(n)},
                          {"padded", static_cast<double>(padded)},
-                         {"shards", static_cast<double>(shards)}});
+                         {"shards", static_cast<double>(shards)},
+                         {"chip", static_cast<double>(idle[s])}});
             }
 
             auto &cstats = result.classes[static_cast<size_t>(cls)];

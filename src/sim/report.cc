@@ -78,27 +78,9 @@ emitMeta(JsonWriter &w, const ReportMeta &meta)
         w.field("trace_file", meta.traceFile);
     w.key("metrics");
     w.beginObject();
-    w.key("counters");
-    w.beginObject();
-    for (const auto &[name, value] : meta.metrics.counters())
-        w.field(name, value);
-    w.endObject();
-    w.key("histograms");
-    w.beginObject();
-    for (const auto &[name, s] : meta.metrics.scalars()) {
-        w.key(name);
-        w.beginObject();
-        w.field("count", static_cast<std::uint64_t>(s.count()));
-        w.field("mean", s.mean());
-        w.field("min", s.min());
-        w.field("max", s.max());
-        w.field("p50", s.p50());
-        w.field("p95", s.p95());
-        w.field("p99", s.p99());
-        w.field("p999", s.p999());
-        w.endObject();
-    }
-    w.endObject();
+    // Shared with the standalone metrics=FILE dump (common/metrics),
+    // so the two emitters cannot drift.
+    emitStatGroupJson(w, meta.metrics);
     w.endObject();
 }
 

@@ -11,7 +11,7 @@ LayerSpan::LayerSpan(const std::string &accelerator,
                  ? accelerator + " layer " +
                        (layer_name.empty() ? "<ad hoc>" : layer_name)
                  : std::string()),
-      startUs_(trace::nowUs())
+      accelerator_(accelerator), startUs_(trace::nowUs())
 {}
 
 void
@@ -20,6 +20,14 @@ LayerSpan::finish(const LayerRecord &record)
     scope_.arg("seconds", record.seconds);
     scope_.arg("tflops", record.tflops);
     scope_.arg("utilization", record.utilization);
+    // Self-describing zoo spans: the algorithm/variant the layer
+    // actually ran, for the offline analyzer's grouping. Stock-path
+    // records carry no algorithm name, so their traces stay
+    // byte-identical to the pre-analyzer recorder.
+    if (!record.algorithm.empty()) {
+        scope_.arg("algorithm", record.algorithm);
+        scope_.arg("variant", accelerator_);
+    }
     auto &metrics = MetricsRegistry::instance();
     metrics.add("runner.layers", 1.0);
     metrics.sample("runner.layer_sim_seconds", record.seconds);
@@ -33,7 +41,7 @@ ModelSpan::ModelSpan(const std::string &accelerator,
     : scope_("runner",
              trace::enabled() ? "runModel " + model + " on " + accelerator
                               : std::string()),
-      startUs_(trace::nowUs())
+      accelerator_(accelerator), startUs_(trace::nowUs())
 {}
 
 void
@@ -42,6 +50,12 @@ ModelSpan::finish(const RunRecord &record)
     scope_.arg("seconds", record.seconds);
     scope_.arg("tflops", record.tflops);
     scope_.arg("layers", static_cast<double>(record.layers.size()));
+    for (const auto &layer : record.layers)
+        if (!layer.algorithm.empty()) {
+            scope_.arg("algorithm", layer.algorithm);
+            scope_.arg("variant", accelerator_);
+            break;
+        }
     auto &metrics = MetricsRegistry::instance();
     metrics.add("runner.models", 1.0);
     metrics.sample("runner.model_sim_seconds", record.seconds);

@@ -36,11 +36,17 @@ class LayerSpan
     LayerSpan(const LayerSpan &) = delete;
     LayerSpan &operator=(const LayerSpan &) = delete;
 
-    /** Attach the layer result to the span and meter it. */
+    /** Attach the layer result to the span and meter it. When the
+     *  record names a conv::Algorithm (the zoo paths), the span also
+     *  carries "algorithm" and "variant" string args so the offline
+     *  analyzer (src/analyze) can group layers without guessing;
+     *  stock-path records (empty algorithm) stamp nothing, keeping
+     *  their traces byte-identical to the pre-analyzer recorder. */
     void finish(const LayerRecord &record);
 
   private:
     trace::Scope scope_;
+    std::string accelerator_;
     double startUs_;
 };
 
@@ -54,11 +60,14 @@ class ModelSpan
     ModelSpan(const ModelSpan &) = delete;
     ModelSpan &operator=(const ModelSpan &) = delete;
 
-    /** Attach the run result to the span and meter it. */
+    /** Attach the run result to the span and meter it. Mirrors
+     *  LayerSpan::finish: when any layer names an algorithm, the span
+     *  carries "algorithm"/"variant" string args. */
     void finish(const RunRecord &record);
 
   private:
     trace::Scope scope_;
+    std::string accelerator_;
     double startUs_;
 };
 

@@ -1,0 +1,117 @@
+/** @file Tests for the typed trace reader (analyze/trace_model):
+ *  well-formed documents come back as structured events with track
+ *  names and both arg kinds, malformed documents come back as
+ *  INVALID_ARGUMENT naming the offending event — a truncated or
+ *  hand-edited trace must be rejected, never crash the analyzer. */
+
+#include <gtest/gtest.h>
+
+#include "analyze/trace_model.h"
+
+namespace cfconv::analyze {
+namespace {
+
+constexpr const char kMinimalTrace[] = R"({
+"traceEvents": [
+  {"name": "process_name", "ph": "M", "pid": 2, "tid": 0,
+   "args": {"name": "simulated cycles"}},
+  {"name": "thread_name", "ph": "M", "pid": 2, "tid": 7,
+   "args": {"name": "conv 3x3 64->64 M=12544 fill"}},
+  {"name": "fill", "cat": "sim", "ph": "X", "pid": 2, "tid": 7,
+   "ts": 10.0, "dur": 5.0, "args": {"unit": 0}},
+  {"name": "runModel AlexNet on tpu-v2", "cat": "runner", "ph": "X",
+   "pid": 1, "tid": 1, "ts": 0.0, "dur": 100.0,
+   "args": {"seconds": 0.5, "algorithm": "indirect"}},
+  {"name": "layer_cache.hit", "cat": "cache", "ph": "i", "pid": 1,
+   "tid": 1, "ts": 50.0},
+  {"name": "queue_depth", "cat": "pool", "ph": "C", "pid": 1,
+   "tid": 0, "ts": 60.0, "args": {"value": 3}}
+]})";
+
+TEST(TraceModel, ParsesEventsTracksAndArgs)
+{
+    const auto parsed = parseTrace(kMinimalTrace);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().toString();
+    const TraceDocument &doc = parsed.value();
+
+    // Metadata became names, not events.
+    ASSERT_EQ(doc.events.size(), 4u);
+    EXPECT_EQ(doc.processNames.at(kSimPid), "simulated cycles");
+    EXPECT_EQ(doc.simTrackName(7), "conv 3x3 64->64 M=12544 fill");
+    EXPECT_EQ(doc.simTrackName(99), "");
+
+    const TraceEvent &fill = doc.events[0];
+    EXPECT_EQ(fill.phase, TraceEvent::Phase::Complete);
+    EXPECT_TRUE(fill.onSimClock());
+    EXPECT_EQ(fill.ts, 10.0);
+    EXPECT_EQ(fill.end(), 15.0);
+    EXPECT_EQ(fill.args.at("unit"), 0.0);
+
+    // Numeric and string args split into their own maps.
+    const TraceEvent &model = doc.events[1];
+    EXPECT_EQ(model.category, "runner");
+    EXPECT_EQ(model.args.at("seconds"), 0.5);
+    EXPECT_EQ(model.textArgs.at("algorithm"), "indirect");
+
+    const TraceEvent &hit = doc.events[2];
+    EXPECT_EQ(hit.phase, TraceEvent::Phase::Instant);
+    const TraceEvent &counter = doc.events[3];
+    EXPECT_EQ(counter.phase, TraceEvent::Phase::Counter);
+    EXPECT_EQ(counter.args.at("value"), 3.0);
+
+    // Clock-domain filter.
+    EXPECT_EQ(doc.eventsOnClock(kSimPid).size(), 1u);
+    EXPECT_EQ(doc.eventsOnClock(kWallPid).size(), 3u);
+}
+
+TEST(TraceModel, RejectsMalformedDocumentsNamingTheOffender)
+{
+    const auto expectInvalid = [](const std::string &text,
+                                  const std::string &needle) {
+        const auto parsed = parseTrace(text);
+        ASSERT_FALSE(parsed.ok()) << text;
+        EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+        EXPECT_NE(parsed.status().message().find(needle),
+                  std::string::npos)
+            << parsed.status().toString();
+    };
+
+    expectInvalid("[1, 2]", "not an object");
+    expectInvalid(R"({"displayTimeUnit": "ms"})", "traceEvents");
+    expectInvalid(R"({"traceEvents": []})", "empty");
+    expectInvalid(
+        R"({"traceEvents": [{"name": "x", "ph": "B", "ts": 0}]})",
+        "traceEvents[0]");
+    expectInvalid(
+        R"({"traceEvents": [{"name": "x", "ph": "X", "ts": 0}]})",
+        "dur");
+    expectInvalid(R"({"traceEvents": [
+        {"name": "x", "ph": "X", "ts": 0, "dur": -1}]})",
+                  "negative");
+    expectInvalid(R"({"traceEvents": [{"name": "x", "ph": "i"}]})",
+                  "ts");
+    expectInvalid(R"({"traceEvents": [
+        {"name": "x", "ph": "i", "ts": 0, "args": {"bad": [1]}}]})",
+                  "neither number nor string");
+    // A document with only metadata parses as JSON but has nothing to
+    // analyze — that is an input error, not an empty report.
+    expectInvalid(R"({"traceEvents": [
+        {"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+         "args": {"name": "wall clock"}}]})",
+                  "only metadata");
+    // Truncated JSON is a parse error, not a crash.
+    const auto truncated =
+        parseTrace(R"({"traceEvents": [{"name": "x")");
+    EXPECT_FALSE(truncated.ok());
+}
+
+TEST(TraceModel, MissingFileIsNotFound)
+{
+    const auto parsed =
+        parseTraceFile("/nonexistent/cfconv_no_such.trace");
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.status().code(), StatusCode::kNotFound);
+}
+
+} // namespace
+} // namespace cfconv::analyze
