@@ -125,23 +125,14 @@ main(int argc, char **argv)
     const auto &registry = tune::VariantRegistry::instance();
     tune::TunedConfigDb db;
     {
-        auto loaded = db.loadFile(dbPath, registry);
-        if (loaded.ok()) {
-            std::printf("TUNEDB %s | loaded=%lld | rejected=%lld\n",
-                        dbPath.c_str(),
-                        static_cast<long long>(loaded.value().loaded),
-                        static_cast<long long>(loaded.value().rejected));
-        } else if (loaded.status().code() == StatusCode::kNotFound) {
-            std::printf("TUNEDB %s | loaded=0 | rejected=0 (fresh)\n",
-                        dbPath.c_str());
-        } else {
-            // A structurally bad database is discarded, not fatal:
-            // the search regenerates it.
-            std::fprintf(stderr, "# %s\n",
-                         loaded.status().toString().c_str());
-            std::printf("TUNEDB %s | loaded=0 | rejected=0 (reset)\n",
-                        dbPath.c_str());
-        }
+        const tune::DbLoadStats loaded = db.loadOrRecover(dbPath, registry);
+        const char *note = loaded.fresh ? " (fresh)"
+                           : loaded.recovered ? " (recovered)"
+                                              : "";
+        std::printf("TUNEDB %s | loaded=%lld | rejected=%lld%s\n",
+                    dbPath.c_str(),
+                    static_cast<long long>(loaded.loaded),
+                    static_cast<long long>(loaded.rejected), note);
     }
 
     const models::ModelSpec model = models::resnet50(8);

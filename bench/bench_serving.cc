@@ -12,13 +12,23 @@
  *   stream_<kind> — the three arrival families at one mean rate
  *   overload_*    — sustained overload with the admission door open
  *                   versus bounded (goodput under load shedding)
+ *   slo_classes_* — a three-tier priority/SLO mix under overload,
+ *                   plain versus with the degradation ladder armed
+ *                   (brownout sheds the batch tier first)
+ *   resilient_*   — a heterogeneous board under the same traffic,
+ *                   shed-only versus the full resilience layer
+ *                   (breakers + degradation + hedging + fallback);
+ *                   pair with faults=SPEC for the chaos headline
  *
  * Accepts the workload keys: seed=N reseeds every traffic stream,
- * stream=NAME picks the Pareto sweep's arrival family, and
- * faults=SPEC (e.g. "seed=7; serve.chip_down=0.05") turns the whole
- * run into chaos-under-load, stamping the v3 resilience block. All
- * simulated metrics are deterministic per seed at any thread count;
- * only the WALL lines move.
+ * stream=NAME picks the Pareto sweep's arrival family, classes=SPEC
+ * overrides the slo_classes mix ("name[:weight[:priority[:sloMs]]]",
+ * comma-separated; malformed specs exit 2), and faults=SPEC (e.g.
+ * "seed=7; serve.chip_down=0.05") turns the whole run into
+ * chaos-under-load, stamping the v3 resilience block (v5 once the
+ * resilience layer itself is armed). All simulated metrics are
+ * deterministic per seed at any thread count; only the WALL lines
+ * move.
  */
 
 #include <cstdio>
@@ -220,6 +230,134 @@ main(int argc, char **argv)
                                     std::max(1.0, open.goodputRps));
         bench::summaryLine("serving", "overload shed fraction", 0.0,
                            shed.shedFraction);
+    }
+
+    // --- Priority/SLO classes under the same overload: three tiers
+    // (interactive alexnet, standard zfnet, batch mobilenetv1), each
+    // with its own deadline. The degraded point arms the ladder:
+    // sustained pressure first halves the batch cap, then browns out
+    // the batch tier at arrival — so the interactive tier's goodput
+    // survives the overload.
+    {
+        StatusOr<ModelMix> mixOr = parseClassSpecs(
+            args.classes.empty()
+                ? "alexnet:2:0:50,zfnet:1:1:100,mobilenetv1:1:2:250"
+                : args.classes);
+        if (!mixOr.ok()) {
+            std::fprintf(stderr, "classes=: %s\n",
+                         mixOr.status().toString().c_str());
+            return 2;
+        }
+        const ModelMix classMix = std::move(mixOr).value();
+
+        Table t("Priority/SLO classes at 1.5x capacity (2 chips, "
+                "maxBatch 8)");
+        t.setHeader(tableHeader());
+        ServingConfig config;
+        config.chips.assign(2, ChipSpec{"tpu-v2"});
+        const TrafficSpec traffic =
+            baseTraffic(seed, ArrivalKind::Poisson, 16000, 0.3);
+
+        config.scenario = "slo_classes_open";
+        ServingSimulator open(config, classMix);
+        const ServingResult ro = open.run(traffic);
+        records.push_back(ro.record);
+        addRow(t, ro.record.model, ro);
+
+        config.scenario = "slo_classes_degrade";
+        config.degradation.enabled = true;
+        config.degradation.stepUpPressure = 2.0;
+        config.degradation.stepUpAfterSeconds = 5e-3;
+        config.degradation.stepDownPressure = 0.5;
+        config.degradation.stepDownAfterSeconds = 20e-3;
+        ServingSimulator degraded(config, classMix);
+        const ServingResult rd = degraded.run(traffic);
+        records.push_back(rd.record);
+        addRow(t, rd.record.model, rd);
+        t.print();
+
+        bench::summaryLine("serving", "degraded brownout shed",
+                           0.0,
+                           static_cast<double>(rd.brownoutShed));
+        bench::summaryLine("serving", "degrade max step", 0.0,
+                           static_cast<double>(rd.degradeStepMax));
+    }
+
+    // --- The resilience layer on a heterogeneous board: shed-only
+    // baseline versus breakers + degradation + hedging + algorithm
+    // fallback, same traffic and the same admission door. Fault-free
+    // the pair is a plain A/B (byte-stable v2 records); under a
+    // chaos spec that singles out the flaky variant (e.g.
+    // "serve.chip_down@tpu-v2=0.6; serve.chip_down=0.02") the
+    // breakers route around it and the goodput gap at the 50 ms SLO
+    // is the PR's headline.
+    {
+        Table t("Resilience layer under chaos (1x gpu-v100 + 2x "
+                "tpu-v2, maxBatch 8)");
+        t.setHeader(tableHeader());
+        ServingConfig config;
+        // The fastest chip leads the dispatch preference order — so
+        // when the chaos spec makes *it* the flaky one
+        // (serve.chip_down@gpu-v100), the shed-only baseline walks
+        // into the outage on nearly every batch, while the breaker
+        // sits the repeat offender out and serves cleanly on the two
+        // healthy (slower) chips.
+        config.chips = {ChipSpec{"gpu-v100"}, ChipSpec{"tpu-v2"},
+                        ChipSpec{"tpu-v2"}};
+        config.admission.maxQueuePerClass = 32;
+        // A realistic dispatcher timeout: every batch that lands on a
+        // failing chip stalls this long before the failure is noticed
+        // and the batch requeues — against a 50 ms SLO, one bounce
+        // nearly consumes the whole budget. This is the cost the
+        // breakers avoid by routing around a repeat offender. The
+        // rate is picked so the two healthy chips can carry the load:
+        // the breaker's capacity trade (sit the repeat offender out)
+        // is then pure goodput win.
+        config.chipOutageDetectionSeconds = 30e-3;
+        const TrafficSpec traffic =
+            baseTraffic(seed, ArrivalKind::Poisson, 8000, 0.3);
+
+        config.scenario = "resilient_off";
+        ServingSimulator off(config, servingMix());
+        const ServingResult roff = off.run(traffic);
+        records.push_back(roff.record);
+        addRow(t, roff.record.model, roff);
+
+        config.scenario = "resilient_on";
+        config.breaker.enabled = true;
+        // Two consecutive faults discriminate the persistent offender
+        // (0.6 fault rate trips within a few touches) from healthy
+        // chips' rare blips; a half-open chip must then serve two
+        // canaries before full traffic returns.
+        config.breaker.failureThreshold = 2;
+        config.breaker.halfOpenSuccesses = 2;
+        config.breaker.openSeconds = 150e-3;
+        config.degradation.enabled = true;
+        // Deep-collapse guard rails: a pressure the bounded queues
+        // only reach when most of the board is breaker-open, with a
+        // recovery band wide enough to step back up as soon as the
+        // breakers restore capacity.
+        config.degradation.stepUpPressure = 6.0;
+        config.degradation.stepUpAfterSeconds = 20e-3;
+        config.degradation.stepDownPressure = 3.0;
+        config.degradation.stepDownAfterSeconds = 10e-3;
+        config.hedge.enabled = true;
+        config.hedge.minSamples = 16;
+        config.fallbackVariants = {"tpu-v3ish"};
+        ServingSimulator on(config, servingMix());
+        const ServingResult ron = on.run(traffic);
+        records.push_back(ron.record);
+        addRow(t, ron.record.model, ron);
+        t.print();
+
+        bench::summaryLine("serving", "resilient goodput gain (x)",
+                           1.0,
+                           ron.goodputRps /
+                               std::max(1.0, roff.goodputRps));
+        bench::summaryLine("serving", "breaker trips", 0.0,
+                           static_cast<double>(ron.breakerTrips));
+        bench::summaryLine("serving", "hedge wins", 0.0,
+                           static_cast<double>(ron.hedgeWins));
     }
 
     if (sim::writeRunRecords(args.jsonPath, records))

@@ -113,6 +113,13 @@ struct BenchArgs
      *  empty = all of the bench's backends. Only the model-sweep
      *  benches accept it, via supports_selection. */
     std::string backend;
+    /** Serving model-class spec (classes=SPEC, comma-separated
+     *  "name[:weight[:priority[:sloMs]]]" entries; see
+     *  serve::parseClassSpecs); empty = the bench's default mix.
+     *  Only the serving benches accept it, via supports_workload;
+     *  validated by the consuming bench, which exits 2 on a
+     *  malformed spec. */
+    std::string classes;
 };
 
 /**
@@ -158,6 +165,10 @@ tryParseBenchArgs(int argc, char **argv, bool supports_json,
                    std::strncmp(argv[i], "stream=", 7) == 0 &&
                    argv[i][7] != '\0') {
             args->stream = argv[i] + 7;
+        } else if (supports_workload &&
+                   std::strncmp(argv[i], "classes=", 8) == 0 &&
+                   argv[i][8] != '\0') {
+            args->classes = argv[i] + 8;
         } else if (supports_algo &&
                    std::strncmp(argv[i], "algo=", 5) == 0) {
             const StatusOr<conv::AlgorithmId> parsed =
@@ -183,7 +194,9 @@ tryParseBenchArgs(int argc, char **argv, bool supports_json,
                 "unknown argument \"%s\" (supported: threads=N, "
                 "trace=FILE, faults=SPEC, metrics=FILE%s%s%s%s)",
                 argv[i], supports_json ? ", json=FILE" : "",
-                supports_workload ? ", seed=N, stream=NAME" : "",
+                supports_workload
+                    ? ", seed=N, stream=NAME, classes=SPEC"
+                    : "",
                 supports_algo ? ", algo=NAME" : "",
                 supports_selection ? ", model=NAME, backend=NAME" : "");
         }

@@ -29,7 +29,7 @@ with open(path) as f:
     doc = json.load(f)
 assert doc.get("schema") == "cfconv.run_record", "bad schema id"
 version = doc.get("version")
-assert version in (1, 2, 3, 4), f"bad schema version {version!r}"
+assert version in (1, 2, 3, 4, 5), f"bad schema version {version!r}"
 if version >= 2:
     # v2 added the document-level metrics object; the trace_file key
     # is optional (present only on traced runs) but never null.
@@ -41,6 +41,7 @@ if version >= 2:
 records = doc.get("records")
 assert isinstance(records, list) and records, "no records"
 resilient = 0
+serving_blocks = 0
 for record in records:
     assert record.get("layers"), (
         f"record {record.get('model')} has no layers")
@@ -68,6 +69,21 @@ for record in records:
         f"resilience backoff_seconds = {backoff!r}")
     assert isinstance(resilience.get("final_backend"), str), (
         "resilience final_backend missing")
+    # v5 added the nested serving block (breakers / hedging /
+    # degradation); a pre-v5 document must not carry one.
+    serving = resilience.get("serving")
+    if serving is None:
+        continue
+    serving_blocks += 1
+    assert version >= 5, "serving block in a pre-v5 document"
+    assert serving.get("active") is True, "inactive serving block"
+    for key in ("breaker_trips", "breaker_probes", "breaker_closes",
+                "hedged_batches", "hedge_wins", "hedge_losses",
+                "degrade_step_max", "degrade_transitions",
+                "brownout_shed", "fallback_batches"):
+        value = serving.get(key)
+        assert isinstance(value, int) and value >= 0, (
+            f"serving {key} = {value!r}")
 if version == 3:
     # v3 is stamped only when a record carries a resilience block; v4
     # (the algorithm field) may legitimately have none.
@@ -84,8 +100,12 @@ for record in records:
             f"empty layer algorithm in {record.get('model')}")
 if version >= 4:
     assert algo_layers > 0, "v4 document without any algorithm field"
+if version >= 5:
+    assert serving_blocks > 0, "v5 document without any serving block"
 print(f"{path}: {len(records)} records OK"
       + (f" ({resilient} resilient)" if resilient else "")
+      + (f" ({serving_blocks} serving-resilient)" if serving_blocks
+         else "")
       + (f" ({algo_layers} algorithm-stamped layers)" if algo_layers
          else ""))
 EOF
@@ -94,7 +114,7 @@ EOF
 validate_grep() {
     local path="$1"
     grep -q '"schema": "cfconv.run_record"' "$path"
-    grep -Eq '"version": (1|2|3|4)' "$path"
+    grep -Eq '"version": (1|2|3|4|5)' "$path"
     grep -q '"layers": \[' "$path"
     # The writer emits non-finite doubles as null; a null tflops means
     # a NaN/Inf escaped the simulators.

@@ -1,0 +1,126 @@
+#!/usr/bin/env bash
+# Serving-resilience gate (breakers + degradation + hedging + crash-
+# consistent persistence). Four checks:
+#   1. chaos determinism — the headline chaos spec (a flaky preferred
+#      chip plus low-rate background outages) emits byte-identical
+#      record arrays across repeat runs AND across 1 vs 4 worker
+#      threads: fault draws live in the simulator's own seeded stream,
+#      never in wall clock or scheduling order;
+#   2. resilience headline — under that spec the breakers actually
+#      trip, and the resilient board (breakers + degradation ladder)
+#      beats the shed-only baseline's goodput at the 50 ms SLO;
+#   3. torn-file recovery — truncating the tuned-config database mid-
+#      content (stale checksum trailer left behind) makes the next
+#      bench_autotune run quarantine and rebuild it ("(recovered)"),
+#      and the run after that loads the re-saved file cleanly;
+#   4. class-spec validation — malformed classes= values exit 2 naming
+#      the offending token.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+if [ ! -d "$BUILD_DIR" ]; then
+    echo "build directory '$BUILD_DIR' not found; run cmake first" >&2
+    exit 1
+fi
+BENCH="$BUILD_DIR/bench/bench_serving"
+TUNE="$BUILD_DIR/bench/bench_autotune"
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+# Document-level metrics hold wall-clock histograms; the records array
+# (from `"records": [` to EOF) is the deterministic payload.
+records_of() {
+    awk '/"records": \[/,0' "$1" > "$2"
+}
+
+CHAOS='seed=42; serve.chip_down@gpu-v100=0.6; serve.chip_down=0.01'
+
+echo "==== check_resilient_serving: chaos byte-identity (1 vs 4 threads) ===="
+"$BENCH" "json=$workdir/t1.json" "faults=$CHAOS" threads=1 \
+    > "$workdir/t1.out"
+"$BENCH" "json=$workdir/t1b.json" "faults=$CHAOS" threads=1 >/dev/null
+"$BENCH" "json=$workdir/t4.json" "faults=$CHAOS" threads=4 >/dev/null
+records_of "$workdir/t1.json" "$workdir/t1.records"
+records_of "$workdir/t1b.json" "$workdir/t1b.records"
+records_of "$workdir/t4.json" "$workdir/t4.records"
+cmp -s "$workdir/t1.records" "$workdir/t1b.records" || {
+    echo "repeated chaos runs emitted different records" >&2
+    exit 1
+}
+cmp -s "$workdir/t1.records" "$workdir/t4.records" || {
+    echo "thread count changed the chaos records" >&2
+    exit 1
+}
+grep -q '"version": 5' "$workdir/t1.json" || {
+    echo "chaos document is not schema v5" >&2
+    exit 1
+}
+echo "chaos records identical across runs and thread counts"
+
+echo "==== check_resilient_serving: breakers trip, resilience pays ===="
+trips="$(awk -F'measured=' '/breaker trips/{print $2}' "$workdir/t1.out")"
+gain="$(awk -F'measured=' '/resilient goodput gain/{print $2}' \
+    "$workdir/t1.out")"
+if [ -z "$trips" ] || [ "$trips" -lt 1 ]; then
+    echo "breaker trips headline missing or zero (got '$trips')" >&2
+    exit 1
+fi
+awk -v g="$gain" 'BEGIN { exit !(g > 1.0) }' || {
+    echo "resilient goodput gain $gain <= 1.0 vs shed-only" >&2
+    exit 1
+}
+echo "breakers tripped ($trips), resilient goodput gain ${gain}x"
+
+echo "==== check_resilient_serving: torn tuned-db recovery ===="
+db="$workdir/tuned.json"
+"$TUNE" "db=$db" mode=greedy > "$workdir/tune1.out"
+grep -q '(fresh)' "$workdir/tune1.out" || {
+    echo "first autotune run did not start fresh" >&2
+    exit 1
+}
+grep -q '#cfconv-sum:fnv1a:' "$db" || {
+    echo "saved tuned db carries no checksum trailer" >&2
+    exit 1
+}
+# Tear the file the way an interrupted write would: half the content,
+# stale trailer still attached.
+trailer="$(grep '#cfconv-sum:fnv1a:' "$db")"
+head -c "$(($(wc -c < "$db") / 2))" "$db" > "$db.torn"
+printf '\n%s\n' "$trailer" >> "$db.torn"
+mv "$db.torn" "$db"
+"$TUNE" "db=$db" mode=greedy > "$workdir/tune2.out"
+grep -q '(recovered)' "$workdir/tune2.out" || {
+    echo "torn tuned db was not recovered" >&2
+    exit 1
+}
+"$TUNE" "db=$db" mode=greedy > "$workdir/tune3.out"
+if grep -Eq '\((recovered|fresh)\)' "$workdir/tune3.out"; then
+    echo "re-saved tuned db did not load cleanly" >&2
+    exit 1
+fi
+grep -q 'loaded=0' "$workdir/tune3.out" && {
+    echo "re-saved tuned db loaded no entries" >&2
+    exit 1
+}
+echo "torn db quarantined, rebuilt, and reloaded cleanly"
+
+echo "==== check_resilient_serving: class-spec validation ===="
+set +e
+"$BENCH" classes=bogus >/dev/null 2>"$workdir/cls1.err"
+rc1=$?
+"$BENCH" classes=alexnet:weighty >/dev/null 2>"$workdir/cls2.err"
+rc2=$?
+set -e
+if [ "$rc1" -ne 2 ] || ! grep -q 'bogus' "$workdir/cls1.err"; then
+    echo "classes=bogus exited $rc1 without naming it (want 2)" >&2
+    exit 1
+fi
+if [ "$rc2" -ne 2 ] || ! grep -q 'weighty' "$workdir/cls2.err"; then
+    echo "classes=alexnet:weighty exited $rc2 without naming it" >&2
+    exit 1
+fi
+echo "malformed class specs exit 2 naming the offender"
+
+echo "RESILIENT SERVING OK"

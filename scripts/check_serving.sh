@@ -11,8 +11,9 @@
 #      throughput, and overload shedding stays a bounded fraction
 #      while goodput beats the open door;
 #   3. chaos-under-load — a serve.chip_down spec completes the run
-#      (outages delay, never drop), stamps the v3 resilience block,
-#      and is itself deterministic per fault seed;
+#      (outages delay, never drop), stamps the v5 resilience block
+#      (serving breakers/degradation live in the nested serving
+#      object), and is itself deterministic per fault seed;
 #   4. workload knobs  — seed= and stream= select different traffic,
 #      and malformed values exit 2 naming the offender.
 set -euo pipefail
@@ -64,7 +65,7 @@ with open(sys.argv[1]) as f:
 assert doc.get("schema") == "cfconv.run_record", "bad schema id"
 assert doc.get("version") == 2, "fault-free serving doc must be v2"
 records = {r["model"]: r for r in doc["records"]}
-assert len(records) == 15, f"want 15 scenarios, got {len(records)}"
+assert len(records) == 19, f"want 19 scenarios, got {len(records)}"
 for name, r in records.items():
     assert r["layers"], f"{name}: no layers"
     assert math.isfinite(r["tflops"]) and r["tflops"] > 0, (
@@ -119,8 +120,8 @@ cmp -s "$workdir/chaos_a.records" "$workdir/chaos_b.records" || {
     echo "seeded chaos serving runs emitted different records" >&2
     exit 1
 }
-grep -q '"version": 3' "$workdir/chaos_a.json" || {
-    echo "chaos serving document is not schema v3" >&2
+grep -q '"version": 5' "$workdir/chaos_a.json" || {
+    echo "chaos serving document is not schema v5" >&2
     exit 1
 }
 grep -q '"resilience"' "$workdir/chaos_a.json" || {
@@ -135,7 +136,7 @@ grep -q '"model": "pareto_b64"' "$workdir/chaos_a.json" || {
     echo "chaos run did not complete every scenario" >&2
     exit 1
 }
-echo "chaos-under-load deterministic, v3 resilience block present"
+echo "chaos-under-load deterministic, v5 resilience block present"
 
 echo "==== check_serving: workload knobs (seed=, stream=) ===="
 "$BENCH" "json=$workdir/s7.json" seed=7 stream=bursty >/dev/null

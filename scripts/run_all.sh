@@ -47,6 +47,9 @@ scripts/check_faults.sh
 echo "==== request-level serving ===="
 scripts/check_serving.sh
 
+echo "==== serving resilience (breakers + degradation + recovery) ===="
+scripts/check_resilient_serving.sh
+
 echo "==== perf regression gate ===="
 scripts/check_perf.sh
 scripts/check_perf.sh --selftest

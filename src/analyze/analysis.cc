@@ -252,6 +252,7 @@ analyzeTrace(const TraceDocument &doc, const AnalyzeOptions &options)
     std::map<std::string, KeyRows> keyed;
     std::map<std::string, std::vector<const SimRow *>> chipRows;
     std::map<std::string, std::vector<const SimRow *>> genericRows;
+    std::vector<const SimRow *> degradeRows;
     for (const auto &[tid, row] : rows) {
         (void)tid;
         if (endsWith(row.label, " fill"))
@@ -266,6 +267,8 @@ analyzeTrace(const TraceDocument &doc, const AnalyzeOptions &options)
             k.macStyle = true;
         } else if (startsWith(row.label, "serve chip"))
             chipRows[row.label].push_back(&row);
+        else if (row.label == "serve degradation")
+            degradeRows.push_back(&row);
         else
             genericRows[row.label].push_back(&row);
     }
@@ -347,6 +350,7 @@ analyzeTrace(const TraceDocument &doc, const AnalyzeOptions &options)
     std::map<int, double> runMakespan;
     std::map<std::string, int> labelRuns;
     std::vector<ChipOccupancy> chips;
+    std::vector<ChipResilience> breakers;
     for (const auto &[label, group] : chipRows)
         for (const SimRow *row : group) {
             ChipOccupancy chip;
@@ -358,13 +362,50 @@ analyzeTrace(const TraceDocument &doc, const AnalyzeOptions &options)
                 if (it != s->args.end())
                     chip.requests += it->second;
             }
-            for (const TraceEvent *i : row->instants)
+            // Resilience instants ride on the same chip track:
+            // breaker state changes and hedge-race outcomes. The row
+            // only materializes when at least one event exists, so
+            // stock serving traces contribute nothing here.
+            ChipResilience res;
+            res.track = chip.track;
+            res.run = chip.run;
+            res.chip = chip.chip;
+            res.variant = chip.variant;
+            for (const TraceEvent *i : row->instants) {
                 if (i->name == "chip_down") {
                     ++chip.outages;
                     auto it = i->args.find("downtimeTicks");
                     if (it != i->args.end())
                         chip.downTicks += it->second;
-                }
+                } else if (i->name == "breaker_open") {
+                    ++res.trips;
+                    auto it = i->args.find("openTicks");
+                    if (it != i->args.end())
+                        res.openTicks += it->second;
+                    res.timeline.push_back({i->ts, "open"});
+                } else if (i->name == "breaker_probe") {
+                    ++res.probes;
+                    res.timeline.push_back({i->ts, "probe"});
+                } else if (i->name == "breaker_close") {
+                    ++res.closes;
+                    res.timeline.push_back({i->ts, "closed"});
+                } else if (i->name == "hedge_win")
+                    ++res.hedgeWins;
+                else if (i->name == "hedge_loss")
+                    ++res.hedgeLosses;
+            }
+            // Instants land in emission order (serial simulated
+            // time); a stable sort by tick keeps same-tick emission
+            // order while guarding against buffered reordering.
+            std::stable_sort(res.timeline.begin(), res.timeline.end(),
+                             [](const BreakerEvent &x,
+                                const BreakerEvent &y) {
+                                 return x.tick < y.tick;
+                             });
+            if (res.trips + res.probes + res.closes + res.hedgeWins +
+                    res.hedgeLosses >
+                0)
+                breakers.push_back(std::move(res));
             chip.busyTicks = totalLength(mergeIntervals(row->spans));
             auto &makespan = runMakespan[chip.run];
             for (const auto &s : row->spans)
@@ -386,6 +427,64 @@ analyzeTrace(const TraceDocument &doc, const AnalyzeOptions &options)
                   return std::tie(x.run, x.chip, x.track) <
                          std::tie(y.run, y.chip, y.track);
               });
+
+    // ---- Serving resilience: breaker rows sorted like the chips,
+    // plus degradation-step occupancy integrated from the "serve
+    // degradation" track. Each degradation-enabled scenario allocates
+    // a fresh instance of that track, so the k-th occurrence (tid
+    // allocation order — scenarios run serially) is occupancy row k.
+    std::sort(breakers.begin(), breakers.end(),
+              [](const ChipResilience &x, const ChipResilience &y) {
+                  return std::tie(x.run, x.chip, x.track) <
+                         std::tie(y.run, y.chip, y.track);
+              });
+    for (const auto &res : breakers) {
+        a.serving.hedgeWins += res.hedgeWins;
+        a.serving.hedgeLosses += res.hedgeLosses;
+    }
+    a.serving.chips = std::move(breakers);
+    {
+        int run = 0;
+        for (const SimRow *row : degradeRows) {
+            DegradationOccupancy occ;
+            occ.run = run++;
+            // The track carries one "degrade_step" per state (the
+            // initial step 0 included) and a closing "degrade_end" at
+            // the scenario makespan; residency at a step is the gap
+            // to the next instant.
+            std::vector<std::pair<double, double>> steps; // tick, step
+            double endTick = 0.0;
+            bool closed = false;
+            for (const TraceEvent *i : row->instants) {
+                auto it = i->args.find("step");
+                const double step =
+                    it != i->args.end() ? it->second : 0.0;
+                if (i->name == "degrade_step")
+                    steps.push_back({i->ts, step});
+                else if (i->name == "degrade_end") {
+                    endTick = i->ts;
+                    closed = true;
+                }
+            }
+            std::stable_sort(steps.begin(), steps.end(),
+                             [](const auto &x, const auto &y) {
+                                 return x.first < y.first;
+                             });
+            occ.transitions = steps.size() > 1 ? steps.size() - 1 : 0;
+            for (size_t i = 0; i < steps.size(); ++i) {
+                const int step = std::min(
+                    3, std::max(0, static_cast<int>(steps[i].second)));
+                occ.maxStep = std::max(occ.maxStep, step);
+                const double next = i + 1 < steps.size()
+                    ? steps[i + 1].first
+                    : (closed ? endTick : steps[i].first);
+                if (next > steps[i].first)
+                    occ.stepTicks[step] += next - steps[i].first;
+            }
+            a.serving.degradation.push_back(occ);
+        }
+    }
+    a.hasServingResilience = a.serving.any();
 
     // ---- Everything else on the sim clock: functional-core rows,
     // chaos tracks, future emitters. Chaos instants feed the

@@ -10,7 +10,11 @@
  * how much of the timeline is idle, and whether the layer is fill- or
  * compute-bound. Serving traces yield per-chip busy/down/idle
  * occupancy (outage instants attribute idle to faults); chaos traces
- * yield fault/failover counts. The wall-clock domain contributes pool
+ * yield fault/failover counts. Resilient serving traces additionally
+ * yield per-chip circuit-breaker timelines (trip/probe/close), hedge
+ * win/loss tallies, and degradation-ladder step occupancy, so two
+ * chaos runs can be diffed breaker-for-breaker. The wall-clock domain
+ * contributes pool
  * queue-depth / active-worker utilization integrals and memo-cache
  * hit/miss activity.
  *
@@ -137,6 +141,59 @@ struct ResilienceEvents
     std::size_t chipDownEvents = 0;
 };
 
+/** One circuit-breaker state change on a chip track, in tick order.
+ *  State is "open" (trip), "probe" (half-open canary dispatch), or
+ *  "closed" (canary quota met, chip restored). */
+struct BreakerEvent
+{
+    double tick = 0.0;
+    std::string state;
+};
+
+/** Per-chip serving-resilience activity: breaker events and hedge
+ *  outcomes read off the chip's serving track. Rows exist only for
+ *  chips with at least one event, so stock serving traces produce
+ *  none. */
+struct ChipResilience
+{
+    std::string track;   ///< full track label
+    int run = 0;         ///< scenario ordinal (matches ChipOccupancy)
+    int chip = -1;       ///< chip index parsed from the label
+    std::string variant; ///< accelerator variant parsed from the label
+    std::size_t trips = 0;   ///< breaker_open instants
+    std::size_t probes = 0;  ///< breaker_probe instants
+    std::size_t closes = 0;  ///< breaker_close instants
+    double openTicks = 0.0;  ///< Σ configured open-window ticks
+    std::size_t hedgeWins = 0;   ///< hedge races won by this chip
+    std::size_t hedgeLosses = 0; ///< hedge races this chip's batch lost
+    std::vector<BreakerEvent> timeline; ///< tick-ordered state changes
+};
+
+/** Degradation-ladder occupancy for one serving scenario, integrated
+ *  from the "serve degradation" track's step instants: how long the
+ *  scenario spent at each ladder step. */
+struct DegradationOccupancy
+{
+    int run = 0; ///< ordinal among degradation-enabled scenarios
+    std::size_t transitions = 0; ///< step changes after the initial state
+    int maxStep = 0;             ///< deepest step reached
+    double stepTicks[4] = {0.0, 0.0, 0.0, 0.0}; ///< residency per step
+};
+
+/** The serving-resilience section: breaker timelines, hedge tallies,
+ *  and degradation-step occupancy. Empty (any() == false) for traces
+ *  recorded without breakers/hedging/degradation, which keeps the
+ *  analyzer's output byte-identical for stock traces. */
+struct ServingResilience
+{
+    std::vector<ChipResilience> chips; ///< sorted by (run, chip, track)
+    std::vector<DegradationOccupancy> degradation; ///< sorted by run
+    std::size_t hedgeWins = 0;   ///< Σ over chips
+    std::size_t hedgeLosses = 0; ///< Σ over chips
+
+    bool any() const { return !chips.empty() || !degradation.empty(); }
+};
+
 /** Time-weighted summary of one wall-clock counter track. */
 struct CounterStats
 {
@@ -182,6 +239,9 @@ struct TraceAnalysis
 
     ResilienceEvents resilience;
     bool hasResilience = false;
+
+    ServingResilience serving;
+    bool hasServingResilience = false;
 
     WallStats wall;
     bool hasWall = false;

@@ -98,6 +98,74 @@ emitDiffRow(JsonWriter &w, const DiffRow &row, bool aligned)
     w.endObject();
 }
 
+void
+emitServingResilience(JsonWriter &w, const ServingResilience &s)
+{
+    w.key("serving");
+    w.beginObject();
+    w.field("hedge_wins", static_cast<std::uint64_t>(s.hedgeWins));
+    w.field("hedge_losses",
+            static_cast<std::uint64_t>(s.hedgeLosses));
+    w.key("breakers");
+    w.beginArray();
+    for (const auto &c : s.chips) {
+        w.beginObject();
+        w.field("run", static_cast<long long>(c.run));
+        w.field("chip", static_cast<long long>(c.chip));
+        w.field("variant", c.variant);
+        w.field("trips", static_cast<std::uint64_t>(c.trips));
+        w.field("probes", static_cast<std::uint64_t>(c.probes));
+        w.field("closes", static_cast<std::uint64_t>(c.closes));
+        w.field("open_ticks", c.openTicks);
+        w.field("hedge_wins",
+                static_cast<std::uint64_t>(c.hedgeWins));
+        w.field("hedge_losses",
+                static_cast<std::uint64_t>(c.hedgeLosses));
+        w.key("timeline");
+        w.beginArray();
+        for (const auto &e : c.timeline) {
+            w.beginObject();
+            w.field("tick", e.tick);
+            w.field("state", e.state);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.key("degradation");
+    w.beginArray();
+    for (const auto &d : s.degradation) {
+        w.beginObject();
+        w.field("run", static_cast<long long>(d.run));
+        w.field("transitions",
+                static_cast<std::uint64_t>(d.transitions));
+        w.field("max_step", static_cast<long long>(d.maxStep));
+        w.key("step_ticks");
+        w.beginArray();
+        for (const double t : d.stepTicks)
+            w.value(t);
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+/** Compact one-line rendering of a breaker timeline for the text
+ *  table: "open@120 probe@260 closed@264 ...". */
+std::string
+timelineCell(const std::vector<BreakerEvent> &timeline)
+{
+    std::string out;
+    for (const auto &e : timeline) {
+        if (!out.empty())
+            out += ' ';
+        out += e.state + "@" + cell("%.0f", e.tick);
+    }
+    return out.empty() ? std::string("-") : out;
+}
+
 } // namespace
 
 std::string
@@ -106,8 +174,10 @@ analysisJson(const TraceAnalysis &a)
     JsonWriter w;
     w.beginObject();
     w.field("schema", kAnalysisSchema);
-    w.field("version",
-            static_cast<long long>(kAnalysisSchemaVersion));
+    w.field("version", static_cast<long long>(
+                           a.hasServingResilience
+                               ? kAnalysisSchemaVersion
+                               : kAnalysisSchemaBaseVersion));
 
     w.key("source");
     w.beginObject();
@@ -168,7 +238,7 @@ analysisJson(const TraceAnalysis &a)
         w.endObject();
     }
 
-    if (a.hasResilience) {
+    if (a.hasResilience || a.hasServingResilience) {
         w.key("resilience");
         w.beginObject();
         w.field("faults",
@@ -178,6 +248,8 @@ analysisJson(const TraceAnalysis &a)
         w.field("chip_down_events",
                 static_cast<std::uint64_t>(
                     a.resilience.chipDownEvents));
+        if (a.hasServingResilience)
+            emitServingResilience(w, a.serving);
         w.endObject();
     }
 
@@ -227,8 +299,10 @@ diffJson(const AnalysisDiff &d)
     JsonWriter w;
     w.beginObject();
     w.field("schema", kDiffSchema);
-    w.field("version",
-            static_cast<long long>(kAnalysisSchemaVersion));
+    w.field("version", static_cast<long long>(
+                           d.resilience.any
+                               ? kAnalysisSchemaVersion
+                               : kAnalysisSchemaBaseVersion));
     w.key("critical_path");
     w.beginObject();
     w.key("left");
@@ -240,6 +314,38 @@ diffJson(const AnalysisDiff &d)
     w.field("overlap_delta_mean", d.overlapDeltaMean);
     w.field("boundedness_flips",
             static_cast<std::uint64_t>(d.boundednessFlips));
+    if (d.resilience.any) {
+        const auto &r = d.resilience;
+        const auto pair = [&w](const char *key, std::uint64_t left,
+                               std::uint64_t right) {
+            w.key(key);
+            w.beginObject();
+            w.field("left", left);
+            w.field("right", right);
+            w.endObject();
+        };
+        w.key("resilience");
+        w.beginObject();
+        pair("faults", r.leftFaults, r.rightFaults);
+        pair("failovers", r.leftFailovers, r.rightFailovers);
+        pair("chip_down_events", r.leftChipDown, r.rightChipDown);
+        pair("breaker_trips", r.leftTrips, r.rightTrips);
+        pair("breaker_probes", r.leftProbes, r.rightProbes);
+        pair("breaker_closes", r.leftCloses, r.rightCloses);
+        w.key("breaker_open_ticks");
+        w.beginObject();
+        w.field("left", r.leftOpenTicks);
+        w.field("right", r.rightOpenTicks);
+        w.endObject();
+        pair("hedge_wins", r.leftHedgeWins, r.rightHedgeWins);
+        pair("hedge_losses", r.leftHedgeLosses, r.rightHedgeLosses);
+        pair("degrade_max_step",
+             static_cast<std::uint64_t>(r.leftMaxStep),
+             static_cast<std::uint64_t>(r.rightMaxStep));
+        pair("degrade_transitions", r.leftDegradeTransitions,
+             r.rightDegradeTransitions);
+        w.endObject();
+    }
     w.key("aligned");
     w.beginArray();
     for (const auto &row : d.aligned)
@@ -334,6 +440,38 @@ printAnalysis(const TraceAnalysis &a, std::FILE *out)
         table.print(out);
     }
 
+    if (!a.serving.chips.empty()) {
+        Table table("Serving breaker / hedge activity");
+        table.setHeader({"run", "chip", "variant", "trips", "probes",
+                         "closes", "open_ticks", "hedge_w", "hedge_l",
+                         "timeline"});
+        for (const auto &c : a.serving.chips)
+            table.addRow({cell("%d", c.run), cell("%d", c.chip),
+                          c.variant, cell("%zu", c.trips),
+                          cell("%zu", c.probes),
+                          cell("%zu", c.closes),
+                          cell("%.0f", c.openTicks),
+                          cell("%zu", c.hedgeWins),
+                          cell("%zu", c.hedgeLosses),
+                          timelineCell(c.timeline)});
+        table.print(out);
+    }
+
+    if (!a.serving.degradation.empty()) {
+        Table table("Degradation-ladder occupancy (ticks)");
+        table.setHeader({"run", "transitions", "max_step", "step0",
+                         "step1", "step2", "step3"});
+        for (const auto &d : a.serving.degradation)
+            table.addRow({cell("%d", d.run),
+                          cell("%zu", d.transitions),
+                          cell("%d", d.maxStep),
+                          cell("%.0f", d.stepTicks[0]),
+                          cell("%.0f", d.stepTicks[1]),
+                          cell("%.0f", d.stepTicks[2]),
+                          cell("%.0f", d.stepTicks[3])});
+        table.print(out);
+    }
+
     if (a.hasWall) {
         if (!a.wall.counters.empty()) {
             Table table("Wall-clock counters (time-weighted)");
@@ -398,6 +536,32 @@ printDiff(const AnalysisDiff &d, std::FILE *out)
     oneSidedTable("Only in left trace", d.leftOnly, /*onLeft=*/true);
     oneSidedTable("Only in right trace", d.rightOnly,
                   /*onLeft=*/false);
+
+    if (d.resilience.any) {
+        const auto &r = d.resilience;
+        Table table("Resilience (left vs right)");
+        table.setHeader({"metric", "left", "right"});
+        const auto row = [&table](const char *metric, std::size_t l,
+                                  std::size_t rv) {
+            table.addRow({metric, cell("%zu", l), cell("%zu", rv)});
+        };
+        row("faults", r.leftFaults, r.rightFaults);
+        row("failovers", r.leftFailovers, r.rightFailovers);
+        row("chip_down", r.leftChipDown, r.rightChipDown);
+        row("breaker_trips", r.leftTrips, r.rightTrips);
+        row("breaker_probes", r.leftProbes, r.rightProbes);
+        row("breaker_closes", r.leftCloses, r.rightCloses);
+        table.addRow({"breaker_open_ticks",
+                      cell("%.0f", r.leftOpenTicks),
+                      cell("%.0f", r.rightOpenTicks)});
+        row("hedge_wins", r.leftHedgeWins, r.rightHedgeWins);
+        row("hedge_losses", r.leftHedgeLosses, r.rightHedgeLosses);
+        table.addRow({"degrade_max_step", cell("%d", r.leftMaxStep),
+                      cell("%d", r.rightMaxStep)});
+        row("degrade_transitions", r.leftDegradeTransitions,
+            r.rightDegradeTransitions);
+        table.print(out);
+    }
 }
 
 std::string
@@ -414,6 +578,13 @@ analysisHeadline(const std::string &label, const TraceAnalysis &a)
     if (a.hasResilience)
         line += cell(" faults=%zu", a.resilience.faults +
                                         a.resilience.chipDownEvents);
+    if (a.hasServingResilience) {
+        std::size_t trips = 0;
+        for (const auto &c : a.serving.chips)
+            trips += c.trips;
+        line += cell(" breaker_trips=%zu hedge_wins=%zu", trips,
+                     a.serving.hedgeWins);
+    }
     return line;
 }
 

@@ -21,10 +21,14 @@
 
 namespace cfconv::analyze {
 
-/** Schema stamped into every analysis document. */
+/** Schema stamped into every analysis document. Version 2 adds the
+ *  serving-resilience section (breaker timelines, hedge tallies,
+ *  degradation occupancy); documents without it still stamp version
+ *  1, so stock-trace output is byte-identical across releases. */
 inline constexpr const char kAnalysisSchema[] = "cfconv.trace_analysis";
 inline constexpr const char kDiffSchema[] = "cfconv.trace_analysis_diff";
-inline constexpr int kAnalysisSchemaVersion = 1;
+inline constexpr int kAnalysisSchemaVersion = 2;
+inline constexpr int kAnalysisSchemaBaseVersion = 1;
 
 /** The full analysis as a "cfconv.trace_analysis" v1 JSON document
  *  (trailing newline included). */

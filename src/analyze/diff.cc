@@ -8,6 +8,43 @@ namespace cfconv::analyze {
 
 namespace {
 
+/** Fill one side of the resilience comparison from its analysis. */
+void
+resilienceSide(const TraceAnalysis &a, bool onLeft, ResilienceDiff &d)
+{
+    const auto put = [onLeft](auto &left, auto &right, auto value) {
+        (onLeft ? left : right) = value;
+    };
+    put(d.leftFaults, d.rightFaults, a.resilience.faults);
+    put(d.leftFailovers, d.rightFailovers, a.resilience.failovers);
+    put(d.leftChipDown, d.rightChipDown,
+        a.resilience.chipDownEvents);
+    std::size_t trips = 0, probes = 0, closes = 0;
+    double openTicks = 0.0;
+    for (const auto &c : a.serving.chips) {
+        trips += c.trips;
+        probes += c.probes;
+        closes += c.closes;
+        openTicks += c.openTicks;
+    }
+    put(d.leftTrips, d.rightTrips, trips);
+    put(d.leftProbes, d.rightProbes, probes);
+    put(d.leftCloses, d.rightCloses, closes);
+    put(d.leftOpenTicks, d.rightOpenTicks, openTicks);
+    put(d.leftHedgeWins, d.rightHedgeWins, a.serving.hedgeWins);
+    put(d.leftHedgeLosses, d.rightHedgeLosses,
+        a.serving.hedgeLosses);
+    int maxStep = 0;
+    std::size_t transitions = 0;
+    for (const auto &occ : a.serving.degradation) {
+        maxStep = std::max(maxStep, occ.maxStep);
+        transitions += occ.transitions;
+    }
+    put(d.leftMaxStep, d.rightMaxStep, maxStep);
+    put(d.leftDegradeTransitions, d.rightDegradeTransitions,
+        transitions);
+}
+
 DiffRow
 oneSided(const TimelineAnalysis &t, bool onLeft)
 {
@@ -31,6 +68,14 @@ diffAnalyses(const TraceAnalysis &left, const TraceAnalysis &right)
     AnalysisDiff diff;
     diff.left = left.criticalPath;
     diff.right = right.criticalPath;
+    diff.resilience.any = left.hasResilience ||
+                          left.hasServingResilience ||
+                          right.hasResilience ||
+                          right.hasServingResilience;
+    if (diff.resilience.any) {
+        resilienceSide(left, /*onLeft=*/true, diff.resilience);
+        resilienceSide(right, /*onLeft=*/false, diff.resilience);
+    }
 
     // Signatures are unique within one analysis (the analyzer
     // suffixes collisions), so a plain map is a faithful index.

@@ -46,6 +46,29 @@ struct DiffRow
     bool rightFillBound = false;
 };
 
+/** Side-by-side resilience totals: chaos events plus the serving
+ *  breaker/hedge/degradation rollup. Present (any == true) when
+ *  either trace recorded resilience activity, so diffs of two stock
+ *  traces stay byte-identical to the pre-resilience format. */
+struct ResilienceDiff
+{
+    bool any = false;
+
+    std::size_t leftFaults = 0, rightFaults = 0;
+    std::size_t leftFailovers = 0, rightFailovers = 0;
+    std::size_t leftChipDown = 0, rightChipDown = 0;
+
+    std::size_t leftTrips = 0, rightTrips = 0;
+    std::size_t leftProbes = 0, rightProbes = 0;
+    std::size_t leftCloses = 0, rightCloses = 0;
+    double leftOpenTicks = 0.0, rightOpenTicks = 0.0;
+    std::size_t leftHedgeWins = 0, rightHedgeWins = 0;
+    std::size_t leftHedgeLosses = 0, rightHedgeLosses = 0;
+    int leftMaxStep = 0, rightMaxStep = 0;
+    std::size_t leftDegradeTransitions = 0;
+    std::size_t rightDegradeTransitions = 0;
+};
+
 /** The whole comparison: aligned rows plus both one-sided lists. */
 struct AnalysisDiff
 {
@@ -55,6 +78,8 @@ struct AnalysisDiff
 
     CriticalPathBreakdown left;  ///< run-level rollup, left trace
     CriticalPathBreakdown right; ///< run-level rollup, right trace
+
+    ResilienceDiff resilience; ///< chaos + serving-resilience totals
 
     /** Geometric-mean right/left span ratio over aligned rows with
      *  nonzero spans on both sides (0 when none align). */

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Crash-consistent file persistence. Writers that previously used
+ * writeFile() could leave a torn file behind if the process died
+ * mid-write; every durable artifact (tuned-config DB, RunRecord
+ * documents) now goes through the helpers here instead.
+ *
+ *   - atomicWriteFile(): write the content to "<path>.tmp", flush, and
+ *     rename() over the destination. Readers either see the old file or
+ *     the complete new one, never a prefix.
+ *   - atomicWriteFileChecksummed(): same, but appends a one-line FNV-1a
+ *     checksum trailer so readers can detect torn or bit-flipped
+ *     content that survived the rename (e.g. a crash between rename and
+ *     fsync on a power cut, or manual truncation).
+ *   - readFileVerified(): read a file written by either helper. A
+ *     trailer, when present, is verified (DATA_LOSS on mismatch) and
+ *     stripped; trailer-less files are accepted as legacy content so
+ *     old artifacts keep loading.
+ *
+ * Callers that can regenerate the artifact should treat a DATA_LOSS
+ * result as "discard and rebuild", and count the recovery in the
+ * MetricsRegistry under "persist.recovered".
+ */
+
+#ifndef CFCONV_COMMON_ATOMIC_FILE_H
+#define CFCONV_COMMON_ATOMIC_FILE_H
+
+#include <string>
+
+#include "common/status.h"
+
+namespace cfconv {
+
+/** Trailer prefix; a trailer line is "#cfconv-sum:fnv1a:<16 hex>\n". */
+inline constexpr const char *kChecksumTrailerPrefix = "#cfconv-sum:fnv1a:";
+
+/** @return the 16-hex-digit FNV-1a checksum of @p content. */
+std::string contentChecksum(const std::string &content);
+
+/**
+ * Atomically replace @p path with @p content via write-temp + rename.
+ * @return true on success; failures log to stderr and return false
+ * (same non-fatal contract as writeFile()).
+ */
+bool atomicWriteFile(const std::string &path, const std::string &content);
+
+/**
+ * atomicWriteFile() plus a checksum trailer line appended after the
+ * content so readFileVerified() can detect corruption.
+ */
+bool atomicWriteFileChecksummed(const std::string &path,
+                                const std::string &content);
+
+/**
+ * Read @p path, verifying and stripping a checksum trailer when one is
+ * present.
+ *
+ * @return the content without the trailer; NOT_FOUND when the file does
+ * not exist; DATA_LOSS naming the path when the trailer does not match
+ * the content (torn write, truncation, or bit rot).
+ */
+StatusOr<std::string> readFileVerified(const std::string &path);
+
+} // namespace cfconv
+
+#endif // CFCONV_COMMON_ATOMIC_FILE_H

@@ -65,8 +65,19 @@ struct QueuedRequest
 class BatchQueue
 {
   public:
+    /**
+     * @p priorities / @p slo_seconds are per-class resilience knobs
+     * (empty = all zero, the legacy behavior): priority orders launch
+     * selection (lower tier first) and marks brownout victims;
+     * slo_seconds sets each class's deadline for the
+     * earliest-deadline-first tie-break within a tier. With all
+     * priorities and SLOs equal the launch order is bit-identical to
+     * the original earliest-arrival FIFO.
+     */
     BatchQueue(Index num_classes, const BatchPolicy &batch,
-               const AdmissionPolicy &admission);
+               const AdmissionPolicy &admission,
+               std::vector<Index> priorities = {},
+               std::vector<double> slo_seconds = {});
 
     /**
      * Admit or shed @p request. @p estimated_delay_seconds is the
@@ -77,10 +88,12 @@ class BatchQueue
 
     /**
      * The class allowed to launch at @p now — non-empty and either
-     * full (>= maxBatch) or timed out (oldest waited >= maxWait) —
-     * or -1. Ties broken by earliest oldest-arrival, then lowest
-     * class index, so dispatch order is deterministic and FIFO
-     * across classes.
+     * full (>= effective maxBatch) or timed out (oldest waited >=
+     * maxWait) — or -1. Selection order: lowest priority tier, then
+     * earliest deadline (oldest arrival + class SLO), then earliest
+     * oldest-arrival, then lowest class index — deterministic, and
+     * identical to the original cross-class FIFO when every class
+     * shares one tier and one SLO.
      */
     Index launchableClass(double now) const;
 
@@ -99,14 +112,41 @@ class BatchQueue
     Index depth(Index class_idx) const;
     Index totalDepth() const;
     Index shedCount(Index class_idx) const;
+    /** Of shedCount: requests shed by the brownout floor. */
+    Index brownoutShedCount(Index class_idx) const;
 
     const BatchPolicy &policy() const { return batch_; }
+
+    /**
+     * Degradation hook: cap batches at @p max_batch (0 = back to the
+     * policy's maxBatch). Affects the full-batch launch test and the
+     * size dispatch should pop.
+     */
+    void setMaxBatchOverride(Index max_batch);
+
+    /** Policy maxBatch with any degradation override applied. */
+    Index effectiveMaxBatch() const;
+
+    /**
+     * Degradation hook: shed arrivals of classes with priority >=
+     * @p min_priority at offer() (low-priority brownout). Pass a
+     * value above every tier (the default) to disable.
+     */
+    void setBrownoutMinPriority(Index min_priority);
+
+    Index priorityOf(Index class_idx) const;
+    double sloOf(Index class_idx) const;
 
   private:
     BatchPolicy batch_;
     AdmissionPolicy admission_;
     std::vector<std::deque<QueuedRequest>> queues_;
     std::vector<Index> shed_;
+    std::vector<Index> brownoutShed_;
+    std::vector<Index> priorities_;
+    std::vector<double> sloSeconds_;
+    Index maxBatchOverride_ = 0;
+    Index brownoutMinPriority_;
 };
 
 } // namespace cfconv::serve

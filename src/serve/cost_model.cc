@@ -1,12 +1,136 @@
 #include "serve/cost_model.h"
 
 #include <array>
+#include <cstdlib>
 
 #include "common/fault.h"
 #include "common/logging.h"
 #include "sim/model_runner.h"
 
 namespace cfconv::serve {
+
+namespace {
+
+struct ZooEntry
+{
+    const char *name;
+    models::ModelSpec (*factory)(Index batch);
+};
+
+/** The servable-by-name zoo (mirrors models/model_zoo.h). */
+constexpr ZooEntry kZoo[] = {
+    {"alexnet", &models::alexnet},
+    {"zfnet", &models::zfnet},
+    {"vgg16", &models::vgg16},
+    {"resnet50", &models::resnet50},
+    {"googlenet", &models::googlenet},
+    {"densenet121", &models::densenet121},
+    {"yolov2", &models::yolov2},
+    {"mobilenetv1", &models::mobilenetv1},
+};
+
+} // namespace
+
+std::vector<std::string>
+knownModelClasses()
+{
+    std::vector<std::string> names;
+    for (const ZooEntry &entry : kZoo)
+        names.emplace_back(entry.name);
+    return names;
+}
+
+StatusOr<ModelClass>
+makeModelClass(const std::string &name, double weight, Index priority,
+               double sloSeconds)
+{
+    for (const ZooEntry &entry : kZoo)
+        if (name == entry.name) {
+            ModelClass cls;
+            cls.name = name;
+            cls.factory = entry.factory;
+            cls.weight = weight;
+            cls.priority = priority;
+            cls.sloSeconds = sloSeconds;
+            return cls;
+        }
+    std::string known;
+    for (const ZooEntry &entry : kZoo) {
+        if (!known.empty())
+            known += ", ";
+        known += entry.name;
+    }
+    return notFoundError("unknown model class '%s' (valid: %s)",
+                         name.c_str(), known.c_str());
+}
+
+StatusOr<ModelMix>
+parseClassSpecs(const std::string &spec)
+{
+    if (spec.empty())
+        return invalidArgumentError("empty class spec");
+    ModelMix mix;
+    size_t start = 0;
+    while (start <= spec.size()) {
+        size_t end = spec.find(',', start);
+        if (end == std::string::npos)
+            end = spec.size();
+        const std::string token = spec.substr(start, end - start);
+        start = end + 1;
+        if (token.empty())
+            return invalidArgumentError(
+                "class spec '%s': empty entry", spec.c_str());
+
+        // Split "name[:weight[:priority[:sloMs]]]".
+        std::vector<std::string> parts;
+        size_t p = 0;
+        while (p <= token.size()) {
+            size_t colon = token.find(':', p);
+            if (colon == std::string::npos)
+                colon = token.size();
+            parts.push_back(token.substr(p, colon - p));
+            p = colon + 1;
+        }
+        if (parts.size() > 4)
+            return invalidArgumentError(
+                "class spec entry '%s': expected "
+                "name[:weight[:priority[:sloMs]]]",
+                token.c_str());
+        const auto number = [&](const std::string &text,
+                                double &out) -> bool {
+            char *rest = nullptr;
+            out = std::strtod(text.c_str(), &rest);
+            return rest != nullptr && *rest == '\0' && !text.empty();
+        };
+        double weight = 1.0, priority = 0.0, sloMs = 0.0;
+        if ((parts.size() > 1 && !number(parts[1], weight)) ||
+            (parts.size() > 2 && !number(parts[2], priority)) ||
+            (parts.size() > 3 && !number(parts[3], sloMs)))
+            return invalidArgumentError(
+                "class spec entry '%s': malformed number",
+                token.c_str());
+        if (weight <= 0.0)
+            return invalidArgumentError(
+                "class spec entry '%s': weight must be > 0",
+                token.c_str());
+        if (priority < 0.0)
+            return invalidArgumentError(
+                "class spec entry '%s': priority must be >= 0",
+                token.c_str());
+        if (sloMs < 0.0)
+            return invalidArgumentError(
+                "class spec entry '%s': sloMs must be >= 0",
+                token.c_str());
+        CFCONV_ASSIGN_OR_RETURN(
+            ModelClass cls,
+            makeModelClass(parts[0], weight,
+                           static_cast<Index>(priority), sloMs * 1e-3));
+        mix.push_back(std::move(cls));
+        if (end == spec.size())
+            break;
+    }
+    return mix;
+}
 
 Index
 quantizeBatch(Index n)

@@ -24,6 +24,7 @@
 #include <tuple>
 #include <vector>
 
+#include "common/status.h"
 #include "models/model_zoo.h"
 #include "sim/accelerator.h"
 
@@ -37,10 +38,38 @@ struct ModelClass
     models::ModelSpec (*factory)(Index batch) = nullptr;
     /** Traffic mix weight (normalized by the workload generator). */
     double weight = 1.0;
+    /** Priority tier: lower serves first, and brownout sheds the
+     *  highest tier first. All-equal tiers (the default) reduce to the
+     *  original cross-class FIFO. */
+    Index priority = 0;
+    /** Per-class latency SLO; 0 inherits the scenario-wide
+     *  ServingConfig::sloSeconds. */
+    double sloSeconds = 0.0;
 };
 
 /** The mixed model zoo one serving scenario serves. */
 using ModelMix = std::vector<ModelClass>;
+
+/** Zoo model names servable by name (makeModelClass). */
+std::vector<std::string> knownModelClasses();
+
+/**
+ * Build a ModelClass from a zoo model name. NOT_FOUND listing the
+ * valid names when @p name is not in the zoo — the serving layer's
+ * front door for user-specified mixes.
+ */
+StatusOr<ModelClass> makeModelClass(const std::string &name,
+                                    double weight = 1.0,
+                                    Index priority = 0,
+                                    double sloSeconds = 0.0);
+
+/**
+ * Parse a comma-separated class-spec list into a ModelMix:
+ * "name[:weight[:priority[:sloMs]]]", e.g.
+ * "alexnet:3:0:50,zfnet:1:1:100". INVALID_ARGUMENT naming the
+ * offending token on malformed numbers; NOT_FOUND on unknown models.
+ */
+StatusOr<ModelMix> parseClassSpecs(const std::string &spec);
 
 /** Largest batch the serving layer forms (the paper-style sweep upper
  *  bound; also the top quantization bucket). */

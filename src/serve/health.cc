@@ -1,0 +1,217 @@
+#include "serve/health.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cfconv::serve {
+
+const char *
+breakerStateName(BreakerState state)
+{
+    switch (state) {
+      case BreakerState::Closed:
+        return "closed";
+      case BreakerState::Open:
+        return "open";
+      case BreakerState::HalfOpen:
+        return "half-open";
+    }
+    return "?";
+}
+
+const char *
+degradeStepName(Index step)
+{
+    switch (step) {
+      case 0:
+        return "normal";
+      case 1:
+        return "batch-shrink";
+      case 2:
+        return "brownout";
+      case 3:
+        return "algorithm-fallback";
+      default:
+        return "?";
+    }
+}
+
+HealthTracker::HealthTracker(size_t num_chips, const BreakerPolicy &policy)
+    : policy_(policy), chips_(num_chips)
+{
+    CFCONV_FATAL_IF(num_chips == 0, "HealthTracker: need at least one chip");
+}
+
+void
+HealthTracker::recordFault(size_t chip, double now, double down_until)
+{
+    ChipHealth &c = chips_[chip];
+    c.downUntil = std::max(c.downUntil, down_until);
+    ++c.consecutiveFaults;
+    if (!policy_.enabled)
+        return;
+    // A tripped breaker re-opens on any fault (a failed canary); a
+    // closed one trips once the consecutive-fault threshold is hit.
+    if (c.tripped || c.consecutiveFaults >= policy_.failureThreshold) {
+        c.tripped = true;
+        c.openUntil = now + policy_.openSeconds;
+        c.canaryInFlight = false;
+        c.canarySuccesses = 0;
+        ++trips_;
+    }
+}
+
+void
+HealthTracker::recordSuccess(size_t chip, double now, double seconds)
+{
+    ChipHealth &c = chips_[chip];
+    c.consecutiveFaults = 0;
+    ++c.served;
+    c.serviceSum += seconds;
+    if (!policy_.enabled || !c.tripped)
+        return;
+    if (now < c.openUntil || !c.canaryInFlight)
+        return;
+    c.canaryInFlight = false;
+    ++c.canarySuccesses;
+    if (c.canarySuccesses >= policy_.halfOpenSuccesses) {
+        c.tripped = false;
+        c.openUntil = 0.0;
+        c.canarySuccesses = 0;
+        ++closes_;
+    }
+}
+
+bool
+HealthTracker::isDown(size_t chip, double now) const
+{
+    return chips_[chip].downUntil > now;
+}
+
+BreakerState
+HealthTracker::state(size_t chip, double now) const
+{
+    const ChipHealth &c = chips_[chip];
+    if (!policy_.enabled || !c.tripped)
+        return BreakerState::Closed;
+    return now < c.openUntil ? BreakerState::Open : BreakerState::HalfOpen;
+}
+
+bool
+HealthTracker::dispatchable(size_t chip, double now) const
+{
+    return !isDown(chip, now) && state(chip, now) == BreakerState::Closed;
+}
+
+bool
+HealthTracker::canaryReady(size_t chip, double now) const
+{
+    return !isDown(chip, now) &&
+           state(chip, now) == BreakerState::HalfOpen &&
+           !chips_[chip].canaryInFlight;
+}
+
+void
+HealthTracker::markCanary(size_t chip)
+{
+    chips_[chip].canaryInFlight = true;
+    ++probes_;
+}
+
+double
+HealthTracker::blockedUntil(size_t chip) const
+{
+    const ChipHealth &c = chips_[chip];
+    double until = c.downUntil;
+    if (policy_.enabled && c.tripped)
+        until = std::max(until, c.openUntil);
+    return until;
+}
+
+size_t
+HealthTracker::aliveChips(double now) const
+{
+    size_t alive = 0;
+    for (size_t chip = 0; chip < chips_.size(); ++chip)
+        if (!isDown(chip, now) && state(chip, now) != BreakerState::Open)
+            ++alive;
+    return alive;
+}
+
+double
+HealthTracker::meanServiceSeconds(size_t chip) const
+{
+    const ChipHealth &c = chips_[chip];
+    return c.served > 0 ? c.serviceSum / static_cast<double>(c.served)
+                        : 0.0;
+}
+
+DegradationLadder::DegradationLadder(const DegradationPolicy &policy)
+    : policy_(policy)
+{
+    CFCONV_FATAL_IF(policy_.maxStep < 0 || policy_.maxStep > 3,
+                    "DegradationLadder: maxStep must be in [0, 3]");
+}
+
+void
+DegradationLadder::moveTo(Index step, double now)
+{
+    seconds_[step_] += now - stepSince_;
+    step_ = step;
+    stepSince_ = now;
+    maxStepReached_ = std::max(maxStepReached_, step_);
+    ++transitions_;
+    // Re-arm both windows: the next move needs a fresh sustained
+    // signal measured from this transition.
+    aboveSince_ = now;
+    belowSince_ = now;
+}
+
+bool
+DegradationLadder::observe(double now, double pressure)
+{
+    if (!policy_.enabled)
+        return false;
+    if (pressure >= policy_.stepUpPressure) {
+        belowSince_ = -1.0;
+        if (aboveSince_ < 0.0)
+            aboveSince_ = now;
+        if (now - aboveSince_ >= policy_.stepUpAfterSeconds &&
+            step_ < policy_.maxStep) {
+            moveTo(step_ + 1, now);
+            return true;
+        }
+    } else if (pressure <= policy_.stepDownPressure) {
+        aboveSince_ = -1.0;
+        if (belowSince_ < 0.0)
+            belowSince_ = now;
+        if (now - belowSince_ >= policy_.stepDownAfterSeconds &&
+            step_ > 0) {
+            moveTo(step_ - 1, now);
+            return true;
+        }
+    } else {
+        // Mid-band pressure: neither window accumulates.
+        aboveSince_ = -1.0;
+        belowSince_ = -1.0;
+    }
+    return false;
+}
+
+void
+DegradationLadder::finalize(double end)
+{
+    if (end > stepSince_) {
+        seconds_[step_] += end - stepSince_;
+        stepSince_ = end;
+    }
+}
+
+double
+DegradationLadder::secondsAtStep(Index step) const
+{
+    return step >= 0 && step <= 3 ? seconds_[step] : 0.0;
+}
+
+} // namespace cfconv::serve

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Chip health tracking and graceful degradation for the serving
+ * simulator — the state machines behind the resilience layer:
+ *
+ *   - HealthTracker: per-chip outage windows (the `serve.chip_down`
+ *     repair interval) and a closed / open / half-open circuit breaker
+ *     fed by the dispatch loop's fault and success observations. An
+ *     open breaker removes the chip from candidate selection; once the
+ *     cooldown elapses the breaker goes half-open and admits exactly
+ *     one canary batch at a time — success closes the breaker, another
+ *     fault re-opens it.
+ *   - DegradationLadder: deterministic overload controller. It
+ *     observes queue pressure (depth relative to what the alive chips
+ *     can drain) at event-loop instants and, when pressure stays above
+ *     the step-up threshold for a full window, descends one step:
+ *     0 normal -> 1 batch-size shrink -> 2 low-priority brownout ->
+ *     3 algorithm fallback. Sustained relief walks back up the same
+ *     way.
+ *
+ * Both machines advance only at simulated timestamps handed in by the
+ * strictly serial event loop, and every transition is a pure function
+ * of the observation sequence — so chaos runs stay byte-identical at
+ * any thread count.
+ */
+
+#ifndef CFCONV_SERVE_HEALTH_H
+#define CFCONV_SERVE_HEALTH_H
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace cfconv::serve {
+
+/** Circuit-breaker state of one chip. */
+enum class BreakerState {
+    Closed,   ///< healthy: normal dispatch
+    Open,     ///< tripped: no dispatch until the cooldown elapses
+    HalfOpen, ///< cooldown over: one canary batch may probe the chip
+};
+
+/** Stable lowercase name for traces/tables. */
+const char *breakerStateName(BreakerState state);
+
+/** Per-chip circuit-breaker policy. */
+struct BreakerPolicy
+{
+    bool enabled = false;
+    /** Consecutive faults on one chip that trip its breaker. */
+    Index failureThreshold = 2;
+    /** Cooldown an open breaker holds before going half-open. */
+    double openSeconds = 50e-3;
+    /** Canary successes a half-open breaker needs to close. */
+    Index halfOpenSuccesses = 1;
+};
+
+/** Hedged-dispatch policy: duplicate straggler batches onto a second
+ *  idle chip, first completion wins. A batch is a straggler when its
+ *  oldest request has already waited past the class's observed latency
+ *  percentile — the deterministic analog of p95-latency request
+ *  hedging. */
+struct HedgePolicy
+{
+    bool enabled = false;
+    /** Which observed-latency percentile arms the hedge (snapped to
+     *  the Scalar histogram's 0.5 / 0.95 / 0.99 / 0.999 cuts). */
+    double latencyPercentile = 0.95;
+    /** Completed-request samples a class needs before hedging. */
+    Index minSamples = 16;
+};
+
+/** Degradation-ladder steps, shallow to deep. */
+enum class DegradeStep : Index {
+    Normal = 0,
+    BatchShrink = 1,       ///< halve the batcher's maxBatch
+    Brownout = 2,          ///< shed the lowest-priority class at arrival
+    AlgorithmFallback = 3, ///< serve on the cheapest configured variant
+};
+
+/** Stable step name for traces/tables. */
+const char *degradeStepName(Index step);
+
+/** Overload-degradation policy. Pressure is queue depth divided by the
+ *  board's one-round drain capacity (alive chips x maxBatch). */
+struct DegradationPolicy
+{
+    bool enabled = false;
+    /** Step down one rung after pressure holds >= this ... */
+    double stepUpPressure = 2.0;
+    /** ... for this long; step back up after pressure holds <=
+     *  stepDownPressure for stepDownAfterSeconds. */
+    double stepUpAfterSeconds = 10e-3;
+    double stepDownPressure = 0.5;
+    double stepDownAfterSeconds = 20e-3;
+    /** Deepest rung the ladder may reach (<= 3). */
+    Index maxStep = 3;
+};
+
+/**
+ * Per-chip fault/latency history + breaker state machine. The serving
+ * event loop reports every outage (recordFault) and every served batch
+ * (recordSuccess); dispatch asks which chips may take work now.
+ *
+ * With the policy disabled the tracker still owns the outage windows —
+ * the explicit "this chip is down until T" state that keeps downed
+ * chips out of candidate selection (dispatch, sharding, hedging) —
+ * but every breaker query answers Closed.
+ */
+class HealthTracker
+{
+  public:
+    HealthTracker(size_t num_chips, const BreakerPolicy &policy);
+
+    /** A serve.chip_down outage on @p chip at @p now; the chip repairs
+     *  at @p down_until. Counts toward the breaker threshold. */
+    void recordFault(size_t chip, double now, double down_until);
+
+    /** A batch served successfully on @p chip (service @p seconds).
+     *  Resets the consecutive-fault count; a half-open canary success
+     *  may close the breaker. */
+    void recordSuccess(size_t chip, double now, double seconds);
+
+    /** Is @p chip inside an outage repair window at @p now? */
+    bool isDown(size_t chip, double now) const;
+
+    /** Breaker state at @p now (Open lapses to HalfOpen by time). */
+    BreakerState state(size_t chip, double now) const;
+
+    /** May @p chip take a normal batch at @p now? (not down, breaker
+     *  closed). */
+    bool dispatchable(size_t chip, double now) const;
+
+    /** May @p chip take a canary batch at @p now? (half-open and no
+     *  canary already in flight). */
+    bool canaryReady(size_t chip, double now) const;
+
+    /** A canary batch launched on @p chip (counted as a probe; blocks
+     *  further canaries until it resolves). */
+    void markCanary(size_t chip);
+
+    /** Earliest instant >= @p now the chip can accept work again as
+     *  far as health is concerned: max(repair end, breaker cooldown
+     *  end); 0 for a healthy chip. */
+    double blockedUntil(size_t chip) const;
+
+    /** Chips neither down nor open at @p now (capacity estimate for
+     *  the degradation ladder's pressure signal). */
+    size_t aliveChips(double now) const;
+
+    /** Mean observed service seconds on @p chip; 0 before the first
+     *  success (health report hook). */
+    double meanServiceSeconds(size_t chip) const;
+
+    Index trips() const { return trips_; }
+    Index probes() const { return probes_; }
+    Index closes() const { return closes_; }
+
+  private:
+    struct ChipHealth
+    {
+        double downUntil = 0.0;
+        bool tripped = false;    ///< breaker open or half-open
+        double openUntil = 0.0;  ///< cooldown end while tripped
+        Index consecutiveFaults = 0;
+        bool canaryInFlight = false;
+        Index canarySuccesses = 0;
+        Index served = 0;
+        double serviceSum = 0.0;
+    };
+
+    BreakerPolicy policy_;
+    std::vector<ChipHealth> chips_;
+    Index trips_ = 0;
+    Index probes_ = 0;
+    Index closes_ = 0;
+};
+
+/**
+ * The overload controller. observe() is called by the event loop at
+ * each dispatch instant with the current pressure; it returns true
+ * when the ladder changed step at that instant (so the caller can
+ * re-apply knobs and emit the transition).
+ */
+class DegradationLadder
+{
+  public:
+    explicit DegradationLadder(const DegradationPolicy &policy);
+
+    /** Feed one pressure observation at @p now. @return step changed. */
+    bool observe(double now, double pressure);
+
+    Index step() const { return step_; }
+    Index maxStepReached() const { return maxStepReached_; }
+    Index transitions() const { return transitions_; }
+
+    /** Close occupancy accounting at the end of the run. */
+    void finalize(double end);
+
+    /** Simulated seconds spent at @p step (after finalize()). */
+    double secondsAtStep(Index step) const;
+
+  private:
+    void moveTo(Index step, double now);
+
+    DegradationPolicy policy_;
+    Index step_ = 0;
+    Index maxStepReached_ = 0;
+    Index transitions_ = 0;
+    double aboveSince_ = -1.0;
+    double belowSince_ = -1.0;
+    double stepSince_ = 0.0;
+    double seconds_[4] = {0.0, 0.0, 0.0, 0.0};
+};
+
+} // namespace cfconv::serve
+
+#endif // CFCONV_SERVE_HEALTH_H

@@ -26,6 +26,28 @@ toTraceTicks(double seconds)
     return static_cast<std::uint64_t>(std::llround(seconds * 1e9));
 }
 
+/** The Scalar percentile nearest the hedge policy's cutoff. */
+double
+latencyPercentile(const Scalar &latency, double percentile)
+{
+    if (percentile >= 0.999)
+        return latency.p999();
+    if (percentile >= 0.99)
+        return latency.p99();
+    if (percentile >= 0.95)
+        return latency.p95();
+    return latency.p50();
+}
+
+/** A batch stalled on a failing chip, waiting out the outage-detection
+ *  window before it re-enters its queue. */
+struct PendingBatch
+{
+    double at = 0.0; ///< requeue instant
+    Index cls = 0;
+    std::vector<QueuedRequest> batch;
+};
+
 } // namespace
 
 std::string
@@ -54,32 +76,84 @@ describeChips(const std::vector<ChipSpec> &chips)
     return out;
 }
 
+Status
+validateServingConfig(const ServingConfig &config)
+{
+    if (config.chips.empty())
+        return invalidArgumentError(
+            "ServingConfig: chips must be non-empty (chips=0)");
+    if (config.sloSeconds <= 0.0)
+        return invalidArgumentError(
+            "ServingConfig: sloSeconds must be > 0");
+    if (config.maxShards < 1)
+        return invalidArgumentError(
+            "ServingConfig: maxShards must be >= 1");
+    if (config.chipDowntimeSeconds < 0.0)
+        return invalidArgumentError(
+            "ServingConfig: chipDowntimeSeconds must be >= 0");
+    if (config.chipOutageDetectionSeconds < 0.0)
+        return invalidArgumentError(
+            "ServingConfig: chipOutageDetectionSeconds must be >= 0");
+    if (config.breaker.enabled) {
+        if (config.breaker.failureThreshold < 1)
+            return invalidArgumentError(
+                "ServingConfig: breaker.failureThreshold must be >= 1");
+        if (config.breaker.openSeconds < 0.0)
+            return invalidArgumentError(
+                "ServingConfig: breaker.openSeconds must be >= 0");
+        if (config.breaker.halfOpenSuccesses < 1)
+            return invalidArgumentError(
+                "ServingConfig: breaker.halfOpenSuccesses must be >= 1");
+    }
+    if (config.degradation.enabled) {
+        if (config.degradation.maxStep < 0 ||
+            config.degradation.maxStep > 3)
+            return invalidArgumentError(
+                "ServingConfig: degradation.maxStep must be in [0, 3]");
+        if (config.degradation.stepUpPressure <=
+            config.degradation.stepDownPressure)
+            return invalidArgumentError(
+                "ServingConfig: degradation.stepUpPressure must exceed "
+                "stepDownPressure");
+        if (config.degradation.stepUpAfterSeconds < 0.0 ||
+            config.degradation.stepDownAfterSeconds < 0.0)
+            return invalidArgumentError(
+                "ServingConfig: degradation windows must be >= 0");
+    }
+    if (config.hedge.enabled && config.hedge.minSamples < 1)
+        return invalidArgumentError(
+            "ServingConfig: hedge.minSamples must be >= 1");
+    for (const std::string &variant : config.fallbackVariants) {
+        auto made = sim::tryMakeAccelerator(variant);
+        if (!made.ok())
+            return invalidArgumentError(
+                "ServingConfig: fallbackVariants: unknown variant '%s'",
+                variant.c_str());
+    }
+    return okStatus();
+}
+
 ServingSimulator::ServingSimulator(ServingConfig config, ModelMix mix)
     : config_(std::move(config)), costModel_(std::move(mix))
 {
-    CFCONV_FATAL_IF(config_.chips.empty(),
-                    "ServingSimulator: need at least one chip");
-    CFCONV_FATAL_IF(config_.sloSeconds <= 0.0,
-                    "ServingSimulator: sloSeconds must be > 0");
-    CFCONV_FATAL_IF(config_.maxShards < 1,
-                    "ServingSimulator: maxShards must be >= 1");
-    CFCONV_FATAL_IF(config_.chipDowntimeSeconds < 0.0,
-                    "ServingSimulator: chipDowntimeSeconds must be >= 0");
+    const Status valid = validateServingConfig(config_);
+    CFCONV_FATAL_IF(!valid.ok(), "ServingSimulator: %s",
+                    valid.message().c_str());
 
     // One accelerator per distinct variant; chips share instances (and
     // thus layer memo caches) so heterogeneity costs one construction
     // per kind, not per chip.
-    for (const auto &chip : config_.chips) {
-        size_t idx = accelerators_.size();
+    const auto internVariant = [this](const std::string &variant) {
         for (size_t i = 0; i < accelerators_.size(); ++i)
-            if (accelerators_[i]->name() == chip.variant) {
-                idx = i;
-                break;
-            }
-        if (idx == accelerators_.size())
-            accelerators_.push_back(sim::makeAccelerator(chip.variant));
-        chipAccel_.push_back(idx);
-    }
+            if (accelerators_[i]->name() == variant)
+                return i;
+        accelerators_.push_back(sim::makeAccelerator(variant));
+        return accelerators_.size() - 1;
+    };
+    for (const auto &chip : config_.chips)
+        chipAccel_.push_back(internVariant(chip.variant));
+    for (const auto &variant : config_.fallbackVariants)
+        fallbackAccel_.push_back(internVariant(variant));
 
     // Dispatch preference: fastest chips first (work-stealing pulls go
     // to the chip that drains the queue soonest), index breaks ties so
@@ -132,7 +206,25 @@ ServingSimulator::run(const TrafficSpec &traffic)
                     "ServingSimulator: classWeights/mix size mismatch");
     const std::vector<Request> arrivals = generateArrivals(spec);
 
-    BatchQueue queue(num_classes, config_.batch, config_.admission);
+    // Per-class resilience knobs: priority tiers and effective SLOs
+    // (class SLO, falling back to the scenario-wide one).
+    std::vector<Index> priorities;
+    std::vector<double> effSlo;
+    Index minTier = std::numeric_limits<Index>::max();
+    Index maxTier = 0;
+    for (const auto &cls : mix) {
+        priorities.push_back(cls.priority);
+        effSlo.push_back(cls.sloSeconds > 0.0 ? cls.sloSeconds
+                                              : config_.sloSeconds);
+        minTier = std::min(minTier, cls.priority);
+        maxTier = std::max(maxTier, cls.priority);
+    }
+
+    BatchQueue queue(num_classes, config_.batch, config_.admission,
+                     priorities, effSlo);
+    HealthTracker health(num_chips, config_.breaker);
+    DegradationLadder ladder(config_.degradation);
+    std::vector<PendingBatch> pending;
 
     ServingResult result;
     result.classes.resize(static_cast<size_t>(num_classes));
@@ -141,9 +233,14 @@ ServingSimulator::run(const TrafficSpec &traffic)
             mix[static_cast<size_t>(c)].name;
     sim::ResilienceInfo resilience;
     resilience.active = injector.armed();
+    const bool resilientServing = config_.breaker.enabled ||
+                                  config_.degradation.enabled ||
+                                  config_.hedge.enabled;
 
-    // Per-chip state: the instant the chip can next accept work (busy
-    // until then, whether serving or sitting out a repair interval).
+    // Per-chip state. availableAt is busy-serving only; outage windows
+    // and breaker cooldowns live in the HealthTracker so candidate
+    // selection (dispatch, sharding, hedging) excludes a downed chip
+    // the instant its outage starts.
     std::vector<double> availableAt(num_chips, 0.0);
     std::vector<trace::SimTrack> tracks;
     tracks.reserve(num_chips);
@@ -151,6 +248,18 @@ ServingSimulator::run(const TrafficSpec &traffic)
         tracks.push_back(trace::simTrack(
             "serve chip" + std::to_string(i) + " (" +
             config_.chips[i].variant + ")"));
+    trace::SimTrack degradeTrack;
+    if (config_.degradation.enabled) {
+        degradeTrack = trace::simTrack("serve degradation");
+        trace::simInstant(degradeTrack, "degrade_step", 0,
+                          {{"step", 0.0}});
+    }
+
+    // Earliest instant a chip can accept work, counting busy time,
+    // outage repair, and breaker cooldown.
+    const auto chipReadyAt = [&](size_t chip) {
+        return std::max(availableAt[chip], health.blockedUntil(chip));
+    };
 
     // Coarse per-class service estimate for the admission controller's
     // estimated-delay bound: one full batch on the fastest chip.
@@ -194,51 +303,224 @@ ServingSimulator::run(const TrafficSpec &traffic)
     // successful launch on a different chip counts as a failover.
     std::vector<Index> bouncedChip(static_cast<size_t>(num_classes), -1);
 
+    // Roll the chip-down die for one dispatch attempt onto @p chip.
+    // Pure in (seed, variant, ordinal), so the fault schedule is
+    // byte-identical at any thread count.
+    const auto rollChipDown = [&](size_t chip) {
+        return injector.armed() &&
+               injector.inject(
+                   fault::kServeChipDown, config_.chips[chip].variant,
+                   hashCombine(dispatchOrdinal++,
+                               static_cast<std::uint64_t>(chip)));
+    };
+
+    // An outage on @p chip at @p now: health bookkeeping, breaker
+    // transition detection, trace instants, tallies.
+    const auto chipDown = [&](size_t chip, double now) {
+        const Index tripsBefore = health.trips();
+        health.recordFault(chip, now,
+                           now + config_.chipDowntimeSeconds);
+        // The outage on the chip's own simulated track, with its
+        // repair interval, so the offline analyzer can attribute the
+        // idle window to the fault rather than to a drained queue.
+        trace::simInstant(
+            tracks[chip], "chip_down", toTraceTicks(now),
+            {{"downtimeTicks",
+              static_cast<double>(
+                  toTraceTicks(config_.chipDowntimeSeconds))}});
+        if (health.trips() != tripsBefore) {
+            trace::simInstant(
+                tracks[chip], "breaker_open", toTraceTicks(now),
+                {{"openTicks",
+                  static_cast<double>(
+                      toTraceTicks(config_.breaker.openSeconds))}});
+            metrics.add("serve.breaker_trips", 1.0);
+        }
+        ++result.chipDownEvents;
+        ++resilience.faultsSeen;
+        ++resilience.retries;
+    };
+
+    // A batch served on @p chip: health bookkeeping plus breaker-close
+    // detection for canary successes.
+    const auto chipServed = [&](size_t chip, double now, double span) {
+        const Index closesBefore = health.closes();
+        health.recordSuccess(chip, now, span);
+        if (health.closes() != closesBefore) {
+            trace::simInstant(tracks[chip], "breaker_close",
+                              toTraceTicks(now));
+            metrics.add("serve.breaker_closes", 1.0);
+        }
+    };
+
+    // Degradation-ladder observation at a dispatch instant; applies
+    // the batcher knobs on a step change.
+    const auto observeLadder = [&](double now) {
+        if (!config_.degradation.enabled)
+            return;
+        const double capacity = std::max<double>(
+            1.0, static_cast<double>(health.aliveChips(now)) *
+                     static_cast<double>(config_.batch.maxBatch));
+        const double pressure =
+            static_cast<double>(queue.totalDepth()) / capacity;
+        if (!ladder.observe(now, pressure))
+            return;
+        const Index step = ladder.step();
+        queue.setMaxBatchOverride(
+            step >= static_cast<Index>(DegradeStep::BatchShrink)
+                ? std::max<Index>(1, config_.batch.maxBatch / 2)
+                : 0);
+        // Brownout sheds the lowest-priority tier — only meaningful
+        // when the mix actually has more than one tier.
+        queue.setBrownoutMinPriority(
+            step >= static_cast<Index>(DegradeStep::Brownout) &&
+                    maxTier > minTier
+                ? maxTier
+                : std::numeric_limits<Index>::max());
+        metrics.add("serve.degrade_transitions", 1.0);
+        trace::simInstant(degradeTrack, "degrade_step",
+                          toTraceTicks(now),
+                          {{"step", static_cast<double>(step)}});
+    };
+
+    // Book one completed batch: latency/SLO accounting per request.
+    const auto completeRequests =
+        [&](Index cls, const std::vector<QueuedRequest> &batch,
+            double now, double finish, Flops perRequestFlops) {
+            auto &cstats = result.classes[static_cast<size_t>(cls)];
+            const double slo = effSlo[static_cast<size_t>(cls)];
+            ++cstats.batches;
+            launchedRequests += static_cast<Index>(batch.size());
+            for (const auto &req : batch) {
+                const double latency = finish - req.arrivalSeconds;
+                const bool late = latency > slo;
+                ++cstats.completed;
+                cstats.sloViolations += late ? 1 : 0;
+                cstats.latencySum += latency;
+                cstats.latency.sample(latency);
+                latencyAll.sample(latency);
+                cstats.queueWait.sample(now - req.arrivalSeconds);
+                cstats.usefulFlops += perRequestFlops;
+                metrics.sample("serve.request_latency_seconds",
+                               latency);
+            }
+        };
+
     // Dispatch every batch launchable at `now`. Returns when no
-    // launchable class or no idle chip remains.
+    // launchable class or no dispatchable chip remains.
     const auto dispatch = [&](double now) {
+        observeLadder(now);
         for (;;) {
             const Index cls = queue.launchableClass(now);
             if (cls < 0)
                 return;
-            // Work-stealing pull: the first idle chip in preference
-            // order takes the batch.
+            // Work-stealing pull over the chips health allows: closed
+            // breakers first in preference order; when none is idle, a
+            // half-open chip may take the batch as its canary probe.
             std::vector<size_t> idle;
             for (size_t chip : chipOrder_)
-                if (availableAt[chip] <= now)
+                if (availableAt[chip] <= now &&
+                    health.dispatchable(chip, now))
                     idle.push_back(chip);
-            if (idle.empty())
-                return;
-            const size_t chip = idle.front();
-            const std::string &variant = config_.chips[chip].variant;
+            bool canary = false;
+            size_t chip = 0;
+            if (!idle.empty()) {
+                chip = idle.front();
+            } else {
+                size_t probe = num_chips;
+                for (size_t c : chipOrder_)
+                    if (availableAt[c] <= now &&
+                        health.canaryReady(c, now)) {
+                        probe = c;
+                        break;
+                    }
+                if (probe == num_chips)
+                    return;
+                chip = probe;
+                canary = true;
+                health.markCanary(chip);
+                trace::simInstant(tracks[chip], "breaker_probe",
+                                  toTraceTicks(now));
+                metrics.add("serve.breaker_probes", 1.0);
+            }
 
-            // Chaos: whole-chip outage at dispatch. The batch goes
-            // back to the front of its queue with arrival times (and
-            // FIFO priority) intact; the chip sits out the repair
-            // interval. Decision is pure in (seed, variant, ordinal).
-            if (injector.armed() &&
-                injector.inject(
-                    fault::kServeChipDown, variant,
-                    hashCombine(dispatchOrdinal++,
-                                static_cast<std::uint64_t>(chip)))) {
-                availableAt[chip] = now + config_.chipDowntimeSeconds;
-                // The outage on the chip's own simulated track, with
-                // its repair interval, so the offline analyzer can
-                // attribute the idle window to the fault rather than
-                // to a drained queue.
-                trace::simInstant(
-                    tracks[chip], "chip_down", toTraceTicks(now),
-                    {{"downtimeTicks",
-                      static_cast<double>(toTraceTicks(
-                          config_.chipDowntimeSeconds))}});
-                ++result.chipDownEvents;
-                ++resilience.faultsSeen;
-                ++resilience.retries;
+            auto &cstats = result.classes[static_cast<size_t>(cls)];
+            std::vector<QueuedRequest> batch =
+                queue.pop(cls, queue.effectiveMaxBatch());
+            const auto n = static_cast<Index>(batch.size());
+            const Index padded = quantizeBatch(n);
+
+            // Hedge decision (made before the chaos roll: a hedged
+            // batch survives a primary outage on its hedge chip). A
+            // batch is a straggler when its oldest request has waited
+            // past the class's observed latency percentile.
+            size_t hedgeChip = num_chips;
+            if (!canary && config_.hedge.enabled && idle.size() >= 2 &&
+                cstats.latency.count() >=
+                    static_cast<std::size_t>(config_.hedge.minSamples)) {
+                const double cutoff = latencyPercentile(
+                    cstats.latency, config_.hedge.latencyPercentile);
+                if (now - batch.front().arrivalSeconds >= cutoff)
+                    hedgeChip = idle[1];
+            }
+
+            // Chaos: whole-chip outage at dispatch. Unhedged, the
+            // batch stalls on the dead chip for the outage-detection
+            // window, then re-enters the front of its queue with
+            // arrival times (and priority) intact; the chip sits out
+            // the repair interval.
+            if (rollChipDown(chip)) {
+                chipDown(chip, now);
                 bouncedChip[static_cast<size_t>(cls)] =
                     static_cast<Index>(chip);
-                continue; // retry: next idle chip, fresh die
+                bool savedByHedge = false;
+                if (hedgeChip != num_chips && !rollChipDown(hedgeChip)) {
+                    // First-completion-wins: the hedge chip is the
+                    // only completion, and it saved the batch from
+                    // the detection stall.
+                    savedByHedge = true;
+                    ++result.hedgedBatches;
+                    ++result.hedgeWins;
+                    metrics.add("serve.hedged_batches", 1.0);
+                    metrics.add("serve.hedge_wins", 1.0);
+                    ++resilience.failovers;
+                    bouncedChip[static_cast<size_t>(cls)] = -1;
+                    const BatchCost &hCost = chargeCost(costModel_.cost(
+                        chipAccelerator(hedgeChip), cls, padded));
+                    const double finish = now + hCost.seconds;
+                    makespan = std::max(makespan, finish);
+                    availableAt[hedgeChip] = finish;
+                    chipServed(hedgeChip, now, hCost.seconds);
+                    if (tracks[hedgeChip].active())
+                        trace::simSpan(
+                            tracks[hedgeChip],
+                            mix[static_cast<size_t>(cls)].name.c_str(),
+                            toTraceTicks(now),
+                            toTraceTicks(hCost.seconds),
+                            {{"batch", static_cast<double>(n)},
+                             {"padded", static_cast<double>(padded)},
+                             {"shards", 1.0},
+                             {"chip",
+                              static_cast<double>(hedgeChip)},
+                             {"hedge", 1.0}});
+                    trace::simInstant(tracks[hedgeChip], "hedge_win",
+                                      toTraceTicks(now));
+                    cstats.dramBytes += hCost.dramBytes;
+                    completeRequests(cls, batch, now, finish,
+                                     hCost.perRequestFlops);
+                } else if (hedgeChip != num_chips) {
+                    // Both chips failed: the hedge chip is down too.
+                    chipDown(hedgeChip, now);
+                    ++result.hedgedBatches;
+                    metrics.add("serve.hedged_batches", 1.0);
+                }
+                if (!savedByHedge)
+                    pending.push_back(
+                        {now + config_.chipOutageDetectionSeconds, cls,
+                         std::move(batch)});
+                continue;
             }
-            ++dispatchOrdinal;
+
             auto &bounced = bouncedChip[static_cast<size_t>(cls)];
             if (bounced >= 0) {
                 if (bounced != static_cast<Index>(chip))
@@ -246,21 +528,43 @@ ServingSimulator::run(const TrafficSpec &traffic)
                 bounced = -1;
             }
 
-            std::vector<QueuedRequest> batch =
-                queue.pop(cls, config_.batch.maxBatch);
-            const auto n = static_cast<Index>(batch.size());
-            const Index padded = quantizeBatch(n);
-            const BatchCost &solo = chargeCost(
+            // Service cost on the chosen chip; at the ladder's
+            // algorithm-fallback step the cost model picks the
+            // cheapest of the chip's own variant and the configured
+            // fallbacks (re-programming the chip with a cheaper
+            // lowering).
+            bool usedFallback = false;
+            const BatchCost *solo = &chargeCost(
                 costModel_.cost(chipAccelerator(chip), cls, padded));
+            if (ladder.step() >=
+                    static_cast<Index>(DegradeStep::AlgorithmFallback) &&
+                !fallbackAccel_.empty()) {
+                for (size_t f : fallbackAccel_) {
+                    if (f == chipAccel_[chip])
+                        continue;
+                    const BatchCost &alt = chargeCost(
+                        costModel_.cost(*accelerators_[f], cls, padded));
+                    if (alt.seconds < solo->seconds) {
+                        solo = &alt;
+                        usedFallback = true;
+                    }
+                }
+                if (usedFallback) {
+                    ++result.fallbackBatches;
+                    metrics.add("serve.fallback_batches", 1.0);
+                }
+            }
 
             // Sharding: span idle chips when allowed, worthwhile
             // (service estimate past the floor), and possible (a
             // second idle chip exists). The group frees together —
-            // the sync barrier of a real multi-chip launch.
+            // the sync barrier of a real multi-chip launch. Canary
+            // and hedged batches stay single-chip.
             size_t shards = 1;
-            if (config_.shardMode != ShardMode::None &&
+            if (!canary && hedgeChip == num_chips &&
+                config_.shardMode != ShardMode::None &&
                 config_.maxShards > 1 &&
-                solo.seconds >= config_.shardMinServiceSeconds)
+                solo->seconds >= config_.shardMinServiceSeconds)
                 shards = std::min(
                     idle.size(),
                     static_cast<size_t>(config_.maxShards));
@@ -268,8 +572,8 @@ ServingSimulator::run(const TrafficSpec &traffic)
             double span = 0.0;
             Bytes dram = 0;
             if (shards <= 1) {
-                span = solo.seconds;
-                dram = solo.dramBytes;
+                span = solo->seconds;
+                dram = solo->dramBytes;
             } else if (config_.shardMode == ShardMode::DataParallel) {
                 const Index slice = quantizeBatch(std::max<Index>(
                     1, divCeil(padded, static_cast<Index>(shards))));
@@ -290,55 +594,118 @@ ServingSimulator::run(const TrafficSpec &traffic)
                 span += config_.shardSyncSeconds;
             }
 
-            const double finish = now + span;
-            makespan = std::max(makespan, finish);
-            for (size_t s = 0; s < shards; ++s) {
-                availableAt[idle[s]] = finish;
-                if (tracks[idle[s]].active())
-                    trace::simSpan(
-                        tracks[idle[s]],
-                        mix[static_cast<size_t>(cls)].name.c_str(),
-                        toTraceTicks(now), toTraceTicks(span),
-                        {{"batch", static_cast<double>(n)},
-                         {"padded", static_cast<double>(padded)},
-                         {"shards", static_cast<double>(shards)},
-                         {"chip", static_cast<double>(idle[s])}});
+            // A hedged launch runs the batch on the primary and the
+            // hedge chip simultaneously; the earlier completion
+            // delivers, both chips stay busy to their own finish, and
+            // the duplicate traffic is charged honestly.
+            double finish = now + span;
+            if (hedgeChip != num_chips) {
+                ++result.hedgedBatches;
+                metrics.add("serve.hedged_batches", 1.0);
+                if (rollChipDown(hedgeChip)) {
+                    // The hedge chip died at launch: the primary
+                    // carries the batch alone.
+                    chipDown(hedgeChip, now);
+                    ++result.hedgeLosses;
+                    metrics.add("serve.hedge_losses", 1.0);
+                    trace::simInstant(tracks[chip], "hedge_loss",
+                                      toTraceTicks(now));
+                    hedgeChip = num_chips;
+                } else {
+                    const BatchCost &hCost = chargeCost(costModel_.cost(
+                        chipAccelerator(hedgeChip), cls, padded));
+                    const bool hedgeWon = hCost.seconds < span;
+                    finish = now + std::min(span, hCost.seconds);
+                    availableAt[hedgeChip] = now + hCost.seconds;
+                    dram += hCost.dramBytes;
+                    chipServed(hedgeChip, now, hCost.seconds);
+                    if (tracks[hedgeChip].active())
+                        trace::simSpan(
+                            tracks[hedgeChip],
+                            mix[static_cast<size_t>(cls)].name.c_str(),
+                            toTraceTicks(now),
+                            toTraceTicks(hCost.seconds),
+                            {{"batch", static_cast<double>(n)},
+                             {"padded", static_cast<double>(padded)},
+                             {"shards", 1.0},
+                             {"chip", static_cast<double>(hedgeChip)},
+                             {"hedge", 1.0}});
+                    if (hedgeWon) {
+                        ++result.hedgeWins;
+                        metrics.add("serve.hedge_wins", 1.0);
+                        trace::simInstant(tracks[hedgeChip],
+                                          "hedge_win",
+                                          toTraceTicks(now));
+                    } else {
+                        ++result.hedgeLosses;
+                        metrics.add("serve.hedge_losses", 1.0);
+                        trace::simInstant(tracks[chip], "hedge_loss",
+                                          toTraceTicks(now));
+                    }
+                }
             }
 
-            auto &cstats = result.classes[static_cast<size_t>(cls)];
-            ++cstats.batches;
-            launchedRequests += n;
-            cstats.dramBytes += dram;
-            for (const auto &req : batch) {
-                const double latency = finish - req.arrivalSeconds;
-                const bool late = latency > config_.sloSeconds;
-                ++cstats.completed;
-                cstats.sloViolations += late ? 1 : 0;
-                cstats.latencySum += latency;
-                cstats.latency.sample(latency);
-                latencyAll.sample(latency);
-                cstats.queueWait.sample(now - req.arrivalSeconds);
-                cstats.usefulFlops += solo.perRequestFlops;
-                metrics.sample("serve.request_latency_seconds",
-                               latency);
+            makespan = std::max(makespan, finish);
+            for (size_t s = 0; s < shards; ++s) {
+                const size_t c = shards <= 1 ? chip : idle[s];
+                // Each chip stays busy to its own completion — under a
+                // hedge the batch may deliver (finish) before the
+                // slower copy frees its chip.
+                availableAt[c] = now + span;
+                chipServed(c, now, span);
+                if (tracks[c].active()) {
+                    trace::Args args = {
+                        {"batch", static_cast<double>(n)},
+                        {"padded", static_cast<double>(padded)},
+                        {"shards", static_cast<double>(shards)},
+                        {"chip", static_cast<double>(c)}};
+                    if (usedFallback)
+                        args.emplace_back("fallback", 1.0);
+                    if (canary)
+                        args.emplace_back("canary", 1.0);
+                    trace::simSpan(
+                        tracks[c],
+                        mix[static_cast<size_t>(cls)].name.c_str(),
+                        toTraceTicks(now), toTraceTicks(span),
+                        std::move(args));
+                }
             }
+
+            cstats.dramBytes += dram;
+            completeRequests(cls, batch, now, finish,
+                             solo->perRequestFlops);
         }
     };
 
     // The event loop: strictly serial over simulated time. Events are
-    // (a) the next arrival, (b) the earliest max-wait deadline, and
-    // (c) — when work is queued but every chip is busy or down — the
-    // earliest chip-free instant.
+    // (a) the next arrival, (b) the earliest max-wait deadline,
+    // (c) — when work is queued but every chip is busy, down, or
+    // breaker-blocked — the earliest chip-ready instant, and (d) the
+    // earliest stalled-batch requeue.
     double now = 0.0;
     size_t next = 0;
-    while (next < arrivals.size() || queue.totalDepth() > 0) {
+    while (next < arrivals.size() || queue.totalDepth() > 0 ||
+           !pending.empty()) {
+        // Requeue stalled batches whose detection window elapsed —
+        // newest first, so requeueFront leaves the oldest arrivals at
+        // the very front of their class queue.
+        for (size_t i = pending.size(); i-- > 0;) {
+            if (pending[i].at > now)
+                continue;
+            queue.requeueFront(pending[i].cls, pending[i].batch);
+            pending.erase(pending.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+        }
         dispatch(now);
-        if (next >= arrivals.size() && queue.totalDepth() == 0)
+        if (next >= arrivals.size() && queue.totalDepth() == 0 &&
+            pending.empty())
             break; // dispatch drained the last batch
 
         double tNext = kInf;
         if (next < arrivals.size())
             tNext = std::min(tNext, arrivals[next].arrivalSeconds);
+        for (const PendingBatch &p : pending)
+            tNext = std::min(tNext, p.at);
         if (queue.totalDepth() > 0) {
             // A deadline at or before `now` means dispatch was blocked
             // by busy chips, not by the wait policy: the next real
@@ -348,9 +715,11 @@ ServingSimulator::run(const TrafficSpec &traffic)
             if (deadline > now)
                 tNext = std::min(tNext, deadline);
             double chipFree = kInf;
-            for (size_t chip = 0; chip < num_chips; ++chip)
-                if (availableAt[chip] > now)
-                    chipFree = std::min(chipFree, availableAt[chip]);
+            for (size_t chip = 0; chip < num_chips; ++chip) {
+                const double ready = chipReadyAt(chip);
+                if (ready > now)
+                    chipFree = std::min(chipFree, ready);
+            }
             tNext = std::min(tNext, chipFree);
         }
         CFCONV_FATAL_IF(tNext == kInf,
@@ -367,7 +736,7 @@ ServingSimulator::run(const TrafficSpec &traffic)
             if (config_.admission.maxEstimatedDelaySeconds > 0.0) {
                 double chipFree = kInf;
                 for (size_t chip = 0; chip < num_chips; ++chip)
-                    chipFree = std::min(chipFree, availableAt[chip]);
+                    chipFree = std::min(chipFree, chipReadyAt(chip));
                 const Index backlog =
                     queue.depth(req.classIdx) + 1;
                 estimate =
@@ -386,19 +755,38 @@ ServingSimulator::run(const TrafficSpec &traffic)
         }
     }
 
+    ladder.finalize(makespan);
+    if (config_.degradation.enabled)
+        trace::simInstant(
+            degradeTrack, "degrade_end", toTraceTicks(makespan),
+            {{"step", static_cast<double>(ladder.step())}});
+
     // Roll up totals and the unified record.
     Index batches = 0;
     Flops usefulFlops = 0;
-    for (auto &cstats : result.classes) {
+    for (Index c = 0; c < num_classes; ++c) {
+        auto &cstats = result.classes[static_cast<size_t>(c)];
+        cstats.brownoutShed = queue.brownoutShedCount(c);
         result.offered += cstats.offered;
         result.completed += cstats.completed;
         result.shed += cstats.shed;
         result.sloViolations += cstats.sloViolations;
+        result.brownoutShed += cstats.brownoutShed;
         batches += cstats.batches;
         usefulFlops += cstats.usefulFlops;
     }
+    if (result.brownoutShed > 0)
+        metrics.add("serve.brownout_shed",
+                    static_cast<double>(result.brownoutShed));
     result.makespanSeconds = makespan;
     result.evaluations = costModel_.evaluations();
+    result.breakerTrips = health.trips();
+    result.breakerProbes = health.probes();
+    result.breakerCloses = health.closes();
+    result.degradeStepMax = ladder.maxStepReached();
+    result.degradeTransitions = ladder.transitions();
+    for (Index s = 0; s < 4; ++s)
+        result.degradeSeconds[s] = ladder.secondsAtStep(s);
     if (makespan > 0.0) {
         result.throughputRps =
             static_cast<double>(result.completed) / makespan;
@@ -421,6 +809,20 @@ ServingSimulator::run(const TrafficSpec &traffic)
         result.meanBatch = static_cast<double>(launchedRequests) /
                            static_cast<double>(batches);
 
+    // Serving resilience outcome into the record's chaos block (only
+    // chaos documents emit it; see sim/report).
+    resilience.serving.active = resilientServing;
+    resilience.serving.breakerTrips = result.breakerTrips;
+    resilience.serving.breakerProbes = result.breakerProbes;
+    resilience.serving.breakerCloses = result.breakerCloses;
+    resilience.serving.hedgedBatches = result.hedgedBatches;
+    resilience.serving.hedgeWins = result.hedgeWins;
+    resilience.serving.hedgeLosses = result.hedgeLosses;
+    resilience.serving.degradeStepMax = result.degradeStepMax;
+    resilience.serving.degradeTransitions = result.degradeTransitions;
+    resilience.serving.brownoutShed = result.brownoutShed;
+    resilience.serving.fallbackBatches = result.fallbackBatches;
+
     sim::RunRecord &record = result.record;
     record.accelerator = describeChips(config_.chips);
     record.model = config_.scenario;
@@ -436,11 +838,13 @@ ServingSimulator::run(const TrafficSpec &traffic)
     record.resilience = resilience;
     for (Index c = 0; c < num_classes; ++c) {
         const auto &cstats = result.classes[static_cast<size_t>(c)];
+        const auto &cls = mix[static_cast<size_t>(c)];
         sim::LayerRecord layer;
         layer.name = cstats.name;
         layer.geometry =
             "serve(" + cstats.name +
-            ", slo=" + std::to_string(config_.sloSeconds) + "s)";
+            ", slo=" + std::to_string(effSlo[static_cast<size_t>(c)]) +
+            "s)";
         layer.count = cstats.completed;
         layer.seconds = cstats.completed > 0
             ? cstats.latencySum /
@@ -460,6 +864,14 @@ ServingSimulator::run(const TrafficSpec &traffic)
             static_cast<double>(cstats.sloViolations);
         layer.extras["batches"] =
             static_cast<double>(cstats.batches);
+        // Resilience-only extras appear only when the feature fired,
+        // so legacy scenarios keep their exact record bytes.
+        if (cls.priority != 0)
+            layer.extras["priority"] =
+                static_cast<double>(cls.priority);
+        if (cstats.brownoutShed > 0)
+            layer.extras["brownoutShed"] =
+                static_cast<double>(cstats.brownoutShed);
         if (cstats.batches > 0)
             layer.extras["meanBatch"] =
                 static_cast<double>(cstats.completed) /

@@ -30,8 +30,10 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "common/status.h"
 #include "serve/batcher.h"
 #include "serve/cost_model.h"
+#include "serve/health.h"
 #include "serve/workload.h"
 #include "sim/accelerator.h"
 
@@ -73,10 +75,39 @@ struct ServingConfig
 
     /** Repair interval after a serve.chip_down injection. */
     double chipDowntimeSeconds = 25e-3;
+    /**
+     * How long a batch dispatched onto a failing chip stalls before
+     * the failure is detected and the batch re-enters its queue (the
+     * timeout a real dispatcher needs to notice a dead chip). The
+     * stall — not the outage itself — is what hurts tail latency, and
+     * what breakers and hedging exist to avoid.
+     */
+    double chipOutageDetectionSeconds = 2e-3;
+    /** Per-chip circuit breakers (route around repeat offenders). */
+    BreakerPolicy breaker;
+    /** Overload degradation ladder (shrink -> brownout -> fallback). */
+    DegradationPolicy degradation;
+    /** Straggler hedging onto a second idle chip. */
+    HedgePolicy hedge;
+    /**
+     * Accelerator variants the degradation ladder may serve on at the
+     * AlgorithmFallback step; the cost model picks the cheapest of
+     * {chip's own variant} U fallbacks per (class, batch). Registry
+     * names (tune/variant_registry), validated at construction.
+     */
+    std::vector<std::string> fallbackVariants;
     /** Scenario label: becomes RunRecord::model, so sweeps emit one
      *  named record per policy point. */
     std::string scenario = "serving";
 };
+
+/**
+ * Structural validation of @p config, INVALID_ARGUMENT naming the
+ * offending field. The ServingSimulator constructor applies it
+ * fatally; callers building configs from user input (bench CLI,
+ * tests) can pre-check recoverably.
+ */
+Status validateServingConfig(const ServingConfig &config);
 
 /** Per-model-class outcome tallies of one scenario run. */
 struct ClassStats
@@ -86,7 +117,8 @@ struct ClassStats
     Index admitted = 0;  ///< survived admission control
     Index completed = 0; ///< finished (== admitted when run drains)
     Index shed = 0;      ///< rejected at arrival
-    Index sloViolations = 0; ///< completed but over the SLO
+    Index sloViolations = 0; ///< completed but over the class SLO
+    Index brownoutShed = 0;  ///< of shed: dropped by the brownout floor
     Index batches = 0;       ///< batched model runs launched
     double latencySum = 0.0; ///< sum of request latencies
     Scalar latency;          ///< request-latency distribution
@@ -118,6 +150,21 @@ struct ServingResult
     Index chipDownEvents = 0;
     Index evaluations = 0;      ///< cost-model simulator runs
     std::vector<ClassStats> classes;
+
+    /** Resilience-layer outcome (also mirrored into
+     *  record.resilience.serving for chaos documents). */
+    Index breakerTrips = 0;
+    Index breakerProbes = 0;
+    Index breakerCloses = 0;
+    Index hedgedBatches = 0;
+    Index hedgeWins = 0;
+    Index hedgeLosses = 0;
+    Index brownoutShed = 0;
+    Index fallbackBatches = 0;
+    Index degradeStepMax = 0;
+    Index degradeTransitions = 0;
+    /** Simulated seconds the ladder held each step (index 0..3). */
+    double degradeSeconds[4] = {0.0, 0.0, 0.0, 0.0};
 };
 
 /**
@@ -153,6 +200,9 @@ class ServingSimulator
     std::vector<std::unique_ptr<sim::Accelerator>> accelerators_;
     std::vector<size_t> chipAccel_; ///< chip index -> accelerators_ idx
     std::vector<size_t> chipOrder_; ///< dispatch preference (fast first)
+    /** Fallback-variant instances for the AlgorithmFallback step
+     *  (indices into accelerators_). */
+    std::vector<size_t> fallbackAccel_;
 };
 
 /** Compact board label for RunRecord::accelerator, e.g.

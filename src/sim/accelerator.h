@@ -91,6 +91,32 @@ struct LayerRecord
  * `resilience` block — but only when `active`, so fault-free documents
  * stay byte-identical to the v2 goldens.
  */
+/**
+ * Serving-layer resilience outcome (src/serve): what the circuit
+ * breakers, degradation ladder, and hedged dispatch did during one
+ * board run. Nested inside ResilienceInfo and emitted as the
+ * "serving" sub-object of the resilience block only when some serving
+ * feature was enabled, so model-level chaos documents (and all
+ * fault-free documents) keep their previous version and bytes.
+ */
+struct ServingResilienceInfo
+{
+    /** Whether any serving resilience feature (breakers, degradation,
+     *  hedging) was enabled for this run. */
+    bool active = false;
+    Index breakerTrips = 0;   ///< closed/half-open -> open transitions
+    Index breakerProbes = 0;  ///< half-open canary batches launched
+    Index breakerCloses = 0;  ///< half-open -> closed recoveries
+    Index hedgedBatches = 0;  ///< batches launched on two chips
+    Index hedgeWins = 0;      ///< hedge chip delivered first (or saved
+                              ///< the batch from a primary outage)
+    Index hedgeLosses = 0;    ///< primary delivered first; hedge wasted
+    Index degradeStepMax = 0; ///< deepest degradation-ladder step held
+    Index degradeTransitions = 0; ///< ladder step changes (both ways)
+    Index brownoutShed = 0;   ///< requests shed by low-priority brownout
+    Index fallbackBatches = 0; ///< batches served by a fallback variant
+};
+
 struct ResilienceInfo
 {
     /** Whether the FaultInjector was armed during this run (the block
@@ -105,6 +131,8 @@ struct ResilienceInfo
     /** Backend of the last failover; empty when the primary finished
      *  the whole model. */
     std::string finalBackend;
+    /** Serving-layer outcome (v5); inert for model-level runs. */
+    ServingResilienceInfo serving;
 };
 
 /** Unified result of one model run on one backend. */
@@ -119,8 +147,12 @@ struct RunRecord
      *  byte-identical to the pre-chaos goldens. v4 adds the optional
      *  per-layer "algorithm" field (conv::Algorithm name); the writer
      *  stamps v4 only when some layer carries one, so stock-path
-     *  documents keep their previous version and bytes. */
-    static constexpr long long kSchemaVersion = 4;
+     *  documents keep their previous version and bytes. v5 adds the
+     *  "serving" sub-object of the resilience block (breaker trips,
+     *  hedge wins/losses, degradation-ladder counters); it is stamped
+     *  only when a chaos record carries serving resilience, so every
+     *  older document shape is preserved bit-for-bit. */
+    static constexpr long long kSchemaVersion = 5;
 
     std::string accelerator;  ///< backend name, e.g. "tpu-v2"
     std::string model;        ///< model name, e.g. "ResNet"

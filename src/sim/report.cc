@@ -1,5 +1,6 @@
 #include "sim/report.h"
 
+#include "common/atomic_file.h"
 #include "common/metrics.h"
 #include "common/report.h"
 #include "common/trace.h"
@@ -61,6 +62,36 @@ emitRecord(JsonWriter &w, const RunRecord &record)
                 static_cast<long long>(r.layersResumed));
         w.field("backoff_seconds", r.backoffSeconds);
         w.field("final_backend", r.finalBackend);
+        // The v5 serving sub-object: emitted only when the serving
+        // layer ran with some resilience feature enabled, so
+        // model-level chaos documents stay byte-identical to the v3
+        // goldens.
+        if (r.serving.active) {
+            const auto &s = r.serving;
+            w.key("serving");
+            w.beginObject();
+            w.field("active", true);
+            w.field("breaker_trips",
+                    static_cast<long long>(s.breakerTrips));
+            w.field("breaker_probes",
+                    static_cast<long long>(s.breakerProbes));
+            w.field("breaker_closes",
+                    static_cast<long long>(s.breakerCloses));
+            w.field("hedged_batches",
+                    static_cast<long long>(s.hedgedBatches));
+            w.field("hedge_wins", static_cast<long long>(s.hedgeWins));
+            w.field("hedge_losses",
+                    static_cast<long long>(s.hedgeLosses));
+            w.field("degrade_step_max",
+                    static_cast<long long>(s.degradeStepMax));
+            w.field("degrade_transitions",
+                    static_cast<long long>(s.degradeTransitions));
+            w.field("brownout_shed",
+                    static_cast<long long>(s.brownoutShed));
+            w.field("fallback_batches",
+                    static_cast<long long>(s.fallbackBatches));
+            w.endObject();
+        }
         w.endObject();
     }
     w.key("layers");
@@ -99,20 +130,24 @@ std::string
 runRecordsJson(const std::vector<RunRecord> &records,
                const ReportMeta &meta)
 {
-    // Stamp the newest version some record actually needs: v4 when a
-    // layer carries an algorithm, v3 when a record carries a resilience
-    // block, v2 otherwise — so pre-zoo, fault-free documents remain
-    // byte-identical to their goldens.
+    // Stamp the newest version some record actually needs: v5 when a
+    // chaos record carries serving resilience, v4 when a layer carries
+    // an algorithm, v3 when a record carries a resilience block, v2
+    // otherwise — so older documents remain byte-identical to their
+    // goldens.
     bool anyResilience = false;
     bool anyAlgorithm = false;
+    bool anyServing = false;
     for (const auto &record : records) {
         anyResilience = anyResilience || record.resilience.active;
+        anyServing = anyServing
+            || (record.resilience.active && record.resilience.serving.active);
         for (const auto &layer : record.layers)
             anyAlgorithm = anyAlgorithm || !layer.algorithm.empty();
     }
-    const long long version = anyAlgorithm
+    const long long version = anyServing
         ? RunRecord::kSchemaVersion
-        : (anyResilience ? 3LL : 2LL);
+        : (anyAlgorithm ? 4LL : (anyResilience ? 3LL : 2LL));
 
     JsonWriter w;
     w.beginObject();
@@ -139,14 +174,17 @@ writeRunRecords(const std::string &path,
                 const std::vector<RunRecord> &records,
                 const ReportMeta &meta)
 {
-    return writeFile(path, runRecordsJson(records, meta));
+    // Atomic write-temp + rename: a crash mid-save leaves the previous
+    // document intact instead of a torn JSON prefix.
+    return atomicWriteFile(path, runRecordsJson(records, meta));
 }
 
 bool
 writeRunRecords(const std::string &path,
                 const std::vector<RunRecord> &records)
 {
-    return writeFile(path, runRecordsJson(records, currentReportMeta()));
+    return atomicWriteFile(path,
+                           runRecordsJson(records, currentReportMeta()));
 }
 
 } // namespace cfconv::sim

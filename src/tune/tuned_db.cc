@@ -3,7 +3,9 @@
 #include <cstdio>
 #include <utility>
 
+#include "common/atomic_file.h"
 #include "common/json.h"
+#include "common/metrics.h"
 #include "common/report.h"
 #include "conv/algorithm.h"
 
@@ -76,7 +78,7 @@ TunedConfigDb::toJson() const
 bool
 TunedConfigDb::saveFile(const std::string &path) const
 {
-    return writeFile(path, toJson() + "\n");
+    return atomicWriteFileChecksummed(path, toJson() + "\n");
 }
 
 namespace {
@@ -109,7 +111,8 @@ StatusOr<DbLoadStats>
 TunedConfigDb::loadFile(const std::string &path,
                         const VariantRegistry &registry)
 {
-    CFCONV_ASSIGN_OR_RETURN(JsonValue doc, parseJsonFile(path));
+    CFCONV_ASSIGN_OR_RETURN(std::string text, readFileVerified(path));
+    CFCONV_ASSIGN_OR_RETURN(JsonValue doc, parseJson(text));
     if (!doc.isObject())
         return invalidArgumentError(
             "tuned db '%s': document is not an object", path.c_str());
@@ -162,6 +165,28 @@ TunedConfigDb::loadFile(const std::string &path,
         upsert(std::move(e));
         ++stats.loaded;
     }
+    return stats;
+}
+
+DbLoadStats
+TunedConfigDb::loadOrRecover(const std::string &path,
+                             const VariantRegistry &registry)
+{
+    auto loaded = loadFile(path, registry);
+    if (loaded.ok())
+        return *loaded;
+    DbLoadStats stats;
+    if (loaded.status().code() == StatusCode::kNotFound) {
+        stats.fresh = true;
+        return stats;
+    }
+    // Torn or structurally invalid: discard the file so the next save
+    // starts clean, and surface the recovery in the metrics.
+    std::fprintf(stderr, "# tuned db %s: %s — discarding and rebuilding\n",
+                 path.c_str(), loaded.status().message().c_str());
+    std::remove(path.c_str());
+    MetricsRegistry::instance().add("persist.recovered", 1.0);
+    stats.recovered = true;
     return stats;
 }
 

@@ -62,6 +62,10 @@ struct DbLoadStats
 {
     Index loaded = 0;   ///< entries accepted into the database
     Index rejected = 0; ///< stale/invalid entries skipped (warned)
+    bool fresh = false; ///< loadOrRecover(): no file existed yet
+    /** loadOrRecover(): the file was torn/corrupt and has been
+     *  discarded; the caller should re-search and re-save. */
+    bool recovered = false;
 };
 
 /**
@@ -96,7 +100,10 @@ class TunedConfigDb
     /** The full database as a deterministic JSON document. */
     std::string toJson() const;
 
-    /** toJson() to @p path; false on I/O failure (stderr note). */
+    /** toJson() to @p path via atomic write-temp + rename with a
+     *  checksum trailer (common/atomic_file), so a crash mid-save can
+     *  never leave a torn database behind. False on I/O failure
+     *  (stderr note). */
     bool saveFile(const std::string &path) const;
 
     /**
@@ -109,6 +116,17 @@ class TunedConfigDb
      */
     StatusOr<DbLoadStats> loadFile(const std::string &path,
                                    const VariantRegistry &registry);
+
+    /**
+     * Crash-consistent load: like loadFile(), but never fails the
+     * caller. A missing file returns stats with fresh=true; a torn or
+     * structurally invalid file (checksum mismatch, parse error, wrong
+     * schema) is deleted, counted under the "persist.recovered"
+     * metric, warned to stderr, and reported with recovered=true so
+     * the caller re-searches and re-saves a clean database.
+     */
+    DbLoadStats loadOrRecover(const std::string &path,
+                              const VariantRegistry &registry);
 
     void clear() { entries_.clear(); }
 

@@ -347,5 +347,84 @@ TEST_F(RecordedTraceTest, ServingTraceYieldsChipOccupancyAndOutages)
               a.chips[0].outages + a.chips[1].outages);
 }
 
+TEST_F(RecordedTraceTest, ResilientServingTraceYieldsBreakerTimeline)
+{
+    ASSERT_TRUE(
+        fault::FaultInjector::instance()
+            .configure("seed=42; serve.chip_down@gpu-v100=0.6")
+            .ok());
+    const std::string path =
+        ::testing::TempDir() + "cfconv_an_resilient.trace";
+    trace::start(path);
+    serve::ServingConfig config;
+    config.chips = {{"gpu-v100"}, {"tpu-v2"}, {"tpu-v2"}};
+    config.breaker.enabled = true;
+    config.breaker.failureThreshold = 2;
+    config.breaker.openSeconds = 50e-3;
+    config.degradation.enabled = true;
+    config.degradation.stepUpPressure = 1.5;
+    config.degradation.stepUpAfterSeconds = 2e-3;
+    serve::ServingSimulator sim(
+        config, {{"alexnet", &models::alexnet, 1.0}});
+    serve::TrafficSpec traffic;
+    traffic.ratePerSecond = 400;
+    traffic.horizonSeconds = 0.25;
+    traffic.seed = 11;
+    const serve::ServingResult result = sim.run(traffic);
+    EXPECT_TRUE(trace::stop());
+    ASSERT_TRUE(fault::FaultInjector::instance().configure("").ok());
+
+    const auto doc = parseTraceFile(path);
+    ASSERT_TRUE(doc.ok()) << doc.status().toString();
+    std::remove(path.c_str());
+    const TraceAnalysis a = analyzeTrace(doc.value());
+
+    // The breaker instants land on the flaky chip's track and the
+    // per-chip tallies reconcile with the simulator's own counters.
+    ASSERT_GT(result.breakerTrips, 0);
+    ASSERT_TRUE(a.hasServingResilience);
+    std::size_t trips = 0, probes = 0, closes = 0;
+    for (const auto &chip : a.serving.chips) {
+        trips += chip.trips;
+        probes += chip.probes;
+        closes += chip.closes;
+        EXPECT_FALSE(chip.timeline.empty());
+        for (const auto &event : chip.timeline) {
+            EXPECT_TRUE(event.state == "open" ||
+                        event.state == "probe" ||
+                        event.state == "closed")
+                << event.state;
+        }
+    }
+    EXPECT_EQ(trips, static_cast<std::size_t>(result.breakerTrips));
+    EXPECT_EQ(probes, static_cast<std::size_t>(result.breakerProbes));
+    EXPECT_EQ(closes, static_cast<std::size_t>(result.breakerCloses));
+    EXPECT_EQ(a.serving.hedgeWins + a.serving.hedgeLosses,
+              static_cast<std::size_t>(result.hedgeWins +
+                                       result.hedgeLosses));
+
+    // The degradation track produced an occupancy row whose ticks sum
+    // to the run's makespan.
+    ASSERT_EQ(a.serving.degradation.size(), 1u);
+    const auto &occupancy = a.serving.degradation[0];
+    EXPECT_EQ(occupancy.transitions,
+              static_cast<std::size_t>(result.degradeTransitions));
+    EXPECT_EQ(occupancy.maxStep, result.degradeStepMax);
+    const double totalTicks =
+        occupancy.stepTicks[0] + occupancy.stepTicks[1] +
+        occupancy.stepTicks[2] + occupancy.stepTicks[3];
+    EXPECT_GT(totalTicks, 0.0);
+
+    // The serving-resilience section bumps the schema stamp and shows
+    // up in both the JSON and the headline.
+    const std::string json = analysisJson(a);
+    EXPECT_NE(json.find("\"version\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"serving\""), std::string::npos);
+    EXPECT_NE(json.find("\"breakers\""), std::string::npos);
+    EXPECT_NE(json.find("\"degradation\""), std::string::npos);
+    EXPECT_NE(analysisHeadline("resilient", a).find("breaker_trips="),
+              std::string::npos);
+}
+
 } // namespace
 } // namespace cfconv::analyze

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "serve/batcher.h"
 #include "serve/cost_model.h"
 
@@ -126,6 +128,60 @@ TEST(BatchQueue, NextDeadlineIsInfiniteWhenEmpty)
     EXPECT_TRUE(queue.nextDeadline() >
                 1e30); // +inf: no queued request
     EXPECT_EQ(queue.launchableClass(100.0), -1);
+}
+
+TEST(BatchQueue, PriorityTierBeatsOlderArrival)
+{
+    // maxBatch=1: everything queued is launchable. Class 1 sits in
+    // the more important tier 0, so it launches ahead of the older
+    // tier-1 arrival.
+    BatchQueue queue(2, BatchPolicy{1, 10.0}, {}, {1, 0}, {});
+    EXPECT_TRUE(queue.offer(at(0, 1.0, 0), 0.0));
+    EXPECT_TRUE(queue.offer(at(1, 2.0, 1), 0.0));
+    EXPECT_EQ(queue.launchableClass(2.0), 1);
+    queue.pop(1, 1);
+    EXPECT_EQ(queue.launchableClass(2.0), 0);
+}
+
+TEST(BatchQueue, EarliestDeadlineBreaksTiesWithinATier)
+{
+    // Same tier, different SLOs: the newer class-1 arrival has the
+    // earlier deadline (1.05 + 0.01 < 1.00 + 0.10) and goes first.
+    BatchQueue queue(2, BatchPolicy{1, 10.0}, {}, {0, 0},
+                     {0.10, 0.01});
+    EXPECT_TRUE(queue.offer(at(0, 1.00, 0), 0.0));
+    EXPECT_TRUE(queue.offer(at(1, 1.05, 1), 0.0));
+    EXPECT_EQ(queue.launchableClass(1.05), 1);
+}
+
+TEST(BatchQueue, BrownoutShedsOnlyTheFlooredTiersAtArrival)
+{
+    BatchQueue queue(2, BatchPolicy{4, 1.0}, {}, {0, 2}, {});
+    queue.setBrownoutMinPriority(2);
+    EXPECT_TRUE(queue.offer(at(0, 0.0, 0), 0.0));
+    EXPECT_FALSE(queue.offer(at(1, 0.0, 1), 0.0));
+    EXPECT_EQ(queue.shedCount(1), 1);
+    EXPECT_EQ(queue.brownoutShedCount(1), 1);
+    EXPECT_EQ(queue.brownoutShedCount(0), 0);
+    // Lifting the floor re-admits the class.
+    queue.setBrownoutMinPriority(std::numeric_limits<Index>::max());
+    EXPECT_TRUE(queue.offer(at(2, 0.1, 1), 0.0));
+}
+
+TEST(BatchQueue, MaxBatchOverrideShrinksTheFullTestAndClamps)
+{
+    BatchQueue queue(1, BatchPolicy{8, 10.0}, {});
+    for (Index i = 0; i < 4; ++i)
+        EXPECT_TRUE(queue.offer(at(i, 0.0), 0.0));
+    EXPECT_EQ(queue.launchableClass(0.0), -1); // 4 < 8: not full
+    queue.setMaxBatchOverride(4);
+    EXPECT_EQ(queue.effectiveMaxBatch(), 4);
+    EXPECT_EQ(queue.launchableClass(0.0), 0); // full at the override
+    // The override can only shrink, never grow past the policy.
+    queue.setMaxBatchOverride(64);
+    EXPECT_EQ(queue.effectiveMaxBatch(), 8);
+    queue.setMaxBatchOverride(0);
+    EXPECT_EQ(queue.effectiveMaxBatch(), 8);
 }
 
 } // namespace

@@ -1,0 +1,228 @@
+/** @file Tests for the resilience state machines (serve/health): the
+ *  per-chip circuit breaker's closed/open/half-open cycle, canary
+ *  accounting, and the degradation ladder's hysteresis windows. */
+
+#include <gtest/gtest.h>
+
+#include "serve/health.h"
+
+namespace cfconv::serve {
+namespace {
+
+BreakerPolicy
+twoStrikePolicy()
+{
+    BreakerPolicy policy;
+    policy.enabled = true;
+    policy.failureThreshold = 2;
+    policy.openSeconds = 0.1;
+    policy.halfOpenSuccesses = 1;
+    return policy;
+}
+
+TEST(BreakerStateName, StableNames)
+{
+    EXPECT_STREQ(breakerStateName(BreakerState::Closed), "closed");
+    EXPECT_STREQ(breakerStateName(BreakerState::Open), "open");
+    EXPECT_STREQ(breakerStateName(BreakerState::HalfOpen),
+                 "half-open");
+    EXPECT_STREQ(degradeStepName(0), "normal");
+    EXPECT_STREQ(degradeStepName(3), "algorithm-fallback");
+}
+
+TEST(HealthTracker, DisabledPolicyTracksOutagesButNeverTrips)
+{
+    HealthTracker health(2, BreakerPolicy{});
+    EXPECT_TRUE(health.dispatchable(0, 0.0));
+
+    health.recordFault(0, 1.0, 1.5);
+    EXPECT_TRUE(health.isDown(0, 1.2));
+    EXPECT_FALSE(health.dispatchable(0, 1.2));
+    EXPECT_DOUBLE_EQ(health.blockedUntil(0), 1.5);
+    // Repair window over: dispatchable again, breaker never engaged.
+    EXPECT_FALSE(health.isDown(0, 1.5));
+    EXPECT_TRUE(health.dispatchable(0, 1.5));
+
+    health.recordFault(0, 2.0, 2.1);
+    health.recordFault(0, 3.0, 3.1);
+    EXPECT_EQ(health.state(0, 3.2), BreakerState::Closed);
+    EXPECT_EQ(health.trips(), 0);
+    EXPECT_EQ(health.aliveChips(2.05), 1u); // chip 0 down, chip 1 up
+}
+
+TEST(HealthTracker, ConsecutiveFaultsTripAndCanaryCloses)
+{
+    HealthTracker health(2, twoStrikePolicy());
+
+    // One fault is below the threshold; a success resets the count.
+    health.recordFault(0, 1.0, 1.01);
+    EXPECT_EQ(health.state(0, 1.02), BreakerState::Closed);
+    health.recordSuccess(0, 1.05, 0.01);
+    health.recordFault(0, 2.0, 2.01);
+    EXPECT_EQ(health.trips(), 0);
+
+    // The second consecutive fault trips the breaker open.
+    health.recordFault(0, 2.1, 2.11);
+    EXPECT_EQ(health.trips(), 1);
+    EXPECT_EQ(health.state(0, 2.15), BreakerState::Open);
+    EXPECT_FALSE(health.dispatchable(0, 2.15));
+    EXPECT_FALSE(health.canaryReady(0, 2.15));
+    EXPECT_DOUBLE_EQ(health.blockedUntil(0), 2.1 + 0.1);
+
+    // Cooldown elapses by time alone: half-open, one canary admitted.
+    const double probeAt = 2.1 + 0.1;
+    EXPECT_EQ(health.state(0, probeAt), BreakerState::HalfOpen);
+    EXPECT_FALSE(health.dispatchable(0, probeAt));
+    EXPECT_TRUE(health.canaryReady(0, probeAt));
+    health.markCanary(0);
+    EXPECT_EQ(health.probes(), 1);
+    EXPECT_FALSE(health.canaryReady(0, probeAt)); // one in flight
+
+    // Canary success closes the breaker.
+    health.recordSuccess(0, probeAt + 0.01, 0.01);
+    EXPECT_EQ(health.closes(), 1);
+    EXPECT_EQ(health.state(0, probeAt + 0.01), BreakerState::Closed);
+    EXPECT_TRUE(health.dispatchable(0, probeAt + 0.02));
+    // The other chip was never touched.
+    EXPECT_EQ(health.state(1, probeAt), BreakerState::Closed);
+}
+
+TEST(HealthTracker, FailedCanaryReopensAndHalfOpenQuota)
+{
+    BreakerPolicy policy = twoStrikePolicy();
+    policy.halfOpenSuccesses = 2;
+    HealthTracker health(1, policy);
+
+    health.recordFault(0, 0.0, 0.01);
+    health.recordFault(0, 0.02, 0.03);
+    ASSERT_EQ(health.state(0, 0.05), BreakerState::Open);
+
+    // A fault while tripped (failed canary) re-opens immediately and
+    // restarts the cooldown from that instant.
+    health.markCanary(0);
+    health.recordFault(0, 0.12, 0.13);
+    EXPECT_EQ(health.trips(), 2);
+    EXPECT_EQ(health.state(0, 0.15), BreakerState::Open);
+    EXPECT_EQ(health.state(0, 0.22), BreakerState::HalfOpen);
+
+    // halfOpenSuccesses=2: the first canary success keeps it half-open.
+    health.markCanary(0);
+    health.recordSuccess(0, 0.23, 0.005);
+    EXPECT_EQ(health.closes(), 0);
+    EXPECT_EQ(health.state(0, 0.23), BreakerState::HalfOpen);
+    EXPECT_TRUE(health.canaryReady(0, 0.23));
+    health.markCanary(0);
+    health.recordSuccess(0, 0.24, 0.005);
+    EXPECT_EQ(health.closes(), 1);
+    EXPECT_EQ(health.state(0, 0.24), BreakerState::Closed);
+}
+
+TEST(HealthTracker, SuccessWithoutCanaryDoesNotCloseAnOpenBreaker)
+{
+    HealthTracker health(1, twoStrikePolicy());
+    health.recordFault(0, 0.0, 0.01);
+    health.recordFault(0, 0.02, 0.03);
+    ASSERT_EQ(health.trips(), 1);
+    // A stray success while open (e.g. a batch launched before the
+    // trip completing) must not close the breaker: only a marked
+    // canary after the cooldown counts.
+    health.recordSuccess(0, 0.05, 0.01);
+    EXPECT_EQ(health.closes(), 0);
+    EXPECT_EQ(health.state(0, 0.05), BreakerState::Open);
+}
+
+TEST(HealthTracker, MeanServiceSecondsAveragesSuccesses)
+{
+    HealthTracker health(1, BreakerPolicy{});
+    EXPECT_DOUBLE_EQ(health.meanServiceSeconds(0), 0.0);
+    health.recordSuccess(0, 1.0, 0.02);
+    health.recordSuccess(0, 2.0, 0.04);
+    EXPECT_DOUBLE_EQ(health.meanServiceSeconds(0), 0.03);
+}
+
+DegradationPolicy
+fastLadder()
+{
+    DegradationPolicy policy;
+    policy.enabled = true;
+    policy.stepUpPressure = 2.0;
+    policy.stepUpAfterSeconds = 0.01;
+    policy.stepDownPressure = 0.5;
+    policy.stepDownAfterSeconds = 0.02;
+    return policy;
+}
+
+TEST(DegradationLadder, DisabledLadderNeverMoves)
+{
+    DegradationLadder ladder(DegradationPolicy{});
+    EXPECT_FALSE(ladder.observe(0.0, 100.0));
+    EXPECT_FALSE(ladder.observe(10.0, 100.0));
+    EXPECT_EQ(ladder.step(), 0);
+    EXPECT_EQ(ladder.transitions(), 0);
+}
+
+TEST(DegradationLadder, StepsUpOnlyAfterSustainedPressure)
+{
+    DegradationLadder ladder(fastLadder());
+    EXPECT_FALSE(ladder.observe(0.000, 3.0)); // window starts
+    EXPECT_FALSE(ladder.observe(0.005, 3.0)); // not sustained yet
+    EXPECT_TRUE(ladder.observe(0.010, 3.0));  // full window: step 1
+    EXPECT_EQ(ladder.step(), 1);
+
+    // The window re-arms after each transition.
+    EXPECT_FALSE(ladder.observe(0.012, 3.0));
+    EXPECT_TRUE(ladder.observe(0.022, 3.0));
+    EXPECT_EQ(ladder.step(), 2);
+    EXPECT_EQ(ladder.maxStepReached(), 2);
+    EXPECT_EQ(ladder.transitions(), 2);
+}
+
+TEST(DegradationLadder, MidBandPressureResetsBothWindows)
+{
+    DegradationLadder ladder(fastLadder());
+    EXPECT_FALSE(ladder.observe(0.000, 3.0));
+    EXPECT_FALSE(ladder.observe(0.009, 1.0)); // mid-band: reset
+    EXPECT_FALSE(ladder.observe(0.010, 3.0)); // window restarts here
+    EXPECT_FALSE(ladder.observe(0.019, 3.0));
+    EXPECT_TRUE(ladder.observe(0.020, 3.0));
+    EXPECT_EQ(ladder.step(), 1);
+}
+
+TEST(DegradationLadder, StepsBackDownAfterSustainedRelief)
+{
+    DegradationLadder ladder(fastLadder());
+    EXPECT_FALSE(ladder.observe(0.00, 3.0));
+    EXPECT_TRUE(ladder.observe(0.01, 3.0));
+    ASSERT_EQ(ladder.step(), 1);
+
+    EXPECT_FALSE(ladder.observe(0.02, 0.1)); // relief window starts
+    EXPECT_FALSE(ladder.observe(0.03, 0.1));
+    EXPECT_TRUE(ladder.observe(0.04, 0.1)); // 0.02s sustained: down
+    EXPECT_EQ(ladder.step(), 0);
+    EXPECT_EQ(ladder.maxStepReached(), 1);
+    EXPECT_EQ(ladder.transitions(), 2);
+    // At step 0 relief can go no further.
+    EXPECT_FALSE(ladder.observe(0.10, 0.1));
+}
+
+TEST(DegradationLadder, MaxStepClampAndOccupancyAccounting)
+{
+    DegradationPolicy policy = fastLadder();
+    policy.maxStep = 1;
+    DegradationLadder ladder(policy);
+    EXPECT_FALSE(ladder.observe(0.00, 9.0));
+    EXPECT_TRUE(ladder.observe(0.01, 9.0));
+    // Clamped: pressure may stay sky-high, step 1 is the floor.
+    EXPECT_FALSE(ladder.observe(0.02, 9.0));
+    EXPECT_FALSE(ladder.observe(0.05, 9.0));
+    EXPECT_EQ(ladder.step(), 1);
+
+    ladder.finalize(0.06);
+    EXPECT_DOUBLE_EQ(ladder.secondsAtStep(0), 0.01);
+    EXPECT_DOUBLE_EQ(ladder.secondsAtStep(1), 0.05);
+    EXPECT_DOUBLE_EQ(ladder.secondsAtStep(2), 0.0);
+    EXPECT_DOUBLE_EQ(ladder.secondsAtStep(3), 0.0);
+}
+
+} // namespace
+} // namespace cfconv::serve

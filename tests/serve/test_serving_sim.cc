@@ -236,6 +236,323 @@ TEST(ServingSim, ChaosChipDownRetriesEverythingToCompletion)
     EXPECT_EQ(doc, doc2);
 }
 
+TEST(ServingConfigValidation, NamesTheOffendingField)
+{
+    ServingConfig config;
+    EXPECT_TRUE(validateServingConfig(config).ok());
+
+    config.chips.clear();
+    Status status = validateServingConfig(config);
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(status.toString().find("chips"), std::string::npos);
+
+    config = ServingConfig{};
+    config.sloSeconds = 0.0;
+    status = validateServingConfig(config);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.toString().find("sloSeconds"), std::string::npos);
+
+    config = ServingConfig{};
+    config.breaker.enabled = true;
+    config.breaker.failureThreshold = 0;
+    status = validateServingConfig(config);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.toString().find("breaker.failureThreshold"),
+              std::string::npos);
+    // The same knobs are legal while the breaker stays disabled.
+    config.breaker.enabled = false;
+    EXPECT_TRUE(validateServingConfig(config).ok());
+
+    config = ServingConfig{};
+    config.degradation.enabled = true;
+    config.degradation.stepUpPressure = 1.0;
+    config.degradation.stepDownPressure = 2.0;
+    status = validateServingConfig(config);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.toString().find("stepUpPressure"),
+              std::string::npos);
+
+    config = ServingConfig{};
+    config.degradation.enabled = true;
+    config.degradation.maxStep = 4;
+    status = validateServingConfig(config);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.toString().find("degradation.maxStep"),
+              std::string::npos);
+
+    config = ServingConfig{};
+    config.hedge.enabled = true;
+    config.hedge.minSamples = 0;
+    status = validateServingConfig(config);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.toString().find("hedge.minSamples"),
+              std::string::npos);
+
+    config = ServingConfig{};
+    config.fallbackVariants = {"tpu-v9-retired"};
+    status = validateServingConfig(config);
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.toString().find("tpu-v9-retired"),
+              std::string::npos);
+}
+
+TEST(ServingSim, ZeroMaxWaitLaunchesImmediately)
+{
+    ServingConfig config;
+    config.batch.maxWaitSeconds = 0.0;
+    ServingSimulator sim(config, tinyMix());
+    const ServingResult result = sim.run(lightTraffic(41));
+    EXPECT_EQ(result.offered, result.completed);
+    // No batching delay: light-traffic batches are mostly singletons
+    // and queue wait never contributes a max-wait hold.
+    EXPECT_LT(result.meanBatch, 2.0);
+    EXPECT_GT(result.p50, 0.0);
+}
+
+TEST(ServingSim, ZeroMaxQueueAdmitsEverything)
+{
+    // maxQueuePerClass=0 is the unbounded sentinel, not "shed all".
+    TrafficSpec traffic;
+    traffic.ratePerSecond = 8000; // well past capacity
+    traffic.horizonSeconds = 0.05;
+    traffic.seed = 43;
+    ServingConfig config;
+    config.admission.maxQueuePerClass = 0;
+    ServingSimulator sim(config, tinyMix());
+    const ServingResult result = sim.run(traffic);
+    EXPECT_EQ(result.shed, 0);
+    EXPECT_EQ(result.offered, result.completed);
+}
+
+TEST(ModelClasses, UnknownNameIsNotFoundListingTheZoo)
+{
+    const auto made = makeModelClass("not-a-model");
+    ASSERT_FALSE(made.ok());
+    EXPECT_EQ(made.status().code(), StatusCode::kNotFound);
+    // The error lists the valid names so the CLI message is usable.
+    EXPECT_NE(made.status().toString().find("alexnet"),
+              std::string::npos);
+}
+
+TEST(ModelClasses, ParseClassSpecsRoundTripsAndNamesOffenders)
+{
+    const auto mix = parseClassSpecs("alexnet:2:0:50,zfnet:1:1:100");
+    ASSERT_TRUE(mix.ok()) << mix.status().toString();
+    ASSERT_EQ(mix.value().size(), 2u);
+    EXPECT_EQ(mix.value()[0].name, "alexnet");
+    EXPECT_DOUBLE_EQ(mix.value()[0].weight, 2.0);
+    EXPECT_EQ(mix.value()[0].priority, 0);
+    EXPECT_DOUBLE_EQ(mix.value()[0].sloSeconds, 50e-3);
+    EXPECT_EQ(mix.value()[1].priority, 1);
+    EXPECT_DOUBLE_EQ(mix.value()[1].sloSeconds, 100e-3);
+
+    const auto bad = parseClassSpecs("alexnet:bogus");
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(bad.status().toString().find("bogus"),
+              std::string::npos);
+    EXPECT_FALSE(parseClassSpecs("unknown-model:1").ok());
+    EXPECT_FALSE(parseClassSpecs("").ok());
+}
+
+TEST(ServingSim, PerClassSloSplitsGoodputAccounting)
+{
+    // Class 0 gets a generous SLO, class 1 an impossible one: every
+    // completed class-1 request violates, class 0 never does.
+    ModelMix mix = tinyMix();
+    mix[0].sloSeconds = 1.0;
+    mix[1].sloSeconds = 1e-9;
+    ServingConfig config;
+    ServingSimulator sim(config, mix);
+    const ServingResult result = sim.run(lightTraffic(47));
+    ASSERT_EQ(result.classes.size(), 2u);
+    EXPECT_EQ(result.classes[0].sloViolations, 0);
+    EXPECT_EQ(result.classes[1].sloViolations,
+              result.classes[1].completed);
+    EXPECT_GT(result.classes[1].completed, 0);
+    EXPECT_LT(result.goodputRps, result.throughputRps);
+}
+
+TEST(ServingSim, BrownoutShedsTheLowestPriorityClassFirst)
+{
+    // Sustained overload with an aggressive ladder: step 2 sheds the
+    // high-tier (least important) class at arrival while the tier-0
+    // class keeps being admitted.
+    ModelMix mix = tinyMix();
+    mix[0].priority = 0;
+    mix[1].priority = 1;
+    TrafficSpec traffic;
+    traffic.ratePerSecond = 12000;
+    traffic.horizonSeconds = 0.1;
+    traffic.seed = 53;
+
+    ServingConfig config;
+    config.batch.maxBatch = 8;
+    config.degradation.enabled = true;
+    config.degradation.maxStep = 2;
+    config.degradation.stepUpPressure = 1.5;
+    config.degradation.stepUpAfterSeconds = 2e-3;
+    config.degradation.stepDownPressure = 0.5;
+    config.degradation.stepDownAfterSeconds = 50e-3;
+    ServingSimulator sim(config, mix);
+    const ServingResult result = sim.run(traffic);
+
+    EXPECT_EQ(result.offered, result.completed + result.shed);
+    EXPECT_GT(result.brownoutShed, 0);
+    EXPECT_EQ(result.degradeStepMax, 2);
+    ASSERT_EQ(result.classes.size(), 2u);
+    EXPECT_EQ(result.classes[0].brownoutShed, 0);
+    EXPECT_EQ(result.classes[1].brownoutShed, result.brownoutShed);
+    EXPECT_GT(result.degradeTransitions, 0);
+    EXPECT_GT(result.degradeSeconds[2], 0.0);
+}
+
+TEST(ServingSim, AlgorithmFallbackServesOnTheCheapestVariant)
+{
+    TrafficSpec traffic;
+    traffic.ratePerSecond = 12000;
+    traffic.horizonSeconds = 0.1;
+    traffic.seed = 59;
+
+    ServingConfig config;
+    config.batch.maxBatch = 8;
+    config.degradation.enabled = true;
+    config.degradation.stepUpPressure = 1.5;
+    config.degradation.stepUpAfterSeconds = 1e-3;
+    config.degradation.stepDownPressure = 0.5;
+    config.degradation.stepDownAfterSeconds = 50e-3;
+    // tpu-v3ish is strictly faster than tpu-v2, so the fallback step
+    // both engages and visibly helps.
+    config.fallbackVariants = {"tpu-v3ish"};
+    ServingSimulator sim(config, tinyMix());
+    const ServingResult result = sim.run(traffic);
+
+    EXPECT_EQ(result.degradeStepMax, 3);
+    EXPECT_GT(result.fallbackBatches, 0);
+    EXPECT_GT(result.degradeSeconds[3], 0.0);
+    EXPECT_EQ(result.offered, result.completed + result.shed);
+}
+
+TEST(ServingSim, HedgingDuplicatesStragglersFirstCompletionWins)
+{
+    // Bursty overload on a 3-chip board: batches that waited past the
+    // observed median latency re-launch on a second idle chip.
+    TrafficSpec traffic;
+    traffic.ratePerSecond = 9000;
+    traffic.horizonSeconds = 0.1;
+    traffic.seed = 61;
+
+    ServingConfig config;
+    config.chips.assign(3, ChipSpec{"tpu-v2"});
+    config.batch.maxBatch = 8;
+    config.hedge.enabled = true;
+    config.hedge.latencyPercentile = 0.5;
+    config.hedge.minSamples = 4;
+    ServingSimulator sim(config, tinyMix());
+    const ServingResult result = sim.run(traffic);
+
+    EXPECT_GT(result.hedgedBatches, 0);
+    EXPECT_EQ(result.hedgedBatches,
+              result.hedgeWins + result.hedgeLosses);
+    EXPECT_EQ(result.offered, result.completed + result.shed);
+}
+
+TEST(ServingSim, BreakersRouteAroundARepeatOffender)
+{
+    auto &injector = fault::FaultInjector::instance();
+    ASSERT_TRUE(injector
+                    .configure("seed=42; serve.chip_down@gpu-v100=0.6")
+                    .ok());
+
+    ServingConfig config;
+    config.chips = {ChipSpec{"gpu-v100"}, ChipSpec{"tpu-v2"},
+                    ChipSpec{"tpu-v2"}};
+    config.breaker.enabled = true;
+    config.breaker.failureThreshold = 2;
+    config.breaker.openSeconds = 50e-3;
+    ServingSimulator sim(config, tinyMix());
+    const ServingResult result = sim.run(lightTraffic(67));
+    const std::string doc =
+        sim::runRecordsJson({result.record}, sim::ReportMeta{});
+    injector.disarm();
+
+    // The dispatcher blind-spot regression: every offered request is
+    // accounted for even while the preferred chip flaps and trips.
+    EXPECT_EQ(result.offered, result.completed + result.shed);
+    EXPECT_GT(result.chipDownEvents, 0);
+    EXPECT_GT(result.breakerTrips, 0);
+    EXPECT_GE(result.breakerProbes, result.breakerCloses);
+
+    // The record mirrors the resilience outcome into the serving
+    // block and stamps the v5 schema.
+    const auto &serving = result.record.resilience.serving;
+    EXPECT_TRUE(result.record.resilience.active);
+    EXPECT_TRUE(serving.active);
+    EXPECT_EQ(serving.breakerTrips, result.breakerTrips);
+    EXPECT_EQ(serving.hedgeWins, result.hedgeWins);
+    EXPECT_NE(doc.find("\"version\": 5"), std::string::npos);
+    EXPECT_NE(doc.find("\"breaker_trips\""), std::string::npos);
+
+    // Reproducible: same chaos spec, same bytes.
+    ASSERT_TRUE(injector
+                    .configure("seed=42; serve.chip_down@gpu-v100=0.6")
+                    .ok());
+    ServingSimulator again(config, tinyMix());
+    const std::string doc2 = sim::runRecordsJson(
+        {again.run(lightTraffic(67)).record}, sim::ReportMeta{});
+    injector.disarm();
+    EXPECT_EQ(doc, doc2);
+}
+
+TEST(ServingSim, ResilientChaosByteIdenticalAcrossThreadCounts)
+{
+    const auto runOnce = [] {
+        auto &injector = fault::FaultInjector::instance();
+        EXPECT_TRUE(
+            injector
+                .configure("seed=42; serve.chip_down@gpu-v100=0.6;"
+                           " serve.chip_down=0.01")
+                .ok());
+        ServingConfig config;
+        config.chips = {ChipSpec{"gpu-v100"}, ChipSpec{"tpu-v2"},
+                        ChipSpec{"tpu-v2"}};
+        config.admission.maxQueuePerClass = 32;
+        config.breaker.enabled = true;
+        config.degradation.enabled = true;
+        config.hedge.enabled = true;
+        config.fallbackVariants = {"tpu-v3ish"};
+        ServingSimulator sim(config, tinyMix());
+        const std::string doc = sim::runRecordsJson(
+            {sim.run(lightTraffic(71)).record}, sim::ReportMeta{});
+        injector.disarm();
+        return doc;
+    };
+    parallel::setThreads(1);
+    const std::string serial = runOnce();
+    parallel::setThreads(4);
+    const std::string parallel4 = runOnce();
+    parallel::setThreads(0);
+    EXPECT_EQ(serial, parallel4);
+}
+
+TEST(ServingSim, FaultFreeResilienceConfigKeepsTheLegacySchema)
+{
+    // Enabled-but-unexercised resilience must not perturb the
+    // document: without an armed injector the record stays v2 with no
+    // resilience block, byte-compatible with pre-resilience readers.
+    ServingConfig config;
+    config.breaker.enabled = true;
+    config.hedge.enabled = true;
+    ServingSimulator sim(config, tinyMix());
+    const ServingResult result = sim.run(lightTraffic(73));
+    EXPECT_FALSE(result.record.resilience.active);
+    const std::string doc =
+        sim::runRecordsJson({result.record}, sim::ReportMeta{});
+    EXPECT_NE(doc.find("\"version\": 2"), std::string::npos);
+    EXPECT_EQ(doc.find("\"resilience\""), std::string::npos);
+}
+
 TEST(ServingSim, PolicySweepReusesCostEvaluations)
 {
     ServingConfig config;

@@ -117,13 +117,17 @@ TEST(RunRecordJson, WriteRunRecordsRoundTripsThroughTheFile)
                                  .runModel(models::zfnet(8));
     const std::string path =
         ::testing::TempDir() + "cfconv_report_test.json";
+    // Snapshot the expected document before the write: the atomic
+    // writer bumps persist.atomic_writes, which would otherwise show
+    // up in a post-write metrics snapshot but not in the file.
+    const std::string expected = runRecordsJson({record});
     ASSERT_TRUE(writeRunRecords(path, {record}));
 
     std::ifstream in(path);
     ASSERT_TRUE(in.good());
     std::stringstream buf;
     buf << in.rdbuf();
-    EXPECT_EQ(buf.str(), runRecordsJson({record}));
+    EXPECT_EQ(buf.str(), expected);
     std::remove(path.c_str());
 }
 

@@ -9,6 +9,7 @@
 #include <fstream>
 #include <string>
 
+#include "common/atomic_file.h"
 #include "tune/tuned_db.h"
 #include "tune/variant_registry.h"
 
@@ -218,6 +219,84 @@ TEST(TunedConfigDb, LoadMergesIntoExistingEntries)
     EXPECT_EQ(db.find("tpu", "channel-first", "shared", 1)->variant, "tpu-v2-256x256");
     EXPECT_NE(db.find("tpu", "channel-first", "memory_only", 1), nullptr);
     EXPECT_NE(db.find("tpu", "channel-first", "disk_only", 1), nullptr);
+    std::remove(path.c_str());
+}
+
+TEST(TunedConfigDb, SaveWritesAChecksumTrailer)
+{
+    const std::string path = tempPath("trailer");
+    TunedConfigDb db;
+    db.upsert(sampleEntry());
+    ASSERT_TRUE(db.saveFile(path));
+
+    std::ifstream in(path, std::ios::binary);
+    std::string raw;
+    raw.assign(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+    EXPECT_NE(raw.find(kChecksumTrailerPrefix), std::string::npos);
+
+    // The verified loader strips the trailer transparently.
+    TunedConfigDb loaded;
+    ASSERT_TRUE(
+        loaded.loadFile(path, VariantRegistry::instance()).ok());
+    EXPECT_EQ(loaded.size(), 1u);
+    std::remove(path.c_str());
+}
+
+TEST(TunedConfigDb, LoadOrRecoverStartsFreshWhenMissing)
+{
+    TunedConfigDb db;
+    const DbLoadStats stats = db.loadOrRecover(
+        tempPath("never_written"), VariantRegistry::instance());
+    EXPECT_TRUE(stats.fresh);
+    EXPECT_FALSE(stats.recovered);
+    EXPECT_EQ(db.size(), 0u);
+}
+
+TEST(TunedConfigDb, LoadOrRecoverQuarantinesATornFile)
+{
+    const std::string path = tempPath("torn");
+    TunedConfigDb onDisk;
+    onDisk.upsert(sampleEntry());
+    ASSERT_TRUE(onDisk.saveFile(path));
+
+    // Tear the file the way an interrupted write would: keep a prefix
+    // of the content plus the now-stale checksum trailer.
+    std::string raw;
+    {
+        std::ifstream in(path, std::ios::binary);
+        raw.assign(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+    }
+    const size_t trailer = raw.rfind(kChecksumTrailerPrefix);
+    ASSERT_NE(trailer, std::string::npos);
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << raw.substr(0, raw.size() / 2) << raw.substr(trailer);
+    }
+
+    // The strict loader refuses the torn file...
+    TunedConfigDb strict;
+    EXPECT_FALSE(
+        strict.loadFile(path, VariantRegistry::instance()).ok());
+
+    // ...while loadOrRecover() deletes it and reports the recovery,
+    // leaving the db empty but usable for a clean re-save.
+    TunedConfigDb db;
+    const DbLoadStats stats =
+        db.loadOrRecover(path, VariantRegistry::instance());
+    EXPECT_TRUE(stats.recovered);
+    EXPECT_FALSE(stats.fresh);
+    EXPECT_EQ(db.size(), 0u);
+    EXPECT_FALSE(std::ifstream(path).good()); // quarantined
+
+    db.upsert(sampleEntry());
+    ASSERT_TRUE(db.saveFile(path));
+    TunedConfigDb reread;
+    const DbLoadStats again =
+        reread.loadOrRecover(path, VariantRegistry::instance());
+    EXPECT_FALSE(again.recovered);
+    EXPECT_EQ(reread.size(), 1u);
     std::remove(path.c_str());
 }
 
